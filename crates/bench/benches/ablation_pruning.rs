@@ -1,0 +1,27 @@
+//! Criterion companion to ablation A1: Algorithm 2 with and without the
+//! `mw`/`H` upper-bound prune.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdd_core::{Brs, SizeWeight};
+
+fn bench_pruning(c: &mut Criterion) {
+    let table = sdd_bench::datasets::marketing7();
+    let view = table.view();
+    let mut group = c.benchmark_group("ablation_pruning");
+    group.sample_size(10);
+
+    for pruning in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pruning),
+            &pruning,
+            |b, &pruning| {
+                let brs = Brs::new(&SizeWeight).with_max_weight(5.0).with_pruning(pruning);
+                b.iter(|| std::hint::black_box(brs.run(&view, 4)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

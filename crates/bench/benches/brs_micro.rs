@@ -1,0 +1,41 @@
+//! Micro-benchmarks of the optimizer's building blocks: one best-marginal
+//! search (Algorithm 2) and one rule-list scoring pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdd_core::{find_best_marginal_rule, score_list, Rule, SearchOptions, SizeWeight};
+
+fn bench_micro(c: &mut Criterion) {
+    let table = sdd_bench::datasets::retail();
+    let view = table.view();
+    let cov = vec![0.0f64; view.len()];
+
+    c.bench_function("find_best_marginal_rule/retail", |b| {
+        let opts = SearchOptions::new(3.0);
+        b.iter(|| std::hint::black_box(find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)))
+    });
+
+    let rules = vec![
+        Rule::from_pairs(&table, &[("Store", "Target"), ("Product", "bicycles")]).unwrap(),
+        Rule::from_pairs(&table, &[("Product", "comforters"), ("Region", "MA-3")]).unwrap(),
+        Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap(),
+    ];
+    c.bench_function("score_list/retail_3_rules", |b| {
+        b.iter(|| std::hint::black_box(score_list(&view, &SizeWeight, &rules)))
+    });
+
+    c.bench_function("rule_coverage_scan/retail", |b| {
+        let rule = &rules[2];
+        b.iter(|| {
+            let mut n = 0u32;
+            for row in 0..table.n_rows() as u32 {
+                if rule.covers_row(&table, row) {
+                    n += 1;
+                }
+            }
+            std::hint::black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

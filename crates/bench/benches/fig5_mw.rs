@@ -1,0 +1,32 @@
+//! Criterion companion to Figure 5: expansion time vs the `mw` parameter
+//! on the Marketing dataset (Size and Bits weightings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdd_core::{BitsWeight, Brs, SizeWeight, WeightFn};
+
+fn bench_mw(c: &mut Criterion) {
+    let table = sdd_bench::datasets::marketing7();
+    let view = table.view();
+    let mut group = c.benchmark_group("fig5_mw");
+    group.sample_size(10);
+
+    for (name, weight) in [
+        ("size", &SizeWeight as &dyn WeightFn),
+        ("bits", &BitsWeight as &dyn WeightFn),
+    ] {
+        for mw in [2.0f64, 5.0, 10.0, 20.0] {
+            group.bench_with_input(
+                BenchmarkId::new(name, mw as u64),
+                &mw,
+                |b, &mw| {
+                    let brs = Brs::new(weight).with_max_weight(mw);
+                    b.iter(|| std::hint::black_box(brs.run(&view, 4)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mw);
+criterion_main!(benches);

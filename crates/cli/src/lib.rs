@@ -1,0 +1,18 @@
+//! # sdd-cli
+//!
+//! A terminal REPL around [`sdd_explorer::Explorer`] — the equivalent of
+//! the paper's interactive prototype (demonstrated at VLDB 2015), driving
+//! smart drill-downs, star drill-downs, roll-ups, weight switches, and
+//! exact-count refreshes from a command line.
+//!
+//! The REPL core is I/O-generic ([`run`]) so the full interaction loop is
+//! unit-testable with string buffers; `src/main.rs` wires it to
+//! stdin/stdout.
+
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod repl;
+
+pub use command::{parse_command, parse_path, Command, WeightKind};
+pub use repl::run;

@@ -1,0 +1,16 @@
+//! `sdd` — the interactive smart drill-down terminal tool.
+//!
+//! ```sh
+//! cargo run -p sdd-cli --release
+//! sdd> demo retail
+//! sdd> expand
+//! sdd> star 2 Region
+//! ```
+
+use std::io::{stdin, stdout};
+
+fn main() -> std::io::Result<()> {
+    let stdin = stdin().lock();
+    let mut stdout = stdout().lock();
+    sdd_cli::run(stdin, &mut stdout)
+}

@@ -1,0 +1,176 @@
+//! The two smart drill-down operations (paper §2.3 and §3.1).
+//!
+//! * **Rule drill-down** — the analyst clicks a rule `r'`; expand it into the
+//!   best list of `k` strict super-rules of `r'`, scored over the tuples
+//!   covered by `r'` (the paper's reduction filters `T` to `T_{r'}`).
+//! * **Star drill-down** — the analyst clicks a `?` in column `c` of `r'`;
+//!   same, but every displayed rule must instantiate column `c`. The paper
+//!   implements this by swapping in `W'(r) = 0` when `r` leaves `c` starred;
+//!   we do exactly that via [`crate::weight::RequireColumn`].
+//!
+//! Both return a [`BrsResult`] whose rules are full rules (base values
+//! merged in), ready for display.
+
+use crate::{Brs, BrsResult, Rule, RequireColumn, WeightFn};
+use sdd_table::TableView;
+
+/// Which drill-down the analyst performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrillDownKind {
+    /// Click on the rule itself.
+    Rule,
+    /// Click on the `?` in the given column.
+    Star(usize),
+}
+
+/// Filters `view` to the tuples covered by `base` (the paper's `T_{r'}`).
+pub fn filter_to_rule<'a>(view: &TableView<'a>, base: &Rule) -> TableView<'a> {
+    let table = view.table();
+    view.filter(|row| base.covers_row(table, row))
+}
+
+/// Rule drill-down with explicit optimizer configuration.
+pub fn drill_down_with(brs: &Brs<'_>, view: &TableView<'_>, base: &Rule, k: usize) -> BrsResult {
+    let filtered = filter_to_rule(view, base);
+    brs.run_with_base(&filtered, Some(base.clone()), k)
+}
+
+/// Star drill-down with explicit optimizer configuration.
+///
+/// # Panics
+/// If `base` already instantiates `column` (there is no `?` to click).
+pub fn star_drill_down_with(
+    brs: &Brs<'_>,
+    view: &TableView<'_>,
+    base: &Rule,
+    column: usize,
+    k: usize,
+) -> BrsResult {
+    assert!(
+        base.is_star(column),
+        "star drill-down requires a ? in the clicked column"
+    );
+    let filtered = filter_to_rule(view, base);
+    // W'(r) = 0 when column is starred (paper §3.1).
+    let wrapped = RequireColumn::new(brs.weight_fn(), column);
+    let inner = Brs::new(&wrapped).inherit_config(brs);
+    inner.run_with_base(&filtered, Some(base.clone()), k)
+}
+
+/// Rule drill-down with default configuration (`mw` = max possible weight).
+pub fn drill_down(view: &TableView<'_>, weight: &dyn WeightFn, base: &Rule, k: usize) -> BrsResult {
+    drill_down_with(&Brs::new(weight), view, base, k)
+}
+
+/// Star drill-down with default configuration.
+pub fn star_drill_down(
+    view: &TableView<'_>,
+    weight: &dyn WeightFn,
+    base: &Rule,
+    column: usize,
+    k: usize,
+) -> BrsResult {
+    star_drill_down_with(&Brs::new(weight), view, base, column, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SizeWeight;
+    use sdd_table::{Schema, Table};
+
+    /// Miniature of the paper's department-store example.
+    fn t() -> Table {
+        let mut rows: Vec<[&str; 3]> = Vec::new();
+        // Walmart block: cookies dominate, then two regional clusters.
+        rows.extend(std::iter::repeat(["Walmart", "cookies", "AK-1"]).take(5));
+        rows.extend(std::iter::repeat(["Walmart", "towels", "CA-1"]).take(4));
+        rows.extend(std::iter::repeat(["Walmart", "soap", "WA-5"]).take(3));
+        rows.push(["Walmart", "soap", "CA-1"]);
+        // Non-Walmart noise.
+        rows.extend(std::iter::repeat(["Target", "bicycles", "MA-3"]).take(6));
+        rows.extend(std::iter::repeat(["Costco", "comforters", "MA-3"]).take(2));
+        Table::from_rows(Schema::new(["Store", "Product", "Region"]).unwrap(), &rows).unwrap()
+    }
+
+    #[test]
+    fn rule_drill_down_returns_strict_super_rules() {
+        let table = t();
+        let base = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
+        let res = drill_down(&table.view(), &SizeWeight, &base, 3);
+        assert!(!res.rules.is_empty());
+        for s in &res.rules {
+            assert!(s.rule.is_strict_super_rule_of(&base), "{:?}", s.rule);
+        }
+    }
+
+    #[test]
+    fn rule_drill_down_counts_are_within_base() {
+        let table = t();
+        let base = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
+        let res = drill_down(&table.view(), &SizeWeight, &base, 3);
+        let base_count = table
+            .view()
+            .iter()
+            .filter(|wr| base.covers_row(&table, wr.row))
+            .count() as f64;
+        for s in &res.rules {
+            assert!(s.count <= base_count);
+        }
+        // The Walmart×cookies cluster must be found.
+        assert!(res
+            .rules
+            .iter()
+            .any(|s| s.rule.display(&table).contains("cookies")));
+    }
+
+    #[test]
+    fn star_drill_down_instantiates_the_clicked_column() {
+        let table = t();
+        let base = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
+        let region = table.schema().index_of("Region").unwrap();
+        let res = star_drill_down(&table.view(), &SizeWeight, &base, region, 3);
+        assert!(!res.rules.is_empty());
+        for s in &res.rules {
+            assert!(!s.rule.is_star(region), "{:?} leaves Region starred", s.rule);
+            assert!(s.rule.is_strict_super_rule_of(&base));
+        }
+        // CA-1 is Walmart's biggest region (5 rows).
+        assert!(res.rules.iter().any(|s| s.rule.display(&table).contains("CA-1")));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a ?")]
+    fn star_drill_down_on_instantiated_column_panics() {
+        let table = t();
+        let base = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
+        let store = table.schema().index_of("Store").unwrap();
+        let _ = star_drill_down(&table.view(), &SizeWeight, &base, store, 3);
+    }
+
+    #[test]
+    fn drill_down_on_trivial_rule_equals_plain_run() {
+        let table = t();
+        let trivial = Rule::trivial(3);
+        let a = drill_down(&table.view(), &SizeWeight, &trivial, 3);
+        let b = Brs::new(&SizeWeight).run(&table.view(), 3);
+        assert_eq!(a.rules_only(), b.rules_only());
+    }
+
+    #[test]
+    fn drill_down_on_rule_covering_nothing_returns_empty() {
+        let table = t();
+        // Build a rule that covers nothing: Target × cookies never co-occurs.
+        let base = Rule::from_pairs(&table, &[("Store", "Target"), ("Product", "cookies")]).unwrap();
+        let res = drill_down(&table.view(), &SizeWeight, &base, 3);
+        assert!(res.rules.is_empty());
+    }
+
+    #[test]
+    fn filter_to_rule_matches_coverage() {
+        let table = t();
+        let base = Rule::from_pairs(&table, &[("Region", "MA-3")]).unwrap();
+        let filtered = filter_to_rule(&table.view(), &base);
+        assert_eq!(filtered.len(), 8);
+    }
+}

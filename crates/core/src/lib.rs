@@ -1,0 +1,65 @@
+//! # sdd-core
+//!
+//! The smart drill-down operator — the primary contribution of *“Interactive
+//! Data Exploration with Smart Drill-Down”* (Joglekar, Garcia-Molina,
+//! Parameswaran — ICDE 2016) — implemented from scratch.
+//!
+//! ## The problem (paper §2)
+//!
+//! Given a table `T`, a monotone non-negative weighting function `W`, and a
+//! budget `k`, find the list `R` of `k` rules maximizing
+//!
+//! ```text
+//! Score(R) = Σ_{r ∈ R} W(r) · MCount(r, R)
+//! ```
+//!
+//! where a *rule* fixes some columns to values and wildcards (`?`) the rest,
+//! and `MCount(r, R)` counts tuples covered by `r` but by no earlier rule.
+//! The problem is NP-hard (Lemma 2 — see [`reduction`] for the executable
+//! reduction); `Score` is submodular (Lemma 3), so a greedy algorithm gives
+//! a `1 − 1/e` approximation.
+//!
+//! ## Modules
+//!
+//! * [`rule`] — the [`Rule`] pattern type and the sub-/super-rule lattice,
+//! * [`weight`] — the [`WeightFn`] trait and the paper's weighting functions,
+//! * [`score`] — `Count`/`MCount`/`Score` over rule lists and sets,
+//! * [`marginal`] — Algorithm 2: the a-priori-style best-marginal-rule search,
+//! * [`brs`] — Algorithm 1: the greedy BRS optimizer,
+//! * [`drilldown`] — rule and star drill-down (Problem 1 → 2/3 reductions),
+//! * [`session`] — the interactive exploration tree with paper-style rendering,
+//! * [`exact`] — brute-force oracle for tests and ablations,
+//! * [`mw_estimate`] — sampling-based estimation of the `mw` parameter (§6.1),
+//! * [`reduction`] — Lemma 2's MCP reduction, executable.
+
+#![warn(missing_docs)]
+
+pub mod brs;
+pub mod drilldown;
+pub mod exact;
+pub mod marginal;
+pub mod mw_estimate;
+pub mod reduction;
+pub mod rule;
+pub mod score;
+pub mod session;
+pub mod weight;
+
+pub use brs::{Brs, BrsResult, ScoredRule};
+pub use drilldown::{
+    drill_down, drill_down_with, filter_to_rule, star_drill_down, star_drill_down_with,
+    DrillDownKind,
+};
+pub use exact::{enumerate_support_rules, exact_best_rule_set, greedy_guarantee};
+pub use marginal::{find_best_marginal_rule, BestMarginal, SearchOptions, SearchStats};
+pub use mw_estimate::estimate_mw;
+pub use reduction::{McpInstance, McpWeight};
+pub use rule::{Rule, RuleValue, STAR};
+pub use score::{
+    rule_count, score_list, score_set, sort_by_weight_desc, top_assignment, ListScore, RuleScore,
+};
+pub use session::{Node, Session, SessionError};
+pub use weight::{
+    check_monotone_on, BitsWeight, ColumnWeight, RequireColumn, SizeMinusOne, SizeWeight,
+    TraditionalEmulation, WeightFn,
+};

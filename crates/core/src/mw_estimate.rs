@@ -1,0 +1,112 @@
+//! Estimating the `mw` parameter by sampling (paper §6.1).
+//!
+//! "We create a small random sample of tuples from the table, and run the
+//! BRS algorithm on it. Then the maximum weight `x` of the output on the
+//! sample is likely to equal the maximum weight of the actual output. To
+//! account for sampling error, we can set `mw` to `2x`."
+
+use crate::{Brs, WeightFn};
+use rand::seq::index::sample as index_sample;
+use rand::{rngs::StdRng, SeedableRng};
+use sdd_table::{TableView};
+
+/// Estimates a safe `mw` for expanding `view` with `weight` and `k` rules.
+///
+/// Runs BRS exactly (with `mw` = maximum possible weight) on a uniform
+/// sample of `sample_size` view entries and returns **twice** the maximum
+/// output weight. Falls back to the weight function's maximum possible
+/// weight when the sample yields no rules.
+pub fn estimate_mw(
+    view: &TableView<'_>,
+    weight: &dyn WeightFn,
+    k: usize,
+    sample_size: usize,
+    seed: u64,
+) -> f64 {
+    let table = view.table();
+    let fallback = weight.max_weight(table);
+    if view.is_empty() || sample_size == 0 {
+        return fallback;
+    }
+
+    let sample_view = if sample_size >= view.len() {
+        view.clone()
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let picks = index_sample(&mut rng, view.len(), sample_size);
+        let mut rows = Vec::with_capacity(sample_size);
+        let mut weights = Vec::with_capacity(sample_size);
+        for i in picks {
+            rows.push(view.row_at(i));
+            weights.push(view.weight_at(i));
+        }
+        TableView::with_rows_and_weights(table, rows, weights)
+    };
+
+    let result = Brs::new(weight).run(&sample_view, k);
+    let max_out = result.rules.iter().map(|s| s.weight).fold(0.0f64, f64::max);
+    if max_out <= 0.0 {
+        fallback
+    } else {
+        (2.0 * max_out).min(fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Brs, SizeWeight};
+    use sdd_table::{Schema, Table};
+
+    fn skewed_table() -> Table {
+        // Strong pairs so optimal rules have size 2 (weight 2 under Size).
+        let mut rows: Vec<[&str; 3]> = Vec::new();
+        rows.extend(std::iter::repeat(["a", "x", "p"]).take(50));
+        rows.extend(std::iter::repeat(["b", "y", "q"]).take(30));
+        rows.extend(std::iter::repeat(["c", "z", "r"]).take(20));
+        Table::from_rows(Schema::new(["A", "B", "C"]).unwrap(), &rows).unwrap()
+    }
+
+    #[test]
+    fn estimate_covers_the_true_max_weight() {
+        let table = skewed_table();
+        let view = table.view();
+        let exact = Brs::new(&SizeWeight).run(&view, 3);
+        let true_max = exact.rules.iter().map(|s| s.weight).fold(0.0f64, f64::max);
+        let est = estimate_mw(&view, &SizeWeight, 3, 40, 42);
+        assert!(
+            est >= true_max,
+            "estimate {est} below true max weight {true_max}"
+        );
+    }
+
+    #[test]
+    fn estimate_is_capped_by_max_possible_weight() {
+        let table = skewed_table();
+        let est = estimate_mw(&table.view(), &SizeWeight, 3, 40, 42);
+        assert!(est <= SizeWeight.max_weight(&table));
+    }
+
+    #[test]
+    fn empty_view_falls_back() {
+        let table = skewed_table();
+        let empty = table.view().filter(|_| false);
+        let est = estimate_mw(&empty, &SizeWeight, 3, 10, 1);
+        assert_eq!(est, 3.0);
+    }
+
+    #[test]
+    fn oversized_sample_uses_whole_view() {
+        let table = skewed_table();
+        let est = estimate_mw(&table.view(), &SizeWeight, 3, 10_000, 7);
+        assert!(est > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let table = skewed_table();
+        let a = estimate_mw(&table.view(), &SizeWeight, 3, 30, 5);
+        let b = estimate_mw(&table.view(), &SizeWeight, 3, 30, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,459 @@
+//! The interactive exploration session (paper §2.3 and §4's tree `U`).
+//!
+//! A [`Session`] maintains the tree of rules currently displayed to the
+//! analyst: the root is the trivial rule (paper Table 1); expanding a rule
+//! runs a rule drill-down and attaches the resulting rule-list as children
+//! (Tables 2–3); clicking a `?` runs a star drill-down; clicking an expanded
+//! rule again collapses it (the paper's roll-up analogue).
+//!
+//! [`Session::render`] prints the same dotted-indent layout as the paper's
+//! tables.
+
+use crate::{drill_down_with, star_drill_down_with, Brs, Rule, WeightFn};
+use sdd_table::{Table, TableView};
+use std::fmt;
+
+/// Errors from session navigation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The node path does not address an existing node.
+    InvalidPath(Vec<usize>),
+    /// Star drill-down on a column the rule already instantiates.
+    ColumnNotStarred(usize),
+    /// The named column does not exist.
+    UnknownColumn(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::InvalidPath(p) => write!(f, "no node at path {p:?}"),
+            SessionError::ColumnNotStarred(c) => {
+                write!(f, "column {c} is already instantiated in this rule")
+            }
+            SessionError::UnknownColumn(n) => write!(f, "unknown column {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One displayed rule in the session tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The rule this node displays.
+    pub rule: Rule,
+    /// Displayed (estimated) count of covered tuples.
+    pub count: f64,
+    /// `W(rule)` — the paper's Weight column.
+    pub weight: f64,
+    children: Vec<Node>,
+}
+
+impl Node {
+    /// Child nodes, in display order (descending weight).
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// True if this node has been expanded.
+    pub fn is_expanded(&self) -> bool {
+        !self.children.is_empty()
+    }
+}
+
+/// An interactive smart drill-down session over one table.
+///
+/// ```
+/// # use sdd_table::{Schema, Table};
+/// # use sdd_core::{Session, SizeWeight};
+/// let table = Table::from_rows(
+///     Schema::new(["A", "B"]).unwrap(),
+///     &[&["a", "x"], &["a", "x"], &["b", "y"]],
+/// ).unwrap();
+/// let mut session = Session::new(&table, Box::new(SizeWeight), 2);
+/// session.expand(&[]).unwrap();
+/// println!("{}", session.render());
+/// ```
+pub struct Session<'t> {
+    table: &'t Table,
+    view: TableView<'t>,
+    weight: Box<dyn WeightFn>,
+    k: usize,
+    max_weight: Option<f64>,
+    root: Node,
+}
+
+impl<'t> Session<'t> {
+    /// Starts a session showing the trivial rule, expanding `k` rules per
+    /// drill-down (the paper defaults to 3; its experiments use 4).
+    pub fn new(table: &'t Table, weight: Box<dyn WeightFn>, k: usize) -> Self {
+        Self::with_view(table, table.view(), weight, k)
+    }
+
+    /// Starts a session over a custom view — e.g. a measure-weighted view
+    /// for `Sum` aggregates (§6.3), or a scaled sample view (§4).
+    pub fn with_view(table: &'t Table, view: TableView<'t>, weight: Box<dyn WeightFn>, k: usize) -> Self {
+        let root = Node {
+            rule: Rule::trivial(table.n_columns()),
+            count: view.total_weight(),
+            weight: 0.0,
+            children: Vec::new(),
+        };
+        Self {
+            table,
+            view,
+            weight,
+            k,
+            max_weight: None,
+            root,
+        }
+    }
+
+    /// Sets the `mw` optimizer parameter for subsequent expansions.
+    pub fn set_max_weight(&mut self, mw: f64) {
+        self.max_weight = Some(mw);
+    }
+
+    /// Changes `k` for subsequent expansions.
+    pub fn set_k(&mut self, k: usize) {
+        self.k = k;
+    }
+
+    /// The root node (trivial rule).
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// The node at `path` (a sequence of child indices from the root).
+    pub fn node(&self, path: &[usize]) -> Result<&Node, SessionError> {
+        let mut cur = &self.root;
+        for &i in path {
+            cur = cur
+                .children
+                .get(i)
+                .ok_or_else(|| SessionError::InvalidPath(path.to_vec()))?;
+        }
+        Ok(cur)
+    }
+
+    fn node_mut(&mut self, path: &[usize]) -> Result<&mut Node, SessionError> {
+        let mut cur = &mut self.root;
+        for &i in path {
+            cur = cur
+                .children
+                .get_mut(i)
+                .ok_or_else(|| SessionError::InvalidPath(path.to_vec()))?;
+        }
+        Ok(cur)
+    }
+
+    fn brs(&self) -> Brs<'_> {
+        let mut b = Brs::new(&*self.weight);
+        if let Some(mw) = self.max_weight {
+            b = b.with_max_weight(mw);
+        }
+        b
+    }
+
+    /// Expands the rule at `path` (paper: clicking a rule). Replaces any
+    /// previous children. Returns the new children.
+    pub fn expand(&mut self, path: &[usize]) -> Result<&[Node], SessionError> {
+        let base = self.node(path)?.rule.clone();
+        let result = drill_down_with(&self.brs(), &self.view, &base, self.k);
+        let children: Vec<Node> = result
+            .rules
+            .into_iter()
+            .map(|s| Node {
+                rule: s.rule,
+                count: s.count,
+                weight: s.weight,
+                children: Vec::new(),
+            })
+            .collect();
+        let node = self.node_mut(path)?;
+        node.children = children;
+        Ok(&node.children)
+    }
+
+    /// Star drill-down: expands the rule at `path` requiring every child to
+    /// instantiate `column` (paper: clicking a `?`).
+    pub fn expand_star(&mut self, path: &[usize], column: usize) -> Result<&[Node], SessionError> {
+        let base = self.node(path)?.rule.clone();
+        if !base.is_star(column) {
+            return Err(SessionError::ColumnNotStarred(column));
+        }
+        let result = star_drill_down_with(&self.brs(), &self.view, &base, column, self.k);
+        let children: Vec<Node> = result
+            .rules
+            .into_iter()
+            .map(|s| Node {
+                rule: s.rule,
+                count: s.count,
+                weight: s.weight,
+                children: Vec::new(),
+            })
+            .collect();
+        let node = self.node_mut(path)?;
+        node.children = children;
+        Ok(&node.children)
+    }
+
+    /// Star drill-down by column name.
+    pub fn expand_star_by_name(&mut self, path: &[usize], column: &str) -> Result<&[Node], SessionError> {
+        let col = self
+            .table
+            .schema()
+            .index_of(column)
+            .map_err(|_| SessionError::UnknownColumn(column.to_owned()))?;
+        self.expand_star(path, col)
+    }
+
+    /// Collapses the node at `path` (paper: clicking an expanded rule —
+    /// "equivalent to a traditional roll up").
+    pub fn collapse(&mut self, path: &[usize]) -> Result<(), SessionError> {
+        self.node_mut(path)?.children.clear();
+        Ok(())
+    }
+
+    /// All visible nodes in display order with their depths.
+    pub fn visible(&self) -> Vec<(usize, &Node)> {
+        let mut out = Vec::new();
+        fn walk<'n>(node: &'n Node, depth: usize, out: &mut Vec<(usize, &'n Node)>) {
+            out.push((depth, node));
+            for ch in &node.children {
+                walk(ch, depth + 1, out);
+            }
+        }
+        walk(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Renders the session as the paper's dotted-indent table (cf. Tables
+    /// 1–3): one row per visible rule with `Count` and `Weight` columns.
+    pub fn render(&self) -> String {
+        let schema = self.table.schema();
+        let n_cols = self.table.n_columns();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+
+        let mut header: Vec<String> = (0..n_cols).map(|c| schema.column_name(c).to_owned()).collect();
+        header.push("Count".to_owned());
+        header.push("Weight".to_owned());
+        rows.push(header);
+
+        for (depth, node) in self.visible() {
+            let mut row: Vec<String> = Vec::with_capacity(n_cols + 2);
+            for c in 0..n_cols {
+                let cell = match node.rule.get(c) {
+                    crate::RuleValue::Star => "?".to_owned(),
+                    crate::RuleValue::Value(code) => self
+                        .table
+                        .dictionary(c)
+                        .value_of(code)
+                        .unwrap_or("<bad-code>")
+                        .to_owned(),
+                };
+                if c == 0 {
+                    row.push(format!("{}{}", ". ".repeat(depth), cell));
+                } else {
+                    row.push(cell);
+                }
+            }
+            row.push(format_count(node.count));
+            row.push(format_count(node.weight));
+            rows.push(row);
+        }
+
+        render_aligned(&rows)
+    }
+}
+
+fn format_count(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e15 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn render_aligned(rows: &[Vec<String>]) -> String {
+    let n = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; n];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                out.push(' ');
+            }
+        }
+        // Trim trailing padding spaces.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 3 * (n.saturating_sub(1));
+            out.extend(std::iter::repeat_n('-', total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SizeWeight;
+    use sdd_table::Schema;
+
+    /// Patterns are spread across regions so the best rules stay partial
+    /// (leaving room to drill deeper): 10 Walmart-cookies rows over 5
+    /// regions, 4 Walmart-towels rows over 4 regions, 6 Target-bicycles rows
+    /// over 6 regions, 2 Costco-comforters rows in one region.
+    fn t() -> Table {
+        let regions = ["R1", "R2", "R3", "R4", "R5", "R6"];
+        let mut rows: Vec<[&str; 3]> = Vec::new();
+        for i in 0..10 {
+            rows.push(["Walmart", "cookies", regions[i % 5]]);
+        }
+        for (i, region) in regions.iter().take(4).enumerate() {
+            let _ = i;
+            rows.push(["Walmart", "towels", region]);
+        }
+        for region in &regions {
+            rows.push(["Target", "bicycles", region]);
+        }
+        rows.push(["Costco", "comforters", "R1"]);
+        rows.push(["Costco", "comforters", "R1"]);
+        Table::from_rows(Schema::new(["Store", "Product", "Region"]).unwrap(), &rows).unwrap()
+    }
+
+    #[test]
+    fn new_session_shows_only_trivial_rule() {
+        let table = t();
+        let s = Session::new(&table, Box::new(SizeWeight), 3);
+        assert!(s.root().rule.is_trivial());
+        assert_eq!(s.root().count, 22.0);
+        assert_eq!(s.visible().len(), 1);
+    }
+
+    #[test]
+    fn expand_attaches_children_under_root() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let children = s.expand(&[]).unwrap();
+        assert!(!children.is_empty());
+        assert!(children.len() <= 3);
+        assert_eq!(s.visible().len(), 1 + s.root().children().len());
+    }
+
+    #[test]
+    fn nested_expansion_and_collapse() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        s.expand(&[]).unwrap();
+        let n_children = s.root().children().len();
+        s.expand(&[0]).unwrap();
+        assert!(s.node(&[0]).unwrap().is_expanded());
+        assert!(s.visible().len() > 1 + n_children);
+        s.collapse(&[0]).unwrap();
+        assert!(!s.node(&[0]).unwrap().is_expanded());
+        assert_eq!(s.visible().len(), 1 + n_children);
+    }
+
+    #[test]
+    fn children_are_super_rules_of_parent() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        s.expand(&[]).unwrap();
+        s.expand(&[0]).unwrap();
+        let parent = s.node(&[0]).unwrap().rule.clone();
+        for ch in s.node(&[0]).unwrap().children() {
+            assert!(ch.rule.is_strict_super_rule_of(&parent));
+        }
+    }
+
+    #[test]
+    fn expand_star_instantiates_column() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        s.expand(&[]).unwrap();
+        // Find a child with Region starred, expand its Region ?.
+        let region = table.schema().index_of("Region").unwrap();
+        let idx = s
+            .root()
+            .children()
+            .iter()
+            .position(|n| n.rule.is_star(region))
+            .expect("some child leaves Region starred");
+        s.expand_star(&[idx], region).unwrap();
+        for ch in s.node(&[idx]).unwrap().children() {
+            assert!(!ch.rule.is_star(region));
+        }
+    }
+
+    #[test]
+    fn expand_star_by_name_rejects_unknown_column() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        assert_eq!(
+            s.expand_star_by_name(&[], "Price").unwrap_err(),
+            SessionError::UnknownColumn("Price".to_owned())
+        );
+    }
+
+    #[test]
+    fn invalid_path_is_error() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        assert!(matches!(s.expand(&[5]), Err(SessionError::InvalidPath(_))));
+        assert!(matches!(s.node(&[0, 1]), Err(SessionError::InvalidPath(_))));
+    }
+
+    #[test]
+    fn render_contains_header_and_dotted_indent() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        s.expand(&[]).unwrap();
+        s.expand(&[0]).unwrap();
+        let r = s.render();
+        assert!(r.contains("Store"));
+        assert!(r.contains("Count"));
+        assert!(r.contains("Weight"));
+        assert!(r.lines().any(|l| l.starts_with(". ")), "{r}");
+        assert!(r.lines().any(|l| l.starts_with(". . ")), "{r}");
+    }
+
+    #[test]
+    fn counts_in_children_do_not_exceed_parent() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        s.expand(&[]).unwrap();
+        s.expand(&[0]).unwrap();
+        let parent_count = s.node(&[0]).unwrap().count;
+        for ch in s.node(&[0]).unwrap().children() {
+            assert!(ch.count <= parent_count + 1e-9);
+        }
+    }
+
+    #[test]
+    fn re_expanding_replaces_children() {
+        let table = t();
+        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        s.expand(&[]).unwrap();
+        let first: Vec<Rule> = s.root().children().iter().map(|n| n.rule.clone()).collect();
+        s.set_k(2);
+        s.expand(&[]).unwrap();
+        assert!(s.root().children().len() <= 2);
+        assert!(s.root().children().len() <= first.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! A small Zipf-distribution sampler.
+//!
+//! Real categorical data is heavy-tailed; the paper's pruning analysis
+//! (§3.5, "Runtime analysis") explicitly models candidate decay via the
+//! frequency `x` of the most common value. The synthetic datasets use this
+//! sampler to reproduce that skew.
+
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(rank = r) ∝ 1 / (r + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// `s = 0` is uniform; larger `s` concentrates mass on low ranks.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i,
+        }
+    }
+
+    /// The probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[r] - self.cumulative[r - 1]
+        }
+    }
+}
+
+/// Picks one label from `(label, weight)` pairs proportionally to weight.
+pub fn weighted_pick<'a, R: Rng + ?Sized>(rng: &mut R, choices: &[(&'a str, f64)]) -> &'a str {
+    debug_assert!(!choices.is_empty());
+    let total: f64 = choices.iter().map(|(_, w)| w).sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (label, w) in choices {
+        u -= w;
+        if u <= 0.0 {
+            return label;
+        }
+    }
+    choices.last().expect("non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(10, 1.5);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(5));
+        let total: f64 = (0..10).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_follow_the_distribution_roughly() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for r in 0..5 {
+            let expected = z.pmf(r) * n as f64;
+            let got = counts[r] as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt() + 10.0,
+                "rank {r}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut heads = 0;
+        for _ in 0..10_000 {
+            if weighted_pick(&mut rng, &[("h", 9.0), ("t", 1.0)]) == "h" {
+                heads += 1;
+            }
+        }
+        assert!(heads > 8_500 && heads < 9_500, "{heads}");
+    }
+}

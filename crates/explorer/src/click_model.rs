@@ -1,0 +1,153 @@
+//! A learned drill-down probability model (paper §4.1: the distribution
+//! over next drill-down targets "can be a uniform distribution, or a
+//! machine learned distribution using past user data").
+//!
+//! [`ClickModel`] keeps Laplace-smoothed per-column affinities from the
+//! analyst's past drill-downs: every time a rule is expanded, the columns
+//! it instantiates get credit. Candidate next targets are then scored by
+//! the product of their instantiated columns' affinities, normalized into
+//! the probability distribution the sample allocator consumes.
+
+use sdd_core::Rule;
+
+/// Laplace-smoothed per-column click statistics.
+#[derive(Debug, Clone)]
+pub struct ClickModel {
+    /// Per-column drill credit.
+    column_clicks: Vec<f64>,
+    /// Total recorded drill-downs.
+    total: f64,
+    /// Smoothing pseudo-count.
+    alpha: f64,
+}
+
+impl ClickModel {
+    /// A fresh model over `n_columns` columns with smoothing `alpha > 0`
+    /// (uniform until data arrives).
+    pub fn new(n_columns: usize, alpha: f64) -> Self {
+        assert!(alpha > 0.0, "smoothing must be positive");
+        Self {
+            column_clicks: vec![0.0; n_columns],
+            total: 0.0,
+            alpha,
+        }
+    }
+
+    /// Records that the analyst drilled into `rule`.
+    pub fn record(&mut self, rule: &Rule) {
+        for c in rule.instantiated_columns() {
+            self.column_clicks[c] += 1.0;
+        }
+        self.total += 1.0;
+    }
+
+    /// Number of recorded drill-downs.
+    pub fn observations(&self) -> usize {
+        self.total as usize
+    }
+
+    /// The smoothed affinity of column `c` in `[0, 1]`: how often the
+    /// analyst's drill targets instantiate it.
+    pub fn column_affinity(&self, c: usize) -> f64 {
+        (self.column_clicks[c] + self.alpha) / (self.total + 2.0 * self.alpha)
+    }
+
+    /// Relative preference score for one candidate rule: the product of its
+    /// instantiated columns' affinities (starred columns contribute the
+    /// complementary probability). Uniform when no data has been recorded.
+    pub fn score(&self, rule: &Rule) -> f64 {
+        (0..rule.n_columns())
+            .map(|c| {
+                let a = self.column_affinity(c);
+                if rule.is_star(c) {
+                    1.0 - a
+                } else {
+                    a
+                }
+            })
+            .product()
+    }
+
+    /// Normalizes candidate scores into the probability distribution over
+    /// next drill-downs that the §4.1 allocator takes. Returns an empty
+    /// vector for no candidates.
+    pub fn probabilities(&self, candidates: &[Rule]) -> Vec<f64> {
+        let scores: Vec<f64> = candidates.iter().map(|r| self.score(r)).collect();
+        let sum: f64 = scores.iter().sum();
+        if sum <= 0.0 {
+            let n = candidates.len().max(1) as f64;
+            return vec![1.0 / n; candidates.len()];
+        }
+        scores.into_iter().map(|s| s / sum).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(n: usize, cols: &[usize]) -> Rule {
+        let mut r = Rule::trivial(n);
+        for &c in cols {
+            r = r.with_value(c, 0);
+        }
+        r
+    }
+
+    #[test]
+    fn fresh_model_is_uniform() {
+        let m = ClickModel::new(3, 1.0);
+        let candidates = [rule(3, &[0]), rule(3, &[1]), rule(3, &[2])];
+        let p = m.probabilities(&candidates);
+        for &pi in &p {
+            assert!((pi - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn repeated_clicks_shift_mass_toward_the_column() {
+        let mut m = ClickModel::new(3, 1.0);
+        for _ in 0..10 {
+            m.record(&rule(3, &[0]));
+        }
+        let candidates = [rule(3, &[0]), rule(3, &[1])];
+        let p = m.probabilities(&candidates);
+        assert!(p[0] > 0.8, "column-0 affinity should dominate: {p:?}");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_column_rules_credit_every_column() {
+        let mut m = ClickModel::new(3, 1.0);
+        m.record(&rule(3, &[0, 2]));
+        assert!(m.column_affinity(0) > m.column_affinity(1));
+        assert!(m.column_affinity(2) > m.column_affinity(1));
+        assert_eq!(m.observations(), 1);
+    }
+
+    #[test]
+    fn affinities_stay_in_unit_interval() {
+        let mut m = ClickModel::new(2, 0.5);
+        for _ in 0..100 {
+            m.record(&rule(2, &[1]));
+        }
+        for c in 0..2 {
+            let a = m.column_affinity(c);
+            assert!((0.0..=1.0).contains(&a));
+        }
+        assert!(m.column_affinity(1) > 0.9);
+        assert!(m.column_affinity(0) < 0.1);
+    }
+
+    #[test]
+    fn probabilities_of_empty_candidates() {
+        let m = ClickModel::new(2, 1.0);
+        assert!(m.probabilities(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "smoothing")]
+    fn zero_alpha_rejected() {
+        let _ = ClickModel::new(2, 0.0);
+    }
+}

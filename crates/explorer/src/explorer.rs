@@ -1,0 +1,559 @@
+//! The [`Explorer`]: a sampled, prefetching, CI-annotated session.
+
+use sdd_core::{drill_down_with, star_drill_down_with, Brs, Rule, RuleValue, SessionError, WeightFn};
+use sdd_sampling::{
+    count_estimate, FetchMechanism, PrefetchEntry, SampleHandler, SampleHandlerConfig,
+};
+use sdd_table::Table;
+
+/// Configuration of an [`Explorer`].
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Rules per expansion (the paper's `k`, default 4).
+    pub k: usize,
+    /// The optimizer's `mw` parameter (`None` = maximum possible weight).
+    pub max_weight: Option<f64>,
+    /// Sampling layer settings (`M`, `minSS`, allocation strategy).
+    pub handler: SampleHandlerConfig,
+    /// Pre-fetch samples for the displayed rules after each expansion.
+    pub prefetch: bool,
+    /// Normal quantile for confidence intervals (1.96 → 95%).
+    pub confidence_z: f64,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            max_weight: None,
+            handler: SampleHandlerConfig::default(),
+            prefetch: true,
+            confidence_z: 1.96,
+        }
+    }
+}
+
+/// One rule on screen, with its (possibly estimated) aggregates.
+#[derive(Debug, Clone)]
+pub struct DisplayedRule {
+    /// The rule.
+    pub rule: Rule,
+    /// Count — exact if `exact`, otherwise a sample estimate.
+    pub count: f64,
+    /// Lower bound of the count's confidence interval.
+    pub ci_lo: f64,
+    /// Upper bound of the count's confidence interval.
+    pub ci_hi: f64,
+    /// True once the count is exact (full coverage sample or refresh pass).
+    pub exact: bool,
+    /// `W(rule)`.
+    pub weight: f64,
+    /// How the sample behind this rule's expansion was obtained.
+    pub source: FetchMechanism,
+}
+
+/// Cumulative interaction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplorerStats {
+    /// Expansions performed.
+    pub expansions: usize,
+    /// Expansions served without a fresh table scan (Find or Combine).
+    pub served_from_memory: usize,
+    /// Exact-count refresh passes run.
+    pub refreshes: usize,
+}
+
+struct Node {
+    info: DisplayedRule,
+    children: Vec<Node>,
+}
+
+/// An interactive, sample-backed smart drill-down session. See module docs.
+pub struct Explorer<'t> {
+    table: &'t Table,
+    weight: Box<dyn WeightFn>,
+    config: ExplorerConfig,
+    handler: SampleHandler<'t>,
+    click_model: crate::ClickModel,
+    root: Node,
+    /// Interaction counters.
+    pub stats: ExplorerStats,
+}
+
+impl<'t> Explorer<'t> {
+    /// Opens an explorer over `table`.
+    pub fn new(table: &'t Table, weight: Box<dyn WeightFn>, config: ExplorerConfig) -> Self {
+        let handler = SampleHandler::new(table, config.handler.clone());
+        let root = Node {
+            info: DisplayedRule {
+                rule: Rule::trivial(table.n_columns()),
+                count: table.n_rows() as f64,
+                ci_lo: table.n_rows() as f64,
+                ci_hi: table.n_rows() as f64,
+                exact: true,
+                weight: 0.0,
+                source: FetchMechanism::Find,
+            },
+            children: Vec::new(),
+        };
+        Self {
+            table,
+            weight,
+            config,
+            handler,
+            click_model: crate::ClickModel::new(table.n_columns(), 1.0),
+            root,
+            stats: ExplorerStats::default(),
+        }
+    }
+
+    /// The learned next-drill-down model (paper §4.1: uniform until the
+    /// analyst's history says otherwise).
+    pub fn click_model(&self) -> &crate::ClickModel {
+        &self.click_model
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'t Table {
+        self.table
+    }
+
+    /// The sampling layer's work counters.
+    pub fn handler_stats(&self) -> sdd_sampling::HandlerStats {
+        self.handler.stats
+    }
+
+    /// The rule displayed at `path`.
+    pub fn rule_at(&self, path: &[usize]) -> Result<&DisplayedRule, SessionError> {
+        Ok(&self.node(path)?.info)
+    }
+
+    /// Children of the node at `path` (empty if unexpanded).
+    pub fn children_at(&self, path: &[usize]) -> Result<Vec<&DisplayedRule>, SessionError> {
+        Ok(self.node(path)?.children.iter().map(|n| &n.info).collect())
+    }
+
+    fn node(&self, path: &[usize]) -> Result<&Node, SessionError> {
+        let mut cur = &self.root;
+        for &i in path {
+            cur = cur
+                .children
+                .get(i)
+                .ok_or_else(|| SessionError::InvalidPath(path.to_vec()))?;
+        }
+        Ok(cur)
+    }
+
+    fn node_mut(&mut self, path: &[usize]) -> Result<&mut Node, SessionError> {
+        let mut cur = &mut self.root;
+        for &i in path {
+            cur = cur
+                .children
+                .get_mut(i)
+                .ok_or_else(|| SessionError::InvalidPath(path.to_vec()))?;
+        }
+        Ok(cur)
+    }
+
+    /// Expands the rule at `path` (rule drill-down) from a sample.
+    pub fn expand(&mut self, path: &[usize]) -> Result<Vec<DisplayedRule>, SessionError> {
+        self.expand_inner(path, None)
+    }
+
+    /// Star drill-down on `column` of the rule at `path`.
+    pub fn expand_star(&mut self, path: &[usize], column: usize) -> Result<Vec<DisplayedRule>, SessionError> {
+        let base = self.node(path)?.info.rule.clone();
+        if !base.is_star(column) {
+            return Err(SessionError::ColumnNotStarred(column));
+        }
+        self.expand_inner(path, Some(column))
+    }
+
+    fn expand_inner(&mut self, path: &[usize], star: Option<usize>) -> Result<Vec<DisplayedRule>, SessionError> {
+        let base = self.node(path)?.info.rule.clone();
+        // Feed the learned click model (§4.1): drilling into a non-trivial
+        // rule reveals which columns the analyst cares about.
+        if !base.is_trivial() {
+            self.click_model.record(&base);
+        }
+        let sample = self.handler.get_sample(&base);
+        self.stats.expansions += 1;
+        if sample.mechanism != FetchMechanism::Create {
+            self.stats.served_from_memory += 1;
+        }
+
+        let mut brs = Brs::new(&*self.weight);
+        if let Some(mw) = self.config.max_weight {
+            brs = brs.with_max_weight(mw);
+        }
+        let result = match star {
+            None => drill_down_with(&brs, &sample.view, &base, self.config.k),
+            Some(col) => star_drill_down_with(&brs, &sample.view, &base, col, self.config.k),
+        };
+
+        let sample_size = sample.view.len();
+        let exact_sample = sample.scale <= 1.0 + 1e-9;
+        let children: Vec<Node> = result
+            .rules
+            .iter()
+            .map(|s| {
+                let covered = (s.count / sample.scale).round() as usize;
+                let est = count_estimate(
+                    covered.min(sample_size),
+                    sample_size,
+                    sample.scale.max(1.0),
+                    self.config.confidence_z,
+                );
+                Node {
+                    info: DisplayedRule {
+                        rule: s.rule.clone(),
+                        count: s.count,
+                        ci_lo: if exact_sample { s.count } else { est.lo },
+                        ci_hi: if exact_sample { s.count } else { est.hi },
+                        exact: exact_sample,
+                        weight: s.weight,
+                        source: sample.mechanism,
+                    },
+                    children: Vec::new(),
+                }
+            })
+            .collect();
+        let infos: Vec<DisplayedRule> = children.iter().map(|n| n.info.clone()).collect();
+
+        // Pre-fetch for the likely next drill-downs (§4.3): uniform click
+        // probability over the new rules, selectivities from the estimates.
+        if self.config.prefetch && !infos.is_empty() {
+            let base_count = self.node(path)?.info.count.max(1.0);
+            let rules: Vec<Rule> = infos.iter().map(|i| i.rule.clone()).collect();
+            let probs = self.click_model.probabilities(&rules);
+            let entries: Vec<PrefetchEntry> = infos
+                .iter()
+                .zip(probs)
+                .map(|(i, probability)| PrefetchEntry {
+                    rule: i.rule.clone(),
+                    probability,
+                    selectivity: (i.count / base_count).clamp(0.0, 1.0),
+                })
+                .collect();
+            self.handler.prefetch(&base, &entries);
+        }
+
+        self.node_mut(path)?.children = children;
+        Ok(infos)
+    }
+
+    /// Collapses (rolls up) the node at `path`.
+    pub fn collapse(&mut self, path: &[usize]) -> Result<(), SessionError> {
+        self.node_mut(path)?.children.clear();
+        Ok(())
+    }
+
+    /// Replaces every displayed estimate with its exact count in **one**
+    /// pass over the table (the paper's background refresh, §4.3).
+    pub fn refresh_exact_counts(&mut self) {
+        self.stats.refreshes += 1;
+        // Collect visible rules.
+        let mut rules: Vec<Rule> = Vec::new();
+        fn collect(node: &Node, out: &mut Vec<Rule>) {
+            out.push(node.info.rule.clone());
+            for ch in &node.children {
+                collect(ch, out);
+            }
+        }
+        collect(&self.root, &mut rules);
+
+        // One scan counting all of them.
+        let mut counts = vec![0.0f64; rules.len()];
+        let mut codes: Vec<u32> = Vec::with_capacity(self.table.n_columns());
+        for row in 0..self.table.n_rows() as u32 {
+            self.table.row_codes(row, &mut codes);
+            for (i, rule) in rules.iter().enumerate() {
+                if rule.covers_codes(&codes) {
+                    counts[i] += 1.0;
+                }
+            }
+        }
+
+        // Write back in the same traversal order.
+        fn write_back(node: &mut Node, counts: &[f64], idx: &mut usize) {
+            let c = counts[*idx];
+            *idx += 1;
+            node.info.count = c;
+            node.info.ci_lo = c;
+            node.info.ci_hi = c;
+            node.info.exact = true;
+            for ch in &mut node.children {
+                write_back(ch, counts, idx);
+            }
+        }
+        let mut idx = 0;
+        write_back(&mut self.root, &counts, &mut idx);
+    }
+
+    /// All visible rules with their depths, in display order.
+    pub fn visible(&self) -> Vec<(usize, &DisplayedRule)> {
+        let mut out = Vec::new();
+        fn walk<'n>(node: &'n Node, depth: usize, out: &mut Vec<(usize, &'n DisplayedRule)>) {
+            out.push((depth, &node.info));
+            for ch in &node.children {
+                walk(ch, depth + 1, out);
+            }
+        }
+        walk(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Renders the display: the paper's dotted-indent table with a
+    /// confidence-interval column.
+    pub fn render(&self) -> String {
+        let n_cols = self.table.n_columns();
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut header: Vec<String> = (0..n_cols)
+            .map(|c| self.table.schema().column_name(c).to_owned())
+            .collect();
+        header.extend(["Count".to_owned(), "95% CI".to_owned(), "Weight".to_owned()]);
+        rows.push(header);
+
+        for (depth, info) in self.visible() {
+            let mut row = Vec::with_capacity(n_cols + 3);
+            for c in 0..n_cols {
+                let cell = match info.rule.get(c) {
+                    RuleValue::Star => "?".to_owned(),
+                    RuleValue::Value(code) => self
+                        .table
+                        .dictionary(c)
+                        .value_of(code)
+                        .unwrap_or("<bad-code>")
+                        .to_owned(),
+                };
+                if c == 0 {
+                    row.push(format!("{}{}", ". ".repeat(depth), cell));
+                } else {
+                    row.push(cell);
+                }
+            }
+            row.push(format!("{:.0}", info.count));
+            row.push(if info.exact {
+                "exact".to_owned()
+            } else {
+                format!("[{:.0}, {:.0}]", info.ci_lo, info.ci_hi)
+            });
+            row.push(format!("{:.0}", info.weight));
+            rows.push(row);
+        }
+
+        render_aligned(&rows)
+    }
+}
+
+fn render_aligned(rows: &[Vec<String>]) -> String {
+    let n = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; n];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            out.push_str(&format!("{:<w$}", cell, w = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+        if ri == 0 {
+            out.extend(std::iter::repeat_n('-', widths.iter().sum::<usize>() + 3 * (n - 1)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_core::SizeWeight;
+    use sdd_datagen::retail;
+    use sdd_sampling::AllocationStrategy;
+
+    fn config(min_ss: usize) -> ExplorerConfig {
+        ExplorerConfig {
+            k: 3,
+            max_weight: Some(3.0),
+            handler: SampleHandlerConfig {
+                capacity: 30_000,
+                min_sample_size: min_ss,
+                seed: 7,
+                strategy: AllocationStrategy::Dp,
+            },
+            prefetch: true,
+            confidence_z: 1.96,
+        }
+    }
+
+    #[test]
+    fn expansion_shows_estimates_with_intervals() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(3000));
+        let shown = ex.expand(&[]).unwrap();
+        assert_eq!(shown.len(), 3);
+        for r in &shown {
+            assert!(r.ci_lo <= r.count && r.count <= r.ci_hi);
+            if !r.exact {
+                assert!(r.ci_hi > r.ci_lo, "non-exact estimate needs a real interval");
+            }
+        }
+        // The walkthrough patterns appear (estimates near planted counts).
+        let walmart = shown
+            .iter()
+            .find(|r| r.rule.display(&table) == "(Walmart, ?, ?)")
+            .expect("Walmart rule");
+        assert!((walmart.count - 1000.0).abs() < 200.0);
+    }
+
+    #[test]
+    fn intervals_cover_the_truth_most_of_the_time() {
+        let table = retail(42);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for seed in 0..8u64 {
+            let mut cfg = config(2000);
+            cfg.handler.seed = seed;
+            let mut ex = Explorer::new(&table, Box::new(SizeWeight), cfg);
+            for r in ex.expand(&[]).unwrap() {
+                let truth = sdd_core::rule_count(&table.view(), &r.rule);
+                total += 1;
+                if truth >= r.ci_lo - 1e-9 && truth <= r.ci_hi + 1e-9 {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(
+            hits as f64 / total as f64 >= 0.85,
+            "CI coverage too low: {hits}/{total}"
+        );
+    }
+
+    #[test]
+    fn prefetch_makes_second_expansion_memory_served() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(1000));
+        let shown = ex.expand(&[]).unwrap();
+        let walmart = shown
+            .iter()
+            .position(|r| r.rule.display(&table).contains("Walmart"))
+            .unwrap();
+        let creates_before = ex.handler_stats().creates;
+        let children = ex.expand(&[walmart]).unwrap();
+        // The expansion itself was served from memory (Find/Combine); the
+        // post-expansion prefetch pass may scan, but no Create was needed.
+        assert_eq!(
+            ex.handler_stats().creates,
+            creates_before,
+            "drill into a prefetched rule must not Create"
+        );
+        assert_eq!(ex.stats.served_from_memory, 1);
+        assert!(children
+            .iter()
+            .all(|c| c.source != FetchMechanism::Create));
+    }
+
+    #[test]
+    fn refresh_exact_counts_matches_ground_truth() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        ex.expand(&[]).unwrap();
+        ex.refresh_exact_counts();
+        for (_, info) in ex.visible().iter().skip(1) {
+            let truth = sdd_core::rule_count(&table.view(), &info.rule);
+            assert_eq!(info.count, truth);
+            assert!(info.exact);
+            assert_eq!(info.ci_lo, info.ci_hi);
+        }
+    }
+
+    #[test]
+    fn star_expansion_through_sampling() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        let shown = ex.expand(&[]).unwrap();
+        let walmart = shown
+            .iter()
+            .position(|r| r.rule.display(&table).contains("Walmart"))
+            .unwrap();
+        let region = table.schema().index_of("Region").unwrap();
+        let children = ex.expand_star(&[walmart], region).unwrap();
+        assert!(!children.is_empty());
+        for c in &children {
+            assert!(!c.rule.is_star(region));
+        }
+    }
+
+    #[test]
+    fn star_on_instantiated_column_is_error() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        let shown = ex.expand(&[]).unwrap();
+        let target = shown
+            .iter()
+            .position(|r| !r.rule.is_star(0))
+            .expect("some rule instantiates Store");
+        assert!(matches!(
+            ex.expand_star(&[target], 0),
+            Err(SessionError::ColumnNotStarred(0))
+        ));
+    }
+
+    #[test]
+    fn render_includes_ci_column_and_indentation() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        ex.expand(&[]).unwrap();
+        let r = ex.render();
+        assert!(r.contains("95% CI"), "{r}");
+        assert!(r.lines().any(|l| l.starts_with(". ")), "{r}");
+    }
+
+    #[test]
+    fn collapse_clears_children() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        ex.expand(&[]).unwrap();
+        assert!(ex.children_at(&[]).unwrap().len() > 0);
+        ex.collapse(&[]).unwrap();
+        assert!(ex.children_at(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn click_model_learns_from_drill_history() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(1000));
+        assert_eq!(ex.click_model().observations(), 0);
+        let shown = ex.expand(&[]).unwrap();
+        // Drill into the Walmart rule (instantiates Store).
+        let walmart = shown
+            .iter()
+            .position(|r| r.rule.display(&table).contains("Walmart"))
+            .unwrap();
+        ex.expand(&[walmart]).unwrap();
+        assert_eq!(ex.click_model().observations(), 1);
+        let store = table.schema().index_of("Store").unwrap();
+        let region = table.schema().index_of("Region").unwrap();
+        assert!(
+            ex.click_model().column_affinity(store) > ex.click_model().column_affinity(region),
+            "Store affinity should rise after drilling a Store rule"
+        );
+    }
+
+    #[test]
+    fn invalid_path_is_reported() {
+        let table = retail(42);
+        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        assert!(matches!(ex.expand(&[3]), Err(SessionError::InvalidPath(_))));
+    }
+}

@@ -1,0 +1,26 @@
+//! # sdd-explorer
+//!
+//! The interactive smart drill-down **explorer** — the architecture of the
+//! paper's prototype tool (§4.3, §5): a click-driven session whose
+//! expansions are served by the [`sdd_sampling::SampleHandler`] instead of
+//! full-table scans, with
+//!
+//! * **estimated counts with confidence intervals** ("since the sample is
+//!   uniformly random, we can also compute confidence intervals on the
+//!   estimated count of each displayed rule" — the paper computes but does
+//!   not display them; we display them),
+//! * **pre-fetching** after every expansion ("while the user is busy
+//!   reading the current rule-list ... we can start ... making a pass
+//!   through the table to create new samples"),
+//! * **exact-count refresh** ("while we are making the pass in the
+//!   background, we can find the exact counts for currently displayed
+//!   rules ... and update them when our pass is complete") — exposed as
+//!   [`Explorer::refresh_exact_counts`].
+
+#![warn(missing_docs)]
+
+mod click_model;
+mod explorer;
+
+pub use click_model::ClickModel;
+pub use explorer::{DisplayedRule, Explorer, ExplorerConfig, ExplorerStats};

@@ -1,0 +1,224 @@
+//! Convex-relaxation solver for the allocation problem (paper §4.2,
+//! Problem 6).
+//!
+//! Two relaxations make Problem 5 convex: the step objective becomes a
+//! hinge (`min(1, ess/minSS)`), and sample sizes become reals. The
+//! feasible set `{n ≥ 0, Σn ≤ M}` is a scaled simplex; we run projected
+//! subgradient **ascent** from `n = 0` (the paper's initialization) and
+//! round down at the end.
+//!
+//! The paper's caveat applies and is tested: the hinge rewards partial
+//! samples, so the rounded solution may leave leaves just *below* `minSS`
+//! and lose to the DP on the true step objective.
+
+use crate::alloc::{Allocation, AllocationProblem};
+
+/// Configuration for the projected subgradient ascent.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvexConfig {
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Base step size, scaled by `M` and diminished as `1/√t`.
+    pub step: f64,
+}
+
+impl Default for ConvexConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 500,
+            step: 0.5,
+        }
+    }
+}
+
+/// Solves the hinge relaxation (Problem 6) and rounds to integers.
+pub fn solve_convex(problem: &AllocationProblem) -> Allocation {
+    solve_convex_with(problem, ConvexConfig::default())
+}
+
+/// [`solve_convex`] with explicit optimizer settings.
+pub fn solve_convex_with(problem: &AllocationProblem, cfg: ConvexConfig) -> Allocation {
+    problem.validate().expect("invalid allocation problem");
+    let n = problem.parent.len();
+    let m = problem.capacity as f64;
+    let min_ss = problem.min_ss as f64;
+    let leaves = problem.leaves();
+
+    let mut x = vec![0.0f64; n];
+    let mut best_x = x.clone();
+    let mut best_val = problem.hinge_value(&x);
+
+    for t in 0..cfg.iterations {
+        // Subgradient of Σ p·min(1, ess/minSS).
+        let mut g = vec![0.0f64; n];
+        for &l in &leaves {
+            let ess = x[l]
+                + problem
+                    .parent[l]
+                    .map(|p| x[p] * problem.selectivity[l])
+                    .unwrap_or(0.0);
+            if ess < min_ss {
+                g[l] += problem.prob[l] / min_ss;
+                if let Some(p) = problem.parent[l] {
+                    g[p] += problem.prob[l] * problem.selectivity[l] / min_ss;
+                }
+            }
+        }
+        // Normalize the direction: raw hinge gradients are O(p/minSS) while
+        // sample sizes are O(minSS..M), so an unnormalized step would crawl.
+        let norm = g.iter().fold(0.0f64, |a, &b| a.max(b));
+        if norm <= 0.0 {
+            break; // every leaf saturated — optimum of the relaxation
+        }
+        let step = cfg.step * m.min(min_ss * leaves.len() as f64) / (1.0 + (t as f64).sqrt());
+        for i in 0..n {
+            x[i] += step * g[i] / norm;
+        }
+        project_capped_simplex(&mut x, m);
+
+        let v = problem.hinge_value(&x);
+        if v > best_val {
+            best_val = v;
+            best_x = x.clone();
+        }
+    }
+
+    let sizes: Vec<usize> = best_x.iter().map(|&v| v.max(0.0).floor() as usize).collect();
+    let value = problem.step_value(&sizes);
+    Allocation { sizes, value }
+}
+
+/// Euclidean projection onto `{x ≥ 0, Σx ≤ cap}`.
+///
+/// If clamping negatives already satisfies the budget, done; otherwise
+/// project onto the simplex `{x ≥ 0, Σx = cap}` with the standard
+/// sort-and-threshold algorithm.
+pub fn project_capped_simplex(x: &mut [f64], cap: f64) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    let sum: f64 = x.iter().sum();
+    if sum <= cap {
+        return;
+    }
+    // Simplex projection (Duchi et al.): find threshold θ.
+    let mut sorted: Vec<f64> = x.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let mut cum = 0.0f64;
+    let mut theta = 0.0f64;
+    for (i, &v) in sorted.iter().enumerate() {
+        cum += v;
+        let t = (cum - cap) / (i as f64 + 1.0);
+        if v - t > 0.0 {
+            theta = t;
+        } else {
+            break;
+        }
+    }
+    for v in x.iter_mut() {
+        *v = (*v - theta).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc_dp::solve_dp;
+
+    fn two_leaf(capacity: usize) -> AllocationProblem {
+        AllocationProblem {
+            parent: vec![None, Some(0), Some(0)],
+            prob: vec![0.0, 0.6, 0.4],
+            selectivity: vec![1.0, 0.5, 0.25],
+            capacity,
+            min_ss: 1000,
+        }
+    }
+
+    #[test]
+    fn projection_no_op_inside_feasible_set() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        project_capped_simplex(&mut x, 10.0);
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn projection_clamps_negatives() {
+        let mut x = vec![-5.0, 2.0];
+        project_capped_simplex(&mut x, 10.0);
+        assert_eq!(x, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn projection_lands_on_budget_when_over() {
+        let mut x = vec![8.0, 6.0, 4.0];
+        project_capped_simplex(&mut x, 9.0);
+        let sum: f64 = x.iter().sum();
+        assert!((sum - 9.0).abs() < 1e-9, "{x:?}");
+        assert!(x.iter().all(|&v| v >= 0.0));
+        // Order is preserved.
+        assert!(x[0] >= x[1] && x[1] >= x[2]);
+    }
+
+    #[test]
+    fn projection_extreme_overage() {
+        let mut x = vec![1000.0, 0.0];
+        project_capped_simplex(&mut x, 1.0);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert_eq!(x[1], 0.0);
+    }
+
+    #[test]
+    fn convex_respects_capacity() {
+        let p = two_leaf(2500);
+        let a = solve_convex(&p);
+        assert!(p.used(&a.sizes) <= p.capacity, "{a:?}");
+    }
+
+    #[test]
+    fn convex_near_dp_hinge_quality() {
+        let p = two_leaf(4000);
+        let dp = solve_dp(&p);
+        let cx = solve_convex(&p);
+        let dp_hinge = p.hinge_value(&dp.sizes.iter().map(|&s| s as f64).collect::<Vec<_>>());
+        let cx_hinge = p.hinge_value(&cx.sizes.iter().map(|&s| s as f64).collect::<Vec<_>>());
+        // The convex optimum of the relaxation is ≥ the DP point's hinge
+        // value; allow small slack for finite iterations + rounding.
+        assert!(
+            cx_hinge >= dp_hinge - 0.05,
+            "convex hinge {cx_hinge} far below dp hinge {dp_hinge}"
+        );
+    }
+
+    #[test]
+    fn convex_serves_everything_with_slack_budget() {
+        let p = two_leaf(20_000);
+        let a = solve_convex(&p);
+        assert!(a.value > 0.9, "{a:?}");
+    }
+
+    #[test]
+    fn hinge_weakness_documented_by_paper_can_occur() {
+        // Tight budget: hinge spreads mass, step objective may drop below
+        // DP. We only assert the DP is never worse — the paper's point.
+        for cap in [900, 1100, 1500, 2100] {
+            let p = two_leaf(cap);
+            let dp = solve_dp(&p);
+            let cx = solve_convex(&p);
+            assert!(
+                dp.value + 1e-9 >= cx.value,
+                "cap {cap}: dp {} < convex {}",
+                dp.value,
+                cx.value
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = two_leaf(2500);
+        assert_eq!(solve_convex(&p).sizes, solve_convex(&p).sizes);
+    }
+}

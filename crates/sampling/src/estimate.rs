@@ -1,0 +1,131 @@
+//! Count estimation from samples, with confidence intervals (paper §4.3:
+//! "since the sample is uniformly random, we can also compute confidence
+//! intervals on the estimated count of each displayed rule").
+
+/// A count estimate with a normal-approximation confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountEstimate {
+    /// Point estimate of the full-table count.
+    pub estimate: f64,
+    /// Lower bound of the interval (clamped at 0).
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+}
+
+/// Estimates a rule's full-population count from a uniform sample.
+///
+/// * `covered` — number of sample tuples the rule covers,
+/// * `sample_size` — total tuples in the sample,
+/// * `scale` — the sample's scale factor `N_s` (population/sample ratio),
+/// * `z` — normal quantile (1.96 for 95%).
+///
+/// Uses the binomial model `covered ~ Bin(sample_size, q)`:
+/// `Var(scale·covered) = scale²·n·q(1−q)`.
+pub fn count_estimate(covered: usize, sample_size: usize, scale: f64, z: f64) -> CountEstimate {
+    assert!(covered <= sample_size, "covered exceeds sample size");
+    assert!(scale >= 1.0 - 1e-9, "scale factor must be ≥ 1");
+    let estimate = covered as f64 * scale;
+    if sample_size == 0 {
+        return CountEstimate {
+            estimate: 0.0,
+            lo: 0.0,
+            hi: 0.0,
+        };
+    }
+    let n = sample_size as f64;
+    let q = covered as f64 / n;
+    let sd = scale * (n * q * (1.0 - q)).sqrt();
+    CountEstimate {
+        estimate,
+        lo: (estimate - z * sd).max(0.0),
+        hi: estimate + z * sd,
+    }
+}
+
+/// Relative error (percent) between an estimated and a true count — the
+/// metric of Figure 8(b).
+pub fn percent_error(estimated: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        if estimated == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * (estimated - actual).abs() / actual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_estimate_scales_up() {
+        let e = count_estimate(50, 1000, 10.0, 1.96);
+        assert_eq!(e.estimate, 500.0);
+        assert!(e.lo < 500.0 && e.hi > 500.0);
+    }
+
+    #[test]
+    fn interval_tightens_with_sample_size() {
+        let small = count_estimate(50, 1000, 10.0, 1.96);
+        let large = count_estimate(500, 10_000, 1.0, 1.96);
+        let small_rel = (small.hi - small.lo) / small.estimate;
+        let large_rel = (large.hi - large.lo) / large.estimate;
+        assert!(large_rel < small_rel);
+    }
+
+    #[test]
+    fn full_population_sample_has_zero_width_interval() {
+        let e = count_estimate(0, 1000, 1.0, 1.96);
+        assert_eq!(e.estimate, 0.0);
+        assert_eq!(e.lo, 0.0);
+        // q = 0 → sd = 0.
+        assert_eq!(e.hi, 0.0);
+    }
+
+    #[test]
+    fn lower_bound_clamped_at_zero() {
+        let e = count_estimate(1, 1000, 100.0, 1.96);
+        assert!(e.lo >= 0.0);
+    }
+
+    #[test]
+    fn empty_sample_is_degenerate_but_defined() {
+        let e = count_estimate(0, 0, 1.0, 1.96);
+        assert_eq!(e.estimate, 0.0);
+    }
+
+    #[test]
+    fn coverage_of_the_interval_is_roughly_nominal() {
+        // Simulate: population of 100k with q = 0.2; sample 2000; check the
+        // 95% CI contains the true count in ≥ ~90% of trials.
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        let population = 100_000usize;
+        let q = 0.2f64;
+        let truth = population as f64 * q;
+        let sample_size = 2000usize;
+        let scale = population as f64 / sample_size as f64;
+        let mut hits = 0;
+        let trials = 300;
+        for _ in 0..trials {
+            let covered = (0..sample_size).filter(|_| rng.gen::<f64>() < q).count();
+            let e = count_estimate(covered, sample_size, scale, 1.96);
+            if truth >= e.lo && truth <= e.hi {
+                hits += 1;
+            }
+        }
+        assert!(hits as f64 / trials as f64 > 0.9, "coverage {hits}/{trials}");
+    }
+
+    #[test]
+    fn percent_error_basics() {
+        assert_eq!(percent_error(110.0, 100.0), 10.0);
+        assert_eq!(percent_error(90.0, 100.0), 10.0);
+        assert_eq!(percent_error(0.0, 0.0), 0.0);
+        assert_eq!(percent_error(5.0, 0.0), 100.0);
+    }
+}

@@ -1,0 +1,561 @@
+//! The SampleHandler (paper §4.3): creates, maintains, retrieves, and
+//! evicts in-memory samples in response to drill-down requests.
+//!
+//! Given a rule `r` the handler returns a uniform sample of `T_r` with at
+//! least `minSS` tuples, via the cheapest applicable mechanism:
+//!
+//! 1. **Find** — an existing sample whose filter is exactly `r` and which is
+//!    large enough.
+//! 2. **Combine** — pool the `r`-covered tuples of every sample whose filter
+//!    is a *sub-rule* of `r`. Each pooled tuple carries the weight
+//!    `1 / Σ_s (1/N_s)` so estimates remain unbiased even when the sources
+//!    were drawn at different rates (each covered tuple appears in source
+//!    `s` with probability `1/N_s` independently).
+//! 3. **Create** — a full pass over the table (the expensive case the
+//!    allocator tries to avoid), using reservoir sampling.
+//!
+//! [`SampleHandler::prefetch`] implements §4.3's background pre-fetching:
+//! given the rules the analyst may drill into next and their probabilities,
+//! it solves the allocation problem (§4.1/§4.2) and materializes all
+//! planned samples in a single scan.
+
+use crate::alloc::{Allocation, AllocationProblem, AllocationStrategy, solve_uniform};
+use crate::alloc_convex::solve_convex;
+use crate::alloc_dp::solve_dp;
+use crate::reservoir::Reservoir;
+use rand::{rngs::StdRng, SeedableRng};
+use sdd_core::Rule;
+use sdd_table::{RowId, Table, TableView};
+
+/// Configuration of a [`SampleHandler`].
+#[derive(Debug, Clone)]
+pub struct SampleHandlerConfig {
+    /// Memory capacity `M`: total tuples across all stored samples.
+    pub capacity: usize,
+    /// `minSS`: minimum tuples required to run BRS without a disk pass.
+    pub min_sample_size: usize,
+    /// RNG seed (sampling is deterministic per seed).
+    pub seed: u64,
+    /// Which allocation solver [`SampleHandler::prefetch`] uses.
+    pub strategy: AllocationStrategy,
+}
+
+impl Default for SampleHandlerConfig {
+    /// The paper's experimental settings: `M = 50000`, `minSS = 5000`.
+    fn default() -> Self {
+        Self {
+            capacity: 50_000,
+            min_sample_size: 5_000,
+            seed: 0xD2_11,
+            strategy: AllocationStrategy::Dp,
+        }
+    }
+}
+
+/// How a requested sample was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchMechanism {
+    /// Served verbatim from a stored sample with the same filter.
+    Find,
+    /// Pooled from stored samples with sub-rule filters.
+    Combine,
+    /// Required a full table scan.
+    Create,
+}
+
+/// A sample returned to the caller, ready to feed into BRS.
+#[derive(Debug, Clone)]
+pub struct SampleView<'t> {
+    /// The tuples, weighted so that BRS counts are full-table estimates.
+    pub view: TableView<'t>,
+    /// Which mechanism produced it.
+    pub mechanism: FetchMechanism,
+    /// The effective scale factor (for confidence intervals).
+    pub scale: f64,
+}
+
+/// Work counters (exposed for the experiments of §5.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandlerStats {
+    /// Requests served by Find.
+    pub finds: usize,
+    /// Requests served by Combine.
+    pub combines: usize,
+    /// Requests served by Create.
+    pub creates: usize,
+    /// Full passes over the table (Create + prefetch scans).
+    pub full_scans: usize,
+    /// Samples evicted to respect the memory cap.
+    pub evictions: usize,
+}
+
+#[derive(Debug, Clone)]
+struct StoredSample {
+    filter: Rule,
+    rows: Vec<RowId>,
+    /// `N_s`: covered-population count / sample size.
+    scale: f64,
+    /// True when the sample holds *every* covered tuple (the rule covers
+    /// fewer tuples than the reservoir's capacity) — exact, no `minSS`
+    /// requirement applies.
+    exact: bool,
+    last_used: u64,
+}
+
+/// One next-drill-down candidate for [`SampleHandler::prefetch`].
+#[derive(Debug, Clone)]
+pub struct PrefetchEntry {
+    /// The rule the analyst may drill into.
+    pub rule: Rule,
+    /// Probability of that drill-down (uniform or learned, §4.1).
+    pub probability: f64,
+    /// `S(parent, rule)`: fraction of parent-covered tuples this rule
+    /// covers. Estimated from displayed counts.
+    pub selectivity: f64,
+}
+
+/// The sample manager. See module docs.
+pub struct SampleHandler<'t> {
+    table: &'t Table,
+    config: SampleHandlerConfig,
+    samples: Vec<StoredSample>,
+    clock: u64,
+    rng: StdRng,
+    /// Work counters.
+    pub stats: HandlerStats,
+}
+
+impl<'t> SampleHandler<'t> {
+    /// Creates a handler over `table`.
+    pub fn new(table: &'t Table, config: SampleHandlerConfig) -> Self {
+        assert!(config.min_sample_size > 0, "minSS must be positive");
+        assert!(
+            config.capacity >= config.min_sample_size,
+            "capacity must hold at least one minimum-size sample"
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            table,
+            config,
+            samples: Vec::new(),
+            clock: 0,
+            rng,
+            stats: HandlerStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SampleHandlerConfig {
+        &self.config
+    }
+
+    /// Total tuples currently stored.
+    pub fn memory_used(&self) -> usize {
+        self.samples.iter().map(|s| s.rows.len()).sum()
+    }
+
+    /// Number of stored samples.
+    pub fn n_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns a (weighted) sample of the tuples covered by `rule`, at least
+    /// `minSS` tuples when the data allows, trying Find → Combine → Create.
+    pub fn get_sample(&mut self, rule: &Rule) -> SampleView<'t> {
+        self.clock += 1;
+        let min_ss = self.config.min_sample_size;
+
+        // --- Find --- (an exact sample serves any request regardless of
+        // minSS: it already holds every covered tuple).
+        if let Some(idx) = self
+            .samples
+            .iter()
+            .position(|s| s.filter == *rule && (s.rows.len() >= min_ss || s.exact))
+        {
+            self.samples[idx].last_used = self.clock;
+            let s = &self.samples[idx];
+            self.stats.finds += 1;
+            let weights = vec![s.scale; s.rows.len()];
+            return SampleView {
+                view: TableView::with_rows_and_weights(self.table, s.rows.clone(), weights),
+                mechanism: FetchMechanism::Find,
+                scale: s.scale,
+            };
+        }
+
+        // --- Combine ---
+        if let Some(sv) = self.try_combine(rule) {
+            self.stats.combines += 1;
+            return sv;
+        }
+
+        // --- Create ---
+        self.stats.creates += 1;
+        let target = min_ss;
+        let stored = self.create_sample(rule, target);
+        let s = &self.samples[stored];
+        let weights = vec![s.scale; s.rows.len()];
+        SampleView {
+            view: TableView::with_rows_and_weights(self.table, s.rows.clone(), weights),
+            mechanism: FetchMechanism::Create,
+            scale: s.scale,
+        }
+    }
+
+    fn try_combine(&mut self, rule: &Rule) -> Option<SampleView<'t>> {
+        let min_ss = self.config.min_sample_size;
+        let mut rows: Vec<RowId> = Vec::new();
+        let mut rate_sum = 0.0f64; // Σ 1/N_s over contributing samples
+        let mut used: Vec<usize> = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            if !s.filter.is_sub_rule_of(rule) {
+                continue;
+            }
+            let before = rows.len();
+            rows.extend(
+                s.rows
+                    .iter()
+                    .copied()
+                    .filter(|&r| rule.covers_row(self.table, r)),
+            );
+            if rows.len() > before || s.filter == *rule {
+                rate_sum += 1.0 / s.scale;
+                used.push(i);
+            }
+        }
+        if rows.len() < min_ss || rate_sum <= 0.0 {
+            return None;
+        }
+        for &i in &used {
+            self.samples[i].last_used = self.clock;
+        }
+        let scale = 1.0 / rate_sum;
+        let weights = vec![scale; rows.len()];
+        Some(SampleView {
+            view: TableView::with_rows_and_weights(self.table, rows, weights),
+            mechanism: FetchMechanism::Combine,
+            scale,
+        })
+    }
+
+    /// Creates (and stores) a reservoir sample for `rule` with the given
+    /// target size, scanning the full table once. Returns the store index.
+    fn create_sample(&mut self, rule: &Rule, target: usize) -> usize {
+        self.stats.full_scans += 1;
+        let idx = self.scan_and_store(&[(rule.clone(), target)]);
+        idx[0]
+    }
+
+    /// One pass over the table filling a reservoir per requested rule —
+    /// §4.3's "in a Create phase ... in a single pass, it creates a sample
+    /// of size n_r for each displayed r".
+    fn scan_and_store(&mut self, requests: &[(Rule, usize)]) -> Vec<usize> {
+        let mut reservoirs: Vec<Reservoir<RowId>> =
+            requests.iter().map(|(_, n)| Reservoir::new(*n)).collect();
+        for row in 0..self.table.n_rows() as RowId {
+            for ((rule, _), res) in requests.iter().zip(&mut reservoirs) {
+                if rule.covers_row(self.table, row) {
+                    res.offer(row, &mut self.rng);
+                }
+            }
+        }
+        let mut indices = Vec::with_capacity(requests.len());
+        for ((rule, _), res) in requests.iter().zip(reservoirs) {
+            let scale = res.scale();
+            let (rows, seen) = res.into_parts();
+            let exact = seen as usize == rows.len();
+            // Replace any existing sample with the same filter.
+            self.samples.retain(|s| s.filter != *rule);
+            self.ensure_room(rows.len());
+            self.samples.push(StoredSample {
+                filter: rule.clone(),
+                rows,
+                scale,
+                exact,
+                last_used: self.clock,
+            });
+            indices.push(self.samples.len() - 1);
+        }
+        indices
+    }
+
+    /// Evicts least-recently-used samples until `incoming` more tuples fit.
+    fn ensure_room(&mut self, incoming: usize) {
+        while self.memory_used() + incoming > self.config.capacity && !self.samples.is_empty() {
+            let lru = self
+                .samples
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.samples.remove(lru);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Builds the §4.1 allocation problem for a parent rule and its likely
+    /// next drill-downs.
+    pub fn plan(&self, entries: &[PrefetchEntry]) -> AllocationProblem {
+        let n = 1 + entries.len();
+        let mut parent = vec![None];
+        let mut prob = vec![0.0];
+        let mut selectivity = vec![1.0];
+        parent.extend(std::iter::repeat_n(Some(0), entries.len()));
+        prob.extend(entries.iter().map(|e| e.probability));
+        selectivity.extend(entries.iter().map(|e| e.selectivity));
+        let _ = n;
+        AllocationProblem {
+            parent,
+            prob,
+            selectivity,
+            capacity: self.config.capacity,
+            min_ss: self.config.min_sample_size,
+        }
+    }
+
+    /// Solves an allocation problem with the configured strategy.
+    pub fn solve_allocation(&self, problem: &AllocationProblem) -> Allocation {
+        match self.config.strategy {
+            AllocationStrategy::Dp => solve_dp(problem),
+            AllocationStrategy::Convex => solve_convex(problem),
+            AllocationStrategy::Uniform => solve_uniform(problem),
+        }
+    }
+
+    /// Pre-fetches samples for the likely next drill-downs under `parent`
+    /// (paper §4.3, "Pre-fetching"): solves the allocation problem, then
+    /// materializes every planned sample in **one** scan.
+    ///
+    /// Returns the hit probability the allocator expects for the next
+    /// drill-down.
+    pub fn prefetch(&mut self, parent: &Rule, entries: &[PrefetchEntry]) -> f64 {
+        self.clock += 1;
+        let problem = self.plan(entries);
+        let alloc = self.solve_allocation(&problem);
+
+        let mut requests: Vec<(Rule, usize)> = Vec::new();
+        if alloc.sizes[0] > 0 {
+            requests.push((parent.clone(), alloc.sizes[0]));
+        }
+        for (e, &size) in entries.iter().zip(&alloc.sizes[1..]) {
+            if size > 0 {
+                requests.push((e.rule.clone(), size));
+            }
+        }
+        if !requests.is_empty() {
+            self.stats.full_scans += 1;
+            self.scan_and_store(&requests);
+        }
+        alloc.value
+    }
+
+    /// Drops every stored sample (used by experiments to reset state).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_core::rule_count;
+    use sdd_datagen::retail;
+
+    fn handler(table: &Table) -> SampleHandler<'_> {
+        SampleHandler::new(
+            table,
+            SampleHandlerConfig {
+                capacity: 5_000,
+                min_sample_size: 500,
+                seed: 7,
+                strategy: AllocationStrategy::Dp,
+            },
+        )
+    }
+
+    #[test]
+    fn first_request_creates_then_finds() {
+        let t = retail(1);
+        let mut h = handler(&t);
+        let trivial = Rule::trivial(3);
+        let a = h.get_sample(&trivial);
+        assert_eq!(a.mechanism, FetchMechanism::Create);
+        assert_eq!(a.view.len(), 500);
+        let b = h.get_sample(&trivial);
+        assert_eq!(b.mechanism, FetchMechanism::Find);
+        assert_eq!(h.stats.full_scans, 1);
+    }
+
+    #[test]
+    fn sample_counts_estimate_true_counts() {
+        let t = retail(1);
+        let mut h = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 20_000,
+                min_sample_size: 2_000,
+                seed: 3,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        let trivial = Rule::trivial(3);
+        let s = h.get_sample(&trivial);
+        // Estimated total = Σ weights ≈ 6000.
+        let est = s.view.total_weight();
+        assert!((est - 6000.0).abs() < 1.0, "total estimate {est}");
+        // Estimated Walmart count within 20% of 1000.
+        let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
+        let est_w: f64 = s
+            .view
+            .iter()
+            .filter(|wr| walmart.covers_row(&t, wr.row))
+            .map(|wr| wr.weight)
+            .sum();
+        let truth = rule_count(&t.view(), &walmart);
+        assert!(
+            (est_w - truth).abs() / truth < 0.2,
+            "estimate {est_w} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn combine_pools_sub_rule_samples() {
+        let t = retail(1);
+        let mut h = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 50_000,
+                min_sample_size: 200,
+                seed: 11,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        // Seed a big sample of the trivial rule directly in the store.
+        let trivial = Rule::trivial(3);
+        h.scan_and_store(&[(trivial.clone(), 4000)]);
+        // Now a Walmart request should combine from the trivial sample:
+        // 4000 of 6000 rows → ~666 Walmart rows ≥ minSS 200.
+        let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
+        let s = h.get_sample(&walmart);
+        assert_eq!(s.mechanism, FetchMechanism::Combine);
+        assert_eq!(h.stats.creates, 0); // no disk pass triggered by the request
+        // Unbiased: estimated Walmart count ≈ 1000.
+        let est = s.view.total_weight();
+        assert!((est - 1000.0).abs() < 200.0, "estimate {est}");
+    }
+
+    #[test]
+    fn combine_falls_back_to_create_when_starved() {
+        let t = retail(1);
+        let mut h = handler(&t); // minSS 500
+        // Seed a small trivial sample (600): Walmart-covered portion ≈ 100
+        // < minSS → must Create.
+        h.scan_and_store(&[(Rule::trivial(3), 600)]);
+        let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
+        let s = h.get_sample(&walmart);
+        assert_eq!(s.mechanism, FetchMechanism::Create);
+        assert_eq!(s.view.len(), 500);
+    }
+
+    #[test]
+    fn create_on_rare_rule_returns_all_covered_tuples() {
+        let t = retail(1);
+        let mut h = handler(&t);
+        // (Walmart, cookies) covers only 200 < minSS 500: Create returns all
+        // of them at scale 1.
+        let r = Rule::from_pairs(&t, &[("Store", "Walmart"), ("Product", "cookies")]).unwrap();
+        let s = h.get_sample(&r);
+        assert_eq!(s.mechanism, FetchMechanism::Create);
+        assert_eq!(s.view.len(), 200);
+        assert!((s.scale - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_is_respected_with_eviction() {
+        let t = retail(1);
+        let mut h = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 1_200,
+                min_sample_size: 500,
+                seed: 5,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        let rules = [
+            Rule::trivial(3),
+            Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap(),
+            Rule::from_pairs(&t, &[("Region", "MA-3")]).unwrap(),
+        ];
+        for r in &rules {
+            let _ = h.get_sample(r);
+        }
+        assert!(h.memory_used() <= 1_200);
+        assert!(h.stats.evictions > 0);
+    }
+
+    #[test]
+    fn prefetch_enables_later_find_or_combine() {
+        let t = retail(1);
+        let mut h = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 20_000,
+                min_sample_size: 500,
+                seed: 13,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
+        let target = Rule::from_pairs(&t, &[("Store", "Target")]).unwrap();
+        let hit = h.prefetch(
+            &Rule::trivial(3),
+            &[
+                PrefetchEntry {
+                    rule: walmart.clone(),
+                    probability: 0.5,
+                    selectivity: 1000.0 / 6000.0,
+                },
+                PrefetchEntry {
+                    rule: target.clone(),
+                    probability: 0.5,
+                    selectivity: 200.0 / 6000.0,
+                },
+            ],
+        );
+        assert!(hit > 0.99, "allocator should serve both: {hit}");
+        let scans_after_prefetch = h.stats.full_scans;
+        let s1 = h.get_sample(&walmart);
+        let s2 = h.get_sample(&target);
+        assert_ne!(s1.mechanism, FetchMechanism::Create);
+        assert_ne!(s2.mechanism, FetchMechanism::Create);
+        assert_eq!(h.stats.full_scans, scans_after_prefetch);
+    }
+
+    #[test]
+    fn clear_resets_store() {
+        let t = retail(1);
+        let mut h = handler(&t);
+        let _ = h.get_sample(&Rule::trivial(3));
+        assert!(h.n_samples() > 0);
+        h.clear();
+        assert_eq!(h.n_samples(), 0);
+        assert_eq!(h.memory_used(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must hold")]
+    fn capacity_below_minss_rejected() {
+        let t = retail(1);
+        let _ = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 100,
+                min_sample_size: 500,
+                seed: 1,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+    }
+}

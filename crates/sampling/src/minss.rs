@@ -1,0 +1,83 @@
+//! Guidance for setting `minSS` (paper §4.2, "Setting minSS").
+//!
+//! For a rule covering an `x` fraction of tuples, a good count estimate
+//! needs `minSS ≫ ρ(1−x)/x`. For the Size weighting the paper lower-bounds
+//! the top rule's fraction: the column `c` with the fewest distinct values
+//! has some value occurring `≥ |T|/|c|` times, and the highest-scoring rule
+//! has weight ≤ |C|, so its count is ≥ `|T|/(|C|·|c|)` — giving the rule of
+//! thumb `minSS ≫ ρ·|C|·|c|`.
+
+use sdd_table::{stats, Table};
+
+/// The paper's `ρ(1−x)/x` bound: sample size needed to estimate the count
+/// of a rule covering fraction `x`, with accuracy knob `ρ`.
+///
+/// # Panics
+/// If `x` is not in `(0, 1]` or `rho` is non-positive.
+pub fn min_ss_for_fraction(x: f64, rho: f64) -> usize {
+    assert!(x > 0.0 && x <= 1.0, "fraction must be in (0,1]");
+    assert!(rho > 0.0, "rho must be positive");
+    (rho * (1.0 - x) / x).ceil() as usize
+}
+
+/// The Size-weighting rule of thumb: `ρ · |C| · |c_min|`, where `c_min` is
+/// the column with the fewest distinct values.
+///
+/// Returns at least `rho.ceil()` for degenerate tables.
+pub fn recommended_min_ss(table: &Table, rho: f64) -> usize {
+    assert!(rho > 0.0, "rho must be positive");
+    match stats::min_cardinality_column(table) {
+        Some((_, card)) if card > 0 => {
+            let bound = rho * table.n_columns() as f64 * card as f64;
+            bound.ceil() as usize
+        }
+        _ => rho.ceil() as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_table::Schema;
+
+    #[test]
+    fn fraction_bound_matches_formula() {
+        // x = 0.1, ρ = 10 → 10·0.9/0.1 = 90.
+        assert_eq!(min_ss_for_fraction(0.1, 10.0), 90);
+        // Full-coverage rules need nothing.
+        assert_eq!(min_ss_for_fraction(1.0, 10.0), 0);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Paper: an Education-like column with 5 values in a 10-column table
+        // → minSS ≫ |C|·|c| = 50 (illustrated with ρ = 1).
+        let rows: Vec<Vec<String>> = (0..100)
+            .map(|i| {
+                let mut row = vec![format!("edu{}", i % 5)];
+                // Other 9 columns each carry 7 distinct values.
+                row.extend((1..10).map(|c| format!("c{}v{}", c, (i + c) % 7)));
+                row
+            })
+            .collect();
+        let t = Table::from_rows(
+            Schema::new((0..10).map(|i| format!("col{i}"))).unwrap(),
+            &rows,
+        )
+        .unwrap();
+        // min cardinality = 5 (col0), |C| = 10.
+        assert_eq!(recommended_min_ss(&t, 1.0), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn zero_fraction_panics() {
+        let _ = min_ss_for_fraction(0.0, 1.0);
+    }
+
+    #[test]
+    fn empty_table_gets_floor() {
+        let t = Table::from_rows(Schema::new(["a"]).unwrap(), &[] as &[&[&str]]).unwrap();
+        assert_eq!(recommended_min_ss(&t, 3.0), 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Reservoir sampling (Vitter's Algorithm R; paper §4.3 cites refs 26 and 35).
+//!
+//! "We can use reservoir sampling to get a uniformly random sample of given
+//! size in a single pass through the table."
+
+use rand::Rng;
+
+/// A fixed-capacity uniform reservoir over a stream of items.
+///
+/// After observing `n ≥ capacity` items, the reservoir holds a uniformly
+/// random `capacity`-subset of them.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates an empty reservoir of the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers one item from the stream.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else if self.capacity > 0 {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Number of stream items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The sampled items (length ≤ capacity).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the reservoir, returning `(items, seen)`.
+    pub fn into_parts(self) -> (Vec<T>, u64) {
+        (self.items, self.seen)
+    }
+
+    /// The scale factor `N_s = seen / |items|` translating sample counts to
+    /// stream-level estimates (`1.0` when the whole stream fit).
+    pub fn scale(&self) -> f64 {
+        if self.items.is_empty() {
+            1.0
+        } else {
+            self.seen as f64 / self.items.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn keeps_everything_when_under_capacity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = Reservoir::new(10);
+        for i in 0..5 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.items(), &[0, 1, 2, 3, 4]);
+        assert_eq!(r.seen(), 5);
+        assert_eq!(r.scale(), 1.0);
+    }
+
+    #[test]
+    fn holds_exactly_capacity_after_overflow() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = Reservoir::new(8);
+        for i in 0..1000 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.items().len(), 8);
+        assert_eq!(r.seen(), 1000);
+        assert!((r.scale() - 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Each of 100 items should land in a 10-slot reservoir ~10% of runs.
+        let mut hits = vec![0u32; 100];
+        for seed in 0..2000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Reservoir::new(10);
+            for i in 0..100 {
+                r.offer(i, &mut rng);
+            }
+            for &i in r.items() {
+                hits[i as usize] += 1;
+            }
+        }
+        // Expected 200 hits each; allow generous tolerance.
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((120..=280).contains(&h), "item {i} selected {h} times");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_reservoir_is_legal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r = Reservoir::new(0);
+        for i in 0..10 {
+            r.offer(i, &mut rng);
+        }
+        assert!(r.items().is_empty());
+        assert_eq!(r.seen(), 10);
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut r = Reservoir::new(3);
+        for i in 0..3 {
+            r.offer(i, &mut rng);
+        }
+        let (items, seen) = r.into_parts();
+        assert_eq!(items.len(), 3);
+        assert_eq!(seen, 3);
+    }
+}

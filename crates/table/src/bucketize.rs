@@ -1,0 +1,350 @@
+//! Bucketization of numeric attributes (paper §3 and §6.2).
+//!
+//! The smart drill-down framework assumes every column is categorical, so
+//! numeric columns are turned into labelled buckets before ingest — exactly
+//! what the paper's Marketing/Census datasets did ("age ... divided into
+//! buckets (18−24, 25−34 and so on)"). Two strategies are provided:
+//!
+//! * [`equal_width`] — fixed-width intervals over `[min, max]`,
+//! * [`equal_depth`] — quantile buckets holding ~equal row counts, which is
+//!   the better default for skewed measures.
+
+use crate::TableError;
+
+/// A half-open numeric interval `[lo, hi)` (last bucket is closed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bucket).
+    pub hi: f64,
+}
+
+impl Bucket {
+    /// Human-readable label, e.g. `"[18, 25)"`.
+    pub fn label(&self) -> String {
+        format!("[{}, {})", trim(self.lo), trim(self.hi))
+    }
+}
+
+fn trim(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}").trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+/// The result of bucketizing a numeric column.
+#[derive(Debug, Clone)]
+pub struct Bucketized {
+    /// Bucket edges in ascending order.
+    pub buckets: Vec<Bucket>,
+    /// Per-row bucket index into `buckets`.
+    pub assignment: Vec<usize>,
+    /// Per-row label (what you feed into [`crate::TableBuilder::push_row`]).
+    pub labels: Vec<String>,
+}
+
+/// Bucketizes into `n` equal-width intervals spanning `[min, max]`.
+///
+/// Errors if `values` is empty, `n == 0`, or any value is non-finite.
+pub fn equal_width(values: &[f64], n: usize) -> Result<Bucketized, TableError> {
+    validate(values, n)?;
+    let (min, max) = min_max(values);
+    let width = if max > min { (max - min) / n as f64 } else { 1.0 };
+    let buckets: Vec<Bucket> = (0..n)
+        .map(|i| Bucket {
+            lo: min + width * i as f64,
+            hi: if i + 1 == n { max.max(min + 1.0) } else { min + width * (i + 1) as f64 },
+        })
+        .collect();
+    let assignment: Vec<usize> = values
+        .iter()
+        .map(|&v| {
+            let idx = ((v - min) / width) as usize;
+            idx.min(n - 1)
+        })
+        .collect();
+    Ok(finish(buckets, assignment))
+}
+
+/// Bucketizes into `n` quantile (equal-depth) buckets.
+///
+/// Bucket edges are value cut-points; ties never straddle buckets (all equal
+/// values land in the same bucket), so the result may contain fewer than `n`
+/// distinct buckets for heavily tied data.
+pub fn equal_depth(values: &[f64], n: usize) -> Result<Bucketized, TableError> {
+    validate(values, n)?;
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+
+    // Candidate cut-points at the n-quantiles, deduplicated.
+    let mut edges: Vec<f64> = Vec::with_capacity(n + 1);
+    edges.push(sorted[0]);
+    for q in 1..n {
+        let idx = (q * sorted.len()) / n;
+        let v = sorted[idx.min(sorted.len() - 1)];
+        if v > *edges.last().expect("non-empty") {
+            edges.push(v);
+        }
+    }
+    let last = sorted[sorted.len() - 1];
+    // Final (exclusive) upper edge just past the max so max lands inside.
+    let hi_edge = if last > *edges.last().expect("non-empty") { last } else { *edges.last().expect("non-empty") };
+    edges.push(hi_edge + 1.0);
+
+    let buckets: Vec<Bucket> = edges.windows(2).map(|w| Bucket { lo: w[0], hi: w[1] }).collect();
+    let assignment: Vec<usize> = values
+        .iter()
+        .map(|&v| {
+            // Last bucket whose lo <= v.
+            match edges[..edges.len() - 1].binary_search_by(|e| e.partial_cmp(&v).expect("finite")) {
+                Ok(mut i) => {
+                    // For runs of equal edges pick the first matching bucket.
+                    while i > 0 && edges[i - 1] == v {
+                        i -= 1;
+                    }
+                    i
+                }
+                Err(i) => i.saturating_sub(1),
+            }
+        })
+        .collect();
+    Ok(finish(buckets, assignment))
+}
+
+/// A nested bucketization of one numeric column: level 0 is coarsest, each
+/// finer level splits every bucket of the previous level into `branching`
+/// equal-depth sub-buckets. Feeding the per-level label columns into a
+/// table (e.g. `Age.L0`, `Age.L1`) gives the optimizer **range rules**
+/// (§2.1/§6.2 of the paper): instantiating only `Age.L0` is a wide range,
+/// `Age.L1` a narrow one. Levels are functionally dependent (a fine bucket
+/// determines its coarse bucket), so weight only the finest level you care
+/// about — or use per-column weights ∝ log(branching) per level.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Per level: per-row bucket index (global within the level).
+    pub assignments: Vec<Vec<usize>>,
+    /// Per level: per-row range label.
+    pub labels: Vec<Vec<String>>,
+    /// Per level: the bucket ranges, indexed by bucket id.
+    pub buckets: Vec<Vec<Bucket>>,
+}
+
+impl Hierarchy {
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+/// Builds a `depth`-level nested bucketization with the given branching
+/// factor (so level ℓ has at most `branching^(ℓ+1)` buckets). Nesting is
+/// guaranteed by construction: sub-buckets are equal-depth splits *within*
+/// each parent bucket.
+pub fn hierarchy(values: &[f64], branching: usize, depth: usize) -> Result<Hierarchy, TableError> {
+    validate(values, branching)?;
+    if depth == 0 {
+        return Err(TableError::ParseNumber("0 hierarchy levels requested".to_owned()));
+    }
+    let n = values.len();
+    let mut out = Hierarchy {
+        assignments: Vec::with_capacity(depth),
+        labels: Vec::with_capacity(depth),
+        buckets: Vec::with_capacity(depth),
+    };
+    // Row groups of the previous level (level -1 = everything).
+    let mut groups: Vec<Vec<usize>> = vec![(0..n).collect()];
+
+    for _level in 0..depth {
+        let mut assignment = vec![0usize; n];
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut next_groups: Vec<Vec<usize>> = Vec::new();
+        for group in &groups {
+            let group_values: Vec<f64> = group.iter().map(|&i| values[i]).collect();
+            let b = equal_depth(&group_values, branching)?;
+            let base = buckets.len();
+            buckets.extend(b.buckets.iter().copied());
+            let mut sub: Vec<Vec<usize>> = vec![Vec::new(); b.buckets.len()];
+            for (pos, &row) in group.iter().enumerate() {
+                let local = b.assignment[pos];
+                assignment[row] = base + local;
+                sub[local].push(row);
+            }
+            next_groups.extend(sub.into_iter().filter(|g| !g.is_empty()));
+        }
+        let labels = assignment.iter().map(|&a| buckets[a].label()).collect();
+        out.assignments.push(assignment);
+        out.labels.push(labels);
+        out.buckets.push(buckets);
+        groups = next_groups;
+    }
+    Ok(out)
+}
+
+fn validate(values: &[f64], n: usize) -> Result<(), TableError> {
+    if values.is_empty() {
+        return Err(TableError::Empty);
+    }
+    if n == 0 {
+        return Err(TableError::ParseNumber("0 buckets requested".to_owned()));
+    }
+    if let Some(bad) = values.iter().find(|v| !v.is_finite()) {
+        return Err(TableError::ParseNumber(format!("{bad}")));
+    }
+    Ok(())
+}
+
+fn min_max(values: &[f64]) -> (f64, f64) {
+    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+fn finish(buckets: Vec<Bucket>, assignment: Vec<usize>) -> Bucketized {
+    let labels = assignment.iter().map(|&i| buckets[i].label()).collect();
+    Bucketized {
+        buckets,
+        assignment,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_width_splits_range() {
+        let vals = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let b = equal_width(&vals, 2).unwrap();
+        assert_eq!(b.buckets.len(), 2);
+        assert_eq!(b.assignment[..5], [0, 0, 0, 0, 0]);
+        assert_eq!(b.assignment[5..], [1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn equal_width_max_value_lands_in_last_bucket() {
+        let vals = [0.0, 10.0];
+        let b = equal_width(&vals, 4).unwrap();
+        assert_eq!(b.assignment, vec![0, 3]);
+    }
+
+    #[test]
+    fn equal_width_constant_column() {
+        let vals = [5.0; 8];
+        let b = equal_width(&vals, 3).unwrap();
+        assert!(b.assignment.iter().all(|&i| i == 0));
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let vals = [18.0, 24.0, 65.0];
+        let b = equal_width(&vals, 2).unwrap();
+        assert!(b.labels[0].starts_with("[18"));
+    }
+
+    #[test]
+    fn equal_depth_balances_counts() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = equal_depth(&vals, 4).unwrap();
+        let mut counts = vec![0usize; b.buckets.len()];
+        for &a in &b.assignment {
+            counts[a] += 1;
+        }
+        assert_eq!(counts, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn equal_depth_skewed_data_keeps_ties_together() {
+        // 90 copies of 1.0 and ten larger values: all the 1.0s must share one bucket.
+        let mut vals = vec![1.0f64; 90];
+        vals.extend((0..10).map(|i| 10.0 + i as f64));
+        let b = equal_depth(&vals, 4).unwrap();
+        let first = b.assignment[0];
+        assert!(b.assignment[..90].iter().all(|&a| a == first));
+    }
+
+    #[test]
+    fn equal_depth_assignment_respects_edges() {
+        let vals = [3.0, 1.0, 2.0, 4.0, 5.0, 6.0];
+        let b = equal_depth(&vals, 3).unwrap();
+        for (&v, &a) in vals.iter().zip(&b.assignment) {
+            let bucket = b.buckets[a];
+            assert!(v >= bucket.lo && v < bucket.hi, "{v} not in {bucket:?}");
+        }
+    }
+
+    #[test]
+    fn hierarchy_levels_nest() {
+        let vals: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let h = hierarchy(&vals, 4, 3).unwrap();
+        assert_eq!(h.depth(), 3);
+        // Rows in the same fine bucket share all coarser buckets.
+        for level in 1..3 {
+            for i in 0..64 {
+                for j in 0..64 {
+                    if h.assignments[level][i] == h.assignments[level][j] {
+                        assert_eq!(
+                            h.assignments[level - 1][i],
+                            h.assignments[level - 1][j],
+                            "rows {i},{j} share a level-{level} bucket but not its parent"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_level_sizes_grow_with_branching() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = hierarchy(&vals, 2, 3).unwrap();
+        assert_eq!(h.buckets[0].len(), 2);
+        assert_eq!(h.buckets[1].len(), 4);
+        assert_eq!(h.buckets[2].len(), 8);
+    }
+
+    #[test]
+    fn hierarchy_values_stay_in_their_ranges() {
+        let vals = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0, 6.0, 0.0];
+        let h = hierarchy(&vals, 2, 2).unwrap();
+        for level in 0..2 {
+            for (i, &v) in vals.iter().enumerate() {
+                let b = h.buckets[level][h.assignments[level][i]];
+                assert!(v >= b.lo && v < b.hi, "level {level}: {v} not in {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_handles_ties() {
+        let vals = [1.0; 10];
+        let h = hierarchy(&vals, 3, 2).unwrap();
+        let first = h.assignments[1][0];
+        assert!(h.assignments[1].iter().all(|&a| a == first));
+    }
+
+    #[test]
+    fn hierarchy_rejects_zero_depth() {
+        assert!(hierarchy(&[1.0], 2, 0).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(equal_width(&[], 3).is_err());
+        assert!(equal_depth(&[], 3).is_err());
+    }
+
+    #[test]
+    fn zero_buckets_rejected() {
+        assert!(equal_width(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert!(equal_width(&[1.0, f64::NAN], 2).is_err());
+        assert!(equal_depth(&[f64::INFINITY], 2).is_err());
+    }
+}

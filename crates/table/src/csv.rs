@@ -1,0 +1,333 @@
+//! A small, self-contained CSV reader/writer.
+//!
+//! Supports the RFC-4180 essentials: comma separation, `"` quoting, embedded
+//! quotes doubled (`""`), embedded commas and newlines inside quoted fields,
+//! and both `\n` and `\r\n` record separators. Deliberately hand-rolled to
+//! keep the workspace dependency-free (see DESIGN.md §2).
+
+use crate::{Schema, Table, TableBuilder, TableError};
+
+/// Parses CSV text (first record = header) into a [`Table`].
+///
+/// Every column is ingested as categorical. To treat a numeric column as a
+/// measure (for `Sum` aggregates), use [`read_csv_with_measures`].
+pub fn read_csv(input: &str) -> Result<Table, TableError> {
+    read_csv_with_measures(input, &[])
+}
+
+/// Parses CSV text, routing the named columns into numeric measure columns
+/// instead of categorical columns.
+pub fn read_csv_with_measures(input: &str, measures: &[&str]) -> Result<Table, TableError> {
+    let records = parse_records(input)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(TableError::Empty)?;
+
+    let mut cat_idx: Vec<usize> = Vec::new();
+    let mut measure_idx: Vec<(usize, String)> = Vec::new();
+    for (i, name) in header.iter().enumerate() {
+        if measures.contains(&name.as_str()) {
+            measure_idx.push((i, name.clone()));
+        } else {
+            cat_idx.push(i);
+        }
+    }
+    for m in measures {
+        if !header.iter().any(|h| h == m) {
+            return Err(TableError::UnknownMeasure((*m).to_owned()));
+        }
+    }
+
+    let schema = Schema::new(cat_idx.iter().map(|&i| header[i].clone()))?;
+    let mut builder = TableBuilder::new(schema);
+    let mut measure_vals: Vec<Vec<f64>> = vec![Vec::new(); measure_idx.len()];
+
+    for (line_no, record) in iter.enumerate() {
+        if record.len() != header.len() {
+            return Err(TableError::Csv {
+                line: line_no + 2,
+                message: format!("expected {} fields, got {}", header.len(), record.len()),
+            });
+        }
+        let row_buf: Vec<&str> = cat_idx.iter().map(|&i| record[i].as_str()).collect();
+        builder.push_row(&row_buf)?;
+        for (slot, (i, _)) in measure_vals.iter_mut().zip(&measure_idx) {
+            let raw = record[*i].trim();
+            let v: f64 = raw.parse().map_err(|_| TableError::ParseNumber(raw.to_owned()))?;
+            slot.push(v);
+        }
+    }
+
+    for (vals, (_, name)) in measure_vals.into_iter().zip(measure_idx) {
+        builder.add_measure(name, vals)?;
+    }
+    builder.build()
+}
+
+/// Serializes a table (categorical columns then measures) to CSV text.
+pub fn write_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let n_cat = table.n_columns();
+    let measure_names: Vec<&str> = table.measure_names().collect();
+
+    for c in 0..n_cat {
+        if c > 0 {
+            out.push(',');
+        }
+        write_field(&mut out, table.schema().column_name(c));
+    }
+    for name in &measure_names {
+        if n_cat > 0 || !out.is_empty() {
+            out.push(',');
+        }
+        write_field(&mut out, name);
+    }
+    out.push('\n');
+
+    let measures: Vec<&[f64]> = measure_names
+        .iter()
+        .map(|n| table.measure(n).expect("name came from the table"))
+        .collect();
+
+    for row in 0..table.n_rows() as u32 {
+        let mut first = true;
+        for c in 0..n_cat {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write_field(&mut out, table.value(row, c));
+        }
+        for m in &measures {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let v = m[row as usize];
+            out.push_str(&format_number(v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn format_number(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_field(out: &mut String, field: &str) {
+    let needs_quote = field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r');
+    if needs_quote {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Splits CSV text into records of fields, honoring quoting.
+fn parse_records(input: &str) -> Result<Vec<Vec<String>>, TableError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    // True once the current record has any content (field chars or a comma).
+    let mut any_content = false;
+
+    while let Some(ch) = chars.next() {
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(ch);
+                }
+                _ => field.push(ch),
+            }
+            continue;
+        }
+        match ch {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(TableError::Csv {
+                        line,
+                        message: "quote in the middle of an unquoted field".to_owned(),
+                    });
+                }
+                in_quotes = true;
+                any_content = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+                any_content = true;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                end_record(&mut records, &mut record, &mut field, &mut any_content);
+                line += 1;
+            }
+            '\n' => {
+                end_record(&mut records, &mut record, &mut field, &mut any_content);
+                line += 1;
+            }
+            _ => {
+                field.push(ch);
+                any_content = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv {
+            line,
+            message: "unterminated quoted field".to_owned(),
+        });
+    }
+    end_record(&mut records, &mut record, &mut field, &mut any_content);
+    Ok(records)
+}
+
+fn end_record(
+    records: &mut Vec<Vec<String>>,
+    record: &mut Vec<String>,
+    field: &mut String,
+    any_content: &mut bool,
+) {
+    if *any_content || !record.is_empty() {
+        record.push(std::mem::take(field));
+        records.push(std::mem::take(record));
+    }
+    *any_content = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let csv = "Store,Product\nWalmart,cookies\nTarget,bicycles\n";
+        let t = read_csv(csv).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value(0, 0), "Walmart");
+        assert_eq!(write_csv(&t), csv);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let csv = "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\nplain,field\n";
+        let t = read_csv(csv).unwrap();
+        assert_eq!(t.value(0, 0), "x,y");
+        assert_eq!(t.value(0, 1), "he said \"hi\"");
+        // Roundtrip re-quotes correctly.
+        let back = write_csv(&t);
+        let t2 = read_csv(&back).unwrap();
+        assert_eq!(t2.value(0, 1), "he said \"hi\"");
+    }
+
+    #[test]
+    fn embedded_newline_in_quoted_field() {
+        let csv = "a\n\"line1\nline2\"\n";
+        let t = read_csv(csv).unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.value(0, 0), "line1\nline2");
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let csv = "a,b\r\n1,2\r\n3,4\r\n";
+        let t = read_csv(csv).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.value(1, 1), "4");
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let t = read_csv("a\nx").unwrap();
+        assert_eq!(t.n_rows(), 1);
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_line() {
+        let err = read_csv("a,b\n1,2\n3\n").unwrap_err();
+        match err {
+            TableError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(read_csv("").unwrap_err(), TableError::Empty);
+    }
+
+    #[test]
+    fn measures_are_parsed_as_numbers() {
+        let csv = "Store,Sales\nWalmart,100\nTarget,250.5\n";
+        let t = read_csv_with_measures(csv, &["Sales"]).unwrap();
+        assert_eq!(t.n_columns(), 1);
+        assert_eq!(t.measure("Sales").unwrap(), &[100.0, 250.5]);
+    }
+
+    #[test]
+    fn bad_measure_value_is_parse_error() {
+        let csv = "Store,Sales\nWalmart,lots\n";
+        assert!(matches!(
+            read_csv_with_measures(csv, &["Sales"]),
+            Err(TableError::ParseNumber(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_measure_name_is_error() {
+        let csv = "Store\nWalmart\n";
+        assert!(matches!(
+            read_csv_with_measures(csv, &["Sales"]),
+            Err(TableError::UnknownMeasure(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert!(matches!(read_csv("a\n\"oops\n"), Err(TableError::Csv { .. })));
+    }
+
+    #[test]
+    fn stray_quote_is_error() {
+        assert!(matches!(read_csv("a\nfoo\"bar\n"), Err(TableError::Csv { .. })));
+    }
+
+    #[test]
+    fn measure_roundtrip_in_write_csv() {
+        let csv = "Store,Sales\nWalmart,100\n";
+        let t = read_csv_with_measures(csv, &["Sales"]).unwrap();
+        let out = write_csv(&t);
+        assert_eq!(out, "Store,Sales\nWalmart,100\n");
+    }
+
+    #[test]
+    fn empty_fields_are_preserved() {
+        let t = read_csv("a,b\n,x\n").unwrap();
+        assert_eq!(t.value(0, 0), "");
+        assert_eq!(t.value(0, 1), "x");
+    }
+}

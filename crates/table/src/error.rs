@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Errors produced by table construction and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A row had a different number of fields than the schema.
+    ArityMismatch {
+        /// Number of columns the schema declares.
+        expected: usize,
+        /// Number of fields the offending row carried.
+        got: usize,
+    },
+    /// A column name was referenced that does not exist in the schema.
+    UnknownColumn(String),
+    /// A measure column was referenced that does not exist.
+    UnknownMeasure(String),
+    /// Two columns (or measures) were declared with the same name.
+    DuplicateColumn(String),
+    /// The CSV input was structurally malformed.
+    Csv {
+        /// 1-based line where the problem was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A value could not be parsed as a number where one was required.
+    ParseNumber(String),
+    /// The table (or input) was empty where data was required.
+    Empty,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+            }
+            TableError::UnknownColumn(name) => write!(f, "unknown column: {name:?}"),
+            TableError::UnknownMeasure(name) => write!(f, "unknown measure column: {name:?}"),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+            TableError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            TableError::ParseNumber(s) => write!(f, "cannot parse {s:?} as a number"),
+            TableError::Empty => write!(f, "input is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TableError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("2"));
+        assert!(TableError::UnknownColumn("x".into()).to_string().contains("x"));
+        assert!(TableError::Csv { line: 7, message: "bad quote".into() }
+            .to_string()
+            .contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TableError::Empty);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sdd-table
+//!
+//! The relational-table substrate for the smart drill-down reproduction
+//! (Joglekar, Garcia-Molina, Parameswaran — ICDE 2016).
+//!
+//! The paper assumes a single denormalized table `D` with categorical columns
+//! (numerical columns bucketized beforehand, §3/§6.2 of the paper). This crate
+//! provides exactly that substrate, built from scratch:
+//!
+//! * [`Dictionary`] — per-column string ⇄ `u32` code interning,
+//! * [`Schema`] / [`ColumnDef`] — column metadata,
+//! * [`Table`] / [`TableBuilder`] — immutable dictionary-encoded columnar
+//!   storage with optional numeric *measure* columns (for the `Sum` aggregate
+//!   of §6.3),
+//! * [`TableView`] — a borrowed subset of rows with optional per-tuple
+//!   weights (the mechanism that lets one algorithm code path serve Count,
+//!   Sum, and scale-weighted samples),
+//! * [`stats`] — per-column frequency statistics used by weighting functions
+//!   and the `minSS` guidance,
+//! * [`csv`] — a small self-contained CSV reader/writer,
+//! * [`bucketize`] — equi-width / equi-depth bucketization of numeric data.
+//!
+//! Everything is deterministic and in-memory; "disk scans" in the sampling
+//! layer are modelled as full passes over a [`Table`].
+
+#![warn(missing_docs)]
+
+pub mod bucketize;
+pub mod csv;
+mod dictionary;
+mod error;
+mod schema;
+pub mod stats;
+mod table;
+mod view;
+
+pub use dictionary::Dictionary;
+pub use error::TableError;
+pub use schema::{ColumnDef, Schema};
+pub use table::{Table, TableBuilder};
+pub use view::{RowId, TableView, WeightedRow};

@@ -1,0 +1,379 @@
+use crate::view::{RowId, TableView};
+use crate::{Dictionary, Schema, TableError};
+
+/// An immutable, dictionary-encoded, column-major relational table.
+///
+/// This is the paper's denormalized table `D` (§2.1): every column is
+/// categorical (bucketize numeric data first, see [`crate::bucketize`]), and
+/// cell values are stored as dense `u32` dictionary codes for cache-friendly
+/// scans. Optional *measure* columns hold raw `f64` values for the `Sum`
+/// aggregate of §6.3 — they are never instantiated by rules.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    dicts: Vec<Dictionary>,
+    cols: Vec<Vec<u32>>,
+    measures: Vec<(String, Vec<f64>)>,
+    n_rows: usize,
+}
+
+impl Table {
+    /// Starts building a table with the given schema.
+    pub fn builder(schema: Schema) -> TableBuilder {
+        TableBuilder::new(schema)
+    }
+
+    /// Convenience constructor from string rows.
+    ///
+    /// ```
+    /// use sdd_table::{Schema, Table};
+    /// let t = Table::from_rows(
+    ///     Schema::new(["Store", "Product"]).unwrap(),
+    ///     &[&["Walmart", "cookies"], &["Target", "bicycles"]],
+    /// ).unwrap();
+    /// assert_eq!(t.n_rows(), 2);
+    /// ```
+    pub fn from_rows<R: AsRef<[S]>, S: AsRef<str>>(
+        schema: Schema,
+        rows: &[R],
+    ) -> Result<Self, TableError> {
+        let mut b = TableBuilder::new(schema);
+        for row in rows {
+            b.push_row(row.as_ref())?;
+        }
+        b.build()
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows, the paper's `|T|`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of categorical columns, the paper's `|C|`.
+    pub fn n_columns(&self) -> usize {
+        self.schema.n_columns()
+    }
+
+    /// The dictionary of column `col`. Panics if out of range.
+    pub fn dictionary(&self, col: usize) -> &Dictionary {
+        &self.dicts[col]
+    }
+
+    /// Number of distinct values in column `col` (the paper's `|c|`).
+    pub fn cardinality(&self, col: usize) -> usize {
+        self.dicts[col].len()
+    }
+
+    /// The dictionary code at (`row`, `col`). Panics if out of range.
+    #[inline]
+    pub fn code(&self, row: RowId, col: usize) -> u32 {
+        self.cols[col][row as usize]
+    }
+
+    /// The raw code column `col` (one entry per row).
+    #[inline]
+    pub fn column(&self, col: usize) -> &[u32] {
+        &self.cols[col]
+    }
+
+    /// The string value at (`row`, `col`).
+    pub fn value(&self, row: RowId, col: usize) -> &str {
+        self.dicts[col]
+            .value_of(self.code(row, col))
+            .expect("code out of dictionary range: corrupt table")
+    }
+
+    /// Copies the codes of `row` into `buf` (resized to `n_columns`).
+    pub fn row_codes(&self, row: RowId, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(self.cols.iter().map(|c| c[row as usize]));
+    }
+
+    /// Names of the measure columns, in declaration order.
+    pub fn measure_names(&self) -> impl Iterator<Item = &str> {
+        self.measures.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The values of measure column `name` (one per row).
+    pub fn measure(&self, name: &str) -> Result<&[f64], TableError> {
+        self.measures
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+            .ok_or_else(|| TableError::UnknownMeasure(name.to_owned()))
+    }
+
+    /// A view over all rows with unit weights (plain `Count` semantics).
+    pub fn view(&self) -> TableView<'_> {
+        TableView::all(self)
+    }
+
+    /// A view over all rows weighted by measure column `name`
+    /// (`Sum` semantics, §6.3 of the paper).
+    pub fn view_weighted_by(&self, name: &str) -> Result<TableView<'_>, TableError> {
+        let w = self.measure(name)?.to_vec();
+        Ok(TableView::with_rows_and_weights(
+            self,
+            (0..self.n_rows as u32).collect(),
+            w,
+        ))
+    }
+
+    /// Materializes a new `Table` keeping only the first `n` columns —
+    /// the paper's display convention ("we restrict the tables to the first
+    /// 7 columns", §5). Measures are carried over.
+    pub fn project_first_columns(&self, n: usize) -> Table {
+        let n = n.min(self.n_columns());
+        let schema = Schema::new((0..n).map(|c| self.schema.column_name(c).to_owned()))
+            .expect("subset of unique names stays unique");
+        let mut b = TableBuilder::new(schema);
+        b.reserve(self.n_rows);
+        let mut row: Vec<&str> = Vec::with_capacity(n);
+        for r in 0..self.n_rows as RowId {
+            row.clear();
+            for c in 0..n {
+                row.push(self.value(r, c));
+            }
+            b.push_row(&row).expect("arity preserved");
+        }
+        for (name, vals) in &self.measures {
+            b.add_measure(name.clone(), vals.clone())
+                .expect("measure names stay unique");
+        }
+        b.build().expect("lengths preserved")
+    }
+
+    /// Materializes a new `Table` containing only `rows` (in the given
+    /// order). Dictionaries are shared logically (codes are re-interned, so
+    /// unused values are dropped). Measures are carried over.
+    pub fn select_rows(&self, rows: &[RowId]) -> Table {
+        let mut b = TableBuilder::new(self.schema.clone());
+        let mut buf: Vec<&str> = Vec::with_capacity(self.n_columns());
+        for &r in rows {
+            buf.clear();
+            for c in 0..self.n_columns() {
+                buf.push(self.value(r, c));
+            }
+            b.push_row(&buf).expect("arity preserved by construction");
+        }
+        for (name, vals) in &self.measures {
+            let picked: Vec<f64> = rows.iter().map(|&r| vals[r as usize]).collect();
+            b.add_measure(name.clone(), picked)
+                .expect("measure length matches selected rows");
+        }
+        b.build().expect("row count consistent by construction")
+    }
+}
+
+/// Incremental builder for [`Table`].
+#[derive(Debug)]
+pub struct TableBuilder {
+    schema: Schema,
+    dicts: Vec<Dictionary>,
+    cols: Vec<Vec<u32>>,
+    measures: Vec<(String, Vec<f64>)>,
+    n_rows: usize,
+}
+
+impl TableBuilder {
+    /// Creates a builder for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let n = schema.n_columns();
+        Self {
+            schema,
+            dicts: vec![Dictionary::new(); n],
+            cols: vec![Vec::new(); n],
+            measures: Vec::new(),
+            n_rows: 0,
+        }
+    }
+
+    /// Reserves capacity for `additional` more rows in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for c in &mut self.cols {
+            c.reserve(additional);
+        }
+    }
+
+    /// Appends one row of string values.
+    pub fn push_row<S: AsRef<str>>(&mut self, row: &[S]) -> Result<(), TableError> {
+        if row.len() != self.schema.n_columns() {
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.n_columns(),
+                got: row.len(),
+            });
+        }
+        for (c, v) in row.iter().enumerate() {
+            let code = self.dicts[c].intern(v.as_ref());
+            self.cols[c].push(code);
+        }
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Attaches a numeric measure column (length checked at [`build`]).
+    ///
+    /// [`build`]: TableBuilder::build
+    pub fn add_measure(&mut self, name: impl Into<String>, values: Vec<f64>) -> Result<(), TableError> {
+        let name = name.into();
+        if self.schema.index_of(&name).is_ok() || self.measures.iter().any(|(n, _)| *n == name) {
+            return Err(TableError::DuplicateColumn(name));
+        }
+        self.measures.push((name, values));
+        Ok(())
+    }
+
+    /// Finalizes the table, validating measure lengths.
+    pub fn build(self) -> Result<Table, TableError> {
+        for (name, vals) in &self.measures {
+            if vals.len() != self.n_rows {
+                return Err(TableError::ArityMismatch {
+                    expected: self.n_rows,
+                    got: vals.len(),
+                })
+                .map_err(|_| TableError::UnknownMeasure(format!(
+                    "measure {name:?} has {} values for {} rows",
+                    vals.len(),
+                    self.n_rows
+                )));
+            }
+        }
+        Ok(Table {
+            schema: self.schema,
+            dicts: self.dicts,
+            cols: self.cols,
+            measures: self.measures,
+            n_rows: self.n_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_table() -> Table {
+        Table::from_rows(
+            Schema::new(["Store", "Product", "Region"]).unwrap(),
+            &[
+                &["Walmart", "cookies", "CA-1"],
+                &["Target", "bicycles", "MA-3"],
+                &["Walmart", "comforters", "MA-3"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_reads_back_values() {
+        let t = store_table();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_columns(), 3);
+        assert_eq!(t.value(0, 0), "Walmart");
+        assert_eq!(t.value(1, 1), "bicycles");
+        assert_eq!(t.value(2, 2), "MA-3");
+    }
+
+    #[test]
+    fn codes_are_shared_within_a_column() {
+        let t = store_table();
+        assert_eq!(t.code(0, 0), t.code(2, 0)); // both Walmart
+        assert_ne!(t.code(0, 0), t.code(1, 0));
+        assert_eq!(t.cardinality(0), 2);
+        assert_eq!(t.cardinality(2), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut b = TableBuilder::new(Schema::new(["a", "b"]).unwrap());
+        let err = b.push_row(&["only-one"]).unwrap_err();
+        assert_eq!(err, TableError::ArityMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn measures_roundtrip_and_validate() {
+        let mut b = TableBuilder::new(Schema::new(["Store"]).unwrap());
+        b.push_row(&["Walmart"]).unwrap();
+        b.push_row(&["Target"]).unwrap();
+        b.add_measure("Sales", vec![10.0, 20.0]).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.measure("Sales").unwrap(), &[10.0, 20.0]);
+        assert!(t.measure("Profit").is_err());
+        assert_eq!(t.measure_names().collect::<Vec<_>>(), vec!["Sales"]);
+    }
+
+    #[test]
+    fn measure_length_mismatch_fails_build() {
+        let mut b = TableBuilder::new(Schema::new(["Store"]).unwrap());
+        b.push_row(&["Walmart"]).unwrap();
+        b.add_measure("Sales", vec![1.0, 2.0]).unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn measure_name_clashing_with_column_rejected() {
+        let mut b = TableBuilder::new(Schema::new(["Store"]).unwrap());
+        assert!(b.add_measure("Store", vec![]).is_err());
+    }
+
+    #[test]
+    fn select_rows_preserves_values_and_measures() {
+        let mut b = TableBuilder::new(Schema::new(["Store", "Product"]).unwrap());
+        b.push_row(&["Walmart", "cookies"]).unwrap();
+        b.push_row(&["Target", "bicycles"]).unwrap();
+        b.push_row(&["Walmart", "comforters"]).unwrap();
+        b.add_measure("Sales", vec![1.0, 2.0, 3.0]).unwrap();
+        let t = b.build().unwrap();
+
+        let sub = t.select_rows(&[2, 0]);
+        assert_eq!(sub.n_rows(), 2);
+        assert_eq!(sub.value(0, 0), "Walmart");
+        assert_eq!(sub.value(0, 1), "comforters");
+        assert_eq!(sub.value(1, 1), "cookies");
+        assert_eq!(sub.measure("Sales").unwrap(), &[3.0, 1.0]);
+        // Unused dictionary entries are dropped on re-intern.
+        assert_eq!(sub.cardinality(0), 1);
+    }
+
+    #[test]
+    fn project_first_columns_keeps_prefix_and_measures() {
+        let mut b = TableBuilder::new(Schema::new(["a", "b", "c"]).unwrap());
+        b.push_row(&["1", "2", "3"]).unwrap();
+        b.push_row(&["4", "5", "6"]).unwrap();
+        b.add_measure("m", vec![9.0, 8.0]).unwrap();
+        let t = b.build().unwrap();
+        let p = t.project_first_columns(2);
+        assert_eq!(p.n_columns(), 2);
+        assert_eq!(p.n_rows(), 2);
+        assert_eq!(p.value(1, 1), "5");
+        assert_eq!(p.measure("m").unwrap(), &[9.0, 8.0]);
+        // Over-asking is clamped.
+        assert_eq!(t.project_first_columns(99).n_columns(), 3);
+    }
+
+    #[test]
+    fn row_codes_fills_buffer() {
+        let t = store_table();
+        let mut buf = Vec::new();
+        t.row_codes(1, &mut buf);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf[0], t.code(1, 0));
+    }
+
+    #[test]
+    fn zero_row_table_is_fine() {
+        let t = Table::from_rows(Schema::new(["a"]).unwrap(), &[] as &[&[&str]]).unwrap();
+        assert_eq!(t.n_rows(), 0);
+        assert_eq!(t.cardinality(0), 0);
+    }
+}

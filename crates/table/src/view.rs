@@ -1,0 +1,276 @@
+use crate::Table;
+
+/// Index of a row within a [`Table`]. `u32` keeps candidate structures small
+/// (perf-book guidance: smaller integers for indices).
+pub type RowId = u32;
+
+/// One element yielded when scanning a [`TableView`]: a row and its weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedRow {
+    /// Row index into the underlying [`Table`].
+    pub row: RowId,
+    /// Per-tuple weight.
+    ///
+    /// * `1.0` for plain `Count` semantics,
+    /// * the measure value for `Sum` semantics (paper §6.3),
+    /// * the sample scale factor `N_s` when scanning combined samples
+    ///   (paper §4.3), so count estimates stay unbiased even when samples
+    ///   with different rates are merged.
+    pub weight: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Rows {
+    /// All rows `0..n` of the table.
+    All(u32),
+    /// An explicit subset (not necessarily sorted, duplicates allowed —
+    /// combined samples may legitimately repeat a row).
+    Subset(Vec<RowId>),
+}
+
+/// A borrowed, possibly weighted, subset of a [`Table`]'s rows.
+///
+/// This is the unit of work the optimizer operates on: the full table, a
+/// drill-down filter `T_r`, or an in-memory sample all present the same
+/// interface, so Algorithm 1/2 of the paper have exactly one code path.
+#[derive(Debug, Clone)]
+pub struct TableView<'a> {
+    table: &'a Table,
+    rows: Rows,
+    /// Parallel to the row sequence; `None` means unit weights.
+    weights: Option<Vec<f64>>,
+}
+
+impl<'a> TableView<'a> {
+    /// A view over every row of `table`, unit weights.
+    pub fn all(table: &'a Table) -> Self {
+        Self {
+            table,
+            rows: Rows::All(table.n_rows() as u32),
+            weights: None,
+        }
+    }
+
+    /// A view over an explicit row subset, unit weights.
+    pub fn with_rows(table: &'a Table, rows: Vec<RowId>) -> Self {
+        debug_assert!(rows.iter().all(|&r| (r as usize) < table.n_rows()));
+        Self {
+            table,
+            rows: Rows::Subset(rows),
+            weights: None,
+        }
+    }
+
+    /// A view over an explicit row subset with per-tuple weights.
+    ///
+    /// Panics if lengths differ.
+    pub fn with_rows_and_weights(table: &'a Table, rows: Vec<RowId>, weights: Vec<f64>) -> Self {
+        assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
+        debug_assert!(rows.iter().all(|&r| (r as usize) < table.n_rows()));
+        Self {
+            table,
+            rows: Rows::Subset(rows),
+            weights: Some(weights),
+        }
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// Number of (row, weight) entries in the view.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            Rows::All(n) => *n as usize,
+            Rows::Subset(v) => v.len(),
+        }
+    }
+
+    /// True if the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The row id at position `i` of the view.
+    #[inline]
+    pub fn row_at(&self, i: usize) -> RowId {
+        match &self.rows {
+            Rows::All(_) => i as RowId,
+            Rows::Subset(v) => v[i],
+        }
+    }
+
+    /// The weight at position `i` of the view.
+    #[inline]
+    pub fn weight_at(&self, i: usize) -> f64 {
+        match &self.weights {
+            Some(w) => w[i],
+            None => 1.0,
+        }
+    }
+
+    /// Sum of all weights — the view's total (estimated) count or sum.
+    pub fn total_weight(&self) -> f64 {
+        match &self.weights {
+            Some(w) => w.iter().sum(),
+            None => self.len() as f64,
+        }
+    }
+
+    /// Iterates `(row, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = WeightedRow> + '_ {
+        (0..self.len()).map(move |i| WeightedRow {
+            row: self.row_at(i),
+            weight: self.weight_at(i),
+        })
+    }
+
+    /// Returns a new view keeping only positions whose row satisfies `pred`.
+    pub fn filter(&self, mut pred: impl FnMut(RowId) -> bool) -> TableView<'a> {
+        let mut rows = Vec::new();
+        let mut weights = self.weights.as_ref().map(|_| Vec::new());
+        for i in 0..self.len() {
+            let r = self.row_at(i);
+            if pred(r) {
+                rows.push(r);
+                if let Some(w) = &mut weights {
+                    w.push(self.weight_at(i));
+                }
+            }
+        }
+        TableView {
+            table: self.table,
+            rows: Rows::Subset(rows),
+            weights,
+        }
+    }
+
+    /// Returns a copy of this view with every weight multiplied by `factor`
+    /// (used to rescale a sample into full-table estimates).
+    pub fn scaled(&self, factor: f64) -> TableView<'a> {
+        let weights: Vec<f64> = (0..self.len()).map(|i| self.weight_at(i) * factor).collect();
+        let rows: Vec<RowId> = (0..self.len()).map(|i| self.row_at(i)).collect();
+        TableView {
+            table: self.table,
+            rows: Rows::Subset(rows),
+            weights: Some(weights),
+        }
+    }
+
+    /// Concatenates two views over the same table, preserving weights.
+    ///
+    /// Panics if the views reference different tables.
+    pub fn concat(&self, other: &TableView<'a>) -> TableView<'a> {
+        assert!(
+            std::ptr::eq(self.table, other.table),
+            "cannot concat views over different tables"
+        );
+        let mut rows: Vec<RowId> = Vec::with_capacity(self.len() + other.len());
+        let mut weights: Vec<f64> = Vec::with_capacity(self.len() + other.len());
+        for v in [self, other] {
+            for i in 0..v.len() {
+                rows.push(v.row_at(i));
+                weights.push(v.weight_at(i));
+            }
+        }
+        TableView {
+            table: self.table,
+            rows: Rows::Subset(rows),
+            weights: Some(weights),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn t() -> Table {
+        Table::from_rows(
+            Schema::new(["Store", "Product"]).unwrap(),
+            &[
+                &["Walmart", "cookies"],
+                &["Target", "bicycles"],
+                &["Walmart", "comforters"],
+                &["Costco", "cookies"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_view_covers_every_row_with_unit_weight() {
+        let table = t();
+        let v = table.view();
+        assert_eq!(v.len(), 4);
+        assert!((v.total_weight() - 4.0).abs() < 1e-12);
+        let rows: Vec<_> = v.iter().map(|wr| wr.row).collect();
+        assert_eq!(rows, vec![0, 1, 2, 3]);
+        assert!(v.iter().all(|wr| wr.weight == 1.0));
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let table = t();
+        let walmart = table.dictionary(0).code_of("Walmart").unwrap();
+        let v = table.view().filter(|r| table.code(r, 0) == walmart);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.row_at(0), 0);
+        assert_eq!(v.row_at(1), 2);
+    }
+
+    #[test]
+    fn weighted_view_sums_weights() {
+        let table = t();
+        let v = TableView::with_rows_and_weights(&table, vec![0, 3], vec![2.5, 0.5]);
+        assert_eq!(v.len(), 2);
+        assert!((v.total_weight() - 3.0).abs() < 1e-12);
+        assert_eq!(v.weight_at(0), 2.5);
+    }
+
+    #[test]
+    fn filter_preserves_weights() {
+        let table = t();
+        let v = TableView::with_rows_and_weights(&table, vec![0, 1, 2], vec![1.0, 2.0, 3.0]);
+        let cookies = table.dictionary(1).code_of("cookies").unwrap();
+        let f = v.filter(|r| table.code(r, 1) == cookies);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.weight_at(0), 1.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_weights() {
+        let table = t();
+        let v = table.view().scaled(10.0);
+        assert!((v.total_weight() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concat_preserves_order_and_weights() {
+        let table = t();
+        let a = TableView::with_rows_and_weights(&table, vec![0], vec![2.0]);
+        let b = TableView::with_rows(&table, vec![1, 2]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.row_at(0), 0);
+        assert_eq!(c.weight_at(0), 2.0);
+        assert_eq!(c.weight_at(2), 1.0);
+    }
+
+    #[test]
+    fn duplicate_rows_are_allowed_in_subsets() {
+        let table = t();
+        let v = TableView::with_rows(&table, vec![0, 0, 0]);
+        assert_eq!(v.len(), 3);
+        assert!((v.total_weight() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_weights_panic() {
+        let table = t();
+        let _ = TableView::with_rows_and_weights(&table, vec![0, 1], vec![1.0]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the core optimizer's invariants (paper
+//! Lemmas 1–3 plus the Algorithm-2 ⇔ brute-force equivalence).
+
+use proptest::prelude::*;
+use smart_drilldown::core::{
+    find_best_marginal_rule, marginal::brute_force_best_marginal, score_list, score_set,
+    sort_by_weight_desc, BitsWeight, Brs, ColumnWeight, Rule, SearchOptions, SizeMinusOne,
+    SizeWeight, WeightFn,
+};
+use smart_drilldown::table::{Schema, Table};
+
+/// A random small categorical table: 3 columns with cardinalities ≤ 4.
+fn arb_table() -> impl Strategy<Value = Table> {
+    proptest::collection::vec((0u8..4, 0u8..4, 0u8..3), 1..60).prop_map(|rows| {
+        let str_rows: Vec<[String; 3]> = rows
+            .iter()
+            .map(|(a, b, c)| [format!("a{a}"), format!("b{b}"), format!("c{c}")])
+            .collect();
+        Table::from_rows(Schema::new(["A", "B", "C"]).unwrap(), &str_rows).unwrap()
+    })
+}
+
+/// A random rule over a 3-column table with the given cardinalities-by-
+/// construction (codes are only valid if they appear; use row-derived rules
+/// to stay in-domain).
+fn rule_from_row(table: &Table, row_idx: usize, mask: u8) -> Rule {
+    let row = (row_idx % table.n_rows().max(1)) as u32;
+    let cols: Vec<usize> = (0..3).filter(|c| mask & (1 << c) != 0).collect();
+    Rule::from_row_columns(table, row, &cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 1: sorting a rule list by descending weight never lowers Score.
+    #[test]
+    fn lemma1_sorted_order_dominates(table in arb_table(), picks in proptest::collection::vec((0usize..1000, 1u8..8), 1..5)) {
+        let view = table.view();
+        let rules: Vec<Rule> = picks.iter().map(|&(i, m)| rule_from_row(&table, i, m)).collect();
+        let any_order = score_list(&view, &SizeWeight, &rules);
+        let sorted = sort_by_weight_desc(&view, &SizeWeight, &rules);
+        let sorted_score = score_list(&view, &SizeWeight, &sorted);
+        prop_assert!(sorted_score.total + 1e-9 >= any_order.total);
+    }
+
+    /// Lemma 3 (submodularity): the marginal gain of adding a rule to a set
+    /// never increases when the set grows.
+    #[test]
+    fn lemma3_submodularity(table in arb_table(), picks in proptest::collection::vec((0usize..1000, 1u8..8), 3..6)) {
+        let view = table.view();
+        let rules: Vec<Rule> = picks.iter().map(|&(i, m)| rule_from_row(&table, i, m)).collect();
+        let (extra, rest) = rules.split_last().unwrap();
+        // A ⊂ B: A = first half of rest, B = all of rest.
+        let a = &rest[..rest.len() / 2];
+        let b = rest;
+        let score = |set: &[Rule]| score_set(&view, &SizeWeight, set).total;
+        let with = |set: &[Rule]| {
+            let mut v = set.to_vec();
+            v.push(extra.clone());
+            v
+        };
+        let gain_a = score(&with(a)) - score(a);
+        let gain_b = score(&with(b)) - score(b);
+        prop_assert!(gain_a + 1e-9 >= gain_b, "gain_a={gain_a} < gain_b={gain_b}");
+    }
+
+    /// Monotonicity of every shipped weight function along random chains.
+    #[test]
+    fn weights_are_monotone(table in arb_table(), i in 0usize..1000) {
+        let full = rule_from_row(&table, i, 0b111);
+        let weights: Vec<Box<dyn WeightFn>> = vec![
+            Box::new(SizeWeight),
+            Box::new(BitsWeight),
+            Box::new(SizeMinusOne),
+            Box::new(ColumnWeight::new(vec![0.5, 2.0, 1.0], 1.5)),
+        ];
+        for w in &weights {
+            for sub in full.all_sub_rules() {
+                for sub2 in sub.all_sub_rules() {
+                    prop_assert!(w.weight(&sub2, &table) <= w.weight(&sub, &table) + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Algorithm 2 finds exactly the brute-force best marginal rule.
+    #[test]
+    fn marginal_search_matches_brute_force(
+        table in arb_table(),
+        cov_seed in proptest::collection::vec(0.0f64..3.0, 60),
+        mw in 1u8..4,
+    ) {
+        let view = table.view();
+        let cov: Vec<f64> = (0..view.len()).map(|i| cov_seed[i % cov_seed.len()]).collect();
+        let mw = mw as f64;
+        let fast = find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(mw));
+        let slow = brute_force_best_marginal(&view, &SizeWeight, &cov, mw, None);
+        match (&fast, &slow) {
+            (Some(f), Some(s)) => prop_assert!((f.marginal_value - s.1).abs() < 1e-9,
+                "fast {} vs slow {}", f.marginal_value, s.1),
+            (None, None) => {}
+            _ => prop_assert!(false, "disagreement: {fast:?} vs {slow:?}"),
+        }
+    }
+
+    /// Pruning never changes the greedy result.
+    #[test]
+    fn pruning_is_lossless(table in arb_table(), k in 1usize..4) {
+        let view = table.view();
+        let with = Brs::new(&SizeWeight).with_pruning(true).run(&view, k);
+        let without = Brs::new(&SizeWeight).with_pruning(false).run(&view, k);
+        prop_assert!((with.total_score - without.total_score).abs() < 1e-9);
+    }
+
+    /// Coverage subsumption: a super-rule's covered set is a subset of its
+    /// sub-rule's (the paper's `t ∈ r2 ⇒ t ∈ r1`).
+    #[test]
+    fn coverage_subsumption(table in arb_table(), i in 0usize..1000) {
+        let specific = rule_from_row(&table, i, 0b111);
+        for general in specific.all_sub_rules() {
+            prop_assert!(general.is_sub_rule_of(&specific));
+            for row in 0..table.n_rows() as u32 {
+                if specific.covers_row(&table, row) {
+                    prop_assert!(general.covers_row(&table, row));
+                }
+            }
+        }
+    }
+
+    /// MCounts partition the covered mass: Σ MCount = covered tuples, and
+    /// MCount ≤ Count per rule.
+    #[test]
+    fn mcounts_partition_coverage(table in arb_table(), picks in proptest::collection::vec((0usize..1000, 1u8..8), 1..5)) {
+        let view = table.view();
+        let rules: Vec<Rule> = picks.iter().map(|&(i, m)| rule_from_row(&table, i, m)).collect();
+        let s = score_list(&view, &SizeWeight, &rules);
+        let mcount_sum: f64 = s.rules.iter().map(|r| r.mcount).sum();
+        prop_assert!((mcount_sum + s.uncovered - view.len() as f64).abs() < 1e-9);
+        for r in &s.rules {
+            prop_assert!(r.mcount <= r.count + 1e-9);
+        }
+    }
+
+    /// Greedy selection order has non-increasing marginal gains (a
+    /// consequence of submodularity the optimizer relies on).
+    #[test]
+    fn greedy_gains_non_increasing(table in arb_table()) {
+        let view = table.view();
+        let res = Brs::new(&SizeWeight).run(&view, 4);
+        // Recompute gains along the selection order.
+        let mut prev_gain = f64::INFINITY;
+        for i in 0..res.selection_order.len() {
+            let before = score_set(&view, &SizeWeight, &res.selection_order[..i]).total;
+            let after = score_set(&view, &SizeWeight, &res.selection_order[..=i]).total;
+            let gain = after - before;
+            prop_assert!(gain <= prev_gain + 1e-9, "gain grew: {gain} after {prev_gain}");
+            prev_gain = gain;
+        }
+    }
+}

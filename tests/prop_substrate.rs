@@ -1,0 +1,169 @@
+//! Property-based tests of the substrates: table/CSV roundtrips,
+//! bucketization bounds, reservoir statistics, allocation feasibility, and
+//! the knapsack solver.
+
+use proptest::prelude::*;
+use smart_drilldown::sampling::{
+    lemma4_reduction, project_capped_simplex, solve_convex, solve_dp, solve_uniform,
+    AllocationProblem, Knapsack, Reservoir,
+};
+use smart_drilldown::table::bucketize::{equal_depth, equal_width};
+use smart_drilldown::table::csv::{read_csv, write_csv};
+use smart_drilldown::table::{Schema, Table};
+
+fn arb_cells() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(
+        proptest::collection::vec("[ -~]{0,8}", 3..=3), // printable ASCII incl. commas/quotes
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV write → read roundtrips arbitrary printable cell content.
+    #[test]
+    fn csv_roundtrip(cells in arb_cells()) {
+        let rows: Vec<Vec<String>> = cells;
+        let table = Table::from_rows(Schema::new(["c0", "c1", "c2"]).unwrap(), &rows).unwrap();
+        let text = write_csv(&table);
+        let back = read_csv(&text).unwrap();
+        prop_assert_eq!(back.n_rows(), table.n_rows());
+        for r in 0..table.n_rows() as u32 {
+            for c in 0..3 {
+                prop_assert_eq!(back.value(r, c), table.value(r, c));
+            }
+        }
+    }
+
+    /// Equal-width bucket assignment always lands values inside their bucket.
+    #[test]
+    fn equal_width_assignments_in_bounds(values in proptest::collection::vec(-1e6f64..1e6, 1..100), n in 1usize..10) {
+        let b = equal_width(&values, n).unwrap();
+        prop_assert_eq!(b.assignment.len(), values.len());
+        for (&v, &a) in values.iter().zip(&b.assignment) {
+            let bucket = b.buckets[a];
+            prop_assert!(v >= bucket.lo - 1e-9, "{v} below {bucket:?}");
+            // Last bucket is closed above.
+            if a + 1 < b.buckets.len() {
+                prop_assert!(v < bucket.hi + 1e-9);
+            }
+        }
+    }
+
+    /// Equal-depth buckets are monotone: larger values never land in
+    /// earlier buckets.
+    #[test]
+    fn equal_depth_is_monotone(values in proptest::collection::vec(-1e3f64..1e3, 2..100), n in 1usize..8) {
+        let b = equal_depth(&values, n).unwrap();
+        let mut pairs: Vec<(f64, usize)> = values.iter().copied().zip(b.assignment.iter().copied()).collect();
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        for w in pairs.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "bucket order violated: {w:?}");
+        }
+    }
+
+    /// A reservoir never exceeds capacity and never invents items.
+    #[test]
+    fn reservoir_holds_valid_subset(n_stream in 0usize..200, cap in 0usize..20, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut res = Reservoir::new(cap);
+        for i in 0..n_stream {
+            res.offer(i, &mut rng);
+        }
+        prop_assert!(res.items().len() <= cap.min(n_stream.max(0)));
+        prop_assert!(res.items().iter().all(|&i| i < n_stream));
+        prop_assert_eq!(res.seen(), n_stream as u64);
+        // All items distinct.
+        let mut sorted: Vec<_> = res.items().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), res.items().len());
+    }
+
+    /// Simplex projection always lands in the feasible set and is a no-op
+    /// on feasible points.
+    #[test]
+    fn projection_feasible_and_idempotent(mut x in proptest::collection::vec(-100.0f64..100.0, 1..10), cap in 0.1f64..100.0) {
+        project_capped_simplex(&mut x, cap);
+        prop_assert!(x.iter().all(|&v| v >= -1e-9));
+        prop_assert!(x.iter().sum::<f64>() <= cap + 1e-6);
+        let before = x.clone();
+        project_capped_simplex(&mut x, cap);
+        for (a, b) in before.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-6, "projection not idempotent");
+        }
+    }
+
+    /// All three allocators stay within budget; DP dominates uniform on the
+    /// step objective.
+    #[test]
+    fn allocators_feasible_dp_dominates(
+        sels in proptest::collection::vec(0.05f64..1.0, 1..5),
+        probs_raw in proptest::collection::vec(0.01f64..1.0, 1..5),
+        capacity in 200usize..5000,
+    ) {
+        let d = sels.len().min(probs_raw.len());
+        let total: f64 = probs_raw[..d].iter().sum();
+        let mut parent = vec![None];
+        let mut prob = vec![0.0];
+        let mut selectivity = vec![1.0];
+        for i in 0..d {
+            parent.push(Some(0));
+            prob.push(probs_raw[i] / total);
+            selectivity.push(sels[i]);
+        }
+        let p = AllocationProblem { parent, prob, selectivity, capacity, min_ss: 500 };
+        for alloc in [solve_dp(&p), solve_convex(&p), solve_uniform(&p)] {
+            prop_assert!(p.used(&alloc.sizes) <= p.capacity);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&alloc.value));
+        }
+        prop_assert!(solve_dp(&p).value + 1e-9 >= solve_uniform(&p).value);
+    }
+
+    /// The exact knapsack solver returns a feasible set achieving its value.
+    #[test]
+    fn knapsack_solution_is_feasible_and_consistent(
+        weights in proptest::collection::vec(1usize..50, 1..10),
+        values in proptest::collection::vec(0.0f64..10.0, 1..10),
+        capacity in 0usize..150,
+    ) {
+        let n = weights.len().min(values.len());
+        let k = Knapsack {
+            weights: weights[..n].to_vec(),
+            values: values[..n].to_vec(),
+            capacity,
+        };
+        let (best, chosen) = k.solve_exact();
+        let w: usize = chosen.iter().map(|&i| k.weights[i]).sum();
+        let v: f64 = chosen.iter().map(|&i| k.values[i]).sum();
+        prop_assert!(w <= capacity);
+        prop_assert!((v - best).abs() < 1e-9);
+        // No better single swap: adding any unchosen item must overflow...
+        // (full optimality is checked against the Lemma-4 DP below).
+    }
+
+    /// Lemma 4 end-to-end on random instances: the allocation DP's optimum
+    /// equals base probability + knapsack optimum (scaled).
+    #[test]
+    fn lemma4_optima_correspond(
+        weights in proptest::collection::vec(10usize..90, 1..5),
+        values in proptest::collection::vec(0.5f64..5.0, 1..5),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let n = weights.len().min(values.len());
+        let total_w: usize = weights[..n].iter().sum();
+        let k = Knapsack {
+            weights: weights[..n].to_vec(),
+            values: values[..n].to_vec(),
+            capacity: ((total_w as f64) * cap_frac) as usize,
+        };
+        let inst = lemma4_reduction(&k, 100);
+        let alloc = solve_dp(&inst.problem);
+        let (opt, _) = k.solve_exact();
+        let expected = inst.base_prob + opt / inst.value_scale;
+        prop_assert!((alloc.value - expected).abs() < 1e-9,
+            "allocation {} vs knapsack-derived {expected}", alloc.value);
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration tests across core + sampling: drill-downs served from
+//! samples must approximate full-table results, the Find/Combine/Create
+//! ladder must engage in the documented order, and prefetching must
+//! eliminate disk passes.
+
+use smart_drilldown::core::{rule_count, Rule, SizeWeight};
+use smart_drilldown::prelude::*;
+use smart_drilldown::sampling::{FetchMechanism, PrefetchEntry};
+
+fn handler_cfg(capacity: usize, min_ss: usize, seed: u64) -> SampleHandlerConfig {
+    SampleHandlerConfig {
+        capacity,
+        min_sample_size: min_ss,
+        seed,
+        strategy: AllocationStrategy::Dp,
+    }
+}
+
+#[test]
+fn sampled_expansion_approximates_exact_expansion() {
+    let table = retail(42);
+    let exact = Brs::new(&SizeWeight).with_max_weight(3.0).run(&table.view(), 3);
+
+    let mut agree = 0usize;
+    let trials = 5usize;
+    for seed in 0..trials as u64 {
+        let mut handler = SampleHandler::new(&table, handler_cfg(20_000, 3_000, seed));
+        let sample = handler.get_sample(&Rule::trivial(3));
+        let approx = Brs::new(&SizeWeight).with_max_weight(3.0).run(&sample.view, 3);
+        if approx.rules_only() == exact.rules_only() {
+            agree += 1;
+        }
+        // Count estimates within 25% for every displayed rule.
+        for s in &approx.rules {
+            let truth = rule_count(&table.view(), &s.rule);
+            assert!(
+                (s.count - truth).abs() / truth.max(1.0) < 0.25,
+                "seed {seed}: estimate {} vs truth {truth} for {}",
+                s.count,
+                s.rule.display(&table)
+            );
+        }
+    }
+    assert!(
+        agree >= trials - 1,
+        "sampled rule set disagreed with exact in {} of {trials} trials",
+        trials - agree
+    );
+}
+
+#[test]
+fn find_combine_create_ladder() {
+    let table = retail(42);
+    let mut handler = SampleHandler::new(&table, handler_cfg(30_000, 800, 3));
+    let trivial = Rule::trivial(3);
+    let walmart = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
+
+    // 1st: nothing cached → Create.
+    assert_eq!(handler.get_sample(&trivial).mechanism, FetchMechanism::Create);
+    // 2nd same rule → Find.
+    assert_eq!(handler.get_sample(&trivial).mechanism, FetchMechanism::Find);
+    // Sub-rule coverage insufficient? trivial sample is only 800 tuples →
+    // Walmart portion ≈ 133 < 800 → Create.
+    assert_eq!(handler.get_sample(&walmart).mechanism, FetchMechanism::Create);
+    // Now a Walmart super-rule can Combine from the Walmart sample:
+    // cookies ≈ 20% of Walmart's 800 = 160... still < 800 → Create (exact).
+    let cookies = Rule::from_pairs(&table, &[("Store", "Walmart"), ("Product", "cookies")]).unwrap();
+    let s = handler.get_sample(&cookies);
+    assert_eq!(s.mechanism, FetchMechanism::Create);
+    // The cookies rule covers only 200 tuples < minSS 800: the stored
+    // sample is exact, so asking again is a Find with scale 1.
+    let again = handler.get_sample(&cookies);
+    assert_eq!(again.mechanism, FetchMechanism::Find);
+    assert!((again.scale - 1.0).abs() < 1e-12);
+    assert_eq!(again.view.len(), 200);
+}
+
+#[test]
+fn combine_merges_multiple_sources_unbiased() {
+    let table = retail(42);
+    // Big capacity, small minSS: seed samples for two sub-rules of the
+    // Walmart×cookies target.
+    let mut handler = SampleHandler::new(&table, handler_cfg(50_000, 100, 11));
+    let walmart = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
+    let cookies = Rule::from_pairs(&table, &[("Product", "cookies")]).unwrap();
+    // Force creation of both parent samples (minSS 100 → reservoirs of 100).
+    let _ = handler.get_sample(&walmart);
+    let _ = handler.get_sample(&cookies);
+
+    let both = Rule::from_pairs(&table, &[("Store", "Walmart"), ("Product", "cookies")]).unwrap();
+    let s = handler.get_sample(&both);
+    // Walmart sample: ~20 cookies rows; cookies sample: 100 rows all
+    // Walmart (cookies only sold by Walmart) → combined ≥ 100 ≥ minSS.
+    assert_eq!(s.mechanism, FetchMechanism::Combine);
+    let est = s.view.total_weight();
+    let truth = 200.0;
+    assert!(
+        (est - truth).abs() / truth < 0.5,
+        "combined estimate {est} too far from {truth}"
+    );
+}
+
+#[test]
+fn prefetch_then_drill_without_disk() {
+    let table = retail(42);
+    let mut handler = SampleHandler::new(&table, handler_cfg(30_000, 1_000, 17));
+    let trivial = Rule::trivial(3);
+    let first = handler.get_sample(&trivial);
+    let result = Brs::new(&SizeWeight).with_max_weight(3.0).run(&first.view, 3);
+
+    let entries: Vec<PrefetchEntry> = result
+        .rules
+        .iter()
+        .map(|s| PrefetchEntry {
+            rule: s.rule.clone(),
+            probability: 1.0 / 3.0,
+            selectivity: (s.count / 6000.0).min(1.0),
+        })
+        .collect();
+    handler.prefetch(&trivial, &entries);
+    let scans = handler.stats.full_scans;
+
+    for e in &entries {
+        let s = handler.get_sample(&e.rule);
+        assert_ne!(
+            s.mechanism,
+            FetchMechanism::Create,
+            "{} forced a scan after prefetch",
+            e.rule.display(&table)
+        );
+    }
+    assert_eq!(handler.stats.full_scans, scans, "drill-downs after prefetch hit disk");
+}
+
+#[test]
+fn session_over_sampled_view_reproduces_walkthrough_shape() {
+    let table = retail(42);
+    let mut handler = SampleHandler::new(&table, handler_cfg(20_000, 4_000, 23));
+    let sample = handler.get_sample(&Rule::trivial(3));
+    // Run a session over the scaled sample view: counts are estimates.
+    let mut session = Session::with_view(&table, sample.view, Box::new(SizeWeight), 3);
+    session.expand(&[]).unwrap();
+    let shown: Vec<String> = session
+        .root()
+        .children()
+        .iter()
+        .map(|n| n.rule.display(&table))
+        .collect();
+    assert!(shown.contains(&"(Walmart, ?, ?)".to_owned()), "{shown:?}");
+    // Estimated root count ≈ 6000.
+    assert!((session.root().count - 6000.0).abs() < 300.0);
+}
+
+#[test]
+fn eviction_under_pressure_keeps_serving_correct_samples() {
+    let table = retail(42);
+    let mut handler = SampleHandler::new(&table, handler_cfg(1_500, 700, 29));
+    let rules = [
+        Rule::trivial(3),
+        Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap(),
+        Rule::from_pairs(&table, &[("Region", "MA-3")]).unwrap(),
+        Rule::from_pairs(&table, &[("Product", "comforters")]).unwrap(),
+    ];
+    for round in 0..3 {
+        for r in &rules {
+            let s = handler.get_sample(r);
+            assert!(handler.memory_used() <= 1_500, "round {round}: over capacity");
+            let est = s.view.total_weight();
+            let truth = rule_count(&table.view(), r);
+            assert!(
+                (est - truth).abs() / truth < 0.3,
+                "round {round}: {} estimated {est} vs {truth}",
+                r.display(&table)
+            );
+        }
+    }
+    assert!(handler.stats.evictions > 0);
+}

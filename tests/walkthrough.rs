@@ -1,0 +1,104 @@
+//! End-to-end integration test: the paper's §1 walkthrough through the
+//! public facade, spanning datagen → table → core.
+
+use smart_drilldown::core::{score_set, SizeWeight};
+use smart_drilldown::prelude::*;
+
+#[test]
+fn tables_1_2_3_reproduce_through_the_facade() {
+    let table = retail(42);
+
+    // Table 1: trivial rule with the total count.
+    let mut session = Session::new(&table, Box::new(SizeWeight), 3);
+    assert_eq!(session.root().count, 6000.0);
+    assert!(session.root().rule.is_trivial());
+
+    // Table 2.
+    session.expand(&[]).unwrap();
+    let shown: Vec<(String, f64)> = session
+        .root()
+        .children()
+        .iter()
+        .map(|n| (n.rule.display(&table), n.count))
+        .collect();
+    assert!(shown.contains(&("(Target, bicycles, ?)".to_owned(), 200.0)), "{shown:?}");
+    assert!(shown.contains(&("(?, comforters, MA-3)".to_owned(), 600.0)), "{shown:?}");
+    assert!(shown.contains(&("(Walmart, ?, ?)".to_owned(), 1000.0)), "{shown:?}");
+
+    // Display order is descending weight (Lemma 1's convention).
+    let weights: Vec<f64> = session.root().children().iter().map(|n| n.weight).collect();
+    assert!(weights.windows(2).all(|w| w[0] >= w[1]));
+
+    // Table 3.
+    let walmart = session
+        .root()
+        .children()
+        .iter()
+        .position(|n| n.rule.display(&table) == "(Walmart, ?, ?)")
+        .unwrap();
+    session.expand(&[walmart]).unwrap();
+    let sub: Vec<(String, f64)> = session
+        .node(&[walmart])
+        .unwrap()
+        .children()
+        .iter()
+        .map(|n| (n.rule.display(&table), n.count))
+        .collect();
+    assert!(sub.contains(&("(Walmart, cookies, ?)".to_owned(), 200.0)), "{sub:?}");
+    assert!(sub.contains(&("(Walmart, ?, CA-1)".to_owned(), 150.0)), "{sub:?}");
+    assert!(sub.contains(&("(Walmart, ?, WA-5)".to_owned(), 130.0)), "{sub:?}");
+
+    // Collapse = roll-up.
+    session.collapse(&[walmart]).unwrap();
+    assert!(!session.node(&[walmart]).unwrap().is_expanded());
+}
+
+#[test]
+fn one_shot_api_agrees_with_session() {
+    let table = retail(42);
+    let result = Brs::new(&SizeWeight).run(&table.view(), 3);
+
+    let mut session = Session::new(&table, Box::new(SizeWeight), 3);
+    session.expand(&[]).unwrap();
+    let session_rules: Vec<_> = session.root().children().iter().map(|n| n.rule.clone()).collect();
+    assert_eq!(result.rules_only(), session_rules);
+}
+
+#[test]
+fn displayed_score_matches_recomputation() {
+    let table = retail(42);
+    let view = table.view();
+    let result = Brs::new(&SizeWeight).run(&view, 3);
+    let recomputed = score_set(&view, &SizeWeight, &result.rules_only());
+    assert!((result.total_score - recomputed.total).abs() < 1e-9);
+    assert_eq!(result.total_score, 2.0 * 200.0 + 2.0 * 600.0 + 1.0 * 1000.0);
+}
+
+#[test]
+fn sum_aggregate_walkthrough() {
+    let table = retail(42);
+    let view = table.view_weighted_by("Sales").unwrap();
+    let result = Brs::new(&SizeWeight).run(&view, 3);
+    // Same rule shapes win under Sum (sales are uniform-ish per tuple).
+    let shown: Vec<String> = result.rules.iter().map(|s| s.rule.display(&table)).collect();
+    assert!(shown.contains(&"(Walmart, ?, ?)".to_owned()), "{shown:?}");
+    // Sums exceed counts (each tuple carries ≥ 40 in sales).
+    for s in &result.rules {
+        assert!(s.count >= 40.0 * 100.0);
+    }
+}
+
+#[test]
+fn star_drill_down_on_walkthrough() {
+    let table = retail(42);
+    let walmart = smart_drilldown::core::Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
+    let region = table.schema().index_of("Region").unwrap();
+    let res = star_drill_down(&table.view(), &SizeWeight, &walmart, region, 3);
+    // CA-1 (150) and WA-5 (130) are Walmart's biggest planted regions.
+    let shown: Vec<String> = res.rules.iter().map(|s| s.rule.display(&table)).collect();
+    assert!(shown.iter().any(|s| s.contains("CA-1")), "{shown:?}");
+    assert!(shown.iter().any(|s| s.contains("WA-5")), "{shown:?}");
+    for s in &res.rules {
+        assert!(!s.rule.is_star(region));
+    }
+}
