@@ -15,7 +15,9 @@ fn bench_pruning(c: &mut Criterion) {
             BenchmarkId::from_parameter(pruning),
             &pruning,
             |b, &pruning| {
-                let brs = Brs::new(&SizeWeight).with_max_weight(5.0).with_pruning(pruning);
+                let brs = Brs::new(&SizeWeight)
+                    .with_max_weight(5.0)
+                    .with_pruning(pruning);
                 b.iter(|| std::hint::black_box(brs.run(&view, 4)))
             },
         );

@@ -15,14 +15,10 @@ fn bench_mw(c: &mut Criterion) {
         ("bits", &BitsWeight as &dyn WeightFn),
     ] {
         for mw in [2.0f64, 5.0, 10.0, 20.0] {
-            group.bench_with_input(
-                BenchmarkId::new(name, mw as u64),
-                &mw,
-                |b, &mw| {
-                    let brs = Brs::new(weight).with_max_weight(mw);
-                    b.iter(|| std::hint::black_box(brs.run(&view, 4)))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, mw as u64), &mw, |b, &mw| {
+                let brs = Brs::new(weight).with_max_weight(mw);
+                b.iter(|| std::hint::black_box(brs.run(&view, 4)))
+            });
         }
     }
     group.finish();

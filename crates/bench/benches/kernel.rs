@@ -1,0 +1,50 @@
+//! Kernel-vs-scalar micro-benchmark: one best-marginal search (Algorithm 2)
+//! over a 100k-row census-shaped table, comparing the historical
+//! row-at-a-time implementation against the columnar kernel (scalar and
+//! parallel). `exp_kernel` (in `src/bin`) emits the same comparison as
+//! `BENCH_kernel.json` with rows/sec figures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdd_core::{
+    find_best_marginal_rule, find_best_marginal_rule_rowwise, SearchOptions, SizeWeight,
+};
+
+fn bench_kernel(c: &mut Criterion) {
+    let table = sdd_bench::datasets::census7(100_000);
+    let view = table.view();
+    let cov = vec![0.0f64; view.len()];
+    let mw = 5.0;
+
+    let mut group = c.benchmark_group("kernel_census7_100k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(view.len() as u64));
+
+    group.bench_function("rowwise_scalar", |b| {
+        let opts = SearchOptions::new(mw);
+        b.iter(|| {
+            std::hint::black_box(find_best_marginal_rule_rowwise(
+                &view,
+                &SizeWeight,
+                &cov,
+                &opts,
+            ))
+        })
+    });
+
+    group.bench_function("columnar_scalar", |b| {
+        let mut opts = SearchOptions::new(mw);
+        opts.parallel = false;
+        b.iter(|| std::hint::black_box(find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)))
+    });
+
+    group.bench_function("columnar_parallel", |b| {
+        let mut opts = SearchOptions::new(mw);
+        opts.parallel = true;
+        b.iter(|| std::hint::black_box(find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

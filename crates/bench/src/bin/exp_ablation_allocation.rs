@@ -37,7 +37,9 @@ fn main() {
 
     // --- Retail-derived tree ---
     let table = sdd_bench::datasets::retail();
-    let result = Brs::new(&SizeWeight).with_max_weight(3.0).run(&table.view(), 4);
+    let result = Brs::new(&SizeWeight)
+        .with_max_weight(3.0)
+        .run(&table.view(), 4);
     let total: f64 = result.rules.iter().map(|s| s.count).sum();
     let n_total = table.n_rows() as f64;
     for capacity in [2_000usize, 5_000, 10_000, 20_000] {

@@ -44,7 +44,11 @@ fn main() {
                 objective,
                 format!("{:.1}", 100.0 * cov),
                 format!("{:.1}", 100.0 * overlap),
-                rules.iter().map(|r| r.display(&table)).collect::<Vec<_>>().join(" | ")
+                rules
+                    .iter()
+                    .map(|r| r.display(&table))
+                    .collect::<Vec<_>>()
+                    .join(" | ")
             ]);
         }
 
@@ -54,7 +58,10 @@ fn main() {
         let c_cov = coverage_fraction(&table, &count_rules);
         let m_overlap = avg_pairwise_overlap(&table, &mcount_rules);
         let c_overlap = avg_pairwise_overlap(&table, &count_rules);
-        assert!(m_cov + 1e-9 >= c_cov, "{name}: MCount coverage below plain Count");
+        assert!(
+            m_cov + 1e-9 >= c_cov,
+            "{name}: MCount coverage below plain Count"
+        );
         assert!(
             m_overlap <= c_overlap + 1e-9,
             "{name}: MCount selection more redundant than plain Count"
@@ -78,14 +85,20 @@ fn naive_count_topk(table: &Table, weight: &dyn WeightFn, k: usize) -> Vec<Rule>
         .collect();
     for row in 0..table.n_rows() as u32 {
         for cols in &col_subsets {
-            *counts.entry(Rule::from_row_columns(table, row, cols)).or_insert(0.0) += 1.0;
+            *counts
+                .entry(Rule::from_row_columns(table, row, cols))
+                .or_insert(0.0) += 1.0;
         }
     }
     let mut scored: Vec<(f64, Rule)> = counts
         .into_iter()
         .map(|(r, c)| (weight.weight(&r, table) * c, r))
         .collect();
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.codes().cmp(b.1.codes())));
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite")
+            .then(a.1.codes().cmp(b.1.codes()))
+    });
     scored.into_iter().take(k).map(|(_, r)| r).collect()
 }
 
@@ -117,8 +130,16 @@ fn avg_pairwise_overlap(table: &Table, rules: &[Rule]) -> f64 {
     let mut pairs = 0usize;
     for i in 0..sets.len() {
         for j in i + 1..sets.len() {
-            let inter = sets[i].iter().zip(&sets[j]).filter(|(a, b)| **a && **b).count();
-            let union = sets[i].iter().zip(&sets[j]).filter(|(a, b)| **a || **b).count();
+            let inter = sets[i]
+                .iter()
+                .zip(&sets[j])
+                .filter(|(a, b)| **a && **b)
+                .count();
+            let union = sets[i]
+                .iter()
+                .zip(&sets[j])
+                .filter(|(a, b)| **a || **b)
+                .count();
             if union > 0 {
                 total += inter as f64 / union as f64;
             }

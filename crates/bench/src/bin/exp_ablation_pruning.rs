@@ -48,7 +48,8 @@ fn main() {
             answers.push(result.rules_only());
         }
         assert_eq!(
-            answers[0], answers[1],
+            answers[0],
+            answers[1],
             "{dataset}/{}: pruning changed the answer!",
             weight.name()
         );

@@ -42,7 +42,9 @@ fn main() {
         .iter()
         .position(|n| n.rule.is_star(education))
         .expect("some displayed rule leaves Education starred");
-    session.expand_star(&[idx], education).expect("star expansion");
+    session
+        .expand_star(&[idx], education)
+        .expect("star expansion");
     println!("== Figure 2: star expansion on 'Education' ==");
     println!("{}", session.render());
     for n in session.node(&[idx]).unwrap().children() {

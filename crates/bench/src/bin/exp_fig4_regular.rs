@@ -31,11 +31,20 @@ fn main() {
     print_table(&rows);
 
     // Verify the equivalence: same groups, same counts.
-    assert_eq!(smart.rules.len(), olap.groups.len(), "one rule per Age value");
+    assert_eq!(
+        smart.rules.len(),
+        olap.groups.len(),
+        "one rule per Age value"
+    );
     for s in &smart.rules {
         // Every emulated rule instantiates exactly Age.
         assert!(!s.rule.is_star(age));
-        assert_eq!(s.rule.size(), 1, "no other column instantiated: {:?}", s.rule);
+        assert_eq!(
+            s.rule.size(),
+            1,
+            "no other column instantiated: {:?}",
+            s.rule
+        );
         let code = s.rule.code(age);
         let olap_count = olap
             .groups

@@ -30,8 +30,18 @@ fn main() {
     let mut rows = vec![row!["mw", "series", "mean_ms"]];
 
     for (series, table, weight, by_sample) in [
-        ("marketing-size", &marketing, &SizeWeight as &dyn WeightFn, false),
-        ("marketing-bits", &marketing, &BitsWeight as &dyn WeightFn, false),
+        (
+            "marketing-size",
+            &marketing,
+            &SizeWeight as &dyn WeightFn,
+            false,
+        ),
+        (
+            "marketing-bits",
+            &marketing,
+            &BitsWeight as &dyn WeightFn,
+            false,
+        ),
         ("census-size", &census, &SizeWeight as &dyn WeightFn, true),
         ("census-bits", &census, &BitsWeight as &dyn WeightFn, true),
     ] {

@@ -60,7 +60,12 @@ fn main() {
             "size-1 rules have zero weight and must not appear: {:?}",
             n.rule
         );
-        rows.push(row!["fig7-size-1", n.rule.display(&table), n.count, n.weight]);
+        rows.push(row![
+            "fig7-size-1",
+            n.rule.display(&table),
+            n.count,
+            n.weight
+        ]);
     }
     println!("Every Figure-7 rule instantiates ≥ 2 columns ✓");
 

@@ -28,11 +28,27 @@ fn main() {
     );
 
     let minss_values = [500usize, 1000, 2000, 3000, 5000, 8000];
-    let mut rows = vec![row!["minSS", "series", "mean_ms", "pct_error", "incorrect_rules"]];
+    let mut rows = vec![row![
+        "minSS",
+        "series",
+        "mean_ms",
+        "pct_error",
+        "incorrect_rules"
+    ]];
 
     for (series, table, weight, mw) in [
-        ("marketing-size", &marketing, &SizeWeight as &dyn WeightFn, 5.0),
-        ("marketing-bits", &marketing, &BitsWeight as &dyn WeightFn, 20.0),
+        (
+            "marketing-size",
+            &marketing,
+            &SizeWeight as &dyn WeightFn,
+            5.0,
+        ),
+        (
+            "marketing-bits",
+            &marketing,
+            &BitsWeight as &dyn WeightFn,
+            20.0,
+        ),
         ("census-size", &census, &SizeWeight as &dyn WeightFn, 5.0),
         ("census-bits", &census, &BitsWeight as &dyn WeightFn, 20.0),
     ] {

@@ -1,0 +1,121 @@
+//! Emits `BENCH_kernel.json`: rows/sec of the best-marginal search on a
+//! 100k-row census-shaped table, before (row-at-a-time) and after (columnar
+//! kernel, scalar and parallel). Run with:
+//!
+//! ```sh
+//! cargo run --release -p sdd-bench --bin exp_kernel
+//! ```
+//!
+//! Environment knobs: `SDD_KERNEL_ROWS` (default 100 000), `SDD_REPS`
+//! (default 5), `SDD_THREADS` (parallel worker override).
+
+use sdd_core::{
+    find_best_marginal_rule, find_best_marginal_rule_rowwise, BestMarginal, SearchOptions,
+    SizeWeight,
+};
+use sdd_table::TableView;
+use std::time::Instant;
+
+fn time_search(reps: usize, run: impl Fn() -> Option<BestMarginal>) -> (f64, Option<BestMarginal>) {
+    // One warmup, then best-of-reps wall time.
+    let mut result = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        result = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let rows: usize = std::env::var("SDD_KERNEL_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let reps: usize = std::env::var("SDD_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+
+    let table = sdd_bench::datasets::census7(rows);
+    let view: TableView<'_> = table.view();
+    let cov = vec![0.0f64; view.len()];
+    let mw = 5.0;
+
+    let (t_rowwise, r_rowwise) = time_search(reps, || {
+        let opts = SearchOptions::new(mw);
+        find_best_marginal_rule_rowwise(&view, &SizeWeight, &cov, &opts)
+    });
+    let (t_scalar, r_scalar) = time_search(reps, || {
+        let mut opts = SearchOptions::new(mw);
+        opts.parallel = false;
+        find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)
+    });
+    let (t_parallel, r_parallel) = time_search(reps, || {
+        let mut opts = SearchOptions::new(mw);
+        opts.parallel = true;
+        find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)
+    });
+
+    // Sanity: all three must agree on the winner.
+    let rule = r_rowwise.as_ref().map(|b| b.rule.display(&table));
+    for (name, r) in [
+        ("columnar_scalar", &r_scalar),
+        ("columnar_parallel", &r_parallel),
+    ] {
+        assert_eq!(
+            r.as_ref().map(|b| b.rule.display(&table)),
+            rule,
+            "{name} disagrees with the rowwise reference"
+        );
+    }
+
+    let n = view.len() as f64;
+    let rps = |t: f64| n / t;
+    println!("best-marginal search on census7({rows}), mw={mw}, reps={reps}:");
+    println!(
+        "  rowwise (seed baseline): {:>9.2} ms   {:>12.0} rows/s",
+        t_rowwise * 1e3,
+        rps(t_rowwise)
+    );
+    println!(
+        "  columnar scalar:         {:>9.2} ms   {:>12.0} rows/s   {:.2}x",
+        t_scalar * 1e3,
+        rps(t_scalar),
+        t_rowwise / t_scalar
+    );
+    println!(
+        "  columnar parallel:       {:>9.2} ms   {:>12.0} rows/s   {:.2}x",
+        t_parallel * 1e3,
+        rps(t_parallel),
+        t_rowwise / t_parallel
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"find_best_marginal_rule/census7\",\n",
+            "  \"rows\": {rows},\n",
+            "  \"max_weight\": {mw},\n",
+            "  \"reps\": {reps},\n",
+            "  \"rowwise_seed\": {{ \"seconds\": {t0:.6}, \"rows_per_sec\": {r0:.0} }},\n",
+            "  \"columnar_scalar\": {{ \"seconds\": {t1:.6}, \"rows_per_sec\": {r1:.0}, \"speedup\": {s1:.2} }},\n",
+            "  \"columnar_parallel\": {{ \"seconds\": {t2:.6}, \"rows_per_sec\": {r2:.0}, \"speedup\": {s2:.2} }}\n",
+            "}}\n"
+        ),
+        rows = rows,
+        mw = mw,
+        reps = reps,
+        t0 = t_rowwise,
+        r0 = rps(t_rowwise),
+        t1 = t_scalar,
+        r1 = rps(t_scalar),
+        s1 = t_rowwise / t_scalar,
+        t2 = t_parallel,
+        r2 = rps(t_parallel),
+        s2 = t_rowwise / t_parallel,
+    );
+    std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("wrote BENCH_kernel.json");
+}

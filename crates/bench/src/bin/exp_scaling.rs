@@ -18,10 +18,12 @@ use sdd_sampling::{AllocationStrategy, SampleHandler, SampleHandlerConfig};
 fn main() {
     let reps = sdd_bench::reps();
     let max_rows = sdd_bench::census_rows().max(200_000);
-    let sizes: Vec<usize> = [10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_458_285]
-        .into_iter()
-        .filter(|&n| n <= max_rows)
-        .collect();
+    let sizes: Vec<usize> = [
+        10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000, 2_458_285,
+    ]
+    .into_iter()
+    .filter(|&n| n <= max_rows)
+    .collect();
     println!("Scaling protocol: census sizes {sizes:?}, minSS=5000, k=4, {reps} reps\n");
 
     let mut rows = vec![row!["n_rows", "cold_ms", "warm_ms"]];

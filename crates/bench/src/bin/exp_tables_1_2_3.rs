@@ -5,8 +5,8 @@
 //! asserted so a regression is loud.
 
 use sdd_bench::report::{print_table, write_csv};
-use sdd_core::{Session, SizeWeight};
 use sdd_bench::row;
+use sdd_core::{Session, SizeWeight};
 
 fn main() {
     let table = sdd_bench::datasets::retail();
@@ -27,11 +27,15 @@ fn main() {
         .map(|n| format!("{} count={}", n.rule.display(&table), n.count))
         .collect();
     assert!(
-        displays.iter().any(|d| d == "(Target, bicycles, ?) count=200"),
+        displays
+            .iter()
+            .any(|d| d == "(Target, bicycles, ?) count=200"),
         "missing Target×bicycles: {displays:?}"
     );
     assert!(
-        displays.iter().any(|d| d == "(?, comforters, MA-3) count=600"),
+        displays
+            .iter()
+            .any(|d| d == "(?, comforters, MA-3) count=600"),
         "missing comforters×MA-3: {displays:?}"
     );
     assert!(
@@ -56,9 +60,20 @@ fn main() {
         .iter()
         .map(|n| format!("{} count={}", n.rule.display(&table), n.count))
         .collect();
-    assert!(children.iter().any(|d| d == "(Walmart, cookies, ?) count=200"), "{children:?}");
-    assert!(children.iter().any(|d| d == "(Walmart, ?, CA-1) count=150"), "{children:?}");
-    assert!(children.iter().any(|d| d == "(Walmart, ?, WA-5) count=130"), "{children:?}");
+    assert!(
+        children
+            .iter()
+            .any(|d| d == "(Walmart, cookies, ?) count=200"),
+        "{children:?}"
+    );
+    assert!(
+        children.iter().any(|d| d == "(Walmart, ?, CA-1) count=150"),
+        "{children:?}"
+    );
+    assert!(
+        children.iter().any(|d| d == "(Walmart, ?, WA-5) count=130"),
+        "{children:?}"
+    );
 
     // Summary row for EXPERIMENTS.md.
     let mut rows = vec![row!["table", "rule", "count", "weight"]];
@@ -72,5 +87,8 @@ fn main() {
     }
     print_table(&rows);
     let path = write_csv("tables_1_2_3.csv", &rows);
-    println!("\nAll paper rows reproduced exactly. CSV: {}", path.display());
+    println!(
+        "\nAll paper rows reproduced exactly. CSV: {}",
+        path.display()
+    );
 }

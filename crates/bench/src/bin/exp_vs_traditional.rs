@@ -56,7 +56,12 @@ fn main() {
     println!("CSV: {}", path.display());
 }
 
-fn measure(table: &sdd_table::Table, dataset: &str, pairs: &[(&str, &str)], rows: &mut Vec<Vec<String>>) {
+fn measure(
+    table: &sdd_table::Table,
+    dataset: &str,
+    pairs: &[(&str, &str)],
+    rows: &mut Vec<Vec<String>>,
+) {
     let target = Rule::from_pairs(table, pairs).expect("target values exist");
     let smart = smart_effort(table, &SizeWeight, 4, &target, 6)
         .unwrap_or_else(|| panic!("smart drill-down never surfaced {pairs:?}"));

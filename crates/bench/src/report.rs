@@ -52,7 +52,10 @@ pub fn print_table(rows: &[Vec<String>]) {
         }
         println!("{}", line.trim_end());
         if ri == 0 {
-            println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (n.saturating_sub(1))));
+            println!(
+                "{}",
+                "-".repeat(widths.iter().sum::<usize>() + 2 * (n.saturating_sub(1)))
+            );
         }
     }
 }

@@ -95,7 +95,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "demo" => match rest.as_slice() {
             [name] => Ok(Command::Demo((*name).to_owned(), None)),
             [name, rows] => {
-                let n = rows.parse().map_err(|_| format!("bad row count {rows:?}"))?;
+                let n = rows
+                    .parse()
+                    .map_err(|_| format!("bad row count {rows:?}"))?;
                 Ok(Command::Demo((*name).to_owned(), Some(n)))
             }
             _ => Err("usage: demo <retail|marketing|census> [rows]".to_owned()),
@@ -126,7 +128,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
         "k" => {
             need(1, "k <n>")?;
-            let k: usize = rest[0].parse().map_err(|_| format!("bad k {:?}", rest[0]))?;
+            let k: usize = rest[0]
+                .parse()
+                .map_err(|_| format!("bad k {:?}", rest[0]))?;
             if k == 0 {
                 return Err("k must be positive".to_owned());
             }
@@ -134,7 +138,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
         "mw" => {
             need(1, "mw <weight>")?;
-            let mw: f64 = rest[0].parse().map_err(|_| format!("bad mw {:?}", rest[0]))?;
+            let mw: f64 = rest[0]
+                .parse()
+                .map_err(|_| format!("bad mw {:?}", rest[0]))?;
             if mw <= 0.0 || mw.is_nan() {
                 return Err("mw must be positive".to_owned());
             }
@@ -143,7 +149,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "favor" => match rest.as_slice() {
             [col] => Ok(Command::Favor((*col).to_owned(), 3.0)),
             [col, factor] => {
-                let f: f64 = factor.parse().map_err(|_| format!("bad factor {factor:?}"))?;
+                let f: f64 = factor
+                    .parse()
+                    .map_err(|_| format!("bad factor {factor:?}"))?;
                 if f <= 0.0 || f.is_nan() {
                     return Err("factor must be positive".to_owned());
                 }
@@ -201,7 +209,10 @@ mod tests {
     fn parses_expand_variants() {
         assert_eq!(parse_command("expand").unwrap(), Command::Expand(vec![]));
         assert_eq!(parse_command("e 0.1").unwrap(), Command::Expand(vec![0, 1]));
-        assert_eq!(parse_command("EXPAND root").unwrap(), Command::Expand(vec![]));
+        assert_eq!(
+            parse_command("EXPAND root").unwrap(),
+            Command::Expand(vec![])
+        );
     }
 
     #[test]
@@ -216,8 +227,14 @@ mod tests {
 
     #[test]
     fn parses_settings() {
-        assert_eq!(parse_command("weight bits").unwrap(), Command::Weight(WeightKind::Bits));
-        assert_eq!(parse_command("w size-1").unwrap(), Command::Weight(WeightKind::SizeMinusOne));
+        assert_eq!(
+            parse_command("weight bits").unwrap(),
+            Command::Weight(WeightKind::Bits)
+        );
+        assert_eq!(
+            parse_command("w size-1").unwrap(),
+            Command::Weight(WeightKind::SizeMinusOne)
+        );
         assert_eq!(parse_command("k 5").unwrap(), Command::SetK(5));
         assert_eq!(parse_command("mw 4.5").unwrap(), Command::SetMw(4.5));
         assert!(parse_command("k 0").is_err());

@@ -55,7 +55,10 @@ pub fn run<R: BufRead, W: Write>(mut input: R, output: &mut W) -> std::io::Resul
 }
 
 /// Reads commands until one provides a dataset (or input ends / quits).
-fn read_source<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> std::io::Result<Option<Source>> {
+fn read_source<R: BufRead, W: Write>(
+    input: &mut R,
+    output: &mut W,
+) -> std::io::Result<Option<Source>> {
     let mut line = String::new();
     loop {
         write!(output, "> ")?;
@@ -73,7 +76,10 @@ fn read_source<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> std::io::
             Ok(Command::Demo(name, rows)) => return Ok(Some(Source::Demo(name, rows))),
             Ok(Command::Quit) => return Ok(None),
             Ok(Command::Help) => writeln!(output, "{HELP}")?,
-            Ok(_) => writeln!(output, "load a dataset first: `open <csv>` or `demo retail`")?,
+            Ok(_) => writeln!(
+                output,
+                "load a dataset first: `open <csv>` or `demo retail`"
+            )?,
             Err(e) => writeln!(output, "error: {e}")?,
         }
     }
@@ -82,13 +88,16 @@ fn read_source<R: BufRead, W: Write>(input: &mut R, output: &mut W) -> std::io::
 fn load(source: &Source) -> Result<Table, String> {
     match source {
         Source::Csv(path) => {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
             sdd_table::csv::read_csv(&text).map_err(|e| e.to_string())
         }
         Source::Demo(name, rows) => match name.to_ascii_lowercase().as_str() {
             "retail" => Ok(sdd_datagen::retail(42)),
             "marketing" => Ok(sdd_datagen::marketing(2016).project_first_columns(7)),
-            "census" => Ok(sdd_datagen::census(rows.unwrap_or(100_000), 1990).project_first_columns(7)),
+            "census" => {
+                Ok(sdd_datagen::census(rows.unwrap_or(100_000), 1990).project_first_columns(7))
+            }
             other => Err(format!("unknown demo {other:?} (retail|marketing|census)")),
         },
     }
@@ -141,14 +150,22 @@ fn make_weight(kind: WeightKind, multipliers: &[f64]) -> Box<dyn WeightFn> {
 }
 
 /// The exploration loop over one loaded table.
-fn explore<R: BufRead, W: Write>(table: &Table, input: &mut R, output: &mut W) -> std::io::Result<Outcome> {
+fn explore<R: BufRead, W: Write>(
+    table: &Table,
+    input: &mut R,
+    output: &mut W,
+) -> std::io::Result<Outcome> {
     let mut weight_kind = WeightKind::Size;
     let mut multipliers = vec![1.0f64; table.n_columns()];
     let mut config = ExplorerConfig {
         k: 4,
         ..ExplorerConfig::default()
     };
-    let mut explorer = Explorer::new(table, make_weight(weight_kind, &multipliers), config.clone());
+    let mut explorer = Explorer::new(
+        table,
+        make_weight(weight_kind, &multipliers),
+        config.clone(),
+    );
     writeln!(output, "{}", explorer.render())?;
 
     let mut line = String::new();
@@ -188,50 +205,73 @@ fn explore<R: BufRead, W: Write>(table: &Table, input: &mut R, output: &mut W) -
                 Ok(_) => writeln!(output, "{}", explorer.render())?,
                 Err(e) => writeln!(output, "error: {e}")?,
             },
-            Command::Star(path, column) => {
-                match table.schema().index_of(&column) {
-                    Ok(col) => match explorer.expand_star(&path, col) {
-                        Ok(_) => writeln!(output, "{}", explorer.render())?,
-                        Err(e) => writeln!(output, "error: {e}")?,
-                    },
+            Command::Star(path, column) => match table.schema().index_of(&column) {
+                Ok(col) => match explorer.expand_star(&path, col) {
+                    Ok(_) => writeln!(output, "{}", explorer.render())?,
                     Err(e) => writeln!(output, "error: {e}")?,
-                }
-            }
+                },
+                Err(e) => writeln!(output, "error: {e}")?,
+            },
             Command::Collapse(path) => match explorer.collapse(&path) {
                 Ok(()) => writeln!(output, "{}", explorer.render())?,
                 Err(e) => writeln!(output, "error: {e}")?,
             },
             Command::Weight(kind) => {
                 weight_kind = kind;
-                explorer = Explorer::new(table, make_weight(weight_kind, &multipliers), config.clone());
-                writeln!(output, "weighting = {kind}; display reset\n{}", explorer.render())?;
+                explorer = Explorer::new(
+                    table,
+                    make_weight(weight_kind, &multipliers),
+                    config.clone(),
+                );
+                writeln!(
+                    output,
+                    "weighting = {kind}; display reset\n{}",
+                    explorer.render()
+                )?;
             }
             Command::Favor(column, factor) => match table.schema().index_of(&column) {
                 Ok(col) => {
                     multipliers[col] = factor;
-                    explorer =
-                        Explorer::new(table, make_weight(weight_kind, &multipliers), config.clone());
-                    writeln!(output, "column {column:?} weighted ×{factor}; display reset")?;
+                    explorer = Explorer::new(
+                        table,
+                        make_weight(weight_kind, &multipliers),
+                        config.clone(),
+                    );
+                    writeln!(
+                        output,
+                        "column {column:?} weighted ×{factor}; display reset"
+                    )?;
                 }
                 Err(e) => writeln!(output, "error: {e}")?,
             },
             Command::Ignore(column) => match table.schema().index_of(&column) {
                 Ok(col) => {
                     multipliers[col] = 0.0;
-                    explorer =
-                        Explorer::new(table, make_weight(weight_kind, &multipliers), config.clone());
+                    explorer = Explorer::new(
+                        table,
+                        make_weight(weight_kind, &multipliers),
+                        config.clone(),
+                    );
                     writeln!(output, "column {column:?} ignored; display reset")?;
                 }
                 Err(e) => writeln!(output, "error: {e}")?,
             },
             Command::SetK(k) => {
                 config.k = k;
-                explorer = Explorer::new(table, make_weight(weight_kind, &multipliers), config.clone());
+                explorer = Explorer::new(
+                    table,
+                    make_weight(weight_kind, &multipliers),
+                    config.clone(),
+                );
                 writeln!(output, "k = {k}; display reset")?;
             }
             Command::SetMw(mw) => {
                 config.max_weight = Some(mw);
-                explorer = Explorer::new(table, make_weight(weight_kind, &multipliers), config.clone());
+                explorer = Explorer::new(
+                    table,
+                    make_weight(weight_kind, &multipliers),
+                    config.clone(),
+                );
                 writeln!(output, "mw = {mw}; display reset")?;
             }
         }
@@ -307,7 +347,10 @@ mod tests {
         assert!(out.contains("ignored"), "{out}");
         let after = out.split("ignored").nth(1).unwrap();
         assert!(!after.contains("Walmart"), "{out}");
-        assert!(after.contains("comforters") || after.contains("MA-3"), "{out}");
+        assert!(
+            after.contains("comforters") || after.contains("MA-3"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! (Problem 3). Each greedy step delegates to
 //! [`crate::marginal::find_best_marginal_rule`] (Algorithm 2).
 
-use crate::marginal::{find_best_marginal_rule, SearchOptions, SearchStats};
+use crate::kernel::{for_each_covered_position, SearchScratch};
+use crate::marginal::{find_best_marginal_rule_with_scratch, SearchOptions, SearchStats};
 use crate::{score_list, sort_by_weight_desc, Rule, WeightFn};
 use sdd_table::TableView;
 
@@ -62,6 +63,7 @@ pub struct Brs<'w> {
     max_weight: Option<f64>,
     pruning: bool,
     max_rule_size: Option<usize>,
+    parallel: Option<bool>,
 }
 
 impl<'w> Brs<'w> {
@@ -74,6 +76,7 @@ impl<'w> Brs<'w> {
             max_weight: None,
             pruning: true,
             max_rule_size: None,
+            parallel: None,
         }
     }
 
@@ -99,6 +102,15 @@ impl<'w> Brs<'w> {
         self
     }
 
+    /// Forces the counting kernel's multi-threading on or off (the default
+    /// follows [`SearchOptions::new`]: on for large views when the
+    /// `parallel` feature is compiled in). Used by benchmarks to ablate the
+    /// parallel speedup.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
     /// The configured weight function.
     pub fn weight_fn(&self) -> &'w dyn WeightFn {
         self.weight
@@ -111,6 +123,7 @@ impl<'w> Brs<'w> {
         self.max_weight = other.max_weight;
         self.pruning = other.pruning;
         self.max_rule_size = other.max_rule_size;
+        self.parallel = other.parallel;
         self
     }
 
@@ -139,7 +152,12 @@ impl<'w> Brs<'w> {
     /// "alternatively, we can set a time limit ... and display as many
     /// rules as we can find within that time limit"). At least one search
     /// is attempted even for a zero budget.
-    pub fn run_for(&self, view: &TableView<'_>, budget: std::time::Duration, max_k: usize) -> BrsResult {
+    pub fn run_for(
+        &self,
+        view: &TableView<'_>,
+        budget: std::time::Duration,
+        max_k: usize,
+    ) -> BrsResult {
         let start = std::time::Instant::now();
         self.run_streaming(view, max_k, |_, _| start.elapsed() < budget)
     }
@@ -147,7 +165,12 @@ impl<'w> Brs<'w> {
     /// Runs the greedy loop with an optional drill-down base rule. The view
     /// must already be filtered to base-covered tuples (the drill-down
     /// helpers in [`crate::drilldown`] do this).
-    pub(crate) fn run_with_base(&self, view: &TableView<'_>, base: Option<Rule>, k: usize) -> BrsResult {
+    pub(crate) fn run_with_base(
+        &self,
+        view: &TableView<'_>,
+        base: Option<Rule>,
+        k: usize,
+    ) -> BrsResult {
         self.run_inner(view, base, k, &mut |_, _| true)
     }
 
@@ -159,27 +182,41 @@ impl<'w> Brs<'w> {
         on_rule: &mut dyn FnMut(&Rule, f64) -> bool,
     ) -> BrsResult {
         let table = view.table();
-        let mw = self.max_weight.unwrap_or_else(|| self.weight.max_weight(table));
+        let mw = self
+            .max_weight
+            .unwrap_or_else(|| self.weight.max_weight(table));
         let mut opts = SearchOptions::new(mw);
         opts.pruning = self.pruning;
         opts.max_rule_size = self.max_rule_size;
         opts.base = base;
+        if let Some(parallel) = self.parallel {
+            opts.parallel = parallel;
+        }
 
         let mut covered = vec![0.0f64; view.len()];
         let mut selection: Vec<Rule> = Vec::with_capacity(k);
         let mut stats = SearchStats::default();
+        // One scratch for all k searches: steady-state iterations reuse the
+        // kernel's histogram/candidate buffers.
+        let mut scratch = SearchScratch::new();
 
         for _ in 0..k {
-            let Some(best) = find_best_marginal_rule(view, &self.weight, &covered, &opts) else {
+            let Some(best) = find_best_marginal_rule_with_scratch(
+                view,
+                &self.weight,
+                &covered,
+                &opts,
+                &mut scratch,
+            ) else {
                 break;
             };
             stats.absorb(&best.stats);
-            // Update per-tuple best covering weight.
-            for (i, wr) in view.iter().enumerate() {
-                if best.rule.covers_row(table, wr.row) && best.weight > covered[i] {
+            // Update per-tuple best covering weight (columnar scan).
+            for_each_covered_position(view, &best.rule, |i| {
+                if best.weight > covered[i] {
                     covered[i] = best.weight;
                 }
-            }
+            });
             let keep_going = on_rule(&best.rule, best.marginal_value);
             selection.push(best.rule);
             if !keep_going {
@@ -216,9 +253,9 @@ mod tests {
     /// 4×(a,x), 3×(a,y), 2×(b,y), 1×(c,z).
     fn t() -> Table {
         let mut rows: Vec<[&str; 2]> = Vec::new();
-        rows.extend(std::iter::repeat(["a", "x"]).take(4));
-        rows.extend(std::iter::repeat(["a", "y"]).take(3));
-        rows.extend(std::iter::repeat(["b", "y"]).take(2));
+        rows.extend(std::iter::repeat_n(["a", "x"], 4));
+        rows.extend(std::iter::repeat_n(["a", "y"], 3));
+        rows.extend(std::iter::repeat_n(["b", "y"], 2));
         rows.push(["c", "z"]);
         Table::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap()
     }
@@ -226,8 +263,14 @@ mod tests {
     #[test]
     fn greedy_picks_follow_marginal_order() {
         let table = t();
-        let res = Brs::new(&SizeWeight).with_max_weight(2.0).run(&table.view(), 3);
-        let picks: Vec<String> = res.selection_order.iter().map(|r| r.display(&table)).collect();
+        let res = Brs::new(&SizeWeight)
+            .with_max_weight(2.0)
+            .run(&table.view(), 3);
+        let picks: Vec<String> = res
+            .selection_order
+            .iter()
+            .map(|r| r.display(&table))
+            .collect();
         // (a,x): 8; then (a,y): 6; then (b,y): 4.
         assert_eq!(picks, vec!["(a, x)", "(a, y)", "(b, y)"]);
     }
@@ -235,7 +278,9 @@ mod tests {
     #[test]
     fn display_order_is_descending_weight() {
         let table = t();
-        let res = Brs::new(&SizeWeight).with_max_weight(2.0).run(&table.view(), 3);
+        let res = Brs::new(&SizeWeight)
+            .with_max_weight(2.0)
+            .run(&table.view(), 3);
         for pair in res.rules.windows(2) {
             assert!(pair[0].weight >= pair[1].weight);
         }
@@ -252,7 +297,8 @@ mod tests {
 
     #[test]
     fn stops_early_when_no_marginal_gain_left() {
-        let table = Table::from_rows(Schema::new(["A"]).unwrap(), &[&["a"], &["a"], &["b"]]).unwrap();
+        let table =
+            Table::from_rows(Schema::new(["A"]).unwrap(), &[&["a"], &["a"], &["b"]]).unwrap();
         let res = Brs::new(&SizeWeight).run(&table.view(), 10);
         // Only two distinct rules exist: (a) and (b).
         assert_eq!(res.rules.len(), 2);
@@ -270,14 +316,18 @@ mod tests {
     fn default_mw_is_exact() {
         let table = t();
         let with_default = Brs::new(&SizeWeight).run(&table.view(), 2);
-        let with_max = Brs::new(&SizeWeight).with_max_weight(2.0).run(&table.view(), 2);
+        let with_max = Brs::new(&SizeWeight)
+            .with_max_weight(2.0)
+            .run(&table.view(), 2);
         assert_eq!(with_default.total_score, with_max.total_score);
     }
 
     #[test]
     fn too_small_mw_degrades_gracefully() {
         let table = t();
-        let res = Brs::new(&SizeWeight).with_max_weight(1.0).run(&table.view(), 2);
+        let res = Brs::new(&SizeWeight)
+            .with_max_weight(1.0)
+            .run(&table.view(), 2);
         // All returned rules respect the cap.
         assert!(res.rules.iter().all(|r| r.weight <= 1.0));
         assert!(!res.rules.is_empty());
@@ -286,10 +336,16 @@ mod tests {
     #[test]
     fn counts_are_full_counts_not_mcounts() {
         let table = t();
-        let res = Brs::new(&SizeWeight).with_max_weight(2.0).run(&table.view(), 3);
+        let res = Brs::new(&SizeWeight)
+            .with_max_weight(2.0)
+            .run(&table.view(), 3);
         // Displayed Count for (a,x) must be its full coverage (4), and for a
         // later-overlapping rule the count may exceed its mcount.
-        let ax = res.rules.iter().find(|r| r.rule.display(&table) == "(a, x)").unwrap();
+        let ax = res
+            .rules
+            .iter()
+            .find(|r| r.rule.display(&table) == "(a, x)")
+            .unwrap();
         assert_eq!(ax.count, 4.0);
         assert!(res.rules.iter().all(|r| r.count >= r.mcount));
     }

@@ -11,7 +11,7 @@
 //! Both return a [`BrsResult`] whose rules are full rules (base values
 //! merged in), ready for display.
 
-use crate::{Brs, BrsResult, Rule, RequireColumn, WeightFn};
+use crate::{Brs, BrsResult, RequireColumn, Rule, WeightFn};
 use sdd_table::TableView;
 
 /// Which drill-down the analyst performed.
@@ -23,10 +23,23 @@ pub enum DrillDownKind {
     Star(usize),
 }
 
-/// Filters `view` to the tuples covered by `base` (the paper's `T_{r'}`).
+/// Filters `view` to the tuples covered by `base` (the paper's `T_{r'}`),
+/// evaluating the rule column-at-a-time over the dictionary-encoded column
+/// slices (see [`crate::kernel::for_each_covered_position`]).
 pub fn filter_to_rule<'a>(view: &TableView<'a>, base: &Rule) -> TableView<'a> {
     let table = view.table();
-    view.filter(|row| base.covers_row(table, row))
+    let mut rows = Vec::new();
+    let mut weights = view.weights().map(|_| Vec::new());
+    crate::kernel::for_each_covered_position(view, base, |i| {
+        rows.push(view.row_at(i));
+        if let Some(w) = &mut weights {
+            w.push(view.weight_at(i));
+        }
+    });
+    match weights {
+        Some(w) => TableView::with_rows_and_weights(table, rows, w),
+        None => TableView::with_rows(table, rows),
+    }
 }
 
 /// Rule drill-down with explicit optimizer configuration.
@@ -83,13 +96,13 @@ mod tests {
     fn t() -> Table {
         let mut rows: Vec<[&str; 3]> = Vec::new();
         // Walmart block: cookies dominate, then two regional clusters.
-        rows.extend(std::iter::repeat(["Walmart", "cookies", "AK-1"]).take(5));
-        rows.extend(std::iter::repeat(["Walmart", "towels", "CA-1"]).take(4));
-        rows.extend(std::iter::repeat(["Walmart", "soap", "WA-5"]).take(3));
+        rows.extend(std::iter::repeat_n(["Walmart", "cookies", "AK-1"], 5));
+        rows.extend(std::iter::repeat_n(["Walmart", "towels", "CA-1"], 4));
+        rows.extend(std::iter::repeat_n(["Walmart", "soap", "WA-5"], 3));
         rows.push(["Walmart", "soap", "CA-1"]);
         // Non-Walmart noise.
-        rows.extend(std::iter::repeat(["Target", "bicycles", "MA-3"]).take(6));
-        rows.extend(std::iter::repeat(["Costco", "comforters", "MA-3"]).take(2));
+        rows.extend(std::iter::repeat_n(["Target", "bicycles", "MA-3"], 6));
+        rows.extend(std::iter::repeat_n(["Costco", "comforters", "MA-3"], 2));
         Table::from_rows(Schema::new(["Store", "Product", "Region"]).unwrap(), &rows).unwrap()
     }
 
@@ -132,11 +145,18 @@ mod tests {
         let res = star_drill_down(&table.view(), &SizeWeight, &base, region, 3);
         assert!(!res.rules.is_empty());
         for s in &res.rules {
-            assert!(!s.rule.is_star(region), "{:?} leaves Region starred", s.rule);
+            assert!(
+                !s.rule.is_star(region),
+                "{:?} leaves Region starred",
+                s.rule
+            );
             assert!(s.rule.is_strict_super_rule_of(&base));
         }
         // CA-1 is Walmart's biggest region (5 rows).
-        assert!(res.rules.iter().any(|s| s.rule.display(&table).contains("CA-1")));
+        assert!(res
+            .rules
+            .iter()
+            .any(|s| s.rule.display(&table).contains("CA-1")));
     }
 
     #[test]
@@ -161,7 +181,8 @@ mod tests {
     fn drill_down_on_rule_covering_nothing_returns_empty() {
         let table = t();
         // Build a rule that covers nothing: Target × cookies never co-occurs.
-        let base = Rule::from_pairs(&table, &[("Store", "Target"), ("Product", "cookies")]).unwrap();
+        let base =
+            Rule::from_pairs(&table, &[("Store", "Target"), ("Product", "cookies")]).unwrap();
         let res = drill_down(&table.view(), &SizeWeight, &base, 3);
         assert!(res.rules.is_empty());
     }

@@ -1,0 +1,1069 @@
+//! The columnar counting kernel behind Algorithm 2 (paper §3.5).
+//!
+//! [`crate::marginal::find_best_marginal_rule`] historically counted
+//! candidates row-at-a-time: every row gathered its full code vector, built
+//! a [`Rule`] per (row × free column) probe, and hit a `FxHashMap<Rule, _>`
+//! on the hot path. This module replaces that inner loop with a columnar
+//! kernel that:
+//!
+//! * **pass 1** — accumulates per-column count/marginal histograms by
+//!   scanning each dictionary-encoded column slice directly (one `f64` slot
+//!   per code, no `Rule` construction, no hashing); rules materialize only
+//!   at the candidate boundary, one per distinct surviving `(column, code)`;
+//! * **pass j ≥ 2** — groups the level's candidates by their instantiated
+//!   column set. A group whose column-cardinality product fits
+//!   [`DENSE_CELL_CAP`] is counted **probe-free** into a dense
+//!   count/marginal histogram indexed by the mixed-radix cell of the row's
+//!   codes; larger groups pack each candidate's codes into a `u64` (or a
+//!   flat `u32` tuple beyond 64 bits) and binary-search a sorted flat
+//!   `Vec`. Either way the `Rule`-keyed map survives only at the API
+//!   boundary;
+//! * **parallelism** — pass-1 columns and pass-j groups are independent
+//!   tasks with disjoint accumulators, executed on `std::thread::scope`
+//!   workers (gated behind the `parallel` cargo feature and
+//!   [`SearchOptions::parallel`]). Because no accumulator is ever split
+//!   across tasks, every per-candidate sum is formed in exactly the same
+//!   (row) order as the scalar sweep: **parallel results are bit-identical
+//!   to scalar results**, on any thread count. The build environment has no
+//!   registry access, so this uses scoped threads directly rather than
+//!   depending on `rayon`. (`TableView::chunks` exists for future
+//!   row-sliced parallelism, which would trade this bit-exactness for
+//!   scaling past the column/group count.)
+//!
+//! **Parity.** Scalar and parallel kernel results are bit-identical to the
+//! row-at-a-time reference
+//! [`crate::marginal::find_best_marginal_rule_rowwise`]: every accumulator
+//! receives its additions in the same row order, and winner selection uses
+//! the same strict total order. `tests/kernel_parity.rs` asserts this on
+//! randomized instances.
+//!
+//! [`SearchScratch`] owns the per-search buffers so the `k` searches of one
+//! BRS run reuse allocations on the scalar path; worker tasks allocate
+//! their own (candidate-bounded, not row-bounded) accumulators.
+
+use crate::marginal::{BestMarginal, SearchOptions, SearchStats};
+use crate::{Rule, WeightFn};
+use rustc_hash::FxHashMap;
+use sdd_table::{RowId, Table, TableView, ViewChunk};
+use std::sync::Mutex;
+
+/// Count/marginal/weight accumulator for one candidate rule (the paper's
+/// per-candidate state in set `C`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CandStat {
+    pub(crate) count: f64,
+    pub(crate) marginal: f64,
+    pub(crate) weight: f64,
+}
+
+impl CandStat {
+    /// Upper bound on the marginal value of any super-rule with weight ≤ mw.
+    #[inline]
+    pub(crate) fn super_rule_bound(&self, mw: f64) -> f64 {
+        self.marginal + self.count * (mw - self.weight)
+    }
+}
+
+/// Maximum cells (`Π` column cardinalities) for a pass-j group to use the
+/// probe-free dense histogram (3 `f64` arrays of this many cells ≈ 3 MB).
+const DENSE_CELL_CAP: usize = 1 << 17;
+
+fn worker_threads() -> usize {
+    // `SDD_THREADS` overrides detection (also how the parity suite forces
+    // the multi-task path on single-core CI machines).
+    if let Some(n) = std::env::var("SDD_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `work` over every job, returning outputs in job order. Jobs are
+/// independent units (pass-1 columns, pass-j groups) whose accumulators are
+/// disjoint, so execution order cannot affect results.
+fn map_jobs<J, T, F>(threads: usize, jobs: Vec<J>, work: F) -> Vec<T>
+where
+    J: Send,
+    T: Send,
+    F: Fn(J) -> T + Sync,
+{
+    if threads <= 1 || jobs.len() < 2 {
+        return jobs.into_iter().map(work).collect();
+    }
+    let n_workers = threads.min(jobs.len());
+    let queue: Mutex<Vec<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let job = queue.lock().expect("kernel queue poisoned").pop();
+                        match job {
+                            Some((i, j)) => out.push((i, work(j))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("kernel worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Per-free-column pass-1 state: one slot per dictionary code.
+#[derive(Debug, Default, Clone)]
+struct ColumnHist {
+    counts: Vec<f64>,
+    marginals: Vec<f64>,
+    /// `W(base + (col, code))` for candidate codes, `0.0` for codes that are
+    /// unsupported or over the weight cap (their marginal slots are ignored).
+    wtab: Vec<f64>,
+}
+
+/// Result of one pass-1 column task.
+struct Pass1Out {
+    hist: ColumnHist,
+    /// Level-1 candidate rules of this column, code-ascending.
+    rules: Vec<Rule>,
+    generated: usize,
+    pruned: usize,
+}
+
+/// One level-j candidate group: all candidates instantiating the same set of
+/// free columns.
+#[derive(Debug, Default)]
+struct Group {
+    /// Absolute column indices, ascending.
+    cols: Vec<usize>,
+    /// Mixed-radix strides per column (dense mode).
+    strides: Vec<usize>,
+    /// Total dense cells (`Π` cardinalities); `0` when overflowed.
+    cells: usize,
+    /// Candidate (dense cell, candidate index) pairs (dense mode).
+    cand_cells: Vec<(usize, u32)>,
+    /// Per-column left-shifts when packing fits in 64 bits (sparse mode).
+    shifts: Vec<u32>,
+    /// True when sparse keys fit a single `u64`.
+    packed: bool,
+    /// Sorted packed keys (sparse packed mode).
+    keys: Vec<u64>,
+    /// Flat candidate code tuples in sorted order, stride `cols.len()`
+    /// (sparse wide mode).
+    wide_keys: Vec<u32>,
+    /// Candidate index per sorted key (sparse modes).
+    order: Vec<u32>,
+}
+
+impl Group {
+    /// True when this group counts via the dense histogram.
+    #[inline]
+    fn is_dense(&self) -> bool {
+        self.cells != 0
+    }
+
+    /// Looks up the **sorted key position** of the candidate matching the
+    /// row codes gathered by `fetch(group_column_index)` (sparse modes
+    /// only); map through `order` for the candidate index. `wide_scratch`
+    /// is a reusable buffer for the wide path; untouched in packed mode.
+    #[inline]
+    fn probe(
+        &self,
+        wide_scratch: &mut Vec<u32>,
+        mut fetch: impl FnMut(usize) -> u32,
+    ) -> Option<usize> {
+        if self.packed {
+            let mut key = 0u64;
+            for (gi, &sh) in self.shifts.iter().enumerate() {
+                key |= (fetch(gi) as u64) << sh;
+            }
+            self.keys.binary_search(&key).ok()
+        } else {
+            let stride = self.cols.len();
+            wide_scratch.clear();
+            for gi in 0..stride {
+                wide_scratch.push(fetch(gi));
+            }
+            // Binary search over the co-sorted flat key tuples.
+            let (mut lo, mut hi) = (0usize, self.order.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let cand = &self.wide_keys[mid * stride..(mid + 1) * stride];
+                match cand.cmp(&wide_scratch[..]) {
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                    std::cmp::Ordering::Equal => return Some(mid),
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Reusable buffers for one sequence of best-marginal searches. Thread one
+/// instance through the `k` greedy iterations of a BRS run (see
+/// [`crate::Brs`]) so steady-state searches reuse allocations.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    hists: Vec<ColumnHist>,
+    cstats: Vec<CandStat>,
+    groups: Vec<Group>,
+    /// Maps a level's column-set signature to its group index.
+    group_ix: FxHashMap<Vec<u16>, usize>,
+}
+
+impl SearchScratch {
+    /// A fresh scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Columnar implementation of Algorithm 2. See the module docs; results are
+/// bit-identical to [`crate::marginal::find_best_marginal_rule_rowwise`] in
+/// both scalar and parallel mode.
+pub(crate) fn find_best_marginal_rule_columnar(
+    view: &TableView<'_>,
+    weight: &dyn WeightFn,
+    covered_weight: &[f64],
+    opts: &SearchOptions,
+    scratch: &mut SearchScratch,
+) -> Option<BestMarginal> {
+    assert_eq!(
+        covered_weight.len(),
+        view.len(),
+        "covered_weight must align with view"
+    );
+    let table = view.table();
+    let n_cols = table.n_columns();
+    let base = opts.base.clone().unwrap_or_else(|| Rule::trivial(n_cols));
+    let free_cols: Vec<usize> = (0..n_cols).filter(|&c| base.is_star(c)).collect();
+    let max_size = opts
+        .max_rule_size
+        .unwrap_or(free_cols.len())
+        .min(free_cols.len());
+    if max_size == 0 || view.is_empty() {
+        return None;
+    }
+
+    let parallel_enabled =
+        cfg!(feature = "parallel") && opts.parallel && view.len() >= opts.parallel_min_rows.max(1);
+    let threads = if parallel_enabled {
+        worker_threads()
+    } else {
+        1
+    };
+
+    let mut stats = SearchStats::default();
+    let mut counted: FxHashMap<Rule, CandStat> = FxHashMap::default();
+    let mut best_h = 0.0f64;
+
+    // ---- Pass 1: columnar per-code histograms, one task per free column. ----
+    stats.passes = 1;
+    scratch.hists.resize_with(free_cols.len(), Default::default);
+    let chunk = view.as_chunk();
+    let pass1: Vec<Pass1Out> = {
+        let jobs: Vec<(usize, ColumnHist)> = free_cols
+            .iter()
+            .enumerate()
+            .map(|(fi, _)| (fi, std::mem::take(&mut scratch.hists[fi])))
+            .collect();
+        map_jobs(threads, jobs, |(fi, mut hist)| {
+            let c = free_cols[fi];
+            let card = table.cardinality(c);
+            hist.counts.clear();
+            hist.counts.resize(card, 0.0);
+            hist.marginals.clear();
+            hist.marginals.resize(card, 0.0);
+            hist.wtab.clear();
+            hist.wtab.resize(card, 0.0);
+
+            count_column(table, &chunk, c, &mut hist.counts);
+
+            // Candidate boundary: materialize rules for supported codes,
+            // gate on weight, fill the code → weight table.
+            let mut rules: Vec<Rule> = Vec::new();
+            let (mut generated, mut pruned) = (0usize, 0usize);
+            for code in 0..card {
+                if hist.counts[code] <= 0.0 {
+                    continue;
+                }
+                generated += 1;
+                let rule = base.with_value(c, code as u32);
+                let w = weight.weight(&rule, table);
+                if w > opts.max_weight + 1e-12 {
+                    pruned += 1;
+                    continue;
+                }
+                hist.wtab[code] = w;
+                rules.push(rule);
+            }
+
+            // Marginal sweep: m[code] += w_t · (W − min(W, cov_t)). Over-cap
+            // and unsupported codes have W = 0 in wtab, contributing 0 to
+            // slots that are never read back.
+            let cov = &covered_weight[chunk.offset()..chunk.offset() + chunk.len()];
+            marginal_column(table, &chunk, c, cov, &hist.wtab, &mut hist.marginals);
+
+            Pass1Out {
+                hist,
+                rules,
+                generated,
+                pruned,
+            }
+        })
+    };
+
+    let mut level: Vec<Rule> = Vec::new();
+    for (fi, out) in pass1.into_iter().enumerate() {
+        stats.generated += out.generated;
+        stats.pruned += out.pruned;
+        stats.counted += out.rules.len();
+        let c = free_cols[fi];
+        for rule in &out.rules {
+            let code = rule.code(c) as usize;
+            let stat = CandStat {
+                count: out.hist.counts[code],
+                marginal: out.hist.marginals[code],
+                weight: out.hist.wtab[code],
+            };
+            counted.insert(rule.clone(), stat);
+            if stat.marginal > best_h {
+                best_h = stat.marginal;
+            }
+        }
+        level.extend(out.rules);
+        scratch.hists[fi] = out.hist;
+    }
+
+    // ---- Passes 2..: a-priori extension, grouped columnar counting. ----
+    let blocks: Vec<(usize, u32)> = level
+        .iter()
+        .map(|r| {
+            let c = r
+                .instantiated_columns()
+                .find(|c| base.is_star(*c))
+                .expect("level-1 rule instantiates one free column");
+            (c, r.code(c))
+        })
+        .collect();
+
+    let mut current = level;
+    for _pass in 2..=max_size {
+        let survivors: Vec<&Rule> = current
+            .iter()
+            .filter(|r| {
+                let stat = counted[*r];
+                stat.count > 0.0
+                    && (!opts.pruning || stat.super_rule_bound(opts.max_weight) >= best_h)
+            })
+            .collect();
+        if survivors.is_empty() {
+            break;
+        }
+
+        let mut next: Vec<Rule> = Vec::new();
+        let mut cand_weights: Vec<f64> = Vec::new();
+        for r in survivors {
+            let max_free = r
+                .instantiated_columns()
+                .filter(|c| base.is_star(*c))
+                .last()
+                .expect("survivor instantiates at least one free column");
+            for &(c, v) in &blocks {
+                if c <= max_free {
+                    continue;
+                }
+                let cand = r.with_value(c, v);
+                stats.generated += 1;
+
+                let mut bound = f64::INFINITY;
+                let mut all_present = true;
+                for sc in cand.instantiated_columns().filter(|c| base.is_star(*c)) {
+                    let sub = cand.with_star(sc);
+                    match counted.get(&sub) {
+                        Some(stat) => bound = bound.min(stat.super_rule_bound(opts.max_weight)),
+                        None => {
+                            all_present = false;
+                            break;
+                        }
+                    }
+                }
+                if !all_present {
+                    stats.pruned += 1;
+                    continue;
+                }
+                if opts.pruning && (bound < best_h || bound <= 0.0) {
+                    stats.pruned += 1;
+                    continue;
+                }
+                let w = weight.weight(&cand, table);
+                if w > opts.max_weight + 1e-12 {
+                    stats.pruned += 1;
+                    continue;
+                }
+                next.push(cand);
+                cand_weights.push(w);
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        stats.passes += 1;
+        stats.counted += next.len();
+
+        build_groups(scratch, table, &base, &next, view.len());
+        count_level(view, table, covered_weight, scratch, &cand_weights, threads);
+
+        for (cand, stat) in next.iter().zip(&scratch.cstats) {
+            if stat.marginal > best_h {
+                best_h = stat.marginal;
+            }
+            counted.insert(cand.clone(), *stat);
+        }
+        current = next;
+    }
+
+    pick_winner(&counted, stats)
+}
+
+/// `counts[code] += w` over one chunk of one column.
+fn count_column(table: &Table, chunk: &ViewChunk<'_>, col: usize, counts: &mut [f64]) {
+    let codes = table.column(col);
+    match (chunk.contiguous_rows(), chunk.weights()) {
+        (Some(range), None) => {
+            for &code in &codes[range] {
+                counts[code as usize] += 1.0;
+            }
+        }
+        (Some(range), Some(ws)) => {
+            for (&code, &w) in codes[range].iter().zip(ws) {
+                counts[code as usize] += w;
+            }
+        }
+        (None, _) => {
+            let ids = chunk.row_ids().expect("non-contiguous chunk has row ids");
+            match chunk.weights() {
+                None => {
+                    for &r in ids {
+                        counts[codes[r as usize] as usize] += 1.0;
+                    }
+                }
+                Some(ws) => {
+                    for (&r, &w) in ids.iter().zip(ws) {
+                        counts[codes[r as usize] as usize] += w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `marginals[code] += w_t · (wtab[code] − min(wtab[code], cov_t))` over one
+/// chunk of one column.
+fn marginal_column(
+    table: &Table,
+    chunk: &ViewChunk<'_>,
+    col: usize,
+    cov: &[f64],
+    wtab: &[f64],
+    marginals: &mut [f64],
+) {
+    let codes = table.column(col);
+    match chunk.contiguous_rows() {
+        Some(range) => {
+            for (i, &code) in codes[range].iter().enumerate() {
+                let w = wtab[code as usize];
+                marginals[code as usize] += chunk.weight_at(i) * (w - w.min(cov[i]));
+            }
+        }
+        None => {
+            let ids = chunk.row_ids().expect("non-contiguous chunk has row ids");
+            for (i, &r) in ids.iter().enumerate() {
+                let code = codes[r as usize];
+                let w = wtab[code as usize];
+                marginals[code as usize] += chunk.weight_at(i) * (w - w.min(cov[i]));
+            }
+        }
+    }
+}
+
+/// Groups a level's candidates by instantiated-column signature and builds
+/// each group's dense cell map or sorted probe keys.
+fn build_groups(
+    scratch: &mut SearchScratch,
+    table: &Table,
+    base: &Rule,
+    next: &[Rule],
+    view_rows: usize,
+) {
+    scratch.groups.clear();
+    scratch.group_ix.clear();
+
+    let mut sig: Vec<u16> = Vec::new();
+    let mut cand_group: Vec<u32> = Vec::with_capacity(next.len());
+    for cand in next {
+        sig.clear();
+        sig.extend(
+            cand.instantiated_columns()
+                .filter(|&c| base.is_star(c))
+                .map(|c| c as u16),
+        );
+        let gi = match scratch.group_ix.get(&sig) {
+            Some(&gi) => gi,
+            None => {
+                let gi = scratch.groups.len();
+                scratch.group_ix.insert(sig.clone(), gi);
+                let cols: Vec<usize> = sig.iter().map(|&c| c as usize).collect();
+
+                // Dense layout: mixed-radix strides over the cardinalities.
+                let mut strides = Vec::with_capacity(cols.len());
+                let mut cells: usize = 1;
+                for &c in &cols {
+                    strides.push(cells);
+                    cells = cells.saturating_mul(table.cardinality(c).max(1));
+                }
+                // Dense only when the cell space is bounded both
+                // absolutely and relative to the rows actually counted —
+                // a small drill-down view over wide columns must not pay
+                // O(cells) zeroing for O(rows) work.
+                let dense = cells <= DENSE_CELL_CAP && cells <= view_rows.saturating_mul(8).max(64);
+
+                // Sparse layout: packed bit widths.
+                let mut shifts = Vec::with_capacity(cols.len());
+                let mut total_bits = 0u32;
+                for &c in &cols {
+                    shifts.push(total_bits.min(63));
+                    let card = table.cardinality(c).max(2) as u64;
+                    total_bits += 64 - (card - 1).leading_zeros();
+                }
+
+                scratch.groups.push(Group {
+                    cols,
+                    strides,
+                    cells: if dense { cells } else { 0 },
+                    cand_cells: Vec::new(),
+                    shifts,
+                    packed: total_bits <= 64,
+                    keys: Vec::new(),
+                    wide_keys: Vec::new(),
+                    order: Vec::new(),
+                });
+                gi
+            }
+        };
+        cand_group.push(gi as u32);
+    }
+
+    for g in &mut scratch.groups {
+        g.cand_cells.clear();
+        g.keys.clear();
+        g.wide_keys.clear();
+        g.order.clear();
+    }
+    for (ci, cand) in next.iter().enumerate() {
+        let g = &mut scratch.groups[cand_group[ci] as usize];
+        if g.is_dense() {
+            let mut cell = 0usize;
+            for (&c, &stride) in g.cols.iter().zip(&g.strides) {
+                cell += cand.code(c) as usize * stride;
+            }
+            g.cand_cells.push((cell, ci as u32));
+        } else if g.packed {
+            let mut key = 0u64;
+            for (&c, &sh) in g.cols.iter().zip(&g.shifts) {
+                key |= (cand.code(c) as u64) << sh;
+            }
+            g.keys.push(key);
+            g.order.push(ci as u32);
+        } else {
+            for &c in &g.cols {
+                g.wide_keys.push(cand.code(c));
+            }
+            g.order.push(ci as u32);
+        }
+    }
+    // Sort sparse probe keys.
+    for g in &mut scratch.groups {
+        if g.is_dense() || g.order.is_empty() {
+            continue;
+        }
+        if g.packed {
+            let mut ix: Vec<u32> = (0..g.keys.len() as u32).collect();
+            ix.sort_by_key(|&i| g.keys[i as usize]);
+            g.keys = ix.iter().map(|&i| g.keys[i as usize]).collect();
+            g.order = ix.iter().map(|&i| g.order[i as usize]).collect();
+        } else {
+            let stride = g.cols.len();
+            let mut ix: Vec<u32> = (0..g.order.len() as u32).collect();
+            ix.sort_by(|&a, &b| {
+                let ka = &g.wide_keys[a as usize * stride..(a as usize + 1) * stride];
+                let kb = &g.wide_keys[b as usize * stride..(b as usize + 1) * stride];
+                ka.cmp(kb)
+            });
+            let mut sorted_keys = Vec::with_capacity(g.wide_keys.len());
+            for &i in &ix {
+                sorted_keys.extend_from_slice(
+                    &g.wide_keys[i as usize * stride..(i as usize + 1) * stride],
+                );
+            }
+            g.wide_keys = sorted_keys;
+            g.order = ix.iter().map(|&i| g.order[i as usize]).collect();
+        }
+    }
+}
+
+/// Counts one level's candidates over the view — one task per group —
+/// writing per-candidate stats into `scratch.cstats`.
+fn count_level(
+    view: &TableView<'_>,
+    table: &Table,
+    covered_weight: &[f64],
+    scratch: &mut SearchScratch,
+    cand_weights: &[f64],
+    threads: usize,
+) {
+    let chunk = view.as_chunk();
+    let cov = &covered_weight[chunk.offset()..chunk.offset() + chunk.len()];
+    let groups = &scratch.groups;
+    let jobs: Vec<usize> = (0..groups.len()).collect();
+    let outputs = map_jobs(threads, jobs, |gi| {
+        let g = &groups[gi];
+        if g.is_dense() {
+            count_group_dense(table, &chunk, cov, g, cand_weights)
+        } else {
+            count_group_sparse(table, &chunk, cov, g, cand_weights)
+        }
+    });
+
+    scratch.cstats.clear();
+    scratch
+        .cstats
+        .extend(cand_weights.iter().map(|&w| CandStat {
+            count: 0.0,
+            marginal: 0.0,
+            weight: w,
+        }));
+    for out in outputs {
+        for (ci, count, marginal) in out {
+            let stat = &mut scratch.cstats[ci as usize];
+            stat.count = count;
+            stat.marginal = marginal;
+        }
+    }
+}
+
+/// Probe-free dense counting of one group: a mixed-radix cell histogram over
+/// the group's columns, then candidate cells read off.
+fn count_group_dense(
+    table: &Table,
+    chunk: &ViewChunk<'_>,
+    cov: &[f64],
+    g: &Group,
+    cand_weights: &[f64],
+) -> Vec<(u32, f64, f64)> {
+    let mut counts = vec![0.0f64; g.cells];
+    let mut marginals = vec![0.0f64; g.cells];
+    let mut wvec = vec![0.0f64; g.cells];
+    for &(cell, ci) in &g.cand_cells {
+        wvec[cell] = cand_weights[ci as usize];
+    }
+    let cols: Vec<&[u32]> = g.cols.iter().map(|&c| table.column(c)).collect();
+
+    match chunk.contiguous_rows() {
+        Some(range) => {
+            let start = range.start;
+            for (i, &cov_i) in cov.iter().enumerate().take(chunk.len()) {
+                let row = start + i;
+                let mut cell = 0usize;
+                for (col, &stride) in cols.iter().zip(&g.strides) {
+                    cell += col[row] as usize * stride;
+                }
+                let w_t = chunk.weight_at(i);
+                let w = wvec[cell];
+                counts[cell] += w_t;
+                marginals[cell] += w_t * (w - w.min(cov_i));
+            }
+        }
+        None => {
+            let ids = chunk.row_ids().expect("non-contiguous chunk has row ids");
+            for (i, &r) in ids.iter().enumerate() {
+                let mut cell = 0usize;
+                for (col, &stride) in cols.iter().zip(&g.strides) {
+                    cell += col[r as usize] as usize * stride;
+                }
+                let w_t = chunk.weight_at(i);
+                let w = wvec[cell];
+                counts[cell] += w_t;
+                marginals[cell] += w_t * (w - w.min(cov[i]));
+            }
+        }
+    }
+
+    g.cand_cells
+        .iter()
+        .map(|&(cell, ci)| (ci, counts[cell], marginals[cell]))
+        .collect()
+}
+
+/// Sparse counting of one group via packed-key binary search (groups whose
+/// cell space exceeds [`DENSE_CELL_CAP`]).
+fn count_group_sparse(
+    table: &Table,
+    chunk: &ViewChunk<'_>,
+    cov: &[f64],
+    g: &Group,
+    cand_weights: &[f64],
+) -> Vec<(u32, f64, f64)> {
+    // Accumulate per sorted-key position — dense in the group's candidate
+    // count, no hashing on the row loop.
+    let mut acc: Vec<(f64, f64)> = vec![(0.0, 0.0); g.order.len()];
+    let cols: Vec<&[u32]> = g.cols.iter().map(|&c| table.column(c)).collect();
+    let mut wide_scratch: Vec<u32> = Vec::new();
+    let mut hit = |pos: usize, w_t: f64, cov_i: f64| {
+        let w = cand_weights[g.order[pos] as usize];
+        let slot = &mut acc[pos];
+        slot.0 += w_t;
+        slot.1 += w_t * (w - w.min(cov_i));
+    };
+    match chunk.contiguous_rows() {
+        Some(range) => {
+            let start = range.start;
+            for (i, &cov_i) in cov.iter().enumerate().take(chunk.len()) {
+                let row = start + i;
+                if let Some(pos) = g.probe(&mut wide_scratch, |gi| cols[gi][row]) {
+                    hit(pos, chunk.weight_at(i), cov_i);
+                }
+            }
+        }
+        None => {
+            let ids = chunk.row_ids().expect("non-contiguous chunk has row ids");
+            for (i, &r) in ids.iter().enumerate() {
+                if let Some(pos) = g.probe(&mut wide_scratch, |gi| cols[gi][r as usize]) {
+                    hit(pos, chunk.weight_at(i), cov[i]);
+                }
+            }
+        }
+    }
+    // Consumer writes by candidate index; no ordering required.
+    g.order
+        .iter()
+        .zip(acc)
+        .map(|(&ci, (c, m))| (ci, c, m))
+        .collect()
+}
+
+/// Selects the winner from the counted set: max marginal, ties broken toward
+/// higher weight then lexicographically smaller codes (identical to the
+/// reference implementation).
+fn pick_winner(counted: &FxHashMap<Rule, CandStat>, stats: SearchStats) -> Option<BestMarginal> {
+    let mut best: Option<(&Rule, &CandStat)> = None;
+    for (rule, stat) in counted {
+        if stat.marginal <= 0.0 {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((brule, bstat)) => {
+                (stat.marginal, stat.weight, std::cmp::Reverse(rule.codes()))
+                    > (
+                        bstat.marginal,
+                        bstat.weight,
+                        std::cmp::Reverse(brule.codes()),
+                    )
+            }
+        };
+        if better {
+            best = Some((rule, stat));
+        }
+    }
+    best.map(|(rule, stat)| BestMarginal {
+        rule: rule.clone(),
+        marginal_value: stat.marginal,
+        count: stat.count,
+        weight: stat.weight,
+        stats,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Columnar rule-coverage scans (shared by BRS, drill-down filtering, and the
+// sampling layer's full-table scans).
+// ---------------------------------------------------------------------------
+
+/// Calls `f(position)` for every view position whose row is covered by
+/// `rule`, evaluating one instantiated column at a time over column slices
+/// (progressive candidate filtering) instead of row-at-a-time probing.
+pub fn for_each_covered_position(view: &TableView<'_>, rule: &Rule, mut f: impl FnMut(usize)) {
+    let table = view.table();
+    let cols: Vec<usize> = rule.instantiated_columns().collect();
+    if cols.is_empty() {
+        for i in 0..view.len() {
+            f(i);
+        }
+        return;
+    }
+    let (first, rest) = cols.split_first().expect("non-empty");
+    let first_codes = table.column(*first);
+    let want = rule.code(*first);
+
+    // Survivor positions after the first column's scan.
+    let mut positions: Vec<u32> = Vec::new();
+    match view.row_ids() {
+        None => {
+            for (i, &code) in first_codes.iter().take(view.len()).enumerate() {
+                if code == want {
+                    positions.push(i as u32);
+                }
+            }
+        }
+        Some(ids) => {
+            for (i, &r) in ids.iter().enumerate() {
+                if first_codes[r as usize] == want {
+                    positions.push(i as u32);
+                }
+            }
+        }
+    }
+    // Each further column filters the shrinking survivor list.
+    for &c in rest {
+        let codes = table.column(c);
+        let want = rule.code(c);
+        match view.row_ids() {
+            None => positions.retain(|&p| codes[p as usize] == want),
+            Some(ids) => positions.retain(|&p| codes[ids[p as usize] as usize] == want),
+        }
+    }
+    for p in positions {
+        f(p as usize);
+    }
+}
+
+/// All row ids of `table` covered by `rule`, via progressive columnar
+/// filtering — the fast path for the sampling layer's full-table scans.
+pub fn covered_rows(table: &Table, rule: &Rule) -> Vec<RowId> {
+    let cols: Vec<usize> = rule.instantiated_columns().collect();
+    let n = table.n_rows();
+    match cols.split_first() {
+        None => (0..n as RowId).collect(),
+        Some((&first, rest)) => {
+            let codes = table.column(first);
+            let want = rule.code(first);
+            let mut rows: Vec<RowId> = Vec::new();
+            for (r, &code) in codes.iter().enumerate() {
+                if code == want {
+                    rows.push(r as RowId);
+                }
+            }
+            for &c in rest {
+                let codes = table.column(c);
+                let want = rule.code(c);
+                rows.retain(|&r| codes[r as usize] == want);
+            }
+            rows
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_table::Schema;
+
+    fn t() -> Table {
+        Table::from_rows(
+            Schema::new(["A", "B", "C"]).unwrap(),
+            &[
+                &["a", "x", "0"],
+                &["a", "y", "1"],
+                &["b", "x", "0"],
+                &["a", "x", "1"],
+                &["c", "z", "0"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn covered_rows_matches_rowwise_coverage() {
+        let table = t();
+        let rule = Rule::from_pairs(&table, &[("A", "a"), ("B", "x")]).unwrap();
+        let fast = covered_rows(&table, &rule);
+        let slow: Vec<RowId> = (0..table.n_rows() as RowId)
+            .filter(|&r| rule.covers_row(&table, r))
+            .collect();
+        assert_eq!(fast, slow);
+        assert_eq!(fast, vec![0, 3]);
+    }
+
+    #[test]
+    fn covered_rows_trivial_rule_is_everything() {
+        let table = t();
+        let rule = Rule::trivial(3);
+        assert_eq!(covered_rows(&table, &rule).len(), table.n_rows());
+    }
+
+    #[test]
+    fn for_each_covered_position_on_subset_views() {
+        let table = t();
+        let view = TableView::with_rows(&table, vec![4, 0, 3, 2]);
+        let rule = Rule::from_pairs(&table, &[("A", "a")]).unwrap();
+        let mut got = Vec::new();
+        for_each_covered_position(&view, &rule, |i| got.push(i));
+        // Positions 1 (row 0) and 2 (row 3) hold "a" rows.
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn for_each_covered_position_trivial_rule_hits_all_positions() {
+        let table = t();
+        let view = table.view();
+        let mut got = Vec::new();
+        for_each_covered_position(&view, &Rule::trivial(3), |i| got.push(i));
+        assert_eq!(got, (0..view.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_jobs_preserves_job_order() {
+        for threads in [1, 2, 4] {
+            let out = map_jobs(threads, (0..17).collect::<Vec<_>>(), |j| j * 10);
+            assert_eq!(out, (0..17).map(|j| j * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_group_counting_agree() {
+        let table = t();
+        let base = Rule::trivial(3);
+        let cands = vec![
+            Rule::from_pairs(&table, &[("A", "a"), ("B", "x")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "b"), ("B", "x")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "a"), ("B", "y")]).unwrap(),
+        ];
+        let cand_weights = vec![2.0; cands.len()];
+        let view = table.view();
+        let cov = vec![0.5; view.len()];
+        let chunk = view.as_chunk();
+
+        let mut scratch = SearchScratch::new();
+        build_groups(&mut scratch, &table, &base, &cands, table.n_rows());
+        assert_eq!(scratch.groups.len(), 1);
+        let g = &scratch.groups[0];
+        assert!(g.is_dense());
+        let dense = count_group_dense(&table, &chunk, &cov, g, &cand_weights);
+
+        // Sparse twin of the same group.
+        let sparse_group = {
+            let mut sg = Group {
+                cols: g.cols.clone(),
+                strides: g.strides.clone(),
+                cells: 0, // force sparse
+                cand_cells: Vec::new(),
+                shifts: g.shifts.clone(),
+                packed: true,
+                keys: Vec::new(),
+                wide_keys: Vec::new(),
+                order: Vec::new(),
+            };
+            let mut keyed: Vec<(u64, u32)> = cands
+                .iter()
+                .enumerate()
+                .map(|(ci, cand)| {
+                    let mut key = 0u64;
+                    for (&c, &sh) in sg.cols.iter().zip(&sg.shifts) {
+                        key |= (cand.code(c) as u64) << sh;
+                    }
+                    (key, ci as u32)
+                })
+                .collect();
+            keyed.sort();
+            for (k, ci) in keyed {
+                sg.keys.push(k);
+                sg.order.push(ci);
+            }
+            sg
+        };
+        let sparse = count_group_sparse(&table, &chunk, &cov, &sparse_group, &cand_weights);
+
+        let norm = |mut v: Vec<(u32, f64, f64)>| {
+            v.sort_by_key(|&(ci, _, _)| ci);
+            v
+        };
+        assert_eq!(norm(dense), norm(sparse));
+    }
+
+    #[test]
+    fn wide_key_probe_agrees_with_packed() {
+        let table = t();
+        let cands = [
+            Rule::from_pairs(&table, &[("A", "a"), ("B", "x")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "b"), ("B", "x")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "a"), ("B", "y")]).unwrap(),
+        ];
+        let cols = [0usize, 1];
+        let packed = {
+            let mut g = Group {
+                cols: cols.to_vec(),
+                shifts: vec![0, 2],
+                packed: true,
+                ..Default::default()
+            };
+            let mut keyed: Vec<(u64, u32)> = cands
+                .iter()
+                .enumerate()
+                .map(|(ci, cand)| {
+                    (
+                        (cand.code(0) as u64) | ((cand.code(1) as u64) << 2),
+                        ci as u32,
+                    )
+                })
+                .collect();
+            keyed.sort();
+            for (k, ci) in keyed {
+                g.keys.push(k);
+                g.order.push(ci);
+            }
+            g
+        };
+        let wide = {
+            let mut g = Group {
+                cols: cols.to_vec(),
+                shifts: vec![0, 2],
+                packed: false,
+                ..Default::default()
+            };
+            let mut keyed: Vec<(Vec<u32>, u32)> = cands
+                .iter()
+                .enumerate()
+                .map(|(ci, cand)| (vec![cand.code(0), cand.code(1)], ci as u32))
+                .collect();
+            keyed.sort();
+            for (codes, ci) in keyed {
+                g.wide_keys.extend(codes);
+                g.order.push(ci);
+            }
+            g
+        };
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        for r in 0..table.n_rows() as RowId {
+            let a = packed
+                .probe(&mut s1, |gi| table.code(r, cols[gi]))
+                .map(|pos| packed.order[pos]);
+            let b = wide
+                .probe(&mut s2, |gi| table.code(r, cols[gi]))
+                .map(|pos| wide.order[pos]);
+            assert_eq!(a, b, "row {r}");
+        }
+    }
+}

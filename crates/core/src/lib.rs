@@ -25,6 +25,8 @@
 //! * [`weight`] — the [`WeightFn`] trait and the paper's weighting functions,
 //! * [`score`] — `Count`/`MCount`/`Score` over rule lists and sets,
 //! * [`marginal`] — Algorithm 2: the a-priori-style best-marginal-rule search,
+//! * [`kernel`] — the columnar (optionally multi-threaded) counting kernel
+//!   behind Algorithm 2, plus columnar rule-coverage scans,
 //! * [`brs`] — Algorithm 1: the greedy BRS optimizer,
 //! * [`drilldown`] — rule and star drill-down (Problem 1 → 2/3 reductions),
 //! * [`session`] — the interactive exploration tree with paper-style rendering,
@@ -37,6 +39,7 @@
 pub mod brs;
 pub mod drilldown;
 pub mod exact;
+pub mod kernel;
 pub mod marginal;
 pub mod mw_estimate;
 pub mod reduction;
@@ -51,7 +54,11 @@ pub use drilldown::{
     DrillDownKind,
 };
 pub use exact::{enumerate_support_rules, exact_best_rule_set, greedy_guarantee};
-pub use marginal::{find_best_marginal_rule, BestMarginal, SearchOptions, SearchStats};
+pub use kernel::{covered_rows, for_each_covered_position, SearchScratch};
+pub use marginal::{
+    find_best_marginal_rule, find_best_marginal_rule_rowwise, find_best_marginal_rule_with_scratch,
+    BestMarginal, SearchOptions, SearchStats,
+};
 pub use mw_estimate::estimate_mw;
 pub use reduction::{McpInstance, McpWeight};
 pub use rule::{Rule, RuleValue, STAR};

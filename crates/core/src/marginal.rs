@@ -22,6 +22,7 @@
 //! a brute-force check). Because only the single best rule is needed, `H`
 //! rises quickly and the search typically terminates after 2–4 passes.
 
+use crate::kernel::{self, CandStat, SearchScratch};
 use crate::{Rule, WeightFn};
 use rustc_hash::FxHashMap;
 use sdd_table::TableView;
@@ -44,16 +45,29 @@ pub struct SearchOptions {
     /// search space (see DESIGN.md §6.3). The view must already be filtered
     /// to base-covered tuples.
     pub base: Option<Rule>,
+    /// Run the counting passes on multiple threads (requires the `parallel`
+    /// cargo feature; no-op without it). Parallel merges change float
+    /// association, so marginal values may differ from the scalar path in
+    /// the last ulp — see [`crate::kernel`].
+    pub parallel: bool,
+    /// Views smaller than this stay on the scalar path even when
+    /// [`SearchOptions::parallel`] is set (thread spawn/merge overhead
+    /// dominates below it, and small searches stay bit-identical to the
+    /// scalar kernel).
+    pub parallel_min_rows: usize,
 }
 
 impl SearchOptions {
-    /// Defaults: given `mw`, pruning on, no size cap, no base.
+    /// Defaults: given `mw`, pruning on, no size cap, no base, parallel
+    /// counting enabled (when compiled in) for views of ≥ 16k rows.
     pub fn new(max_weight: f64) -> Self {
         Self {
             max_weight,
             pruning: true,
             max_rule_size: None,
             base: None,
+            parallel: cfg!(feature = "parallel"),
+            parallel_min_rows: 16 * 1024,
         }
     }
 }
@@ -96,34 +110,53 @@ pub struct BestMarginal {
     pub stats: SearchStats,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct CandStat {
-    count: f64,
-    marginal: f64,
-    weight: f64,
-}
-
-impl CandStat {
-    /// Upper bound on the marginal value of any super-rule with weight ≤ mw.
-    #[inline]
-    fn super_rule_bound(&self, mw: f64) -> f64 {
-        self.marginal + self.count * (mw - self.weight)
-    }
-}
-
 /// Runs Algorithm 2: returns the rule with the highest positive marginal
 /// value (weight ≤ `opts.max_weight`), or `None` if every rule's marginal
 /// value is zero.
 ///
 /// `covered_weight[i]` must hold `W(TOP(t_i, S))` for the tuple at view
 /// position `i` (`0.0` when uncovered) — the caller (BRS) maintains it.
+///
+/// This runs the columnar counting kernel (see [`crate::kernel`]); repeated
+/// callers should prefer [`find_best_marginal_rule_with_scratch`] to reuse
+/// buffers across searches, which is what [`crate::Brs`] does.
 pub fn find_best_marginal_rule(
     view: &TableView<'_>,
     weight: &dyn WeightFn,
     covered_weight: &[f64],
     opts: &SearchOptions,
 ) -> Option<BestMarginal> {
-    assert_eq!(covered_weight.len(), view.len(), "covered_weight must align with view");
+    let mut scratch = SearchScratch::new();
+    kernel::find_best_marginal_rule_columnar(view, weight, covered_weight, opts, &mut scratch)
+}
+
+/// [`find_best_marginal_rule`] with caller-owned scratch buffers, so the `k`
+/// searches of one BRS run allocate once.
+pub fn find_best_marginal_rule_with_scratch(
+    view: &TableView<'_>,
+    weight: &dyn WeightFn,
+    covered_weight: &[f64],
+    opts: &SearchOptions,
+    scratch: &mut SearchScratch,
+) -> Option<BestMarginal> {
+    kernel::find_best_marginal_rule_columnar(view, weight, covered_weight, opts, scratch)
+}
+
+/// The original row-at-a-time implementation of Algorithm 2, kept verbatim
+/// as the reference for kernel parity tests and the kernel-vs-scalar
+/// benchmark. Semantically identical to [`find_best_marginal_rule`]; the
+/// columnar kernel is bit-identical to it in scalar mode.
+pub fn find_best_marginal_rule_rowwise(
+    view: &TableView<'_>,
+    weight: &dyn WeightFn,
+    covered_weight: &[f64],
+    opts: &SearchOptions,
+) -> Option<BestMarginal> {
+    assert_eq!(
+        covered_weight.len(),
+        view.len(),
+        "covered_weight must align with view"
+    );
     let table = view.table();
     let n_cols = table.n_columns();
     let base = opts.base.clone().unwrap_or_else(|| Rule::trivial(n_cols));
@@ -147,7 +180,10 @@ pub fn find_best_marginal_rule(
     let mut level: Vec<Rule> = Vec::new();
     {
         // Dense count pass: per free column, one f64 slot per dictionary code.
-        let mut counts: Vec<Vec<f64>> = free_cols.iter().map(|&c| vec![0.0; table.cardinality(c)]).collect();
+        let mut counts: Vec<Vec<f64>> = free_cols
+            .iter()
+            .map(|&c| vec![0.0; table.cardinality(c)])
+            .collect();
         for wr in view.iter() {
             for (fi, &c) in free_cols.iter().enumerate() {
                 counts[fi][table.code(wr.row, c) as usize] += wr.weight;
@@ -165,7 +201,14 @@ pub fn find_best_marginal_rule(
                     stats.pruned += 1;
                     continue;
                 }
-                counted.insert(rule.clone(), CandStat { count, marginal: 0.0, weight: w });
+                counted.insert(
+                    rule.clone(),
+                    CandStat {
+                        count,
+                        marginal: 0.0,
+                        weight: w,
+                    },
+                );
                 level.push(rule);
                 stats.counted += 1;
             }
@@ -210,7 +253,8 @@ pub fn find_best_marginal_rule(
             .iter()
             .filter(|r| {
                 let stat = counted[*r];
-                stat.count > 0.0 && (!opts.pruning || stat.super_rule_bound(opts.max_weight) >= best_h)
+                stat.count > 0.0
+                    && (!opts.pruning || stat.super_rule_bound(opts.max_weight) >= best_h)
             })
             .collect();
         if survivors.is_empty() {
@@ -278,11 +322,18 @@ pub fn find_best_marginal_rule(
                 .instantiated_columns()
                 .find(|c| base.is_star(*c))
                 .expect("candidate instantiates free columns");
-            index.entry((first as u32, cand.code(first))).or_default().push(ci);
+            index
+                .entry((first as u32, cand.code(first)))
+                .or_default()
+                .push(ci);
         }
         let mut cstats: Vec<CandStat> = cand_weights
             .iter()
-            .map(|&w| CandStat { count: 0.0, marginal: 0.0, weight: w })
+            .map(|&w| CandStat {
+                count: 0.0,
+                marginal: 0.0,
+                weight: w,
+            })
             .collect();
         let mut codes: Vec<u32> = Vec::with_capacity(n_cols);
         for (i, wr) in view.iter().enumerate() {
@@ -321,7 +372,11 @@ pub fn find_best_marginal_rule(
             None => true,
             Some((brule, bstat)) => {
                 (stat.marginal, stat.weight, std::cmp::Reverse(rule.codes()))
-                    > (bstat.marginal, bstat.weight, std::cmp::Reverse(brule.codes()))
+                    > (
+                        bstat.marginal,
+                        bstat.weight,
+                        std::cmp::Reverse(brule.codes()),
+                    )
             }
         };
         if better {
@@ -392,9 +447,9 @@ mod tests {
     /// 4×(a,x), 3×(a,y), 2×(b,y), 1×(c,z).
     fn t() -> Table {
         let mut rows: Vec<[&str; 2]> = Vec::new();
-        rows.extend(std::iter::repeat(["a", "x"]).take(4));
-        rows.extend(std::iter::repeat(["a", "y"]).take(3));
-        rows.extend(std::iter::repeat(["b", "y"]).take(2));
+        rows.extend(std::iter::repeat_n(["a", "x"], 4));
+        rows.extend(std::iter::repeat_n(["a", "y"], 3));
+        rows.extend(std::iter::repeat_n(["b", "y"], 2));
         rows.push(["c", "z"]);
         Table::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap()
     }
@@ -404,7 +459,8 @@ mod tests {
         let table = t();
         let view = table.view();
         let cov = vec![0.0; view.len()];
-        let best = find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).unwrap();
+        let best =
+            find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).unwrap();
         // Candidates: (a,?) 1×7=7, (a,x) 2×4=8, (a,y) 2×3=6, (?,y) 1×5=5 ...
         assert_eq!(best.rule.display(&table), "(a, x)");
         assert_eq!(best.marginal_value, 8.0);
@@ -418,10 +474,9 @@ mod tests {
         let view = table.view();
         // Pretend (a,x) [weight 2] was already picked: its 4 tuples are covered.
         let mut cov = vec![0.0; view.len()];
-        for i in 0..4 {
-            cov[i] = 2.0;
-        }
-        let best = find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).unwrap();
+        cov[..4].fill(2.0);
+        let best =
+            find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).unwrap();
         // (a,y): 2×3=6 fresh. (a,?): covers 7 but 4 are at cov=2 ≥ 1 → 3.
         // (?,y): 5 tuples uncovered → 5. So (a,y) wins.
         assert_eq!(best.rule.display(&table), "(a, y)");
@@ -487,7 +542,8 @@ mod tests {
         let table = t();
         let view = table.view();
         let cov = vec![0.0; view.len()];
-        let best = find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(1.0)).unwrap();
+        let best =
+            find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(1.0)).unwrap();
         // With mw=1 only size-1 rules qualify: (a,?) has marginal 7.
         assert!(best.weight <= 1.0);
         assert_eq!(best.rule.display(&table), "(a, ?)");
@@ -526,14 +582,18 @@ mod tests {
         let view = table.view();
         // Every tuple already covered at the max possible weight.
         let cov = vec![2.0; view.len()];
-        assert!(find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).is_none());
+        assert!(
+            find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).is_none()
+        );
     }
 
     #[test]
     fn empty_view_returns_none() {
         let table = t();
         let view = table.view().filter(|_| false);
-        assert!(find_best_marginal_rule(&view, &SizeWeight, &[], &SearchOptions::new(2.0)).is_none());
+        assert!(
+            find_best_marginal_rule(&view, &SizeWeight, &[], &SearchOptions::new(2.0)).is_none()
+        );
     }
 
     #[test]
@@ -555,7 +615,8 @@ mod tests {
         .unwrap();
         let view = table.view();
         let cov = vec![0.0; view.len()];
-        let best = find_best_marginal_rule(&view, &BitsWeight, &cov, &SearchOptions::new(10.0)).unwrap();
+        let best =
+            find_best_marginal_rule(&view, &BitsWeight, &cov, &SearchOptions::new(10.0)).unwrap();
         // Size would love (0,?) count 5. Bits: (0,?) = 1×5 = 5;
         // (0,v4) = (1+3)×2 = 8 wins (|Wide| = 5 → 3 bits).
         assert_eq!(best.rule.display(&table), "(0, v4)");
@@ -568,7 +629,8 @@ mod tests {
         let weights = vec![10.0; table.n_rows()];
         let view = sdd_table::TableView::with_rows_and_weights(&table, rows, weights);
         let cov = vec![0.0; view.len()];
-        let best = find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).unwrap();
+        let best =
+            find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).unwrap();
         assert_eq!(best.marginal_value, 80.0);
         assert_eq!(best.count, 40.0);
     }
@@ -578,7 +640,8 @@ mod tests {
         let table = t();
         let view = table.view();
         let cov = vec![0.0; view.len()];
-        let best = find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).unwrap();
+        let best =
+            find_best_marginal_rule(&view, &SizeWeight, &cov, &SearchOptions::new(2.0)).unwrap();
         assert!(best.stats.generated >= best.stats.counted);
         assert!(best.stats.passes >= 1);
     }

@@ -8,7 +8,7 @@
 use crate::{Brs, WeightFn};
 use rand::seq::index::sample as index_sample;
 use rand::{rngs::StdRng, SeedableRng};
-use sdd_table::{TableView};
+use sdd_table::TableView;
 
 /// Estimates a safe `mw` for expanding `view` with `weight` and `k` rules.
 ///
@@ -61,9 +61,9 @@ mod tests {
     fn skewed_table() -> Table {
         // Strong pairs so optimal rules have size 2 (weight 2 under Size).
         let mut rows: Vec<[&str; 3]> = Vec::new();
-        rows.extend(std::iter::repeat(["a", "x", "p"]).take(50));
-        rows.extend(std::iter::repeat(["b", "y", "q"]).take(30));
-        rows.extend(std::iter::repeat(["c", "z", "r"]).take(20));
+        rows.extend(std::iter::repeat_n(["a", "x", "p"], 50));
+        rows.extend(std::iter::repeat_n(["b", "y", "q"], 30));
+        rows.extend(std::iter::repeat_n(["c", "z", "r"], 20));
         Table::from_rows(Schema::new(["A", "B", "C"]).unwrap(), &rows).unwrap()
     }
 

@@ -54,7 +54,9 @@ impl Rule {
 
     /// Builds a rule from raw codes (with [`STAR`] for wildcards).
     pub fn from_codes(codes: impl Into<Box<[u32]>>) -> Self {
-        Self { values: codes.into() }
+        Self {
+            values: codes.into(),
+        }
     }
 
     /// Builds a rule over `table` from `(column_name, value)` pairs, leaving
@@ -72,10 +74,9 @@ impl Rule {
         let mut rule = Rule::trivial(table.n_columns());
         for (col_name, value) in pairs {
             let col = table.schema().index_of(col_name)?;
-            let code = table
-                .dictionary(col)
-                .code_of(value)
-                .ok_or_else(|| TableError::UnknownColumn(format!("value {value:?} not in column {col_name:?}")))?;
+            let code = table.dictionary(col).code_of(value).ok_or_else(|| {
+                TableError::UnknownColumn(format!("value {value:?} not in column {col_name:?}"))
+            })?;
             rule.values[col] = code;
         }
         Ok(rule)
@@ -344,7 +345,8 @@ mod tests {
     fn sub_rule_implies_coverage_superset() {
         let table = t();
         let general = Rule::from_pairs(&table, &[("Region", "MA-3")]).unwrap();
-        let specific = Rule::from_pairs(&table, &[("Region", "MA-3"), ("Store", "Target")]).unwrap();
+        let specific =
+            Rule::from_pairs(&table, &[("Region", "MA-3"), ("Store", "Target")]).unwrap();
         assert!(general.is_sub_rule_of(&specific));
         for row in 0..3 {
             if specific.covers_row(&table, row) {

@@ -92,7 +92,11 @@ pub fn score_set(view: &TableView<'_>, weight: &dyn WeightFn, rules: &[Rule]) ->
 
 /// Sorts rules in descending weight order (stable, deterministic tie-break
 /// on the rule's codes).
-pub fn sort_by_weight_desc(view: &TableView<'_>, weight: &dyn WeightFn, rules: &[Rule]) -> Vec<Rule> {
+pub fn sort_by_weight_desc(
+    view: &TableView<'_>,
+    weight: &dyn WeightFn,
+    rules: &[Rule],
+) -> Vec<Rule> {
     let table = view.table();
     let mut keyed: Vec<(f64, &Rule)> = rules.iter().map(|r| (weight.weight(r, table), r)).collect();
     keyed.sort_by(|(wa, ra), (wb, rb)| {
@@ -135,9 +139,9 @@ mod tests {
     /// 10 rows: 4×(a,x), 3×(a,y), 2×(b,y), 1×(c,z).
     fn t() -> Table {
         let mut rows: Vec<[&str; 2]> = Vec::new();
-        rows.extend(std::iter::repeat(["a", "x"]).take(4));
-        rows.extend(std::iter::repeat(["a", "y"]).take(3));
-        rows.extend(std::iter::repeat(["b", "y"]).take(2));
+        rows.extend(std::iter::repeat_n(["a", "x"], 4));
+        rows.extend(std::iter::repeat_n(["a", "y"], 3));
+        rows.extend(std::iter::repeat_n(["b", "y"], 2));
         rows.push(["c", "z"]);
         Table::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap()
     }

@@ -93,7 +93,12 @@ impl<'t> Session<'t> {
 
     /// Starts a session over a custom view — e.g. a measure-weighted view
     /// for `Sum` aggregates (§6.3), or a scaled sample view (§4).
-    pub fn with_view(table: &'t Table, view: TableView<'t>, weight: Box<dyn WeightFn>, k: usize) -> Self {
+    pub fn with_view(
+        table: &'t Table,
+        view: TableView<'t>,
+        weight: Box<dyn WeightFn>,
+        k: usize,
+    ) -> Self {
         let root = Node {
             rule: Rule::trivial(table.n_columns()),
             count: view.total_weight(),
@@ -200,7 +205,11 @@ impl<'t> Session<'t> {
     }
 
     /// Star drill-down by column name.
-    pub fn expand_star_by_name(&mut self, path: &[usize], column: &str) -> Result<&[Node], SessionError> {
+    pub fn expand_star_by_name(
+        &mut self,
+        path: &[usize],
+        column: &str,
+    ) -> Result<&[Node], SessionError> {
         let col = self
             .table
             .schema()
@@ -236,7 +245,9 @@ impl<'t> Session<'t> {
         let n_cols = self.table.n_columns();
         let mut rows: Vec<Vec<String>> = Vec::new();
 
-        let mut header: Vec<String> = (0..n_cols).map(|c| schema.column_name(c).to_owned()).collect();
+        let mut header: Vec<String> = (0..n_cols)
+            .map(|c| schema.column_name(c).to_owned())
+            .collect();
         header.push("Count".to_owned());
         header.push("Weight".to_owned());
         rows.push(header);

@@ -22,7 +22,11 @@ use sdd_table::Table;
 /// table (the paper's contract); value-dependent weights still work with the
 /// optimizer (the NP-hardness reduction uses one) but then
 /// [`WeightFn::max_weight`] must be overridden.
-pub trait WeightFn {
+///
+/// `Send + Sync` are required so the columnar counting kernel
+/// ([`crate::kernel`]) can evaluate candidate weights from its worker
+/// threads; weight functions are immutable config objects in practice.
+pub trait WeightFn: Send + Sync {
     /// The weight `W(rule)`.
     fn weight(&self, rule: &Rule, table: &Table) -> f64;
 
@@ -313,10 +317,17 @@ mod tests {
         let bits_like = ColumnWeight::new(vec![2.0, 2.0, 1.0], 1.0);
         let full = Rule::from_pairs(
             &table,
-            &[("Store", "Walmart"), ("Product", "cookies"), ("Region", "CA-1")],
+            &[
+                ("Store", "Walmart"),
+                ("Product", "cookies"),
+                ("Region", "CA-1"),
+            ],
         )
         .unwrap();
-        assert_eq!(size_like.weight(&full, &table), SizeWeight.weight(&full, &table));
+        assert_eq!(
+            size_like.weight(&full, &table),
+            SizeWeight.weight(&full, &table)
+        );
         assert_eq!(bits_like.weight(&full, &table), bits.weight(&full, &table));
     }
 
@@ -343,7 +354,8 @@ mod tests {
         assert_eq!(w.weight(&on, &table), 1.0);
         assert_eq!(w.weight(&off, &table), 0.0);
         // Extra columns don't change the weight.
-        let both = Rule::from_pairs(&table, &[("Product", "cookies"), ("Store", "Walmart")]).unwrap();
+        let both =
+            Rule::from_pairs(&table, &[("Product", "cookies"), ("Store", "Walmart")]).unwrap();
         assert_eq!(w.weight(&both, &table), 1.0);
     }
 
@@ -362,15 +374,31 @@ mod tests {
         let table = t();
         let full = Rule::from_pairs(
             &table,
-            &[("Store", "Walmart"), ("Product", "cookies"), ("Region", "CA-1")],
+            &[
+                ("Store", "Walmart"),
+                ("Product", "cookies"),
+                ("Region", "CA-1"),
+            ],
         )
         .unwrap();
         assert!(check_monotone_on(&SizeWeight, &full, &table));
         assert!(check_monotone_on(&BitsWeight, &full, &table));
         assert!(check_monotone_on(&SizeMinusOne, &full, &table));
-        assert!(check_monotone_on(&ColumnWeight::new(vec![0.5, 2.0, 0.0], 1.5), &full, &table));
-        assert!(check_monotone_on(&TraditionalEmulation::new(1), &full, &table));
-        assert!(check_monotone_on(&RequireColumn::new(SizeWeight, 0), &full, &table));
+        assert!(check_monotone_on(
+            &ColumnWeight::new(vec![0.5, 2.0, 0.0], 1.5),
+            &full,
+            &table
+        ));
+        assert!(check_monotone_on(
+            &TraditionalEmulation::new(1),
+            &full,
+            &table
+        ));
+        assert!(check_monotone_on(
+            &RequireColumn::new(SizeWeight, 0),
+            &full,
+            &table
+        ));
     }
 
     #[test]

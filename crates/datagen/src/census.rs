@@ -23,15 +23,74 @@ pub const FULL_ROWS: usize = 2_458_285;
 
 /// The 68 attribute names of the UCI extract (case id excluded).
 pub const COLUMNS: [&str; 68] = [
-    "dAge", "dAncstry1", "dAncstry2", "iAvail", "iCitizen", "iClass", "dDepart", "iDisabl1",
-    "iDisabl2", "iEnglish", "iFeb55", "iFertil", "dHispanic", "dHour89", "dHours", "iImmigr",
-    "dIncome1", "dIncome2", "dIncome3", "dIncome4", "dIncome5", "dIncome6", "dIncome7", "dIncome8",
-    "dIndustry", "iKorean", "iLang1", "iLooking", "iMarital", "iMay75880", "iMeans", "iMilitary",
-    "iMobility", "iMobillim", "dOccup", "iOthrserv", "iPerscare", "dPOB", "dPoverty", "dPwgt1",
-    "iRagechld", "dRearning", "iRelat1", "iRelat2", "iRemplpar", "iRiders", "iRlabor",
-    "iRownchld", "dRpincome", "iRPOB", "iRrelchld", "iRspouse", "iRvetserv", "iSchool", "iSept80",
-    "iSex", "iSubfam1", "iSubfam2", "iTmpabsnt", "dTravtime", "iVietnam", "dWeek89", "iWork89",
-    "iWorklwk", "iWWII", "iYearsch", "iYearwrk", "dYrsserv",
+    "dAge",
+    "dAncstry1",
+    "dAncstry2",
+    "iAvail",
+    "iCitizen",
+    "iClass",
+    "dDepart",
+    "iDisabl1",
+    "iDisabl2",
+    "iEnglish",
+    "iFeb55",
+    "iFertil",
+    "dHispanic",
+    "dHour89",
+    "dHours",
+    "iImmigr",
+    "dIncome1",
+    "dIncome2",
+    "dIncome3",
+    "dIncome4",
+    "dIncome5",
+    "dIncome6",
+    "dIncome7",
+    "dIncome8",
+    "dIndustry",
+    "iKorean",
+    "iLang1",
+    "iLooking",
+    "iMarital",
+    "iMay75880",
+    "iMeans",
+    "iMilitary",
+    "iMobility",
+    "iMobillim",
+    "dOccup",
+    "iOthrserv",
+    "iPerscare",
+    "dPOB",
+    "dPoverty",
+    "dPwgt1",
+    "iRagechld",
+    "dRearning",
+    "iRelat1",
+    "iRelat2",
+    "iRemplpar",
+    "iRiders",
+    "iRlabor",
+    "iRownchld",
+    "dRpincome",
+    "iRPOB",
+    "iRrelchld",
+    "iRspouse",
+    "iRvetserv",
+    "iSchool",
+    "iSept80",
+    "iSex",
+    "iSubfam1",
+    "iSubfam2",
+    "iTmpabsnt",
+    "dTravtime",
+    "iVietnam",
+    "dWeek89",
+    "iWork89",
+    "iWorklwk",
+    "iWWII",
+    "iYearsch",
+    "iYearwrk",
+    "dYrsserv",
 ];
 
 /// Per-column cardinality: deterministic, heavy on small buckets like the
@@ -96,7 +155,10 @@ pub fn census(n_rows: usize, seed: u64) -> Table {
 /// Generates with full control over the mixture parameters.
 pub fn census_with(cfg: CensusConfig) -> Table {
     assert!(cfg.n_profiles > 0, "need at least one profile");
-    assert!((0.0..=1.0).contains(&cfg.coherence), "coherence is a probability");
+    assert!(
+        (0.0..=1.0).contains(&cfg.coherence),
+        "coherence is a probability"
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n_cols = COLUMNS.len();
 
@@ -109,10 +171,16 @@ pub fn census_with(cfg: CensusConfig) -> Table {
 
     // Latent profiles: one preferred value per column each.
     let profiles: Vec<Vec<usize>> = (0..cfg.n_profiles)
-        .map(|_| (0..n_cols).map(|c| rng.gen_range(0..cardinality(c))).collect())
+        .map(|_| {
+            (0..n_cols)
+                .map(|c| rng.gen_range(0..cardinality(c)))
+                .collect()
+        })
         .collect();
     let profile_z = Zipf::new(cfg.n_profiles, cfg.skew);
-    let noise_z: Vec<Zipf> = (0..n_cols).map(|c| Zipf::new(cardinality(c), cfg.skew)).collect();
+    let noise_z: Vec<Zipf> = (0..n_cols)
+        .map(|c| Zipf::new(cardinality(c), cfg.skew))
+        .collect();
 
     let schema = Schema::new(COLUMNS).expect("unique names");
     let mut b = Table::builder(schema);

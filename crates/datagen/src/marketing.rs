@@ -94,7 +94,11 @@ fn sample_person(rng: &mut StdRng) -> [&'static str; 14] {
         "14-17" => weighted_pick(rng, &[("NeverMarried", 97.0), ("Married", 3.0)]),
         "18-24" => weighted_pick(
             rng,
-            &[("NeverMarried", 70.0), ("Married", 20.0), ("Cohabiting", 10.0)],
+            &[
+                ("NeverMarried", 70.0),
+                ("Married", 20.0),
+                ("Cohabiting", 10.0),
+            ],
         ),
         "25-34" => weighted_pick(
             rng,
@@ -128,7 +132,10 @@ fn sample_person(rng: &mut StdRng) -> [&'static str; 14] {
 
     // Education, coupled to age (younger respondents still in school).
     let education = match age {
-        "14-17" => weighted_pick(rng, &[("Grade9-11", 70.0), ("HSGraduate", 25.0), ("<Grade9", 5.0)]),
+        "14-17" => weighted_pick(
+            rng,
+            &[("Grade9-11", 70.0), ("HSGraduate", 25.0), ("<Grade9", 5.0)],
+        ),
         "18-24" => weighted_pick(
             rng,
             &[
@@ -158,7 +165,11 @@ fn sample_person(rng: &mut StdRng) -> [&'static str; 14] {
         "CollegeGrad" => 2,
         "College1-3" => 1,
         _ => 0,
-    } + if age == "14-17" || age == "18-24" { -2i32 } else { 0 };
+    } + if age == "14-17" || age == "18-24" {
+        -2i32
+    } else {
+        0
+    };
     let income = pick_income(rng, income_bias);
 
     // Occupation coupled to age/education.
@@ -176,7 +187,14 @@ fn sample_person(rng: &mut StdRng) -> [&'static str; 14] {
                 ("Unemployed", 2.0),
             ],
         ),
-        "65+" => weighted_pick(rng, &[("Retired", 80.0), ("Professional", 10.0), ("Homemaker", 10.0)]),
+        "65+" => weighted_pick(
+            rng,
+            &[
+                ("Retired", 80.0),
+                ("Professional", 10.0),
+                ("Homemaker", 10.0),
+            ],
+        ),
         _ => {
             let prof_w = match education {
                 "GradStudy" => 55.0,
@@ -228,15 +246,34 @@ fn sample_person(rng: &mut StdRng) -> [&'static str; 14] {
     // Householder status / home type coupling.
     let householder = match age {
         "14-17" => "LivesWithFamily",
-        "18-24" => weighted_pick(rng, &[("Rent", 45.0), ("LivesWithFamily", 40.0), ("Own", 15.0)]),
-        _ => weighted_pick(rng, &[("Own", 50.0), ("Rent", 40.0), ("LivesWithFamily", 10.0)]),
+        "18-24" => weighted_pick(
+            rng,
+            &[("Rent", 45.0), ("LivesWithFamily", 40.0), ("Own", 15.0)],
+        ),
+        _ => weighted_pick(
+            rng,
+            &[("Own", 50.0), ("Rent", 40.0), ("LivesWithFamily", 10.0)],
+        ),
     };
     let home = if householder == "Own" {
-        weighted_pick(rng, &[("House", 75.0), ("Condo", 15.0), ("MobileHome", 7.0), ("Other", 3.0)])
+        weighted_pick(
+            rng,
+            &[
+                ("House", 75.0),
+                ("Condo", 15.0),
+                ("MobileHome", 7.0),
+                ("Other", 3.0),
+            ],
+        )
     } else {
         weighted_pick(
             rng,
-            &[("Apartment", 55.0), ("House", 30.0), ("Condo", 10.0), ("Other", 5.0)],
+            &[
+                ("Apartment", 55.0),
+                ("House", 30.0),
+                ("Condo", 10.0),
+                ("Other", 5.0),
+            ],
         )
     };
 
@@ -280,7 +317,8 @@ fn sample_person(rng: &mut StdRng) -> [&'static str; 14] {
 
 fn pick_income(rng: &mut StdRng, bias: i32) -> &'static str {
     const LEVELS: [&str; 9] = [
-        "<$10k", "$10-15k", "$15-20k", "$20-25k", "$25-30k", "$30-40k", "$40-50k", "$50-75k", "$75k+",
+        "<$10k", "$10-15k", "$15-20k", "$20-25k", "$25-30k", "$30-40k", "$40-50k", "$50-75k",
+        "$75k+",
     ];
     // Base heavy-ish middle; bias shifts the center.
     let center = (3 + bias).clamp(0, 8) as f64;
@@ -306,7 +344,11 @@ fn pick_under18(rng: &mut StdRng, max_minors: usize, marital: &str) -> &'static 
         .take(max_minors + 1)
         .enumerate()
         .map(|(i, &l)| {
-            let w = if i == 0 { 10.0 } else { 6.0 * married_bonus / i as f64 };
+            let w = if i == 0 {
+                10.0
+            } else {
+                6.0 * married_bonus / i as f64
+            };
             (l, w)
         })
         .collect();
@@ -327,7 +369,11 @@ mod tests {
         assert_eq!(t.schema().column_name(4), "Education");
         // Every column bucketized: ≤ 10 distinct values (paper §5).
         for c in 0..14 {
-            assert!(t.cardinality(c) <= 10, "column {c} has {}", t.cardinality(c));
+            assert!(
+                t.cardinality(c) <= 10,
+                "column {c} has {}",
+                t.cardinality(c)
+            );
         }
     }
 
@@ -378,7 +424,10 @@ mod tests {
         for row in 0..t.n_rows() as u32 {
             let p: usize = t.value(row, persons).trim_end_matches('+').parse().unwrap();
             let u: usize = t.value(row, under).trim_end_matches('+').parse().unwrap();
-            assert!(u < p || (p == 9 && u <= 8), "row {row}: {u} minors in household of {p}");
+            assert!(
+                u < p || (p == 9 && u <= 8),
+                "row {row}: {u} minors in household of {p}"
+            );
         }
     }
 

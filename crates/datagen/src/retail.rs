@@ -111,11 +111,21 @@ mod tests {
         let t = retail(42);
         assert_eq!(t.n_rows(), N_ROWS);
         let view = t.view();
-        let count = |pairs: &[(&str, &str)]| rule_count(&view, &Rule::from_pairs(&t, pairs).unwrap());
-        assert_eq!(count(&[("Store", "Target"), ("Product", "bicycles")]), 200.0);
-        assert_eq!(count(&[("Product", "comforters"), ("Region", "MA-3")]), 600.0);
+        let count =
+            |pairs: &[(&str, &str)]| rule_count(&view, &Rule::from_pairs(&t, pairs).unwrap());
+        assert_eq!(
+            count(&[("Store", "Target"), ("Product", "bicycles")]),
+            200.0
+        );
+        assert_eq!(
+            count(&[("Product", "comforters"), ("Region", "MA-3")]),
+            600.0
+        );
         assert_eq!(count(&[("Store", "Walmart")]), 1000.0);
-        assert_eq!(count(&[("Store", "Walmart"), ("Product", "cookies")]), 200.0);
+        assert_eq!(
+            count(&[("Store", "Walmart"), ("Product", "cookies")]),
+            200.0
+        );
         assert_eq!(count(&[("Store", "Walmart"), ("Region", "CA-1")]), 150.0);
         assert_eq!(count(&[("Store", "Walmart"), ("Region", "WA-5")]), 130.0);
     }
@@ -125,9 +135,15 @@ mod tests {
         let t = retail(42);
         let view = t.view();
         // Target only ever sells bicycles; comforters only in MA-3.
-        let target = rule_count(&view, &Rule::from_pairs(&t, &[("Store", "Target")]).unwrap());
+        let target = rule_count(
+            &view,
+            &Rule::from_pairs(&t, &[("Store", "Target")]).unwrap(),
+        );
         assert_eq!(target, 200.0);
-        let comf = rule_count(&view, &Rule::from_pairs(&t, &[("Product", "comforters")]).unwrap());
+        let comf = rule_count(
+            &view,
+            &Rule::from_pairs(&t, &[("Product", "comforters")]).unwrap(),
+        );
         assert_eq!(comf, 600.0);
     }
 

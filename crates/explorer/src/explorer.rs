@@ -1,6 +1,8 @@
 //! The [`Explorer`]: a sampled, prefetching, CI-annotated session.
 
-use sdd_core::{drill_down_with, star_drill_down_with, Brs, Rule, RuleValue, SessionError, WeightFn};
+use sdd_core::{
+    drill_down_with, star_drill_down_with, Brs, Rule, RuleValue, SessionError, WeightFn,
+};
 use sdd_sampling::{
     count_estimate, FetchMechanism, PrefetchEntry, SampleHandler, SampleHandlerConfig,
 };
@@ -161,7 +163,11 @@ impl<'t> Explorer<'t> {
     }
 
     /// Star drill-down on `column` of the rule at `path`.
-    pub fn expand_star(&mut self, path: &[usize], column: usize) -> Result<Vec<DisplayedRule>, SessionError> {
+    pub fn expand_star(
+        &mut self,
+        path: &[usize],
+        column: usize,
+    ) -> Result<Vec<DisplayedRule>, SessionError> {
         let base = self.node(path)?.info.rule.clone();
         if !base.is_star(column) {
             return Err(SessionError::ColumnNotStarred(column));
@@ -169,7 +175,11 @@ impl<'t> Explorer<'t> {
         self.expand_inner(path, Some(column))
     }
 
-    fn expand_inner(&mut self, path: &[usize], star: Option<usize>) -> Result<Vec<DisplayedRule>, SessionError> {
+    fn expand_inner(
+        &mut self,
+        path: &[usize],
+        star: Option<usize>,
+    ) -> Result<Vec<DisplayedRule>, SessionError> {
         let base = self.node(path)?.info.rule.clone();
         // Feed the learned click model (§4.1): drilling into a non-trivial
         // rule reveals which columns the analyst cares about.
@@ -367,7 +377,10 @@ fn render_aligned(rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
         if ri == 0 {
-            out.extend(std::iter::repeat_n('-', widths.iter().sum::<usize>() + 3 * (n - 1)));
+            out.extend(std::iter::repeat_n(
+                '-',
+                widths.iter().sum::<usize>() + 3 * (n - 1),
+            ));
             out.push('\n');
         }
     }
@@ -405,7 +418,10 @@ mod tests {
         for r in &shown {
             assert!(r.ci_lo <= r.count && r.count <= r.ci_hi);
             if !r.exact {
-                assert!(r.ci_hi > r.ci_lo, "non-exact estimate needs a real interval");
+                assert!(
+                    r.ci_hi > r.ci_lo,
+                    "non-exact estimate needs a real interval"
+                );
             }
         }
         // The walkthrough patterns appear (estimates near planted counts).
@@ -458,9 +474,7 @@ mod tests {
             "drill into a prefetched rule must not Create"
         );
         assert_eq!(ex.stats.served_from_memory, 1);
-        assert!(children
-            .iter()
-            .all(|c| c.source != FetchMechanism::Create));
+        assert!(children.iter().all(|c| c.source != FetchMechanism::Create));
     }
 
     #[test]
@@ -524,7 +538,7 @@ mod tests {
         let table = retail(42);
         let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
         ex.expand(&[]).unwrap();
-        assert!(ex.children_at(&[]).unwrap().len() > 0);
+        assert!(!ex.children_at(&[]).unwrap().is_empty());
         ex.collapse(&[]).unwrap();
         assert!(ex.children_at(&[]).unwrap().is_empty());
     }

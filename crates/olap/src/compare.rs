@@ -114,7 +114,8 @@ mod tests {
     #[test]
     fn smart_beats_traditional_on_the_walkthrough() {
         let t = retail(1);
-        let target = Rule::from_pairs(&t, &[("Product", "comforters"), ("Region", "MA-3")]).unwrap();
+        let target =
+            Rule::from_pairs(&t, &[("Product", "comforters"), ("Region", "MA-3")]).unwrap();
         let smart = smart_effort(&t, &SizeWeight, 3, &target, 4).expect("planted");
         let trad = traditional_effort(&t, &target);
         assert!(smart.rows_displayed < trad.rows_displayed);

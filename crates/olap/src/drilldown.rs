@@ -69,7 +69,11 @@ impl<'t> TraditionalDrillDown<'t> {
 
     /// Drills on `column` and then narrows the filter to `value` (the
     /// analyst clicking one group). Returns the level that was displayed.
-    pub fn drill_and_select(&mut self, column: usize, value: &str) -> Result<DrillDownLevel, String> {
+    pub fn drill_and_select(
+        &mut self,
+        column: usize,
+        value: &str,
+    ) -> Result<DrillDownLevel, String> {
         let level = self.drill(column);
         let code = self
             .table
@@ -92,7 +96,9 @@ impl<'t> TraditionalDrillDown<'t> {
     pub fn current_view(&self) -> TableView<'t> {
         let table = self.table;
         let filter = self.filter.clone();
-        table.view().filter(move |row| filter.covers_row(table, row))
+        table
+            .view()
+            .filter(move |row| filter.covers_row(table, row))
     }
 }
 

@@ -52,7 +52,9 @@ impl AllocationProblem {
                 None => return Err(format!("node {i} has no parent but is not the root")),
                 Some(j) if j >= n => return Err(format!("node {i} has out-of-range parent {j}")),
                 Some(j) if j >= i => {
-                    return Err(format!("node {i}'s parent {j} must precede it (topological order)"))
+                    return Err(format!(
+                        "node {i}'s parent {j} must precede it (topological order)"
+                    ))
                 }
                 _ => {}
             }
@@ -83,7 +85,9 @@ impl AllocationProblem {
     /// Leaves of the tree.
     pub fn leaves(&self) -> Vec<usize> {
         let ch = self.children();
-        (0..self.parent.len()).filter(|&i| ch[i].is_empty()).collect()
+        (0..self.parent.len())
+            .filter(|&i| ch[i].is_empty())
+            .collect()
     }
 
     /// `ess(r)` for every node under allocation `sizes`.

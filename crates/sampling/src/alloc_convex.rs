@@ -53,8 +53,7 @@ pub fn solve_convex_with(problem: &AllocationProblem, cfg: ConvexConfig) -> Allo
         let mut g = vec![0.0f64; n];
         for &l in &leaves {
             let ess = x[l]
-                + problem
-                    .parent[l]
+                + problem.parent[l]
                     .map(|p| x[p] * problem.selectivity[l])
                     .unwrap_or(0.0);
             if ess < min_ss {
@@ -83,7 +82,10 @@ pub fn solve_convex_with(problem: &AllocationProblem, cfg: ConvexConfig) -> Allo
         }
     }
 
-    let sizes: Vec<usize> = best_x.iter().map(|&v| v.max(0.0).floor() as usize).collect();
+    let sizes: Vec<usize> = best_x
+        .iter()
+        .map(|&v| v.max(0.0).floor() as usize)
+        .collect();
     let value = problem.step_value(&sizes);
     Allocation { sizes, value }
 }

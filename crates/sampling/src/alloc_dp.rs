@@ -166,7 +166,11 @@ fn ceil_eps(x: f64) -> usize {
 
 /// Enumerates the ≤ 3^d locally-optimal configurations of one group and
 /// dominance-filters them.
-fn enumerate_configs(problem: &AllocationProblem, _r0: usize, children: &[usize]) -> Vec<GroupConfig> {
+fn enumerate_configs(
+    problem: &AllocationProblem,
+    _r0: usize,
+    children: &[usize],
+) -> Vec<GroupConfig> {
     let d = children.len();
     let min_ss = problem.min_ss as f64;
     let mut configs: Vec<GroupConfig> = Vec::new();
@@ -399,7 +403,11 @@ mod tests {
             let mut rest = 1.0f64;
             for i in 0..n_leaves {
                 parent.push(Some(0));
-                let p = if i + 1 == n_leaves { rest } else { rng.gen_range(0.0..rest) };
+                let p = if i + 1 == n_leaves {
+                    rest
+                } else {
+                    rng.gen_range(0.0..rest)
+                };
                 rest -= p;
                 prob.push(p);
                 sel.push(rng.gen_range(0.1..1.0));

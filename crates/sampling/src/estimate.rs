@@ -118,7 +118,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits as f64 / trials as f64 > 0.9, "coverage {hits}/{trials}");
+        assert!(
+            hits as f64 / trials as f64 > 0.9,
+            "coverage {hits}/{trials}"
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! it solves the allocation problem (§4.1/§4.2) and materializes all
 //! planned samples in a single scan.
 
-use crate::alloc::{Allocation, AllocationProblem, AllocationStrategy, solve_uniform};
+use crate::alloc::{solve_uniform, Allocation, AllocationProblem, AllocationStrategy};
 use crate::alloc_convex::solve_convex;
 use crate::alloc_dp::solve_dp;
 use crate::reservoir::Reservoir;
@@ -246,17 +246,21 @@ impl<'t> SampleHandler<'t> {
         idx[0]
     }
 
-    /// One pass over the table filling a reservoir per requested rule —
-    /// §4.3's "in a Create phase ... in a single pass, it creates a sample
-    /// of size n_r for each displayed r".
+    /// The Create phase (§4.3: "it creates a sample of size n_r for each
+    /// displayed r"). Rule matching runs column-at-a-time over the
+    /// dictionary-encoded column slices ([`sdd_core::covered_rows`]): one
+    /// columnar scan per requested rule (materializing that rule's covered
+    /// row ids) rather than the historical single row-at-a-time pass
+    /// probing every rule against every row — fewer total code compares
+    /// for the usual small request batches, at the cost of a transient
+    /// `Vec<RowId>` per rule. Counted as one logical full scan in
+    /// [`HandlerStats`].
     fn scan_and_store(&mut self, requests: &[(Rule, usize)]) -> Vec<usize> {
         let mut reservoirs: Vec<Reservoir<RowId>> =
             requests.iter().map(|(_, n)| Reservoir::new(*n)).collect();
-        for row in 0..self.table.n_rows() as RowId {
-            for ((rule, _), res) in requests.iter().zip(&mut reservoirs) {
-                if rule.covers_row(self.table, row) {
-                    res.offer(row, &mut self.rng);
-                }
+        for ((rule, _), res) in requests.iter().zip(&mut reservoirs) {
+            for row in sdd_core::covered_rows(self.table, rule) {
+                res.offer(row, &mut self.rng);
             }
         }
         let mut indices = Vec::with_capacity(requests.len());
@@ -440,7 +444,7 @@ mod tests {
         let s = h.get_sample(&walmart);
         assert_eq!(s.mechanism, FetchMechanism::Combine);
         assert_eq!(h.stats.creates, 0); // no disk pass triggered by the request
-        // Unbiased: estimated Walmart count ≈ 1000.
+                                        // Unbiased: estimated Walmart count ≈ 1000.
         let est = s.view.total_weight();
         assert!((est - 1000.0).abs() < 200.0, "estimate {est}");
     }
@@ -449,8 +453,8 @@ mod tests {
     fn combine_falls_back_to_create_when_starved() {
         let t = retail(1);
         let mut h = handler(&t); // minSS 500
-        // Seed a small trivial sample (600): Walmart-covered portion ≈ 100
-        // < minSS → must Create.
+                                 // Seed a small trivial sample (600): Walmart-covered portion ≈ 100
+                                 // < minSS → must Create.
         h.scan_and_store(&[(Rule::trivial(3), 600)]);
         let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
         let s = h.get_sample(&walmart);

@@ -31,7 +31,10 @@ fn trim(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
-        format!("{v:.4}").trim_end_matches('0').trim_end_matches('.').to_owned()
+        format!("{v:.4}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_owned()
     }
 }
 
@@ -52,11 +55,19 @@ pub struct Bucketized {
 pub fn equal_width(values: &[f64], n: usize) -> Result<Bucketized, TableError> {
     validate(values, n)?;
     let (min, max) = min_max(values);
-    let width = if max > min { (max - min) / n as f64 } else { 1.0 };
+    let width = if max > min {
+        (max - min) / n as f64
+    } else {
+        1.0
+    };
     let buckets: Vec<Bucket> = (0..n)
         .map(|i| Bucket {
             lo: min + width * i as f64,
-            hi: if i + 1 == n { max.max(min + 1.0) } else { min + width * (i + 1) as f64 },
+            hi: if i + 1 == n {
+                max.max(min + 1.0)
+            } else {
+                min + width * (i + 1) as f64
+            },
         })
         .collect();
     let assignment: Vec<usize> = values
@@ -91,15 +102,23 @@ pub fn equal_depth(values: &[f64], n: usize) -> Result<Bucketized, TableError> {
     }
     let last = sorted[sorted.len() - 1];
     // Final (exclusive) upper edge just past the max so max lands inside.
-    let hi_edge = if last > *edges.last().expect("non-empty") { last } else { *edges.last().expect("non-empty") };
+    let hi_edge = if last > *edges.last().expect("non-empty") {
+        last
+    } else {
+        *edges.last().expect("non-empty")
+    };
     edges.push(hi_edge + 1.0);
 
-    let buckets: Vec<Bucket> = edges.windows(2).map(|w| Bucket { lo: w[0], hi: w[1] }).collect();
+    let buckets: Vec<Bucket> = edges
+        .windows(2)
+        .map(|w| Bucket { lo: w[0], hi: w[1] })
+        .collect();
     let assignment: Vec<usize> = values
         .iter()
         .map(|&v| {
             // Last bucket whose lo <= v.
-            match edges[..edges.len() - 1].binary_search_by(|e| e.partial_cmp(&v).expect("finite")) {
+            match edges[..edges.len() - 1].binary_search_by(|e| e.partial_cmp(&v).expect("finite"))
+            {
                 Ok(mut i) => {
                     // For runs of equal edges pick the first matching bucket.
                     while i > 0 && edges[i - 1] == v {
@@ -146,7 +165,9 @@ impl Hierarchy {
 pub fn hierarchy(values: &[f64], branching: usize, depth: usize) -> Result<Hierarchy, TableError> {
     validate(values, branching)?;
     if depth == 0 {
-        return Err(TableError::ParseNumber("0 hierarchy levels requested".to_owned()));
+        return Err(TableError::ParseNumber(
+            "0 hierarchy levels requested".to_owned(),
+        ));
     }
     let n = values.len();
     let mut out = Hierarchy {
@@ -197,9 +218,11 @@ fn validate(values: &[f64], n: usize) -> Result<(), TableError> {
 }
 
 fn min_max(values: &[f64]) -> (f64, f64) {
-    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    })
+    values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        })
 }
 
 fn finish(buckets: Vec<Bucket>, assignment: Vec<usize>) -> Bucketized {

@@ -52,7 +52,9 @@ pub fn read_csv_with_measures(input: &str, measures: &[&str]) -> Result<Table, T
         builder.push_row(&row_buf)?;
         for (slot, (i, _)) in measure_vals.iter_mut().zip(&measure_idx) {
             let raw = record[*i].trim();
-            let v: f64 = raw.parse().map_err(|_| TableError::ParseNumber(raw.to_owned()))?;
+            let v: f64 = raw
+                .parse()
+                .map_err(|_| TableError::ParseNumber(raw.to_owned()))?;
             slot.push(v);
         }
     }
@@ -119,7 +121,8 @@ fn format_number(v: f64) -> String {
 }
 
 fn write_field(out: &mut String, field: &str) {
-    let needs_quote = field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r');
+    let needs_quote =
+        field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r');
     if needs_quote {
         out.push('"');
         for ch in field.chars() {
@@ -308,12 +311,18 @@ mod tests {
 
     #[test]
     fn unterminated_quote_is_error() {
-        assert!(matches!(read_csv("a\n\"oops\n"), Err(TableError::Csv { .. })));
+        assert!(matches!(
+            read_csv("a\n\"oops\n"),
+            Err(TableError::Csv { .. })
+        ));
     }
 
     #[test]
     fn stray_quote_is_error() {
-        assert!(matches!(read_csv("a\nfoo\"bar\n"), Err(TableError::Csv { .. })));
+        assert!(matches!(
+            read_csv("a\nfoo\"bar\n"),
+            Err(TableError::Csv { .. })
+        ));
     }
 
     #[test]

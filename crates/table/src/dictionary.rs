@@ -22,7 +22,8 @@ impl Dictionary {
         if let Some(&code) = self.index.get(value) {
             return code;
         }
-        let code = u32::try_from(self.values.len()).expect("dictionary overflow: > u32::MAX distinct values");
+        let code = u32::try_from(self.values.len())
+            .expect("dictionary overflow: > u32::MAX distinct values");
         let boxed: Box<str> = value.into();
         self.values.push(boxed.clone());
         self.index.insert(boxed, code);
@@ -52,7 +53,10 @@ impl Dictionary {
 
     /// Iterates `(code, value)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.values.iter().enumerate().map(|(i, v)| (i as u32, &**v))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, &**v))
     }
 }
 

@@ -33,7 +33,10 @@ impl fmt::Display for TableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TableError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             TableError::UnknownColumn(name) => write!(f, "unknown column: {name:?}"),
             TableError::UnknownMeasure(name) => write!(f, "unknown measure column: {name:?}"),
@@ -53,13 +56,21 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = TableError::ArityMismatch { expected: 3, got: 2 };
+        let e = TableError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("3"));
         assert!(e.to_string().contains("2"));
-        assert!(TableError::UnknownColumn("x".into()).to_string().contains("x"));
-        assert!(TableError::Csv { line: 7, message: "bad quote".into() }
+        assert!(TableError::UnknownColumn("x".into())
             .to_string()
-            .contains("line 7"));
+            .contains("x"));
+        assert!(TableError::Csv {
+            line: 7,
+            message: "bad quote".into()
+        }
+        .to_string()
+        .contains("line 7"));
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Schema {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let columns: Vec<ColumnDef> = names.into_iter().map(|n| ColumnDef::new(n.into())).collect();
+        let columns: Vec<ColumnDef> = names
+            .into_iter()
+            .map(|n| ColumnDef::new(n.into()))
+            .collect();
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|p| p.name() == c.name()) {
                 return Err(TableError::DuplicateColumn(c.name().to_owned()));
@@ -74,7 +77,10 @@ mod tests {
         assert_eq!(s.n_columns(), 3);
         assert_eq!(s.index_of("Product").unwrap(), 1);
         assert_eq!(s.column_name(2), "Region");
-        assert!(matches!(s.index_of("Sales"), Err(TableError::UnknownColumn(_))));
+        assert!(matches!(
+            s.index_of("Sales"),
+            Err(TableError::UnknownColumn(_))
+        ));
     }
 
     #[test]

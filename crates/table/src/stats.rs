@@ -51,7 +51,11 @@ fn finish(counts: Vec<u64>, total: u64) -> ColumnStats {
         .max_by_key(|(_, &c)| c)
         .map(|(i, &c)| (Some(i as u32), c))
         .unwrap_or((None, 0));
-    let top_fraction = if total == 0 { 0.0 } else { top_count as f64 / total as f64 };
+    let top_fraction = if total == 0 {
+        0.0
+    } else {
+        top_count as f64 / total as f64
+    };
     ColumnStats {
         distinct,
         counts,
@@ -62,7 +66,9 @@ fn finish(counts: Vec<u64>, total: u64) -> ColumnStats {
 
 /// Stats for every column of the table.
 pub fn all_column_stats(table: &Table) -> Vec<ColumnStats> {
-    (0..table.n_columns()).map(|c| column_stats(table, c)).collect()
+    (0..table.n_columns())
+        .map(|c| column_stats(table, c))
+        .collect()
 }
 
 /// The column with the fewest distinct values and its cardinality —
@@ -110,7 +116,10 @@ mod tests {
         let s = column_stats_view(&v, 0);
         assert_eq!(s.distinct, 1);
         assert!((s.top_fraction - 1.0).abs() < 1e-12);
-        assert_eq!(table.dictionary(0).value_of(s.top_code.unwrap()), Some("Target"));
+        assert_eq!(
+            table.dictionary(0).value_of(s.top_code.unwrap()),
+            Some("Target")
+        );
     }
 
     #[test]

@@ -224,7 +224,11 @@ impl TableBuilder {
     /// Attaches a numeric measure column (length checked at [`build`]).
     ///
     /// [`build`]: TableBuilder::build
-    pub fn add_measure(&mut self, name: impl Into<String>, values: Vec<f64>) -> Result<(), TableError> {
+    pub fn add_measure(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<f64>,
+    ) -> Result<(), TableError> {
         let name = name.into();
         if self.schema.index_of(&name).is_ok() || self.measures.iter().any(|(n, _)| *n == name) {
             return Err(TableError::DuplicateColumn(name));
@@ -241,11 +245,13 @@ impl TableBuilder {
                     expected: self.n_rows,
                     got: vals.len(),
                 })
-                .map_err(|_| TableError::UnknownMeasure(format!(
-                    "measure {name:?} has {} values for {} rows",
-                    vals.len(),
-                    self.n_rows
-                )));
+                .map_err(|_| {
+                    TableError::UnknownMeasure(format!(
+                        "measure {name:?} has {} values for {} rows",
+                        vals.len(),
+                        self.n_rows
+                    ))
+                });
             }
         }
         Ok(Table {
@@ -297,7 +303,13 @@ mod tests {
     fn arity_mismatch_is_rejected() {
         let mut b = TableBuilder::new(Schema::new(["a", "b"]).unwrap());
         let err = b.push_row(&["only-one"]).unwrap_err();
-        assert_eq!(err, TableError::ArityMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            TableError::ArityMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -126,6 +126,64 @@ impl<'a> TableView<'a> {
         })
     }
 
+    /// The explicit row-id slice, or `None` when the view covers all rows
+    /// in order (position `i` *is* row `i`).
+    #[inline]
+    pub fn row_ids(&self) -> Option<&[RowId]> {
+        match &self.rows {
+            Rows::All(_) => None,
+            Rows::Subset(v) => Some(v),
+        }
+    }
+
+    /// The per-tuple weight slice, or `None` for unit weights.
+    #[inline]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// The whole view as one [`ViewChunk`].
+    #[inline]
+    pub fn as_chunk(&self) -> ViewChunk<'_> {
+        self.chunk(0, self.len())
+    }
+
+    /// The sub-range `[start, start + len)` of view positions as a
+    /// [`ViewChunk`]. Panics if out of bounds.
+    pub fn chunk(&self, start: usize, len: usize) -> ViewChunk<'_> {
+        assert!(start + len <= self.len(), "chunk out of bounds");
+        ViewChunk {
+            offset: start,
+            rows: match &self.rows {
+                Rows::All(_) => ChunkRows::Contiguous {
+                    start: start as RowId,
+                },
+                Rows::Subset(v) => ChunkRows::Gather(&v[start..start + len]),
+            },
+            len,
+            weights: self.weights.as_ref().map(|w| &w[start..start + len]),
+        }
+    }
+
+    /// Splits the view into at most `max_chunks` chunks of near-equal size
+    /// (at least one chunk, even when empty). Chunk boundaries depend only
+    /// on `len` and `max_chunks`, so per-chunk processing merged in chunk
+    /// order is deterministic regardless of the executing thread count.
+    pub fn chunks(&self, max_chunks: usize) -> Vec<ViewChunk<'_>> {
+        let n = self.len();
+        let k = max_chunks.clamp(1, n.max(1));
+        let base = n / k;
+        let extra = n % k; // first `extra` chunks get one more row
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let len = base + usize::from(i < extra);
+            out.push(self.chunk(start, len));
+            start += len;
+        }
+        out
+    }
+
     /// Returns a new view keeping only positions whose row satisfies `pred`.
     pub fn filter(&self, mut pred: impl FnMut(RowId) -> bool) -> TableView<'a> {
         let mut rows = Vec::new();
@@ -149,7 +207,9 @@ impl<'a> TableView<'a> {
     /// Returns a copy of this view with every weight multiplied by `factor`
     /// (used to rescale a sample into full-table estimates).
     pub fn scaled(&self, factor: f64) -> TableView<'a> {
-        let weights: Vec<f64> = (0..self.len()).map(|i| self.weight_at(i) * factor).collect();
+        let weights: Vec<f64> = (0..self.len())
+            .map(|i| self.weight_at(i) * factor)
+            .collect();
         let rows: Vec<RowId> = (0..self.len()).map(|i| self.row_at(i)).collect();
         TableView {
             table: self.table,
@@ -178,6 +238,95 @@ impl<'a> TableView<'a> {
             table: self.table,
             rows: Rows::Subset(rows),
             weights: Some(weights),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ChunkRows<'v> {
+    /// View positions map to consecutive row ids starting at `start` —
+    /// column scans over this chunk read contiguous code-slice runs.
+    Contiguous { start: RowId },
+    /// Explicit row ids (a gather per column access).
+    Gather(&'v [RowId]),
+}
+
+/// A borrowed sub-range of a [`TableView`]'s positions — the unit the
+/// columnar counting kernel processes (one chunk per worker thread).
+///
+/// A chunk knows whether its rows are contiguous (`Table::column` slices can
+/// be scanned directly) or an explicit gather list, and carries the aligned
+/// weight slice when the view is weighted.
+#[derive(Debug, Clone, Copy)]
+pub struct ViewChunk<'v> {
+    offset: usize,
+    rows: ChunkRows<'v>,
+    len: usize,
+    weights: Option<&'v [f64]>,
+}
+
+impl<'v> ViewChunk<'v> {
+    /// Number of positions in the chunk.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the chunk holds no positions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Offset of this chunk's first position within the parent view —
+    /// aligns the chunk with view-positional arrays such as the optimizer's
+    /// covered-weight vector.
+    #[inline]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// The row id at chunk-local position `i`.
+    #[inline]
+    pub fn row_at(&self, i: usize) -> RowId {
+        debug_assert!(i < self.len);
+        match self.rows {
+            ChunkRows::Contiguous { start } => start + i as RowId,
+            ChunkRows::Gather(ids) => ids[i],
+        }
+    }
+
+    /// The weight at chunk-local position `i`.
+    #[inline]
+    pub fn weight_at(&self, i: usize) -> f64 {
+        match self.weights {
+            Some(w) => w[i],
+            None => 1.0,
+        }
+    }
+
+    /// The aligned weight slice, or `None` for unit weights.
+    #[inline]
+    pub fn weights(&self) -> Option<&'v [f64]> {
+        self.weights
+    }
+
+    /// The explicit row-id gather list, or `None` when contiguous.
+    #[inline]
+    pub fn row_ids(&self) -> Option<&'v [RowId]> {
+        match self.rows {
+            ChunkRows::Contiguous { .. } => None,
+            ChunkRows::Gather(ids) => Some(ids),
+        }
+    }
+
+    /// For contiguous chunks, the row range covered — callers slice
+    /// [`Table::column`] with it for run-length column scans.
+    #[inline]
+    pub fn contiguous_rows(&self) -> Option<std::ops::Range<usize>> {
+        match self.rows {
+            ChunkRows::Contiguous { start } => Some(start as usize..start as usize + self.len),
+            ChunkRows::Gather(_) => None,
         }
     }
 }
@@ -272,5 +421,68 @@ mod tests {
     fn mismatched_weights_panic() {
         let table = t();
         let _ = TableView::with_rows_and_weights(&table, vec![0, 1], vec![1.0]);
+    }
+
+    #[test]
+    fn all_view_chunks_are_contiguous() {
+        let table = t();
+        let v = table.view();
+        assert!(v.row_ids().is_none());
+        assert!(v.weights().is_none());
+        let chunks = v.chunks(3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), v.len());
+        let mut pos = 0;
+        for c in &chunks {
+            assert_eq!(c.offset(), pos);
+            let range = c.contiguous_rows().expect("all-view chunks contiguous");
+            assert_eq!(range.len(), c.len());
+            for i in 0..c.len() {
+                assert_eq!(c.row_at(i), v.row_at(pos + i));
+                assert_eq!(c.weight_at(i), 1.0);
+            }
+            pos += c.len();
+        }
+    }
+
+    #[test]
+    fn subset_view_chunks_gather_rows_and_weights() {
+        let table = t();
+        let v = TableView::with_rows_and_weights(&table, vec![3, 1, 0], vec![0.5, 1.5, 2.5]);
+        assert_eq!(v.row_ids(), Some(&[3, 1, 0][..]));
+        assert_eq!(v.weights(), Some(&[0.5, 1.5, 2.5][..]));
+        let chunks = v.chunks(2);
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks[0].contiguous_rows().is_none());
+        let mut pos = 0;
+        for c in &chunks {
+            for i in 0..c.len() {
+                assert_eq!(c.row_at(i), v.row_at(pos + i));
+                assert_eq!(c.weight_at(i), v.weight_at(pos + i));
+            }
+            pos += c.len();
+        }
+        assert_eq!(pos, 3);
+    }
+
+    #[test]
+    fn chunk_count_is_clamped() {
+        let table = t();
+        let v = table.view();
+        assert_eq!(v.chunks(100).len(), v.len()); // no empty chunks
+        assert_eq!(v.chunks(1).len(), 1);
+        let empty = v.filter(|_| false);
+        assert_eq!(empty.chunks(4).len(), 1);
+        assert!(empty.chunks(4)[0].is_empty());
+    }
+
+    #[test]
+    fn as_chunk_covers_whole_view() {
+        let table = t();
+        let v = table.view();
+        let c = v.as_chunk();
+        assert_eq!(c.len(), v.len());
+        assert_eq!(c.offset(), 0);
+        assert_eq!(c.contiguous_rows(), Some(0..4));
     }
 }

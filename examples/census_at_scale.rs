@@ -35,7 +35,7 @@ fn main() {
     let mut handler = SampleHandler::new(
         &table,
         SampleHandlerConfig {
-            capacity: 50_000,      // the paper's M
+            capacity: 50_000,       // the paper's M
             min_sample_size: 5_000, // the paper's minSS
             seed: 7,
             strategy: AllocationStrategy::Dp,
@@ -109,7 +109,11 @@ fn main() {
     }
 
     println!("\nHandler stats: {:?}", handler.stats);
-    println!("Memory used: {} / {} tuples", handler.memory_used(), handler.config().capacity);
+    println!(
+        "Memory used: {} / {} tuples",
+        handler.memory_used(),
+        handler.config().capacity
+    );
 }
 
 fn truncate(s: &str, n: usize) -> String {

@@ -87,7 +87,9 @@ fn main() {
     }
 
     // Contrast with plain Size weighting.
-    let plain = Brs::new(&SizeWeight).with_max_weight(4.0).run(&table.view(), 4);
+    let plain = Brs::new(&SizeWeight)
+        .with_max_weight(4.0)
+        .run(&table.view(), 4);
     println!("\nSame table under Size weighting:");
     for s in &plain.rules {
         println!(

@@ -54,9 +54,11 @@ fn main() {
 
     // Incremental BRS (§6.1): stream rules under a time budget.
     println!("incremental search (250 ms budget, up to 12 rules):");
-    let result = Brs::new(&SizeWeight)
-        .with_max_weight(4.0)
-        .run_for(&table.view(), Duration::from_millis(250), 12);
+    let result = Brs::new(&SizeWeight).with_max_weight(4.0).run_for(
+        &table.view(),
+        Duration::from_millis(250),
+        12,
+    );
     for s in &result.rules {
         println!("  {:<55} Count={:.0}", s.rule.display(&table), s.count);
     }

@@ -34,7 +34,9 @@ fn main() {
         .iter()
         .position(|n| n.rule.is_star(education))
     {
-        session.expand_star(&[idx], education).expect("star expansion");
+        session
+            .expand_star(&[idx], education)
+            .expect("star expansion");
         println!("== Figure 2: star expansion on 'Education' ==");
         println!("{}", session.render());
         session.collapse(&[idx]).ok();
@@ -69,7 +71,12 @@ fn main() {
     println!();
 
     // Figure 6: Bits weighting (mw = 20 in the paper).
-    show_weighted(&narrow, Box::new(BitsWeight), 20.0, "Figure 6: Bits weighting");
+    show_weighted(
+        &narrow,
+        Box::new(BitsWeight),
+        20.0,
+        "Figure 6: Bits weighting",
+    );
 
     // Figure 7: max(0, Size − 1) weighting.
     show_weighted(
@@ -99,4 +106,3 @@ fn show_weighted(table: &Table, weight: Box<dyn WeightFn>, mw: f64, title: &str)
     println!("== {title} ==");
     println!("{}", session.render());
 }
-

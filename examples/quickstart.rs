@@ -25,7 +25,11 @@ Costco,comforters,MA-3
 Costco,towels,NY-2
 ";
     let table = read_csv(csv).expect("well-formed CSV");
-    println!("Loaded {} rows × {} columns\n", table.n_rows(), table.n_columns());
+    println!(
+        "Loaded {} rows × {} columns\n",
+        table.n_rows(),
+        table.n_columns()
+    );
 
     // --- One-shot API: expand the trivial rule into the best 3 rules. ---
     let result = Brs::new(&SizeWeight).run(&table.view(), 3);
@@ -53,7 +57,11 @@ Costco,towels,NY-2
 
     // Star drill-down: force the Region column open on the first rule.
     let region = table.schema().index_of("Region").expect("column exists");
-    if session.node(&[0]).map(|n| n.rule.is_star(region)).unwrap_or(false) {
+    if session
+        .node(&[0])
+        .map(|n| n.rule.is_star(region))
+        .unwrap_or(false)
+    {
         session.expand_star(&[0], region).expect("star expansion");
         println!("After star-expanding Region on the first rule:");
         println!("{}", session.render());

@@ -55,7 +55,7 @@ pub use sdd_table as table;
 /// Commonly used items, re-exported flat for examples and tests.
 pub mod prelude {
     pub use sdd_core::{
-        drill_down, star_drill_down, Brs, BrsResult, BitsWeight, DrillDownKind, Rule, RuleValue,
+        drill_down, star_drill_down, BitsWeight, Brs, BrsResult, DrillDownKind, Rule, RuleValue,
         ScoredRule, Session, SizeMinusOne, SizeWeight, WeightFn,
     };
     pub use sdd_datagen::{census, marketing, retail};

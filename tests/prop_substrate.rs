@@ -72,7 +72,7 @@ proptest! {
         for i in 0..n_stream {
             res.offer(i, &mut rng);
         }
-        prop_assert!(res.items().len() <= cap.min(n_stream.max(0)));
+        prop_assert!(res.items().len() <= cap.min(n_stream));
         prop_assert!(res.items().iter().all(|&i| i < n_stream));
         prop_assert_eq!(res.seen(), n_stream as u64);
         // All items distinct.

@@ -29,8 +29,8 @@ fn sales_table() -> (Table, f64, f64) {
     let h = hierarchy(&prices, 4, 2).expect("valid numeric data");
     let schema = Schema::new(["Category", "Price.L0", "Price.L1"]).unwrap();
     let mut b = TableBuilder::new(schema);
-    for i in 0..prices.len() {
-        b.push_row(&[categories[i], &h.labels[0][i], &h.labels[1][i]])
+    for (i, &cat) in categories.iter().enumerate() {
+        b.push_row(&[cat, &h.labels[0][i], &h.labels[1][i]])
             .unwrap();
     }
     (b.build().unwrap(), 40.0, 60.0)
@@ -48,7 +48,9 @@ fn parse_range(label: &str) -> (f64, f64) {
 #[test]
 fn optimizer_finds_the_hot_price_range() {
     let (table, band_lo, band_hi) = sales_table();
-    let result = Brs::new(&SizeWeight).with_max_weight(2.0).run(&table.view(), 4);
+    let result = Brs::new(&SizeWeight)
+        .with_max_weight(2.0)
+        .run(&table.view(), 4);
 
     // Some displayed rule must pin a price range overlapping the promo band
     // with a concentrated count.
@@ -65,8 +67,15 @@ fn optimizer_finds_the_hot_price_range() {
             }
         }
     }
-    assert!(found, "no displayed rule pinned a price range near the promo band: {:?}",
-        result.rules.iter().map(|s| s.rule.display(&table)).collect::<Vec<_>>());
+    assert!(
+        found,
+        "no displayed rule pinned a price range near the promo band: {:?}",
+        result
+            .rules
+            .iter()
+            .map(|s| s.rule.display(&table))
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -106,6 +115,12 @@ fn level_weights_steer_granularity() {
     let uses = |res: &smart_drilldown::core::BrsResult, col: usize| {
         res.rules.iter().filter(|s| !s.rule.is_star(col)).count()
     };
-    assert!(uses(&fine, 2) >= uses(&coarse, 2), "fine-level preference ignored");
-    assert!(uses(&coarse, 1) >= uses(&fine, 1), "coarse-level preference ignored");
+    assert!(
+        uses(&fine, 2) >= uses(&coarse, 2),
+        "fine-level preference ignored"
+    );
+    assert!(
+        uses(&coarse, 1) >= uses(&fine, 1),
+        "coarse-level preference ignored"
+    );
 }

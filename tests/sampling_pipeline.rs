@@ -19,14 +19,18 @@ fn handler_cfg(capacity: usize, min_ss: usize, seed: u64) -> SampleHandlerConfig
 #[test]
 fn sampled_expansion_approximates_exact_expansion() {
     let table = retail(42);
-    let exact = Brs::new(&SizeWeight).with_max_weight(3.0).run(&table.view(), 3);
+    let exact = Brs::new(&SizeWeight)
+        .with_max_weight(3.0)
+        .run(&table.view(), 3);
 
     let mut agree = 0usize;
     let trials = 5usize;
     for seed in 0..trials as u64 {
         let mut handler = SampleHandler::new(&table, handler_cfg(20_000, 3_000, seed));
         let sample = handler.get_sample(&Rule::trivial(3));
-        let approx = Brs::new(&SizeWeight).with_max_weight(3.0).run(&sample.view, 3);
+        let approx = Brs::new(&SizeWeight)
+            .with_max_weight(3.0)
+            .run(&sample.view, 3);
         if approx.rules_only() == exact.rules_only() {
             agree += 1;
         }
@@ -56,15 +60,22 @@ fn find_combine_create_ladder() {
     let walmart = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
 
     // 1st: nothing cached → Create.
-    assert_eq!(handler.get_sample(&trivial).mechanism, FetchMechanism::Create);
+    assert_eq!(
+        handler.get_sample(&trivial).mechanism,
+        FetchMechanism::Create
+    );
     // 2nd same rule → Find.
     assert_eq!(handler.get_sample(&trivial).mechanism, FetchMechanism::Find);
     // Sub-rule coverage insufficient? trivial sample is only 800 tuples →
     // Walmart portion ≈ 133 < 800 → Create.
-    assert_eq!(handler.get_sample(&walmart).mechanism, FetchMechanism::Create);
+    assert_eq!(
+        handler.get_sample(&walmart).mechanism,
+        FetchMechanism::Create
+    );
     // Now a Walmart super-rule can Combine from the Walmart sample:
     // cookies ≈ 20% of Walmart's 800 = 160... still < 800 → Create (exact).
-    let cookies = Rule::from_pairs(&table, &[("Store", "Walmart"), ("Product", "cookies")]).unwrap();
+    let cookies =
+        Rule::from_pairs(&table, &[("Store", "Walmart"), ("Product", "cookies")]).unwrap();
     let s = handler.get_sample(&cookies);
     assert_eq!(s.mechanism, FetchMechanism::Create);
     // The cookies rule covers only 200 tuples < minSS 800: the stored
@@ -106,7 +117,9 @@ fn prefetch_then_drill_without_disk() {
     let mut handler = SampleHandler::new(&table, handler_cfg(30_000, 1_000, 17));
     let trivial = Rule::trivial(3);
     let first = handler.get_sample(&trivial);
-    let result = Brs::new(&SizeWeight).with_max_weight(3.0).run(&first.view, 3);
+    let result = Brs::new(&SizeWeight)
+        .with_max_weight(3.0)
+        .run(&first.view, 3);
 
     let entries: Vec<PrefetchEntry> = result
         .rules
@@ -129,7 +142,10 @@ fn prefetch_then_drill_without_disk() {
             e.rule.display(&table)
         );
     }
-    assert_eq!(handler.stats.full_scans, scans, "drill-downs after prefetch hit disk");
+    assert_eq!(
+        handler.stats.full_scans, scans,
+        "drill-downs after prefetch hit disk"
+    );
 }
 
 #[test]
@@ -164,7 +180,10 @@ fn eviction_under_pressure_keeps_serving_correct_samples() {
     for round in 0..3 {
         for r in &rules {
             let s = handler.get_sample(r);
-            assert!(handler.memory_used() <= 1_500, "round {round}: over capacity");
+            assert!(
+                handler.memory_used() <= 1_500,
+                "round {round}: over capacity"
+            );
             let est = s.view.total_weight();
             let truth = rule_count(&table.view(), r);
             assert!(

@@ -21,9 +21,18 @@ fn tables_1_2_3_reproduce_through_the_facade() {
         .iter()
         .map(|n| (n.rule.display(&table), n.count))
         .collect();
-    assert!(shown.contains(&("(Target, bicycles, ?)".to_owned(), 200.0)), "{shown:?}");
-    assert!(shown.contains(&("(?, comforters, MA-3)".to_owned(), 600.0)), "{shown:?}");
-    assert!(shown.contains(&("(Walmart, ?, ?)".to_owned(), 1000.0)), "{shown:?}");
+    assert!(
+        shown.contains(&("(Target, bicycles, ?)".to_owned(), 200.0)),
+        "{shown:?}"
+    );
+    assert!(
+        shown.contains(&("(?, comforters, MA-3)".to_owned(), 600.0)),
+        "{shown:?}"
+    );
+    assert!(
+        shown.contains(&("(Walmart, ?, ?)".to_owned(), 1000.0)),
+        "{shown:?}"
+    );
 
     // Display order is descending weight (Lemma 1's convention).
     let weights: Vec<f64> = session.root().children().iter().map(|n| n.weight).collect();
@@ -44,9 +53,18 @@ fn tables_1_2_3_reproduce_through_the_facade() {
         .iter()
         .map(|n| (n.rule.display(&table), n.count))
         .collect();
-    assert!(sub.contains(&("(Walmart, cookies, ?)".to_owned(), 200.0)), "{sub:?}");
-    assert!(sub.contains(&("(Walmart, ?, CA-1)".to_owned(), 150.0)), "{sub:?}");
-    assert!(sub.contains(&("(Walmart, ?, WA-5)".to_owned(), 130.0)), "{sub:?}");
+    assert!(
+        sub.contains(&("(Walmart, cookies, ?)".to_owned(), 200.0)),
+        "{sub:?}"
+    );
+    assert!(
+        sub.contains(&("(Walmart, ?, CA-1)".to_owned(), 150.0)),
+        "{sub:?}"
+    );
+    assert!(
+        sub.contains(&("(Walmart, ?, WA-5)".to_owned(), 130.0)),
+        "{sub:?}"
+    );
 
     // Collapse = roll-up.
     session.collapse(&[walmart]).unwrap();
@@ -60,7 +78,12 @@ fn one_shot_api_agrees_with_session() {
 
     let mut session = Session::new(&table, Box::new(SizeWeight), 3);
     session.expand(&[]).unwrap();
-    let session_rules: Vec<_> = session.root().children().iter().map(|n| n.rule.clone()).collect();
+    let session_rules: Vec<_> = session
+        .root()
+        .children()
+        .iter()
+        .map(|n| n.rule.clone())
+        .collect();
     assert_eq!(result.rules_only(), session_rules);
 }
 
@@ -80,7 +103,11 @@ fn sum_aggregate_walkthrough() {
     let view = table.view_weighted_by("Sales").unwrap();
     let result = Brs::new(&SizeWeight).run(&view, 3);
     // Same rule shapes win under Sum (sales are uniform-ish per tuple).
-    let shown: Vec<String> = result.rules.iter().map(|s| s.rule.display(&table)).collect();
+    let shown: Vec<String> = result
+        .rules
+        .iter()
+        .map(|s| s.rule.display(&table))
+        .collect();
     assert!(shown.contains(&"(Walmart, ?, ?)".to_owned()), "{shown:?}");
     // Sums exceed counts (each tuple carries ≥ 40 in sales).
     for s in &result.rules {

@@ -1,0 +1,507 @@
+//! Vendored stand-in for the subset of `proptest` this workspace uses. The
+//! build environment has no registry access, so this ships in-tree.
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`, `#[test]`
+//!   attributes, `name in strategy` / `mut name in strategy` parameters),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * numeric range strategies (`0u8..4`, `0.0f64..3.0`, `3..=3`),
+//! * `&str` strategies for `proptest`'s regex-literal patterns of the form
+//!   `"[class]{lo,hi}"` / `".{lo,hi}"`,
+//! * 2-/3-tuples of strategies, [`collection::vec`], `prop_map`, and
+//!   [`arbitrary::any`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics with
+//! the sampled inputs Debug-printed by the assertion itself. Cases are
+//! deterministic per test (seeded from the test's name).
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of random test values.
+    pub trait Strategy {
+        /// The value type produced.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// Free-function form used by the [`crate::proptest!`] macro so it works
+    /// with both `S` and `&S`.
+    pub fn sample_once<S: Strategy>(s: &S, rng: &mut StdRng) -> S::Value {
+        s.sample(rng)
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.source.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// `&str` literals are interpreted as the tiny regex subset proptest
+    /// tests here actually use: one atom (`.` or a `[...]` class) followed
+    /// by an optional `{lo,hi}` repetition.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut StdRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+}
+
+/// Minimal pattern-string sampling (see [`strategy::Strategy`] for `&str`).
+pub mod string {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    /// Parses a `[...]` class body into a set of candidate chars.
+    fn parse_class(body: &str) -> Vec<char> {
+        let mut out: Vec<char> = Vec::new();
+        let chars: Vec<char> = body.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            // Range `a-z` (a `-` not at either end, next not escaped-end).
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let hi = if chars[i + 2] == '\\' && i + 3 < chars.len() {
+                    i += 1;
+                    unescape(chars[i + 2])
+                } else {
+                    chars[i + 2]
+                };
+                for v in c as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(v) {
+                        out.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Samples a string matching `atom{lo,hi}` where atom is `.` or a class.
+    pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let (alphabet, rest): (Vec<char>, &str) = if let Some(stripped) = pattern.strip_prefix('.')
+        {
+            // `.` — printable ASCII plus a few controls, close enough to
+            // proptest's "any char" for fuzzing text codecs.
+            let mut a: Vec<char> = (b' '..=b'~').map(|b| b as char).collect();
+            a.extend(['\n', '\r', '\t']);
+            (a, stripped)
+        } else if let Some(start) = pattern.strip_prefix('[') {
+            let end = {
+                // Find the unescaped closing bracket.
+                let bytes = start.as_bytes();
+                let mut j = 0;
+                loop {
+                    assert!(j < bytes.len(), "unterminated class in pattern {pattern:?}");
+                    if bytes[j] == b'\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if bytes[j] == b']' {
+                        break j;
+                    }
+                    j += 1;
+                }
+            };
+            (parse_class(&start[..end]), &start[end + 1..])
+        } else {
+            panic!("unsupported pattern {pattern:?}: expected `.` or `[class]`");
+        };
+
+        let (lo, hi) = if rest.is_empty() {
+            (1usize, 1usize)
+        } else {
+            let body = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .unwrap_or_else(|| panic!("unsupported quantifier in pattern {pattern:?}"));
+            match body.split_once(',') {
+                Some((l, h)) => (
+                    l.trim().parse().expect("bad lower bound"),
+                    h.trim().parse().expect("bad upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        };
+        assert!(
+            !alphabet.is_empty(),
+            "empty alphabet for pattern {pattern:?}"
+        );
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Vector length specification: a fixed size or a size range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-strategy values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a natural full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one value uniformly over the type's domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// Runner configuration and deterministic seeding.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-`proptest!` block configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases per test function.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Deterministic RNG seeded from the test name.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// The glob-import surface used by tests (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// See the crate docs; matches real proptest's macro grammar for the cases
+/// used in-tree.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..__cfg.cases {
+                $crate::__proptest_case!(__rng; $body; $($params)*);
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident; $body:block;) => { { $body } };
+    ($rng:ident; $body:block; mut $p:ident in $s:expr) => {{
+        let mut $p = $crate::strategy::sample_once(&($s), &mut $rng);
+        { $body }
+    }};
+    ($rng:ident; $body:block; $p:ident in $s:expr) => {{
+        let $p = $crate::strategy::sample_once(&($s), &mut $rng);
+        { $body }
+    }};
+    ($rng:ident; $body:block; mut $p:ident in $s:expr, $($rest:tt)*) => {{
+        let mut $p = $crate::strategy::sample_once(&($s), &mut $rng);
+        $crate::__proptest_case!($rng; $body; $($rest)*)
+    }};
+    ($rng:ident; $body:block; $p:ident in $s:expr, $($rest:tt)*) => {{
+        let $p = $crate::strategy::sample_once(&($s), &mut $rng);
+        $crate::__proptest_case!($rng; $body; $($rest)*)
+    }};
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!` (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = crate::test_runner::rng_for("range_strategies");
+        for _ in 0..1000 {
+            let v = crate::strategy::sample_once(&(0u8..4), &mut rng);
+            assert!(v < 4);
+            let f = crate::strategy::sample_once(&(0.0f64..3.0), &mut rng);
+            assert!((0.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::test_runner::rng_for("vec_sizes");
+        for _ in 0..200 {
+            let v = crate::strategy::sample_once(
+                &crate::collection::vec((0u8..4, 0u8..3), 1..60),
+                &mut rng,
+            );
+            assert!((1..60).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 4 && b < 3));
+            let fixed =
+                crate::strategy::sample_once(&crate::collection::vec(0u8..2, 3..=3), &mut rng);
+            assert_eq!(fixed.len(), 3);
+        }
+    }
+
+    #[test]
+    fn pattern_strategies_match_their_class() {
+        let mut rng = crate::test_runner::rng_for("patterns");
+        for _ in 0..500 {
+            let s = crate::strategy::sample_once(&"[ -~]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            let soup = crate::strategy::sample_once(&"[\",\\n\\r a-z]{0,12}", &mut rng);
+            assert!(soup.chars().count() <= 12);
+            assert!(soup.chars().all(|c| c == '"'
+                || c == ','
+                || c == '\n'
+                || c == '\r'
+                || c == ' '
+                || c.is_ascii_lowercase()));
+            let dot = crate::strategy::sample_once(&".{0,200}", &mut rng);
+            assert!(dot.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_runner::rng_for("prop_map");
+        let s = (0u8..4).prop_map(|v| v as u32 * 10);
+        for _ in 0..100 {
+            let v = crate::strategy::sample_once(&s, &mut rng);
+            assert!(v % 10 == 0 && v < 40);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: bindings, mut bindings, trailing comma.
+        #[test]
+        fn macro_grammar_works(a in 0u8..4, mut v in crate::collection::vec(0usize..10, 0..5), seed in any::<u64>(),) {
+            v.push(a as usize);
+            prop_assert!(v.last() == Some(&(a as usize)));
+            prop_assert_eq!(seed, seed);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Vendored stand-in for the `rustc-hash` crate, providing the same public
+//! surface the workspace uses (`FxHashMap`, `FxHashSet`, `FxHasher`). The
+//! build environment has no registry access, so this ships in-tree.
+//!
+//! The hasher follows the classic FxHash scheme: a multiply-rotate mix folded
+//! over the input one word at a time. It is not cryptographic; it targets
+//! short keys (integers, small tuples) on the optimizer hot path.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// The `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast, non-cryptographic hasher for short keys.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i * 7), i as f64);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m[&(i, i * 7)], i as f64);
+        }
+        assert!(!m.contains_key(&(1000, 7000)));
+    }
+
+    #[test]
+    fn set_deduplicates() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let h: FxHashSet<u64> = (0..256u64).map(|i| b.hash_one(i) >> 56).collect();
+        // Top byte of sequential hashes should hit many distinct buckets.
+        assert!(h.len() > 64, "only {} distinct top bytes", h.len());
+    }
+}
