@@ -1,0 +1,48 @@
+//! Row-sliced vs task-per-group kernel micro-benchmark on the
+//! few-free-columns regime (census-shaped, 3 columns): with only ~3
+//! independent column/group tasks, the PR-1 parallel kernel is capped near
+//! 3 workers while the row-sliced mode fans every (unit × chunk) pair out
+//! across the machine. `exp_rowslice` (in `src/bin`) sweeps explicit
+//! thread counts and emits `BENCH_rowslice.json`; this harness records the
+//! same comparison at ambient parallelism plus pinned 1/4-thread points.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sdd_core::{find_best_marginal_rule, RowSlice, SearchOptions, SizeWeight};
+
+fn bench_rowslice(c: &mut Criterion) {
+    let table = sdd_bench::datasets::census3(100_000);
+    let view = table.view();
+    let cov = vec![0.0f64; view.len()];
+    let mw = 5.0;
+
+    let mut group = c.benchmark_group("rowslice_census3_100k");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(view.len() as u64));
+
+    let run = |row_slice: RowSlice| {
+        let mut opts = SearchOptions::new(mw);
+        opts.parallel = true;
+        opts.parallel_min_rows = 1;
+        opts.row_slice = row_slice;
+        find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)
+    };
+
+    group.bench_function("task_per_group_ambient", |b| {
+        b.iter(|| std::hint::black_box(run(RowSlice::Off)))
+    });
+    group.bench_function("row_sliced_ambient", |b| {
+        b.iter(|| std::hint::black_box(run(RowSlice::Force(16))))
+    });
+    for threads in [1usize, 4] {
+        std::env::set_var("SDD_THREADS", threads.to_string());
+        group.bench_function(&format!("row_sliced_t{threads}"), |b| {
+            b.iter(|| std::hint::black_box(run(RowSlice::Force(16))))
+        });
+        std::env::remove_var("SDD_THREADS");
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rowslice);
+criterion_main!(benches);

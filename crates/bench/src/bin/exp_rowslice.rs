@@ -1,0 +1,162 @@
+//! Emits `BENCH_rowslice.json`: thread-count scaling of the best-marginal
+//! search on a census-shaped 100k-row table with **3 free columns** — the
+//! regime where the task-per-column/group kernel cannot occupy more workers
+//! than the column/group count (≈ 3) and only the row-sliced mode scales.
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p sdd-bench --bin exp_rowslice
+//! ```
+//!
+//! For every thread count `t` in the sweep (pinned via `SDD_THREADS`), the
+//! search runs once per mode:
+//!
+//! * `task_per_group` — `RowSlice::Off`: the PR-1 kernel, at most one task
+//!   per free column (pass 1) / candidate group (pass j);
+//! * `row_sliced` — `RowSlice::Force(16)`: every (column-or-group × chunk)
+//!   pair is a task, partials merged pairwise in fixed chunk order, so the
+//!   result is bit-identical across all `t`.
+//!
+//! Environment knobs: `SDD_ROWSLICE_ROWS` (default 100 000), `SDD_REPS`
+//! (default 5), `SDD_ROWSLICE_THREADS` (comma-separated sweep, default
+//! `1,2,4,8`).
+
+use sdd_core::{find_best_marginal_rule, BestMarginal, RowSlice, SearchOptions, SizeWeight};
+use std::time::Instant;
+
+fn time_search(reps: usize, run: impl Fn() -> Option<BestMarginal>) -> (f64, Option<BestMarginal>) {
+    // One warmup, then best-of-reps wall time.
+    let mut result = run();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        result = run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, result)
+}
+
+fn main() {
+    let rows: usize = std::env::var("SDD_ROWSLICE_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let reps: usize = std::env::var("SDD_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let thread_sweep: Vec<usize> = std::env::var("SDD_ROWSLICE_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let table = sdd_bench::datasets::census3(rows);
+    let view = table.view();
+    let cov = vec![0.0f64; view.len()];
+    let mw = 5.0;
+
+    // Scalar reference for the winner sanity check.
+    let scalar = {
+        let mut opts = SearchOptions::new(mw);
+        opts.parallel = false;
+        find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)
+            .expect("non-empty census view yields a rule")
+    };
+
+    println!(
+        "best-marginal search on census3({rows}), mw={mw}, reps={reps}, \
+         host parallelism {host_threads}:"
+    );
+    let mut entries = String::new();
+    let (mut last_off, mut last_sliced) = (f64::NAN, f64::NAN);
+    let mut sliced_bits: Option<u64> = None;
+    for &t in &thread_sweep {
+        std::env::set_var("SDD_THREADS", t.to_string());
+        let (t_off, r_off) = time_search(reps, || {
+            let mut opts = SearchOptions::new(mw);
+            opts.parallel = true;
+            opts.parallel_min_rows = 1;
+            opts.row_slice = RowSlice::Off;
+            find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)
+        });
+        let (t_sliced, r_sliced) = time_search(reps, || {
+            let mut opts = SearchOptions::new(mw);
+            opts.parallel = true;
+            opts.parallel_min_rows = 1;
+            opts.row_slice = RowSlice::Force(16);
+            find_best_marginal_rule(&view, &SizeWeight, &cov, &opts)
+        });
+        for (name, r) in [("task_per_group", &r_off), ("row_sliced", &r_sliced)] {
+            let r = r.as_ref().expect("search finds a rule");
+            assert_eq!(
+                r.rule, scalar.rule,
+                "{name} @ {t} threads disagrees with the scalar winner"
+            );
+            assert!(
+                (r.marginal_value - scalar.marginal_value).abs()
+                    <= 1e-9 * scalar.marginal_value.abs(),
+                "{name} @ {t} threads: marginal {} vs scalar {}",
+                r.marginal_value,
+                scalar.marginal_value
+            );
+        }
+        // The determinism contract: the row-sliced marginal is the same
+        // bit pattern at every thread count.
+        let bits = r_sliced
+            .as_ref()
+            .expect("search finds a rule")
+            .marginal_value
+            .to_bits();
+        match sliced_bits {
+            None => sliced_bits = Some(bits),
+            Some(b) => assert_eq!(b, bits, "row-sliced result changed with thread count"),
+        }
+        let speedup = t_off / t_sliced;
+        println!(
+            "  {t:>2} thread(s): task-per-group {:>8.2} ms | row-sliced {:>8.2} ms | {speedup:.2}x",
+            t_off * 1e3,
+            t_sliced * 1e3,
+        );
+        entries.push_str(&format!(
+            "    {{ \"threads\": {t}, \"task_per_group_seconds\": {t_off:.6}, \
+             \"row_sliced_seconds\": {t_sliced:.6}, \"speedup\": {speedup:.3} }},\n"
+        ));
+        (last_off, last_sliced) = (t_off, t_sliced);
+    }
+    std::env::remove_var("SDD_THREADS");
+    let entries = entries.trim_end().trim_end_matches(',');
+
+    // Headline figure: row-sliced at the sweep's top thread count against
+    // the task-per-group kernel at the same count. With ≤ 3 free columns
+    // the task model is capped near 3 workers, so on a machine with ≥ 8
+    // hardware threads this lands well above 2× (on fewer cores the sweep
+    // still records the curve — see host_parallelism).
+    let speedup = last_off / last_sliced;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"find_best_marginal_rule/census3_rowslice\",\n",
+            "  \"rows\": {rows},\n",
+            "  \"free_columns\": 3,\n",
+            "  \"max_weight\": {mw},\n",
+            "  \"reps\": {reps},\n",
+            "  \"host_parallelism\": {host},\n",
+            "  \"determinism\": \"row-sliced results are bit-identical across all swept thread counts (chunk-ordered pairwise merge)\",\n",
+            "  \"scaling\": [\n{entries}\n  ],\n",
+            "  \"speedup_at_max_threads\": {speedup:.3}\n",
+            "}}\n"
+        ),
+        rows = rows,
+        mw = mw,
+        reps = reps,
+        host = host_threads,
+        entries = entries,
+        speedup = speedup,
+    );
+    std::fs::write("BENCH_rowslice.json", &json).expect("write BENCH_rowslice.json");
+    println!("wrote BENCH_rowslice.json");
+}

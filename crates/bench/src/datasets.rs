@@ -24,6 +24,13 @@ pub fn census7(n: usize) -> Table {
     sdd_datagen::census(n, 1990).project_first_columns(7)
 }
 
+/// A census-shaped dataset with `n` rows, projected to 3 columns — the
+/// few-free-columns regime where task-per-column parallelism cannot occupy
+/// the machine and the kernel's row-sliced mode matters (`exp_rowslice`).
+pub fn census3(n: usize) -> Table {
+    sdd_datagen::census(n, 1990).project_first_columns(3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +44,8 @@ mod tests {
         let c = census7(1000);
         assert_eq!(c.n_rows(), 1000);
         assert_eq!(c.n_columns(), 7);
+        let c3 = census3(1000);
+        assert_eq!(c3.n_rows(), 1000);
+        assert_eq!(c3.n_columns(), 3);
     }
 }

@@ -6,7 +6,7 @@
 //! (Problem 3). Each greedy step delegates to
 //! [`crate::marginal::find_best_marginal_rule`] (Algorithm 2).
 
-use crate::kernel::{for_each_covered_position, SearchScratch};
+use crate::kernel::{covered_positions_with_threads, SearchScratch};
 use crate::marginal::{find_best_marginal_rule_with_scratch, SearchOptions, SearchStats};
 use crate::{score_list, sort_by_weight_desc, Rule, WeightFn};
 use sdd_table::TableView;
@@ -211,12 +211,22 @@ impl<'w> Brs<'w> {
                 break;
             };
             stats.absorb(&best.stats);
-            // Update per-tuple best covering weight (columnar scan).
-            for_each_covered_position(view, &best.rule, |i| {
-                if best.weight > covered[i] {
-                    covered[i] = best.weight;
+            // Update per-tuple best covering weight. The position list comes
+            // from the chunked columnar scan (row-sliced on large views when
+            // `opts.parallel` allows, byte-identical on any thread count);
+            // the max-update itself is cheap and order-insensitive, so it
+            // stays serial.
+            let scan_threads = if opts.parallel {
+                crate::exec::worker_threads()
+            } else {
+                1
+            };
+            for p in covered_positions_with_threads(view, &best.rule, scan_threads) {
+                let slot = &mut covered[p as usize];
+                if best.weight > *slot {
+                    *slot = best.weight;
                 }
-            });
+            }
             let keep_going = on_rule(&best.rule, best.marginal_value);
             selection.push(best.rule);
             if !keep_going {

@@ -1,0 +1,136 @@
+//! Deterministic parallel execution utilities shared by the counting
+//! kernel, the coverage scans, and the sampling layer's prefetch scan.
+//!
+//! Everything here is built on `std::thread::scope` (the build environment
+//! has no registry access, so no `rayon`), gated behind the `parallel`
+//! cargo feature: without it every function degrades to a sequential loop
+//! with **bit-identical results** — determinism is the contract of this
+//! module, not an accident:
+//!
+//! * [`parallel_map`] returns outputs **in job order** no matter which
+//!   worker ran which job, so consumers can merge partials positionally;
+//! * [`reduce_pairwise`] folds per-chunk partials with a fixed
+//!   adjacent-pairs tree over the *input order* (chunk order), so
+//!   float reductions associate the same way on every thread count —
+//!   the "float-merge story" behind the row-sliced kernel mode (see
+//!   [`crate::kernel`]);
+//! * [`worker_threads`] is the one place thread counts come from
+//!   (`SDD_THREADS` overrides detection, which is also how tests pin the
+//!   schedule on single-core machines).
+
+use std::sync::Mutex;
+
+/// Number of worker threads to use: the `SDD_THREADS` environment variable
+/// when set, else [`std::thread::available_parallelism`]. Always ≥ 1; `1`
+/// whenever the `parallel` feature is compiled out.
+pub fn worker_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    if let Some(n) = std::env::var("SDD_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `work` over every job on up to `threads` scoped workers, returning
+/// outputs **in job order**. Jobs must be independent (disjoint
+/// accumulators); because each output slot is produced by exactly one job,
+/// scheduling cannot affect the result, only the wall clock.
+pub fn parallel_map<J, T, F>(threads: usize, jobs: Vec<J>, work: F) -> Vec<T>
+where
+    J: Send,
+    T: Send,
+    F: Fn(J) -> T + Sync,
+{
+    if !cfg!(feature = "parallel") || threads <= 1 || jobs.len() < 2 {
+        return jobs.into_iter().map(work).collect();
+    }
+    let n_workers = threads.min(jobs.len());
+    let queue: Mutex<Vec<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let job = queue.lock().expect("exec queue poisoned").pop();
+                        match job {
+                            Some((i, j)) => out.push((i, work(j))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("exec worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Reduces `parts` with a fixed adjacent-pairs tree: `[p0⊕p1, p2⊕p3, …]`,
+/// repeated until one value remains. The association depends only on the
+/// *order and number* of `parts` (chunk order for the kernel's row-sliced
+/// partials), never on thread count or scheduling — so float merges are
+/// deterministic, and the O(log n) error growth beats a left fold's O(n).
+///
+/// Panics on an empty input.
+pub fn reduce_pairwise<T>(mut parts: Vec<T>, mut merge: impl FnMut(&mut T, T)) -> T {
+    assert!(!parts.is_empty(), "reduce_pairwise on empty input");
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut it = parts.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                merge(&mut a, b);
+            }
+            next.push(a);
+        }
+        parts = next;
+    }
+    parts.pop().expect("non-empty by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_job_order() {
+        for threads in [1, 2, 4] {
+            let out = parallel_map(threads, (0..17).collect::<Vec<_>>(), |j| j * 10);
+            assert_eq!(out, (0..17).map(|j| j * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn reduce_pairwise_merges_in_fixed_tree_order() {
+        // Strings expose the association: ((ab)(cd))e.
+        let parts: Vec<String> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|s| format!("({s})"))
+            .collect();
+        let merged = reduce_pairwise(parts, |a, b| *a = format!("({a}{b})"));
+        assert_eq!(merged, "((((a)(b))((c)(d)))(e))");
+    }
+
+    #[test]
+    fn reduce_pairwise_single_part_is_identity() {
+        assert_eq!(reduce_pairwise(vec![42.0f64], |a, b| *a += b), 42.0);
+    }
+
+    #[test]
+    fn worker_threads_is_positive() {
+        assert!(worker_threads() >= 1);
+    }
+}

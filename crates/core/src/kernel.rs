@@ -18,34 +18,54 @@
 //!   flat `u32` tuple beyond 64 bits) and binary-search a sorted flat
 //!   `Vec`. Either way the `Rule`-keyed map survives only at the API
 //!   boundary;
-//! * **parallelism** — pass-1 columns and pass-j groups are independent
-//!   tasks with disjoint accumulators, executed on `std::thread::scope`
-//!   workers (gated behind the `parallel` cargo feature and
-//!   [`SearchOptions::parallel`]). Because no accumulator is ever split
-//!   across tasks, every per-candidate sum is formed in exactly the same
-//!   (row) order as the scalar sweep: **parallel results are bit-identical
-//!   to scalar results**, on any thread count. The build environment has no
-//!   registry access, so this uses scoped threads directly rather than
-//!   depending on `rayon`. (`TableView::chunks` exists for future
-//!   row-sliced parallelism, which would trade this bit-exactness for
-//!   scaling past the column/group count.)
+//! * **task parallelism** — pass-1 columns and pass-j groups are
+//!   independent tasks with disjoint accumulators, executed on
+//!   `std::thread::scope` workers via [`crate::exec::parallel_map`] (gated
+//!   behind the `parallel` cargo feature and [`SearchOptions::parallel`]).
+//!   Because no accumulator is ever split across tasks, every
+//!   per-candidate sum is formed in exactly the same (row) order as the
+//!   scalar sweep: **parallel results are bit-identical to scalar
+//!   results**, on any thread count. The build environment has no registry
+//!   access, so this uses scoped threads directly rather than depending on
+//!   `rayon`;
+//! * **row-sliced parallelism** — when a level has fewer columns/groups
+//!   than workers (the common drill-down regime: a handful of free
+//!   columns over a large view), task parallelism stalls. With
+//!   [`crate::marginal::RowSlice`] engaged, the view is split into
+//!   [`sdd_table::chunk_spans`] chunks and every (column-or-group × chunk)
+//!   pair becomes a task with a *private* partial accumulator — `u64`
+//!   counts on unit-weight views, `f64` partials otherwise. Partials are
+//!   reduced **in fixed chunk order** with a pairwise tree
+//!   ([`crate::exec::reduce_pairwise`]), so row-sliced results are
+//!   bit-identical on every thread count; unit-weight counts are exact
+//!   integers and bit-identical even to the unsliced sweep, while weighted
+//!   float sums may differ from it in the last ulp (re-association).
 //!
-//! **Parity.** Scalar and parallel kernel results are bit-identical to the
-//! row-at-a-time reference
+//! **Parity.** Scalar and (unsliced) parallel kernel results are
+//! bit-identical to the row-at-a-time reference
 //! [`crate::marginal::find_best_marginal_rule_rowwise`]: every accumulator
 //! receives its additions in the same row order, and winner selection uses
-//! the same strict total order. `tests/kernel_parity.rs` asserts this on
-//! randomized instances.
+//! the same strict total order. Row-sliced results are additionally
+//! bit-identical across thread counts for any fixed chunk cap.
+//! `tests/kernel_parity.rs` asserts both on randomized instances.
 //!
 //! [`SearchScratch`] owns the per-search buffers so the `k` searches of one
 //! BRS run reuse allocations on the scalar path; worker tasks allocate
 //! their own (candidate-bounded, not row-bounded) accumulators.
+//!
+//! The columnar rule-coverage scans at the bottom of this module
+//! ([`covered_rows`], [`covered_positions`], [`for_each_covered_position`])
+//! use the same chunked plan: each slice is filtered independently and the
+//! per-slice hit lists are concatenated in slice order, so their (integer)
+//! output is byte-identical on any thread count. They back the BRS
+//! covered-weight update, drill-down filtering, and the sampling layer's
+//! create/prefetch scans.
 
-use crate::marginal::{BestMarginal, SearchOptions, SearchStats};
+use crate::exec;
+use crate::marginal::{planned_row_chunks, scan_chunks, BestMarginal, SearchOptions, SearchStats};
 use crate::{Rule, WeightFn};
 use rustc_hash::FxHashMap;
-use sdd_table::{RowId, Table, TableView, ViewChunk};
-use std::sync::Mutex;
+use sdd_table::{chunk_spans, RowId, Table, TableView, ViewChunk};
 
 /// Count/marginal/weight accumulator for one candidate rule (the paper's
 /// per-candidate state in set `C`).
@@ -67,59 +87,6 @@ impl CandStat {
 /// Maximum cells (`Π` column cardinalities) for a pass-j group to use the
 /// probe-free dense histogram (3 `f64` arrays of this many cells ≈ 3 MB).
 const DENSE_CELL_CAP: usize = 1 << 17;
-
-fn worker_threads() -> usize {
-    // `SDD_THREADS` overrides detection (also how the parity suite forces
-    // the multi-task path on single-core CI machines).
-    if let Some(n) = std::env::var("SDD_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        return n.max(1);
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Runs `work` over every job, returning outputs in job order. Jobs are
-/// independent units (pass-1 columns, pass-j groups) whose accumulators are
-/// disjoint, so execution order cannot affect results.
-fn map_jobs<J, T, F>(threads: usize, jobs: Vec<J>, work: F) -> Vec<T>
-where
-    J: Send,
-    T: Send,
-    F: Fn(J) -> T + Sync,
-{
-    if threads <= 1 || jobs.len() < 2 {
-        return jobs.into_iter().map(work).collect();
-    }
-    let n_workers = threads.min(jobs.len());
-    let queue: Mutex<Vec<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().rev().collect());
-    let mut tagged: Vec<(usize, T)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..n_workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let job = queue.lock().expect("kernel queue poisoned").pop();
-                        match job {
-                            Some((i, j)) => out.push((i, work(j))),
-                            None => break,
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("kernel worker panicked"))
-            .collect()
-    });
-    tagged.sort_by_key(|(i, _)| *i);
-    tagged.into_iter().map(|(_, t)| t).collect()
-}
 
 /// Per-free-column pass-1 state: one slot per dictionary code.
 #[derive(Debug, Default, Clone)]
@@ -259,7 +226,13 @@ pub(crate) fn find_best_marginal_rule_columnar(
     let parallel_enabled =
         cfg!(feature = "parallel") && opts.parallel && view.len() >= opts.parallel_min_rows.max(1);
     let threads = if parallel_enabled {
-        worker_threads()
+        exec::worker_threads()
+    } else {
+        1
+    };
+    // Row-slicing plan for pass 1 (pass-j levels re-plan per group count).
+    let p1_chunks = if parallel_enabled {
+        planned_row_chunks(opts, free_cols.len(), view.len(), threads)
     } else {
         1
     };
@@ -268,17 +241,30 @@ pub(crate) fn find_best_marginal_rule_columnar(
     let mut counted: FxHashMap<Rule, CandStat> = FxHashMap::default();
     let mut best_h = 0.0f64;
 
-    // ---- Pass 1: columnar per-code histograms, one task per free column. ----
+    // ---- Pass 1: columnar per-code histograms — one task per free column,
+    // or per (column × chunk) in row-sliced mode. ----
     stats.passes = 1;
     scratch.hists.resize_with(free_cols.len(), Default::default);
     let chunk = view.as_chunk();
-    let pass1: Vec<Pass1Out> = {
+    let pass1: Vec<Pass1Out> = if p1_chunks > 1 {
+        pass1_row_sliced(
+            table,
+            view,
+            &base,
+            &free_cols,
+            weight,
+            covered_weight,
+            opts,
+            threads,
+            p1_chunks,
+        )
+    } else {
         let jobs: Vec<(usize, ColumnHist)> = free_cols
             .iter()
             .enumerate()
             .map(|(fi, _)| (fi, std::mem::take(&mut scratch.hists[fi])))
             .collect();
-        map_jobs(threads, jobs, |(fi, mut hist)| {
+        exec::parallel_map(threads, jobs, |(fi, mut hist)| {
             let c = free_cols[fi];
             let card = table.cardinality(c);
             hist.counts.clear();
@@ -423,7 +409,20 @@ pub(crate) fn find_best_marginal_rule_columnar(
         stats.counted += next.len();
 
         build_groups(scratch, table, &base, &next, view.len());
-        count_level(view, table, covered_weight, scratch, &cand_weights, threads);
+        let pj_chunks = if parallel_enabled {
+            planned_row_chunks(opts, scratch.groups.len(), view.len(), threads)
+        } else {
+            1
+        };
+        count_level(
+            view,
+            table,
+            covered_weight,
+            scratch,
+            &cand_weights,
+            threads,
+            pj_chunks,
+        );
 
         for (cand, stat) in next.iter().zip(&scratch.cstats) {
             if stat.marginal > best_h {
@@ -496,6 +495,181 @@ fn marginal_column(
             }
         }
     }
+}
+
+/// `counts[code] += 1` over one unit-weight chunk of one column — the exact
+/// `u64` accumulator of the row-sliced mode (integer partials merge
+/// associatively, so sliced counts are bit-identical to the scalar sweep).
+fn count_column_u64(table: &Table, chunk: &ViewChunk<'_>, col: usize, counts: &mut [u64]) {
+    let codes = table.column(col);
+    debug_assert!(chunk.weights().is_none(), "u64 counting needs unit weights");
+    match chunk.contiguous_rows() {
+        Some(range) => {
+            for &code in &codes[range] {
+                counts[code as usize] += 1;
+            }
+        }
+        None => {
+            let ids = chunk.row_ids().expect("non-contiguous chunk has row ids");
+            for &r in ids {
+                counts[codes[r as usize] as usize] += 1;
+            }
+        }
+    }
+}
+
+/// One pass-1 count partial: exact integers on unit-weight views, float
+/// partials (merged pairwise in chunk order) on weighted views.
+enum CountPartial {
+    Ints(Vec<u64>),
+    Floats(Vec<f64>),
+}
+
+/// Merges one column's per-chunk count partials (chunk order) into the
+/// final per-code `f64` histogram.
+fn merge_count_partials(parts: Vec<CountPartial>) -> Vec<f64> {
+    let merged = exec::reduce_pairwise(parts, |a, b| match (a, b) {
+        (CountPartial::Ints(a), CountPartial::Ints(b)) => {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        (CountPartial::Floats(a), CountPartial::Floats(b)) => {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        _ => unreachable!("count partials of one view share a representation"),
+    });
+    match merged {
+        CountPartial::Ints(v) => v.into_iter().map(|c| c as f64).collect(),
+        CountPartial::Floats(v) => v,
+    }
+}
+
+/// Row-sliced pass 1: three phases over (free column × chunk) tasks.
+///
+/// 1. **count** — private per-chunk per-code partials, merged per column in
+///    fixed chunk order ([`merge_count_partials`]);
+/// 2. **candidate boundary** — per column (cheap): materialize rules for
+///    supported codes, gate on weight, fill the code → weight table;
+/// 3. **marginal** — private per-chunk marginal partials against the
+///    aligned covered-weight slice, merged pairwise in chunk order.
+///
+/// Output is shaped exactly like the task-per-column path so the caller's
+/// candidate consumption is shared.
+#[allow(clippy::too_many_arguments)]
+fn pass1_row_sliced(
+    table: &Table,
+    view: &TableView<'_>,
+    base: &Rule,
+    free_cols: &[usize],
+    weight: &dyn WeightFn,
+    covered_weight: &[f64],
+    opts: &SearchOptions,
+    threads: usize,
+    max_chunks: usize,
+) -> Vec<Pass1Out> {
+    let chunks = view.chunks(max_chunks);
+    let k = chunks.len();
+    let unit_weights = view.weights().is_none();
+    // Column-major job order keeps each column's chunk partials contiguous
+    // (and in chunk order) in the parallel_map output.
+    let jobs: Vec<(usize, usize)> = (0..free_cols.len())
+        .flat_map(|fi| (0..k).map(move |ck| (fi, ck)))
+        .collect();
+
+    let count_parts = exec::parallel_map(threads, jobs.clone(), |(fi, ck)| {
+        let c = free_cols[fi];
+        let card = table.cardinality(c);
+        if unit_weights {
+            let mut counts = vec![0u64; card];
+            count_column_u64(table, &chunks[ck], c, &mut counts);
+            CountPartial::Ints(counts)
+        } else {
+            let mut counts = vec![0.0f64; card];
+            count_column(table, &chunks[ck], c, &mut counts);
+            CountPartial::Floats(counts)
+        }
+    });
+    let mut part_it = count_parts.into_iter();
+    let col_counts: Vec<Vec<f64>> = (0..free_cols.len())
+        .map(|_| {
+            let parts: Vec<CountPartial> = (0..k)
+                .map(|_| part_it.next().expect("k per column"))
+                .collect();
+            merge_count_partials(parts)
+        })
+        .collect();
+
+    struct ColCands {
+        rules: Vec<Rule>,
+        wtab: Vec<f64>,
+        generated: usize,
+        pruned: usize,
+    }
+    let cands: Vec<ColCands> = exec::parallel_map(threads, (0..free_cols.len()).collect(), |fi| {
+        let c = free_cols[fi];
+        let counts = &col_counts[fi];
+        let mut wtab = vec![0.0f64; counts.len()];
+        let mut rules: Vec<Rule> = Vec::new();
+        let (mut generated, mut pruned) = (0usize, 0usize);
+        for (code, &count) in counts.iter().enumerate() {
+            if count <= 0.0 {
+                continue;
+            }
+            generated += 1;
+            let rule = base.with_value(c, code as u32);
+            let w = weight.weight(&rule, table);
+            if w > opts.max_weight + 1e-12 {
+                pruned += 1;
+                continue;
+            }
+            wtab[code] = w;
+            rules.push(rule);
+        }
+        ColCands {
+            rules,
+            wtab,
+            generated,
+            pruned,
+        }
+    });
+
+    let marg_parts = exec::parallel_map(threads, jobs, |(fi, ck)| {
+        let c = free_cols[fi];
+        let chunk = &chunks[ck];
+        let cov = &covered_weight[chunk.offset()..chunk.offset() + chunk.len()];
+        let mut marginals = vec![0.0f64; table.cardinality(c)];
+        marginal_column(table, chunk, c, cov, &cands[fi].wtab, &mut marginals);
+        marginals
+    });
+    let mut marg_it = marg_parts.into_iter();
+
+    col_counts
+        .into_iter()
+        .zip(cands)
+        .map(|(counts, cc)| {
+            let parts: Vec<Vec<f64>> = (0..k)
+                .map(|_| marg_it.next().expect("k per column"))
+                .collect();
+            let marginals = exec::reduce_pairwise(parts, |a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            });
+            Pass1Out {
+                hist: ColumnHist {
+                    counts,
+                    marginals,
+                    wtab: cc.wtab,
+                },
+                rules: cc.rules,
+                generated: cc.generated,
+                pruned: cc.pruned,
+            }
+        })
+        .collect()
 }
 
 /// Groups a level's candidates by instantiated-column signature and builds
@@ -623,8 +797,15 @@ fn build_groups(
     }
 }
 
-/// Counts one level's candidates over the view — one task per group —
-/// writing per-candidate stats into `scratch.cstats`.
+/// Counts one level's candidates over the view — one task per
+/// (group × chunk) — writing per-candidate stats into `scratch.cstats`.
+///
+/// With `max_chunks == 1` this is exactly the PR-1 task-per-group kernel
+/// (a single chunk spanning the view, merge a no-op). With more chunks,
+/// each task's private per-candidate partials are reduced per group in
+/// fixed chunk order ([`crate::exec::reduce_pairwise`]), so results do not
+/// depend on thread count.
+#[allow(clippy::too_many_arguments)]
 fn count_level(
     view: &TableView<'_>,
     table: &Table,
@@ -632,17 +813,24 @@ fn count_level(
     scratch: &mut SearchScratch,
     cand_weights: &[f64],
     threads: usize,
+    max_chunks: usize,
 ) {
-    let chunk = view.as_chunk();
-    let cov = &covered_weight[chunk.offset()..chunk.offset() + chunk.len()];
+    let chunks = view.chunks(max_chunks);
+    let k = chunks.len();
     let groups = &scratch.groups;
-    let jobs: Vec<usize> = (0..groups.len()).collect();
-    let outputs = map_jobs(threads, jobs, |gi| {
+    // Group-major job order: each group's chunk partials come back
+    // contiguous and in chunk order.
+    let jobs: Vec<(usize, usize)> = (0..groups.len())
+        .flat_map(|gi| (0..k).map(move |ck| (gi, ck)))
+        .collect();
+    let outputs = exec::parallel_map(threads, jobs, |(gi, ck)| {
         let g = &groups[gi];
+        let chunk = &chunks[ck];
+        let cov = &covered_weight[chunk.offset()..chunk.offset() + chunk.len()];
         if g.is_dense() {
-            count_group_dense(table, &chunk, cov, g, cand_weights)
+            count_group_dense(table, chunk, cov, g, cand_weights)
         } else {
-            count_group_sparse(table, &chunk, cov, g, cand_weights)
+            count_group_sparse(table, chunk, cov, g, cand_weights)
         }
     });
 
@@ -654,8 +842,21 @@ fn count_level(
             marginal: 0.0,
             weight: w,
         }));
-    for out in outputs {
-        for (ci, count, marginal) in out {
+    let mut out_it = outputs.into_iter();
+    for _gi in 0..groups.len() {
+        let parts: Vec<Vec<(u32, f64, f64)>> = (0..k)
+            .map(|_| out_it.next().expect("k per group"))
+            .collect();
+        // Per-group candidate lists are identical across chunks (dense:
+        // `cand_cells` order; sparse: `order`), so merge positionally.
+        let merged = exec::reduce_pairwise(parts, |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                debug_assert_eq!(x.0, y.0, "chunk partials misaligned");
+                x.1 += y.1;
+                x.2 += y.2;
+            }
+        });
+        for (ci, count, marginal) in merged {
             let stat = &mut scratch.cstats[ci as usize];
             stat.count = count;
             stat.marginal = marginal;
@@ -801,36 +1002,81 @@ fn pick_winner(counted: &FxHashMap<Rule, CandStat>, stats: SearchStats) -> Optio
 // sampling layer's full-table scans).
 // ---------------------------------------------------------------------------
 
-/// Calls `f(position)` for every view position whose row is covered by
-/// `rule`, evaluating one instantiated column at a time over column slices
-/// (progressive candidate filtering) instead of row-at-a-time probing.
-pub fn for_each_covered_position(view: &TableView<'_>, rule: &Rule, mut f: impl FnMut(usize)) {
-    let table = view.table();
+/// View positions (ascending) whose rows are covered by `rule`, evaluating
+/// one instantiated column at a time over column slices (progressive
+/// candidate filtering) instead of row-at-a-time probing.
+///
+/// Large views are scanned **row-sliced**: each [`TableView::chunks`] chunk
+/// is filtered independently and the per-chunk hit lists are concatenated
+/// in chunk order, so the output is byte-identical on any thread count
+/// (positions are integers — no float-merge caveat applies). This is the
+/// scan behind the BRS covered-weight update and drill-down filtering.
+pub fn covered_positions(view: &TableView<'_>, rule: &Rule) -> Vec<u32> {
+    covered_positions_with_threads(view, rule, exec::worker_threads())
+}
+
+/// [`covered_positions`] with an explicit worker budget (`1` = fully
+/// serial). Callers already inside a parallel region — or honoring a
+/// caller-level parallelism switch, as BRS does with
+/// [`SearchOptions::parallel`] — pass `1` to avoid nested fan-out; the
+/// output is byte-identical either way.
+pub fn covered_positions_with_threads(
+    view: &TableView<'_>,
+    rule: &Rule,
+    threads: usize,
+) -> Vec<u32> {
     let cols: Vec<usize> = rule.instantiated_columns().collect();
     if cols.is_empty() {
-        for i in 0..view.len() {
-            f(i);
-        }
-        return;
+        return (0..view.len() as u32).collect();
     }
+    let k = if threads > 1 {
+        scan_chunks(view.len())
+    } else {
+        1
+    };
+    if k <= 1 {
+        return covered_positions_chunk(view.table(), &view.as_chunk(), rule, &cols);
+    }
+    let chunks = view.chunks(k);
+    let parts = exec::parallel_map(threads, chunks, |chunk| {
+        covered_positions_chunk(view.table(), &chunk, rule, &cols)
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Progressive columnar filtering of one chunk; returned positions are
+/// global view positions, ascending.
+fn covered_positions_chunk(
+    table: &Table,
+    chunk: &ViewChunk<'_>,
+    rule: &Rule,
+    cols: &[usize],
+) -> Vec<u32> {
     let (first, rest) = cols.split_first().expect("non-empty");
     let first_codes = table.column(*first);
     let want = rule.code(*first);
+    let offset = chunk.offset();
 
-    // Survivor positions after the first column's scan.
+    // Survivor positions after the first column's scan. (A contiguous
+    // chunk comes from an all-rows view, where position == row id.)
     let mut positions: Vec<u32> = Vec::new();
-    match view.row_ids() {
-        None => {
-            for (i, &code) in first_codes.iter().take(view.len()).enumerate() {
+    match chunk.contiguous_rows() {
+        Some(range) => {
+            for (i, &code) in first_codes[range].iter().enumerate() {
                 if code == want {
-                    positions.push(i as u32);
+                    positions.push((offset + i) as u32);
                 }
             }
         }
-        Some(ids) => {
+        None => {
+            let ids = chunk.row_ids().expect("non-contiguous chunk has row ids");
             for (i, &r) in ids.iter().enumerate() {
                 if first_codes[r as usize] == want {
-                    positions.push(i as u32);
+                    positions.push((offset + i) as u32);
                 }
             }
         }
@@ -839,40 +1085,83 @@ pub fn for_each_covered_position(view: &TableView<'_>, rule: &Rule, mut f: impl 
     for &c in rest {
         let codes = table.column(c);
         let want = rule.code(c);
-        match view.row_ids() {
+        match chunk.row_ids() {
             None => positions.retain(|&p| codes[p as usize] == want),
-            Some(ids) => positions.retain(|&p| codes[ids[p as usize] as usize] == want),
+            Some(ids) => positions.retain(|&p| codes[ids[p as usize - offset] as usize] == want),
         }
     }
-    for p in positions {
+    positions
+}
+
+/// Calls `f(position)` for every view position whose row is covered by
+/// `rule`, in ascending position order — [`covered_positions`] with a
+/// callback (the trivial rule streams without materializing).
+pub fn for_each_covered_position(view: &TableView<'_>, rule: &Rule, mut f: impl FnMut(usize)) {
+    if rule.instantiated_columns().next().is_none() {
+        for i in 0..view.len() {
+            f(i);
+        }
+        return;
+    }
+    for p in covered_positions(view, rule) {
         f(p as usize);
     }
 }
 
-/// All row ids of `table` covered by `rule`, via progressive columnar
-/// filtering — the fast path for the sampling layer's full-table scans.
+/// All row ids of `table` covered by `rule` (ascending), via progressive
+/// columnar filtering — the fast path for the sampling layer's full-table
+/// scans. Large tables are scanned row-sliced ([`sdd_table::chunk_spans`]
+/// slices, concatenated in slice order), so the output is byte-identical
+/// on any thread count.
 pub fn covered_rows(table: &Table, rule: &Rule) -> Vec<RowId> {
+    covered_rows_with_threads(table, rule, exec::worker_threads())
+}
+
+/// [`covered_rows`] with an explicit worker budget (`1` = fully serial).
+/// The sampling layer's batch prefetch passes `1` when it already fans out
+/// task-per-rule, keeping total thread use bounded by the machine.
+pub fn covered_rows_with_threads(table: &Table, rule: &Rule, threads: usize) -> Vec<RowId> {
     let cols: Vec<usize> = rule.instantiated_columns().collect();
     let n = table.n_rows();
-    match cols.split_first() {
-        None => (0..n as RowId).collect(),
-        Some((&first, rest)) => {
-            let codes = table.column(first);
-            let want = rule.code(first);
-            let mut rows: Vec<RowId> = Vec::new();
-            for (r, &code) in codes.iter().enumerate() {
-                if code == want {
-                    rows.push(r as RowId);
-                }
-            }
-            for &c in rest {
-                let codes = table.column(c);
-                let want = rule.code(c);
-                rows.retain(|&r| codes[r as usize] == want);
-            }
-            rows
+    if cols.is_empty() {
+        return (0..n as RowId).collect();
+    }
+    let k = if threads > 1 { scan_chunks(n) } else { 1 };
+    if k <= 1 {
+        return covered_rows_span(table, rule, &cols, 0..n);
+    }
+    let parts = exec::parallel_map(threads, chunk_spans(n, k), |span| {
+        covered_rows_span(table, rule, &cols, span)
+    });
+    let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Progressive columnar filtering of one row span of the full table.
+fn covered_rows_span(
+    table: &Table,
+    rule: &Rule,
+    cols: &[usize],
+    span: std::ops::Range<usize>,
+) -> Vec<RowId> {
+    let (&first, rest) = cols.split_first().expect("non-empty");
+    let codes = table.column(first);
+    let want = rule.code(first);
+    let mut rows: Vec<RowId> = Vec::new();
+    for (i, &code) in codes[span.clone()].iter().enumerate() {
+        if code == want {
+            rows.push((span.start + i) as RowId);
         }
     }
+    for &c in rest {
+        let codes = table.column(c);
+        let want = rule.code(c);
+        rows.retain(|&r| codes[r as usize] == want);
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -934,10 +1223,17 @@ mod tests {
     }
 
     #[test]
-    fn map_jobs_preserves_job_order() {
-        for threads in [1, 2, 4] {
-            let out = map_jobs(threads, (0..17).collect::<Vec<_>>(), |j| j * 10);
-            assert_eq!(out, (0..17).map(|j| j * 10).collect::<Vec<_>>());
+    fn covered_positions_matches_for_each() {
+        let table = t();
+        let view = TableView::with_rows(&table, vec![4, 0, 3, 2, 1]);
+        for rule in [
+            Rule::trivial(3),
+            Rule::from_pairs(&table, &[("A", "a")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "a"), ("B", "x")]).unwrap(),
+        ] {
+            let mut via_callback = Vec::new();
+            for_each_covered_position(&view, &rule, |i| via_callback.push(i as u32));
+            assert_eq!(covered_positions(&view, &rule), via_callback);
         }
     }
 

@@ -25,8 +25,11 @@
 //! * [`weight`] — the [`WeightFn`] trait and the paper's weighting functions,
 //! * [`score`] — `Count`/`MCount`/`Score` over rule lists and sets,
 //! * [`marginal`] — Algorithm 2: the a-priori-style best-marginal-rule search,
-//! * [`kernel`] — the columnar (optionally multi-threaded) counting kernel
-//!   behind Algorithm 2, plus columnar rule-coverage scans,
+//! * [`kernel`] — the columnar (optionally multi-threaded, optionally
+//!   row-sliced) counting kernel behind Algorithm 2, plus chunked columnar
+//!   rule-coverage scans,
+//! * [`exec`] — deterministic parallel-map / pairwise-merge utilities shared
+//!   by the kernel and the sampling layer's prefetch scan,
 //! * [`brs`] — Algorithm 1: the greedy BRS optimizer,
 //! * [`drilldown`] — rule and star drill-down (Problem 1 → 2/3 reductions),
 //! * [`session`] — the interactive exploration tree with paper-style rendering,
@@ -39,6 +42,7 @@
 pub mod brs;
 pub mod drilldown;
 pub mod exact;
+pub mod exec;
 pub mod kernel;
 pub mod marginal;
 pub mod mw_estimate;
@@ -54,10 +58,13 @@ pub use drilldown::{
     DrillDownKind,
 };
 pub use exact::{enumerate_support_rules, exact_best_rule_set, greedy_guarantee};
-pub use kernel::{covered_rows, for_each_covered_position, SearchScratch};
+pub use kernel::{
+    covered_positions, covered_positions_with_threads, covered_rows, covered_rows_with_threads,
+    for_each_covered_position, SearchScratch,
+};
 pub use marginal::{
     find_best_marginal_rule, find_best_marginal_rule_rowwise, find_best_marginal_rule_with_scratch,
-    BestMarginal, SearchOptions, SearchStats,
+    BestMarginal, RowSlice, SearchOptions, SearchStats,
 };
 pub use mw_estimate::estimate_mw;
 pub use reduction::{McpInstance, McpWeight};

@@ -18,6 +18,17 @@
 //! given the rules the analyst may drill into next and their probabilities,
 //! it solves the allocation problem (§4.1/§4.2) and materializes all
 //! planned samples in a single scan.
+//!
+//! **Parallel, reproducible scans.** The create/prefetch scan runs
+//! task-per-rule on [`sdd_core::exec::parallel_map`]: each requested rule
+//! gets its own reservoir and its own `StdRng`, seeded deterministically
+//! from `(config.seed, rule)` — there is no shared sequential RNG, so the
+//! stored samples are identical on any thread count (and each rule's
+//! columnar [`sdd_core::covered_rows`] scan is itself row-sliced). A batch
+//! is stored atomically: same-filter replacement and LRU eviction happen
+//! *before* any new sample is pushed, so freshly stored batch members are
+//! never evicted by their own batch and the returned store indices stay
+//! valid.
 
 use crate::alloc::{solve_uniform, Allocation, AllocationProblem, AllocationStrategy};
 use crate::alloc_convex::solve_convex;
@@ -120,9 +131,26 @@ pub struct SampleHandler<'t> {
     config: SampleHandlerConfig,
     samples: Vec<StoredSample>,
     clock: u64,
-    rng: StdRng,
     /// Work counters.
     pub stats: HandlerStats,
+}
+
+/// The per-rule reservoir seed: a SplitMix64 fold of the handler seed and
+/// the rule's codes. Stable across platforms and independent of scan
+/// order, so parallel prefetch draws the same sample for a rule no matter
+/// how many rules share the batch or how many threads run it.
+fn sample_seed(seed: u64, rule: &Rule) -> u64 {
+    fn splitmix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut h = splitmix(seed);
+    for &code in rule.codes() {
+        h = splitmix(h ^ (code as u64).wrapping_add(1));
+    }
+    h
 }
 
 impl<'t> SampleHandler<'t> {
@@ -133,13 +161,11 @@ impl<'t> SampleHandler<'t> {
             config.capacity >= config.min_sample_size,
             "capacity must hold at least one minimum-size sample"
         );
-        let rng = StdRng::seed_from_u64(config.seed);
         Self {
             table,
             config,
             samples: Vec::new(),
             clock: 0,
-            rng,
             stats: HandlerStats::default(),
         }
     }
@@ -211,17 +237,20 @@ impl<'t> SampleHandler<'t> {
             if !s.filter.is_sub_rule_of(rule) {
                 continue;
             }
-            let before = rows.len();
             rows.extend(
                 s.rows
                     .iter()
                     .copied()
                     .filter(|&r| rule.covers_row(self.table, r)),
             );
-            if rows.len() > before || s.filter == *rule {
-                rate_sum += 1.0 / s.scale;
-                used.push(i);
-            }
+            // Every qualifying sub-rule sample contributes its rate, even
+            // when it happens to hold zero `rule`-covered rows: each covered
+            // tuple of the table appeared in sample `s` with probability
+            // `1/N_s` regardless of the draw's outcome, so dropping empty
+            // contributors would shrink `rate_sum` and bias the pooled
+            // estimate upward.
+            rate_sum += 1.0 / s.scale;
+            used.push(i);
         }
         if rows.len() < min_ss || rate_sum <= 0.0 {
             return None;
@@ -248,29 +277,73 @@ impl<'t> SampleHandler<'t> {
 
     /// The Create phase (§4.3: "it creates a sample of size n_r for each
     /// displayed r"). Rule matching runs column-at-a-time over the
-    /// dictionary-encoded column slices ([`sdd_core::covered_rows`]): one
-    /// columnar scan per requested rule (materializing that rule's covered
-    /// row ids) rather than the historical single row-at-a-time pass
-    /// probing every rule against every row — fewer total code compares
-    /// for the usual small request batches, at the cost of a transient
-    /// `Vec<RowId>` per rule. Counted as one logical full scan in
+    /// dictionary-encoded column slices ([`sdd_core::covered_rows`], itself
+    /// row-sliced on large tables): one columnar scan per requested rule,
+    /// with the rules of a batch scanned **task-per-rule in parallel** —
+    /// each reservoir draws from its own `StdRng` seeded by
+    /// `(config.seed, rule)` ([`sample_seed`]), so the result is identical
+    /// on any thread count. Counted as one logical full scan in
     /// [`HandlerStats`].
+    ///
+    /// Storage is batch-atomic: same-filter replacement and LRU eviction
+    /// run *before* any push, so (a) a batch never evicts its own freshly
+    /// stored members, and (b) the returned store indices are valid when
+    /// this method returns — the historical per-push interleaving could
+    /// evict an earlier batch member and leave stale indices behind.
     fn scan_and_store(&mut self, requests: &[(Rule, usize)]) -> Vec<usize> {
-        let mut reservoirs: Vec<Reservoir<RowId>> =
-            requests.iter().map(|(_, n)| Reservoir::new(*n)).collect();
-        for ((rule, _), res) in requests.iter().zip(&mut reservoirs) {
-            for row in sdd_core::covered_rows(self.table, rule) {
-                res.offer(row, &mut self.rng);
+        // Deduplicate same-filter requests, last target size winning — the
+        // store holds at most one sample per filter, and the historical
+        // per-push replacement gave later requests precedence. `slot[i]`
+        // maps original request `i` to its deduplicated position.
+        let mut dedup: Vec<(Rule, usize)> = Vec::with_capacity(requests.len());
+        let mut slot: Vec<usize> = Vec::with_capacity(requests.len());
+        for (rule, n) in requests {
+            match dedup.iter().position(|(r, _)| r == rule) {
+                Some(pos) => {
+                    dedup[pos].1 = *n;
+                    slot.push(pos);
+                }
+                None => {
+                    dedup.push((rule.clone(), *n));
+                    slot.push(dedup.len() - 1);
+                }
             }
         }
-        let mut indices = Vec::with_capacity(requests.len());
-        for ((rule, _), res) in requests.iter().zip(reservoirs) {
-            let scale = res.scale();
-            let (rows, seen) = res.into_parts();
+
+        let table = self.table;
+        let seed = self.config.seed;
+        let threads = sdd_core::exec::worker_threads().min(dedup.len());
+        // When the batch itself fans out task-per-rule, each rule's
+        // coverage scan runs serially — otherwise the nested row-sliced
+        // scan would oversubscribe the machine (threads × chunks workers).
+        let scan_threads = if threads > 1 {
+            1
+        } else {
+            sdd_core::exec::worker_threads()
+        };
+        let drawn: Vec<(Vec<RowId>, u64, f64)> =
+            sdd_core::exec::parallel_map(threads, dedup.clone(), |(rule, n)| {
+                let mut rng = StdRng::seed_from_u64(sample_seed(seed, &rule));
+                let mut res = Reservoir::new(n);
+                for row in sdd_core::covered_rows_with_threads(table, &rule, scan_threads) {
+                    res.offer(row, &mut rng);
+                }
+                let scale = res.scale();
+                let (rows, seen) = res.into_parts();
+                (rows, seen, scale)
+            });
+
+        // Replace any existing sample whose filter is re-requested, then
+        // make room for the whole batch against the *pre-existing* store
+        // only. Pushes come last, so indices recorded here stay stable.
+        self.samples
+            .retain(|s| !dedup.iter().any(|(rule, _)| s.filter == *rule));
+        let incoming: usize = drawn.iter().map(|(rows, _, _)| rows.len()).sum();
+        self.ensure_room(incoming);
+
+        let base = self.samples.len();
+        for ((rule, _), (rows, seen, scale)) in dedup.iter().zip(drawn) {
             let exact = seen as usize == rows.len();
-            // Replace any existing sample with the same filter.
-            self.samples.retain(|s| s.filter != *rule);
-            self.ensure_room(rows.len());
             self.samples.push(StoredSample {
                 filter: rule.clone(),
                 rows,
@@ -278,12 +351,13 @@ impl<'t> SampleHandler<'t> {
                 exact,
                 last_used: self.clock,
             });
-            indices.push(self.samples.len() - 1);
         }
-        indices
+        slot.into_iter().map(|s| base + s).collect()
     }
 
     /// Evicts least-recently-used samples until `incoming` more tuples fit.
+    /// Called before a batch's pushes (see [`SampleHandler::scan_and_store`]),
+    /// so only samples predating the batch are ever candidates.
     fn ensure_room(&mut self, incoming: usize) {
         while self.memory_used() + incoming > self.config.capacity && !self.samples.is_empty() {
             let lru = self
@@ -301,14 +375,12 @@ impl<'t> SampleHandler<'t> {
     /// Builds the §4.1 allocation problem for a parent rule and its likely
     /// next drill-downs.
     pub fn plan(&self, entries: &[PrefetchEntry]) -> AllocationProblem {
-        let n = 1 + entries.len();
         let mut parent = vec![None];
         let mut prob = vec![0.0];
         let mut selectivity = vec![1.0];
         parent.extend(std::iter::repeat_n(Some(0), entries.len()));
         prob.extend(entries.iter().map(|e| e.probability));
         selectivity.extend(entries.iter().map(|e| e.selectivity));
-        let _ = n;
         AllocationProblem {
             parent,
             prob,
@@ -535,6 +607,203 @@ mod tests {
         assert_ne!(s1.mechanism, FetchMechanism::Create);
         assert_ne!(s2.mechanism, FetchMechanism::Create);
         assert_eq!(h.stats.full_scans, scans_after_prefetch);
+    }
+
+    /// 10×(w, ...) rows of which `n_wc` are (w, c), then 20×(t, x) rows.
+    fn wc_table(n_wc: usize) -> Table {
+        let mut rows: Vec<[&str; 2]> = Vec::new();
+        for i in 0..10 {
+            rows.push(["w", if i < n_wc { "c" } else { "d" }]);
+        }
+        rows.extend(std::iter::repeat_n(["t", "x"], 20));
+        Table::from_rows(sdd_table::Schema::new(["Store", "Product"]).unwrap(), &rows).unwrap()
+    }
+
+    #[test]
+    fn combine_counts_zero_row_contributors_in_rate_sum() {
+        // Regression for the biased-Combine bug: a qualifying sub-rule
+        // sample with zero rule-covered rows must still contribute `1/N_s`
+        // to the pooled rate, else the scale (and every estimate) inflates.
+        let t = wc_table(1);
+        let mut h = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 100,
+                min_sample_size: 1,
+                seed: 1,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        let target = Rule::from_pairs(&t, &[("Store", "w"), ("Product", "c")]).unwrap();
+        // A: trivial-filter sample holding the one (w, c) row, rate 1/2.
+        h.samples.push(StoredSample {
+            filter: Rule::trivial(2),
+            rows: vec![0, 10, 11],
+            scale: 2.0,
+            exact: false,
+            last_used: 0,
+        });
+        // B: (Store = w) is a sub-rule of the target but this draw caught
+        // only non-c rows — its rate 1/4 must still count.
+        h.samples.push(StoredSample {
+            filter: Rule::from_pairs(&t, &[("Store", "w")]).unwrap(),
+            rows: vec![1, 2],
+            scale: 4.0,
+            exact: false,
+            last_used: 0,
+        });
+        let s = h.get_sample(&target);
+        assert_eq!(s.mechanism, FetchMechanism::Combine);
+        // rate_sum = 1/2 + 1/4 → scale 4/3 (the buggy code returned 2).
+        assert!((s.scale - 4.0 / 3.0).abs() < 1e-12, "scale {}", s.scale);
+        assert_eq!(s.view.len(), 1);
+        assert!((s.view.total_weight() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_estimate_is_unbiased_over_seeds() {
+        // Statistical check: with an exact (w) sample and a varying trivial
+        // half-sample, the Combine estimate of count(w, c) must average to
+        // the truth (2). The pre-fix code dropped the trivial sample's rate
+        // whenever its draw held no (w, c) row (~24% of seeds), biasing the
+        // mean up to ≈ 2.16.
+        let t = wc_table(2);
+        let w = Rule::from_pairs(&t, &[("Store", "w")]).unwrap();
+        let target = Rule::from_pairs(&t, &[("Store", "w"), ("Product", "c")]).unwrap();
+        let trials = 2000u64;
+        let mut sum = 0.0f64;
+        for seed in 0..trials {
+            let mut h = SampleHandler::new(
+                &t,
+                SampleHandlerConfig {
+                    capacity: 100,
+                    min_sample_size: 1,
+                    seed,
+                    strategy: AllocationStrategy::Dp,
+                },
+            );
+            h.scan_and_store(&[(w.clone(), 10)]); // exact, rate 1
+            h.scan_and_store(&[(Rule::trivial(2), 15)]); // rate 1/2
+            let s = h.get_sample(&target);
+            assert_eq!(s.mechanism, FetchMechanism::Combine, "seed {seed}");
+            sum += s.view.total_weight();
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - 2.0).abs() < 0.08,
+            "Combine estimate biased: mean {mean} vs truth 2"
+        );
+    }
+
+    /// 2000×(a) + 2000×(b) rows, one column.
+    fn ab_table() -> Table {
+        let mut rows: Vec<[&str; 1]> = Vec::new();
+        rows.extend(std::iter::repeat_n(["a"], 2000));
+        rows.extend(std::iter::repeat_n(["b"], 2000));
+        Table::from_rows(sdd_table::Schema::new(["A"]).unwrap(), &rows).unwrap()
+    }
+
+    #[test]
+    fn scan_and_store_indices_survive_mid_batch_eviction() {
+        // Regression for the stale-index bug: storing a batch while LRU
+        // eviction removes a pre-existing sample must not invalidate the
+        // indices of batch members stored before the eviction fired.
+        let t = ab_table();
+        let mut h = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 1_500,
+                min_sample_size: 500,
+                seed: 9,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        let trivial = Rule::trivial(1);
+        let ra = Rule::from_pairs(&t, &[("A", "a")]).unwrap();
+        let rb = Rule::from_pairs(&t, &[("A", "b")]).unwrap();
+        h.scan_and_store(&[(trivial.clone(), 500)]); // pre-existing LRU victim
+        let batch = [(ra.clone(), 600), (rb.clone(), 600)];
+        let indices = h.scan_and_store(&batch);
+        // 500 + 1200 > 1500: the trivial sample must be evicted — and every
+        // returned index must still point at its own request's sample.
+        assert!(h.stats.evictions > 0);
+        assert!(h.memory_used() <= 1_500);
+        for ((rule, size), &idx) in batch.iter().zip(&indices) {
+            assert_eq!(
+                h.samples[idx].filter, *rule,
+                "stale store index after mid-batch eviction"
+            );
+            assert_eq!(h.samples[idx].rows.len(), *size);
+        }
+        assert!(h.samples.iter().all(|s| s.filter != trivial));
+    }
+
+    #[test]
+    fn batch_members_are_never_evicted_by_their_own_batch() {
+        // Three 600-tuple samples against capacity 1500: the historical
+        // per-push eviction would evict the first batch member to admit the
+        // third. A batch is stored atomically instead (the prefetch
+        // allocator never plans past capacity; a direct oversized batch
+        // overshoots transiently rather than silently dropping members).
+        let t = ab_table();
+        let mut h = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 1_500,
+                min_sample_size: 500,
+                seed: 9,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        let trivial = Rule::trivial(1);
+        let ra = Rule::from_pairs(&t, &[("A", "a")]).unwrap();
+        let rb = Rule::from_pairs(&t, &[("A", "b")]).unwrap();
+        let batch = [(ra, 600), (rb, 600), (trivial, 600)];
+        let indices = h.scan_and_store(&batch);
+        assert_eq!(h.n_samples(), 3, "a batch must not evict its own members");
+        for ((rule, _), &idx) in batch.iter().zip(&indices) {
+            assert_eq!(h.samples[idx].filter, *rule);
+        }
+    }
+
+    #[test]
+    fn duplicate_filter_requests_in_one_batch_store_once() {
+        // The store invariant is one sample per filter: a batch repeating a
+        // rule must store a single sample (last target size wins, matching
+        // the historical per-push replacement) and point both returned
+        // indices at it.
+        let t = ab_table();
+        let mut h = SampleHandler::new(
+            &t,
+            SampleHandlerConfig {
+                capacity: 4_000,
+                min_sample_size: 500,
+                seed: 9,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        let ra = Rule::from_pairs(&t, &[("A", "a")]).unwrap();
+        let indices = h.scan_and_store(&[(ra.clone(), 600), (ra.clone(), 800)]);
+        assert_eq!(h.n_samples(), 1, "duplicate filters must collapse");
+        assert_eq!(indices, vec![0, 0]);
+        assert_eq!(h.samples[0].rows.len(), 800);
+        assert_eq!(h.memory_used(), 800);
+    }
+
+    #[test]
+    fn create_is_reproducible_across_thread_counts() {
+        // The per-rule derived seed makes stored samples a function of
+        // (config.seed, rule) only — never of scan scheduling.
+        let t = retail(1);
+        let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
+        let draw = |threads: &str| {
+            std::env::set_var("SDD_THREADS", threads);
+            let mut h = handler(&t);
+            let s = h.get_sample(&walmart);
+            std::env::remove_var("SDD_THREADS");
+            s.view.row_ids().unwrap().to_vec()
+        };
+        assert_eq!(draw("1"), draw("7"));
     }
 
     #[test]

@@ -55,10 +55,19 @@ impl<T> Reservoir<T> {
     }
 
     /// The scale factor `N_s = seen / |items|` translating sample counts to
-    /// stream-level estimates (`1.0` when the whole stream fit).
+    /// stream-level estimates (`1.0` when the whole stream fit, including
+    /// the empty stream).
+    ///
+    /// A drained zero-capacity reservoir (`capacity == 0`, `seen > 0`)
+    /// returns the honest ratio `+∞`: it observed tuples but can represent
+    /// none of them, so no finite per-item weight reconstructs the stream.
+    /// Callers holding such a reservoir have an empty item list, so the
+    /// infinity never multiplies a real tuple weight.
     pub fn scale(&self) -> f64 {
-        if self.items.is_empty() {
+        if self.seen == 0 {
             1.0
+        } else if self.items.is_empty() {
+            f64::INFINITY
         } else {
             self.seen as f64 / self.items.len() as f64
         }
@@ -118,11 +127,14 @@ mod tests {
     fn zero_capacity_reservoir_is_legal() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut r = Reservoir::new(0);
+        assert_eq!(r.scale(), 1.0, "empty stream scales by 1");
         for i in 0..10 {
             r.offer(i, &mut rng);
         }
         assert!(r.items().is_empty());
         assert_eq!(r.seen(), 10);
+        // Drained but saw tuples: the honest ratio is infinite, not 1.0.
+        assert_eq!(r.scale(), f64::INFINITY);
     }
 
     #[test]

@@ -166,22 +166,16 @@ impl<'a> TableView<'a> {
     }
 
     /// Splits the view into at most `max_chunks` chunks of near-equal size
-    /// (at least one chunk, even when empty). Chunk boundaries depend only
-    /// on `len` and `max_chunks`, so per-chunk processing merged in chunk
-    /// order is deterministic regardless of the executing thread count.
+    /// (at least one chunk, even when empty). Chunk boundaries come from
+    /// [`chunk_spans`] and depend only on `len` and `max_chunks`, so
+    /// per-chunk processing merged in chunk order is deterministic
+    /// regardless of the executing thread count — the foundation of the
+    /// row-sliced kernel mode in `sdd-core`.
     pub fn chunks(&self, max_chunks: usize) -> Vec<ViewChunk<'_>> {
-        let n = self.len();
-        let k = max_chunks.clamp(1, n.max(1));
-        let base = n / k;
-        let extra = n % k; // first `extra` chunks get one more row
-        let mut out = Vec::with_capacity(k);
-        let mut start = 0;
-        for i in 0..k {
-            let len = base + usize::from(i < extra);
-            out.push(self.chunk(start, len));
-            start += len;
-        }
-        out
+        chunk_spans(self.len(), max_chunks)
+            .into_iter()
+            .map(|r| self.chunk(r.start, r.len()))
+            .collect()
     }
 
     /// Returns a new view keeping only positions whose row satisfies `pred`.
@@ -240,6 +234,27 @@ impl<'a> TableView<'a> {
             weights: Some(weights),
         }
     }
+}
+
+/// Splits `[0, n)` into at most `max_chunks` near-equal spans (at least one
+/// span, even when `n == 0`; never an empty span when `n > 0`).
+///
+/// This is the **chunk plan** shared by [`TableView::chunks`] and the
+/// row-sliced scans in `sdd-core`: boundaries are a pure function of `n`
+/// and `max_chunks` — never of thread count — so any per-span computation
+/// merged back in span order is reproducible on every machine.
+pub fn chunk_spans(n: usize, max_chunks: usize) -> Vec<std::ops::Range<usize>> {
+    let k = max_chunks.clamp(1, n.max(1));
+    let base = n / k;
+    let extra = n % k; // first `extra` spans get one more element
+    let mut out = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -474,6 +489,24 @@ mod tests {
         let empty = v.filter(|_| false);
         assert_eq!(empty.chunks(4).len(), 1);
         assert!(empty.chunks(4)[0].is_empty());
+    }
+
+    #[test]
+    fn chunk_spans_partition_the_range() {
+        for n in [0usize, 1, 4, 7, 100] {
+            for k in 1..=9 {
+                let spans = chunk_spans(n, k);
+                assert!(!spans.is_empty());
+                assert!(spans.len() <= k.max(1));
+                let mut pos = 0;
+                for s in &spans {
+                    assert_eq!(s.start, pos, "n={n} k={k}");
+                    assert!(n == 0 || !s.is_empty(), "empty span for n={n} k={k}");
+                    pos = s.end;
+                }
+                assert_eq!(pos, n);
+            }
+        }
     }
 
     #[test]

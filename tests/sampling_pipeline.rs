@@ -149,6 +149,54 @@ fn prefetch_then_drill_without_disk() {
 }
 
 #[test]
+fn prefetch_is_reproducible_across_thread_counts() {
+    // The prefetch scan runs task-per-rule with per-reservoir RNGs seeded
+    // from (config.seed, rule): the stored samples — rows, order, scales,
+    // and serving mechanisms — must be identical whether the scan ran on
+    // one worker or many.
+    let table = retail(42);
+    let trivial = Rule::trivial(3);
+    let walmart = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
+    let target = Rule::from_pairs(&table, &[("Store", "Target")]).unwrap();
+    let entries = [
+        PrefetchEntry {
+            rule: walmart.clone(),
+            probability: 0.6,
+            selectivity: 1000.0 / 6000.0,
+        },
+        PrefetchEntry {
+            rule: target.clone(),
+            probability: 0.4,
+            selectivity: 200.0 / 6000.0,
+        },
+    ];
+    let run = |threads: &str| {
+        std::env::set_var("SDD_THREADS", threads);
+        let mut handler = SampleHandler::new(&table, handler_cfg(20_000, 500, 77));
+        let hit = handler.prefetch(&trivial, &entries);
+        let mut fetched = Vec::new();
+        for rule in [&walmart, &target] {
+            let s = handler.get_sample(rule);
+            fetched.push((
+                s.mechanism == FetchMechanism::Create,
+                s.scale.to_bits(),
+                s.view
+                    .row_ids()
+                    .expect("sampled view has explicit rows")
+                    .to_vec(),
+            ));
+        }
+        std::env::remove_var("SDD_THREADS");
+        (hit.to_bits(), fetched)
+    };
+    assert_eq!(
+        run("1"),
+        run("6"),
+        "prefetch results depend on thread count"
+    );
+}
+
+#[test]
 fn session_over_sampled_view_reproduces_walkthrough_shape() {
     let table = retail(42);
     let mut handler = SampleHandler::new(&table, handler_cfg(20_000, 4_000, 23));
