@@ -14,7 +14,7 @@ fn bench_minss(c: &mut Criterion) {
     for minss in [1_000usize, 2_000, 5_000, 8_000] {
         // Warm the sample once outside the timer; measure Find + BRS.
         let mut handler = SampleHandler::new(
-            &table,
+            table.clone(),
             SampleHandlerConfig {
                 capacity: 50_000.max(minss),
                 min_sample_size: minss,
@@ -27,7 +27,7 @@ fn bench_minss(c: &mut Criterion) {
             let brs = Brs::new(&SizeWeight).with_max_weight(5.0);
             b.iter(|| {
                 let s = handler.get_sample(&trivial);
-                std::hint::black_box(brs.run(&s.view, 4))
+                std::hint::black_box(brs.run(&s.view.as_view(), 4))
             })
         });
     }

@@ -19,7 +19,7 @@ fn bench_scaling(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let mut h = SampleHandler::new(
-                    &table,
+                    table.clone(),
                     SampleHandlerConfig {
                         capacity: 50_000,
                         min_sample_size: 5_000,
@@ -28,7 +28,7 @@ fn bench_scaling(c: &mut Criterion) {
                     },
                 );
                 let s = h.get_sample(&trivial);
-                std::hint::black_box(brs.run(&s.view, 4))
+                std::hint::black_box(brs.run(&s.view.as_view(), 4))
             })
         });
     }

@@ -12,7 +12,7 @@ use sdd_core::{Session, SizeWeight};
 
 fn main() {
     let table = sdd_bench::datasets::marketing7();
-    let mut session = Session::new(&table, Box::new(SizeWeight), 4);
+    let mut session = Session::new(table.clone(), Box::new(SizeWeight), 4);
     session.set_max_weight(5.0);
 
     session.expand(&[]).expect("root expansion");

@@ -85,13 +85,18 @@ fn expand_direct(table: &Table, weight: &dyn WeightFn, mw: f64, reps: usize) -> 
 
 /// Census protocol: fresh SampleHandler each rep (forces the Create scan,
 /// as on first interaction), then BRS on the sample.
-fn expand_via_sampler(table: &Table, weight: &dyn WeightFn, mw: f64, reps: usize) -> f64 {
+fn expand_via_sampler(
+    table: &std::sync::Arc<Table>,
+    weight: &dyn WeightFn,
+    mw: f64,
+    reps: usize,
+) -> f64 {
     let trivial = Rule::trivial(table.n_columns());
     let mut seed = 0u64;
     timing::time_mean(reps, || {
         seed += 1;
         let mut handler = SampleHandler::new(
-            table,
+            table.clone(),
             SampleHandlerConfig {
                 capacity: 50_000,
                 min_sample_size: 5_000,
@@ -101,6 +106,6 @@ fn expand_via_sampler(table: &Table, weight: &dyn WeightFn, mw: f64, reps: usize
         );
         let sample = handler.get_sample(&trivial);
         let brs = Brs::new(weight).with_max_weight(mw);
-        std::hint::black_box(brs.run(&sample.view, 4));
+        std::hint::black_box(brs.run(&sample.view.as_view(), 4));
     })
 }

@@ -16,7 +16,7 @@ fn main() {
     let mut rows = vec![row!["figure", "rule", "count", "weight"]];
 
     // Reference: Size weighting (Figure 1) for contrast.
-    let mut size_session = Session::new(&table, Box::new(SizeWeight), 4);
+    let mut size_session = Session::new(table.clone(), Box::new(SizeWeight), 4);
     size_session.set_max_weight(5.0);
     size_session.expand(&[]).unwrap();
     let size_uses_sex = size_session
@@ -27,7 +27,7 @@ fn main() {
         .count();
 
     // Figure 6: Bits weighting, mw = 20 (paper §5).
-    let mut session = Session::new(&table, Box::new(BitsWeight), 4);
+    let mut session = Session::new(table.clone(), Box::new(BitsWeight), 4);
     session.set_max_weight(20.0);
     session.expand(&[]).unwrap();
     println!("== Figure 6: Bits weighting ==");
@@ -49,7 +49,7 @@ fn main() {
     );
 
     // Figure 7: max(0, Size−1) weighting.
-    let mut session = Session::new(&table, Box::new(SizeMinusOne), 4);
+    let mut session = Session::new(table.clone(), Box::new(SizeMinusOne), 4);
     session.set_max_weight(4.0);
     session.expand(&[]).unwrap();
     println!("== Figure 7: max(0, Size−1) weighting ==");

@@ -83,7 +83,7 @@ fn main() {
 }
 
 fn one_expansion(
-    table: &Table,
+    table: &std::sync::Arc<Table>,
     weight: &dyn WeightFn,
     mw: f64,
     minss: usize,
@@ -92,7 +92,7 @@ fn one_expansion(
     let trivial = Rule::trivial(table.n_columns());
     let (ms, result) = timing::time_once(|| {
         let mut handler = SampleHandler::new(
-            table,
+            table.clone(),
             SampleHandlerConfig {
                 capacity: 50_000.max(minss),
                 min_sample_size: minss,
@@ -101,7 +101,9 @@ fn one_expansion(
             },
         );
         let sample = handler.get_sample(&trivial);
-        Brs::new(weight).with_max_weight(mw).run(&sample.view, K)
+        Brs::new(weight)
+            .with_max_weight(mw)
+            .run(&sample.view.as_view(), K)
     });
     (ms, result)
 }

@@ -39,7 +39,7 @@ fn main() {
         let cold = timing::time_mean(reps, || {
             seed += 1;
             let mut h = SampleHandler::new(
-                &table,
+                table.clone(),
                 SampleHandlerConfig {
                     capacity: 50_000,
                     min_sample_size: 5_000,
@@ -48,16 +48,16 @@ fn main() {
                 },
             );
             let s = h.get_sample(&trivial);
-            std::hint::black_box(brs.run(&s.view, 4));
+            std::hint::black_box(brs.run(&s.view.as_view(), 4));
         });
 
         // Warm: reuse one handler; after the first call every expansion is
         // a Find.
-        let mut h = SampleHandler::new(&table, SampleHandlerConfig::default());
+        let mut h = SampleHandler::new(table.clone(), SampleHandlerConfig::default());
         let _ = h.get_sample(&trivial);
         let warm = timing::time_mean(reps, || {
             let s = h.get_sample(&trivial);
-            std::hint::black_box(brs.run(&s.view, 4));
+            std::hint::black_box(brs.run(&s.view.as_view(), 4));
         });
 
         rows.push(row![n, format!("{cold:.1}"), format!("{warm:.1}")]);

@@ -1,0 +1,163 @@
+//! Emits `BENCH_serve.json`: request latency and throughput of the
+//! concurrent drill-down server under a sweep of concurrent client counts.
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p sdd-bench --bin exp_serve
+//! ```
+//!
+//! An in-process server (ephemeral port, deferred background prefetch)
+//! hosts the retail table; each swept client count `c` spawns `c` OS
+//! threads, each opening its own session and running a fixed drill script
+//! (expand root, drill into every child, list rules, read stats). Every
+//! request's wall-clock latency is recorded; the report gives mean / p50 /
+//! p95 per client count plus aggregate throughput.
+//!
+//! Environment knobs: `SDD_SERVE_CLIENTS` (comma-separated sweep, default
+//! `1,2,4,8`), `SDD_SERVE_ROUNDS` (script repetitions per client,
+//! default 5).
+
+use sdd_server::{Client, OpenOptions, Request, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let sweep: Vec<usize> = std::env::var("SDD_SERVE_CLIENTS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let rounds: usize = std::env::var("SDD_SERVE_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let table = Arc::new(sdd_datagen::retail(42));
+    println!(
+        "serve bench on retail ({} rows × {} columns), rounds={rounds}, \
+         host parallelism {host_threads}:",
+        table.n_rows(),
+        table.n_columns()
+    );
+
+    let mut entries = String::new();
+    for &clients in &sweep {
+        let server = Server::bind(
+            table.clone(),
+            ServerConfig {
+                threads: clients + 2,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server");
+        let addr = server.addr();
+
+        let wall = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                std::thread::spawn(move || -> Vec<f64> {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::new();
+                    let mut call = |req: &Request| {
+                        let t = Instant::now();
+                        client.call(req).expect("request");
+                        latencies.push(t.elapsed().as_secs_f64());
+                    };
+                    for round in 0..rounds {
+                        let session = format!("bench-{i}-{round}");
+                        call(&Request::Open {
+                            session: session.clone(),
+                            options: OpenOptions {
+                                k: Some(3),
+                                max_weight: Some(3.0),
+                                weight: Some("size".to_owned()),
+                                seed: Some(42 + i as u64),
+                                capacity: Some(20_000),
+                                min_ss: Some(1_000),
+                            },
+                        });
+                        call(&Request::Expand {
+                            session: session.clone(),
+                            path: vec![],
+                        });
+                        for child in 0..3 {
+                            call(&Request::Expand {
+                                session: session.clone(),
+                                path: vec![child],
+                            });
+                        }
+                        call(&Request::Rules {
+                            session: session.clone(),
+                        });
+                        call(&Request::Stats {
+                            session: session.clone(),
+                        });
+                        call(&Request::Close { session });
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let mut latencies: Vec<f64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("bench client"))
+            .collect();
+        let wall_s = wall.elapsed().as_secs_f64();
+        server.shutdown();
+
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let n = latencies.len();
+        let mean = latencies.iter().sum::<f64>() / n as f64;
+        let (p50, p95) = (percentile(&latencies, 0.50), percentile(&latencies, 0.95));
+        let throughput = n as f64 / wall_s;
+        println!(
+            "  {clients:>2} client(s): {n:>4} requests | mean {:>8.1} µs | \
+             p50 {:>8.1} µs | p95 {:>8.1} µs | {throughput:>8.0} req/s",
+            mean * 1e6,
+            p50 * 1e6,
+            p95 * 1e6,
+        );
+        entries.push_str(&format!(
+            "    {{ \"clients\": {clients}, \"requests\": {n}, \
+             \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"throughput_rps\": {throughput:.1} }},\n",
+            mean * 1e6,
+            p50 * 1e6,
+            p95 * 1e6,
+        ));
+    }
+    let entries = entries.trim_end().trim_end_matches(',');
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"sdd_server/concurrent_drilldown_sessions\",\n",
+            "  \"dataset\": \"retail (6000 rows x 3 columns)\",\n",
+            "  \"script\": \"open + 4 expands + rules + stats + close per round\",\n",
+            "  \"rounds_per_client\": {rounds},\n",
+            "  \"host_parallelism\": {host},\n",
+            "  \"determinism\": \"per-session transcripts are byte-identical to single-threaded replay (tests/server_stress.rs)\",\n",
+            "  \"sweep\": [\n{entries}\n  ]\n",
+            "}}\n"
+        ),
+        rounds = rounds,
+        host = host_threads,
+        entries = entries,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

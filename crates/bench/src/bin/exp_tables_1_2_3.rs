@@ -10,7 +10,7 @@ use sdd_core::{Session, SizeWeight};
 
 fn main() {
     let table = sdd_bench::datasets::retail();
-    let mut session = Session::new(&table, Box::new(SizeWeight), 3);
+    let mut session = Session::new(table.clone(), Box::new(SizeWeight), 3);
 
     println!("== Table 1: initial summary ==");
     println!("{}", session.render());

@@ -3,32 +3,33 @@
 //! columns" (§5).
 
 use sdd_table::Table;
+use std::sync::Arc;
 
 /// The walkthrough retail table (6000 rows, 3 columns + Sales).
-pub fn retail() -> Table {
-    sdd_datagen::retail(42)
+pub fn retail() -> Arc<Table> {
+    Arc::new(sdd_datagen::retail(42))
 }
 
 /// The Marketing dataset projected to its first 7 columns (paper §5).
-pub fn marketing7() -> Table {
-    sdd_datagen::marketing(2016).project_first_columns(7)
+pub fn marketing7() -> Arc<Table> {
+    Arc::new(sdd_datagen::marketing(2016).project_first_columns(7))
 }
 
 /// The full 14-column Marketing dataset.
-pub fn marketing_full() -> Table {
-    sdd_datagen::marketing(2016)
+pub fn marketing_full() -> Arc<Table> {
+    Arc::new(sdd_datagen::marketing(2016))
 }
 
 /// A census-shaped dataset with `n` rows, projected to 7 columns.
-pub fn census7(n: usize) -> Table {
-    sdd_datagen::census(n, 1990).project_first_columns(7)
+pub fn census7(n: usize) -> Arc<Table> {
+    Arc::new(sdd_datagen::census(n, 1990).project_first_columns(7))
 }
 
 /// A census-shaped dataset with `n` rows, projected to 3 columns — the
 /// few-free-columns regime where task-per-column parallelism cannot occupy
 /// the machine and the kernel's row-sliced mode matters (`exp_rowslice`).
-pub fn census3(n: usize) -> Table {
-    sdd_datagen::census(n, 1990).project_first_columns(3)
+pub fn census3(n: usize) -> Arc<Table> {
+    Arc::new(sdd_datagen::census(n, 1990).project_first_columns(3))
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod command;
+pub mod net;
 pub mod repl;
 
 pub use command::{parse_command, parse_path, Command, WeightKind};
+pub use net::{connect, serve};
 pub use repl::run;

@@ -1,0 +1,330 @@
+//! The networked modes: `sdd serve` hosts the concurrent multi-session
+//! server; `sdd connect` is a thin REPL over the line protocol.
+
+use crate::command::parse_path;
+use crate::repl::{load, Source};
+use sdd_server::{Client, OpenOptions, Request, Response, Server, ServerConfig};
+use std::io::{BufRead, Write};
+
+/// Usage text for `sdd serve`.
+pub const SERVE_USAGE: &str = "\
+usage: sdd serve [options]
+  --addr <host:port>   bind address (default 127.0.0.1:7878)
+  --demo <name>        retail | marketing | census  (default retail)
+  --rows <n>           row count for the census demo
+  --open <file.csv>    serve a CSV file instead of a demo
+  --threads <n>        connection worker threads (default: cores, min 4)
+";
+
+/// Usage text for `sdd connect`.
+pub const CONNECT_USAGE: &str = "\
+usage: sdd connect [host:port]      (default 127.0.0.1:7878)
+commands once connected:
+  expand [path] (e)    smart drill-down at path (e.g. 0.2; omitted = root)
+  star <path> <column> star drill-down on a ? column
+  collapse [path] (c)  roll up
+  show                 render the current display
+  rules                list visible rules as JSON
+  refresh              replace estimates with exact counts
+  stats                session + sampling counters
+  help (?)             this text
+  quit (q)             close the session and exit
+";
+
+fn parse_flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .peek()
+                .filter(|v| !v.starts_with("--"))
+                .map(|v| (*v).clone());
+            if value.is_some() {
+                it.next();
+            }
+            out.push((name.to_owned(), value));
+        } else {
+            return Err(format!("unexpected argument {a:?}"));
+        }
+    }
+    Ok(out)
+}
+
+/// Runs `sdd serve` with command-line `args` (everything after `serve`).
+pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut source = Source::Demo("retail".to_owned(), None);
+    let mut rows: Option<usize> = None;
+    let mut config = ServerConfig::default();
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            writeln!(output, "error: {e}\n{SERVE_USAGE}")?;
+            return Ok(());
+        }
+    };
+    for (name, value) in flags {
+        let need = |what: &str| -> Result<String, std::io::Error> {
+            value.clone().ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("--{name} needs a {what}"),
+                )
+            })
+        };
+        match name.as_str() {
+            "addr" => addr = need("host:port")?,
+            "demo" => source = Source::Demo(need("name")?, None),
+            "open" => source = Source::Csv(need("path")?),
+            "rows" => {
+                rows = Some(need("count")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --rows")
+                })?)
+            }
+            "threads" => {
+                config.threads = need("count")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --threads")
+                })?
+            }
+            other => {
+                writeln!(output, "error: unknown flag --{other}\n{SERVE_USAGE}")?;
+                return Ok(());
+            }
+        }
+    }
+    if let (Source::Demo(_, demo_rows), Some(n)) = (&mut source, rows) {
+        *demo_rows = Some(n);
+    }
+    let table = match load(&source) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(output, "error: {e}")?;
+            return Ok(());
+        }
+    };
+    let server = Server::bind(table.clone(), config, addr.as_str())?;
+    writeln!(
+        output,
+        "serving {} rows × {} columns on {} — connect with `sdd connect {}`",
+        table.n_rows(),
+        table.n_columns(),
+        server.local_addr()?,
+        server.local_addr()?
+    )?;
+    output.flush()?;
+    server.run()
+}
+
+/// Runs the `sdd connect` REPL against `addr`, reading commands from
+/// `input` and writing to `output` (I/O-generic for tests).
+pub fn connect<R: BufRead, W: Write>(
+    addr: &str,
+    mut input: R,
+    output: &mut W,
+) -> std::io::Result<()> {
+    let mut client = Client::connect(addr)?;
+    let (rows, columns) = match client.call(&Request::TableInfo)? {
+        Response::TableInfo { rows, columns } => (rows, columns),
+        other => {
+            writeln!(output, "unexpected reply: {other:?}")?;
+            return Ok(());
+        }
+    };
+    writeln!(
+        output,
+        "connected to {addr}: {} rows × {} columns ({})",
+        rows,
+        columns.len(),
+        columns.join(", ")
+    )?;
+
+    // One session per connect invocation. The pid alone collides across
+    // hosts (and across pid reuse — the server keeps leaked sessions of
+    // crashed clients), so mix in a per-process random tag.
+    let tag = {
+        use std::hash::{BuildHasher, Hasher};
+        std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish()
+    };
+    let session = format!("cli-{}-{:08x}", std::process::id(), tag as u32);
+    match client.call(&Request::Open {
+        session: session.clone(),
+        options: OpenOptions::default(),
+    })? {
+        Response::Opened { .. } => writeln!(output, "session {session:?} opened")?,
+        Response::Error { message } => {
+            writeln!(output, "error: {message}")?;
+            return Ok(());
+        }
+        other => writeln!(output, "unexpected reply: {other:?}")?,
+    }
+
+    let mut line = String::new();
+    loop {
+        write!(output, "> ")?;
+        output.flush()?;
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            break;
+        }
+        let mut parts = line.split_whitespace();
+        let Some(verb) = parts.next() else { continue };
+        let rest: Vec<&str> = parts.collect();
+        let request = match verb.to_ascii_lowercase().as_str() {
+            "quit" | "exit" | "q" => break,
+            "help" | "?" => {
+                writeln!(output, "{CONNECT_USAGE}")?;
+                continue;
+            }
+            "expand" | "e" => match parse_path(rest.first().copied().unwrap_or("root")) {
+                Ok(path) => Request::Expand {
+                    session: session.clone(),
+                    path,
+                },
+                Err(e) => {
+                    writeln!(output, "error: {e}")?;
+                    continue;
+                }
+            },
+            "star" | "s" if rest.len() == 2 => match parse_path(rest[0]) {
+                Ok(path) => Request::Star {
+                    session: session.clone(),
+                    path,
+                    column: rest[1].to_owned(),
+                },
+                Err(e) => {
+                    writeln!(output, "error: {e}")?;
+                    continue;
+                }
+            },
+            "collapse" | "c" => match parse_path(rest.first().copied().unwrap_or("root")) {
+                Ok(path) => Request::Collapse {
+                    session: session.clone(),
+                    path,
+                },
+                Err(e) => {
+                    writeln!(output, "error: {e}")?;
+                    continue;
+                }
+            },
+            "show" => Request::Render {
+                session: session.clone(),
+            },
+            "rules" => Request::Rules {
+                session: session.clone(),
+            },
+            "refresh" => Request::Refresh {
+                session: session.clone(),
+            },
+            "stats" => Request::Stats {
+                session: session.clone(),
+            },
+            _ => {
+                writeln!(output, "error: unknown command — try `help`")?;
+                continue;
+            }
+        };
+        match client.call(&request)? {
+            Response::Rendered { text } => writeln!(output, "{text}")?,
+            Response::Expanded { rules } | Response::RuleList { rules } => {
+                for r in rules {
+                    let ci = if r.exact {
+                        "exact".to_owned()
+                    } else {
+                        format!("[{:.0}, {:.0}]", r.ci.0, r.ci.1)
+                    };
+                    writeln!(
+                        output,
+                        "{} {}  count={:.0} ({ci}) weight={:.0}",
+                        format_path(&r.path),
+                        r.rule,
+                        r.count,
+                        r.weight
+                    )?;
+                }
+            }
+            Response::Stats { stats } => writeln!(output, "{stats:?}")?,
+            Response::Collapsed => writeln!(output, "collapsed")?,
+            Response::Error { message } => writeln!(output, "error: {message}")?,
+            other => writeln!(output, "{other:?}")?,
+        }
+    }
+    let _ = client.call(&Request::Close { session });
+    Ok(())
+}
+
+fn format_path(path: &[usize]) -> String {
+    if path.is_empty() {
+        "root".to_owned()
+    } else {
+        path.iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_server::EngineConfig;
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    fn spawn_server() -> sdd_server::ServerHandle {
+        let table = Arc::new(sdd_datagen::retail(42));
+        let config = ServerConfig {
+            engine: EngineConfig::default(),
+            threads: 4,
+        };
+        Server::bind(table, config, "127.0.0.1:0")
+            .unwrap()
+            .spawn()
+            .unwrap()
+    }
+
+    #[test]
+    fn connect_repl_drives_a_session_end_to_end() {
+        let server = spawn_server();
+        let addr = server.addr().to_string();
+        let mut out = Vec::new();
+        let script = "expand\nshow\nstats\nbogus\nquit\n";
+        connect(&addr, Cursor::new(script), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("connected to"), "{out}");
+        assert!(out.contains("6000 rows × 3 columns"), "{out}");
+        assert!(out.contains("Walmart"), "{out}");
+        assert!(out.contains("95% CI"), "{out}");
+        assert!(out.contains("expansions: 1"), "{out}");
+        assert!(out.contains("unknown command"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn connect_reports_session_errors_inline() {
+        let server = spawn_server();
+        let addr = server.addr().to_string();
+        let mut out = Vec::new();
+        connect(
+            &addr,
+            Cursor::new("expand 7\nstar 0 NoSuchColumn\nquit\n"),
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("no node at path [7]"), "{out}");
+        assert!(out.contains("unknown column"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_unknown_flags_gracefully() {
+        let mut out = Vec::new();
+        serve(&["--bogus".to_owned()], &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("unknown flag"), "{out}");
+        assert!(out.contains("usage"), "{out}");
+    }
+}

@@ -5,10 +5,13 @@ use sdd_core::{BitsWeight, SizeMinusOne, SizeWeight, WeightFn};
 use sdd_explorer::{Explorer, ExplorerConfig};
 use sdd_table::Table;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// What dataset to (re)load next.
-enum Source {
+pub(crate) enum Source {
+    /// A CSV file on disk.
     Csv(String),
+    /// A built-in demo dataset (name, optional row count).
     Demo(String, Option<usize>),
 }
 
@@ -85,22 +88,21 @@ fn read_source<R: BufRead, W: Write>(
     }
 }
 
-fn load(source: &Source) -> Result<Table, String> {
-    match source {
+pub(crate) fn load(source: &Source) -> Result<Arc<Table>, String> {
+    let table = match source {
         Source::Csv(path) => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-            sdd_table::csv::read_csv(&text).map_err(|e| e.to_string())
+            sdd_table::csv::read_csv(&text).map_err(|e| e.to_string())?
         }
         Source::Demo(name, rows) => match name.to_ascii_lowercase().as_str() {
-            "retail" => Ok(sdd_datagen::retail(42)),
-            "marketing" => Ok(sdd_datagen::marketing(2016).project_first_columns(7)),
-            "census" => {
-                Ok(sdd_datagen::census(rows.unwrap_or(100_000), 1990).project_first_columns(7))
-            }
-            other => Err(format!("unknown demo {other:?} (retail|marketing|census)")),
+            "retail" => sdd_datagen::retail(42),
+            "marketing" => sdd_datagen::marketing(2016).project_first_columns(7),
+            "census" => sdd_datagen::census(rows.unwrap_or(100_000), 1990).project_first_columns(7),
+            other => return Err(format!("unknown demo {other:?} (retail|marketing|census)")),
         },
-    }
+    };
+    Ok(Arc::new(table))
 }
 
 /// The active weighting: a base kind plus per-column multipliers (the
@@ -151,7 +153,7 @@ fn make_weight(kind: WeightKind, multipliers: &[f64]) -> Box<dyn WeightFn> {
 
 /// The exploration loop over one loaded table.
 fn explore<R: BufRead, W: Write>(
-    table: &Table,
+    table: &Arc<Table>,
     input: &mut R,
     output: &mut W,
 ) -> std::io::Result<Outcome> {
@@ -162,7 +164,7 @@ fn explore<R: BufRead, W: Write>(
         ..ExplorerConfig::default()
     };
     let mut explorer = Explorer::new(
-        table,
+        table.clone(),
         make_weight(weight_kind, &multipliers),
         config.clone(),
     );
@@ -219,7 +221,7 @@ fn explore<R: BufRead, W: Write>(
             Command::Weight(kind) => {
                 weight_kind = kind;
                 explorer = Explorer::new(
-                    table,
+                    table.clone(),
                     make_weight(weight_kind, &multipliers),
                     config.clone(),
                 );
@@ -233,7 +235,7 @@ fn explore<R: BufRead, W: Write>(
                 Ok(col) => {
                     multipliers[col] = factor;
                     explorer = Explorer::new(
-                        table,
+                        table.clone(),
                         make_weight(weight_kind, &multipliers),
                         config.clone(),
                     );
@@ -248,7 +250,7 @@ fn explore<R: BufRead, W: Write>(
                 Ok(col) => {
                     multipliers[col] = 0.0;
                     explorer = Explorer::new(
-                        table,
+                        table.clone(),
                         make_weight(weight_kind, &multipliers),
                         config.clone(),
                     );
@@ -259,7 +261,7 @@ fn explore<R: BufRead, W: Write>(
             Command::SetK(k) => {
                 config.k = k;
                 explorer = Explorer::new(
-                    table,
+                    table.clone(),
                     make_weight(weight_kind, &multipliers),
                     config.clone(),
                 );
@@ -268,7 +270,7 @@ fn explore<R: BufRead, W: Write>(
             Command::SetMw(mw) => {
                 config.max_weight = Some(mw);
                 explorer = Explorer::new(
-                    table,
+                    table.clone(),
                     make_weight(weight_kind, &multipliers),
                     config.clone(),
                 );

@@ -10,8 +10,9 @@
 //! tables.
 
 use crate::{drill_down_with, star_drill_down_with, Brs, Rule, WeightFn};
-use sdd_table::{Table, TableView};
+use sdd_table::{OwnedTableView, Table};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from session navigation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,55 +65,61 @@ impl Node {
 
 /// An interactive smart drill-down session over one table.
 ///
+/// The session is **owned** and `Send`: it shares the table via
+/// [`Arc`] instead of borrowing it, so sessions can live in a server-side
+/// registry, move between worker threads, and outlive the scope that
+/// created them (the multi-session serving refactor; cf. ROADMAP's
+/// million-user north star).
+///
 /// ```
+/// # use std::sync::Arc;
 /// # use sdd_table::{Schema, Table};
 /// # use sdd_core::{Session, SizeWeight};
-/// let table = Table::from_rows(
+/// let table = Arc::new(Table::from_rows(
 ///     Schema::new(["A", "B"]).unwrap(),
 ///     &[&["a", "x"], &["a", "x"], &["b", "y"]],
-/// ).unwrap();
-/// let mut session = Session::new(&table, Box::new(SizeWeight), 2);
+/// ).unwrap());
+/// let mut session = Session::new(table, Box::new(SizeWeight), 2);
 /// session.expand(&[]).unwrap();
 /// println!("{}", session.render());
 /// ```
-pub struct Session<'t> {
-    table: &'t Table,
-    view: TableView<'t>,
+pub struct Session {
+    view: OwnedTableView,
     weight: Box<dyn WeightFn>,
     k: usize,
     max_weight: Option<f64>,
     root: Node,
 }
 
-impl<'t> Session<'t> {
+impl Session {
     /// Starts a session showing the trivial rule, expanding `k` rules per
     /// drill-down (the paper defaults to 3; its experiments use 4).
-    pub fn new(table: &'t Table, weight: Box<dyn WeightFn>, k: usize) -> Self {
-        Self::with_view(table, table.view(), weight, k)
+    pub fn new(table: Arc<Table>, weight: Box<dyn WeightFn>, k: usize) -> Self {
+        Self::with_view(OwnedTableView::all(table), weight, k)
     }
 
     /// Starts a session over a custom view — e.g. a measure-weighted view
-    /// for `Sum` aggregates (§6.3), or a scaled sample view (§4).
-    pub fn with_view(
-        table: &'t Table,
-        view: TableView<'t>,
-        weight: Box<dyn WeightFn>,
-        k: usize,
-    ) -> Self {
+    /// for `Sum` aggregates (§6.3), or a scaled sample view (§4). The view
+    /// carries its own table handle.
+    pub fn with_view(view: OwnedTableView, weight: Box<dyn WeightFn>, k: usize) -> Self {
         let root = Node {
-            rule: Rule::trivial(table.n_columns()),
+            rule: Rule::trivial(view.table().n_columns()),
             count: view.total_weight(),
             weight: 0.0,
             children: Vec::new(),
         };
         Self {
-            table,
             view,
             weight,
             k,
             max_weight: None,
             root,
         }
+    }
+
+    /// The shared table this session explores.
+    pub fn table(&self) -> &Arc<Table> {
+        self.view.table()
     }
 
     /// Sets the `mw` optimizer parameter for subsequent expansions.
@@ -165,7 +172,7 @@ impl<'t> Session<'t> {
     /// previous children. Returns the new children.
     pub fn expand(&mut self, path: &[usize]) -> Result<&[Node], SessionError> {
         let base = self.node(path)?.rule.clone();
-        let result = drill_down_with(&self.brs(), &self.view, &base, self.k);
+        let result = drill_down_with(&self.brs(), &self.view.as_view(), &base, self.k);
         let children: Vec<Node> = result
             .rules
             .into_iter()
@@ -188,7 +195,7 @@ impl<'t> Session<'t> {
         if !base.is_star(column) {
             return Err(SessionError::ColumnNotStarred(column));
         }
-        let result = star_drill_down_with(&self.brs(), &self.view, &base, column, self.k);
+        let result = star_drill_down_with(&self.brs(), &self.view.as_view(), &base, column, self.k);
         let children: Vec<Node> = result
             .rules
             .into_iter()
@@ -211,7 +218,8 @@ impl<'t> Session<'t> {
         column: &str,
     ) -> Result<&[Node], SessionError> {
         let col = self
-            .table
+            .view
+            .table()
             .schema()
             .index_of(column)
             .map_err(|_| SessionError::UnknownColumn(column.to_owned()))?;
@@ -241,8 +249,9 @@ impl<'t> Session<'t> {
     /// Renders the session as the paper's dotted-indent table (cf. Tables
     /// 1–3): one row per visible rule with `Count` and `Weight` columns.
     pub fn render(&self) -> String {
-        let schema = self.table.schema();
-        let n_cols = self.table.n_columns();
+        let table = self.view.table();
+        let schema = table.schema();
+        let n_cols = table.n_columns();
         let mut rows: Vec<Vec<String>> = Vec::new();
 
         let mut header: Vec<String> = (0..n_cols)
@@ -257,8 +266,7 @@ impl<'t> Session<'t> {
             for c in 0..n_cols {
                 let cell = match node.rule.get(c) {
                     crate::RuleValue::Star => "?".to_owned(),
-                    crate::RuleValue::Value(code) => self
-                        .table
+                    crate::RuleValue::Value(code) => table
                         .dictionary(c)
                         .value_of(code)
                         .unwrap_or("<bad-code>")
@@ -330,7 +338,7 @@ mod tests {
     /// (leaving room to drill deeper): 10 Walmart-cookies rows over 5
     /// regions, 4 Walmart-towels rows over 4 regions, 6 Target-bicycles rows
     /// over 6 regions, 2 Costco-comforters rows in one region.
-    fn t() -> Table {
+    fn t() -> Arc<Table> {
         let regions = ["R1", "R2", "R3", "R4", "R5", "R6"];
         let mut rows: Vec<[&str; 3]> = Vec::new();
         for i in 0..10 {
@@ -345,13 +353,30 @@ mod tests {
         }
         rows.push(["Costco", "comforters", "R1"]);
         rows.push(["Costco", "comforters", "R1"]);
-        Table::from_rows(Schema::new(["Store", "Product", "Region"]).unwrap(), &rows).unwrap()
+        Arc::new(
+            Table::from_rows(Schema::new(["Store", "Product", "Region"]).unwrap(), &rows).unwrap(),
+        )
+    }
+
+    #[test]
+    fn session_is_send_and_crosses_threads() {
+        fn assert_send<T: Send>(_: &T) {}
+        let table = t();
+        let mut s = Session::new(table, Box::new(SizeWeight), 3);
+        assert_send(&s);
+        // An owned session can move to a worker thread and keep operating —
+        // the property the concurrent server registry is built on.
+        let handle = std::thread::spawn(move || {
+            s.expand(&[]).unwrap();
+            s.root().children().len()
+        });
+        assert!(handle.join().unwrap() > 0);
     }
 
     #[test]
     fn new_session_shows_only_trivial_rule() {
         let table = t();
-        let s = Session::new(&table, Box::new(SizeWeight), 3);
+        let s = Session::new(table, Box::new(SizeWeight), 3);
         assert!(s.root().rule.is_trivial());
         assert_eq!(s.root().count, 22.0);
         assert_eq!(s.visible().len(), 1);
@@ -360,7 +385,7 @@ mod tests {
     #[test]
     fn expand_attaches_children_under_root() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         let children = s.expand(&[]).unwrap();
         assert!(!children.is_empty());
         assert!(children.len() <= 3);
@@ -370,7 +395,7 @@ mod tests {
     #[test]
     fn nested_expansion_and_collapse() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         s.expand(&[]).unwrap();
         let n_children = s.root().children().len();
         s.expand(&[0]).unwrap();
@@ -384,7 +409,7 @@ mod tests {
     #[test]
     fn children_are_super_rules_of_parent() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         s.expand(&[]).unwrap();
         s.expand(&[0]).unwrap();
         let parent = s.node(&[0]).unwrap().rule.clone();
@@ -396,7 +421,7 @@ mod tests {
     #[test]
     fn expand_star_instantiates_column() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         s.expand(&[]).unwrap();
         // Find a child with Region starred, expand its Region ?.
         let region = table.schema().index_of("Region").unwrap();
@@ -415,7 +440,7 @@ mod tests {
     #[test]
     fn expand_star_by_name_rejects_unknown_column() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         assert_eq!(
             s.expand_star_by_name(&[], "Price").unwrap_err(),
             SessionError::UnknownColumn("Price".to_owned())
@@ -425,7 +450,7 @@ mod tests {
     #[test]
     fn invalid_path_is_error() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         assert!(matches!(s.expand(&[5]), Err(SessionError::InvalidPath(_))));
         assert!(matches!(s.node(&[0, 1]), Err(SessionError::InvalidPath(_))));
     }
@@ -433,7 +458,7 @@ mod tests {
     #[test]
     fn render_contains_header_and_dotted_indent() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         s.expand(&[]).unwrap();
         s.expand(&[0]).unwrap();
         let r = s.render();
@@ -447,7 +472,7 @@ mod tests {
     #[test]
     fn counts_in_children_do_not_exceed_parent() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         s.expand(&[]).unwrap();
         s.expand(&[0]).unwrap();
         let parent_count = s.node(&[0]).unwrap().count;
@@ -459,7 +484,7 @@ mod tests {
     #[test]
     fn re_expanding_replaces_children() {
         let table = t();
-        let mut s = Session::new(&table, Box::new(SizeWeight), 3);
+        let mut s = Session::new(table.clone(), Box::new(SizeWeight), 3);
         s.expand(&[]).unwrap();
         let first: Vec<Rule> = s.root().children().iter().map(|n| n.rule.clone()).collect();
         s.set_k(2);

@@ -4,9 +4,29 @@ use sdd_core::{
     drill_down_with, star_drill_down_with, Brs, Rule, RuleValue, SessionError, WeightFn,
 };
 use sdd_sampling::{
-    count_estimate, FetchMechanism, PrefetchEntry, SampleHandler, SampleHandlerConfig,
+    count_estimate, FetchMechanism, PrefetchEntry, PrefetchJob, SampleHandler, SampleHandlerConfig,
 };
 use sdd_table::Table;
+use std::sync::Arc;
+
+/// When the post-expansion §4.3 prefetch pass runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchMode {
+    /// Never prefetch (every fresh drill-down pays a Create scan).
+    Off,
+    /// Prefetch synchronously inside the expansion call — the single-user
+    /// semantics every other mode must be indistinguishable from.
+    #[default]
+    Inline,
+    /// Record a [`PrefetchJob`] instead of running it; a background worker
+    /// (or the next handler-touching call, whichever comes first) runs it
+    /// via [`Explorer::run_prefetch`]. This is how a server overlaps the
+    /// scan with analyst think-time **without** changing any observable
+    /// result: the job always executes after the expansion that produced it
+    /// and before the next operation that reads handler state, exactly
+    /// where `Inline` would have run it.
+    Deferred,
+}
 
 /// Configuration of an [`Explorer`].
 #[derive(Debug, Clone)]
@@ -17,8 +37,9 @@ pub struct ExplorerConfig {
     pub max_weight: Option<f64>,
     /// Sampling layer settings (`M`, `minSS`, allocation strategy).
     pub handler: SampleHandlerConfig,
-    /// Pre-fetch samples for the displayed rules after each expansion.
-    pub prefetch: bool,
+    /// How samples for the displayed rules are pre-fetched after each
+    /// expansion.
+    pub prefetch: PrefetchMode,
     /// Normal quantile for confidence intervals (1.96 → 95%).
     pub confidence_z: f64,
 }
@@ -29,7 +50,7 @@ impl Default for ExplorerConfig {
             k: 4,
             max_weight: None,
             handler: SampleHandlerConfig::default(),
-            prefetch: true,
+            prefetch: PrefetchMode::Inline,
             confidence_z: 1.96,
         }
     }
@@ -71,21 +92,28 @@ struct Node {
 }
 
 /// An interactive, sample-backed smart drill-down session. See module docs.
-pub struct Explorer<'t> {
-    table: &'t Table,
+///
+/// Owned and `Send` (the table is shared by `Arc`), so explorers can live
+/// in a concurrent server's session registry and hop between worker
+/// threads.
+pub struct Explorer {
+    table: Arc<Table>,
     weight: Box<dyn WeightFn>,
     config: ExplorerConfig,
-    handler: SampleHandler<'t>,
+    handler: SampleHandler,
     click_model: crate::ClickModel,
     root: Node,
+    /// The deferred §4.3 prefetch job, if [`PrefetchMode::Deferred`] and an
+    /// expansion happened since the last drain.
+    pending_prefetch: Option<PrefetchJob>,
     /// Interaction counters.
     pub stats: ExplorerStats,
 }
 
-impl<'t> Explorer<'t> {
+impl Explorer {
     /// Opens an explorer over `table`.
-    pub fn new(table: &'t Table, weight: Box<dyn WeightFn>, config: ExplorerConfig) -> Self {
-        let handler = SampleHandler::new(table, config.handler.clone());
+    pub fn new(table: Arc<Table>, weight: Box<dyn WeightFn>, config: ExplorerConfig) -> Self {
+        let handler = SampleHandler::new(table.clone(), config.handler.clone());
         let root = Node {
             info: DisplayedRule {
                 rule: Rule::trivial(table.n_columns()),
@@ -98,13 +126,15 @@ impl<'t> Explorer<'t> {
             },
             children: Vec::new(),
         };
+        let click_model = crate::ClickModel::new(table.n_columns(), 1.0);
         Self {
             table,
             weight,
             config,
             handler,
-            click_model: crate::ClickModel::new(table.n_columns(), 1.0),
+            click_model,
             root,
+            pending_prefetch: None,
             stats: ExplorerStats::default(),
         }
     }
@@ -115,14 +145,48 @@ impl<'t> Explorer<'t> {
         &self.click_model
     }
 
-    /// The underlying table.
-    pub fn table(&self) -> &'t Table {
-        self.table
+    /// The underlying (shared) table.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
     }
 
     /// The sampling layer's work counters.
     pub fn handler_stats(&self) -> sdd_sampling::HandlerStats {
         self.handler.stats
+    }
+
+    /// Read access to the sampling layer (stored-sample introspection for
+    /// the determinism harness and server stats).
+    pub fn handler(&self) -> &SampleHandler {
+        &self.handler
+    }
+
+    /// True if a deferred prefetch job is waiting to run.
+    pub fn has_pending_prefetch(&self) -> bool {
+        self.pending_prefetch.is_some()
+    }
+
+    /// Takes the deferred prefetch job, if any — the handoff point for a
+    /// background worker. The caller must eventually feed the job to
+    /// [`Explorer::run_prefetch`] (or drop the determinism guarantee of
+    /// [`PrefetchMode::Deferred`]).
+    pub fn take_pending_prefetch(&mut self) -> Option<PrefetchJob> {
+        self.pending_prefetch.take()
+    }
+
+    /// Runs a prefetch job against this explorer's sample store.
+    pub fn run_prefetch(&mut self, job: &PrefetchJob) -> f64 {
+        self.handler.run_prefetch_job(job)
+    }
+
+    /// Runs the deferred prefetch job now, if one is pending. Every
+    /// handler-touching operation calls this first, so deferred execution
+    /// is observably identical to [`PrefetchMode::Inline`] no matter
+    /// whether a background worker got to the job in time.
+    pub fn drain_pending_prefetch(&mut self) {
+        if let Some(job) = self.pending_prefetch.take() {
+            self.handler.run_prefetch_job(&job);
+        }
     }
 
     /// The rule displayed at `path`.
@@ -180,7 +244,11 @@ impl<'t> Explorer<'t> {
         path: &[usize],
         star: Option<usize>,
     ) -> Result<Vec<DisplayedRule>, SessionError> {
+        // A deferred prefetch the background worker hasn't claimed yet must
+        // run before this expansion reads the sample store, or deferred
+        // mode would diverge from inline semantics.
         let base = self.node(path)?.info.rule.clone();
+        self.drain_pending_prefetch();
         // Feed the learned click model (§4.1): drilling into a non-trivial
         // rule reveals which columns the analyst cares about.
         if !base.is_trivial() {
@@ -196,9 +264,10 @@ impl<'t> Explorer<'t> {
         if let Some(mw) = self.config.max_weight {
             brs = brs.with_max_weight(mw);
         }
+        let sample_view = sample.view.as_view();
         let result = match star {
-            None => drill_down_with(&brs, &sample.view, &base, self.config.k),
-            Some(col) => star_drill_down_with(&brs, &sample.view, &base, col, self.config.k),
+            None => drill_down_with(&brs, &sample_view, &base, self.config.k),
+            Some(col) => star_drill_down_with(&brs, &sample_view, &base, col, self.config.k),
         };
 
         let sample_size = sample.view.len();
@@ -232,7 +301,9 @@ impl<'t> Explorer<'t> {
 
         // Pre-fetch for the likely next drill-downs (§4.3): uniform click
         // probability over the new rules, selectivities from the estimates.
-        if self.config.prefetch && !infos.is_empty() {
+        // Inline runs the scan now; Deferred records the job for the
+        // background worker (or the next handler-touching call).
+        if self.config.prefetch != PrefetchMode::Off && !infos.is_empty() {
             let base_count = self.node(path)?.info.count.max(1.0);
             let rules: Vec<Rule> = infos.iter().map(|i| i.rule.clone()).collect();
             let probs = self.click_model.probabilities(&rules);
@@ -245,7 +316,17 @@ impl<'t> Explorer<'t> {
                     selectivity: (i.count / base_count).clamp(0.0, 1.0),
                 })
                 .collect();
-            self.handler.prefetch(&base, &entries);
+            let job = PrefetchJob {
+                parent: base,
+                entries,
+            };
+            match self.config.prefetch {
+                PrefetchMode::Inline => {
+                    self.handler.run_prefetch_job(&job);
+                }
+                PrefetchMode::Deferred => self.pending_prefetch = Some(job),
+                PrefetchMode::Off => unreachable!("guarded above"),
+            }
         }
 
         self.node_mut(path)?.children = children;
@@ -404,15 +485,15 @@ mod tests {
                 seed: 7,
                 strategy: AllocationStrategy::Dp,
             },
-            prefetch: true,
+            prefetch: PrefetchMode::Inline,
             confidence_z: 1.96,
         }
     }
 
     #[test]
     fn expansion_shows_estimates_with_intervals() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(3000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(3000));
         let shown = ex.expand(&[]).unwrap();
         assert_eq!(shown.len(), 3);
         for r in &shown {
@@ -434,13 +515,13 @@ mod tests {
 
     #[test]
     fn intervals_cover_the_truth_most_of_the_time() {
-        let table = retail(42);
+        let table = Arc::new(retail(42));
         let mut hits = 0usize;
         let mut total = 0usize;
         for seed in 0..8u64 {
             let mut cfg = config(2000);
             cfg.handler.seed = seed;
-            let mut ex = Explorer::new(&table, Box::new(SizeWeight), cfg);
+            let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), cfg);
             for r in ex.expand(&[]).unwrap() {
                 let truth = sdd_core::rule_count(&table.view(), &r.rule);
                 total += 1;
@@ -457,8 +538,8 @@ mod tests {
 
     #[test]
     fn prefetch_makes_second_expansion_memory_served() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(1000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(1000));
         let shown = ex.expand(&[]).unwrap();
         let walmart = shown
             .iter()
@@ -479,8 +560,8 @@ mod tests {
 
     #[test]
     fn refresh_exact_counts_matches_ground_truth() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(2000));
         ex.expand(&[]).unwrap();
         ex.refresh_exact_counts();
         for (_, info) in ex.visible().iter().skip(1) {
@@ -493,8 +574,8 @@ mod tests {
 
     #[test]
     fn star_expansion_through_sampling() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(2000));
         let shown = ex.expand(&[]).unwrap();
         let walmart = shown
             .iter()
@@ -510,8 +591,8 @@ mod tests {
 
     #[test]
     fn star_on_instantiated_column_is_error() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(2000));
         let shown = ex.expand(&[]).unwrap();
         let target = shown
             .iter()
@@ -525,8 +606,8 @@ mod tests {
 
     #[test]
     fn render_includes_ci_column_and_indentation() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(2000));
         ex.expand(&[]).unwrap();
         let r = ex.render();
         assert!(r.contains("95% CI"), "{r}");
@@ -535,8 +616,8 @@ mod tests {
 
     #[test]
     fn collapse_clears_children() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(2000));
         ex.expand(&[]).unwrap();
         assert!(!ex.children_at(&[]).unwrap().is_empty());
         ex.collapse(&[]).unwrap();
@@ -545,8 +626,8 @@ mod tests {
 
     #[test]
     fn click_model_learns_from_drill_history() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(1000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(1000));
         assert_eq!(ex.click_model().observations(), 0);
         let shown = ex.expand(&[]).unwrap();
         // Drill into the Walmart rule (instantiates Store).
@@ -564,10 +645,72 @@ mod tests {
         );
     }
 
+    /// Drives the same three-step drill script under a prefetch mode and
+    /// snapshots everything observable: rendered display, stored samples,
+    /// and handler counters.
+    fn drive_script(
+        table: &Arc<Table>,
+        mode: PrefetchMode,
+        drain_like_worker: bool,
+    ) -> (String, Vec<sdd_sampling::StoredSampleInfo>, String) {
+        let mut cfg = config(1000);
+        cfg.prefetch = mode;
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), cfg);
+        for path in [vec![], vec![0], vec![1]] {
+            ex.expand(&path).unwrap();
+            if drain_like_worker {
+                // Simulate the background worker winning the race during
+                // think-time: claim and run the job between requests.
+                if let Some(job) = ex.take_pending_prefetch() {
+                    ex.run_prefetch(&job);
+                }
+            }
+        }
+        ex.drain_pending_prefetch();
+        (
+            ex.render(),
+            ex.handler().stored_samples(),
+            format!("{:?} {:?}", ex.stats, ex.handler_stats()),
+        )
+    }
+
+    #[test]
+    fn deferred_prefetch_is_indistinguishable_from_inline() {
+        let table = Arc::new(retail(42));
+        let inline = drive_script(&table, PrefetchMode::Inline, false);
+        // Deferred where the "worker" runs every job during think-time.
+        let deferred_worker = drive_script(&table, PrefetchMode::Deferred, true);
+        // Deferred where the worker never shows up and the next request
+        // drains the job itself.
+        let deferred_lazy = drive_script(&table, PrefetchMode::Deferred, false);
+        assert_eq!(inline.0, deferred_worker.0);
+        assert_eq!(inline.1, deferred_worker.1);
+        assert_eq!(inline.2, deferred_worker.2);
+        assert_eq!(inline.0, deferred_lazy.0);
+        assert_eq!(inline.1, deferred_lazy.1);
+        assert_eq!(inline.2, deferred_lazy.2);
+    }
+
+    #[test]
+    fn prefetch_off_pays_a_create_per_fresh_rule() {
+        let table = Arc::new(retail(42));
+        let mut cfg = config(1000);
+        cfg.prefetch = PrefetchMode::Off;
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), cfg);
+        ex.expand(&[]).unwrap();
+        ex.expand(&[0]).unwrap();
+        assert!(!ex.has_pending_prefetch());
+        assert!(
+            ex.handler_stats().creates >= 2,
+            "without prefetch every fresh drill-down must Create: {:?}",
+            ex.handler_stats()
+        );
+    }
+
     #[test]
     fn invalid_path_is_reported() {
-        let table = retail(42);
-        let mut ex = Explorer::new(&table, Box::new(SizeWeight), config(2000));
+        let table = Arc::new(retail(42));
+        let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(2000));
         assert!(matches!(ex.expand(&[3]), Err(SessionError::InvalidPath(_))));
     }
 }

@@ -23,4 +23,4 @@ mod click_model;
 mod explorer;
 
 pub use click_model::ClickModel;
-pub use explorer::{DisplayedRule, Explorer, ExplorerConfig, ExplorerStats};
+pub use explorer::{DisplayedRule, Explorer, ExplorerConfig, ExplorerStats, PrefetchMode};

@@ -36,7 +36,8 @@ use crate::alloc_dp::solve_dp;
 use crate::reservoir::Reservoir;
 use rand::{rngs::StdRng, SeedableRng};
 use sdd_core::Rule;
-use sdd_table::{RowId, Table, TableView};
+use sdd_table::{OwnedTableView, RowId, Table};
+use std::sync::Arc;
 
 /// Configuration of a [`SampleHandler`].
 #[derive(Debug, Clone)]
@@ -75,10 +76,14 @@ pub enum FetchMechanism {
 }
 
 /// A sample returned to the caller, ready to feed into BRS.
+///
+/// The view is **owned** ([`OwnedTableView`]): it shares the table by `Arc`
+/// and can outlive the handler borrow that produced it, cross threads, or
+/// seed an owned `Session` directly.
 #[derive(Debug, Clone)]
-pub struct SampleView<'t> {
+pub struct SampleView {
     /// The tuples, weighted so that BRS counts are full-table estimates.
-    pub view: TableView<'t>,
+    pub view: OwnedTableView,
     /// Which mechanism produced it.
     pub mechanism: FetchMechanism,
     /// The effective scale factor (for confidence intervals).
@@ -114,7 +119,7 @@ struct StoredSample {
 }
 
 /// One next-drill-down candidate for [`SampleHandler::prefetch`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrefetchEntry {
     /// The rule the analyst may drill into.
     pub rule: Rule,
@@ -125,9 +130,42 @@ pub struct PrefetchEntry {
     pub selectivity: f64,
 }
 
+/// A prefetch request handed off to a background worker (§4.3's
+/// "pre-fetching ... while the analyst is still examining the display"):
+/// the parent rule plus the likely next drill-downs. Produced by the
+/// session layer after an expansion, consumed by
+/// [`SampleHandler::run_prefetch_job`] on whichever thread gets there first
+/// — the result is identical either way because the scan's reservoirs are
+/// seeded per `(config.seed, rule)`, never from scheduling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrefetchJob {
+    /// The rule whose expansion the analyst is looking at.
+    pub parent: Rule,
+    /// The candidate next drill-downs with probabilities/selectivities.
+    pub entries: Vec<PrefetchEntry>,
+}
+
+/// A read-only snapshot of one stored sample — determinism harnesses
+/// compare these across thread counts and prefetch scheduling modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredSampleInfo {
+    /// The filter rule the sample was drawn for.
+    pub filter: Rule,
+    /// The sampled row ids, in reservoir order.
+    pub rows: Vec<RowId>,
+    /// `N_s`: covered-population count / sample size.
+    pub scale: f64,
+    /// True when the sample holds every covered tuple.
+    pub exact: bool,
+}
+
 /// The sample manager. See module docs.
-pub struct SampleHandler<'t> {
-    table: &'t Table,
+///
+/// Owns its table by `Arc`, so a handler is `Send` and can live inside
+/// long-lived, thread-hopping session state (the concurrent server's
+/// registry) rather than being pinned to a table borrow.
+pub struct SampleHandler {
+    table: Arc<Table>,
     config: SampleHandlerConfig,
     samples: Vec<StoredSample>,
     clock: u64,
@@ -153,9 +191,9 @@ fn sample_seed(seed: u64, rule: &Rule) -> u64 {
     h
 }
 
-impl<'t> SampleHandler<'t> {
+impl SampleHandler {
     /// Creates a handler over `table`.
-    pub fn new(table: &'t Table, config: SampleHandlerConfig) -> Self {
+    pub fn new(table: Arc<Table>, config: SampleHandlerConfig) -> Self {
         assert!(config.min_sample_size > 0, "minSS must be positive");
         assert!(
             config.capacity >= config.min_sample_size,
@@ -175,6 +213,26 @@ impl<'t> SampleHandler<'t> {
         &self.config
     }
 
+    /// The shared table this handler samples from.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    /// Snapshots every stored sample (store order). Intended for the
+    /// determinism test harness and server-side introspection; cloning is
+    /// bounded by the configured memory capacity.
+    pub fn stored_samples(&self) -> Vec<StoredSampleInfo> {
+        self.samples
+            .iter()
+            .map(|s| StoredSampleInfo {
+                filter: s.filter.clone(),
+                rows: s.rows.clone(),
+                scale: s.scale,
+                exact: s.exact,
+            })
+            .collect()
+    }
+
     /// Total tuples currently stored.
     pub fn memory_used(&self) -> usize {
         self.samples.iter().map(|s| s.rows.len()).sum()
@@ -187,7 +245,7 @@ impl<'t> SampleHandler<'t> {
 
     /// Returns a (weighted) sample of the tuples covered by `rule`, at least
     /// `minSS` tuples when the data allows, trying Find → Combine → Create.
-    pub fn get_sample(&mut self, rule: &Rule) -> SampleView<'t> {
+    pub fn get_sample(&mut self, rule: &Rule) -> SampleView {
         self.clock += 1;
         let min_ss = self.config.min_sample_size;
 
@@ -203,7 +261,11 @@ impl<'t> SampleHandler<'t> {
             self.stats.finds += 1;
             let weights = vec![s.scale; s.rows.len()];
             return SampleView {
-                view: TableView::with_rows_and_weights(self.table, s.rows.clone(), weights),
+                view: OwnedTableView::with_rows_and_weights(
+                    self.table.clone(),
+                    s.rows.clone(),
+                    weights,
+                ),
                 mechanism: FetchMechanism::Find,
                 scale: s.scale,
             };
@@ -222,13 +284,17 @@ impl<'t> SampleHandler<'t> {
         let s = &self.samples[stored];
         let weights = vec![s.scale; s.rows.len()];
         SampleView {
-            view: TableView::with_rows_and_weights(self.table, s.rows.clone(), weights),
+            view: OwnedTableView::with_rows_and_weights(
+                self.table.clone(),
+                s.rows.clone(),
+                weights,
+            ),
             mechanism: FetchMechanism::Create,
             scale: s.scale,
         }
     }
 
-    fn try_combine(&mut self, rule: &Rule) -> Option<SampleView<'t>> {
+    fn try_combine(&mut self, rule: &Rule) -> Option<SampleView> {
         let min_ss = self.config.min_sample_size;
         let mut rows: Vec<RowId> = Vec::new();
         let mut rate_sum = 0.0f64; // Σ 1/N_s over contributing samples
@@ -241,7 +307,7 @@ impl<'t> SampleHandler<'t> {
                 s.rows
                     .iter()
                     .copied()
-                    .filter(|&r| rule.covers_row(self.table, r)),
+                    .filter(|&r| rule.covers_row(&self.table, r)),
             );
             // Every qualifying sub-rule sample contributes its rate, even
             // when it happens to hold zero `rule`-covered rows: each covered
@@ -261,7 +327,7 @@ impl<'t> SampleHandler<'t> {
         let scale = 1.0 / rate_sum;
         let weights = vec![scale; rows.len()];
         Some(SampleView {
-            view: TableView::with_rows_and_weights(self.table, rows, weights),
+            view: OwnedTableView::with_rows_and_weights(self.table.clone(), rows, weights),
             mechanism: FetchMechanism::Combine,
             scale,
         })
@@ -310,7 +376,7 @@ impl<'t> SampleHandler<'t> {
             }
         }
 
-        let table = self.table;
+        let table = Arc::clone(&self.table);
         let seed = self.config.seed;
         let threads = sdd_core::exec::worker_threads().min(dedup.len());
         // When the batch itself fans out task-per-rule, each rule's
@@ -325,7 +391,7 @@ impl<'t> SampleHandler<'t> {
             sdd_core::exec::parallel_map(threads, dedup.clone(), |(rule, n)| {
                 let mut rng = StdRng::seed_from_u64(sample_seed(seed, &rule));
                 let mut res = Reservoir::new(n);
-                for row in sdd_core::covered_rows_with_threads(table, &rule, scan_threads) {
+                for row in sdd_core::covered_rows_with_threads(&table, &rule, scan_threads) {
                     res.offer(row, &mut rng);
                 }
                 let scale = res.scale();
@@ -426,6 +492,15 @@ impl<'t> SampleHandler<'t> {
         alloc.value
     }
 
+    /// Runs a handed-off [`PrefetchJob`] — the background half of §4.3's
+    /// pre-fetching. Equivalent to calling [`SampleHandler::prefetch`] with
+    /// the job's fields: which thread executes the job does not change the
+    /// stored samples, only *when* the work happens relative to the
+    /// analyst's think-time.
+    pub fn run_prefetch_job(&mut self, job: &PrefetchJob) -> f64 {
+        self.prefetch(&job.parent, &job.entries)
+    }
+
     /// Drops every stored sample (used by experiments to reset state).
     pub fn clear(&mut self) {
         self.samples.clear();
@@ -438,9 +513,9 @@ mod tests {
     use sdd_core::rule_count;
     use sdd_datagen::retail;
 
-    fn handler(table: &Table) -> SampleHandler<'_> {
+    fn handler(table: &Arc<Table>) -> SampleHandler {
         SampleHandler::new(
-            table,
+            table.clone(),
             SampleHandlerConfig {
                 capacity: 5_000,
                 min_sample_size: 500,
@@ -452,7 +527,7 @@ mod tests {
 
     #[test]
     fn first_request_creates_then_finds() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let mut h = handler(&t);
         let trivial = Rule::trivial(3);
         let a = h.get_sample(&trivial);
@@ -465,9 +540,9 @@ mod tests {
 
     #[test]
     fn sample_counts_estimate_true_counts() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let mut h = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 20_000,
                 min_sample_size: 2_000,
@@ -497,9 +572,9 @@ mod tests {
 
     #[test]
     fn combine_pools_sub_rule_samples() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let mut h = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 50_000,
                 min_sample_size: 200,
@@ -523,7 +598,7 @@ mod tests {
 
     #[test]
     fn combine_falls_back_to_create_when_starved() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let mut h = handler(&t); // minSS 500
                                  // Seed a small trivial sample (600): Walmart-covered portion ≈ 100
                                  // < minSS → must Create.
@@ -536,7 +611,7 @@ mod tests {
 
     #[test]
     fn create_on_rare_rule_returns_all_covered_tuples() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let mut h = handler(&t);
         // (Walmart, cookies) covers only 200 < minSS 500: Create returns all
         // of them at scale 1.
@@ -549,9 +624,9 @@ mod tests {
 
     #[test]
     fn capacity_is_respected_with_eviction() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let mut h = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 1_200,
                 min_sample_size: 500,
@@ -573,9 +648,9 @@ mod tests {
 
     #[test]
     fn prefetch_enables_later_find_or_combine() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let mut h = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 20_000,
                 min_sample_size: 500,
@@ -610,13 +685,15 @@ mod tests {
     }
 
     /// 10×(w, ...) rows of which `n_wc` are (w, c), then 20×(t, x) rows.
-    fn wc_table(n_wc: usize) -> Table {
+    fn wc_table(n_wc: usize) -> Arc<Table> {
         let mut rows: Vec<[&str; 2]> = Vec::new();
         for i in 0..10 {
             rows.push(["w", if i < n_wc { "c" } else { "d" }]);
         }
         rows.extend(std::iter::repeat_n(["t", "x"], 20));
-        Table::from_rows(sdd_table::Schema::new(["Store", "Product"]).unwrap(), &rows).unwrap()
+        Arc::new(
+            Table::from_rows(sdd_table::Schema::new(["Store", "Product"]).unwrap(), &rows).unwrap(),
+        )
     }
 
     #[test]
@@ -626,7 +703,7 @@ mod tests {
         // to the pooled rate, else the scale (and every estimate) inflates.
         let t = wc_table(1);
         let mut h = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 100,
                 min_sample_size: 1,
@@ -674,7 +751,7 @@ mod tests {
         let mut sum = 0.0f64;
         for seed in 0..trials {
             let mut h = SampleHandler::new(
-                &t,
+                t.clone(),
                 SampleHandlerConfig {
                     capacity: 100,
                     min_sample_size: 1,
@@ -696,11 +773,11 @@ mod tests {
     }
 
     /// 2000×(a) + 2000×(b) rows, one column.
-    fn ab_table() -> Table {
+    fn ab_table() -> Arc<Table> {
         let mut rows: Vec<[&str; 1]> = Vec::new();
         rows.extend(std::iter::repeat_n(["a"], 2000));
         rows.extend(std::iter::repeat_n(["b"], 2000));
-        Table::from_rows(sdd_table::Schema::new(["A"]).unwrap(), &rows).unwrap()
+        Arc::new(Table::from_rows(sdd_table::Schema::new(["A"]).unwrap(), &rows).unwrap())
     }
 
     #[test]
@@ -710,7 +787,7 @@ mod tests {
         // indices of batch members stored before the eviction fired.
         let t = ab_table();
         let mut h = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 1_500,
                 min_sample_size: 500,
@@ -747,7 +824,7 @@ mod tests {
         // overshoots transiently rather than silently dropping members).
         let t = ab_table();
         let mut h = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 1_500,
                 min_sample_size: 500,
@@ -774,7 +851,7 @@ mod tests {
         // indices at it.
         let t = ab_table();
         let mut h = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 4_000,
                 min_sample_size: 500,
@@ -794,7 +871,7 @@ mod tests {
     fn create_is_reproducible_across_thread_counts() {
         // The per-rule derived seed makes stored samples a function of
         // (config.seed, rule) only — never of scan scheduling.
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
         let draw = |threads: &str| {
             std::env::set_var("SDD_THREADS", threads);
@@ -808,7 +885,7 @@ mod tests {
 
     #[test]
     fn clear_resets_store() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let mut h = handler(&t);
         let _ = h.get_sample(&Rule::trivial(3));
         assert!(h.n_samples() > 0);
@@ -820,9 +897,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "capacity must hold")]
     fn capacity_below_minss_rejected() {
-        let t = retail(1);
+        let t = Arc::new(retail(1));
         let _ = SampleHandler::new(
-            &t,
+            t.clone(),
             SampleHandlerConfig {
                 capacity: 100,
                 min_sample_size: 500,

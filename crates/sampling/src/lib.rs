@@ -37,7 +37,8 @@ pub use alloc_convex::{project_capped_simplex, solve_convex, solve_convex_with, 
 pub use alloc_dp::solve_dp;
 pub use estimate::{count_estimate, percent_error, CountEstimate};
 pub use handler::{
-    FetchMechanism, HandlerStats, PrefetchEntry, SampleHandler, SampleHandlerConfig, SampleView,
+    FetchMechanism, HandlerStats, PrefetchEntry, PrefetchJob, SampleHandler, SampleHandlerConfig,
+    SampleView, StoredSampleInfo,
 };
 pub use knapsack::{lemma4_reduction, Knapsack, Lemma4Instance};
 pub use minss::{min_ss_for_fraction, recommended_min_ss};

@@ -1,0 +1,312 @@
+//! The request-dispatch core: a registry of [`Explorer`] sessions over one
+//! shared table, independent of any transport.
+//!
+//! TCP connections and in-process callers (tests, benches) both go through
+//! [`Engine::handle_line`], so the bytes a client receives are — by
+//! construction — the bytes a single-threaded replay of the same request
+//! sequence produces. The concurrency layers above (connection pool,
+//! background prefetch worker) only decide *when* work happens:
+//!
+//! * per-session ordering: every operation locks the session's own mutex;
+//! * prefetch equivalence: a deferred prefetch job is run by the background
+//!   worker during think-time, or — if a request arrives first — drained at
+//!   the start of that request, which is exactly where the inline mode
+//!   would have run it (see [`sdd_explorer::PrefetchMode`]).
+//!
+//! Sessions never share mutable state (each has its own sample store,
+//! click model, and counters), so concurrent sessions cannot perturb each
+//! other's results — the property the stress harness pins down.
+
+use crate::protocol::{Request, Response, RuleInfo, StatsInfo};
+use crate::registry::{Registry, RegistryError};
+use sdd_core::{BitsWeight, SizeMinusOne, SizeWeight, WeightFn};
+use sdd_explorer::{DisplayedRule, Explorer, ExplorerConfig, PrefetchMode};
+use sdd_table::Table;
+use std::sync::Arc;
+
+/// Server-wide defaults for new sessions.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Session defaults (`k`, `mw`, sampling layer). The `prefetch` field
+    /// selects the serving mode: `Deferred` for a server with a background
+    /// prefetch worker, `Inline` for single-threaded replay — the two are
+    /// observably identical.
+    pub session: ExplorerConfig,
+    /// Stripe count of the session registry.
+    pub stripes: usize,
+    /// Cap on concurrently registered sessions (backpressure guard on the
+    /// open port).
+    pub max_sessions: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            session: ExplorerConfig {
+                prefetch: PrefetchMode::Deferred,
+                ..ExplorerConfig::default()
+            },
+            stripes: 16,
+            max_sessions: 10_000,
+        }
+    }
+}
+
+/// The transport-independent server core. See module docs.
+pub struct Engine {
+    table: Arc<Table>,
+    sessions: Registry<Explorer>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine serving `table`.
+    pub fn new(table: Arc<Table>, config: EngineConfig) -> Self {
+        Self {
+            table,
+            sessions: Registry::new(config.stripes),
+            config,
+        }
+    }
+
+    /// The shared table.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    /// Number of live sessions.
+    pub fn n_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Handles one raw request line and returns the serialized response
+    /// line (no trailing newline) plus, when a deferred prefetch job is now
+    /// pending, the session name to hand to the background worker.
+    pub fn handle_line(&self, line: &str) -> (String, Option<String>) {
+        let (response, hint) = match crate::protocol::parse_request_line(line) {
+            Ok(req) => self.handle(&req),
+            Err(e) => (Response::error(e), None),
+        };
+        (response.to_json().to_string(), hint)
+    }
+
+    /// Handles one parsed request. Returns the response and, when a
+    /// deferred prefetch job is pending afterwards, the session to ping.
+    pub fn handle(&self, req: &Request) -> (Response, Option<String>) {
+        match req {
+            Request::Ping => (Response::Pong, None),
+            Request::TableInfo => (
+                Response::TableInfo {
+                    rows: self.table.n_rows(),
+                    columns: (0..self.table.n_columns())
+                        .map(|c| self.table.schema().column_name(c).to_owned())
+                        .collect(),
+                },
+                None,
+            ),
+            Request::Open { session, options } => (self.open(session, options), None),
+            Request::Close { session } => match self.sessions.remove(session) {
+                Some(_) => (Response::Closed, None),
+                None => (
+                    Response::error(RegistryError::NotFound(session.clone())),
+                    None,
+                ),
+            },
+            Request::Expand { session, path } => {
+                self.with_session(session, |ex| match ex.expand(path) {
+                    Ok(children) => Response::Expanded {
+                        rules: child_infos(path, &children, ex.table()),
+                    },
+                    Err(e) => Response::error(e),
+                })
+            }
+            Request::Star {
+                session,
+                path,
+                column,
+            } => self.with_session(session, |ex| {
+                let col = match ex.table().schema().index_of(column) {
+                    Ok(c) => c,
+                    Err(e) => return Response::error(e),
+                };
+                match ex.expand_star(path, col) {
+                    Ok(children) => Response::Expanded {
+                        rules: child_infos(path, &children, ex.table()),
+                    },
+                    Err(e) => Response::error(e),
+                }
+            }),
+            Request::Collapse { session, path } => {
+                self.with_session(session, |ex| match ex.collapse(path) {
+                    Ok(()) => Response::Collapsed,
+                    Err(e) => Response::error(e),
+                })
+            }
+            Request::Rules { session } => self.with_session(session, |ex| Response::RuleList {
+                rules: visible_infos(ex),
+            }),
+            Request::Render { session } => {
+                self.with_session(session, |ex| Response::Rendered { text: ex.render() })
+            }
+            Request::Refresh { session } => self.with_session(session, |ex| {
+                ex.refresh_exact_counts();
+                Response::RuleList {
+                    rules: visible_infos(ex),
+                }
+            }),
+            Request::Stats { session } => self.with_session(session, |ex| {
+                let h = ex.handler_stats();
+                Response::Stats {
+                    stats: StatsInfo {
+                        expansions: ex.stats.expansions,
+                        served_from_memory: ex.stats.served_from_memory,
+                        refreshes: ex.stats.refreshes,
+                        finds: h.finds,
+                        combines: h.combines,
+                        creates: h.creates,
+                        full_scans: h.full_scans,
+                        evictions: h.evictions,
+                        stored_samples: ex.handler().n_samples(),
+                        memory_used: ex.handler().memory_used(),
+                    },
+                }
+            }),
+        }
+    }
+
+    fn open(&self, session: &str, options: &crate::protocol::OpenOptions) -> Response {
+        if session.is_empty() || session.len() > 128 {
+            return Response::error("session name must be 1..=128 characters");
+        }
+        if self.sessions.len() >= self.config.max_sessions {
+            return Response::error("session limit reached");
+        }
+        let weight: Box<dyn WeightFn> = match options.weight.as_deref() {
+            None | Some("size") => Box::new(SizeWeight),
+            Some("bits") => Box::new(BitsWeight),
+            Some("size-1") | Some("size-minus-one") => Box::new(SizeMinusOne),
+            Some(other) => {
+                return Response::error(format!("unknown weight {other:?} (size|bits|size-1)"))
+            }
+        };
+        let mut cfg = self.config.session.clone();
+        if let Some(k) = options.k {
+            if k == 0 {
+                return Response::error("k must be positive");
+            }
+            cfg.k = k;
+        }
+        if let Some(mw) = options.max_weight {
+            if mw <= 0.0 || mw.is_nan() {
+                return Response::error("mw must be positive");
+            }
+            cfg.max_weight = Some(mw);
+        }
+        if let Some(seed) = options.seed {
+            cfg.handler.seed = seed;
+        }
+        if let Some(capacity) = options.capacity {
+            cfg.handler.capacity = capacity;
+        }
+        if let Some(min_ss) = options.min_ss {
+            cfg.handler.min_sample_size = min_ss;
+        }
+        if cfg.handler.min_sample_size == 0 || cfg.handler.capacity < cfg.handler.min_sample_size {
+            return Response::error("capacity must hold at least one minimum-size sample");
+        }
+        let explorer = Explorer::new(self.table.clone(), weight, cfg);
+        match self.sessions.insert(session, explorer) {
+            Ok(()) => Response::Opened {
+                session: session.to_owned(),
+            },
+            Err(e) => Response::error(e),
+        }
+    }
+
+    /// Locks the named session and runs `f` on it. Any deferred prefetch
+    /// job the background worker has not claimed yet is drained **first**,
+    /// under the same lock, so every operation observes the state inline
+    /// prefetching would have produced.
+    fn with_session(
+        &self,
+        session: &str,
+        f: impl FnOnce(&mut Explorer) -> Response,
+    ) -> (Response, Option<String>) {
+        let Some(handle) = self.sessions.get(session) else {
+            return (
+                Response::error(RegistryError::NotFound(session.to_owned())),
+                None,
+            );
+        };
+        // A panic inside an earlier operation poisons the session lock;
+        // answer with an error (the session state may be inconsistent)
+        // instead of cascading the panic through the connection worker.
+        let Ok(mut ex) = handle.lock() else {
+            return (
+                Response::error(format!(
+                    "session {session:?} is corrupted by an earlier internal error; close it"
+                )),
+                None,
+            );
+        };
+        ex.drain_pending_prefetch();
+        let response = f(&mut ex);
+        let hint = ex.has_pending_prefetch().then(|| session.to_owned());
+        (response, hint)
+    }
+
+    /// Background-worker tick: claim and run the named session's pending
+    /// prefetch job, if it is still unclaimed. Holding the session lock for
+    /// the duration keeps the job atomic with respect to requests.
+    pub fn run_pending_prefetch(&self, session: &str) {
+        if let Some(handle) = self.sessions.get(session) {
+            if let Ok(mut ex) = handle.lock() {
+                ex.drain_pending_prefetch();
+            }
+        }
+    }
+}
+
+fn rule_info(path: Vec<usize>, info: &DisplayedRule, table: &Table) -> RuleInfo {
+    RuleInfo {
+        path,
+        rule: info.rule.display(table),
+        count: info.count,
+        ci: (info.ci_lo, info.ci_hi),
+        exact: info.exact,
+        weight: info.weight,
+    }
+}
+
+fn child_infos(base: &[usize], children: &[DisplayedRule], table: &Table) -> Vec<RuleInfo> {
+    children
+        .iter()
+        .enumerate()
+        .map(|(i, info)| {
+            let mut path = base.to_vec();
+            path.push(i);
+            rule_info(path, info, table)
+        })
+        .collect()
+}
+
+fn visible_infos(ex: &Explorer) -> Vec<RuleInfo> {
+    let table = ex.table().clone();
+    let mut out = Vec::new();
+    // Depth-first in display order, reconstructing paths.
+    fn walk(ex: &Explorer, path: &mut Vec<usize>, table: &Table, out: &mut Vec<RuleInfo>) {
+        if let Ok(info) = ex.rule_at(path) {
+            out.push(rule_info(path.clone(), info, table));
+        }
+        if let Ok(children) = ex.children_at(path) {
+            for i in 0..children.len() {
+                path.push(i);
+                walk(ex, path, table, out);
+                path.pop();
+            }
+        }
+    }
+    let mut path = Vec::new();
+    walk(ex, &mut path, &table, &mut out);
+    out
+}

@@ -1,0 +1,152 @@
+//! A lock-striped session registry.
+//!
+//! Sessions are keyed by client-chosen names. The map is split into `N`
+//! stripes, each behind its own mutex, so concurrent requests for sessions
+//! on different stripes never contend on registry locks; the values are
+//! `Arc<Mutex<T>>` so per-session work holds only its own session lock,
+//! never a stripe lock.
+//!
+//! Striping affects contention only — never results: every lookup for a key
+//! lands on one fixed stripe, and per-session ordering is enforced by the
+//! session's own mutex.
+
+use rustc_hash::FxHashMap;
+use std::sync::{Arc, Mutex};
+
+/// The lock-striped map. See module docs.
+pub struct Registry<T> {
+    stripes: Vec<Mutex<FxHashMap<String, Arc<Mutex<T>>>>>,
+}
+
+impl<T> Registry<T> {
+    /// Creates a registry with `stripes.max(1)` stripes.
+    pub fn new(stripes: usize) -> Self {
+        Self {
+            stripes: (0..stripes.max(1))
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
+        }
+    }
+
+    fn stripe(&self, key: &str) -> &Mutex<FxHashMap<String, Arc<Mutex<T>>>> {
+        // FxHash of the key bytes; stable within a process, which is all
+        // stripe selection needs.
+        use std::hash::{BuildHasher, Hasher};
+        let mut h = rustc_hash::FxBuildHasher::default().build_hasher();
+        h.write(key.as_bytes());
+        let idx = (h.finish() as usize) % self.stripes.len();
+        &self.stripes[idx]
+    }
+
+    /// Inserts a new session. Errors if the key is already registered.
+    pub fn insert(&self, key: &str, value: T) -> Result<(), RegistryError> {
+        let mut map = self.stripe(key).lock().expect("stripe poisoned");
+        if map.contains_key(key) {
+            return Err(RegistryError::Exists(key.to_owned()));
+        }
+        map.insert(key.to_owned(), Arc::new(Mutex::new(value)));
+        Ok(())
+    }
+
+    /// The session handle for `key`, if registered. The stripe lock is
+    /// released before returning; callers lock the session itself.
+    pub fn get(&self, key: &str) -> Option<Arc<Mutex<T>>> {
+        self.stripe(key)
+            .lock()
+            .expect("stripe poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    /// Removes and returns the session handle for `key`.
+    pub fn remove(&self, key: &str) -> Option<Arc<Mutex<T>>> {
+        self.stripe(key)
+            .lock()
+            .expect("stripe poisoned")
+            .remove(key)
+    }
+
+    /// Number of registered sessions (sums stripe sizes; a snapshot, not a
+    /// linearizable count).
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("stripe poisoned").len())
+            .sum()
+    }
+
+    /// True when no sessions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Registry failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The session name is already taken.
+    Exists(String),
+    /// The session name is not registered.
+    NotFound(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Exists(k) => write!(f, "session {k:?} already exists"),
+            RegistryError::NotFound(k) => write!(f, "no session named {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_cycle() {
+        let r: Registry<u32> = Registry::new(8);
+        assert!(r.is_empty());
+        r.insert("a", 1).unwrap();
+        r.insert("b", 2).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(*r.get("a").unwrap().lock().unwrap(), 1);
+        assert!(r.get("missing").is_none());
+        assert_eq!(r.insert("a", 9), Err(RegistryError::Exists("a".to_owned())));
+        let removed = r.remove("a").unwrap();
+        assert_eq!(*removed.lock().unwrap(), 1);
+        assert!(r.get("a").is_none());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts_land_exactly_once() {
+        let r: Arc<Registry<usize>> = Arc::new(Registry::new(4));
+        let handles: Vec<_> = (0..8)
+            .map(|tid| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    let mut wins = 0;
+                    for i in 0..100 {
+                        if r.insert(&format!("s{i}"), tid).is_ok() {
+                            wins += 1;
+                        }
+                    }
+                    wins
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100, "every key must be won by exactly one thread");
+        assert_eq!(r.len(), 100);
+    }
+
+    #[test]
+    fn single_stripe_still_works() {
+        let r: Registry<&'static str> = Registry::new(0); // clamped to 1
+        r.insert("x", "v").unwrap();
+        assert_eq!(*r.get("x").unwrap().lock().unwrap(), "v");
+    }
+}

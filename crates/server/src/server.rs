@@ -1,0 +1,301 @@
+//! The TCP front-end: `std::net::TcpListener` + a [`TaskPool`] of
+//! connection workers + one background prefetch worker.
+//!
+//! Each accepted connection is handed to the pool and served for its whole
+//! lifetime (line in → [`Engine::handle_line`] → line out). After any
+//! response that leaves a deferred prefetch job pending, the connection
+//! pings the prefetch worker over an mpsc channel; the worker claims and
+//! runs the job under the session lock during the client's think-time. If
+//! the next request for that session wins the race instead, it drains the
+//! job itself first — either way the observable results equal inline
+//! execution (the determinism harness asserts exactly this).
+
+use crate::engine::{Engine, EngineConfig};
+use crate::protocol::{Request, Response};
+use sdd_core::exec::TaskPool;
+use sdd_table::Table;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Server front-end configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Engine (session) defaults.
+    pub engine: EngineConfig,
+    /// Connection-worker threads. Each concurrent client occupies one for
+    /// the lifetime of its connection, so size this at or above the
+    /// expected concurrent-client count.
+    pub threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(4),
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and builds the
+    /// engine over `table`.
+    pub fn bind(
+        table: Arc<Table>,
+        config: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            engine: Arc::new(Engine::new(table, config.engine)),
+            threads: config.threads,
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared engine (for in-process inspection in tests/benches).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Runs the accept loop on the calling thread until [`ServerHandle`]
+    /// shutdown (never returns when run without a handle, barring I/O
+    /// errors on the listener).
+    pub fn run(self) -> std::io::Result<()> {
+        self.run_until(Arc::new(AtomicBool::new(false)))
+    }
+
+    fn run_until(self, stop: Arc<AtomicBool>) -> std::io::Result<()> {
+        let pool = TaskPool::new(self.threads);
+        // The prefetch worker: claims deferred jobs during think-time.
+        let (prefetch_tx, prefetch_rx) = mpsc::channel::<String>();
+        let prefetch_engine = Arc::clone(&self.engine);
+        let prefetch_worker = std::thread::spawn(move || {
+            while let Ok(session) = prefetch_rx.recv() {
+                prefetch_engine.run_pending_prefetch(&session);
+            }
+        });
+        // Clones of live connections so shutdown can unblock workers
+        // parked in `read_line`, keyed by connection id so each worker can
+        // drop its own entry when the client disconnects (otherwise a
+        // long-lived server would leak one fd per past connection).
+        let conns: Arc<std::sync::Mutex<Vec<(u64, TcpStream)>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut next_conn_id: u64 = 0;
+
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // One small response per request line: Nagle + delayed ACK
+            // would add ~40 ms to every exchange.
+            stream.set_nodelay(true).ok();
+            let conn_id = next_conn_id;
+            next_conn_id += 1;
+            if let Ok(clone) = stream.try_clone() {
+                conns.lock().expect("conns poisoned").push((conn_id, clone));
+            }
+            let engine = Arc::clone(&self.engine);
+            let prefetch_tx = prefetch_tx.clone();
+            let conns_for_worker = Arc::clone(&conns);
+            pool.submit(move || {
+                let _ = serve_connection(&engine, stream, &prefetch_tx);
+                conns_for_worker
+                    .lock()
+                    .expect("conns poisoned")
+                    .retain(|(id, _)| *id != conn_id);
+            });
+        }
+        // Force-close every still-live connection so pool workers blocked
+        // on reads can exit, then join them.
+        for (_, c) in conns.lock().expect("conns poisoned").drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        drop(pool); // join connection workers
+        drop(prefetch_tx); // close the channel …
+        let _ = prefetch_worker.join(); // … and join the worker
+        Ok(())
+    }
+
+    /// Starts the accept loop on a background thread and returns a handle
+    /// that can stop it.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let engine = Arc::clone(&self.engine);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_for_loop = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let _ = self.run_until(stop_for_loop);
+        });
+        Ok(ServerHandle {
+            addr,
+            engine,
+            stop,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stops the accept loop and joins the server thread. Connections that
+    /// are mid-request finish their current line first.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(t) = self.thread.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            let _ = t.join();
+        }
+    }
+}
+
+/// Caps a request line at 1 MiB — a malicious client must not balloon
+/// server memory one byte at a time.
+const MAX_LINE_BYTES: u64 = 1 << 20;
+
+fn serve_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    prefetch_tx: &mpsc::Sender<String>,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line)?;
+        if n == 0 {
+            return Ok(()); // client closed
+        }
+        if n as u64 == MAX_LINE_BYTES && !line.ends_with('\n') {
+            // Over-long request line: discard the rest of it so the
+            // request/response streams stay in sync (handling the cut-off
+            // fragments as requests would answer one request twice), then
+            // answer the one oversized request with one error.
+            loop {
+                line.clear();
+                let m = (&mut reader).take(MAX_LINE_BYTES).read_line(&mut line)?;
+                if m == 0 || line.ends_with('\n') {
+                    break;
+                }
+            }
+            let response = Response::error(format!("request line exceeds {MAX_LINE_BYTES} bytes"))
+                .to_json()
+                .to_string();
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (response, prefetch_hint) = engine.handle_line(trimmed);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if let Some(session) = prefetch_hint {
+            // Best effort: if the worker is gone (shutdown), the next
+            // request drains the job instead.
+            let _ = prefetch_tx.send(session);
+        }
+    }
+}
+
+/// A minimal blocking client for the line protocol — used by the CLI
+/// `connect` mode, the serve bench, and the stress harness.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one raw request line and returns the raw response line
+    /// (both without trailing newline).
+    pub fn call_line(&mut self, line: &str) -> std::io::Result<String> {
+        debug_assert!(!line.contains('\n'), "one request per line");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while response.ends_with('\n') || response.ends_with('\r') {
+            response.pop();
+        }
+        Ok(response)
+    }
+
+    /// Sends a typed request and parses the typed response.
+    pub fn call(&mut self, req: &Request) -> std::io::Result<Response> {
+        let line = self.call_line(&req.to_json().to_string())?;
+        let v = crate::json::Json::parse(&line)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        Response::from_json(&v).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}

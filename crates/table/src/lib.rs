@@ -38,4 +38,4 @@ pub use dictionary::Dictionary;
 pub use error::TableError;
 pub use schema::{ColumnDef, Schema};
 pub use table::{Table, TableBuilder};
-pub use view::{chunk_spans, RowId, TableView, ViewChunk, WeightedRow};
+pub use view::{chunk_spans, OwnedTableView, RowId, TableView, ViewChunk, WeightedRow};

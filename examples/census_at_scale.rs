@@ -23,7 +23,7 @@ fn main() {
     // The paper restricts all experiments to the first 7 columns (§5) — on
     // all 68 correlated columns the frequent-rule lattice is astronomically
     // larger and a summary over 68 wildcards is unreadable anyway.
-    let table = full.project_first_columns(7);
+    let table = std::sync::Arc::new(full.project_first_columns(7));
     println!(
         "Generated census-shaped table: {} rows × {} columns (projected to {}) in {:.1?}\n",
         full.n_rows(),
@@ -33,7 +33,7 @@ fn main() {
     );
 
     let mut handler = SampleHandler::new(
-        &table,
+        table.clone(),
         SampleHandlerConfig {
             capacity: 50_000,       // the paper's M
             min_sample_size: 5_000, // the paper's minSS
@@ -47,7 +47,7 @@ fn main() {
     let t1 = Instant::now();
     let sample = handler.get_sample(&trivial);
     let brs = Brs::new(&SizeWeight).with_max_weight(4.0);
-    let result = brs.run(&sample.view, 4);
+    let result = brs.run(&sample.view.as_view(), 4);
     println!(
         "First expansion ({:?}, sample of {} tuples) took {:.1?}:",
         sample.mechanism,
@@ -91,7 +91,7 @@ fn main() {
     // The sample is already filtered to the target's coverage; constrain the
     // optimizer to strict super-rules of the clicked rule (drill-down
     // semantics, §3.1).
-    let result2 = smart_drilldown::core::drill_down_with(&brs, &sample2.view, &target, 4);
+    let result2 = smart_drilldown::core::drill_down_with(&brs, &sample2.view.as_view(), &target, 4);
     println!(
         "\nSecond expansion of {} ({:?}, {} tuples, {} new scans) took {:.1?}:",
         truncate(&target.display(&table), 40),

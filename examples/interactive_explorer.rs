@@ -14,7 +14,7 @@ use smart_drilldown::prelude::*;
 use std::time::Duration;
 
 fn main() {
-    let table = census::census(200_000, 1990).project_first_columns(7);
+    let table = std::sync::Arc::new(census::census(200_000, 1990).project_first_columns(7));
     println!(
         "census-shaped table: {} rows × {} columns\n",
         table.n_rows(),
@@ -22,7 +22,7 @@ fn main() {
     );
 
     let mut explorer = Explorer::new(
-        &table,
+        table.clone(),
         Box::new(SizeWeight),
         ExplorerConfig {
             k: 4,

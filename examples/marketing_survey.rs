@@ -12,7 +12,7 @@ use smart_drilldown::prelude::*;
 fn main() {
     let table = marketing::marketing(2016);
     // The paper restricts displays to the first 7 columns to fit the page.
-    let narrow = table.project_first_columns(7);
+    let narrow = std::sync::Arc::new(table.project_first_columns(7));
     println!(
         "Synthetic Marketing dataset: {} rows, using first {} columns\n",
         narrow.n_rows(),
@@ -20,7 +20,7 @@ fn main() {
     );
 
     // Figure 1: expand the empty rule, Size weighting, k = 4.
-    let mut session = Session::new(&narrow, Box::new(SizeWeight), 4);
+    let mut session = Session::new(narrow.clone(), Box::new(SizeWeight), 4);
     session.set_max_weight(5.0); // the paper's mw for Size weighting
     session.expand(&[]).expect("root expansion");
     println!("== Figure 1: summary after clicking the empty rule (Size) ==");
@@ -99,8 +99,8 @@ fn main() {
     );
 }
 
-fn show_weighted(table: &Table, weight: Box<dyn WeightFn>, mw: f64, title: &str) {
-    let mut session = Session::new(table, weight, 4);
+fn show_weighted(table: &std::sync::Arc<Table>, weight: Box<dyn WeightFn>, mw: f64, title: &str) {
+    let mut session = Session::new(table.clone(), weight, 4);
     session.set_max_weight(mw);
     session.expand(&[]).expect("root expansion");
     println!("== {title} ==");

@@ -24,7 +24,7 @@ Costco,comforters,MA-3
 Costco,comforters,MA-3
 Costco,towels,NY-2
 ";
-    let table = read_csv(csv).expect("well-formed CSV");
+    let table = std::sync::Arc::new(read_csv(csv).expect("well-formed CSV"));
     println!(
         "Loaded {} rows × {} columns\n",
         table.n_rows(),
@@ -45,7 +45,7 @@ Costco,towels,NY-2
     println!("  total score = {}\n", result.total_score);
 
     // --- Interactive API: the paper's click-driven session. ---
-    let mut session = Session::new(&table, Box::new(SizeWeight), 3);
+    let mut session = Session::new(table.clone(), Box::new(SizeWeight), 3);
     session.expand(&[]).expect("root exists");
     println!("Session after expanding the trivial rule:");
     println!("{}", session.render());

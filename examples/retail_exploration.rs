@@ -10,8 +10,8 @@
 use smart_drilldown::prelude::*;
 
 fn main() {
-    let table = retail(42);
-    let mut session = Session::new(&table, Box::new(SizeWeight), 3);
+    let table = std::sync::Arc::new(retail(42));
+    let mut session = Session::new(table.clone(), Box::new(SizeWeight), 3);
 
     // Table 1: the initial display — one trivial rule with the total count.
     println!("== Table 1: initial summary ==");

@@ -19,6 +19,8 @@
 //! | [`core`] | `sdd-core` | rules, weighting functions, Score, the BRS optimizer, drill-down ops, sessions |
 //! | [`sampling`] | `sdd-sampling` | SampleHandler, reservoir sampling, DP/convex sample-memory allocation |
 //! | [`olap`] | `sdd-olap` | traditional drill-down baseline and comparison utilities |
+//! | [`explorer`] | `sdd-explorer` | sampled, prefetching, CI-annotated interactive sessions |
+//! | [`server`] | `sdd-server` | concurrent multi-session TCP server (line-delimited JSON, background prefetch) |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@ pub use sdd_datagen as datagen;
 pub use sdd_explorer as explorer;
 pub use sdd_olap as olap;
 pub use sdd_sampling as sampling;
+pub use sdd_server as server;
 pub use sdd_table as table;
 
 /// Commonly used items, re-exported flat for examples and tests.

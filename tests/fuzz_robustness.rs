@@ -48,7 +48,8 @@ proptest! {
                 &["b", "z"], &["c", "x"], &["c", "x"], &["a", "z"],
             ],
         ).unwrap();
-        let mut session = Session::new(&table, Box::new(SizeWeight), 2);
+        let table = std::sync::Arc::new(table);
+        let mut session = Session::new(table.clone(), Box::new(SizeWeight), 2);
         for (op, path) in &ops {
             match op {
                 0 => { let _ = session.expand(path); }
@@ -70,7 +71,7 @@ proptest! {
 /// within the cap and every estimate within a loose factor of the truth.
 #[test]
 fn handler_stateful_random_ops() {
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
     let view = table.view();
     let rules = [
         Rule::trivial(3),
@@ -82,7 +83,7 @@ fn handler_stateful_random_ops() {
     ];
     let mut rng = StdRng::seed_from_u64(4242);
     let mut handler = SampleHandler::new(
-        &table,
+        table.clone(),
         SampleHandlerConfig {
             capacity: 3_000,
             min_sample_size: 600,
@@ -145,7 +146,7 @@ fn degenerate_tables_are_handled() {
     assert_eq!(res.rules[0].count, 1.0);
     assert_eq!(res.rules[0].rule.size(), 2);
 
-    let mut session = Session::new(&single, Box::new(SizeWeight), 3);
+    let mut session = Session::new(std::sync::Arc::new(single), Box::new(SizeWeight), 3);
     session.expand(&[]).unwrap();
     assert_eq!(session.visible().len(), 2);
 }

@@ -4,8 +4,11 @@
 //! eliminate disk passes.
 
 use smart_drilldown::core::{rule_count, Rule, SizeWeight};
+use smart_drilldown::explorer::PrefetchMode;
 use smart_drilldown::prelude::*;
-use smart_drilldown::sampling::{FetchMechanism, PrefetchEntry};
+use smart_drilldown::sampling::{FetchMechanism, PrefetchEntry, StoredSampleInfo};
+use smart_drilldown::table::Table;
+use std::sync::Arc;
 
 fn handler_cfg(capacity: usize, min_ss: usize, seed: u64) -> SampleHandlerConfig {
     SampleHandlerConfig {
@@ -18,7 +21,7 @@ fn handler_cfg(capacity: usize, min_ss: usize, seed: u64) -> SampleHandlerConfig
 
 #[test]
 fn sampled_expansion_approximates_exact_expansion() {
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
     let exact = Brs::new(&SizeWeight)
         .with_max_weight(3.0)
         .run(&table.view(), 3);
@@ -26,11 +29,11 @@ fn sampled_expansion_approximates_exact_expansion() {
     let mut agree = 0usize;
     let trials = 5usize;
     for seed in 0..trials as u64 {
-        let mut handler = SampleHandler::new(&table, handler_cfg(20_000, 3_000, seed));
+        let mut handler = SampleHandler::new(table.clone(), handler_cfg(20_000, 3_000, seed));
         let sample = handler.get_sample(&Rule::trivial(3));
         let approx = Brs::new(&SizeWeight)
             .with_max_weight(3.0)
-            .run(&sample.view, 3);
+            .run(&sample.view.as_view(), 3);
         if approx.rules_only() == exact.rules_only() {
             agree += 1;
         }
@@ -54,8 +57,8 @@ fn sampled_expansion_approximates_exact_expansion() {
 
 #[test]
 fn find_combine_create_ladder() {
-    let table = retail(42);
-    let mut handler = SampleHandler::new(&table, handler_cfg(30_000, 800, 3));
+    let table = std::sync::Arc::new(retail(42));
+    let mut handler = SampleHandler::new(table.clone(), handler_cfg(30_000, 800, 3));
     let trivial = Rule::trivial(3);
     let walmart = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
 
@@ -88,10 +91,10 @@ fn find_combine_create_ladder() {
 
 #[test]
 fn combine_merges_multiple_sources_unbiased() {
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
     // Big capacity, small minSS: seed samples for two sub-rules of the
     // Walmart×cookies target.
-    let mut handler = SampleHandler::new(&table, handler_cfg(50_000, 100, 11));
+    let mut handler = SampleHandler::new(table.clone(), handler_cfg(50_000, 100, 11));
     let walmart = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
     let cookies = Rule::from_pairs(&table, &[("Product", "cookies")]).unwrap();
     // Force creation of both parent samples (minSS 100 → reservoirs of 100).
@@ -113,13 +116,13 @@ fn combine_merges_multiple_sources_unbiased() {
 
 #[test]
 fn prefetch_then_drill_without_disk() {
-    let table = retail(42);
-    let mut handler = SampleHandler::new(&table, handler_cfg(30_000, 1_000, 17));
+    let table = std::sync::Arc::new(retail(42));
+    let mut handler = SampleHandler::new(table.clone(), handler_cfg(30_000, 1_000, 17));
     let trivial = Rule::trivial(3);
     let first = handler.get_sample(&trivial);
     let result = Brs::new(&SizeWeight)
         .with_max_weight(3.0)
-        .run(&first.view, 3);
+        .run(&first.view.as_view(), 3);
 
     let entries: Vec<PrefetchEntry> = result
         .rules
@@ -154,7 +157,7 @@ fn prefetch_is_reproducible_across_thread_counts() {
     // from (config.seed, rule): the stored samples — rows, order, scales,
     // and serving mechanisms — must be identical whether the scan ran on
     // one worker or many.
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
     let trivial = Rule::trivial(3);
     let walmart = Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
     let target = Rule::from_pairs(&table, &[("Store", "Target")]).unwrap();
@@ -172,7 +175,7 @@ fn prefetch_is_reproducible_across_thread_counts() {
     ];
     let run = |threads: &str| {
         std::env::set_var("SDD_THREADS", threads);
-        let mut handler = SampleHandler::new(&table, handler_cfg(20_000, 500, 77));
+        let mut handler = SampleHandler::new(table.clone(), handler_cfg(20_000, 500, 77));
         let hit = handler.prefetch(&trivial, &entries);
         let mut fetched = Vec::new();
         for rule in [&walmart, &target] {
@@ -198,11 +201,11 @@ fn prefetch_is_reproducible_across_thread_counts() {
 
 #[test]
 fn session_over_sampled_view_reproduces_walkthrough_shape() {
-    let table = retail(42);
-    let mut handler = SampleHandler::new(&table, handler_cfg(20_000, 4_000, 23));
+    let table = std::sync::Arc::new(retail(42));
+    let mut handler = SampleHandler::new(table.clone(), handler_cfg(20_000, 4_000, 23));
     let sample = handler.get_sample(&Rule::trivial(3));
     // Run a session over the scaled sample view: counts are estimates.
-    let mut session = Session::with_view(&table, sample.view, Box::new(SizeWeight), 3);
+    let mut session = Session::with_view(sample.view, Box::new(SizeWeight), 3);
     session.expand(&[]).unwrap();
     let shown: Vec<String> = session
         .root()
@@ -215,10 +218,121 @@ fn session_over_sampled_view_reproduces_walkthrough_shape() {
     assert!((session.root().count - 6000.0).abs() < 300.0);
 }
 
+/// Drives a fixed three-level drill script through an [`Explorer`] and
+/// snapshots the sample store afterwards. `mode` controls prefetch
+/// scheduling; `threads` pins the scan worker count via `SDD_THREADS`.
+fn prefetch_script_samples(
+    table: &Arc<Table>,
+    mode: PrefetchMode,
+    threads: &str,
+) -> (Vec<StoredSampleInfo>, String) {
+    std::env::set_var("SDD_THREADS", threads);
+    let mut ex = Explorer::new(
+        table.clone(),
+        Box::new(SizeWeight),
+        ExplorerConfig {
+            k: 3,
+            max_weight: Some(3.0),
+            handler: handler_cfg(20_000, 1_000, 55),
+            prefetch: mode,
+            confidence_z: 1.96,
+        },
+    );
+    for path in [vec![], vec![0], vec![1], vec![0]] {
+        ex.expand(&path).expect("scripted expansion");
+        // In deferred mode, play the background worker: claim and run the
+        // job between requests (the server's think-time overlap).
+        if let Some(job) = ex.take_pending_prefetch() {
+            ex.run_prefetch(&job);
+        }
+    }
+    std::env::remove_var("SDD_THREADS");
+    (ex.handler().stored_samples(), ex.render())
+}
+
+#[test]
+fn background_prefetch_is_deterministic_across_workers() {
+    // The §4.3 prefetch must store bit-identical samples whether it runs
+    // inline in the expansion call, on a single background worker, or with
+    // the scan fanned out over 8 workers — rows, order, scales, and the
+    // resulting display must all match.
+    let table = Arc::new(retail(42));
+    let (inline_samples, inline_render) =
+        prefetch_script_samples(&table, PrefetchMode::Inline, "1");
+    let (worker1_samples, worker1_render) =
+        prefetch_script_samples(&table, PrefetchMode::Deferred, "1");
+    let (worker8_samples, worker8_render) =
+        prefetch_script_samples(&table, PrefetchMode::Deferred, "8");
+
+    assert!(!inline_samples.is_empty(), "script must store samples");
+    assert_eq!(
+        inline_samples, worker1_samples,
+        "deferred(1 worker) differs from inline"
+    );
+    assert_eq!(
+        inline_samples, worker8_samples,
+        "deferred(8 workers) differs from inline"
+    );
+    assert_eq!(inline_render, worker1_render);
+    assert_eq!(inline_render, worker8_render);
+    // Scales must match to the bit, not approximately.
+    for (a, b) in inline_samples.iter().zip(&worker8_samples) {
+        assert_eq!(a.scale.to_bits(), b.scale.to_bits());
+    }
+}
+
+#[test]
+fn background_prefetch_reduces_request_blocking_scans() {
+    // Acceptance criterion: prefetching measurably reduces the full scans
+    // an analyst *waits on*. Every Create is a blocking full pass over the
+    // table on the request path; with prefetch, drill-downs after the first
+    // are served from prefetched memory (the prefetch pass itself runs in
+    // think-time, off the request path).
+    let table = Arc::new(retail(42));
+    let drill = |mode: PrefetchMode| {
+        let mut ex = Explorer::new(
+            table.clone(),
+            Box::new(SizeWeight),
+            ExplorerConfig {
+                k: 3,
+                max_weight: Some(3.0),
+                handler: handler_cfg(20_000, 1_000, 31),
+                prefetch: mode,
+                confidence_z: 1.96,
+            },
+        );
+        for path in [vec![], vec![0], vec![1], vec![2]] {
+            ex.expand(&path).expect("scripted expansion");
+            if let Some(job) = ex.take_pending_prefetch() {
+                ex.run_prefetch(&job);
+            }
+        }
+        ex.handler_stats()
+    };
+
+    let without = drill(PrefetchMode::Off);
+    let with = drill(PrefetchMode::Deferred);
+    assert_eq!(
+        without.creates, 4,
+        "without prefetch every expansion blocks on a Create scan: {without:?}"
+    );
+    assert_eq!(
+        with.creates, 1,
+        "with prefetch only the cold first expansion blocks: {with:?}"
+    );
+    assert!(
+        with.creates < without.creates,
+        "prefetch must reduce blocking scans ({} vs {})",
+        with.creates,
+        without.creates
+    );
+    assert_eq!(without.creates, without.full_scans);
+}
+
 #[test]
 fn eviction_under_pressure_keeps_serving_correct_samples() {
-    let table = retail(42);
-    let mut handler = SampleHandler::new(&table, handler_cfg(1_500, 700, 29));
+    let table = std::sync::Arc::new(retail(42));
+    let mut handler = SampleHandler::new(table.clone(), handler_cfg(1_500, 700, 29));
     let rules = [
         Rule::trivial(3),
         Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap(),

@@ -6,10 +6,10 @@ use smart_drilldown::prelude::*;
 
 #[test]
 fn tables_1_2_3_reproduce_through_the_facade() {
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
 
     // Table 1: trivial rule with the total count.
-    let mut session = Session::new(&table, Box::new(SizeWeight), 3);
+    let mut session = Session::new(table.clone(), Box::new(SizeWeight), 3);
     assert_eq!(session.root().count, 6000.0);
     assert!(session.root().rule.is_trivial());
 
@@ -73,10 +73,10 @@ fn tables_1_2_3_reproduce_through_the_facade() {
 
 #[test]
 fn one_shot_api_agrees_with_session() {
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
     let result = Brs::new(&SizeWeight).run(&table.view(), 3);
 
-    let mut session = Session::new(&table, Box::new(SizeWeight), 3);
+    let mut session = Session::new(table.clone(), Box::new(SizeWeight), 3);
     session.expand(&[]).unwrap();
     let session_rules: Vec<_> = session
         .root()
@@ -89,7 +89,7 @@ fn one_shot_api_agrees_with_session() {
 
 #[test]
 fn displayed_score_matches_recomputation() {
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
     let view = table.view();
     let result = Brs::new(&SizeWeight).run(&view, 3);
     let recomputed = score_set(&view, &SizeWeight, &result.rules_only());
@@ -99,7 +99,7 @@ fn displayed_score_matches_recomputation() {
 
 #[test]
 fn sum_aggregate_walkthrough() {
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
     let view = table.view_weighted_by("Sales").unwrap();
     let result = Brs::new(&SizeWeight).run(&view, 3);
     // Same rule shapes win under Sum (sales are uniform-ish per tuple).
@@ -117,7 +117,7 @@ fn sum_aggregate_walkthrough() {
 
 #[test]
 fn star_drill_down_on_walkthrough() {
-    let table = retail(42);
+    let table = std::sync::Arc::new(retail(42));
     let walmart = smart_drilldown::core::Rule::from_pairs(&table, &[("Store", "Walmart")]).unwrap();
     let region = table.schema().index_of("Region").unwrap();
     let res = star_drill_down(&table.view(), &SizeWeight, &walmart, region, 3);
