@@ -4,7 +4,9 @@
 use crate::command::parse_path;
 use crate::repl::{load, Source};
 use sdd_server::{Client, OpenOptions, Request, Response, Server, ServerConfig};
+use sdd_table::{ShardConfig, ShardedTable, TableStore};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 /// Usage text for `sdd serve`.
 pub const SERVE_USAGE: &str = "\
@@ -14,6 +16,11 @@ usage: sdd serve [options]
   --rows <n>           row count for the census demo
   --open <file.csv>    serve a CSV file instead of a demo
   --threads <n>        connection worker threads (default: cores, min 4)
+  --shards <n>         partition the table into n columnar shards
+  --resident <m>       keep at most m shards in memory, spilling the rest
+                       to disk (requires --shards; results are identical,
+                       only memory use changes)
+  --spill <dir>        spill directory (default: the system temp dir)
 ";
 
 /// Usage text for `sdd connect`.
@@ -56,6 +63,9 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut source = Source::Demo("retail".to_owned(), None);
     let mut rows: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut resident: usize = 0;
+    let mut spill: Option<String> = None;
     let mut config = ServerConfig::default();
     let flags = match parse_flags(args) {
         Ok(f) => f,
@@ -87,6 +97,17 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
                     std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --threads")
                 })?
             }
+            "shards" => {
+                shards = Some(need("count")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --shards")
+                })?)
+            }
+            "resident" => {
+                resident = need("count")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --resident")
+                })?
+            }
+            "spill" => spill = Some(need("dir")?),
             other => {
                 writeln!(output, "error: unknown flag --{other}\n{SERVE_USAGE}")?;
                 return Ok(());
@@ -103,10 +124,47 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
             return Ok(());
         }
     };
-    let server = Server::bind(table.clone(), config, addr.as_str())?;
+    if resident > 0 && shards.is_none() {
+        writeln!(output, "error: --resident requires --shards\n{SERVE_USAGE}")?;
+        return Ok(());
+    }
+    if spill.is_some() && resident == 0 {
+        // Without a budget nothing would ever spill — serving fully
+        // resident while the operator expects disk relief is the one
+        // silent-OOM combination, so reject it loudly.
+        writeln!(
+            output,
+            "error: --spill requires --resident (the in-memory shard budget to spill against)\n{SERVE_USAGE}"
+        )?;
+        return Ok(());
+    }
+    let (store, layout) = match shards {
+        None => (TableStore::Whole(table.clone()), String::new()),
+        Some(n) => {
+            let cfg = if resident > 0 {
+                let dir = spill
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(std::env::temp_dir);
+                ShardConfig::spilling(n, resident, dir)
+            } else {
+                ShardConfig::in_memory(n)
+            };
+            let sharded = Arc::new(ShardedTable::from_table(&table, &cfg)?);
+            let layout = if resident > 0 {
+                format!(
+                    " ({} shards, ≤ {resident} resident, spilling)",
+                    sharded.n_shards()
+                )
+            } else {
+                format!(" ({} shards)", sharded.n_shards())
+            };
+            (TableStore::Sharded(sharded), layout)
+        }
+    };
+    let server = Server::bind_store(store, config, addr.as_str())?;
     writeln!(
         output,
-        "serving {} rows × {} columns on {} — connect with `sdd connect {}`",
+        "serving {} rows × {} columns{layout} on {} — connect with `sdd connect {}`",
         table.n_rows(),
         table.n_columns(),
         server.local_addr()?,
@@ -317,6 +375,65 @@ mod tests {
         assert!(out.contains("no node at path [7]"), "{out}");
         assert!(out.contains("unknown column"), "{out}");
         server.shutdown();
+    }
+
+    #[test]
+    fn connect_drives_a_session_against_a_spilling_sharded_server() {
+        // End-to-end over the sharded tier: a server whose table is split
+        // into 8 shards with only 2 resident must serve the same session
+        // flow (and the same row/column banner counts) as a monolithic one.
+        let table = Arc::new(sdd_datagen::retail(42));
+        let sharded = Arc::new(
+            ShardedTable::from_table(&table, &ShardConfig::spilling(8, 2, std::env::temp_dir()))
+                .unwrap(),
+        );
+        let server = Server::bind_store(
+            TableStore::Sharded(sharded.clone()),
+            ServerConfig {
+                engine: EngineConfig::default(),
+                threads: 4,
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut out = Vec::new();
+        connect(&addr, Cursor::new("expand\nshow\nstats\nquit\n"), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("6000 rows × 3 columns"), "{out}");
+        assert!(out.contains("Walmart"), "{out}");
+        assert!(out.contains("expansions: 1"), "{out}");
+        assert!(sharded.loads() > 0, "the spill tier was never exercised");
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_rejects_resident_without_shards() {
+        let mut out = Vec::new();
+        serve(&["--resident".to_owned(), "2".to_owned()], &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("--resident requires --shards"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_spill_without_resident() {
+        // --shards 4 --spill dir with no budget would silently serve fully
+        // resident — the one silent-OOM flag combination; it must be loud.
+        let mut out = Vec::new();
+        serve(
+            &[
+                "--shards".to_owned(),
+                "4".to_owned(),
+                "--spill".to_owned(),
+                "/tmp".to_owned(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("--spill requires --resident"), "{out}");
     }
 
     #[test]

@@ -107,18 +107,159 @@ struct Pass1Out {
     pruned: usize,
 }
 
+/// The pass-1 candidate boundary of one free column: the surviving size-1
+/// rules (code-ascending) plus the code → weight table.
+///
+/// Shared by the task-per-column kernel, the row-sliced kernel, and the
+/// sharded kernel ([`crate::shard`]) — all three count first and then call
+/// this on the finished per-code histogram, so candidate sets are identical
+/// across execution modes by construction.
+pub(crate) struct Pass1Cands {
+    pub(crate) rules: Vec<Rule>,
+    pub(crate) wtab: Vec<f64>,
+    pub(crate) generated: usize,
+    pub(crate) pruned: usize,
+}
+
+/// Materializes rules for the supported codes of column `col`, gates them
+/// on `opts.max_weight`, and fills the code → weight table (`0.0` for
+/// unsupported or over-cap codes).
+pub(crate) fn pass1_candidates(
+    table: &Table,
+    base: &Rule,
+    col: usize,
+    counts: &[f64],
+    weight: &dyn WeightFn,
+    opts: &SearchOptions,
+) -> Pass1Cands {
+    let mut wtab = vec![0.0f64; counts.len()];
+    let mut rules: Vec<Rule> = Vec::new();
+    let (mut generated, mut pruned) = (0usize, 0usize);
+    for (code, &count) in counts.iter().enumerate() {
+        if count <= 0.0 {
+            continue;
+        }
+        generated += 1;
+        let rule = base.with_value(col, code as u32);
+        let w = weight.weight(&rule, table);
+        if w > opts.max_weight + 1e-12 {
+            pruned += 1;
+            continue;
+        }
+        wtab[code] = w;
+        rules.push(rule);
+    }
+    Pass1Cands {
+        rules,
+        wtab,
+        generated,
+        pruned,
+    }
+}
+
+/// The frequent size-1 building blocks of a level-1 candidate list: one
+/// `(free column, code)` pair per rule, in level order.
+pub(crate) fn level_blocks(level: &[Rule], base: &Rule) -> Vec<(usize, u32)> {
+    level
+        .iter()
+        .map(|r| {
+            let c = r
+                .instantiated_columns()
+                .find(|c| base.is_star(*c))
+                .expect("level-1 rule instantiates one free column");
+            (c, r.code(c))
+        })
+        .collect()
+}
+
+/// One a-priori generation step (Algorithm 2, step 3.3): filters the
+/// current level to survivors whose super-rule bound can still beat
+/// `best_h`, extends each with later building blocks, and applies the
+/// support/bound/weight prunes. Returns the next level's candidates with
+/// their weights (empty → the search is done).
+///
+/// Pure candidate bookkeeping — no row access — so the columnar, row-sliced,
+/// and sharded kernels share it verbatim.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn generate_level(
+    table: &Table,
+    base: &Rule,
+    blocks: &[(usize, u32)],
+    current: &[Rule],
+    counted: &FxHashMap<Rule, CandStat>,
+    weight: &dyn WeightFn,
+    opts: &SearchOptions,
+    best_h: f64,
+    stats: &mut SearchStats,
+) -> (Vec<Rule>, Vec<f64>) {
+    let survivors: Vec<&Rule> = current
+        .iter()
+        .filter(|r| {
+            let stat = counted[*r];
+            stat.count > 0.0 && (!opts.pruning || stat.super_rule_bound(opts.max_weight) >= best_h)
+        })
+        .collect();
+
+    let mut next: Vec<Rule> = Vec::new();
+    let mut cand_weights: Vec<f64> = Vec::new();
+    for r in survivors {
+        let max_free = r
+            .instantiated_columns()
+            .filter(|c| base.is_star(*c))
+            .last()
+            .expect("survivor instantiates at least one free column");
+        for &(c, v) in blocks {
+            if c <= max_free {
+                continue;
+            }
+            let cand = r.with_value(c, v);
+            stats.generated += 1;
+
+            let mut bound = f64::INFINITY;
+            let mut all_present = true;
+            for sc in cand.instantiated_columns().filter(|c| base.is_star(*c)) {
+                let sub = cand.with_star(sc);
+                match counted.get(&sub) {
+                    Some(stat) => bound = bound.min(stat.super_rule_bound(opts.max_weight)),
+                    None => {
+                        all_present = false;
+                        break;
+                    }
+                }
+            }
+            if !all_present {
+                stats.pruned += 1;
+                continue;
+            }
+            if opts.pruning && (bound < best_h || bound <= 0.0) {
+                stats.pruned += 1;
+                continue;
+            }
+            let w = weight.weight(&cand, table);
+            if w > opts.max_weight + 1e-12 {
+                stats.pruned += 1;
+                continue;
+            }
+            next.push(cand);
+            cand_weights.push(w);
+        }
+    }
+    (next, cand_weights)
+}
+
 /// One level-j candidate group: all candidates instantiating the same set of
-/// free columns.
+/// free columns. Shared with the sharded kernel in [`crate::shard`], which
+/// reuses the same group layout over per-shard column slices.
 #[derive(Debug, Default)]
-struct Group {
+pub(crate) struct Group {
     /// Absolute column indices, ascending.
-    cols: Vec<usize>,
+    pub(crate) cols: Vec<usize>,
     /// Mixed-radix strides per column (dense mode).
-    strides: Vec<usize>,
+    pub(crate) strides: Vec<usize>,
     /// Total dense cells (`Π` cardinalities); `0` when overflowed.
-    cells: usize,
+    pub(crate) cells: usize,
     /// Candidate (dense cell, candidate index) pairs (dense mode).
-    cand_cells: Vec<(usize, u32)>,
+    pub(crate) cand_cells: Vec<(usize, u32)>,
     /// Per-column left-shifts when packing fits in 64 bits (sparse mode).
     shifts: Vec<u32>,
     /// True when sparse keys fit a single `u64`.
@@ -129,13 +270,13 @@ struct Group {
     /// (sparse wide mode).
     wide_keys: Vec<u32>,
     /// Candidate index per sorted key (sparse modes).
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
 }
 
 impl Group {
     /// True when this group counts via the dense histogram.
     #[inline]
-    fn is_dense(&self) -> bool {
+    pub(crate) fn is_dense(&self) -> bool {
         self.cells != 0
     }
 
@@ -144,7 +285,7 @@ impl Group {
     /// only); map through `order` for the candidate index. `wide_scratch`
     /// is a reusable buffer for the wide path; untouched in packed mode.
     #[inline]
-    fn probe(
+    pub(crate) fn probe(
         &self,
         wide_scratch: &mut Vec<u32>,
         mut fetch: impl FnMut(usize) -> u32,
@@ -183,8 +324,8 @@ impl Group {
 #[derive(Debug, Default)]
 pub struct SearchScratch {
     hists: Vec<ColumnHist>,
-    cstats: Vec<CandStat>,
-    groups: Vec<Group>,
+    pub(crate) cstats: Vec<CandStat>,
+    pub(crate) groups: Vec<Group>,
     /// Maps a level's column-set signature to its group index.
     group_ix: FxHashMap<Vec<u16>, usize>,
 }
@@ -271,29 +412,13 @@ pub(crate) fn find_best_marginal_rule_columnar(
             hist.counts.resize(card, 0.0);
             hist.marginals.clear();
             hist.marginals.resize(card, 0.0);
-            hist.wtab.clear();
-            hist.wtab.resize(card, 0.0);
 
             count_column(table, &chunk, c, &mut hist.counts);
 
             // Candidate boundary: materialize rules for supported codes,
             // gate on weight, fill the code → weight table.
-            let mut rules: Vec<Rule> = Vec::new();
-            let (mut generated, mut pruned) = (0usize, 0usize);
-            for code in 0..card {
-                if hist.counts[code] <= 0.0 {
-                    continue;
-                }
-                generated += 1;
-                let rule = base.with_value(c, code as u32);
-                let w = weight.weight(&rule, table);
-                if w > opts.max_weight + 1e-12 {
-                    pruned += 1;
-                    continue;
-                }
-                hist.wtab[code] = w;
-                rules.push(rule);
-            }
+            let cands = pass1_candidates(table, &base, c, &hist.counts, weight, opts);
+            hist.wtab = cands.wtab;
 
             // Marginal sweep: m[code] += w_t · (W − min(W, cov_t)). Over-cap
             // and unsupported codes have W = 0 in wtab, contributing 0 to
@@ -303,9 +428,9 @@ pub(crate) fn find_best_marginal_rule_columnar(
 
             Pass1Out {
                 hist,
-                rules,
-                generated,
-                pruned,
+                rules: cands.rules,
+                generated: cands.generated,
+                pruned: cands.pruned,
             }
         })
     };
@@ -333,75 +458,13 @@ pub(crate) fn find_best_marginal_rule_columnar(
     }
 
     // ---- Passes 2..: a-priori extension, grouped columnar counting. ----
-    let blocks: Vec<(usize, u32)> = level
-        .iter()
-        .map(|r| {
-            let c = r
-                .instantiated_columns()
-                .find(|c| base.is_star(*c))
-                .expect("level-1 rule instantiates one free column");
-            (c, r.code(c))
-        })
-        .collect();
+    let blocks = level_blocks(&level, &base);
 
     let mut current = level;
     for _pass in 2..=max_size {
-        let survivors: Vec<&Rule> = current
-            .iter()
-            .filter(|r| {
-                let stat = counted[*r];
-                stat.count > 0.0
-                    && (!opts.pruning || stat.super_rule_bound(opts.max_weight) >= best_h)
-            })
-            .collect();
-        if survivors.is_empty() {
-            break;
-        }
-
-        let mut next: Vec<Rule> = Vec::new();
-        let mut cand_weights: Vec<f64> = Vec::new();
-        for r in survivors {
-            let max_free = r
-                .instantiated_columns()
-                .filter(|c| base.is_star(*c))
-                .last()
-                .expect("survivor instantiates at least one free column");
-            for &(c, v) in &blocks {
-                if c <= max_free {
-                    continue;
-                }
-                let cand = r.with_value(c, v);
-                stats.generated += 1;
-
-                let mut bound = f64::INFINITY;
-                let mut all_present = true;
-                for sc in cand.instantiated_columns().filter(|c| base.is_star(*c)) {
-                    let sub = cand.with_star(sc);
-                    match counted.get(&sub) {
-                        Some(stat) => bound = bound.min(stat.super_rule_bound(opts.max_weight)),
-                        None => {
-                            all_present = false;
-                            break;
-                        }
-                    }
-                }
-                if !all_present {
-                    stats.pruned += 1;
-                    continue;
-                }
-                if opts.pruning && (bound < best_h || bound <= 0.0) {
-                    stats.pruned += 1;
-                    continue;
-                }
-                let w = weight.weight(&cand, table);
-                if w > opts.max_weight + 1e-12 {
-                    stats.pruned += 1;
-                    continue;
-                }
-                next.push(cand);
-                cand_weights.push(w);
-            }
-        }
+        let (next, cand_weights) = generate_level(
+            table, &base, &blocks, &current, &counted, weight, opts, best_h, &mut stats,
+        );
         if next.is_empty() {
             break;
         }
@@ -602,39 +665,10 @@ fn pass1_row_sliced(
         })
         .collect();
 
-    struct ColCands {
-        rules: Vec<Rule>,
-        wtab: Vec<f64>,
-        generated: usize,
-        pruned: usize,
-    }
-    let cands: Vec<ColCands> = exec::parallel_map(threads, (0..free_cols.len()).collect(), |fi| {
-        let c = free_cols[fi];
-        let counts = &col_counts[fi];
-        let mut wtab = vec![0.0f64; counts.len()];
-        let mut rules: Vec<Rule> = Vec::new();
-        let (mut generated, mut pruned) = (0usize, 0usize);
-        for (code, &count) in counts.iter().enumerate() {
-            if count <= 0.0 {
-                continue;
-            }
-            generated += 1;
-            let rule = base.with_value(c, code as u32);
-            let w = weight.weight(&rule, table);
-            if w > opts.max_weight + 1e-12 {
-                pruned += 1;
-                continue;
-            }
-            wtab[code] = w;
-            rules.push(rule);
-        }
-        ColCands {
-            rules,
-            wtab,
-            generated,
-            pruned,
-        }
-    });
+    let cands: Vec<Pass1Cands> =
+        exec::parallel_map(threads, (0..free_cols.len()).collect(), |fi| {
+            pass1_candidates(table, base, free_cols[fi], &col_counts[fi], weight, opts)
+        });
 
     let marg_parts = exec::parallel_map(threads, jobs, |(fi, ck)| {
         let c = free_cols[fi];
@@ -674,7 +708,7 @@ fn pass1_row_sliced(
 
 /// Groups a level's candidates by instantiated-column signature and builds
 /// each group's dense cell map or sorted probe keys.
-fn build_groups(
+pub(crate) fn build_groups(
     scratch: &mut SearchScratch,
     table: &Table,
     base: &Rule,
@@ -967,7 +1001,10 @@ fn count_group_sparse(
 /// Selects the winner from the counted set: max marginal, ties broken toward
 /// higher weight then lexicographically smaller codes (identical to the
 /// reference implementation).
-fn pick_winner(counted: &FxHashMap<Rule, CandStat>, stats: SearchStats) -> Option<BestMarginal> {
+pub(crate) fn pick_winner(
+    counted: &FxHashMap<Rule, CandStat>,
+    stats: SearchStats,
+) -> Option<BestMarginal> {
     let mut best: Option<(&Rule, &CandStat)> = None;
     for (rule, stat) in counted {
         if stat.marginal <= 0.0 {

@@ -32,6 +32,10 @@
 //!   by the kernel and the sampling layer's prefetch scan,
 //! * [`brs`] — Algorithm 1: the greedy BRS optimizer,
 //! * [`drilldown`] — rule and star drill-down (Problem 1 → 2/3 reductions),
+//! * [`shard`] — bit-compatible twins of the hot paths over sharded
+//!   (`sdd_table::ShardedTable`) storage: per-shard counting passes,
+//!   coverage scans, scoring, and drill-downs for larger-than-memory
+//!   tables,
 //! * [`session`] — the interactive exploration tree with paper-style rendering,
 //! * [`exact`] — brute-force oracle for tests and ablations,
 //! * [`mw_estimate`] — sampling-based estimation of the `mw` parameter (§6.1),
@@ -50,6 +54,7 @@ pub mod reduction;
 pub mod rule;
 pub mod score;
 pub mod session;
+pub mod shard;
 pub mod weight;
 
 pub use brs::{Brs, BrsResult, ScoredRule};
@@ -73,6 +78,11 @@ pub use score::{
     rule_count, score_list, score_set, sort_by_weight_desc, top_assignment, ListScore, RuleScore,
 };
 pub use session::{Node, Session, SessionError};
+pub use shard::{
+    count_rules_sharded, covered_positions_sharded, covered_rows_sharded, drill_down_sharded,
+    filter_to_rule_sharded, find_best_marginal_rule_sharded, rule_count_sharded,
+    score_list_sharded, sort_by_weight_desc_sharded, star_drill_down_sharded,
+};
 pub use weight::{
     check_monotone_on, BitsWeight, ColumnWeight, RequireColumn, SizeMinusOne, SizeWeight,
     TraditionalEmulation, WeightFn,

@@ -1,0 +1,724 @@
+//! Sharded compute: the drill-down hot paths over [`ShardedTable`] /
+//! [`ShardedView`] storage (see `sdd_table::shard` for the substrate).
+//!
+//! Every function here is a **bit-compatible twin** of its monolithic
+//! counterpart. The contract rests on two facts:
+//!
+//! 1. the shard layout partitions the row range in order, so iterating
+//!    shards in index order visits rows (or view positions) in exactly the
+//!    monolithic order;
+//! 2. every float accumulator is updated **shard-after-shard into one
+//!    shared accumulator** — the same operation sequence the monolithic
+//!    scan performs — while parallelism comes from *disjoint* accumulators
+//!    (one per column or candidate group, threaded through the shard loop
+//!    by [`crate::exec::parallel_map`], which returns them in job order).
+//!    Integer quantities additionally fan out per (column × shard) with
+//!    private `u64` partials merged by the chunk-ordered
+//!    [`crate::exec::reduce_pairwise`] — associative, hence still exact.
+//!
+//! Consequently the sharded search, BRS, coverage scans, and scoring are
+//! **bit-identical to the monolithic path for any shard count and any
+//! resident budget** — eviction and spill reload only change when bytes
+//! are in memory, never which bytes. `tests/shard_parity.rs` asserts this
+//! end to end (search winners, sample stores, server transcripts) across
+//! shard counts 1..=8, including budgets that force spill.
+
+use crate::brs::{Brs, BrsResult, ScoredRule};
+use crate::exec;
+use crate::kernel::{
+    build_groups, generate_level, level_blocks, pass1_candidates, pick_winner, CandStat, Group,
+    Pass1Cands, SearchScratch,
+};
+use crate::marginal::{BestMarginal, SearchOptions, SearchStats};
+use crate::score::ListScore;
+use crate::weight::RequireColumn;
+use crate::{Rule, WeightFn};
+use rustc_hash::FxHashMap;
+use sdd_table::{RowId, ShardRun, ShardedTable, ShardedView};
+
+/// All row ids of `table` covered by `rule` (ascending) — the sharded twin
+/// of [`crate::covered_rows`]: shards are filtered in index order and the
+/// per-shard hit lists concatenate, so the output is byte-identical to the
+/// monolithic scan on any shard count.
+pub fn covered_rows_sharded(table: &ShardedTable, rule: &Rule) -> Vec<RowId> {
+    let cols: Vec<usize> = rule.instantiated_columns().collect();
+    let n = table.n_rows();
+    if cols.is_empty() {
+        return (0..n as RowId).collect();
+    }
+    let mut out: Vec<RowId> = Vec::new();
+    for i in 0..table.n_shards() {
+        let seg = table.segment(i);
+        let start = seg.span().start as RowId;
+        let (&first, rest) = cols.split_first().expect("non-empty");
+        let want = rule.code(first);
+        let mut rows: Vec<RowId> = Vec::new();
+        for (j, &code) in seg.col(first).iter().enumerate() {
+            if code == want {
+                rows.push(start + j as RowId);
+            }
+        }
+        for &c in rest {
+            let codes = seg.col(c);
+            let want = rule.code(c);
+            rows.retain(|&r| codes[(r - start) as usize] == want);
+        }
+        out.extend(rows);
+    }
+    out
+}
+
+/// View positions (ascending) whose rows are covered by `rule` — the
+/// sharded twin of [`crate::covered_positions`]. Byte-identical output.
+pub fn covered_positions_sharded(view: &ShardedView, rule: &Rule) -> Vec<u32> {
+    let cols: Vec<usize> = rule.instantiated_columns().collect();
+    if cols.is_empty() {
+        return (0..view.len() as u32).collect();
+    }
+    let st = view.table();
+    let mut out: Vec<u32> = Vec::new();
+    for run in view.shard_runs() {
+        let seg = st.segment(run.shard);
+        for pos in run.positions.clone() {
+            let local = seg.local(view.row_at(pos));
+            if cols.iter().all(|&c| seg.col(c)[local] == rule.code(c)) {
+                out.push(pos as u32);
+            }
+        }
+    }
+    out
+}
+
+/// Filters `view` to the positions covered by `base` — the sharded twin of
+/// [`crate::filter_to_rule`]. Row order and weights are preserved.
+pub fn filter_to_rule_sharded(view: &ShardedView, base: &Rule) -> ShardedView {
+    let positions = covered_positions_sharded(view, base);
+    let rows: Vec<RowId> = positions.iter().map(|&p| view.row_at(p as usize)).collect();
+    match view.weights() {
+        Some(_) => {
+            let weights: Vec<f64> = positions
+                .iter()
+                .map(|&p| view.weight_at(p as usize))
+                .collect();
+            ShardedView::with_rows_and_weights(view.table().clone(), rows, weights)
+        }
+        None => ShardedView::with_rows(view.table().clone(), rows),
+    }
+}
+
+/// Exact counts of every rule in one pass over the sharded table — the scan
+/// behind the explorer's sharded `refresh`. Counts are unit additions in
+/// row order, identical to the monolithic single-pass refresh.
+pub fn count_rules_sharded(table: &ShardedTable, rules: &[Rule]) -> Vec<f64> {
+    let mut counts = vec![0.0f64; rules.len()];
+    let n_cols = table.n_columns();
+    let mut codes: Vec<u32> = Vec::with_capacity(n_cols);
+    for i in 0..table.n_shards() {
+        let seg = table.segment(i);
+        for local in 0..seg.span().len() {
+            codes.clear();
+            codes.extend((0..n_cols).map(|c| seg.col(c)[local]));
+            for (ri, rule) in rules.iter().enumerate() {
+                if rule.covers_codes(&codes) {
+                    counts[ri] += 1.0;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// The (weighted) `Count` of one rule over a sharded view — twin of
+/// [`crate::rule_count`].
+pub fn rule_count_sharded(view: &ShardedView, rule: &Rule) -> f64 {
+    covered_positions_sharded(view, rule)
+        .into_iter()
+        .map(|p| view.weight_at(p as usize))
+        .sum()
+}
+
+/// Sorts rules in descending weight order — twin of
+/// [`crate::sort_by_weight_desc`]; weights come from the always-resident
+/// header (same dictionaries and cardinalities as the monolithic table).
+pub fn sort_by_weight_desc_sharded(
+    table: &ShardedTable,
+    weight: &dyn WeightFn,
+    rules: &[Rule],
+) -> Vec<Rule> {
+    let header = table.header();
+    let mut keyed: Vec<(f64, &Rule)> = rules
+        .iter()
+        .map(|r| (weight.weight(r, header), r))
+        .collect();
+    keyed.sort_by(|(wa, ra), (wb, rb)| {
+        wb.partial_cmp(wa)
+            .expect("weights must be finite")
+            .then_with(|| ra.codes().cmp(rb.codes()))
+    });
+    keyed.into_iter().map(|(_, r)| r.clone()).collect()
+}
+
+/// Scores `rules` in the given order against a sharded view — twin of
+/// [`crate::score_list`]: positions are visited in order (shard runs
+/// partition them in order), so every accumulator receives the same
+/// additions in the same order as the monolithic scan.
+pub fn score_list_sharded(view: &ShardedView, weight: &dyn WeightFn, rules: &[Rule]) -> ListScore {
+    let st = view.table();
+    let header = st.header();
+    let weights: Vec<f64> = rules.iter().map(|r| weight.weight(r, header)).collect();
+    let mut counts = vec![0.0f64; rules.len()];
+    let mut mcounts = vec![0.0f64; rules.len()];
+    let mut uncovered = 0.0f64;
+
+    let n_cols = st.n_columns();
+    let mut codes: Vec<u32> = Vec::with_capacity(n_cols);
+    for run in view.shard_runs() {
+        let seg = st.segment(run.shard);
+        for pos in run.positions.clone() {
+            let local = seg.local(view.row_at(pos));
+            codes.clear();
+            codes.extend((0..n_cols).map(|c| seg.col(c)[local]));
+            let w = view.weight_at(pos);
+            let mut assigned = false;
+            for (i, rule) in rules.iter().enumerate() {
+                if rule.covers_codes(&codes) {
+                    counts[i] += w;
+                    if !assigned {
+                        mcounts[i] += w;
+                        assigned = true;
+                    }
+                }
+            }
+            if !assigned {
+                uncovered += w;
+            }
+        }
+    }
+
+    let total = weights.iter().zip(&mcounts).map(|(w, m)| w * m).sum();
+    let rules = rules
+        .iter()
+        .zip(weights)
+        .zip(counts.iter().zip(&mcounts))
+        .map(
+            |((rule, weight), (&count, &mcount))| crate::score::RuleScore {
+                rule: rule.clone(),
+                weight,
+                count,
+                mcount,
+            },
+        )
+        .collect();
+    ListScore {
+        rules,
+        total,
+        uncovered,
+    }
+}
+
+/// Runs Algorithm 2 over a sharded view — the per-shard counting kernel.
+///
+/// Candidate generation, pruning, group layout, and winner selection are
+/// the exact code the monolithic kernel runs
+/// ([`crate::kernel`] shares them); only the row scans differ, and those
+/// follow the determinism contract in the module docs — so the result is
+/// bit-identical to [`crate::find_best_marginal_rule`] on the equivalent
+/// monolithic view, for any shard count, resident budget, and thread count.
+pub fn find_best_marginal_rule_sharded(
+    view: &ShardedView,
+    weight: &dyn WeightFn,
+    covered_weight: &[f64],
+    opts: &SearchOptions,
+    scratch: &mut SearchScratch,
+) -> Option<BestMarginal> {
+    assert_eq!(
+        covered_weight.len(),
+        view.len(),
+        "covered_weight must align with view"
+    );
+    let st = view.table();
+    let header = st.header();
+    let n_cols = st.n_columns();
+    let base = opts.base.clone().unwrap_or_else(|| Rule::trivial(n_cols));
+    let free_cols: Vec<usize> = (0..n_cols).filter(|&c| base.is_star(c)).collect();
+    let max_size = opts
+        .max_rule_size
+        .unwrap_or(free_cols.len())
+        .min(free_cols.len());
+    if max_size == 0 || view.is_empty() {
+        return None;
+    }
+
+    let runs = view.shard_runs();
+    let threads = if cfg!(feature = "parallel")
+        && opts.parallel
+        && view.len() >= opts.parallel_min_rows.max(1)
+    {
+        exec::worker_threads()
+    } else {
+        1
+    };
+
+    let mut stats = SearchStats::default();
+    let mut counted: FxHashMap<Rule, CandStat> = FxHashMap::default();
+    let mut best_h = 0.0f64;
+
+    // ---- Pass 1: per-shard columnar counting. ----
+    stats.passes = 1;
+    let col_counts = pass1_counts_sharded(view, &runs, &free_cols, threads);
+    let cands: Vec<Pass1Cands> = free_cols
+        .iter()
+        .enumerate()
+        .map(|(fi, &c)| pass1_candidates(header, &base, c, &col_counts[fi], weight, opts))
+        .collect();
+    let col_marginals =
+        pass1_marginals_sharded(view, &runs, &free_cols, &cands, covered_weight, threads);
+
+    let mut level: Vec<Rule> = Vec::new();
+    for (fi, cand) in cands.iter().enumerate() {
+        stats.generated += cand.generated;
+        stats.pruned += cand.pruned;
+        stats.counted += cand.rules.len();
+        let c = free_cols[fi];
+        for rule in &cand.rules {
+            let code = rule.code(c) as usize;
+            let stat = CandStat {
+                count: col_counts[fi][code],
+                marginal: col_marginals[fi][code],
+                weight: cand.wtab[code],
+            };
+            counted.insert(rule.clone(), stat);
+            if stat.marginal > best_h {
+                best_h = stat.marginal;
+            }
+        }
+        level.extend(cand.rules.iter().cloned());
+    }
+
+    // ---- Passes 2..: shared a-priori generation, per-shard counting. ----
+    let blocks = level_blocks(&level, &base);
+    let mut current = level;
+    for _pass in 2..=max_size {
+        let (next, cand_weights) = generate_level(
+            header, &base, &blocks, &current, &counted, weight, opts, best_h, &mut stats,
+        );
+        if next.is_empty() {
+            break;
+        }
+        stats.passes += 1;
+        stats.counted += next.len();
+
+        build_groups(scratch, header, &base, &next, view.len());
+        count_level_sharded(view, &runs, scratch, &cand_weights, covered_weight, threads);
+
+        for (cand, stat) in next.iter().zip(&scratch.cstats) {
+            if stat.marginal > best_h {
+                best_h = stat.marginal;
+            }
+            counted.insert(cand.clone(), *stat);
+        }
+        current = next;
+    }
+
+    pick_winner(&counted, stats)
+}
+
+/// Pass-1 counts per free column.
+///
+/// Unit-weight views fan out **one task per shard run** — the task fetches
+/// its segment exactly once and counts every free column over it — with
+/// private `u64` partials, merged per column in run order by
+/// [`exec::reduce_pairwise`]: integer addition is associative, so this is
+/// exact and identical to the serial sweep, and at most `threads` segments
+/// are pinned at a time. Weighted views thread one `f64` accumulator per
+/// column through the runs in order (columns in parallel, runs
+/// sequential), reproducing the monolithic float operation order.
+fn pass1_counts_sharded(
+    view: &ShardedView,
+    runs: &[ShardRun],
+    free_cols: &[usize],
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    let st = view.table();
+    if view.weights().is_none() && threads > 1 {
+        let per_run: Vec<Vec<Vec<u64>>> = exec::parallel_map(threads, runs.to_vec(), |run| {
+            let seg = st.segment(run.shard);
+            free_cols
+                .iter()
+                .map(|&c| {
+                    let codes = seg.col(c);
+                    let mut counts = vec![0u64; st.cardinality(c)];
+                    for pos in run.positions.clone() {
+                        counts[codes[seg.local(view.row_at(pos))] as usize] += 1;
+                    }
+                    counts
+                })
+                .collect()
+        });
+        // Transpose to per-column partial lists (run order preserved).
+        let mut col_parts: Vec<Vec<Vec<u64>>> = (0..free_cols.len())
+            .map(|_| Vec::with_capacity(runs.len()))
+            .collect();
+        for run_out in per_run {
+            for (fi, counts) in run_out.into_iter().enumerate() {
+                col_parts[fi].push(counts);
+            }
+        }
+        return col_parts
+            .into_iter()
+            .map(|parts| {
+                let merged = exec::reduce_pairwise(parts, |a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                });
+                merged.into_iter().map(|c| c as f64).collect()
+            })
+            .collect();
+    }
+
+    let mut accs: Vec<(usize, Vec<f64>)> = free_cols
+        .iter()
+        .enumerate()
+        .map(|(fi, &c)| (fi, vec![0.0f64; st.cardinality(c)]))
+        .collect();
+    for run in runs {
+        let seg = st.segment(run.shard);
+        accs = exec::parallel_map(threads, accs, |(fi, mut counts)| {
+            let codes = seg.col(free_cols[fi]);
+            for pos in run.positions.clone() {
+                counts[codes[seg.local(view.row_at(pos))] as usize] += view.weight_at(pos);
+            }
+            (fi, counts)
+        });
+    }
+    accs.into_iter().map(|(_, c)| c).collect()
+}
+
+/// Pass-1 marginal sweep: one shared `f64` accumulator per column, runs in
+/// order (columns in parallel) — the monolithic operation order exactly.
+fn pass1_marginals_sharded(
+    view: &ShardedView,
+    runs: &[ShardRun],
+    free_cols: &[usize],
+    cands: &[Pass1Cands],
+    covered_weight: &[f64],
+    threads: usize,
+) -> Vec<Vec<f64>> {
+    let st = view.table();
+    let mut accs: Vec<(usize, Vec<f64>)> = free_cols
+        .iter()
+        .enumerate()
+        .map(|(fi, &c)| (fi, vec![0.0f64; st.cardinality(c)]))
+        .collect();
+    for run in runs {
+        let seg = st.segment(run.shard);
+        accs = exec::parallel_map(threads, accs, |(fi, mut marginals)| {
+            let codes = seg.col(free_cols[fi]);
+            let wtab = &cands[fi].wtab;
+            for pos in run.positions.clone() {
+                let code = codes[seg.local(view.row_at(pos))] as usize;
+                let w = wtab[code];
+                marginals[code] += view.weight_at(pos) * (w - w.min(covered_weight[pos]));
+            }
+            (fi, marginals)
+        });
+    }
+    accs.into_iter().map(|(_, m)| m).collect()
+}
+
+/// One pass-j group's accumulator, threaded through the shard runs.
+enum GroupAcc {
+    Dense {
+        counts: Vec<f64>,
+        marginals: Vec<f64>,
+        wvec: Vec<f64>,
+    },
+    Sparse {
+        acc: Vec<(f64, f64)>,
+    },
+}
+
+/// Counts one level's candidate groups over the sharded view, writing
+/// per-candidate stats into `scratch.cstats`. Groups run in parallel; each
+/// group's accumulator sees the runs sequentially in order, so the float
+/// operation order matches the monolithic [`crate::kernel`] `count_level`.
+fn count_level_sharded(
+    view: &ShardedView,
+    runs: &[ShardRun],
+    scratch: &mut SearchScratch,
+    cand_weights: &[f64],
+    covered_weight: &[f64],
+    threads: usize,
+) {
+    let st = view.table();
+    let groups: &Vec<Group> = &scratch.groups;
+    let mut accs: Vec<(usize, GroupAcc)> = groups
+        .iter()
+        .enumerate()
+        .map(|(gi, g)| {
+            let acc = if g.is_dense() {
+                let mut wvec = vec![0.0f64; g.cells];
+                for &(cell, ci) in &g.cand_cells {
+                    wvec[cell] = cand_weights[ci as usize];
+                }
+                GroupAcc::Dense {
+                    counts: vec![0.0; g.cells],
+                    marginals: vec![0.0; g.cells],
+                    wvec,
+                }
+            } else {
+                GroupAcc::Sparse {
+                    acc: vec![(0.0, 0.0); g.order.len()],
+                }
+            };
+            (gi, acc)
+        })
+        .collect();
+
+    for run in runs {
+        let seg = st.segment(run.shard);
+        accs = exec::parallel_map(threads, accs, |(gi, mut acc)| {
+            let g = &groups[gi];
+            match &mut acc {
+                GroupAcc::Dense {
+                    counts,
+                    marginals,
+                    wvec,
+                } => {
+                    for pos in run.positions.clone() {
+                        let local = seg.local(view.row_at(pos));
+                        let mut cell = 0usize;
+                        for (&c, &stride) in g.cols.iter().zip(&g.strides) {
+                            cell += seg.col(c)[local] as usize * stride;
+                        }
+                        let w_t = view.weight_at(pos);
+                        let w = wvec[cell];
+                        counts[cell] += w_t;
+                        marginals[cell] += w_t * (w - w.min(covered_weight[pos]));
+                    }
+                }
+                GroupAcc::Sparse { acc } => {
+                    let mut wide: Vec<u32> = Vec::new();
+                    for pos in run.positions.clone() {
+                        let local = seg.local(view.row_at(pos));
+                        if let Some(p) = g.probe(&mut wide, |gc| seg.col(g.cols[gc])[local]) {
+                            let w = cand_weights[g.order[p] as usize];
+                            let w_t = view.weight_at(pos);
+                            let slot = &mut acc[p];
+                            slot.0 += w_t;
+                            slot.1 += w_t * (w - w.min(covered_weight[pos]));
+                        }
+                    }
+                }
+            }
+            (gi, acc)
+        });
+    }
+
+    let cstats = &mut scratch.cstats;
+    cstats.clear();
+    cstats.extend(cand_weights.iter().map(|&w| CandStat {
+        count: 0.0,
+        marginal: 0.0,
+        weight: w,
+    }));
+    for (gi, acc) in accs {
+        let g = &groups[gi];
+        match acc {
+            GroupAcc::Dense {
+                counts, marginals, ..
+            } => {
+                for &(cell, ci) in &g.cand_cells {
+                    let s = &mut cstats[ci as usize];
+                    s.count = counts[cell];
+                    s.marginal = marginals[cell];
+                }
+            }
+            GroupAcc::Sparse { acc } => {
+                for (&ci, (c, m)) in g.order.iter().zip(acc) {
+                    let s = &mut cstats[ci as usize];
+                    s.count = c;
+                    s.marginal = m;
+                }
+            }
+        }
+    }
+}
+
+/// Rule drill-down over a sharded view — twin of [`crate::drill_down_with`].
+pub fn drill_down_sharded(brs: &Brs<'_>, view: &ShardedView, base: &Rule, k: usize) -> BrsResult {
+    let filtered = filter_to_rule_sharded(view, base);
+    brs.run_sharded_with_base(&filtered, Some(base.clone()), k)
+}
+
+/// Star drill-down over a sharded view — twin of
+/// [`crate::star_drill_down_with`].
+///
+/// # Panics
+/// If `base` already instantiates `column`.
+pub fn star_drill_down_sharded(
+    brs: &Brs<'_>,
+    view: &ShardedView,
+    base: &Rule,
+    column: usize,
+    k: usize,
+) -> BrsResult {
+    assert!(
+        base.is_star(column),
+        "star drill-down requires a ? in the clicked column"
+    );
+    let filtered = filter_to_rule_sharded(view, base);
+    let wrapped = RequireColumn::new(brs.weight_fn(), column);
+    let inner = Brs::new(&wrapped).inherit_config(brs);
+    inner.run_sharded_with_base(&filtered, Some(base.clone()), k)
+}
+
+/// The tail shared by the sharded BRS runner: display sort + scoring.
+pub(crate) fn finish_sharded_brs(
+    view: &ShardedView,
+    weight: &dyn WeightFn,
+    selection: Vec<Rule>,
+    stats: SearchStats,
+) -> BrsResult {
+    let display = sort_by_weight_desc_sharded(view.table(), weight, &selection);
+    let scored = score_list_sharded(view, weight, &display);
+    BrsResult {
+        rules: scored
+            .rules
+            .into_iter()
+            .map(|rs| ScoredRule {
+                rule: rs.rule,
+                weight: rs.weight,
+                count: rs.count,
+                mcount: rs.mcount,
+            })
+            .collect(),
+        selection_order: selection,
+        total_score: scored.total,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{covered_rows, find_best_marginal_rule, SizeWeight};
+    use sdd_table::{Schema, ShardConfig, Table};
+    use std::sync::Arc;
+
+    fn t() -> Table {
+        let mut rows: Vec<[&str; 3]> = Vec::new();
+        rows.extend(std::iter::repeat_n(["a", "x", "0"], 4));
+        rows.extend(std::iter::repeat_n(["a", "y", "1"], 3));
+        rows.extend(std::iter::repeat_n(["b", "x", "0"], 2));
+        rows.push(["c", "z", "1"]);
+        Table::from_rows(Schema::new(["A", "B", "C"]).unwrap(), &rows).unwrap()
+    }
+
+    fn sharded(table: &Table, shards: usize) -> Arc<ShardedTable> {
+        Arc::new(ShardedTable::from_table(table, &ShardConfig::in_memory(shards)).unwrap())
+    }
+
+    #[test]
+    fn covered_rows_matches_monolithic_for_every_shard_count() {
+        let table = t();
+        for rule in [
+            Rule::trivial(3),
+            Rule::from_pairs(&table, &[("A", "a")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "a"), ("B", "x")]).unwrap(),
+        ] {
+            let expect = covered_rows(&table, &rule);
+            for shards in 1..=5 {
+                let st = sharded(&table, shards);
+                assert_eq!(covered_rows_sharded(&st, &rule), expect, "{shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn covered_positions_on_subset_views() {
+        let table = t();
+        let st = sharded(&table, 3);
+        let view = ShardedView::with_rows(st, vec![9, 0, 4, 8, 1]);
+        let rule = Rule::from_pairs(&table, &[("A", "a")]).unwrap();
+        // Rows 0 (a), 4 (a), 1 (a) are covered → positions 1, 2, 4.
+        assert_eq!(covered_positions_sharded(&view, &rule), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn search_matches_monolithic_bitwise() {
+        let table = t();
+        let view = table.view();
+        let cov: Vec<f64> = (0..view.len()).map(|i| (i % 3) as f64 * 0.7).collect();
+        let mut opts = SearchOptions::new(2.0);
+        opts.parallel = false;
+        let mono = find_best_marginal_rule(&view, &SizeWeight, &cov, &opts).unwrap();
+        for shards in 1..=6 {
+            let st = sharded(&table, shards);
+            let sv = ShardedView::all(st);
+            let mut scratch = SearchScratch::new();
+            let got = find_best_marginal_rule_sharded(&sv, &SizeWeight, &cov, &opts, &mut scratch)
+                .unwrap();
+            assert_eq!(got.rule, mono.rule, "{shards} shards");
+            assert_eq!(
+                got.marginal_value.to_bits(),
+                mono.marginal_value.to_bits(),
+                "{shards} shards"
+            );
+            assert_eq!(got.count.to_bits(), mono.count.to_bits());
+            assert_eq!(got.stats, mono.stats, "work counters must match too");
+        }
+    }
+
+    #[test]
+    fn brs_matches_monolithic_bitwise() {
+        let table = t();
+        let mono = Brs::new(&SizeWeight)
+            .with_max_weight(2.0)
+            .run(&table.view(), 3);
+        for shards in [1, 2, 4, 7] {
+            let st = sharded(&table, shards);
+            let got = Brs::new(&SizeWeight)
+                .with_max_weight(2.0)
+                .with_parallel(false)
+                .run_sharded(&ShardedView::all(st), 3);
+            assert_eq!(got.rules_only(), mono.rules_only(), "{shards} shards");
+            assert_eq!(got.total_score.to_bits(), mono.total_score.to_bits());
+            for (a, b) in got.rules.iter().zip(&mono.rules) {
+                assert_eq!(a.count.to_bits(), b.count.to_bits());
+                assert_eq!(a.mcount.to_bits(), b.mcount.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn drill_down_filters_to_base() {
+        let table = t();
+        let st = sharded(&table, 4);
+        let base = Rule::from_pairs(&table, &[("A", "a")]).unwrap();
+        let mono = crate::drill_down(&table.view(), &SizeWeight, &base, 2);
+        let got = drill_down_sharded(
+            &Brs::new(&SizeWeight).with_parallel(false),
+            &ShardedView::all(st),
+            &base,
+            2,
+        );
+        assert_eq!(got.rules_only(), mono.rules_only());
+    }
+
+    #[test]
+    fn count_rules_matches_refresh_semantics() {
+        let table = t();
+        let st = sharded(&table, 3);
+        let rules = vec![
+            Rule::trivial(3),
+            Rule::from_pairs(&table, &[("A", "a")]).unwrap(),
+            Rule::from_pairs(&table, &[("B", "x")]).unwrap(),
+        ];
+        let counts = count_rules_sharded(&st, &rules);
+        for (rule, &count) in rules.iter().zip(&counts) {
+            assert_eq!(count, crate::rule_count(&table.view(), rule), "{rule:?}");
+        }
+    }
+}

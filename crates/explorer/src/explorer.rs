@@ -6,7 +6,7 @@ use sdd_core::{
 use sdd_sampling::{
     count_estimate, FetchMechanism, PrefetchEntry, PrefetchJob, SampleHandler, SampleHandlerConfig,
 };
-use sdd_table::Table;
+use sdd_table::{Table, TableStore};
 use std::sync::Arc;
 
 /// When the post-expansion §4.3 prefetch pass runs.
@@ -97,7 +97,7 @@ struct Node {
 /// in a concurrent server's session registry and hop between worker
 /// threads.
 pub struct Explorer {
-    table: Arc<Table>,
+    store: TableStore,
     weight: Box<dyn WeightFn>,
     config: ExplorerConfig,
     handler: SampleHandler,
@@ -111,24 +111,41 @@ pub struct Explorer {
 }
 
 impl Explorer {
-    /// Opens an explorer over `table`.
+    /// Opens an explorer over a monolithic in-memory `table`.
     pub fn new(table: Arc<Table>, weight: Box<dyn WeightFn>, config: ExplorerConfig) -> Self {
-        let handler = SampleHandler::new(table.clone(), config.handler.clone());
+        Self::with_store(TableStore::Whole(table), weight, config)
+    }
+
+    /// Opens an explorer over any [`TableStore`] — monolithic or sharded.
+    ///
+    /// Sharded stores change *where bytes live*, never results: the
+    /// sampling layer's scans stream shard-by-shard (identical covered-row
+    /// streams → identical samples), served samples are materialized into
+    /// the global code space (identical BRS inputs), and the exact-count
+    /// refresh runs per shard in row order (identical counts). The shard
+    /// parity suite asserts byte-identical behavior against a monolithic
+    /// explorer over the same data.
+    pub fn with_store(
+        store: TableStore,
+        weight: Box<dyn WeightFn>,
+        config: ExplorerConfig,
+    ) -> Self {
+        let handler = SampleHandler::with_store(store.clone(), config.handler.clone());
         let root = Node {
             info: DisplayedRule {
-                rule: Rule::trivial(table.n_columns()),
-                count: table.n_rows() as f64,
-                ci_lo: table.n_rows() as f64,
-                ci_hi: table.n_rows() as f64,
+                rule: Rule::trivial(store.n_columns()),
+                count: store.n_rows() as f64,
+                ci_lo: store.n_rows() as f64,
+                ci_hi: store.n_rows() as f64,
                 exact: true,
                 weight: 0.0,
                 source: FetchMechanism::Find,
             },
             children: Vec::new(),
         };
-        let click_model = crate::ClickModel::new(table.n_columns(), 1.0);
+        let click_model = crate::ClickModel::new(store.n_columns(), 1.0);
         Self {
-            table,
+            store,
             weight,
             config,
             handler,
@@ -145,9 +162,16 @@ impl Explorer {
         &self.click_model
     }
 
-    /// The underlying (shared) table.
+    /// The metadata table: the shared table itself for monolithic stores,
+    /// the always-resident zero-row header for sharded ones. Carries the
+    /// schema and dictionaries (everything display needs) — never scan it.
     pub fn table(&self) -> &Arc<Table> {
-        &self.table
+        self.store.header()
+    }
+
+    /// The storage this session explores.
+    pub fn store(&self) -> &TableStore {
+        &self.store
     }
 
     /// The sampling layer's work counters.
@@ -353,17 +377,25 @@ impl Explorer {
         }
         collect(&self.root, &mut rules);
 
-        // One scan counting all of them.
-        let mut counts = vec![0.0f64; rules.len()];
-        let mut codes: Vec<u32> = Vec::with_capacity(self.table.n_columns());
-        for row in 0..self.table.n_rows() as u32 {
-            self.table.row_codes(row, &mut codes);
-            for (i, rule) in rules.iter().enumerate() {
-                if rule.covers_codes(&codes) {
-                    counts[i] += 1.0;
+        // One scan counting all of them. Sharded stores scan shard-by-shard
+        // in row order — unit additions, so the counts are identical to the
+        // monolithic pass.
+        let counts = match &self.store {
+            TableStore::Whole(table) => {
+                let mut counts = vec![0.0f64; rules.len()];
+                let mut codes: Vec<u32> = Vec::with_capacity(table.n_columns());
+                for row in 0..table.n_rows() as u32 {
+                    table.row_codes(row, &mut codes);
+                    for (i, rule) in rules.iter().enumerate() {
+                        if rule.covers_codes(&codes) {
+                            counts[i] += 1.0;
+                        }
+                    }
                 }
+                counts
             }
-        }
+            TableStore::Sharded(st) => sdd_core::count_rules_sharded(st, &rules),
+        };
 
         // Write back in the same traversal order.
         fn write_back(node: &mut Node, counts: &[f64], idx: &mut usize) {
@@ -397,10 +429,10 @@ impl Explorer {
     /// Renders the display: the paper's dotted-indent table with a
     /// confidence-interval column.
     pub fn render(&self) -> String {
-        let n_cols = self.table.n_columns();
+        let n_cols = self.store.n_columns();
         let mut rows: Vec<Vec<String>> = Vec::new();
         let mut header: Vec<String> = (0..n_cols)
-            .map(|c| self.table.schema().column_name(c).to_owned())
+            .map(|c| self.store.schema().column_name(c).to_owned())
             .collect();
         header.extend(["Count".to_owned(), "95% CI".to_owned(), "Weight".to_owned()]);
         rows.push(header);
@@ -411,7 +443,8 @@ impl Explorer {
                 let cell = match info.rule.get(c) {
                     RuleValue::Star => "?".to_owned(),
                     RuleValue::Value(code) => self
-                        .table
+                        .store
+                        .header()
                         .dictionary(c)
                         .value_of(code)
                         .unwrap_or("<bad-code>")

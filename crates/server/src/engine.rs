@@ -21,7 +21,7 @@ use crate::protocol::{Request, Response, RuleInfo, StatsInfo};
 use crate::registry::{Registry, RegistryError};
 use sdd_core::{BitsWeight, SizeMinusOne, SizeWeight, WeightFn};
 use sdd_explorer::{DisplayedRule, Explorer, ExplorerConfig, PrefetchMode};
-use sdd_table::Table;
+use sdd_table::{Table, TableStore};
 use std::sync::Arc;
 
 /// Server-wide defaults for new sessions.
@@ -54,24 +54,40 @@ impl Default for EngineConfig {
 
 /// The transport-independent server core. See module docs.
 pub struct Engine {
-    table: Arc<Table>,
+    store: TableStore,
     sessions: Registry<Explorer>,
     config: EngineConfig,
 }
 
 impl Engine {
-    /// Creates an engine serving `table`.
+    /// Creates an engine serving a monolithic in-memory `table`.
     pub fn new(table: Arc<Table>, config: EngineConfig) -> Self {
+        Self::with_store(TableStore::Whole(table), config)
+    }
+
+    /// Creates an engine serving any [`TableStore`] — in particular a
+    /// sharded table whose segments spill to disk, which lets one served
+    /// dataset exceed RAM. Every session opened on this engine explores the
+    /// shared store; results are byte-identical to serving the equivalent
+    /// monolithic table (the sharded stress harness asserts the transcript
+    /// equality).
+    pub fn with_store(store: TableStore, config: EngineConfig) -> Self {
         Self {
-            table,
+            store,
             sessions: Registry::new(config.stripes),
             config,
         }
     }
 
-    /// The shared table.
+    /// The served store's metadata table (schema/dictionaries; for sharded
+    /// stores this is the zero-row header).
     pub fn table(&self) -> &Arc<Table> {
-        &self.table
+        self.store.header()
+    }
+
+    /// The storage this engine serves.
+    pub fn store(&self) -> &TableStore {
+        &self.store
     }
 
     /// Number of live sessions.
@@ -97,9 +113,9 @@ impl Engine {
             Request::Ping => (Response::Pong, None),
             Request::TableInfo => (
                 Response::TableInfo {
-                    rows: self.table.n_rows(),
-                    columns: (0..self.table.n_columns())
-                        .map(|c| self.table.schema().column_name(c).to_owned())
+                    rows: self.store.n_rows(),
+                    columns: (0..self.store.n_columns())
+                        .map(|c| self.store.schema().column_name(c).to_owned())
                         .collect(),
                 },
                 None,
@@ -214,7 +230,7 @@ impl Engine {
         if cfg.handler.min_sample_size == 0 || cfg.handler.capacity < cfg.handler.min_sample_size {
             return Response::error("capacity must hold at least one minimum-size sample");
         }
-        let explorer = Explorer::new(self.table.clone(), weight, cfg);
+        let explorer = Explorer::with_store(self.store.clone(), weight, cfg);
         match self.sessions.insert(session, explorer) {
             Ok(()) => Response::Opened {
                 session: session.to_owned(),

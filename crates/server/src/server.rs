@@ -13,7 +13,7 @@
 use crate::engine::{Engine, EngineConfig};
 use crate::protocol::{Request, Response};
 use sdd_core::exec::TaskPool;
-use sdd_table::Table;
+use sdd_table::{Table, TableStore};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -51,16 +51,27 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and builds the
-    /// engine over `table`.
+    /// engine over a monolithic `table`.
     pub fn bind(
         table: Arc<Table>,
+        config: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> std::io::Result<Server> {
+        Self::bind_store(TableStore::Whole(table), config, addr)
+    }
+
+    /// [`Server::bind`] over any [`TableStore`] — the entry point for
+    /// serving a sharded table whose segments spill to disk (`sdd serve
+    /// --shards N --resident M`), so the served dataset can exceed RAM.
+    pub fn bind_store(
+        store: TableStore,
         config: ServerConfig,
         addr: impl ToSocketAddrs,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         Ok(Server {
             listener,
-            engine: Arc::new(Engine::new(table, config.engine)),
+            engine: Arc::new(Engine::with_store(store, config.engine)),
             threads: config.threads,
         })
     }

@@ -18,10 +18,18 @@
 //! * [`stats`] — per-column frequency statistics used by weighting functions
 //!   and the `minSS` guidance,
 //! * [`csv`] — a small self-contained CSV reader/writer,
-//! * [`bucketize`] — equi-width / equi-depth bucketization of numeric data.
+//! * [`bucketize`] — equi-width / equi-depth bucketization of numeric data,
+//! * [`shard`] — the larger-than-memory tier: [`ShardedTable`] partitions
+//!   rows into fixed columnar shard segments (optionally spilled to disk
+//!   under a resident-shard budget), [`ShardedView`] presents the familiar
+//!   positional view surface over it, and [`TableStore`] lets the session
+//!   stack hold either storage form behind one handle. The shard layout and
+//!   spill round-trip are deterministic, so sharded scans reproduce the
+//!   monolithic results bit-for-bit (see the module docs for the contract).
 //!
-//! Everything is deterministic and in-memory; "disk scans" in the sampling
-//! layer are modelled as full passes over a [`Table`].
+//! Everything is deterministic; "disk scans" in the sampling layer are
+//! modelled as full passes over a [`Table`] (or, in the sharded tier, real
+//! per-segment spill reads).
 
 #![warn(missing_docs)]
 
@@ -30,6 +38,7 @@ pub mod csv;
 mod dictionary;
 mod error;
 mod schema;
+pub mod shard;
 pub mod stats;
 mod table;
 mod view;
@@ -37,5 +46,6 @@ mod view;
 pub use dictionary::Dictionary;
 pub use error::TableError;
 pub use schema::{ColumnDef, Schema};
+pub use shard::{ShardConfig, ShardRun, ShardSegment, ShardedTable, ShardedView, TableStore};
 pub use table::{Table, TableBuilder};
 pub use view::{chunk_spans, OwnedTableView, RowId, TableView, ViewChunk, WeightedRow};

@@ -1,0 +1,981 @@
+//! Sharded columnar storage for larger-than-memory drill-down.
+//!
+//! A [`ShardedTable`] partitions a table's rows into **fixed, deterministic
+//! contiguous segments** (the shard *layout* is [`chunk_spans`] of the row
+//! count and shard count — a pure function of both, never of machine or
+//! thread count). Each shard holds its own dictionary-coded column slices:
+//!
+//! * **resident form** — a [`ShardSegment`]: a small [`Table`] whose columns
+//!   are the shard's rows in the **global** code space (codes identical to
+//!   the monolithic table's), so any scan over a segment performs exactly
+//!   the operations the same rows would produce in the monolithic table;
+//! * **spill form** — an optional on-disk file per shard, written once at
+//!   construction. The spill format is local-dictionary coded: per column a
+//!   `remap` array lists the global codes in first-appearance order within
+//!   the shard, and the rows store local codes at the narrowest byte width
+//!   (1/2/4) that fits the shard-local cardinality. Loading remaps local →
+//!   global, so a spill → load round-trip reproduces the resident segment
+//!   bit-for-bit.
+//!
+//! Residency is governed by a **resident-shard budget**: at most that many
+//! segments are cached at once (LRU eviction; segments are immutable, so
+//! eviction can never change a result — a reload decodes identical bytes).
+//! Callers hold segments by `Arc`, so an in-flight scan keeps its segment
+//! alive even if the cache drops it.
+//!
+//! ## Determinism contract
+//!
+//! The shard layout partitions `[0, n_rows)` in order, so iterating shards
+//! in index order visits rows in exactly the monolithic row order. Every
+//! sharded compute path in `sdd-core` exploits this: scans accumulate
+//! shard-after-shard into shared accumulators (identical float operation
+//! order → bit-identical results to the monolithic path, for **any** shard
+//! count and **any** resident budget), and integer partials may additionally
+//! fan out per shard because integer addition is associative. Eviction and
+//! reload affect only *when* bytes are in memory, never which bytes.
+//!
+//! Measure columns stay fully resident inside the [`ShardedTable`] (8 bytes
+//! per row per measure); only the dictionary-coded categorical columns
+//! shard and spill.
+
+use crate::view::chunk_spans;
+use crate::{Dictionary, RowId, Schema, Table};
+use rustc_hash::FxHashMap;
+use std::io::{self, Read, Write};
+use std::ops::Range;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of a [`ShardedTable`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardConfig {
+    /// Number of shards (clamped to ≥ 1; also clamped to the row count by
+    /// the layout, which never creates empty shards for non-empty tables).
+    pub shards: usize,
+    /// Resident-shard budget: at most this many segments cached in memory.
+    /// `0` means unlimited (everything stays resident and no spill files
+    /// are ever read back). A non-zero budget requires `spill_dir`.
+    pub resident: usize,
+    /// Directory for spill files. Each `ShardedTable` creates a unique
+    /// subdirectory inside it and removes that subdirectory on drop.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl ShardConfig {
+    /// A fully-resident layout with `shards` shards (no spill).
+    pub fn in_memory(shards: usize) -> Self {
+        Self {
+            shards,
+            resident: 0,
+            spill_dir: None,
+        }
+    }
+
+    /// A spilling layout: `shards` shards, at most `resident` of them in
+    /// memory, spill files under `dir`.
+    pub fn spilling(shards: usize, resident: usize, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            shards,
+            resident: resident.max(1),
+            spill_dir: Some(dir.into()),
+        }
+    }
+}
+
+/// One resident shard: the shard's rows as a small [`Table`] in the
+/// **global** code space (same dictionaries, same cardinalities, same codes
+/// as the monolithic table), plus the global row span it covers.
+#[derive(Debug)]
+pub struct ShardSegment {
+    span: Range<usize>,
+    table: Table,
+}
+
+impl ShardSegment {
+    /// The global row range `[start, end)` this segment holds.
+    pub fn span(&self) -> Range<usize> {
+        self.span.clone()
+    }
+
+    /// The segment's rows as a table (row `i` is global row
+    /// `span().start + i`).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The shard-local column slice of column `c`, in global codes.
+    pub fn col(&self, c: usize) -> &[u32] {
+        self.table.column(c)
+    }
+
+    /// Maps a global row id inside [`ShardSegment::span`] to the local row
+    /// index. Panics (in debug) when the row is outside the span.
+    #[inline]
+    pub fn local(&self, row: RowId) -> usize {
+        debug_assert!(self.span.contains(&(row as usize)), "row outside span");
+        row as usize - self.span.start
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    seg: Arc<ShardSegment>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Cache {
+    resident: FxHashMap<usize, CacheEntry>,
+    clock: u64,
+    loads: u64,
+    evictions: u64,
+}
+
+/// Monotonic tag making every `ShardedTable`'s spill subdirectory unique
+/// within the process (plus the pid across processes).
+static SPILL_TAG: AtomicU64 = AtomicU64::new(0);
+
+/// A table partitioned into fixed columnar shard segments with an optional
+/// on-disk spill tier. See the module docs for the layout, spill format,
+/// and determinism contract.
+#[derive(Debug)]
+pub struct ShardedTable {
+    header: Arc<Table>,
+    measures: Vec<(String, Vec<f64>)>,
+    spans: Vec<Range<usize>>,
+    spill: Vec<Option<PathBuf>>,
+    spill_root: Option<PathBuf>,
+    resident_budget: usize,
+    cache: Mutex<Cache>,
+}
+
+impl ShardedTable {
+    /// Partitions `table` according to `config`.
+    ///
+    /// With a spill directory, every shard is encoded to disk immediately
+    /// and the cache starts **cold** (the first access to each shard pays a
+    /// load), which keeps the resident budget honest from the first scan.
+    /// Without one, `config.resident` must be `0` (nothing could be evicted)
+    /// and all segments stay resident.
+    pub fn from_table(table: &Table, config: &ShardConfig) -> io::Result<ShardedTable> {
+        if config.resident > 0 && config.spill_dir.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a resident-shard budget requires a spill directory",
+            ));
+        }
+        let spans = chunk_spans(table.n_rows(), config.shards.max(1));
+        let header = Arc::new(table.header_only());
+        let measures: Vec<(String, Vec<f64>)> = table
+            .measure_names()
+            .map(|n| {
+                (
+                    n.to_owned(),
+                    table.measure(n).expect("own measure").to_vec(),
+                )
+            })
+            .collect();
+
+        let spill_root = match &config.spill_dir {
+            Some(dir) => {
+                let tag = SPILL_TAG.fetch_add(1, Ordering::Relaxed);
+                let root = dir.join(format!("sdd-shards-{}-{tag:04}", std::process::id()));
+                std::fs::create_dir_all(&root)?;
+                Some(root)
+            }
+            None => None,
+        };
+
+        let mut spill: Vec<Option<PathBuf>> = vec![None; spans.len()];
+        let mut cache = Cache::default();
+        for (i, span) in spans.iter().enumerate() {
+            let cols: Vec<Vec<u32>> = (0..table.n_columns())
+                .map(|c| table.column(c)[span.clone()].to_vec())
+                .collect();
+            if let Some(root) = &spill_root {
+                let path = root.join(format!("shard-{i:05}.seg"));
+                write_segment(&path, &cols, span.len())?;
+                spill[i] = Some(path);
+                // Cold cache: segments are rebuilt from spill on first use.
+            } else {
+                cache.clock += 1;
+                cache.resident.insert(
+                    i,
+                    CacheEntry {
+                        seg: Arc::new(ShardSegment {
+                            span: span.clone(),
+                            table: segment_table(&header, &measures, span, cols),
+                        }),
+                        last_used: cache.clock,
+                    },
+                );
+            }
+        }
+
+        Ok(ShardedTable {
+            header,
+            measures,
+            spans,
+            spill,
+            spill_root,
+            resident_budget: config.resident,
+            cache: Mutex::new(cache),
+        })
+    }
+
+    /// The always-resident header: a zero-row [`Table`] carrying the
+    /// schema, the global dictionaries, and the measure names. Weight
+    /// functions, rule construction, and display read only this.
+    pub fn header(&self) -> &Arc<Table> {
+        &self.header
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        self.header.schema()
+    }
+
+    /// Total number of rows across all shards.
+    pub fn n_rows(&self) -> usize {
+        self.spans.last().map_or(0, |s| s.end)
+    }
+
+    /// Number of categorical columns.
+    pub fn n_columns(&self) -> usize {
+        self.header.n_columns()
+    }
+
+    /// The global dictionary of column `col`.
+    pub fn dictionary(&self, col: usize) -> &Dictionary {
+        self.header.dictionary(col)
+    }
+
+    /// Number of distinct values in column `col` (global).
+    pub fn cardinality(&self, col: usize) -> usize {
+        self.header.cardinality(col)
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The shard spans, in order; they partition `[0, n_rows)`.
+    pub fn spans(&self) -> &[Range<usize>] {
+        &self.spans
+    }
+
+    /// The shard holding global row `row`. Panics when out of range.
+    pub fn shard_of_row(&self, row: RowId) -> usize {
+        let r = row as usize;
+        assert!(r < self.n_rows(), "row {r} out of range");
+        // First span whose end exceeds r.
+        self.spans.partition_point(|s| s.end <= r)
+    }
+
+    /// The segment for shard `i`, loading it from spill on a cache miss and
+    /// evicting least-recently-used segments beyond the resident budget.
+    /// The returned `Arc` keeps the segment alive regardless of eviction.
+    ///
+    /// The cache lock is **not** held across the disk read: a cache hit on
+    /// one shard never waits behind another thread's in-flight load. Two
+    /// threads missing the same shard may both read the file — segments are
+    /// immutable, so the loser's copy is simply dropped (both reads count
+    /// in [`ShardedTable::loads`]).
+    pub fn segment(&self, i: usize) -> Arc<ShardSegment> {
+        let span = self.spans[i].clone();
+        {
+            let mut cache = self.cache.lock().expect("shard cache poisoned");
+            cache.clock += 1;
+            let clock = cache.clock;
+            if let Some(entry) = cache.resident.get_mut(&i) {
+                entry.last_used = clock;
+                return Arc::clone(&entry.seg);
+            }
+        }
+        // Miss: read + decode outside the lock.
+        let path = self.spill[i]
+            .as_ref()
+            .expect("non-resident shard must have a spill file");
+        let cols = read_segment(path, self.n_columns(), span.len())
+            .expect("shard spill file must decode (written by this table)");
+        let seg = Arc::new(ShardSegment {
+            span: span.clone(),
+            table: segment_table(&self.header, &self.measures, &span, cols),
+        });
+
+        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        cache.clock += 1;
+        let clock = cache.clock;
+        cache.loads += 1;
+        let seg = match cache.resident.get_mut(&i) {
+            // A concurrent loader won the race; keep its copy (ours drops).
+            Some(entry) => {
+                entry.last_used = clock;
+                Arc::clone(&entry.seg)
+            }
+            None => {
+                cache.resident.insert(
+                    i,
+                    CacheEntry {
+                        seg: Arc::clone(&seg),
+                        last_used: clock,
+                    },
+                );
+                seg
+            }
+        };
+        if self.resident_budget > 0 {
+            while cache.resident.len() > self.resident_budget {
+                let lru = cache
+                    .resident
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k)
+                    .expect("non-empty");
+                cache.resident.remove(&lru);
+                cache.evictions += 1;
+            }
+        }
+        seg
+    }
+
+    /// Materializes `rows` (global ids, in the given order) into a new
+    /// in-memory [`Table`] that preserves the global dictionaries — see
+    /// [`Table::gather_rows`].
+    ///
+    /// Every distinct shard's segment is pinned **once** up front (reservoir
+    /// samples arrive in arbitrary order, so per-transition fetching would
+    /// reload a tiny-budget cache on nearly every row); the pins are
+    /// released when the gather returns. The output is independent of the
+    /// fetch strategy — rows are emitted strictly in the given order.
+    pub fn gather_rows(&self, rows: &[RowId]) -> Table {
+        if rows.is_empty() {
+            return self.header.header_only();
+        }
+        let mut segs: FxHashMap<usize, Arc<ShardSegment>> = FxHashMap::default();
+        for &row in rows {
+            let shard = self.shard_of_row(row);
+            if !segs.contains_key(&shard) {
+                segs.insert(shard, self.segment(shard));
+            }
+        }
+        // Group consecutive rows by shard (gather_multi part order = row
+        // order).
+        let mut parts: Vec<(&Arc<ShardSegment>, Vec<RowId>)> = Vec::new();
+        for &row in rows {
+            let seg = &segs[&self.shard_of_row(row)];
+            match parts.last_mut() {
+                Some((ps, locals)) if Arc::ptr_eq(ps, seg) => {
+                    locals.push(ps.local(row) as RowId);
+                }
+                _ => {
+                    let local = seg.local(row) as RowId;
+                    parts.push((seg, vec![local]));
+                }
+            }
+        }
+        let borrowed: Vec<(&Table, &[RowId])> = parts
+            .iter()
+            .map(|(seg, locals)| (seg.table(), locals.as_slice()))
+            .collect();
+        Table::gather_multi(&borrowed)
+    }
+
+    /// Number of segments currently resident in the cache.
+    pub fn resident_count(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("shard cache poisoned")
+            .resident
+            .len()
+    }
+
+    /// Cumulative spill-file loads (cache misses) since construction.
+    pub fn loads(&self) -> u64 {
+        self.cache.lock().expect("shard cache poisoned").loads
+    }
+
+    /// Cumulative evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.cache.lock().expect("shard cache poisoned").evictions
+    }
+
+    /// The configured resident-shard budget (`0` = unlimited).
+    pub fn resident_budget(&self) -> usize {
+        self.resident_budget
+    }
+}
+
+impl Drop for ShardedTable {
+    fn drop(&mut self) {
+        // Best-effort cleanup of this table's private spill subdirectory.
+        if let Some(root) = &self.spill_root {
+            for p in self.spill.iter().flatten() {
+                let _ = std::fs::remove_file(p);
+            }
+            let _ = std::fs::remove_dir(root);
+        }
+    }
+}
+
+/// Builds the resident [`Table`] of one segment: global-coded columns plus
+/// the span's measure slices, sharing the header's schema/dictionaries.
+fn segment_table(
+    header: &Table,
+    measures: &[(String, Vec<f64>)],
+    span: &Range<usize>,
+    cols: Vec<Vec<u32>>,
+) -> Table {
+    let sliced: Vec<(String, Vec<f64>)> = measures
+        .iter()
+        .map(|(n, vals)| (n.clone(), vals[span.clone()].to_vec()))
+        .collect();
+    Table::from_parts(
+        header.schema().clone(),
+        (0..header.n_columns())
+            .map(|c| header.dictionary(c).clone())
+            .collect(),
+        cols,
+        sliced,
+        span.len(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Spill encoding: per column a local dictionary (`remap`: global codes in
+// first-appearance order) and the rows as local codes at the narrowest byte
+// width that fits the shard-local cardinality.
+// ---------------------------------------------------------------------------
+
+const SPILL_MAGIC: &[u8; 8] = b"SDDSHRD1";
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes one shard's global-coded columns into the spill format.
+fn encode_segment(cols: &[Vec<u32>], n_rows: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SPILL_MAGIC);
+    put_u32(&mut out, cols.len() as u32);
+    put_u32(&mut out, n_rows as u32);
+    let mut index: FxHashMap<u32, u32> = FxHashMap::default();
+    for col in cols {
+        debug_assert_eq!(col.len(), n_rows);
+        index.clear();
+        let mut remap: Vec<u32> = Vec::new();
+        let locals: Vec<u32> = col
+            .iter()
+            .map(|&g| {
+                *index.entry(g).or_insert_with(|| {
+                    remap.push(g);
+                    remap.len() as u32 - 1
+                })
+            })
+            .collect();
+        put_u32(&mut out, remap.len() as u32);
+        for &g in &remap {
+            put_u32(&mut out, g);
+        }
+        let width: u8 = if remap.len() <= 0x100 {
+            1
+        } else if remap.len() <= 0x1_0000 {
+            2
+        } else {
+            4
+        };
+        out.push(width);
+        for &l in &locals {
+            out.extend_from_slice(&l.to_le_bytes()[..width as usize]);
+        }
+    }
+    out
+}
+
+fn write_segment(path: &std::path::Path, cols: &[Vec<u32>], n_rows: usize) -> io::Result<()> {
+    let bytes = encode_segment(cols, n_rows);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    f.sync_data().ok(); // best effort; spill is rebuildable
+    Ok(())
+}
+
+/// Decodes a spill file back into global-coded columns.
+fn decode_segment(
+    bytes: &[u8],
+    expect_cols: usize,
+    expect_rows: usize,
+) -> io::Result<Vec<Vec<u32>>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> io::Result<&[u8]> {
+        let s = bytes
+            .get(pos..pos + n)
+            .ok_or_else(|| bad("truncated spill file"))?;
+        pos += n;
+        Ok(s)
+    };
+    if take(8)? != SPILL_MAGIC {
+        return Err(bad("bad spill magic"));
+    }
+    let rd_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4 bytes"));
+    let n_cols = rd_u32(take(4)?) as usize;
+    let n_rows = rd_u32(take(4)?) as usize;
+    if n_cols != expect_cols || n_rows != expect_rows {
+        return Err(bad("spill shape mismatch"));
+    }
+    let mut cols = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let remap_len = rd_u32(take(4)?) as usize;
+        let remap_bytes = take(remap_len * 4)?;
+        let remap: Vec<u32> = remap_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let width = take(1)?[0] as usize;
+        if !matches!(width, 1 | 2 | 4) {
+            return Err(bad("bad code width"));
+        }
+        let data = take(n_rows * width)?;
+        let mut col = Vec::with_capacity(n_rows);
+        for chunk in data.chunks_exact(width) {
+            let mut raw = [0u8; 4];
+            raw[..width].copy_from_slice(chunk);
+            let local = u32::from_le_bytes(raw) as usize;
+            let global = *remap
+                .get(local)
+                .ok_or_else(|| bad("local code out of range"))?;
+            col.push(global);
+        }
+        cols.push(col);
+    }
+    Ok(cols)
+}
+
+fn read_segment(
+    path: &std::path::Path,
+    expect_cols: usize,
+    expect_rows: usize,
+) -> io::Result<Vec<Vec<u32>>> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode_segment(&bytes, expect_cols, expect_rows)
+}
+
+// ---------------------------------------------------------------------------
+// ShardedView
+// ---------------------------------------------------------------------------
+
+/// One maximal run of consecutive view positions whose rows live in a
+/// single shard — the unit sharded scans iterate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRun {
+    /// Shard index.
+    pub shard: usize,
+    /// Global view positions `[start, end)` of the run.
+    pub positions: Range<usize>,
+}
+
+/// An owned, `Send + Sync` view over a [`ShardedTable`]'s rows — the
+/// sharded counterpart of [`crate::OwnedTableView`], presenting the same
+/// positional surface (`len` / `row_at` / `weight_at` / `row_ids` /
+/// `weights` / `chunks`).
+///
+/// Chunk boundaries come from [`chunk_spans`] of the view length alone, so
+/// [`ShardedView::chunks`] is independent of the shard layout — the same
+/// chunk plan the monolithic view produces.
+#[derive(Debug, Clone)]
+pub struct ShardedView {
+    table: Arc<ShardedTable>,
+    /// `None` = all rows in order (position `i` *is* row `i`).
+    rows: Option<Vec<RowId>>,
+    weights: Option<Vec<f64>>,
+}
+
+impl ShardedView {
+    /// A view over every row, unit weights.
+    pub fn all(table: Arc<ShardedTable>) -> Self {
+        Self {
+            table,
+            rows: None,
+            weights: None,
+        }
+    }
+
+    /// A view over an explicit row subset, unit weights.
+    pub fn with_rows(table: Arc<ShardedTable>, rows: Vec<RowId>) -> Self {
+        debug_assert!(rows.iter().all(|&r| (r as usize) < table.n_rows()));
+        Self {
+            table,
+            rows: Some(rows),
+            weights: None,
+        }
+    }
+
+    /// A view over an explicit row subset with per-tuple weights. Panics if
+    /// lengths differ.
+    pub fn with_rows_and_weights(
+        table: Arc<ShardedTable>,
+        rows: Vec<RowId>,
+        weights: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rows.len(), weights.len(), "rows/weights length mismatch");
+        debug_assert!(rows.iter().all(|&r| (r as usize) < table.n_rows()));
+        Self {
+            table,
+            rows: Some(rows),
+            weights: Some(weights),
+        }
+    }
+
+    /// The underlying sharded table.
+    pub fn table(&self) -> &Arc<ShardedTable> {
+        &self.table
+    }
+
+    /// Number of (row, weight) entries in the view.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            None => self.table.n_rows(),
+            Some(v) => v.len(),
+        }
+    }
+
+    /// True if the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The row id at position `i`.
+    #[inline]
+    pub fn row_at(&self, i: usize) -> RowId {
+        match &self.rows {
+            None => i as RowId,
+            Some(v) => v[i],
+        }
+    }
+
+    /// The weight at position `i`.
+    #[inline]
+    pub fn weight_at(&self, i: usize) -> f64 {
+        match &self.weights {
+            Some(w) => w[i],
+            None => 1.0,
+        }
+    }
+
+    /// Sum of all weights.
+    pub fn total_weight(&self) -> f64 {
+        match &self.weights {
+            Some(w) => w.iter().sum(),
+            None => self.len() as f64,
+        }
+    }
+
+    /// The explicit row-id slice, or `None` when the view covers all rows
+    /// in order.
+    #[inline]
+    pub fn row_ids(&self) -> Option<&[RowId]> {
+        self.rows.as_deref()
+    }
+
+    /// The per-tuple weight slice, or `None` for unit weights.
+    #[inline]
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Splits the view's **positions** into at most `max_chunks` spans via
+    /// [`chunk_spans`] — a pure function of `len` and `max_chunks`,
+    /// independent of the shard layout (asserted by the substrate property
+    /// suite).
+    pub fn chunks(&self, max_chunks: usize) -> Vec<Range<usize>> {
+        chunk_spans(self.len(), max_chunks)
+    }
+
+    /// The view's positions grouped into maximal per-shard runs, in
+    /// position order. For an all-rows view this is exactly one run per
+    /// non-empty shard; for subsets, consecutive positions sharing a shard
+    /// coalesce. Iterating runs in order visits positions `0..len` exactly
+    /// once, in order.
+    pub fn shard_runs(&self) -> Vec<ShardRun> {
+        match &self.rows {
+            None => self
+                .table
+                .spans()
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_empty())
+                .map(|(shard, s)| ShardRun {
+                    shard,
+                    positions: s.clone(),
+                })
+                .collect(),
+            Some(rows) => {
+                let mut runs: Vec<ShardRun> = Vec::new();
+                for (pos, &row) in rows.iter().enumerate() {
+                    let shard = self.table.shard_of_row(row);
+                    match runs.last_mut() {
+                        Some(r) if r.shard == shard && r.positions.end == pos => {
+                            r.positions.end = pos + 1;
+                        }
+                        _ => runs.push(ShardRun {
+                            shard,
+                            positions: pos..pos + 1,
+                        }),
+                    }
+                }
+                runs
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TableStore
+// ---------------------------------------------------------------------------
+
+/// The storage behind a drill-down session: one monolithic in-memory
+/// [`Table`], or a [`ShardedTable`] whose segments may live on disk.
+///
+/// The sampling layer, explorer, and server hold a `TableStore` and
+/// dispatch their full-table scans on it; all *metadata* access (schema,
+/// dictionaries, cardinalities — everything weight functions and display
+/// need) goes through [`TableStore::header`], which for sharded storage is
+/// the always-resident zero-row header table.
+#[derive(Debug, Clone)]
+pub enum TableStore {
+    /// A monolithic in-memory table.
+    Whole(Arc<Table>),
+    /// A sharded table with an optional spill tier.
+    Sharded(Arc<ShardedTable>),
+}
+
+impl TableStore {
+    /// Total number of rows.
+    pub fn n_rows(&self) -> usize {
+        match self {
+            TableStore::Whole(t) => t.n_rows(),
+            TableStore::Sharded(s) => s.n_rows(),
+        }
+    }
+
+    /// Number of categorical columns.
+    pub fn n_columns(&self) -> usize {
+        match self {
+            TableStore::Whole(t) => t.n_columns(),
+            TableStore::Sharded(s) => s.n_columns(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            TableStore::Whole(t) => t.schema(),
+            TableStore::Sharded(s) => s.schema(),
+        }
+    }
+
+    /// The metadata table: the table itself for [`TableStore::Whole`], the
+    /// zero-row header for [`TableStore::Sharded`]. Carries schema,
+    /// dictionaries, and measure names — never rows; do not scan it.
+    pub fn header(&self) -> &Arc<Table> {
+        match self {
+            TableStore::Whole(t) => t,
+            TableStore::Sharded(s) => s.header(),
+        }
+    }
+
+    /// True for sharded storage.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, TableStore::Sharded(_))
+    }
+}
+
+impl From<Arc<Table>> for TableStore {
+    fn from(t: Arc<Table>) -> Self {
+        TableStore::Whole(t)
+    }
+}
+
+impl From<Arc<ShardedTable>> for TableStore {
+    fn from(s: Arc<ShardedTable>) -> Self {
+        TableStore::Sharded(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn t(n: usize) -> Table {
+        let rows: Vec<[String; 2]> = (0..n)
+            .map(|i| [format!("a{}", i % 5), format!("b{}", i % 3)])
+            .collect();
+        Table::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap()
+    }
+
+    fn spill_dir() -> PathBuf {
+        std::env::temp_dir()
+    }
+
+    #[test]
+    fn spans_partition_rows_and_segments_match_source() {
+        let table = t(23);
+        let st = ShardedTable::from_table(&table, &ShardConfig::in_memory(4)).unwrap();
+        assert_eq!(st.n_shards(), 4);
+        let mut pos = 0;
+        for (i, span) in st.spans().iter().enumerate() {
+            assert_eq!(span.start, pos);
+            pos = span.end;
+            let seg = st.segment(i);
+            assert_eq!(seg.span(), span.clone());
+            for c in 0..table.n_columns() {
+                assert_eq!(seg.col(c), &table.column(c)[span.clone()]);
+            }
+        }
+        assert_eq!(pos, table.n_rows());
+        assert_eq!(st.n_rows(), table.n_rows());
+    }
+
+    #[test]
+    fn spill_roundtrip_is_bit_identical_under_tiny_budget() {
+        let table = t(50);
+        let st =
+            ShardedTable::from_table(&table, &ShardConfig::spilling(8, 1, spill_dir())).unwrap();
+        // Cold cache: every first touch loads from disk.
+        for pass in 0..2 {
+            for i in 0..st.n_shards() {
+                let seg = st.segment(i);
+                for c in 0..table.n_columns() {
+                    assert_eq!(
+                        seg.col(c),
+                        &table.column(c)[seg.span()],
+                        "pass {pass} shard {i} col {c}"
+                    );
+                }
+            }
+        }
+        assert!(st.resident_count() <= 1);
+        assert!(st.loads() >= st.n_shards() as u64, "loads {}", st.loads());
+        assert!(st.evictions() > 0);
+    }
+
+    #[test]
+    fn shard_of_row_matches_spans() {
+        let table = t(17);
+        let st = ShardedTable::from_table(&table, &ShardConfig::in_memory(5)).unwrap();
+        for r in 0..17u32 {
+            let s = st.shard_of_row(r);
+            assert!(st.spans()[s].contains(&(r as usize)));
+        }
+    }
+
+    #[test]
+    fn gather_rows_preserves_codes_and_dictionaries() {
+        let table = t(40);
+        let st =
+            ShardedTable::from_table(&table, &ShardConfig::spilling(6, 2, spill_dir())).unwrap();
+        let rows: Vec<RowId> = vec![39, 0, 17, 17, 5, 31];
+        let mini = st.gather_rows(&rows);
+        assert_eq!(mini.n_rows(), rows.len());
+        for (i, &r) in rows.iter().enumerate() {
+            for c in 0..table.n_columns() {
+                assert_eq!(mini.code(i as u32, c), table.code(r, c), "row {r} col {c}");
+            }
+        }
+        // Dictionaries preserved verbatim (no re-interning).
+        for c in 0..table.n_columns() {
+            assert_eq!(mini.cardinality(c), table.cardinality(c));
+        }
+    }
+
+    #[test]
+    fn sharded_view_chunks_follow_chunk_spans() {
+        let table = t(29);
+        let st = Arc::new(ShardedTable::from_table(&table, &ShardConfig::in_memory(7)).unwrap());
+        let v = ShardedView::all(st.clone());
+        assert_eq!(v.chunks(4), chunk_spans(29, 4));
+        let sub = ShardedView::with_rows(st, vec![3, 4, 5, 20]);
+        assert_eq!(sub.chunks(3), chunk_spans(4, 3));
+    }
+
+    #[test]
+    fn shard_runs_cover_positions_in_order() {
+        let table = t(30);
+        let st = Arc::new(ShardedTable::from_table(&table, &ShardConfig::in_memory(4)).unwrap());
+        let all = ShardedView::all(st.clone());
+        let runs = all.shard_runs();
+        assert_eq!(runs.len(), 4);
+        let mut pos = 0;
+        for r in &runs {
+            assert_eq!(r.positions.start, pos);
+            pos = r.positions.end;
+        }
+        assert_eq!(pos, 30);
+
+        let sub = ShardedView::with_rows(st, vec![0, 1, 29, 2, 8, 9]);
+        let runs = sub.shard_runs();
+        let mut pos = 0;
+        for r in &runs {
+            assert_eq!(r.positions.start, pos);
+            pos = r.positions.end;
+            for p in r.positions.clone() {
+                assert_eq!(sub.table().shard_of_row(sub.row_at(p)), r.shard);
+            }
+        }
+        assert_eq!(pos, sub.len());
+    }
+
+    #[test]
+    fn resident_budget_requires_spill() {
+        let table = t(10);
+        let cfg = ShardConfig {
+            shards: 2,
+            resident: 1,
+            spill_dir: None,
+        };
+        assert!(ShardedTable::from_table(&table, &cfg).is_err());
+    }
+
+    #[test]
+    fn empty_table_shards_cleanly() {
+        let table = t(0);
+        let st = ShardedTable::from_table(&table, &ShardConfig::in_memory(3)).unwrap();
+        assert_eq!(st.n_rows(), 0);
+        let v = ShardedView::all(Arc::new(st));
+        assert!(v.is_empty());
+        assert!(v.shard_runs().is_empty());
+    }
+
+    #[test]
+    fn spill_files_are_removed_on_drop() {
+        let table = t(12);
+        let root;
+        {
+            let st = ShardedTable::from_table(&table, &ShardConfig::spilling(3, 1, spill_dir()))
+                .unwrap();
+            root = st.spill_root.clone().unwrap();
+            assert!(root.exists());
+        }
+        assert!(!root.exists(), "spill subdirectory must be cleaned up");
+    }
+
+    #[test]
+    fn table_store_surfaces_metadata() {
+        let table = Arc::new(t(9));
+        let whole = TableStore::from(table.clone());
+        assert_eq!(whole.n_rows(), 9);
+        assert!(!whole.is_sharded());
+        let st = Arc::new(ShardedTable::from_table(&table, &ShardConfig::in_memory(2)).unwrap());
+        let sharded = TableStore::from(st);
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.n_rows(), 9);
+        assert_eq!(sharded.n_columns(), 2);
+        assert_eq!(sharded.header().n_rows(), 0, "header carries no rows");
+        assert_eq!(sharded.header().cardinality(0), table.cardinality(0));
+    }
+}

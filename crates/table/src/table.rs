@@ -23,6 +23,28 @@ impl Table {
         TableBuilder::new(schema)
     }
 
+    /// Assembles a table from pre-validated parts (the sharded substrate's
+    /// segment loader). Callers guarantee that every code is within its
+    /// dictionary and all lengths equal `n_rows`.
+    pub(crate) fn from_parts(
+        schema: Schema,
+        dicts: Vec<Dictionary>,
+        cols: Vec<Vec<u32>>,
+        measures: Vec<(String, Vec<f64>)>,
+        n_rows: usize,
+    ) -> Table {
+        debug_assert_eq!(cols.len(), schema.n_columns());
+        debug_assert!(cols.iter().all(|c| c.len() == n_rows));
+        debug_assert!(measures.iter().all(|(_, v)| v.len() == n_rows));
+        Table {
+            schema,
+            dicts,
+            cols,
+            measures,
+            n_rows,
+        }
+    }
+
     /// Convenience constructor from string rows.
     ///
     /// ```
@@ -146,6 +168,93 @@ impl Table {
                 .expect("measure names stay unique");
         }
         b.build().expect("lengths preserved")
+    }
+
+    /// Materializes a new `Table` containing only `rows` (in the given
+    /// order) while **preserving this table's dictionaries verbatim**: the
+    /// gathered table has the same schema, the same code space, and the
+    /// same per-column cardinalities as `self`.
+    ///
+    /// This is the bit-compatibility primitive behind the sharded substrate
+    /// ([`crate::ShardedTable::gather_rows`] and the sampling layer's
+    /// materialized samples): any computation over the gathered rows sees
+    /// exactly the code sequence, weights, and cardinalities the same rows
+    /// would produce in `self`, so rule weights, candidate layouts, and
+    /// float accumulation orders are identical. Contrast
+    /// [`Table::select_rows`], which re-interns values and drops unused
+    /// dictionary entries.
+    pub fn gather_rows(&self, rows: &[RowId]) -> Table {
+        Table::gather_multi(&[(self, rows)])
+    }
+
+    /// [`Table::gather_rows`] over multiple source tables sharing one code
+    /// space: concatenates the gathers in part order. All sources must have
+    /// identical schemas and per-column cardinalities (the caller guarantees
+    /// they were gathered from one logical table); dictionaries are taken
+    /// from the first part. Panics when `parts` is empty or the sources
+    /// disagree. Used by the sampling layer's Combine over materialized
+    /// sharded samples.
+    pub fn gather_multi(parts: &[(&Table, &[RowId])]) -> Table {
+        let (first, _) = parts.first().expect("gather_multi needs at least one part");
+        let n_cols = first.n_columns();
+        let total: usize = parts.iter().map(|(_, rows)| rows.len()).sum();
+        let mut cols: Vec<Vec<u32>> = vec![Vec::with_capacity(total); n_cols];
+        for (src, rows) in parts {
+            assert_eq!(src.schema, first.schema, "gather_multi sources disagree");
+            for (c, col) in cols.iter_mut().enumerate() {
+                assert_eq!(
+                    src.dicts[c].len(),
+                    first.dicts[c].len(),
+                    "gather_multi sources must share one code space"
+                );
+                let codes = src.column(c);
+                col.extend(rows.iter().map(|&r| codes[r as usize]));
+            }
+        }
+        let measures = first
+            .measures
+            .iter()
+            .enumerate()
+            .map(|(mi, (name, _))| {
+                let mut vals = Vec::with_capacity(total);
+                for (src, rows) in parts {
+                    let (_, src_vals) = &src.measures[mi];
+                    vals.extend(rows.iter().map(|&r| src_vals[r as usize]));
+                }
+                (name.clone(), vals)
+            })
+            .collect();
+        Table {
+            schema: first.schema.clone(),
+            dicts: first.dicts.clone(),
+            cols,
+            measures,
+            n_rows: total,
+        }
+    }
+
+    /// A zero-row table carrying this table's schema, dictionaries, and
+    /// measure names — the always-in-memory "header" of a sharded table.
+    ///
+    /// Weight functions, rule construction/display, and schema lookups all
+    /// consume only this metadata, so a header stands in for the full table
+    /// wherever no row is touched. **A header is not scannable**: direct
+    /// row access panics, but the common `for row in 0..table.n_rows()`
+    /// idiom sees zero rows and silently computes over nothing — callers
+    /// holding a `TableStore` must dispatch row scans on the store (the
+    /// sharded compute paths in `sdd-core`), never on the header.
+    pub fn header_only(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            dicts: self.dicts.clone(),
+            cols: vec![Vec::new(); self.n_columns()],
+            measures: self
+                .measures
+                .iter()
+                .map(|(n, _)| (n.clone(), Vec::new()))
+                .collect(),
+            n_rows: 0,
+        }
     }
 
     /// Materializes a new `Table` containing only `rows` (in the given

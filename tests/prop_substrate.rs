@@ -1,6 +1,7 @@
 //! Property-based tests of the substrates: table/CSV roundtrips,
-//! bucketization bounds, reservoir statistics, allocation feasibility, and
-//! the knapsack solver.
+//! bucketization bounds, reservoir statistics, allocation feasibility, the
+//! knapsack solver, and the sharded-table invariants (span partitioning,
+//! dictionary-remap spill round-trips, layout-independent chunk plans).
 
 use proptest::prelude::*;
 use smart_drilldown::sampling::{
@@ -9,7 +10,8 @@ use smart_drilldown::sampling::{
 };
 use smart_drilldown::table::bucketize::{equal_depth, equal_width};
 use smart_drilldown::table::csv::{read_csv, write_csv};
-use smart_drilldown::table::{Schema, Table};
+use smart_drilldown::table::{chunk_spans, Schema, ShardConfig, ShardedTable, ShardedView, Table};
+use std::sync::Arc;
 
 fn arb_cells() -> impl Strategy<Value = Vec<Vec<String>>> {
     proptest::collection::vec(
@@ -142,6 +144,89 @@ proptest! {
         prop_assert!((v - best).abs() < 1e-9);
         // No better single swap: adding any unchosen item must overflow...
         // (full optimality is checked against the Lemma-4 DP below).
+    }
+
+    /// Shard spans always partition the row range `[0, n_rows)` exactly:
+    /// in order, gapless, and never empty for non-empty tables.
+    #[test]
+    fn shard_spans_partition_the_row_range(
+        n_rows in 0usize..200,
+        shards in 1usize..12,
+    ) {
+        let rows: Vec<[String; 1]> = (0..n_rows).map(|i| [format!("v{}", i % 7)]).collect();
+        let table = Table::from_rows(Schema::new(["A"]).unwrap(), &rows).unwrap();
+        let st = ShardedTable::from_table(&table, &ShardConfig::in_memory(shards)).unwrap();
+        let mut pos = 0usize;
+        for span in st.spans() {
+            prop_assert_eq!(span.start, pos);
+            prop_assert!(n_rows == 0 || !span.is_empty());
+            pos = span.end;
+        }
+        prop_assert_eq!(pos, n_rows);
+        // Every row maps back into its span.
+        for r in 0..n_rows as u32 {
+            let s = st.shard_of_row(r);
+            prop_assert!(st.spans()[s].contains(&(r as usize)));
+        }
+    }
+
+    /// The spill round-trip (global → local dictionary codes → disk →
+    /// local → global) reproduces every segment bit-for-bit, even when a
+    /// one-shard budget forces every access through the spill tier, and
+    /// regardless of shard-local cardinalities (which choose the 1- or
+    /// 2-byte local code widths).
+    #[test]
+    fn dictionary_remap_spill_roundtrips(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(0u32..300, 2..=2), 1..120),
+        shards in 1usize..9,
+    ) {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|r| r.iter().map(|v| format!("x{v}")).collect())
+            .collect();
+        let table = Table::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap();
+        let st = ShardedTable::from_table(
+            &table,
+            &ShardConfig::spilling(shards, 1, std::env::temp_dir()),
+        )
+        .unwrap();
+        for i in 0..st.n_shards() {
+            let seg = st.segment(i);
+            for c in 0..table.n_columns() {
+                prop_assert_eq!(seg.col(c), &table.column(c)[seg.span()]);
+            }
+        }
+        prop_assert!(st.loads() >= st.n_shards() as u64, "cold cache must load from disk");
+    }
+
+    /// `ShardedView::chunks` agrees with `chunk_spans` of the view length —
+    /// the chunk plan is independent of the shard layout.
+    #[test]
+    fn sharded_view_chunks_agree_with_chunk_spans(
+        n_rows in 1usize..150,
+        shards in 1usize..10,
+        max_chunks in 1usize..12,
+        subset_stride in 1usize..4,
+    ) {
+        let rows: Vec<[String; 1]> = (0..n_rows).map(|i| [format!("v{}", i % 5)]).collect();
+        let table = Table::from_rows(Schema::new(["A"]).unwrap(), &rows).unwrap();
+        let st = Arc::new(ShardedTable::from_table(&table, &ShardConfig::in_memory(shards)).unwrap());
+
+        let all = ShardedView::all(st.clone());
+        prop_assert_eq!(all.chunks(max_chunks), chunk_spans(all.len(), max_chunks));
+
+        let subset: Vec<u32> = (0..n_rows as u32).step_by(subset_stride).collect();
+        let sub = ShardedView::with_rows(st, subset.clone());
+        prop_assert_eq!(sub.chunks(max_chunks), chunk_spans(subset.len(), max_chunks));
+
+        // And the shard runs cover the positions exactly once, in order.
+        let mut pos = 0usize;
+        for run in sub.shard_runs() {
+            prop_assert_eq!(run.positions.start, pos);
+            pos = run.positions.end;
+        }
+        prop_assert_eq!(pos, sub.len());
     }
 
     /// Lemma 4 end-to-end on random instances: the allocation DP's optimum

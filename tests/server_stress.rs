@@ -16,7 +16,7 @@ use smart_drilldown::explorer::{ExplorerConfig, PrefetchMode};
 use smart_drilldown::server::{
     Client, Engine, EngineConfig, Json, OpenOptions, Request, Response, Server, ServerConfig,
 };
-use smart_drilldown::table::Table;
+use smart_drilldown::table::{ShardConfig, ShardedTable, Table, TableStore};
 use std::sync::Arc;
 
 const N_CLIENTS: usize = 6;
@@ -258,6 +258,68 @@ fn concurrent_sessions_match_sequential_replay_byte_for_byte() {
         all.contains("\"served_from_memory\""),
         "stats were never sampled"
     );
+}
+
+#[test]
+fn sharded_spilling_server_matches_monolithic_sequential_replay() {
+    // The same concurrent-client harness, but the served table is split
+    // into 8 shards with only 2 resident at a time — every sample scan and
+    // refresh streams through the spill tier while N clients hammer their
+    // sessions concurrently. Transcripts must stay byte-identical to the
+    // *monolithic* single-threaded replay: sharding + spilling + eviction
+    // + concurrency together must not move a single byte.
+    let table = Arc::new(retail(42));
+    let sharded = Arc::new(
+        ShardedTable::from_table(&table, &ShardConfig::spilling(8, 2, std::env::temp_dir()))
+            .expect("shard build"),
+    );
+
+    let server = Server::bind_store(
+        TableStore::Sharded(sharded.clone()),
+        ServerConfig {
+            engine: EngineConfig::default(), // PrefetchMode::Deferred
+            threads: N_CLIENTS + 2,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..N_CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let client = Client::connect(addr).expect("connect");
+                drive_session(&mut Tcp(client), &session_name(i), session_seed(i))
+            })
+        })
+        .collect();
+    let concurrent: Vec<Vec<String>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    server.shutdown();
+    assert!(
+        sharded.loads() > 0 && sharded.evictions() > 0,
+        "the spill/eviction path was never exercised (loads {}, evictions {})",
+        sharded.loads(),
+        sharded.evictions()
+    );
+
+    // Reference: the same scripts through a *monolithic* in-process engine,
+    // single-threaded, inline prefetch.
+    let reference = sequential_reference(&table);
+    for (i, (conc, refr)) in concurrent.iter().zip(&reference).enumerate() {
+        assert_eq!(conc.len(), refr.len(), "client {i}: transcript length");
+        for (step, (a, b)) in conc.iter().zip(refr).enumerate() {
+            assert_eq!(
+                a, b,
+                "client {i} step {step}: sharded concurrent response differs \
+                 from monolithic sequential replay"
+            );
+        }
+    }
 }
 
 #[test]

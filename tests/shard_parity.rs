@@ -1,0 +1,510 @@
+//! Cross-shard parity suite: the full drill-down pipeline over a
+//! [`ShardedTable`] must be **bit-identical** to the monolithic [`Table`]
+//! path — marginal search, BRS, drill-downs, sample stores, explorer
+//! sessions, and server transcripts — across shard counts 1..=8 and
+//! resident-shard budgets that force segments to spill to disk and be
+//! evicted/reloaded mid-pipeline.
+//!
+//! The determinism contract under test (see `sdd_table::shard` and
+//! `sdd_core::shard`): the shard layout partitions rows in order, sharded
+//! scans accumulate shard-after-shard in exactly the monolithic operation
+//! order, and spill round-trips reproduce segments bit-for-bit — so *where
+//! bytes live* (RAM vs disk, one shard vs eight) can never change a result.
+//!
+//! `SDD_SHARD_RESIDENT` (CI knob) caps the spilling budget so the suite
+//! exercises maximal eviction churn: `SDD_SHARD_RESIDENT=1` keeps at most
+//! one segment in memory at any time.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use smart_drilldown::core::{
+    drill_down_sharded, drill_down_with, find_best_marginal_rule, find_best_marginal_rule_sharded,
+    star_drill_down_sharded, star_drill_down_with, BitsWeight, Brs, Rule, SearchOptions,
+    SearchScratch, SizeWeight, WeightFn,
+};
+use smart_drilldown::datagen::retail;
+use smart_drilldown::explorer::{Explorer, ExplorerConfig, PrefetchMode};
+use smart_drilldown::sampling::{
+    AllocationStrategy, SampleHandler, SampleHandlerConfig, StoredSampleInfo,
+};
+use smart_drilldown::server::{Engine, EngineConfig, OpenOptions, Request};
+use smart_drilldown::table::{
+    Schema, ShardConfig, ShardedTable, ShardedView, Table, TableStore, TableView,
+};
+use std::sync::Arc;
+
+/// Serializes every test in this binary: `sharded_search_is_thread_invariant`
+/// writes the process-global `SDD_THREADS` while every other test reads the
+/// environment (`worker_threads`, `SDD_SHARD_RESIDENT`) — and concurrent
+/// `setenv`/`getenv` is undefined behavior on glibc, not merely a race. All
+/// tests take this lock; other test *binaries* are separate processes.
+fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+        .lock()
+        .expect("env lock poisoned")
+}
+
+/// Shard counts the whole suite sweeps (the acceptance range).
+const SHARD_COUNTS: std::ops::RangeInclusive<usize> = 1..=8;
+
+/// The spilling resident budgets to exercise (both force eviction for any
+/// shard count above them). `SDD_SHARD_RESIDENT` overrides with one budget.
+fn spill_budgets() -> Vec<usize> {
+    match std::env::var("SDD_SHARD_RESIDENT")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(cap) => vec![cap.max(1)],
+        None => vec![1, 2],
+    }
+}
+
+/// All shard configurations for a given shard count: fully resident plus
+/// every spilling budget strictly below the shard count.
+fn shard_configs(shards: usize) -> Vec<ShardConfig> {
+    let mut cfgs = vec![ShardConfig::in_memory(shards)];
+    for b in spill_budgets() {
+        if b < shards {
+            cfgs.push(ShardConfig::spilling(shards, b, std::env::temp_dir()));
+        }
+    }
+    cfgs
+}
+
+fn sharded(table: &Table, cfg: &ShardConfig) -> Arc<ShardedTable> {
+    Arc::new(ShardedTable::from_table(table, cfg).expect("shard build"))
+}
+
+fn cfg_label(cfg: &ShardConfig) -> String {
+    if cfg.resident > 0 {
+        format!("{} shards, {} resident (spill)", cfg.shards, cfg.resident)
+    } else {
+        format!("{} shards, all resident", cfg.shards)
+    }
+}
+
+/// A random categorical table: 2..=4 columns with cardinality ≤ 6.
+fn random_table(rng: &mut StdRng) -> Table {
+    let n_cols = rng.gen_range(2..5);
+    let n_rows = rng.gen_range(10..120);
+    let cards: Vec<u32> = (0..n_cols).map(|_| rng.gen_range(2..7)).collect();
+    let names: Vec<String> = (0..n_cols).map(|c| format!("c{c}")).collect();
+    let rows: Vec<Vec<String>> = (0..n_rows)
+        .map(|_| {
+            (0..n_cols)
+                .map(|c| format!("v{}", rng.gen_range(0..cards[c])))
+                .collect()
+        })
+        .collect();
+    Table::from_rows(Schema::new(names).unwrap(), &rows).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Marginal search + BRS + drill-downs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn marginal_search_is_bit_identical_across_shard_layouts() {
+    let _env = env_lock();
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0001);
+    for trial in 0..12 {
+        let table = random_table(&mut rng);
+        let weight: &dyn WeightFn = if trial % 2 == 0 {
+            &SizeWeight
+        } else {
+            &BitsWeight
+        };
+        let mw = rng.gen_range(1.5..6.0);
+
+        // Optionally a weighted subset (a sample-shaped view).
+        let use_subset = trial % 3 == 0;
+        let (rows, weights): (Vec<u32>, Option<Vec<f64>>) = if use_subset {
+            let rows: Vec<u32> = (0..table.n_rows() as u32)
+                .filter(|_| rng.gen_range(0..4) != 0)
+                .collect();
+            let ws: Vec<f64> = rows.iter().map(|_| rng.gen_range(0.5..3.0)).collect();
+            (rows, Some(ws))
+        } else {
+            ((0..table.n_rows() as u32).collect(), None)
+        };
+        if rows.is_empty() {
+            continue;
+        }
+        let cov: Vec<f64> = (0..rows.len()).map(|_| rng.gen_range(0.0..2.5)).collect();
+
+        let mono_view: TableView<'_> = match &weights {
+            Some(w) => TableView::with_rows_and_weights(&table, rows.clone(), w.clone()),
+            None if use_subset => TableView::with_rows(&table, rows.clone()),
+            None => table.view(),
+        };
+        let mut opts = SearchOptions::new(mw);
+        opts.parallel = false;
+        let mono = find_best_marginal_rule(&mono_view, weight, &cov, &opts);
+
+        for shards in SHARD_COUNTS {
+            for cfg in shard_configs(shards) {
+                let st = sharded(&table, &cfg);
+                let view = match &weights {
+                    Some(w) => {
+                        ShardedView::with_rows_and_weights(st.clone(), rows.clone(), w.clone())
+                    }
+                    None if use_subset => ShardedView::with_rows(st.clone(), rows.clone()),
+                    None => ShardedView::all(st.clone()),
+                };
+                let mut scratch = SearchScratch::new();
+                let got = find_best_marginal_rule_sharded(&view, weight, &cov, &opts, &mut scratch);
+                let label = format!("trial {trial}, {}", cfg_label(&cfg));
+                match (&mono, &got) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.rule, b.rule, "{label}: winner differs");
+                        assert_eq!(
+                            a.marginal_value.to_bits(),
+                            b.marginal_value.to_bits(),
+                            "{label}: marginal bits differ"
+                        );
+                        assert_eq!(a.count.to_bits(), b.count.to_bits(), "{label}: count bits");
+                        assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{label}: weight");
+                        assert_eq!(a.stats, b.stats, "{label}: work counters");
+                    }
+                    (a, b) => panic!("{label}: disagreement {a:?} vs {b:?}"),
+                }
+                if cfg.resident > 0 && shards > cfg.resident {
+                    assert!(st.loads() > 0, "{label}: spill path never exercised");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn brs_and_drilldowns_are_bit_identical_across_shard_layouts() {
+    let _env = env_lock();
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0002);
+    for trial in 0..8 {
+        let table = random_table(&mut rng);
+        let k = rng.gen_range(1..4);
+        let mw = rng.gen_range(1.5..4.0);
+        let brs = Brs::new(&SizeWeight)
+            .with_max_weight(mw)
+            .with_parallel(false);
+
+        let mono_run = brs.run(&table.view(), k);
+        // A drill-down base from a random row's first column.
+        let base_row = rng.gen_range(0..table.n_rows()) as u32;
+        let base = Rule::trivial(table.n_columns()).with_value(0, table.code(base_row, 0));
+        let mono_drill = drill_down_with(&brs, &table.view(), &base, k);
+        let star_col = table.n_columns() - 1;
+        let mono_star = star_drill_down_with(&brs, &table.view(), &base, star_col, k);
+
+        for shards in [1, 2, 3, 5, 8] {
+            for cfg in shard_configs(shards) {
+                let st = sharded(&table, &cfg);
+                let view = ShardedView::all(st.clone());
+                let label = format!("trial {trial}, {}", cfg_label(&cfg));
+
+                let got = brs.run_sharded(&view, k);
+                assert_eq!(
+                    got.rules_only(),
+                    mono_run.rules_only(),
+                    "{label}: BRS rules"
+                );
+                assert_eq!(
+                    got.total_score.to_bits(),
+                    mono_run.total_score.to_bits(),
+                    "{label}: score bits"
+                );
+                for (a, b) in got.rules.iter().zip(&mono_run.rules) {
+                    assert_eq!(a.count.to_bits(), b.count.to_bits(), "{label}: counts");
+                    assert_eq!(a.mcount.to_bits(), b.mcount.to_bits(), "{label}: mcounts");
+                    assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{label}: weights");
+                }
+
+                let got_drill = drill_down_sharded(&brs, &view, &base, k);
+                assert_eq!(
+                    got_drill.rules_only(),
+                    mono_drill.rules_only(),
+                    "{label}: drill-down rules"
+                );
+                assert_eq!(
+                    got_drill.total_score.to_bits(),
+                    mono_drill.total_score.to_bits(),
+                    "{label}: drill-down score"
+                );
+
+                let got_star = star_drill_down_sharded(&brs, &view, &base, star_col, k);
+                assert_eq!(
+                    got_star.rules_only(),
+                    mono_star.rules_only(),
+                    "{label}: star rules"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sample stores
+// ---------------------------------------------------------------------------
+
+fn handler_config(seed: u64) -> SampleHandlerConfig {
+    SampleHandlerConfig {
+        capacity: 3_000,
+        min_sample_size: 50,
+        seed,
+        strategy: AllocationStrategy::Dp,
+    }
+}
+
+/// Drives the same request sequence and snapshots the stored samples.
+fn drive_handler(mut h: SampleHandler, rules: &[Rule]) -> (Vec<StoredSampleInfo>, String) {
+    let mut served = String::new();
+    for rule in rules {
+        let s = h.get_sample(rule);
+        // Record everything observable about the served view.
+        served.push_str(&format!(
+            "{:?} {} {} {:x}\n",
+            s.mechanism,
+            s.view.len(),
+            s.scale.to_bits(),
+            s.view.total_weight().to_bits(),
+        ));
+    }
+    (h.stored_samples(), served)
+}
+
+#[test]
+fn sample_stores_are_bit_identical_between_monolithic_and_sharded() {
+    let _env = env_lock();
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0003);
+    for trial in 0..6 {
+        let table = Arc::new(random_table(&mut rng));
+        let n_cols = table.n_columns();
+        // Random request sequence: trivial rule + rules from real rows.
+        let mut rules = vec![Rule::trivial(n_cols)];
+        for _ in 0..6 {
+            let row = rng.gen_range(0..table.n_rows()) as u32;
+            let mut r = Rule::trivial(n_cols);
+            for c in 0..n_cols {
+                if rng.gen_range(0..2) == 0 {
+                    r = r.with_value(c, table.code(row, c));
+                }
+            }
+            rules.push(r);
+        }
+        let seed = rng.gen::<u64>();
+
+        let (mono_store, mono_served) = drive_handler(
+            SampleHandler::new(table.clone(), handler_config(seed)),
+            &rules,
+        );
+
+        for shards in [1, 3, 8] {
+            for cfg in shard_configs(shards) {
+                let st = sharded(&table, &cfg);
+                let (got_store, got_served) = drive_handler(
+                    SampleHandler::with_store(TableStore::Sharded(st), handler_config(seed)),
+                    &rules,
+                );
+                let label = format!("trial {trial}, {}", cfg_label(&cfg));
+                assert_eq!(got_store, mono_store, "{label}: stored samples differ");
+                assert_eq!(got_served, mono_served, "{label}: served views differ");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer sessions and server transcripts
+// ---------------------------------------------------------------------------
+
+fn explorer_config(seed: u64) -> ExplorerConfig {
+    ExplorerConfig {
+        k: 3,
+        max_weight: Some(3.0),
+        handler: SampleHandlerConfig {
+            capacity: 20_000,
+            min_sample_size: 1_000,
+            seed,
+            strategy: AllocationStrategy::Dp,
+        },
+        prefetch: PrefetchMode::Inline,
+        confidence_z: 1.96,
+    }
+}
+
+/// Runs a fixed drill script and snapshots every observable: the rendered
+/// display after each step, the final stored samples, and all counters.
+fn drive_explorer(mut ex: Explorer) -> (String, Vec<StoredSampleInfo>, String) {
+    let mut transcript = String::new();
+    ex.expand(&[]).unwrap();
+    transcript.push_str(&ex.render());
+    ex.expand(&[0]).unwrap();
+    transcript.push_str(&ex.render());
+    let star_col = 2; // Region in the retail schema
+    ex.expand_star(&[1], star_col).ok();
+    transcript.push_str(&ex.render());
+    ex.collapse(&[0]).unwrap();
+    ex.refresh_exact_counts();
+    transcript.push_str(&ex.render());
+    let stats = format!("{:?} {:?}", ex.stats, ex.handler_stats());
+    (transcript, ex.handler().stored_samples(), stats)
+}
+
+#[test]
+fn explorer_sessions_are_byte_identical_on_sharded_spilling_tables() {
+    let _env = env_lock();
+    let table = Arc::new(retail(42));
+    let mono = drive_explorer(Explorer::new(
+        table.clone(),
+        Box::new(SizeWeight),
+        explorer_config(7),
+    ));
+
+    for shards in [1, 4, 8] {
+        for cfg in shard_configs(shards) {
+            let st = sharded(&table, &cfg);
+            let got = drive_explorer(Explorer::with_store(
+                TableStore::Sharded(st.clone()),
+                Box::new(SizeWeight),
+                explorer_config(7),
+            ));
+            let label = cfg_label(&cfg);
+            assert_eq!(got.0, mono.0, "{label}: rendered transcripts differ");
+            assert_eq!(got.1, mono.1, "{label}: stored samples differ");
+            assert_eq!(got.2, mono.2, "{label}: counters differ");
+            if cfg.resident > 0 && shards > cfg.resident {
+                assert!(
+                    st.evictions() > 0,
+                    "{label}: eviction never fired (budget untested)"
+                );
+            }
+        }
+    }
+}
+
+/// One scripted protocol session (raw request lines, in order).
+fn session_script(name: &str) -> Vec<String> {
+    let session = name.to_owned();
+    let reqs = vec![
+        Request::TableInfo,
+        Request::Open {
+            session: session.clone(),
+            options: OpenOptions {
+                k: Some(3),
+                max_weight: Some(3.0),
+                weight: Some("size".to_owned()),
+                seed: Some(11),
+                capacity: Some(20_000),
+                min_ss: Some(1_000),
+            },
+        },
+        Request::Expand {
+            session: session.clone(),
+            path: vec![],
+        },
+        Request::Expand {
+            session: session.clone(),
+            path: vec![0],
+        },
+        Request::Star {
+            session: session.clone(),
+            path: vec![1],
+            column: "Region".to_owned(),
+        },
+        Request::Expand {
+            session: session.clone(),
+            path: vec![9, 9], // guaranteed error payload
+        },
+        Request::Rules {
+            session: session.clone(),
+        },
+        Request::Render {
+            session: session.clone(),
+        },
+        Request::Refresh {
+            session: session.clone(),
+        },
+        Request::Stats { session },
+    ];
+    reqs.iter().map(|r| r.to_json().to_string()).collect()
+}
+
+#[test]
+fn server_transcripts_are_byte_identical_on_sharded_spilling_tables() {
+    let _env = env_lock();
+    let table = Arc::new(retail(42));
+    let script: Vec<String> = session_script("parity");
+    let run = |engine: &Engine| -> Vec<String> {
+        script
+            .iter()
+            .map(|line| engine.handle_line(line).0)
+            .collect()
+    };
+    let mono = run(&Engine::new(table.clone(), EngineConfig::default()));
+    assert!(
+        mono.iter().any(|l| l.contains("\"op\":\"expand\"")),
+        "script must exercise expansions"
+    );
+
+    for shards in SHARD_COUNTS {
+        for cfg in shard_configs(shards) {
+            let st = sharded(&table, &cfg);
+            let got = run(&Engine::with_store(
+                TableStore::Sharded(st.clone()),
+                EngineConfig::default(),
+            ));
+            let label = cfg_label(&cfg);
+            assert_eq!(got.len(), mono.len());
+            for (step, (a, b)) in got.iter().zip(&mono).enumerate() {
+                assert_eq!(a, b, "{label}: transcript diverges at step {step}");
+            }
+            if cfg.resident > 0 && shards > cfg.resident {
+                assert!(st.loads() > 0, "{label}: spill never exercised");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread invariance of the sharded kernel
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_search_is_thread_invariant() {
+    // The sharded kernel's parallel modes (u64 count fan-out, threaded
+    // accumulators) must not depend on the worker count. `SDD_THREADS` is
+    // process-global and read concurrently by sibling tests, so every test
+    // in this binary serializes on `env_lock`.
+    let _env = env_lock();
+    let table = retail(42);
+    let cov: Vec<f64> = (0..table.n_rows()).map(|i| (i % 5) as f64 * 0.3).collect();
+    let mut opts = SearchOptions::new(3.0);
+    opts.parallel = true;
+    opts.parallel_min_rows = 1;
+
+    let run_with = |threads: &str, cfg: &ShardConfig| {
+        std::env::set_var("SDD_THREADS", threads);
+        let st = sharded(&table, cfg);
+        let view = ShardedView::all(st);
+        let mut scratch = SearchScratch::new();
+        let r = find_best_marginal_rule_sharded(&view, &SizeWeight, &cov, &opts, &mut scratch)
+            .expect("retail yields a rule");
+        std::env::remove_var("SDD_THREADS");
+        (r.rule, r.marginal_value.to_bits(), r.count.to_bits())
+    };
+
+    for cfg in [
+        ShardConfig::in_memory(6),
+        ShardConfig::spilling(6, 2, std::env::temp_dir()),
+    ] {
+        let one = run_with("1", &cfg);
+        let many = run_with("7", &cfg);
+        assert_eq!(
+            one,
+            many,
+            "{}: thread count changed the result",
+            cfg_label(&cfg)
+        );
+    }
+}
