@@ -1,0 +1,199 @@
+//! Emits `BENCH_ingest.json`: streaming out-of-core ingest
+//! ([`sdd_table::csv::stream_csv_file`] → `ShardBuilder`) versus the
+//! materialize-then-shard baseline (`read_csv_with_measures` → `Table` →
+//! `ShardedTable::from_table`) on the same CSV file. Run with:
+//!
+//! ```sh
+//! cargo run --release -p sdd-bench --bin exp_ingest
+//! ```
+//!
+//! For each path the sweep records the wall-clock build time plus two
+//! peak-memory proxies:
+//!
+//! * **analytic** — bytes the build's table structures must hold at once:
+//!   the whole code matrix (+ CSV text) for the materializing path, one
+//!   segment plus the dictionaries for the streaming path;
+//! * **VmHWM** — the process peak-RSS high-water mark from
+//!   `/proc/self/status` (Linux; `0` elsewhere). The streaming build runs
+//!   *first*, so a later, larger VmHWM is memory only the materializing
+//!   path needed.
+//!
+//! The run asserts the two builds are **bit-identical** (spill files and
+//! decoded segment columns), so the sweep doubles as the streaming-parity
+//! determinism check on realistic sizes. Environment knobs:
+//! `SDD_INGEST_ROWS` (default 200 000), `SDD_REPS` (default 3).
+
+use sdd_table::csv::{read_csv_with_measures, stream_csv_file, write_csv};
+use sdd_table::{ShardConfig, ShardedTable, Table};
+use std::time::Instant;
+
+fn best_of<T>(reps: usize, mut run: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let v = run();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps ≥ 1"))
+}
+
+/// Peak resident-set high-water mark in KiB (`VmHWM`), or 0 when
+/// `/proc/self/status` is unavailable.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Bytes the monolithic build must hold at once: the full code matrix,
+/// measures, and dictionaries.
+fn table_bytes(t: &Table) -> usize {
+    let codes = 4 * t.n_rows() * t.n_columns();
+    let measures = 8 * t.n_rows() * t.measure_names().count();
+    let dicts: usize = (0..t.n_columns())
+        .map(|c| t.dictionary(c).heap_bytes())
+        .sum();
+    codes + measures + dicts
+}
+
+/// Bytes the streaming build holds at peak: one (largest) unsealed
+/// segment's codes, plus dictionaries and the always-resident measures.
+fn stream_peak_bytes(st: &ShardedTable) -> usize {
+    let largest = st.spans().iter().map(|s| s.len()).max().unwrap_or(0);
+    let seg = 4 * largest * st.n_columns();
+    let header = st.header();
+    let measures = 8 * st.n_rows() * header.measure_names().count();
+    let dicts: usize = (0..st.n_columns())
+        .map(|c| st.dictionary(c).heap_bytes())
+        .sum();
+    seg + measures + dicts
+}
+
+fn main() {
+    let rows: usize = std::env::var("SDD_INGEST_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
+    let reps: usize = std::env::var("SDD_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let shards = 16usize;
+    let resident = 2usize;
+
+    // Fixture: a census-shaped CSV on disk (what an operator would ingest).
+    let source = sdd_bench::datasets::census3(rows);
+    let measure_names: Vec<String> = source.measure_names().map(str::to_owned).collect();
+    let measures: Vec<&str> = measure_names.iter().map(String::as_str).collect();
+    let csv_path = std::env::temp_dir().join(format!("sdd-exp-ingest-{}.csv", std::process::id()));
+    std::fs::write(&csv_path, write_csv(&source)).expect("write CSV fixture");
+    let csv_bytes = std::fs::metadata(&csv_path).expect("fixture exists").len();
+    drop(source); // the ingest paths must not lean on a pre-built table
+
+    let cfg = ShardConfig::spilling(shards, resident, std::env::temp_dir());
+
+    // Streaming path first: VmHWM is monotonic over the process life, so
+    // any later increase is attributable to the materializing path.
+    let (t_stream, streamed) = best_of(reps, || {
+        stream_csv_file(&csv_path, &measures, &cfg).expect("stream ingest")
+    });
+    let hwm_after_stream = vm_hwm_kb();
+    let (stream_spills, stream_loads) = (streamed.spills(), streamed.loads());
+    assert_eq!(stream_spills, shards as u64, "one spill write per shard");
+    assert_eq!(stream_loads, 0, "a streaming build never reads back");
+    let stream_proxy = stream_peak_bytes(&streamed);
+
+    let (t_mono, (mono_table, mono_sharded)) = best_of(reps, || {
+        let text = std::fs::read_to_string(&csv_path).expect("read CSV");
+        let table = read_csv_with_measures(&text, &measures).expect("parse CSV");
+        let sharded = ShardedTable::from_table(&table, &cfg).expect("shard build");
+        (table, sharded)
+    });
+    let hwm_after_mono = vm_hwm_kb();
+    let mono_proxy = table_bytes(&mono_table) + csv_bytes as usize;
+
+    // Bit-identity: spill files and decoded segments must match exactly.
+    for i in 0..shards {
+        let (pa, pb) = (
+            streamed.spill_path(i).expect("spilling build"),
+            mono_sharded.spill_path(i).expect("spilling build"),
+        );
+        assert_eq!(
+            std::fs::read(pa).expect("spill readable"),
+            std::fs::read(pb).expect("spill readable"),
+            "shard {i}: stream vs from_table spill files differ"
+        );
+        let (sa, sb) = (streamed.segment(i), mono_sharded.segment(i));
+        for c in 0..streamed.n_columns() {
+            assert_eq!(sa.col(c), sb.col(c), "shard {i} col {c} differs");
+        }
+    }
+
+    println!(
+        "streaming ingest vs materialize-then-shard on census3({rows}) \
+         ({shards} shards, {resident} resident, reps={reps}):"
+    );
+    println!(
+        "  stream : {:>8.2} ms | peak proxy {:>7.1} MiB | VmHWM {:>7.1} MiB | \
+         spills {stream_spills} loads {stream_loads}",
+        t_stream * 1e3,
+        stream_proxy as f64 / (1 << 20) as f64,
+        hwm_after_stream as f64 / 1024.0,
+    );
+    println!(
+        "  mono   : {:>8.2} ms | peak proxy {:>7.1} MiB | VmHWM {:>7.1} MiB",
+        t_mono * 1e3,
+        mono_proxy as f64 / (1 << 20) as f64,
+        hwm_after_mono as f64 / 1024.0,
+    );
+    println!(
+        "  memory ratio (analytic): {:.2}x smaller streaming",
+        mono_proxy as f64 / stream_proxy.max(1) as f64
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"streaming_ingest/census3_stream_vs_materialize\",\n",
+            "  \"rows\": {rows},\n",
+            "  \"shards\": {shards},\n",
+            "  \"resident\": {resident},\n",
+            "  \"reps\": {reps},\n",
+            "  \"csv_bytes\": {csv_bytes},\n",
+            "  \"stream_build_seconds\": {t_stream:.6},\n",
+            "  \"materialize_build_seconds\": {t_mono:.6},\n",
+            "  \"stream_peak_bytes_proxy\": {stream_proxy},\n",
+            "  \"materialize_peak_bytes_proxy\": {mono_proxy},\n",
+            "  \"vm_hwm_kb_after_stream\": {hwm_stream},\n",
+            "  \"vm_hwm_kb_after_materialize\": {hwm_mono},\n",
+            "  \"stream_spills\": {stream_spills},\n",
+            "  \"stream_loads_during_build\": {stream_loads},\n",
+            "  \"determinism\": \"stream-built spill files and decoded segments are byte-identical to the materialize-then-shard build (asserted at run time)\"\n",
+            "}}\n"
+        ),
+        rows = rows,
+        shards = shards,
+        resident = resident,
+        reps = reps,
+        csv_bytes = csv_bytes,
+        t_stream = t_stream,
+        t_mono = t_mono,
+        stream_proxy = stream_proxy,
+        mono_proxy = mono_proxy,
+        hwm_stream = hwm_after_stream,
+        hwm_mono = hwm_after_mono,
+        stream_spills = stream_spills,
+        stream_loads = stream_loads,
+    );
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("wrote BENCH_ingest.json");
+    let _ = std::fs::remove_file(&csv_path);
+}

@@ -4,7 +4,7 @@
 use crate::command::parse_path;
 use crate::repl::{load, Source};
 use sdd_server::{Client, OpenOptions, Request, Response, Server, ServerConfig};
-use sdd_table::{ShardConfig, ShardedTable, TableStore};
+use sdd_table::{Residency, ShardConfig, ShardedTable, TableStore};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
@@ -15,12 +15,18 @@ usage: sdd serve [options]
   --demo <name>        retail | marketing | census  (default retail)
   --rows <n>           row count for the census demo
   --open <file.csv>    serve a CSV file instead of a demo
+  --ingest <file.csv>  stream a CSV straight into shards without ever
+                       materializing the monolithic table (out-of-core
+                       ingest; requires --shards, results identical to
+                       --open with the same sharding)
   --threads <n>        connection worker threads (default: cores, min 4)
   --shards <n>         partition the table into n columnar shards
   --resident <m>       keep at most m shards in memory, spilling the rest
                        to disk (requires --shards; results are identical,
                        only memory use changes)
   --spill <dir>        spill directory (default: the system temp dir)
+  --residency <p>      eviction policy under the budget: lru (default) or
+                       sweep (best for sequential full-table scans)
 ";
 
 /// Usage text for `sdd connect`.
@@ -62,10 +68,13 @@ fn parse_flags(args: &[String]) -> Result<Vec<(String, Option<String>)>, String>
 pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut source = Source::Demo("retail".to_owned(), None);
+    let mut source_flag: Option<&'static str> = None;
     let mut rows: Option<usize> = None;
     let mut shards: Option<usize> = None;
     let mut resident: usize = 0;
     let mut spill: Option<String> = None;
+    let mut residency: Option<Residency> = None;
+    let mut ingest: Option<String> = None;
     let mut config = ServerConfig::default();
     let flags = match parse_flags(args) {
         Ok(f) => f,
@@ -85,8 +94,14 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
         };
         match name.as_str() {
             "addr" => addr = need("host:port")?,
-            "demo" => source = Source::Demo(need("name")?, None),
-            "open" => source = Source::Csv(need("path")?),
+            "demo" => {
+                source = Source::Demo(need("name")?, None);
+                source_flag = Some("--demo");
+            }
+            "open" => {
+                source = Source::Csv(need("path")?);
+                source_flag = Some("--open");
+            }
             "rows" => {
                 rows = Some(need("count")?.parse().map_err(|_| {
                     std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --rows")
@@ -108,6 +123,17 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
                 })?
             }
             "spill" => spill = Some(need("dir")?),
+            "residency" => {
+                residency = match need("policy")?.to_ascii_lowercase().as_str() {
+                    "lru" => Some(Residency::Lru),
+                    "sweep" => Some(Residency::Sweep),
+                    other => {
+                        writeln!(output, "error: unknown residency {other:?} (lru|sweep)")?;
+                        return Ok(());
+                    }
+                }
+            }
+            "ingest" => ingest = Some(need("path")?),
             other => {
                 writeln!(output, "error: unknown flag --{other}\n{SERVE_USAGE}")?;
                 return Ok(());
@@ -117,13 +143,15 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
     if let (Source::Demo(_, demo_rows), Some(n)) = (&mut source, rows) {
         *demo_rows = Some(n);
     }
-    let table = match load(&source) {
-        Ok(t) => t,
-        Err(e) => {
-            writeln!(output, "error: {e}")?;
-            return Ok(());
-        }
-    };
+    if let (Some(_), Some(flag)) = (&ingest, source_flag) {
+        // Two table sources is operator confusion waiting to happen — the
+        // other conflicting combinations error loudly, so this one does too.
+        writeln!(
+            output,
+            "error: --ingest conflicts with {flag} (choose one table source)\n{SERVE_USAGE}"
+        )?;
+        return Ok(());
+    }
     if resident > 0 && shards.is_none() {
         writeln!(output, "error: --resident requires --shards\n{SERVE_USAGE}")?;
         return Ok(());
@@ -138,35 +166,83 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
         )?;
         return Ok(());
     }
-    let (store, layout) = match shards {
-        None => (TableStore::Whole(table.clone()), String::new()),
-        Some(n) => {
-            let cfg = if resident > 0 {
-                let dir = spill
-                    .map(std::path::PathBuf::from)
-                    .unwrap_or_else(std::env::temp_dir);
-                ShardConfig::spilling(n, resident, dir)
-            } else {
-                ShardConfig::in_memory(n)
-            };
-            let sharded = Arc::new(ShardedTable::from_table(&table, &cfg)?);
-            let layout = if resident > 0 {
-                format!(
-                    " ({} shards, ≤ {resident} resident, spilling)",
-                    sharded.n_shards()
-                )
-            } else {
-                format!(" ({} shards)", sharded.n_shards())
-            };
-            (TableStore::Sharded(sharded), layout)
+    if residency.is_some() && resident == 0 {
+        // A policy with no budget never evicts — the operator believes
+        // sweep eviction is active when nothing is.
+        writeln!(
+            output,
+            "error: --residency requires --resident (an eviction policy needs a budget to evict against)\n{SERVE_USAGE}"
+        )?;
+        return Ok(());
+    }
+    let residency = residency.unwrap_or(Residency::Lru);
+    let shard_config = |n: usize| {
+        let cfg = if resident > 0 {
+            let dir = spill
+                .clone()
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(std::env::temp_dir);
+            ShardConfig::spilling(n, resident, dir)
+        } else {
+            ShardConfig::in_memory(n)
+        };
+        cfg.with_residency(residency)
+    };
+    let layout_of = |sharded: &ShardedTable, streamed: bool| {
+        let how = if streamed { "streamed into " } else { "" };
+        if resident > 0 {
+            format!(
+                " ({how}{} shards, ≤ {resident} resident, spilling)",
+                sharded.n_shards()
+            )
+        } else {
+            format!(" ({how}{} shards)", sharded.n_shards())
         }
     };
-    let server = Server::bind_store(store, config, addr.as_str())?;
+    let (store, layout) = match (&ingest, shards) {
+        (Some(_), None) => {
+            writeln!(
+                output,
+                "error: --ingest requires --shards (the streaming build's layout)\n{SERVE_USAGE}"
+            )?;
+            return Ok(());
+        }
+        (Some(path), Some(n)) => {
+            // Out-of-core path: the monolithic table never exists.
+            let sharded = match sdd_table::csv::stream_csv_file(path, &[], &shard_config(n)) {
+                Ok(s) => Arc::new(s),
+                Err(e) => {
+                    writeln!(output, "error: cannot ingest {path:?}: {e}")?;
+                    return Ok(());
+                }
+            };
+            let layout = layout_of(&sharded, true);
+            (TableStore::Sharded(sharded), layout)
+        }
+        (None, shards) => {
+            let table = match load(&source) {
+                Ok(t) => t,
+                Err(e) => {
+                    writeln!(output, "error: {e}")?;
+                    return Ok(());
+                }
+            };
+            match shards {
+                None => (TableStore::Whole(table), String::new()),
+                Some(n) => {
+                    let sharded = Arc::new(ShardedTable::from_table(&table, &shard_config(n))?);
+                    let layout = layout_of(&sharded, false);
+                    (TableStore::Sharded(sharded), layout)
+                }
+            }
+        }
+    };
+    let server = Server::bind_store(store.clone(), config, addr.as_str())?;
     writeln!(
         output,
         "serving {} rows × {} columns{layout} on {} — connect with `sdd connect {}`",
-        table.n_rows(),
-        table.n_columns(),
+        store.n_rows(),
+        store.n_columns(),
         server.local_addr()?,
         server.local_addr()?
     )?;
@@ -434,6 +510,119 @@ mod tests {
         .unwrap();
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("--spill requires --resident"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_ingest_without_shards() {
+        let mut out = Vec::new();
+        serve(
+            &["--ingest".to_owned(), "whatever.csv".to_owned()],
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("--ingest requires --shards"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_residency_without_resident() {
+        let mut out = Vec::new();
+        serve(
+            &[
+                "--shards".to_owned(),
+                "4".to_owned(),
+                "--residency".to_owned(),
+                "sweep".to_owned(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("--residency requires --resident"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_ingest_combined_with_open_or_demo() {
+        for (flag, value) in [("--open", "a.csv"), ("--demo", "retail")] {
+            let mut out = Vec::new();
+            serve(
+                &[
+                    flag.to_owned(),
+                    value.to_owned(),
+                    "--ingest".to_owned(),
+                    "b.csv".to_owned(),
+                    "--shards".to_owned(),
+                    "4".to_owned(),
+                ],
+                &mut out,
+            )
+            .unwrap();
+            let out = String::from_utf8(out).unwrap();
+            assert!(
+                out.contains(&format!("--ingest conflicts with {flag}")),
+                "{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_reports_unreadable_ingest_file() {
+        let mut out = Vec::new();
+        serve(
+            &[
+                "--ingest".to_owned(),
+                "/no/such/file.csv".to_owned(),
+                "--shards".to_owned(),
+                "4".to_owned(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("cannot ingest"), "{out}");
+    }
+
+    #[test]
+    fn connect_drives_a_session_against_a_stream_ingested_server() {
+        // Full out-of-core path: retail → CSV file → streaming ingest into
+        // a spilling sharded store → served session. Same session flow and
+        // banner counts as the materialized server.
+        let table = sdd_datagen::retail(42);
+        let csv_path = std::env::temp_dir().join(format!(
+            "sdd-cli-ingest-{}-{:x}.csv",
+            std::process::id(),
+            &table as *const _ as usize
+        ));
+        std::fs::write(&csv_path, sdd_table::csv::write_csv(&table)).unwrap();
+        let sharded = Arc::new(
+            sdd_table::csv::stream_csv_file(
+                &csv_path,
+                &["Sales"],
+                &ShardConfig::spilling(8, 2, std::env::temp_dir()),
+            )
+            .unwrap(),
+        );
+        assert_eq!(sharded.spills(), 8, "streaming build must spill per shard");
+        let server = Server::bind_store(
+            TableStore::Sharded(sharded.clone()),
+            ServerConfig {
+                engine: EngineConfig::default(),
+                threads: 4,
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut out = Vec::new();
+        connect(&addr, Cursor::new("expand\nshow\nstats\nquit\n"), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("6000 rows × 3 columns"), "{out}");
+        assert!(out.contains("Walmart"), "{out}");
+        assert!(sharded.loads() > 0, "the spill tier was never exercised");
+        server.shutdown();
+        let _ = std::fs::remove_file(&csv_path);
     }
 
     #[test]

@@ -19,9 +19,16 @@
 //! Consequently the sharded search, BRS, coverage scans, and scoring are
 //! **bit-identical to the monolithic path for any shard count and any
 //! resident budget** — eviction and spill reload only change when bytes
-//! are in memory, never which bytes. `tests/shard_parity.rs` asserts this
-//! end to end (search winners, sample stores, server transcripts) across
-//! shard counts 1..=8, including budgets that force spill.
+//! are in memory, never which bytes. The same holds for *how the storage
+//! was built* (`ShardedTable::from_table` vs the streaming
+//! `ShardBuilder`) and for the *eviction policy* (`Residency::Lru` vs
+//! `Sweep`): a stream-built table holds byte-identical segments and the
+//! policy only reorders spill traffic. Segment `Arc`s these scans hold
+//! in flight are **pinned** in the residency cache (they count against
+//! the budget rather than escaping it), which throttles memory, never
+//! results. `tests/shard_parity.rs` asserts all of this end to end
+//! (search winners, sample stores, server transcripts) across shard
+//! counts 1..=8 × both builds, including budgets that force spill.
 
 use crate::brs::{Brs, BrsResult, ScoredRule};
 use crate::exec;

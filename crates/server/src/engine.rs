@@ -90,6 +90,20 @@ impl Engine {
         &self.store
     }
 
+    /// Storage-tier counters `(loads, evictions, spills, peak_resident)`
+    /// when the served store is sharded, `None` for a monolithic store —
+    /// the observability hook front-ends and the ingest test suites use to
+    /// verify a served dataset actually exercised the spill tier (counters
+    /// never influence results; the parity suites pin that).
+    pub fn storage_counters(&self) -> Option<(u64, u64, u64, usize)> {
+        match &self.store {
+            TableStore::Sharded(s) => {
+                Some((s.loads(), s.evictions(), s.spills(), s.peak_resident()))
+            }
+            TableStore::Whole(_) => None,
+        }
+    }
+
     /// Number of live sessions.
     pub fn n_sessions(&self) -> usize {
         self.sessions.len()

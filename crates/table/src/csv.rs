@@ -4,8 +4,17 @@
 //! quotes doubled (`""`), embedded commas and newlines inside quoted fields,
 //! and both `\n` and `\r\n` record separators. Deliberately hand-rolled to
 //! keep the workspace dependency-free (see DESIGN.md §2).
+//!
+//! Two ingest surfaces share one record parser ([`RecordReader`], a
+//! pull-based reader over any [`BufRead`]): [`read_csv`] materializes a
+//! monolithic [`Table`], and [`stream_csv_file`] streams a file straight
+//! into a [`ShardedTable`] through a [`ShardBuilder`] — never holding more
+//! than one unsealed segment (plus dictionaries) in memory.
 
+use crate::shard::{ShardBuilder, ShardConfig, ShardedTable};
 use crate::{Schema, Table, TableBuilder, TableError};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader};
 
 /// Parses CSV text (first record = header) into a [`Table`].
 ///
@@ -15,13 +24,15 @@ pub fn read_csv(input: &str) -> Result<Table, TableError> {
     read_csv_with_measures(input, &[])
 }
 
-/// Parses CSV text, routing the named columns into numeric measure columns
-/// instead of categorical columns.
-pub fn read_csv_with_measures(input: &str, measures: &[&str]) -> Result<Table, TableError> {
-    let records = parse_records(input)?;
-    let mut iter = records.into_iter();
-    let header = iter.next().ok_or(TableError::Empty)?;
+/// Categorical column indices plus the `(record index, name)` routes of
+/// the requested measure columns.
+type ColumnRouting = (Vec<usize>, Vec<(usize, String)>);
 
+/// Splits a CSV header into the categorical column indices and the
+/// `(record index, name)` routes of the requested measure columns —
+/// shared by the materializing and streaming ingest paths so both produce
+/// the same schema and measure order for the same input.
+fn route_columns(header: &[String], measures: &[&str]) -> Result<ColumnRouting, TableError> {
     let mut cat_idx: Vec<usize> = Vec::new();
     let mut measure_idx: Vec<(usize, String)> = Vec::new();
     for (i, name) in header.iter().enumerate() {
@@ -36,25 +47,58 @@ pub fn read_csv_with_measures(input: &str, measures: &[&str]) -> Result<Table, T
             return Err(TableError::UnknownMeasure((*m).to_owned()));
         }
     }
+    Ok((cat_idx, measure_idx))
+}
+
+/// Checks one data record's arity against the header, reporting the input
+/// line the record started on — shared by both ingest paths so identical
+/// malformed input yields identical errors.
+fn check_arity(record: &[String], header_len: usize, start_line: usize) -> Result<(), TableError> {
+    if record.len() != header_len {
+        return Err(TableError::Csv {
+            line: start_line,
+            message: format!("expected {header_len} fields, got {}", record.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Parses one record's measure fields in route order into `out`.
+fn parse_measures(
+    record: &[String],
+    measure_idx: &[(usize, String)],
+    out: &mut Vec<f64>,
+) -> Result<(), TableError> {
+    out.clear();
+    for (i, _) in measure_idx {
+        let raw = record[*i].trim();
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| TableError::ParseNumber(raw.to_owned()))?;
+        out.push(v);
+    }
+    Ok(())
+}
+
+/// Parses CSV text, routing the named columns into numeric measure columns
+/// instead of categorical columns.
+pub fn read_csv_with_measures(input: &str, measures: &[&str]) -> Result<Table, TableError> {
+    let mut reader = RecordReader::new(input.as_bytes());
+    let header = reader.next().ok_or(TableError::Empty)??;
+    let (cat_idx, measure_idx) = route_columns(&header, measures)?;
 
     let schema = Schema::new(cat_idx.iter().map(|&i| header[i].clone()))?;
     let mut builder = TableBuilder::new(schema);
     let mut measure_vals: Vec<Vec<f64>> = vec![Vec::new(); measure_idx.len()];
+    let mut measure_buf: Vec<f64> = Vec::with_capacity(measure_idx.len());
 
-    for (line_no, record) in iter.enumerate() {
-        if record.len() != header.len() {
-            return Err(TableError::Csv {
-                line: line_no + 2,
-                message: format!("expected {} fields, got {}", header.len(), record.len()),
-            });
-        }
+    while let Some(record) = reader.next() {
+        let record = record?;
+        check_arity(&record, header.len(), reader.record_line())?;
         let row_buf: Vec<&str> = cat_idx.iter().map(|&i| record[i].as_str()).collect();
         builder.push_row(&row_buf)?;
-        for (slot, (i, _)) in measure_vals.iter_mut().zip(&measure_idx) {
-            let raw = record[*i].trim();
-            let v: f64 = raw
-                .parse()
-                .map_err(|_| TableError::ParseNumber(raw.to_owned()))?;
+        parse_measures(&record, &measure_idx, &mut measure_buf)?;
+        for (slot, &v) in measure_vals.iter_mut().zip(&measure_buf) {
             slot.push(v);
         }
     }
@@ -63,6 +107,64 @@ pub fn read_csv_with_measures(input: &str, measures: &[&str]) -> Result<Table, T
         builder.add_measure(name, vals)?;
     }
     builder.build()
+}
+
+/// Streams a CSV file into a [`ShardedTable`] without ever materializing
+/// the monolithic [`Table`] — the out-of-core ingest path.
+///
+/// Pass 1 routes the header (a bad measure name fails immediately) and
+/// counts the data records with a field-free byte scan — quote-structure
+/// errors surface here, everything per-field (UTF-8, arity, numbers) in
+/// pass 2; the count fixes the deterministic span layout. Pass 2
+/// re-reads the file and pushes each row through a [`ShardBuilder`], which
+/// interns global codes in first-appearance order and spills every segment
+/// the moment it seals. Peak memory is therefore one unsealed segment plus
+/// the growing dictionaries and measure columns — never O(rows).
+///
+/// Because global codes are assigned in the same first-appearance order the
+/// materializing reader uses, the result is **bit-identical** (segment
+/// bytes, spill files, every downstream drill-down transcript) to
+/// `ShardedTable::from_table(&read_csv_with_measures(text, measures)?, config)`
+/// on the same input, for every shard count and resident budget.
+pub fn stream_csv_file(
+    path: impl AsRef<std::path::Path>,
+    measures: &[&str],
+    config: &ShardConfig,
+) -> Result<ShardedTable, TableError> {
+    let path = path.as_ref();
+    let open = || -> Result<RecordReader<BufReader<File>>, TableError> {
+        Ok(RecordReader::new(BufReader::new(File::open(path)?)))
+    };
+
+    // Pass 1: route the header (so a bad measure name fails before any
+    // full pass over the file), then count the remaining records without
+    // materializing a single field.
+    let mut reader = open()?;
+    let header = reader.next().ok_or(TableError::Empty)??;
+    let (cat_idx, measure_idx) = route_columns(&header, measures)?;
+    let total = reader.count_remaining()?;
+
+    // Pass 2: stream rows into the builder.
+    let mut reader = open()?;
+    let second_header = reader.next().ok_or(TableError::Empty)??;
+    if second_header != header {
+        return Err(TableError::Csv {
+            line: 1,
+            message: "file changed between ingest passes".to_owned(),
+        });
+    }
+    let schema = Schema::new(cat_idx.iter().map(|&i| header[i].clone()))?;
+    let measure_names: Vec<String> = measure_idx.iter().map(|(_, n)| n.clone()).collect();
+    let mut builder = ShardBuilder::new(schema, measure_names, total, config)?;
+    let mut measure_buf: Vec<f64> = Vec::with_capacity(measure_idx.len());
+    while let Some(record) = reader.next() {
+        let record = record?;
+        check_arity(&record, header.len(), reader.record_line())?;
+        let row_buf: Vec<&str> = cat_idx.iter().map(|&i| record[i].as_str()).collect();
+        parse_measures(&record, &measure_idx, &mut measure_buf)?;
+        builder.push_row(&row_buf, &measure_buf)?;
+    }
+    builder.finish()
 }
 
 /// Serializes a table (categorical columns then measures) to CSV text.
@@ -137,89 +239,264 @@ fn write_field(out: &mut String, field: &str) {
     }
 }
 
-/// Splits CSV text into records of fields, honoring quoting.
-fn parse_records(input: &str) -> Result<Vec<Vec<String>>, TableError> {
-    let mut records = Vec::new();
-    let mut record: Vec<String> = Vec::new();
-    let mut field = String::new();
-    let mut chars = input.chars().peekable();
-    let mut in_quotes = false;
-    let mut line = 1usize;
-    // True once the current record has any content (field chars or a comma).
-    let mut any_content = false;
-
-    while let Some(ch) = chars.next() {
-        if in_quotes {
-            match ch {
-                '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
-                    } else {
-                        in_quotes = false;
-                    }
-                }
-                '\n' => {
-                    line += 1;
-                    field.push(ch);
-                }
-                _ => field.push(ch),
-            }
-            continue;
-        }
-        match ch {
-            '"' => {
-                if !field.is_empty() {
-                    return Err(TableError::Csv {
-                        line,
-                        message: "quote in the middle of an unquoted field".to_owned(),
-                    });
-                }
-                in_quotes = true;
-                any_content = true;
-            }
-            ',' => {
-                record.push(std::mem::take(&mut field));
-                any_content = true;
-            }
-            '\r' => {
-                if chars.peek() == Some(&'\n') {
-                    chars.next();
-                }
-                end_record(&mut records, &mut record, &mut field, &mut any_content);
-                line += 1;
-            }
-            '\n' => {
-                end_record(&mut records, &mut record, &mut field, &mut any_content);
-                line += 1;
-            }
-            _ => {
-                field.push(ch);
-                any_content = true;
-            }
-        }
-    }
-    if in_quotes {
-        return Err(TableError::Csv {
-            line,
-            message: "unterminated quoted field".to_owned(),
-        });
-    }
-    end_record(&mut records, &mut record, &mut field, &mut any_content);
-    Ok(records)
+/// A pull-based CSV record reader over any byte stream, honoring quoting.
+///
+/// Yields one record (a `Vec` of fields) at a time without buffering the
+/// rest of the input — the primitive behind both [`read_csv`] (collect
+/// everything) and [`stream_csv_file`] (two single-record-at-a-time
+/// passes). Quoting metacharacters are all ASCII, so the state machine
+/// runs on bytes; multi-byte UTF-8 sequences pass through fields
+/// untouched (and are validated once per field).
+pub struct RecordReader<R: BufRead> {
+    input: R,
+    line: usize,
+    record_line: usize,
+    done: bool,
 }
 
-fn end_record(
-    records: &mut Vec<Vec<String>>,
-    record: &mut Vec<String>,
-    field: &mut String,
-    any_content: &mut bool,
-) {
-    if *any_content || !record.is_empty() {
-        record.push(std::mem::take(field));
-        records.push(std::mem::take(record));
+impl<R: BufRead> RecordReader<R> {
+    /// Wraps a buffered byte stream.
+    pub fn new(input: R) -> Self {
+        Self {
+            input,
+            line: 1,
+            record_line: 1,
+            done: false,
+        }
     }
-    *any_content = false;
+
+    /// The 1-based input line the reader is currently on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The 1-based input line the most recently yielded record **started**
+    /// on — exact even across blank lines and quoted embedded newlines, so
+    /// ingest errors point at the offending record, not a nearby one.
+    pub fn record_line(&self) -> usize {
+        self.record_line
+    }
+
+    fn peek_byte(&mut self) -> io::Result<Option<u8>> {
+        Ok(self.input.fill_buf()?.first().copied())
+    }
+
+    fn next_byte(&mut self) -> io::Result<Option<u8>> {
+        let b = self.peek_byte()?;
+        if b.is_some() {
+            self.input.consume(1);
+        }
+        Ok(b)
+    }
+
+    /// Counts the remaining records without materializing a single field —
+    /// the streaming ingest's pass 1. Runs the same record-boundary state
+    /// machine as iteration (so the count always matches what a subsequent
+    /// full read yields) and surfaces the same quote-structure errors;
+    /// per-field validation (UTF-8, arity, numbers) is pass 2's job, and a
+    /// file changing between passes is caught by the builder's declared
+    /// row-count contract.
+    pub fn count_remaining(&mut self) -> Result<usize, TableError> {
+        let mut count = 0usize;
+        let mut in_quotes = false;
+        let mut any_content = false;
+        let mut field_len = 0usize; // only to detect mid-field stray quotes
+        loop {
+            let b = self.next_byte()?;
+            let Some(b) = b else {
+                self.done = true;
+                if in_quotes {
+                    return Err(TableError::Csv {
+                        line: self.line,
+                        message: "unterminated quoted field".to_owned(),
+                    });
+                }
+                if any_content {
+                    count += 1;
+                }
+                return Ok(count);
+            };
+            if in_quotes {
+                match b {
+                    b'"' => {
+                        if self.peek_byte()? == Some(b'"') {
+                            self.input.consume(1);
+                            field_len += 1;
+                        } else {
+                            in_quotes = false;
+                        }
+                    }
+                    b'\n' => {
+                        self.line += 1;
+                        field_len += 1;
+                    }
+                    _ => field_len += 1,
+                }
+                continue;
+            }
+            match b {
+                b'"' => {
+                    if field_len > 0 {
+                        return Err(TableError::Csv {
+                            line: self.line,
+                            message: "quote in the middle of an unquoted field".to_owned(),
+                        });
+                    }
+                    in_quotes = true;
+                    any_content = true;
+                }
+                b',' => {
+                    any_content = true;
+                    field_len = 0;
+                }
+                b'\r' | b'\n' => {
+                    if b == b'\r' && self.peek_byte()? == Some(b'\n') {
+                        self.input.consume(1);
+                    }
+                    self.line += 1;
+                    if any_content {
+                        count += 1;
+                        any_content = false;
+                    }
+                    field_len = 0;
+                }
+                _ => {
+                    field_len += 1;
+                    any_content = true;
+                }
+            }
+        }
+    }
+}
+
+fn finish_field(field: &mut Vec<u8>, line: usize) -> Result<String, TableError> {
+    String::from_utf8(std::mem::take(field)).map_err(|_| TableError::Csv {
+        line,
+        message: "invalid UTF-8 in field".to_owned(),
+    })
+}
+
+impl<R: BufRead> Iterator for RecordReader<R> {
+    type Item = Result<Vec<String>, TableError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut record: Vec<String> = Vec::new();
+        let mut field: Vec<u8> = Vec::new();
+        let mut in_quotes = false;
+        // True once the current record has any content (field bytes or a
+        // comma) — a blank line yields no record.
+        let mut any_content = false;
+        loop {
+            let b = match self.next_byte() {
+                Ok(b) => b,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            let Some(b) = b else {
+                self.done = true;
+                if in_quotes {
+                    return Some(Err(TableError::Csv {
+                        line: self.line,
+                        message: "unterminated quoted field".to_owned(),
+                    }));
+                }
+                if any_content || !record.is_empty() {
+                    match finish_field(&mut field, self.line) {
+                        Ok(s) => record.push(s),
+                        Err(e) => return Some(Err(e)),
+                    }
+                    return Some(Ok(record));
+                }
+                return None;
+            };
+            if in_quotes {
+                match b {
+                    b'"' => match self.peek_byte() {
+                        Ok(Some(b'"')) => {
+                            self.input.consume(1);
+                            field.push(b'"');
+                        }
+                        Ok(_) => in_quotes = false,
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e.into()));
+                        }
+                    },
+                    b'\n' => {
+                        self.line += 1;
+                        field.push(b);
+                    }
+                    _ => field.push(b),
+                }
+                continue;
+            }
+            match b {
+                b'"' => {
+                    if !field.is_empty() {
+                        self.done = true;
+                        return Some(Err(TableError::Csv {
+                            line: self.line,
+                            message: "quote in the middle of an unquoted field".to_owned(),
+                        }));
+                    }
+                    in_quotes = true;
+                    if !any_content {
+                        self.record_line = self.line;
+                    }
+                    any_content = true;
+                }
+                b',' => {
+                    match finish_field(&mut field, self.line) {
+                        Ok(s) => record.push(s),
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e));
+                        }
+                    }
+                    if !any_content {
+                        self.record_line = self.line;
+                    }
+                    any_content = true;
+                }
+                b'\r' | b'\n' => {
+                    if b == b'\r' {
+                        match self.peek_byte() {
+                            Ok(Some(b'\n')) => self.input.consume(1),
+                            Ok(_) => {}
+                            Err(e) => {
+                                self.done = true;
+                                return Some(Err(e.into()));
+                            }
+                        }
+                    }
+                    self.line += 1;
+                    if any_content || !record.is_empty() {
+                        match finish_field(&mut field, self.line - 1) {
+                            Ok(s) => record.push(s),
+                            Err(e) => {
+                                self.done = true;
+                                return Some(Err(e));
+                            }
+                        }
+                        return Some(Ok(record));
+                    }
+                    // Blank line: keep scanning for the next record.
+                }
+                _ => {
+                    field.push(b);
+                    if !any_content {
+                        self.record_line = self.line;
+                    }
+                    any_content = true;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -338,5 +615,51 @@ mod tests {
         let t = read_csv("a,b\n,x\n").unwrap();
         assert_eq!(t.value(0, 0), "");
         assert_eq!(t.value(0, 1), "x");
+    }
+
+    #[test]
+    fn arity_error_line_is_exact_across_embedded_newlines_and_blanks() {
+        // Row 1 spans input lines 2-3 (quoted newline); a blank line
+        // follows; the short record starts on line 5 and must be reported
+        // there, not at record-index + 2 (= 4).
+        let err = read_csv("a,b\n\"l1\nl2\",x\n\n5\n").unwrap_err();
+        match err {
+            TableError::Csv { line, message } => {
+                assert_eq!(line, 5, "{message}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn count_remaining_matches_full_iteration() {
+        let cases = [
+            "plain\nrows\n",
+            "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\nplain,field\n",
+            "a\n\"line1\nline2\"\n",
+            "a,b\r\n1,2\r\n3,4\r\n",
+            "a\nx",       // no trailing newline
+            "a\n\nx\n\n", // blank lines yield no records
+            "",
+        ];
+        for case in cases {
+            let full = RecordReader::new(case.as_bytes())
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap()
+                .len();
+            let counted = RecordReader::new(case.as_bytes())
+                .count_remaining()
+                .unwrap();
+            assert_eq!(counted, full, "case {case:?}");
+        }
+        // Structural errors surface from the counting pass too.
+        assert!(matches!(
+            RecordReader::new("a\n\"oops\n".as_bytes()).count_remaining(),
+            Err(TableError::Csv { .. })
+        ));
+        assert!(matches!(
+            RecordReader::new("a\nfoo\"bar\n".as_bytes()).count_remaining(),
+            Err(TableError::Csv { .. })
+        ));
     }
 }

@@ -51,6 +51,17 @@ impl Dictionary {
         self.values.is_empty()
     }
 
+    /// Approximate heap bytes held by this dictionary (string storage plus
+    /// the intern index) — the resident-memory proxy the ingest bench uses
+    /// to compare streaming against materialize-then-shard builds.
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self.values.iter().map(|v| v.len()).sum();
+        // Each value is stored twice (value vec + index key) and the index
+        // additionally carries a code and hash-bucket overhead.
+        2 * strings
+            + self.values.len() * (2 * std::mem::size_of::<Box<str>>() + std::mem::size_of::<u64>())
+    }
+
     /// Iterates `(code, value)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         self.values

@@ -27,6 +27,24 @@ pub enum TableError {
     ParseNumber(String),
     /// The table (or input) was empty where data was required.
     Empty,
+    /// An I/O failure during streaming ingest or spill (message of the
+    /// underlying [`std::io::Error`]; kept as a string so the error stays
+    /// `Clone + Eq`).
+    Io(String),
+    /// A streaming shard build received a different number of rows than it
+    /// declared up front (the span layout is a function of the total).
+    RowCount {
+        /// Rows the builder was created for.
+        declared: usize,
+        /// Rows actually pushed.
+        got: usize,
+    },
+}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for TableError {
@@ -44,6 +62,10 @@ impl fmt::Display for TableError {
             TableError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
             TableError::ParseNumber(s) => write!(f, "cannot parse {s:?} as a number"),
             TableError::Empty => write!(f, "input is empty"),
+            TableError::Io(message) => write!(f, "i/o error: {message}"),
+            TableError::RowCount { declared, got } => {
+                write!(f, "row count mismatch: declared {declared} rows, got {got}")
+            }
         }
     }
 }

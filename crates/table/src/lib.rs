@@ -21,7 +21,9 @@
 //! * [`bucketize`] — equi-width / equi-depth bucketization of numeric data,
 //! * [`shard`] — the larger-than-memory tier: [`ShardedTable`] partitions
 //!   rows into fixed columnar shard segments (optionally spilled to disk
-//!   under a resident-shard budget), [`ShardedView`] presents the familiar
+//!   under a resident-shard budget with LRU or sweep-aware eviction,
+//!   [`Residency`]), [`ShardBuilder`] streams rows in without materializing
+//!   the monolithic table, [`ShardedView`] presents the familiar
 //!   positional view surface over it, and [`TableStore`] lets the session
 //!   stack hold either storage form behind one handle. The shard layout and
 //!   spill round-trip are deterministic, so sharded scans reproduce the
@@ -46,6 +48,9 @@ mod view;
 pub use dictionary::Dictionary;
 pub use error::TableError;
 pub use schema::{ColumnDef, Schema};
-pub use shard::{ShardConfig, ShardRun, ShardSegment, ShardedTable, ShardedView, TableStore};
+pub use shard::{
+    Residency, ShardBuilder, ShardConfig, ShardRun, ShardSegment, ShardedTable, ShardedView,
+    TableStore,
+};
 pub use table::{Table, TableBuilder};
 pub use view::{chunk_spans, OwnedTableView, RowId, TableView, ViewChunk, WeightedRow};

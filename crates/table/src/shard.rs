@@ -18,10 +18,23 @@
 //!   bit-for-bit.
 //!
 //! Residency is governed by a **resident-shard budget**: at most that many
-//! segments are cached at once (LRU eviction; segments are immutable, so
-//! eviction can never change a result — a reload decodes identical bytes).
-//! Callers hold segments by `Arc`, so an in-flight scan keeps its segment
-//! alive even if the cache drops it.
+//! segments are cached at once (segments are immutable, so eviction can
+//! never change a result — a reload decodes identical bytes). Two eviction
+//! policies exist ([`Residency`]): `Lru` (default, for random/skewed
+//! access) and `Sweep` (evict most-recently-used — the right policy for
+//! cyclic sequential shard sweeps, which are LRU's worst case). Callers
+//! hold segments by `Arc`; a held segment is **pinned** — it stays in the
+//! cache, counts against the budget, and is never evicted, so the resident
+//! count honestly tracks decoded-segment memory
+//! (`resident_count ≤ budget + pinned`, never budget + unbounded in-flight
+//! copies).
+//!
+//! Construction comes in two forms: [`ShardedTable::from_table`] slices an
+//! already-materialized [`Table`], and [`ShardBuilder`] **streams** rows in
+//! without ever materializing the monolithic table — sealing and spilling
+//! each segment the moment its span fills, so ingest peak memory is one
+//! segment plus dictionaries (see the builder docs for why the two builds
+//! are bit-identical).
 //!
 //! ## Determinism contract
 //!
@@ -39,13 +52,29 @@
 //! shard and spill.
 
 use crate::view::chunk_spans;
-use crate::{Dictionary, RowId, Schema, Table};
+use crate::{Dictionary, RowId, Schema, Table, TableError};
 use rustc_hash::FxHashMap;
 use std::io::{self, Read, Write};
 use std::ops::Range;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Which resident segment a full cache evicts. Results never depend on the
+/// policy (segments are immutable); only spill traffic does.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Residency {
+    /// Evict the least-recently-used segment. The safe default for random
+    /// or skewed access (drill-downs revisiting hot shards).
+    #[default]
+    Lru,
+    /// Evict the **most**-recently-used unpinned segment. The sequential
+    /// shard sweep (`for i in 0..n_shards`) is LRU's documented worst case:
+    /// under a budget of `k`, LRU evicts exactly the segment the cyclic
+    /// scan needs next and misses on every access, while Sweep retains a
+    /// stable prefix of `k - 1` segments that hit on every subsequent pass.
+    Sweep,
+}
 
 /// Configuration of a [`ShardedTable`].
 #[derive(Debug, Clone, Default)]
@@ -60,6 +89,10 @@ pub struct ShardConfig {
     /// Directory for spill files. Each `ShardedTable` creates a unique
     /// subdirectory inside it and removes that subdirectory on drop.
     pub spill_dir: Option<PathBuf>,
+    /// Eviction policy under the resident budget (default [`Residency::Lru`];
+    /// pick [`Residency::Sweep`] for workloads dominated by sequential
+    /// full-table scans).
+    pub residency: Residency,
 }
 
 impl ShardConfig {
@@ -69,6 +102,7 @@ impl ShardConfig {
             shards,
             resident: 0,
             spill_dir: None,
+            residency: Residency::Lru,
         }
     }
 
@@ -79,7 +113,14 @@ impl ShardConfig {
             shards,
             resident: resident.max(1),
             spill_dir: Some(dir.into()),
+            residency: Residency::Lru,
         }
+    }
+
+    /// The same layout with `residency` as the eviction policy.
+    pub fn with_residency(mut self, residency: Residency) -> Self {
+        self.residency = residency;
+        self
     }
 }
 
@@ -130,6 +171,52 @@ struct Cache {
     clock: u64,
     loads: u64,
     evictions: u64,
+    /// Segments encoded to disk (once per shard at build time; a segment is
+    /// never re-written).
+    spills: u64,
+    /// High-water mark of `resident.len()` — the honest "how many decoded
+    /// segments were ever in memory at once" gauge the memory-bound ingest
+    /// test asserts on.
+    peak_resident: usize,
+}
+
+impl Cache {
+    fn note_size(&mut self) {
+        self.peak_resident = self.peak_resident.max(self.resident.len());
+    }
+
+    /// Evicts unpinned segments until the budget is met. An entry is
+    /// *pinned* while any caller still holds its `Arc` (the cache's own
+    /// reference is the baseline count of 1): evicting it would drop the
+    /// map entry but not the bytes, so the resident counter would undercount
+    /// true memory use — instead pinned segments stay in the map and count
+    /// against the budget, and the cache only overshoots by the number of
+    /// concurrently pinned segments (`resident.len() ≤ budget + pinned`).
+    fn evict_over_budget(&mut self, budget: usize, policy: Residency) {
+        if budget == 0 {
+            return;
+        }
+        while self.resident.len() > budget {
+            let unpinned = self
+                .resident
+                .iter()
+                .filter(|(_, e)| Arc::strong_count(&e.seg) == 1);
+            let victim = match policy {
+                Residency::Lru => unpinned.min_by_key(|(_, e)| e.last_used),
+                Residency::Sweep => unpinned.max_by_key(|(_, e)| e.last_used),
+            }
+            .map(|(&k, _)| k);
+            match victim {
+                Some(k) => {
+                    self.resident.remove(&k);
+                    self.evictions += 1;
+                }
+                // Everything over budget is pinned by in-flight scans; the
+                // overshoot is transient and bounded by the pin count.
+                None => break,
+            }
+        }
+    }
 }
 
 /// Monotonic tag making every `ShardedTable`'s spill subdirectory unique
@@ -147,6 +234,7 @@ pub struct ShardedTable {
     spill: Vec<Option<PathBuf>>,
     spill_root: Option<PathBuf>,
     resident_budget: usize,
+    residency: Residency,
     cache: Mutex<Cache>,
 }
 
@@ -177,15 +265,11 @@ impl ShardedTable {
             })
             .collect();
 
-        let spill_root = match &config.spill_dir {
-            Some(dir) => {
-                let tag = SPILL_TAG.fetch_add(1, Ordering::Relaxed);
-                let root = dir.join(format!("sdd-shards-{}-{tag:04}", std::process::id()));
-                std::fs::create_dir_all(&root)?;
-                Some(root)
-            }
-            None => None,
-        };
+        let spill_root = config
+            .spill_dir
+            .as_deref()
+            .map(make_spill_root)
+            .transpose()?;
 
         let mut spill: Vec<Option<PathBuf>> = vec![None; spans.len()];
         let mut cache = Cache::default();
@@ -194,9 +278,10 @@ impl ShardedTable {
                 .map(|c| table.column(c)[span.clone()].to_vec())
                 .collect();
             if let Some(root) = &spill_root {
-                let path = root.join(format!("shard-{i:05}.seg"));
+                let path = root.join(segment_file_name(i));
                 write_segment(&path, &cols, span.len())?;
                 spill[i] = Some(path);
+                cache.spills += 1;
                 // Cold cache: segments are rebuilt from spill on first use.
             } else {
                 cache.clock += 1;
@@ -210,6 +295,7 @@ impl ShardedTable {
                         last_used: cache.clock,
                     },
                 );
+                cache.note_size();
             }
         }
 
@@ -220,6 +306,7 @@ impl ShardedTable {
             spill,
             spill_root,
             resident_budget: config.resident,
+            residency: config.residency,
             cache: Mutex::new(cache),
         })
     }
@@ -291,7 +378,14 @@ impl ShardedTable {
             let clock = cache.clock;
             if let Some(entry) = cache.resident.get_mut(&i) {
                 entry.last_used = clock;
-                return Arc::clone(&entry.seg);
+                let seg = Arc::clone(&entry.seg);
+                // Hits reclaim too: a burst of concurrent pins can grow the
+                // cache past the budget, and the released segments would
+                // otherwise linger as permanent hits (the budget never
+                // re-honored, eviction never firing again). The clone above
+                // pins `i`, so the pass cannot drop the returned segment.
+                cache.evict_over_budget(self.resident_budget, self.residency);
+                return seg;
             }
         }
         // Miss: read + decode outside the lock.
@@ -326,18 +420,10 @@ impl ShardedTable {
                 seg
             }
         };
-        if self.resident_budget > 0 {
-            while cache.resident.len() > self.resident_budget {
-                let lru = cache
-                    .resident
-                    .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(&k, _)| k)
-                    .expect("non-empty");
-                cache.resident.remove(&lru);
-                cache.evictions += 1;
-            }
-        }
+        cache.note_size();
+        // The caller's `seg` clone pins shard `i` (strong count ≥ 2), so the
+        // eviction pass can never drop the segment being returned.
+        cache.evict_over_budget(self.resident_budget, self.residency);
         seg
     }
 
@@ -357,9 +443,7 @@ impl ShardedTable {
         let mut segs: FxHashMap<usize, Arc<ShardSegment>> = FxHashMap::default();
         for &row in rows {
             let shard = self.shard_of_row(row);
-            if !segs.contains_key(&shard) {
-                segs.insert(shard, self.segment(shard));
-            }
+            segs.entry(shard).or_insert_with(|| self.segment(shard));
         }
         // Group consecutive rows by shard (gather_multi part order = row
         // order).
@@ -402,10 +486,93 @@ impl ShardedTable {
         self.cache.lock().expect("shard cache poisoned").evictions
     }
 
+    /// Cumulative segments encoded to disk (exactly once per shard for a
+    /// spilling table; `0` for a fully-resident one). A streaming build
+    /// that truly streams writes each segment once and never rewrites —
+    /// `spills() == n_shards()` with `loads() == 0` until the first scan.
+    pub fn spills(&self) -> u64 {
+        self.cache.lock().expect("shard cache poisoned").spills
+    }
+
+    /// High-water mark of simultaneously resident (decoded) segments.
+    pub fn peak_resident(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("shard cache poisoned")
+            .peak_resident
+    }
+
+    /// Number of resident segments currently pinned by in-flight scans
+    /// (callers still holding the segment `Arc`). Pinned segments count
+    /// against the resident budget and are never evicted, so
+    /// `resident_count() ≤ resident_budget + pinned()` at all times.
+    pub fn pinned(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("shard cache poisoned")
+            .resident
+            .values()
+            .filter(|e| Arc::strong_count(&e.seg) > 1)
+            .count()
+    }
+
+    /// `(resident segments, pinned segments)` observed under **one** cache
+    /// lock acquisition — the atomic snapshot concurrency tests assert the
+    /// budget invariant on: `resident ≤ resident_budget + pinned`.
+    ///
+    /// The call runs an eviction pass (eviction otherwise only runs on
+    /// segment access, so unpinned over-budget entries whose pins were just
+    /// released may linger until the next touch) and then counts pins —
+    /// repeating until the two passes agree, because a scan thread can drop
+    /// its segment `Arc` *between* them without taking the cache lock
+    /// (un-pinning an entry the eviction pass had just spared). New pins on
+    /// cached entries require this lock, so each retry can only observe
+    /// fewer pinned entries and evicts at least one of them: the loop
+    /// terminates, and every returned snapshot satisfies the invariant.
+    /// Sampling [`ShardedTable::resident_count`] and
+    /// [`ShardedTable::pinned`] separately instead could race a concurrent
+    /// pin release between the two reads.
+    pub fn resident_and_pinned(&self) -> (usize, usize) {
+        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        loop {
+            cache.evict_over_budget(self.resident_budget, self.residency);
+            let pinned = cache
+                .resident
+                .values()
+                .filter(|e| Arc::strong_count(&e.seg) > 1)
+                .count();
+            if self.resident_budget == 0 || cache.resident.len() <= self.resident_budget + pinned {
+                return (cache.resident.len(), pinned);
+            }
+        }
+    }
+
     /// The configured resident-shard budget (`0` = unlimited).
     pub fn resident_budget(&self) -> usize {
         self.resident_budget
     }
+
+    /// The configured eviction policy.
+    pub fn residency(&self) -> Residency {
+        self.residency
+    }
+
+    /// The spill file of shard `i`, if this table spills.
+    pub fn spill_path(&self, i: usize) -> Option<&std::path::Path> {
+        self.spill[i].as_deref()
+    }
+}
+
+/// Creates the unique spill subdirectory for one table or builder.
+fn make_spill_root(dir: &std::path::Path) -> io::Result<PathBuf> {
+    let tag = SPILL_TAG.fetch_add(1, Ordering::Relaxed);
+    let root = dir.join(format!("sdd-shards-{}-{tag:04}", std::process::id()));
+    std::fs::create_dir_all(&root)?;
+    Ok(root)
+}
+
+fn segment_file_name(i: usize) -> String {
+    format!("shard-{i:05}.seg")
 }
 
 impl Drop for ShardedTable {
@@ -420,8 +587,290 @@ impl Drop for ShardedTable {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Streaming builder
+// ---------------------------------------------------------------------------
+
+/// Streaming out-of-core construction of a [`ShardedTable`]: rows arrive
+/// one at a time (from the CSV reader or any row source), global
+/// dictionaries grow online, and each fixed-span segment is **sealed and
+/// spilled the moment its last row arrives** — so peak memory during a
+/// spilling build is one unsealed segment plus the dictionaries and measure
+/// columns, never the whole table.
+///
+/// The span layout is [`chunk_spans`]`(total_rows, shards)` — a function of
+/// the *total* row count — so the builder is told the total up front (the
+/// CSV path counts records in a cheap first streaming pass; see
+/// [`crate::csv::stream_csv_file`]) and [`ShardBuilder::finish`] rejects a
+/// stream that delivered a different count.
+///
+/// ## Bit-identity with [`ShardedTable::from_table`]
+///
+/// Global codes are assigned by [`Dictionary::intern`] in first-appearance
+/// order. A stream that delivers rows in table order therefore interns
+/// every value at exactly the moment the monolithic [`TableBuilder`] would
+/// have, producing identical codes, identical segment columns, and — since
+/// the spill encoder is a pure function of a segment's global codes —
+/// byte-identical spill files. The cross-shard parity suite pins this for
+/// every shard count and budget: a stream-built table is indistinguishable
+/// from a materialize-then-shard build in every drill-down transcript.
+///
+/// [`TableBuilder`]: crate::TableBuilder
+#[derive(Debug)]
+pub struct ShardBuilder {
+    schema: Schema,
+    dicts: Vec<Dictionary>,
+    measure_names: Vec<String>,
+    measure_vals: Vec<Vec<f64>>,
+    spans: Vec<Range<usize>>,
+    total_rows: usize,
+    resident_budget: usize,
+    residency: Residency,
+    spill_root: Option<PathBuf>,
+    spill: Vec<Option<PathBuf>>,
+    /// Sealed segment columns, kept only for fully-resident builds (a
+    /// spilling build drops a segment's codes as soon as they hit disk).
+    sealed: Vec<Option<Vec<Vec<u32>>>>,
+    cur: Vec<Vec<u32>>,
+    cur_shard: usize,
+    rows_pushed: usize,
+    spills: u64,
+    finished: bool,
+}
+
+impl ShardBuilder {
+    /// Starts a streaming build of `total_rows` rows under `config`.
+    /// `measures` declares the numeric measure columns (fed per row through
+    /// [`ShardBuilder::push_row`]; they stay fully resident, 8 bytes per
+    /// row, exactly as in a materialized [`ShardedTable`]).
+    pub fn new(
+        schema: Schema,
+        measures: Vec<String>,
+        total_rows: usize,
+        config: &ShardConfig,
+    ) -> Result<ShardBuilder, TableError> {
+        if config.resident > 0 && config.spill_dir.is_none() {
+            return Err(TableError::Io(
+                "a resident-shard budget requires a spill directory".to_owned(),
+            ));
+        }
+        for (i, name) in measures.iter().enumerate() {
+            if schema.index_of(name).is_ok() || measures[..i].contains(name) {
+                return Err(TableError::DuplicateColumn(name.clone()));
+            }
+        }
+        let spans = chunk_spans(total_rows, config.shards.max(1));
+        let spill_root = config
+            .spill_dir
+            .as_deref()
+            .map(make_spill_root)
+            .transpose()?;
+        let n_cols = schema.n_columns();
+        let first_len = spans.first().map_or(0, |s| s.len());
+        Ok(ShardBuilder {
+            dicts: vec![Dictionary::new(); n_cols],
+            // NB: `vec![Vec::with_capacity(..); n]` would clone away the
+            // capacity for all but the last element.
+            measure_vals: (0..measures.len())
+                .map(|_| Vec::with_capacity(total_rows))
+                .collect(),
+            measure_names: measures,
+            spill: vec![None; spans.len()],
+            sealed: vec![None; spans.len()],
+            cur: (0..n_cols).map(|_| Vec::with_capacity(first_len)).collect(),
+            spans,
+            total_rows,
+            resident_budget: config.resident,
+            residency: config.residency,
+            spill_root,
+            schema,
+            cur_shard: 0,
+            rows_pushed: 0,
+            spills: 0,
+            finished: false,
+        })
+    }
+
+    /// The declared total row count.
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Rows pushed so far.
+    pub fn rows_pushed(&self) -> usize {
+        self.rows_pushed
+    }
+
+    /// Segments sealed (and, for a spilling build, written to disk) so far.
+    pub fn segments_sealed(&self) -> usize {
+        self.cur_shard
+    }
+
+    /// Appends one row: `cats` are the categorical values in schema order,
+    /// `measures` the declared measure values in declaration order. Interns
+    /// globally, buffers into the current segment, and seals/spills the
+    /// segment when the row completes its span.
+    pub fn push_row<S: AsRef<str>>(
+        &mut self,
+        cats: &[S],
+        measures: &[f64],
+    ) -> Result<(), TableError> {
+        if self.rows_pushed >= self.total_rows {
+            return Err(TableError::RowCount {
+                declared: self.total_rows,
+                got: self.rows_pushed + 1,
+            });
+        }
+        if cats.len() != self.schema.n_columns() {
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.n_columns(),
+                got: cats.len(),
+            });
+        }
+        if measures.len() != self.measure_names.len() {
+            return Err(TableError::ArityMismatch {
+                expected: self.measure_names.len(),
+                got: measures.len(),
+            });
+        }
+        for (c, v) in cats.iter().enumerate() {
+            let code = self.dicts[c].intern(v.as_ref());
+            self.cur[c].push(code);
+        }
+        for (slot, &v) in self.measure_vals.iter_mut().zip(measures) {
+            slot.push(v);
+        }
+        self.rows_pushed += 1;
+        if self.rows_pushed == self.spans[self.cur_shard].end {
+            self.seal_current()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the current segment: spills it immediately (spilling build) or
+    /// parks its columns for [`ShardBuilder::finish`] (fully resident).
+    fn seal_current(&mut self) -> Result<(), TableError> {
+        let i = self.cur_shard;
+        let span = self.spans[i].clone();
+        let next_len = self.spans.get(i + 1).map_or(0, |s| s.len());
+        let cols: Vec<Vec<u32>> = self
+            .cur
+            .iter_mut()
+            .map(|c| std::mem::replace(c, Vec::with_capacity(next_len)))
+            .collect();
+        debug_assert!(cols.iter().all(|c| c.len() == span.len()));
+        if let Some(root) = &self.spill_root {
+            let path = root.join(segment_file_name(i));
+            write_segment(&path, &cols, span.len())?;
+            self.spill[i] = Some(path);
+            self.spills += 1;
+            // `cols` drops here: a spilling build never retains sealed codes.
+        } else {
+            self.sealed[i] = Some(cols);
+        }
+        self.cur_shard += 1;
+        Ok(())
+    }
+
+    /// Completes the build. Fails with [`TableError::RowCount`] when fewer
+    /// rows arrived than declared (cleaning up any spill files written).
+    pub fn finish(mut self) -> Result<ShardedTable, TableError> {
+        if self.rows_pushed != self.total_rows {
+            return Err(TableError::RowCount {
+                declared: self.total_rows,
+                got: self.rows_pushed,
+            });
+        }
+        // For an empty table the single `0..0` span never fills via
+        // `push_row`; seal it here so the layout matches `from_table`.
+        while self.cur_shard < self.spans.len() {
+            debug_assert!(self.spans[self.cur_shard].is_empty());
+            self.seal_current()?;
+        }
+
+        let dicts: Vec<Arc<Dictionary>> = std::mem::take(&mut self.dicts)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let header_measures: Vec<(String, Vec<f64>)> = self
+            .measure_names
+            .iter()
+            .map(|n| (n.clone(), Vec::new()))
+            .collect();
+        let header = Arc::new(Table::from_parts(
+            self.schema.clone(),
+            dicts,
+            vec![Vec::new(); self.schema.n_columns()],
+            header_measures,
+            0,
+        ));
+        let measures: Vec<(String, Vec<f64>)> = self
+            .measure_names
+            .iter()
+            .cloned()
+            .zip(std::mem::take(&mut self.measure_vals))
+            .collect();
+
+        let mut cache = Cache {
+            spills: self.spills,
+            ..Cache::default()
+        };
+        if self.spill_root.is_none() {
+            // Segment tables can only exist now: they share the *final*
+            // global dictionaries (built online during the stream), so an
+            // early segment sees the same cardinalities as a late one.
+            for (i, span) in self.spans.iter().enumerate() {
+                let cols = self.sealed[i].take().expect("sealed in span order");
+                cache.clock += 1;
+                cache.resident.insert(
+                    i,
+                    CacheEntry {
+                        seg: Arc::new(ShardSegment {
+                            span: span.clone(),
+                            table: segment_table(&header, &measures, span, cols),
+                        }),
+                        last_used: cache.clock,
+                    },
+                );
+                cache.note_size();
+            }
+        }
+
+        self.finished = true;
+        Ok(ShardedTable {
+            header,
+            measures,
+            spans: std::mem::take(&mut self.spans),
+            spill: std::mem::take(&mut self.spill),
+            spill_root: self.spill_root.take(),
+            resident_budget: self.resident_budget,
+            residency: self.residency,
+            cache: Mutex::new(cache),
+        })
+    }
+}
+
+impl Drop for ShardBuilder {
+    fn drop(&mut self) {
+        // An abandoned build (error mid-stream, failed `finish`) must not
+        // leak its spill files; a successful `finish` hands the root to the
+        // `ShardedTable`, which owns cleanup from then on. The root is this
+        // builder's exclusively (unique per-process tag), so removing the
+        // whole tree also catches a partially-written segment left by a
+        // failed `write_segment` that never made it into `self.spill`.
+        if !self.finished {
+            if let Some(root) = &self.spill_root {
+                let _ = std::fs::remove_dir_all(root);
+            }
+        }
+    }
+}
+
 /// Builds the resident [`Table`] of one segment: global-coded columns plus
-/// the span's measure slices, sharing the header's schema/dictionaries.
+/// the span's measure slices, sharing the header's schema and — by `Arc`,
+/// not by clone — its global dictionaries: every segment of a table holds
+/// pointer-identical dictionary handles, so segment count never multiplies
+/// dictionary memory.
 fn segment_table(
     header: &Table,
     measures: &[(String, Vec<f64>)],
@@ -434,9 +883,7 @@ fn segment_table(
         .collect();
     Table::from_parts(
         header.schema().clone(),
-        (0..header.n_columns())
-            .map(|c| header.dictionary(c).clone())
-            .collect(),
+        header.dictionaries().to_vec(),
         cols,
         sliced,
         span.len(),
@@ -809,7 +1256,7 @@ impl From<Arc<ShardedTable>> for TableStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Schema;
+    use crate::{Schema, TableBuilder};
 
     fn t(n: usize) -> Table {
         let rows: Vec<[String; 2]> = (0..n)
@@ -937,6 +1384,7 @@ mod tests {
             shards: 2,
             resident: 1,
             spill_dir: None,
+            residency: Residency::Lru,
         };
         assert!(ShardedTable::from_table(&table, &cfg).is_err());
     }
@@ -962,6 +1410,194 @@ mod tests {
             assert!(root.exists());
         }
         assert!(!root.exists(), "spill subdirectory must be cleaned up");
+    }
+
+    /// Streams `table`'s rows through a [`ShardBuilder`] in row order.
+    fn stream_clone(table: &Table, cfg: &ShardConfig) -> ShardedTable {
+        let measure_names: Vec<String> = table.measure_names().map(str::to_owned).collect();
+        let mut b = ShardBuilder::new(
+            table.schema().clone(),
+            measure_names.clone(),
+            table.n_rows(),
+            cfg,
+        )
+        .unwrap();
+        let mvals: Vec<&[f64]> = measure_names
+            .iter()
+            .map(|n| table.measure(n).unwrap())
+            .collect();
+        for r in 0..table.n_rows() as RowId {
+            let cats: Vec<&str> = (0..table.n_columns()).map(|c| table.value(r, c)).collect();
+            let ms: Vec<f64> = mvals.iter().map(|v| v[r as usize]).collect();
+            b.push_row(&cats, &ms).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn t_measured(n: usize) -> Table {
+        let mut b = TableBuilder::new(Schema::new(["A", "B"]).unwrap());
+        for i in 0..n {
+            b.push_row(&[format!("a{}", i % 5), format!("b{}", i % 3)])
+                .unwrap();
+        }
+        b.add_measure("m", (0..n).map(|i| i as f64 * 0.5).collect())
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn stream_build_matches_from_table_segments_and_spill_bytes() {
+        let table = t_measured(37);
+        for shards in [1, 3, 8] {
+            for cfg in [
+                ShardConfig::in_memory(shards),
+                ShardConfig::spilling(shards, 1, spill_dir()),
+            ] {
+                let a = ShardedTable::from_table(&table, &cfg).unwrap();
+                let b = stream_clone(&table, &cfg);
+                assert_eq!(a.spans(), b.spans());
+                for i in 0..a.n_shards() {
+                    if let (Some(pa), Some(pb)) = (a.spill_path(i), b.spill_path(i)) {
+                        assert_eq!(
+                            std::fs::read(pa).unwrap(),
+                            std::fs::read(pb).unwrap(),
+                            "shard {i}: spill files differ"
+                        );
+                    }
+                    let (sa, sb) = (a.segment(i), b.segment(i));
+                    for c in 0..table.n_columns() {
+                        assert_eq!(sa.col(c), sb.col(c), "shard {i} col {c}");
+                    }
+                    assert_eq!(
+                        sa.table().measure("m").unwrap(),
+                        sb.table().measure("m").unwrap()
+                    );
+                }
+                for c in 0..table.n_columns() {
+                    assert_eq!(a.cardinality(c), b.cardinality(c));
+                    let da: Vec<_> = a.dictionary(c).iter().collect();
+                    let db: Vec<_> = b.dictionary(c).iter().collect();
+                    assert_eq!(da, db, "col {c}: dictionaries differ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_build_spills_each_segment_exactly_once_and_stays_cold() {
+        let table = t(60);
+        let st = stream_clone(&table, &ShardConfig::spilling(6, 1, spill_dir()));
+        assert_eq!(st.spills(), 6, "one spill write per shard");
+        assert_eq!(st.loads(), 0, "a streaming build never reads back");
+        assert_eq!(st.evictions(), 0);
+        assert_eq!(st.peak_resident(), 0, "no segment was decoded in memory");
+        // First scan pays the cold loads, one decoded segment at a time.
+        for i in 0..st.n_shards() {
+            let seg = st.segment(i);
+            assert_eq!(seg.span(), st.spans()[i].clone());
+        }
+        assert_eq!(st.loads(), 6);
+        assert!(st.peak_resident() <= 2, "budget 1 + the in-flight pin");
+    }
+
+    #[test]
+    fn stream_builder_rejects_row_count_mismatch() {
+        let cfg = ShardConfig::in_memory(2);
+        let schema = Schema::new(["A"]).unwrap();
+        let mut b = ShardBuilder::new(schema.clone(), vec![], 2, &cfg).unwrap();
+        b.push_row(&["x"], &[]).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(TableError::RowCount {
+                declared: 2,
+                got: 1
+            })
+        ));
+        let mut b = ShardBuilder::new(schema, vec![], 1, &cfg).unwrap();
+        b.push_row(&["x"], &[]).unwrap();
+        assert!(matches!(
+            b.push_row(&["y"], &[]),
+            Err(TableError::RowCount { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_builder_handles_zero_rows() {
+        let st = ShardBuilder::new(
+            Schema::new(["A"]).unwrap(),
+            vec![],
+            0,
+            &ShardConfig::in_memory(3),
+        )
+        .unwrap()
+        .finish()
+        .unwrap();
+        assert_eq!(st.n_rows(), 0);
+        let table = t(0);
+        let reference = ShardedTable::from_table(&table, &ShardConfig::in_memory(3)).unwrap();
+        assert_eq!(st.spans(), reference.spans());
+    }
+
+    #[test]
+    fn segments_share_global_dictionaries_by_arc() {
+        let table = t(24);
+        let st =
+            ShardedTable::from_table(&table, &ShardConfig::spilling(4, 1, spill_dir())).unwrap();
+        for i in 0..st.n_shards() {
+            let seg = st.segment(i);
+            for c in 0..table.n_columns() {
+                assert!(
+                    Arc::ptr_eq(st.header().dictionary_arc(c), seg.table().dictionary_arc(c)),
+                    "shard {i} col {c}: dictionary was cloned, not shared"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_residency_beats_lru_on_cyclic_scans() {
+        let table = t(90);
+        let loads_with = |residency: Residency| {
+            let cfg = ShardConfig::spilling(6, 3, spill_dir()).with_residency(residency);
+            let st = ShardedTable::from_table(&table, &cfg).unwrap();
+            for _pass in 0..4 {
+                for i in 0..st.n_shards() {
+                    let seg = st.segment(i);
+                    assert_eq!(seg.span(), st.spans()[i].clone());
+                }
+            }
+            st.loads()
+        };
+        let lru = loads_with(Residency::Lru);
+        let sweep = loads_with(Residency::Sweep);
+        // LRU misses on every access of a cyclic sweep; Sweep retains a
+        // stable prefix of budget-1 segments that hit on later passes.
+        assert_eq!(lru, 4 * 6, "cyclic sweep is LRU's worst case");
+        assert!(
+            sweep < lru,
+            "sweep ({sweep} loads) must beat LRU ({lru} loads)"
+        );
+    }
+
+    #[test]
+    fn pinned_segments_stay_resident_and_count_against_budget() {
+        let table = t(40);
+        let st =
+            ShardedTable::from_table(&table, &ShardConfig::spilling(4, 1, spill_dir())).unwrap();
+        let s0 = st.segment(0);
+        let s1 = st.segment(1);
+        // Both are pinned: the cache must keep both (evicting would lie
+        // about memory) and report the overshoot as pins.
+        assert_eq!(st.pinned(), 2);
+        assert_eq!(st.resident_count(), 2);
+        assert!(st.resident_count() <= st.resident_budget() + st.pinned());
+        assert_eq!(st.evictions(), 0, "pinned segments must not be evicted");
+        drop(s0);
+        drop(s1);
+        // With pins released, the next access shrinks back to the budget.
+        let _s2 = st.segment(2);
+        assert_eq!(st.resident_count(), 1);
+        assert_eq!(st.pinned(), 1);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 use crate::view::{RowId, TableView};
 use crate::{Dictionary, Schema, TableError};
+use std::sync::Arc;
 
 /// An immutable, dictionary-encoded, column-major relational table.
 ///
@@ -8,10 +9,15 @@ use crate::{Dictionary, Schema, TableError};
 /// cell values are stored as dense `u32` dictionary codes for cache-friendly
 /// scans. Optional *measure* columns hold raw `f64` values for the `Sum`
 /// aggregate of §6.3 — they are never instantiated by rules.
+///
+/// Dictionaries are held by `Arc`, so derived tables that keep the same
+/// code space — shard segments, [`Table::gather_rows`] outputs,
+/// [`Table::header_only`] headers — share one dictionary allocation with
+/// their source instead of deep-cloning it per copy.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
-    dicts: Vec<Dictionary>,
+    dicts: Vec<Arc<Dictionary>>,
     cols: Vec<Vec<u32>>,
     measures: Vec<(String, Vec<f64>)>,
     n_rows: usize,
@@ -28,7 +34,7 @@ impl Table {
     /// dictionary and all lengths equal `n_rows`.
     pub(crate) fn from_parts(
         schema: Schema,
-        dicts: Vec<Dictionary>,
+        dicts: Vec<Arc<Dictionary>>,
         cols: Vec<Vec<u32>>,
         measures: Vec<(String, Vec<f64>)>,
         n_rows: usize,
@@ -83,7 +89,20 @@ impl Table {
 
     /// The dictionary of column `col`. Panics if out of range.
     pub fn dictionary(&self, col: usize) -> &Dictionary {
+        self.dicts[col].as_ref()
+    }
+
+    /// The shared handle of column `col`'s dictionary. Tables derived
+    /// without re-interning (shard segments, gathers, headers) return
+    /// pointer-identical handles to their source's — the Arc-sharing
+    /// invariant the substrate property suite pins down.
+    pub fn dictionary_arc(&self, col: usize) -> &Arc<Dictionary> {
         &self.dicts[col]
+    }
+
+    /// All dictionary handles, in column order.
+    pub(crate) fn dictionaries(&self) -> &[Arc<Dictionary>] {
+        &self.dicts
     }
 
     /// Number of distinct values in column `col` (the paper's `|c|`).
@@ -365,7 +384,7 @@ impl TableBuilder {
         }
         Ok(Table {
             schema: self.schema,
-            dicts: self.dicts,
+            dicts: self.dicts.into_iter().map(Arc::new).collect(),
             cols: self.cols,
             measures: self.measures,
             n_rows: self.n_rows,

@@ -10,7 +10,9 @@ use smart_drilldown::sampling::{
 };
 use smart_drilldown::table::bucketize::{equal_depth, equal_width};
 use smart_drilldown::table::csv::{read_csv, write_csv};
-use smart_drilldown::table::{chunk_spans, Schema, ShardConfig, ShardedTable, ShardedView, Table};
+use smart_drilldown::table::{
+    chunk_spans, Schema, ShardBuilder, ShardConfig, ShardedTable, ShardedView, Table,
+};
 use std::sync::Arc;
 
 fn arb_cells() -> impl Strategy<Value = Vec<Vec<String>>> {
@@ -227,6 +229,90 @@ proptest! {
             pos = run.positions.end;
         }
         prop_assert_eq!(pos, sub.len());
+    }
+
+    /// The streaming builder seals segments exactly on `chunk_spans`
+    /// boundaries for arbitrary row counts and shard counts: after the
+    /// `i`-th pushed row, the number of sealed segments equals the number
+    /// of span ends at or below `i + 1`, a spilling build writes each spill
+    /// exactly once with no read-backs, and the finished layout is the one
+    /// `from_table` would produce.
+    #[test]
+    fn stream_builder_seals_on_chunk_span_boundaries(
+        n_rows in 0usize..180,
+        shards in 1usize..10,
+        spill in any::<bool>(),
+    ) {
+        let cfg = if spill {
+            ShardConfig::spilling(shards, 1, std::env::temp_dir())
+        } else {
+            ShardConfig::in_memory(shards)
+        };
+        let spans = chunk_spans(n_rows, shards);
+        let mut b = ShardBuilder::new(Schema::new(["A", "B"]).unwrap(), vec![], n_rows, &cfg)
+            .unwrap();
+        for i in 0..n_rows {
+            b.push_row(&[format!("v{}", i % 6), format!("w{}", i % 4)], &[]).unwrap();
+            let expect_sealed = spans.iter().filter(|s| !s.is_empty() && s.end <= i + 1).count();
+            prop_assert_eq!(
+                b.segments_sealed(), expect_sealed,
+                "after row {}: sealed off a chunk_spans boundary", i
+            );
+        }
+        let st = b.finish().unwrap();
+        prop_assert_eq!(st.spans(), spans.as_slice());
+        if spill {
+            prop_assert_eq!(st.spills(), st.n_shards() as u64, "one spill write per shard");
+            prop_assert_eq!(st.loads(), 0, "a streaming build never reads back");
+            prop_assert_eq!(st.peak_resident(), 0, "no segment decoded during the build");
+        }
+        for (i, span) in spans.iter().enumerate() {
+            let seg = st.segment(i);
+            prop_assert_eq!(seg.span(), span.clone());
+            prop_assert_eq!(seg.table().n_rows(), span.len());
+        }
+    }
+
+    /// A local-dictionary spill `remap` round-trips through an **Arc-shared**
+    /// global dictionary: every decoded segment holds pointer-identical
+    /// dictionary handles to the header (never a clone), reproduces the
+    /// reference global codes exactly, and decodes codes back to the
+    /// original strings.
+    #[test]
+    fn remap_roundtrips_through_arc_shared_dictionary(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(0u32..300, 2..=2), 1..100),
+        shards in 1usize..9,
+    ) {
+        let rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|r| r.iter().map(|v| format!("x{v}")).collect())
+            .collect();
+        let reference = Table::from_rows(Schema::new(["A", "B"]).unwrap(), &rows).unwrap();
+        let cfg = ShardConfig::spilling(shards, 1, std::env::temp_dir());
+        let mut b = ShardBuilder::new(Schema::new(["A", "B"]).unwrap(), vec![], rows.len(), &cfg)
+            .unwrap();
+        for row in &rows {
+            b.push_row(row, &[]).unwrap();
+        }
+        let st = b.finish().unwrap();
+        for i in 0..st.n_shards() {
+            let seg = st.segment(i);
+            for c in 0..reference.n_columns() {
+                prop_assert!(
+                    Arc::ptr_eq(st.header().dictionary_arc(c), seg.table().dictionary_arc(c)),
+                    "shard {} col {}: dictionary cloned instead of Arc-shared", i, c
+                );
+                prop_assert_eq!(seg.col(c), &reference.column(c)[seg.span()]);
+                for (local, &code) in seg.col(c).iter().enumerate() {
+                    let global_row = (seg.span().start + local) as u32;
+                    prop_assert_eq!(
+                        seg.table().dictionary(c).value_of(code),
+                        Some(reference.value(global_row, c))
+                    );
+                }
+            }
+        }
     }
 
     /// Lemma 4 end-to-end on random instances: the allocation DP's optimum

@@ -28,7 +28,7 @@ use smart_drilldown::sampling::{
 };
 use smart_drilldown::server::{Engine, EngineConfig, OpenOptions, Request};
 use smart_drilldown::table::{
-    Schema, ShardConfig, ShardedTable, ShardedView, Table, TableStore, TableView,
+    Schema, ShardBuilder, ShardConfig, ShardedTable, ShardedView, Table, TableStore, TableView,
 };
 use std::sync::Arc;
 
@@ -73,6 +73,41 @@ fn shard_configs(shards: usize) -> Vec<ShardConfig> {
 
 fn sharded(table: &Table, cfg: &ShardConfig) -> Arc<ShardedTable> {
     Arc::new(ShardedTable::from_table(table, cfg).expect("shard build"))
+}
+
+/// Builds the same sharded table by **streaming** `table`'s rows through a
+/// [`ShardBuilder`] in row order — the out-of-core ingest path. Codes are
+/// interned in first-appearance order by both paths, so the result must be
+/// bit-identical to [`ShardedTable::from_table`].
+fn stream_built(table: &Table, cfg: &ShardConfig) -> Arc<ShardedTable> {
+    let measures: Vec<String> = table.measure_names().map(str::to_owned).collect();
+    let mut b = ShardBuilder::new(
+        table.schema().clone(),
+        measures.clone(),
+        table.n_rows(),
+        cfg,
+    )
+    .expect("stream builder");
+    let mvals: Vec<&[f64]> = measures
+        .iter()
+        .map(|n| table.measure(n).expect("own measure"))
+        .collect();
+    for r in 0..table.n_rows() as u32 {
+        let cats: Vec<&str> = (0..table.n_columns()).map(|c| table.value(r, c)).collect();
+        let ms: Vec<f64> = mvals.iter().map(|v| v[r as usize]).collect();
+        b.push_row(&cats, &ms).expect("stream push");
+    }
+    Arc::new(b.finish().expect("stream finish"))
+}
+
+/// Both construction paths for one config: every parity case below runs on
+/// each, so "stream-built" joins "where bytes live" in the set of things
+/// that can never change a result.
+fn builds(table: &Table, cfg: &ShardConfig) -> [(Arc<ShardedTable>, &'static str); 2] {
+    [
+        (sharded(table, cfg), "from_table"),
+        (stream_built(table, cfg), "stream"),
+    ]
 }
 
 fn cfg_label(cfg: &ShardConfig) -> String {
@@ -143,34 +178,36 @@ fn marginal_search_is_bit_identical_across_shard_layouts() {
 
         for shards in SHARD_COUNTS {
             for cfg in shard_configs(shards) {
-                let st = sharded(&table, &cfg);
-                let view = match &weights {
-                    Some(w) => {
-                        ShardedView::with_rows_and_weights(st.clone(), rows.clone(), w.clone())
+                for (st, how) in builds(&table, &cfg) {
+                    let view = match &weights {
+                        Some(w) => {
+                            ShardedView::with_rows_and_weights(st.clone(), rows.clone(), w.clone())
+                        }
+                        None if use_subset => ShardedView::with_rows(st.clone(), rows.clone()),
+                        None => ShardedView::all(st.clone()),
+                    };
+                    let mut scratch = SearchScratch::new();
+                    let got =
+                        find_best_marginal_rule_sharded(&view, weight, &cov, &opts, &mut scratch);
+                    let label = format!("trial {trial}, {} ({how})", cfg_label(&cfg));
+                    match (&mono, &got) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            assert_eq!(a.rule, b.rule, "{label}: winner differs");
+                            assert_eq!(
+                                a.marginal_value.to_bits(),
+                                b.marginal_value.to_bits(),
+                                "{label}: marginal bits differ"
+                            );
+                            assert_eq!(a.count.to_bits(), b.count.to_bits(), "{label}: count bits");
+                            assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{label}: weight");
+                            assert_eq!(a.stats, b.stats, "{label}: work counters");
+                        }
+                        (a, b) => panic!("{label}: disagreement {a:?} vs {b:?}"),
                     }
-                    None if use_subset => ShardedView::with_rows(st.clone(), rows.clone()),
-                    None => ShardedView::all(st.clone()),
-                };
-                let mut scratch = SearchScratch::new();
-                let got = find_best_marginal_rule_sharded(&view, weight, &cov, &opts, &mut scratch);
-                let label = format!("trial {trial}, {}", cfg_label(&cfg));
-                match (&mono, &got) {
-                    (None, None) => {}
-                    (Some(a), Some(b)) => {
-                        assert_eq!(a.rule, b.rule, "{label}: winner differs");
-                        assert_eq!(
-                            a.marginal_value.to_bits(),
-                            b.marginal_value.to_bits(),
-                            "{label}: marginal bits differ"
-                        );
-                        assert_eq!(a.count.to_bits(), b.count.to_bits(), "{label}: count bits");
-                        assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{label}: weight");
-                        assert_eq!(a.stats, b.stats, "{label}: work counters");
+                    if cfg.resident > 0 && shards > cfg.resident {
+                        assert!(st.loads() > 0, "{label}: spill path never exercised");
                     }
-                    (a, b) => panic!("{label}: disagreement {a:?} vs {b:?}"),
-                }
-                if cfg.resident > 0 && shards > cfg.resident {
-                    assert!(st.loads() > 0, "{label}: spill path never exercised");
                 }
             }
         }
@@ -199,45 +236,46 @@ fn brs_and_drilldowns_are_bit_identical_across_shard_layouts() {
 
         for shards in [1, 2, 3, 5, 8] {
             for cfg in shard_configs(shards) {
-                let st = sharded(&table, &cfg);
-                let view = ShardedView::all(st.clone());
-                let label = format!("trial {trial}, {}", cfg_label(&cfg));
+                for (st, how) in builds(&table, &cfg) {
+                    let view = ShardedView::all(st.clone());
+                    let label = format!("trial {trial}, {} ({how})", cfg_label(&cfg));
 
-                let got = brs.run_sharded(&view, k);
-                assert_eq!(
-                    got.rules_only(),
-                    mono_run.rules_only(),
-                    "{label}: BRS rules"
-                );
-                assert_eq!(
-                    got.total_score.to_bits(),
-                    mono_run.total_score.to_bits(),
-                    "{label}: score bits"
-                );
-                for (a, b) in got.rules.iter().zip(&mono_run.rules) {
-                    assert_eq!(a.count.to_bits(), b.count.to_bits(), "{label}: counts");
-                    assert_eq!(a.mcount.to_bits(), b.mcount.to_bits(), "{label}: mcounts");
-                    assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{label}: weights");
+                    let got = brs.run_sharded(&view, k);
+                    assert_eq!(
+                        got.rules_only(),
+                        mono_run.rules_only(),
+                        "{label}: BRS rules"
+                    );
+                    assert_eq!(
+                        got.total_score.to_bits(),
+                        mono_run.total_score.to_bits(),
+                        "{label}: score bits"
+                    );
+                    for (a, b) in got.rules.iter().zip(&mono_run.rules) {
+                        assert_eq!(a.count.to_bits(), b.count.to_bits(), "{label}: counts");
+                        assert_eq!(a.mcount.to_bits(), b.mcount.to_bits(), "{label}: mcounts");
+                        assert_eq!(a.weight.to_bits(), b.weight.to_bits(), "{label}: weights");
+                    }
+
+                    let got_drill = drill_down_sharded(&brs, &view, &base, k);
+                    assert_eq!(
+                        got_drill.rules_only(),
+                        mono_drill.rules_only(),
+                        "{label}: drill-down rules"
+                    );
+                    assert_eq!(
+                        got_drill.total_score.to_bits(),
+                        mono_drill.total_score.to_bits(),
+                        "{label}: drill-down score"
+                    );
+
+                    let got_star = star_drill_down_sharded(&brs, &view, &base, star_col, k);
+                    assert_eq!(
+                        got_star.rules_only(),
+                        mono_star.rules_only(),
+                        "{label}: star rules"
+                    );
                 }
-
-                let got_drill = drill_down_sharded(&brs, &view, &base, k);
-                assert_eq!(
-                    got_drill.rules_only(),
-                    mono_drill.rules_only(),
-                    "{label}: drill-down rules"
-                );
-                assert_eq!(
-                    got_drill.total_score.to_bits(),
-                    mono_drill.total_score.to_bits(),
-                    "{label}: drill-down score"
-                );
-
-                let got_star = star_drill_down_sharded(&brs, &view, &base, star_col, k);
-                assert_eq!(
-                    got_star.rules_only(),
-                    mono_star.rules_only(),
-                    "{label}: star rules"
-                );
             }
         }
     }
@@ -301,14 +339,15 @@ fn sample_stores_are_bit_identical_between_monolithic_and_sharded() {
 
         for shards in [1, 3, 8] {
             for cfg in shard_configs(shards) {
-                let st = sharded(&table, &cfg);
-                let (got_store, got_served) = drive_handler(
-                    SampleHandler::with_store(TableStore::Sharded(st), handler_config(seed)),
-                    &rules,
-                );
-                let label = format!("trial {trial}, {}", cfg_label(&cfg));
-                assert_eq!(got_store, mono_store, "{label}: stored samples differ");
-                assert_eq!(got_served, mono_served, "{label}: served views differ");
+                for (st, how) in builds(&table, &cfg) {
+                    let (got_store, got_served) = drive_handler(
+                        SampleHandler::with_store(TableStore::Sharded(st), handler_config(seed)),
+                        &rules,
+                    );
+                    let label = format!("trial {trial}, {} ({how})", cfg_label(&cfg));
+                    assert_eq!(got_store, mono_store, "{label}: stored samples differ");
+                    assert_eq!(got_served, mono_served, "{label}: served views differ");
+                }
             }
         }
     }
@@ -363,21 +402,22 @@ fn explorer_sessions_are_byte_identical_on_sharded_spilling_tables() {
 
     for shards in [1, 4, 8] {
         for cfg in shard_configs(shards) {
-            let st = sharded(&table, &cfg);
-            let got = drive_explorer(Explorer::with_store(
-                TableStore::Sharded(st.clone()),
-                Box::new(SizeWeight),
-                explorer_config(7),
-            ));
-            let label = cfg_label(&cfg);
-            assert_eq!(got.0, mono.0, "{label}: rendered transcripts differ");
-            assert_eq!(got.1, mono.1, "{label}: stored samples differ");
-            assert_eq!(got.2, mono.2, "{label}: counters differ");
-            if cfg.resident > 0 && shards > cfg.resident {
-                assert!(
-                    st.evictions() > 0,
-                    "{label}: eviction never fired (budget untested)"
-                );
+            for (st, how) in builds(&table, &cfg) {
+                let got = drive_explorer(Explorer::with_store(
+                    TableStore::Sharded(st.clone()),
+                    Box::new(SizeWeight),
+                    explorer_config(7),
+                ));
+                let label = format!("{} ({how})", cfg_label(&cfg));
+                assert_eq!(got.0, mono.0, "{label}: rendered transcripts differ");
+                assert_eq!(got.1, mono.1, "{label}: stored samples differ");
+                assert_eq!(got.2, mono.2, "{label}: counters differ");
+                if cfg.resident > 0 && shards > cfg.resident {
+                    assert!(
+                        st.evictions() > 0,
+                        "{label}: eviction never fired (budget untested)"
+                    );
+                }
             }
         }
     }
@@ -449,18 +489,19 @@ fn server_transcripts_are_byte_identical_on_sharded_spilling_tables() {
 
     for shards in SHARD_COUNTS {
         for cfg in shard_configs(shards) {
-            let st = sharded(&table, &cfg);
-            let got = run(&Engine::with_store(
-                TableStore::Sharded(st.clone()),
-                EngineConfig::default(),
-            ));
-            let label = cfg_label(&cfg);
-            assert_eq!(got.len(), mono.len());
-            for (step, (a, b)) in got.iter().zip(&mono).enumerate() {
-                assert_eq!(a, b, "{label}: transcript diverges at step {step}");
-            }
-            if cfg.resident > 0 && shards > cfg.resident {
-                assert!(st.loads() > 0, "{label}: spill never exercised");
+            for (st, how) in builds(&table, &cfg) {
+                let got = run(&Engine::with_store(
+                    TableStore::Sharded(st.clone()),
+                    EngineConfig::default(),
+                ));
+                let label = format!("{} ({how})", cfg_label(&cfg));
+                assert_eq!(got.len(), mono.len());
+                for (step, (a, b)) in got.iter().zip(&mono).enumerate() {
+                    assert_eq!(a, b, "{label}: transcript diverges at step {step}");
+                }
+                if cfg.resident > 0 && shards > cfg.resident {
+                    assert!(st.loads() > 0, "{label}: spill never exercised");
+                }
             }
         }
     }
@@ -483,9 +524,8 @@ fn sharded_search_is_thread_invariant() {
     opts.parallel = true;
     opts.parallel_min_rows = 1;
 
-    let run_with = |threads: &str, cfg: &ShardConfig| {
+    let run_with = |threads: &str, st: Arc<ShardedTable>| {
         std::env::set_var("SDD_THREADS", threads);
-        let st = sharded(&table, cfg);
         let view = ShardedView::all(st);
         let mut scratch = SearchScratch::new();
         let r = find_best_marginal_rule_sharded(&view, &SizeWeight, &cov, &opts, &mut scratch)
@@ -498,13 +538,74 @@ fn sharded_search_is_thread_invariant() {
         ShardConfig::in_memory(6),
         ShardConfig::spilling(6, 2, std::env::temp_dir()),
     ] {
-        let one = run_with("1", &cfg);
-        let many = run_with("7", &cfg);
-        assert_eq!(
-            one,
-            many,
-            "{}: thread count changed the result",
-            cfg_label(&cfg)
-        );
+        for (st, how) in builds(&table, &cfg) {
+            let one = run_with("1", st.clone());
+            let many = run_with("7", st);
+            assert_eq!(
+                one,
+                many,
+                "{} ({how}): thread count changed the result",
+                cfg_label(&cfg)
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming build ⇔ from_table byte equality
+// ---------------------------------------------------------------------------
+
+/// The structural half of the streaming contract: beyond producing equal
+/// *results*, a stream-built table holds byte-identical segments — decoded
+/// columns, spill files on disk, dictionaries, and measure slices — for
+/// every shard count and budget. (The transcript half is covered by the
+/// suites above, which run every case on both builds.)
+#[test]
+fn stream_built_tables_are_byte_identical_to_from_table() {
+    let _env = env_lock();
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0005);
+    let mut tables: Vec<Table> = (0..4).map(|_| random_table(&mut rng)).collect();
+    tables.push(retail(42));
+    for (ti, table) in tables.iter().enumerate() {
+        for shards in SHARD_COUNTS {
+            for cfg in shard_configs(shards) {
+                let a = sharded(table, &cfg);
+                let b = stream_built(table, &cfg);
+                let label = format!("table {ti}, {}", cfg_label(&cfg));
+                assert_eq!(a.spans(), b.spans(), "{label}: span layouts differ");
+                for c in 0..table.n_columns() {
+                    assert_eq!(
+                        a.dictionary(c).iter().collect::<Vec<_>>(),
+                        b.dictionary(c).iter().collect::<Vec<_>>(),
+                        "{label}: dictionaries differ in column {c}"
+                    );
+                }
+                for i in 0..a.n_shards() {
+                    if let (Some(pa), Some(pb)) = (a.spill_path(i), b.spill_path(i)) {
+                        assert_eq!(
+                            std::fs::read(pa).expect("spill readable"),
+                            std::fs::read(pb).expect("spill readable"),
+                            "{label}: shard {i} spill files differ"
+                        );
+                    }
+                    let (sa, sb) = (a.segment(i), b.segment(i));
+                    assert_eq!(sa.span(), sb.span(), "{label}: shard {i} span");
+                    for c in 0..table.n_columns() {
+                        assert_eq!(sa.col(c), sb.col(c), "{label}: shard {i} col {c}");
+                    }
+                    for name in table.measure_names() {
+                        let (ma, mb) = (
+                            sa.table().measure(name).expect("measure"),
+                            sb.table().measure(name).expect("measure"),
+                        );
+                        let (ba, bb): (Vec<u64>, Vec<u64>) = (
+                            ma.iter().map(|v| v.to_bits()).collect(),
+                            mb.iter().map(|v| v.to_bits()).collect(),
+                        );
+                        assert_eq!(ba, bb, "{label}: shard {i} measure {name:?}");
+                    }
+                }
+            }
+        }
     }
 }
