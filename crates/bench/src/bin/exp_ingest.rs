@@ -163,6 +163,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"benchmark\": \"streaming_ingest/census3_stream_vs_materialize\",\n",
+            "{host_fields}\n",
             "  \"rows\": {rows},\n",
             "  \"shards\": {shards},\n",
             "  \"resident\": {resident},\n",
@@ -179,6 +180,7 @@ fn main() {
             "  \"determinism\": \"stream-built spill files and decoded segments are byte-identical to the materialize-then-shard build (asserted at run time)\"\n",
             "}}\n"
         ),
+        host_fields = sdd_bench::host_json_fields(),
         rows = rows,
         shards = shards,
         resident = resident,

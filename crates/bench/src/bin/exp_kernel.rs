@@ -96,6 +96,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"benchmark\": \"find_best_marginal_rule/census7\",\n",
+            "{host_fields}\n",
             "  \"rows\": {rows},\n",
             "  \"max_weight\": {mw},\n",
             "  \"reps\": {reps},\n",
@@ -104,6 +105,7 @@ fn main() {
             "  \"columnar_parallel\": {{ \"seconds\": {t2:.6}, \"rows_per_sec\": {r2:.0}, \"speedup\": {s2:.2} }}\n",
             "}}\n"
         ),
+        host_fields = sdd_bench::host_json_fields(),
         rows = rows,
         mw = mw,
         reps = reps,

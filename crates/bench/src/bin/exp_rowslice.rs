@@ -145,6 +145,7 @@ fn main() {
             "  \"max_weight\": {mw},\n",
             "  \"reps\": {reps},\n",
             "  \"host_parallelism\": {host},\n",
+            "  \"simd\": \"{simd}\",\n",
             "  \"determinism\": \"row-sliced results are bit-identical across all swept thread counts (chunk-ordered pairwise merge)\",\n",
             "  \"scaling\": [\n{entries}\n  ],\n",
             "  \"speedup_at_max_threads\": {speedup:.3}\n",
@@ -154,6 +155,7 @@ fn main() {
         mw = mw,
         reps = reps,
         host = host_threads,
+        simd = sdd_bench::simd_level(),
         entries = entries,
         speedup = speedup,
     );

@@ -150,12 +150,14 @@ fn main() {
             "  \"script\": \"open + 4 expands + rules + stats + close per round\",\n",
             "  \"rounds_per_client\": {rounds},\n",
             "  \"host_parallelism\": {host},\n",
+            "  \"simd\": \"{simd}\",\n",
             "  \"determinism\": \"per-session transcripts are byte-identical to single-threaded replay (tests/server_stress.rs)\",\n",
             "  \"sweep\": [\n{entries}\n  ]\n",
             "}}\n"
         ),
         rounds = rounds,
         host = host_threads,
+        simd = sdd_bench::simd_level(),
         entries = entries,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

@@ -125,6 +125,7 @@ fn main() {
         concat!(
             "{{\n",
             "  \"benchmark\": \"sharded_substrate/census3_shard_sweep\",\n",
+            "{host_fields}\n",
             "  \"rows\": {rows},\n",
             "  \"max_weight\": {mw},\n",
             "  \"reps\": {reps},\n",
@@ -133,6 +134,7 @@ fn main() {
             "  \"sweep\": [\n{entries}\n  ]\n",
             "}}\n"
         ),
+        host_fields = sdd_bench::host_json_fields(),
         rows = rows,
         mw = mw,
         reps = reps,

@@ -1,0 +1,74 @@
+//! One-time host feature detection and the SIMD kill switch.
+//!
+//! The detected level is cached in an atomic so the per-call dispatch cost
+//! is a relaxed load and a compare. Two ways to force the scalar path:
+//!
+//! * the `SDD_NO_SIMD` environment variable (set to anything but `0`),
+//!   read once at first dispatch — the process-wide switch CI uses;
+//! * [`set_simd_enabled`]`(false)` at runtime — what the CLI's `--no-simd`
+//!   flag and the benchmark's on/off cells call.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const UNINIT: u8 = 0;
+const AVX2: u8 = 1;
+const SCALAR: u8 = 2;
+
+/// Cached dispatch level (`UNINIT` until first use).
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn detect() -> u8 {
+    if std::env::var("SDD_NO_SIMD").is_ok_and(|v| v != "0") {
+        return SCALAR;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return AVX2;
+        }
+    }
+    SCALAR
+}
+
+#[inline]
+fn level() -> u8 {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNINIT => {
+            let l = detect();
+            // A concurrent first call computes the same value; last store
+            // wins harmlessly.
+            LEVEL.store(l, Ordering::Relaxed);
+            l
+        }
+        l => l,
+    }
+}
+
+/// True when dispatch will take the AVX2 kernels.
+#[inline]
+pub(crate) fn avx2() -> bool {
+    level() == AVX2
+}
+
+/// True when vectorized kernels are active (false on non-x86 hosts, when
+/// AVX2 is missing, or when the kill switch is thrown).
+pub fn simd_enabled() -> bool {
+    avx2()
+}
+
+/// Forces the scalar path (`false`) or re-probes the host (`true`).
+/// Enabling on a host without AVX2 still resolves to scalar, and the
+/// `SDD_NO_SIMD` environment variable still wins on re-probe.
+pub fn set_simd_enabled(enabled: bool) {
+    let l = if enabled { detect() } else { SCALAR };
+    LEVEL.store(l, Ordering::Relaxed);
+}
+
+/// The active dispatch level as a short label for bench artifacts:
+/// `"avx2"` or `"scalar"`.
+pub fn feature_level() -> &'static str {
+    match level() {
+        AVX2 => "avx2",
+        _ => "scalar",
+    }
+}

@@ -61,6 +61,7 @@
 //! covered-weight update, drill-down filtering, and the sampling layer's
 //! create/prefetch scans.
 
+use crate::accel;
 use crate::exec;
 use crate::marginal::{planned_row_chunks, scan_chunks, BestMarginal, SearchOptions, SearchStats};
 use crate::{Rule, WeightFn};
@@ -1103,11 +1104,7 @@ fn covered_positions_chunk(
     let mut positions: Vec<u32> = Vec::new();
     match chunk.contiguous_rows() {
         Some(range) => {
-            for (i, &code) in first_codes[range].iter().enumerate() {
-                if code == want {
-                    positions.push((offset + i) as u32);
-                }
-            }
+            accel::positions_eq_u32(&first_codes[range], want, offset as u32, &mut positions);
         }
         None => {
             let ids = chunk.row_ids().expect("non-contiguous chunk has row ids");
@@ -1188,11 +1185,7 @@ fn covered_rows_span(
     let codes = table.column(first);
     let want = rule.code(first);
     let mut rows: Vec<RowId> = Vec::new();
-    for (i, &code) in codes[span.clone()].iter().enumerate() {
-        if code == want {
-            rows.push((span.start + i) as RowId);
-        }
-    }
+    accel::positions_eq_u32(&codes[span.clone()], want, span.start as u32, &mut rows);
     for &c in rest {
         let codes = table.column(c);
         let want = rule.code(c);

@@ -30,6 +30,9 @@
 //!   rule-coverage scans,
 //! * [`exec`] — deterministic parallel-map / pairwise-merge utilities shared
 //!   by the kernel and the sampling layer's prefetch scan,
+//! * [`accel`] — runtime-dispatched SIMD equality-scan kernels (AVX2 with a
+//!   scalar fallback and a kill switch) behind the coverage scans of both
+//!   the resident kernel and the spill-tier pushdown path,
 //! * [`brs`] — Algorithm 1: the greedy BRS optimizer,
 //! * [`drilldown`] — rule and star drill-down (Problem 1 → 2/3 reductions),
 //! * [`shard`] — bit-compatible twins of the hot paths over sharded
@@ -43,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accel;
 pub mod brs;
 pub mod drilldown;
 pub mod exact;
@@ -82,6 +86,9 @@ pub use shard::{
     count_rules_sharded, covered_positions_sharded, covered_rows_sharded, drill_down_sharded,
     filter_to_rule_sharded, find_best_marginal_rule_sharded, rule_count_sharded,
     score_list_sharded, sort_by_weight_desc_sharded, star_drill_down_sharded,
+    try_count_rules_sharded, try_covered_positions_sharded, try_covered_rows_sharded,
+    try_filter_to_rule_sharded, try_find_best_marginal_rule_sharded, try_rule_count_sharded,
+    try_score_list_sharded,
 };
 pub use weight::{
     check_monotone_on, BitsWeight, ColumnWeight, RequireColumn, SizeMinusOne, SizeWeight,

@@ -23,6 +23,10 @@ pub enum SessionError {
     ColumnNotStarred(usize),
     /// The named column does not exist.
     UnknownColumn(String),
+    /// The storage tier failed underneath the session (a spill file could
+    /// not be read or decoded). The session itself remains usable; the
+    /// operation that needed the damaged shard is the one that fails.
+    Storage(String),
 }
 
 impl fmt::Display for SessionError {
@@ -33,6 +37,7 @@ impl fmt::Display for SessionError {
                 write!(f, "column {c} is already instantiated in this rule")
             }
             SessionError::UnknownColumn(n) => write!(f, "unknown column {n:?}"),
+            SessionError::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -16,6 +16,38 @@
 //!    private `u64` partials merged by the chunk-ordered
 //!    [`crate::exec::reduce_pairwise`] — associative, hence still exact.
 //!
+//! ## Spill-tier predicate pushdown
+//!
+//! Scans here never force a shard's local→global decode. Each shard is
+//! consumed **in whichever form the residency cache holds**
+//! ([`sdd_table::SegmentData`]): decoded segments scan global codes;
+//! raw segments scan the packed 1/2/4-byte local codes straight out of the
+//! spill coding, after translating each rule predicate into the shard's
+//! local code space through its `remap` — a predicate value absent from
+//! `remap` covers zero rows, so the whole shard is skipped without touching
+//! a single row. Coverage scans that miss the cache range-read only the
+//! rule's columns ([`ShardedTable::read_columns`]) and leave residency
+//! undisturbed; the marginal-search passes load the raw form into the cache
+//! ([`ShardedTable::segment_data`]) so later passes rescan it for free.
+//! Bit-parity is preserved by construction:
+//!
+//! * **positions/counts** are integers — a local-code equality scan hits
+//!   exactly the rows the global-code scan hits;
+//! * **histograms** remap back to global slots. Unit-weight counts scatter
+//!   local `u64` histograms through `remap` (integer addition, exact).
+//!   Weighted `f64` histograms use *swap-in/swap-out*: at shard entry each
+//!   local slot borrows its global slot's running value
+//!   (`lacc[l] = acc[remap[l]]`), rows accumulate into local slots in row
+//!   order, and shard exit writes the values back — `remap` is injective,
+//!   so every global slot's float operation sequence is exactly the
+//!   monolithic one;
+//! * **pass-j dense cells** premultiply `remap` by the group strides
+//!   (`lcell[l] = remap[l] * stride`, integer) so cell indices are
+//!   identical to the decoded scan's.
+//!
+//! The equality-compare inner loops dispatch through [`crate::accel`]
+//! (AVX2 with scalar fallback); SIMD changes neither positions nor order.
+//!
 //! Consequently the sharded search, BRS, coverage scans, and scoring are
 //! **bit-identical to the monolithic path for any shard count and any
 //! resident budget** — eviction and spill reload only change when bytes
@@ -29,7 +61,17 @@
 //! results. `tests/shard_parity.rs` asserts all of this end to end
 //! (search winners, sample stores, server transcripts) across shard
 //! counts 1..=8 × both builds, including budgets that force spill.
+//!
+//! ## Fallibility
+//!
+//! Every scan comes in two forms: a `try_*` variant returning
+//! `Result<_, TableError>` (a damaged spill file surfaces as
+//! [`TableError::Corrupt`]/[`TableError::Io`] — the server stack uses
+//! these so a session gets an error response instead of a crash) and the
+//! original infallible name, which `expect`s — appropriate for embedded
+//! use where the table's own spill files are trusted.
 
+use crate::accel;
 use crate::brs::{Brs, BrsResult, ScoredRule};
 use crate::exec;
 use crate::kernel::{
@@ -41,67 +83,266 @@ use crate::score::ListScore;
 use crate::weight::RequireColumn;
 use crate::{Rule, WeightFn};
 use rustc_hash::FxHashMap;
-use sdd_table::{RowId, ShardRun, ShardedTable, ShardedView};
+use sdd_table::{
+    LocalCodes, RawColumn, RawSegment, RowId, SegmentData, ShardRun, ShardSegment, ShardedTable,
+    ShardedView, TableError,
+};
+use std::ops::Range;
+use std::sync::Arc;
+
+const SPILL_EXPECT: &str = "shard spill file must decode (written by this table)";
+
+// ---------------------------------------------------------------------------
+// Pushdown plumbing: fetching shard columns in their cheapest form and
+// translating rule predicates into local code space.
+// ---------------------------------------------------------------------------
+
+/// The column data one coverage scan obtained for one shard, in whatever
+/// form was cheapest to get.
+enum FetchedCols {
+    /// The cached decoded segment (global codes).
+    Decoded(Arc<ShardSegment>),
+    /// The cached raw segment (every column, packed local codes).
+    Raw(Arc<RawSegment>),
+    /// A transient range read of just the requested columns, in request
+    /// order — never enters the residency cache.
+    Transient(Vec<RawColumn>),
+}
+
+/// One shard's fetched columns plus the request list (which indexes the
+/// transient form).
+struct ShardCols<'a> {
+    cols: &'a [usize],
+    data: FetchedCols,
+}
+
+impl ShardCols<'_> {
+    /// The decoded segment, when that form was cached.
+    fn decoded(&self) -> Option<&ShardSegment> {
+        match &self.data {
+            FetchedCols::Decoded(seg) => Some(seg),
+            _ => None,
+        }
+    }
+
+    /// Column `c` in spill coding (`None` when the decoded form is held).
+    /// `c` must be one of the requested columns.
+    fn raw_col(&self, c: usize) -> Option<&RawColumn> {
+        match &self.data {
+            FetchedCols::Decoded(_) => None,
+            FetchedCols::Raw(r) => Some(r.col(c)),
+            FetchedCols::Transient(v) => {
+                let k = self
+                    .cols
+                    .iter()
+                    .position(|&x| x == c)
+                    .expect("column was fetched");
+                Some(&v[k])
+            }
+        }
+    }
+}
+
+/// Fetches `cols` of one shard for a coverage scan: whatever form is
+/// cached, else a transient range read of only those columns (residency
+/// undisturbed).
+fn fetch_cols<'a>(
+    st: &ShardedTable,
+    shard: usize,
+    cols: &'a [usize],
+) -> Result<ShardCols<'a>, TableError> {
+    let data = match st.cached_data(shard) {
+        Some(SegmentData::Decoded(seg)) => FetchedCols::Decoded(seg),
+        Some(SegmentData::Raw(raw)) => FetchedCols::Raw(raw),
+        None if st.spill_path(shard).is_some() => {
+            FetchedCols::Transient(st.read_columns(shard, cols)?)
+        }
+        // Fully-resident tables always hit the cache; kept total anyway.
+        None => FetchedCols::Decoded(st.try_segment(shard)?),
+    };
+    Ok(ShardCols { cols, data })
+}
+
+/// Translates `rule`'s predicates on `cols` into the shard's local code
+/// space. `None` ⇒ some predicate value never occurs in this shard
+/// (absent from the column's `remap`): the rule covers zero rows here and
+/// the caller skips the shard without touching its rows.
+fn local_predicates<'a>(
+    f: &'a ShardCols<'_>,
+    rule: &Rule,
+    cols: &[usize],
+) -> Option<Vec<(&'a LocalCodes, u32)>> {
+    cols.iter()
+        .map(|&c| {
+            let rc = f.raw_col(c).expect("raw form");
+            rc.local_of_global(rule.code(c)).map(|l| (rc.codes(), l))
+        })
+        .collect()
+}
+
+/// Width-dispatched equality position scan over packed local codes.
+fn positions_eq_local(codes: &LocalCodes, want: u32, base: u32, out: &mut Vec<u32>) {
+    match codes {
+        // Local codes were validated against `remap`, so a 1-byte column's
+        // codes — and any `want` produced by `local_of_global` — fit u8/u16.
+        LocalCodes::W1(v) => accel::positions_eq_u8(v, want as u8, base, out),
+        LocalCodes::W2(v) => accel::positions_eq_u16(v, want as u16, base, out),
+        LocalCodes::W4(v) => accel::positions_eq_u32(v, want, base, out),
+    }
+}
+
+/// Width-dispatched equality count over packed local codes.
+fn count_eq_local(codes: &LocalCodes, want: u32) -> usize {
+    match codes {
+        LocalCodes::W1(v) => accel::count_eq_u8(v, want as u8),
+        LocalCodes::W2(v) => accel::count_eq_u16(v, want as u16),
+        LocalCodes::W4(v) => accel::count_eq_u32(v, want),
+    }
+}
+
+/// Appends the ids (`span.start + local`) of `rule`'s covered rows in one
+/// full shard to `out`, ascending — for all-rows views these are equally
+/// view positions. First column via the SIMD equality scan, remaining
+/// columns by survivor filtering; the raw form scans packed local codes
+/// after predicate translation.
+fn covered_in_shard(
+    f: &ShardCols<'_>,
+    rule: &Rule,
+    cols: &[usize],
+    span: &Range<usize>,
+    out: &mut Vec<u32>,
+) {
+    let base = span.start as u32;
+    let mut hits: Vec<u32> = Vec::new();
+    if let Some(seg) = f.decoded() {
+        let (&first, rest) = cols.split_first().expect("non-empty");
+        accel::positions_eq_u32(seg.col(first), rule.code(first), base, &mut hits);
+        for &c in rest {
+            let codes = seg.col(c);
+            let want = rule.code(c);
+            hits.retain(|&r| codes[(r - base) as usize] == want);
+        }
+    } else {
+        let Some(preds) = local_predicates(f, rule, cols) else {
+            return; // zero-count shard: predicate value absent from remap
+        };
+        let (&(first_codes, first_want), rest) = preds.split_first().expect("non-empty");
+        positions_eq_local(first_codes, first_want, base, &mut hits);
+        for &(codes, want) in rest {
+            hits.retain(|&r| codes.at((r - base) as usize) == want);
+        }
+    }
+    out.extend(hits);
+}
+
+// ---------------------------------------------------------------------------
+// Coverage scans
+// ---------------------------------------------------------------------------
 
 /// All row ids of `table` covered by `rule` (ascending) — the sharded twin
 /// of [`crate::covered_rows`]: shards are filtered in index order and the
 /// per-shard hit lists concatenate, so the output is byte-identical to the
-/// monolithic scan on any shard count.
+/// monolithic scan on any shard count. Infallible wrapper over
+/// [`try_covered_rows_sharded`].
 pub fn covered_rows_sharded(table: &ShardedTable, rule: &Rule) -> Vec<RowId> {
+    try_covered_rows_sharded(table, rule).expect(SPILL_EXPECT)
+}
+
+/// Fallible [`covered_rows_sharded`]. Cached shards are scanned in place
+/// (decoded or raw); misses range-read only the rule's columns.
+pub fn try_covered_rows_sharded(
+    table: &ShardedTable,
+    rule: &Rule,
+) -> Result<Vec<RowId>, TableError> {
     let cols: Vec<usize> = rule.instantiated_columns().collect();
     let n = table.n_rows();
     if cols.is_empty() {
-        return (0..n as RowId).collect();
+        return Ok((0..n as RowId).collect());
     }
     let mut out: Vec<RowId> = Vec::new();
     for i in 0..table.n_shards() {
-        let seg = table.segment(i);
-        let start = seg.span().start as RowId;
-        let (&first, rest) = cols.split_first().expect("non-empty");
-        let want = rule.code(first);
-        let mut rows: Vec<RowId> = Vec::new();
-        for (j, &code) in seg.col(first).iter().enumerate() {
-            if code == want {
-                rows.push(start + j as RowId);
-            }
+        let span = table.spans()[i].clone();
+        if span.is_empty() {
+            continue;
         }
-        for &c in rest {
-            let codes = seg.col(c);
-            let want = rule.code(c);
-            rows.retain(|&r| codes[(r - start) as usize] == want);
-        }
-        out.extend(rows);
+        let f = fetch_cols(table, i, &cols)?;
+        covered_in_shard(&f, rule, &cols, &span, &mut out);
     }
-    out
+    Ok(out)
 }
 
 /// View positions (ascending) whose rows are covered by `rule` — the
 /// sharded twin of [`crate::covered_positions`]. Byte-identical output.
+/// Infallible wrapper over [`try_covered_positions_sharded`].
 pub fn covered_positions_sharded(view: &ShardedView, rule: &Rule) -> Vec<u32> {
+    try_covered_positions_sharded(view, rule).expect(SPILL_EXPECT)
+}
+
+/// Fallible [`covered_positions_sharded`]. All-rows views use the
+/// contiguous per-shard SIMD scan (position = row id); subset views probe
+/// row-at-a-time with per-shard predicate translation.
+pub fn try_covered_positions_sharded(
+    view: &ShardedView,
+    rule: &Rule,
+) -> Result<Vec<u32>, TableError> {
     let cols: Vec<usize> = rule.instantiated_columns().collect();
     if cols.is_empty() {
-        return (0..view.len() as u32).collect();
+        return Ok((0..view.len() as u32).collect());
     }
     let st = view.table();
     let mut out: Vec<u32> = Vec::new();
+    if view.row_ids().is_none() {
+        // All-rows view: one contiguous run per shard, position == row id.
+        for run in view.shard_runs() {
+            let span = st.spans()[run.shard].clone();
+            let f = fetch_cols(st, run.shard, &cols)?;
+            covered_in_shard(&f, rule, &cols, &span, &mut out);
+        }
+        return Ok(out);
+    }
+    // Subset view: fetch each touched shard once (runs may revisit).
+    let mut fetched: FxHashMap<usize, ShardCols<'_>> = FxHashMap::default();
     for run in view.shard_runs() {
-        let seg = st.segment(run.shard);
-        for pos in run.positions.clone() {
-            let local = seg.local(view.row_at(pos));
-            if cols.iter().all(|&c| seg.col(c)[local] == rule.code(c)) {
-                out.push(pos as u32);
+        if let std::collections::hash_map::Entry::Vacant(e) = fetched.entry(run.shard) {
+            e.insert(fetch_cols(st, run.shard, &cols)?);
+        }
+        let f = &fetched[&run.shard];
+        let start = st.spans()[run.shard].start;
+        if let Some(seg) = f.decoded() {
+            for pos in run.positions.clone() {
+                let local = seg.local(view.row_at(pos));
+                if cols.iter().all(|&c| seg.col(c)[local] == rule.code(c)) {
+                    out.push(pos as u32);
+                }
+            }
+        } else if let Some(preds) = local_predicates(f, rule, &cols) {
+            for pos in run.positions.clone() {
+                let local = view.row_at(pos) as usize - start;
+                if preds.iter().all(|&(codes, want)| codes.at(local) == want) {
+                    out.push(pos as u32);
+                }
             }
         }
+        // else: predicate value absent from this shard — no positions.
     }
-    out
+    Ok(out)
 }
 
 /// Filters `view` to the positions covered by `base` — the sharded twin of
 /// [`crate::filter_to_rule`]. Row order and weights are preserved.
+/// Infallible wrapper over [`try_filter_to_rule_sharded`].
 pub fn filter_to_rule_sharded(view: &ShardedView, base: &Rule) -> ShardedView {
-    let positions = covered_positions_sharded(view, base);
+    try_filter_to_rule_sharded(view, base).expect(SPILL_EXPECT)
+}
+
+/// Fallible [`filter_to_rule_sharded`].
+pub fn try_filter_to_rule_sharded(
+    view: &ShardedView,
+    base: &Rule,
+) -> Result<ShardedView, TableError> {
+    let positions = try_covered_positions_sharded(view, base)?;
     let rows: Vec<RowId> = positions.iter().map(|&p| view.row_at(p as usize)).collect();
-    match view.weights() {
+    Ok(match view.weights() {
         Some(_) => {
             let weights: Vec<f64> = positions
                 .iter()
@@ -110,38 +351,102 @@ pub fn filter_to_rule_sharded(view: &ShardedView, base: &Rule) -> ShardedView {
             ShardedView::with_rows_and_weights(view.table().clone(), rows, weights)
         }
         None => ShardedView::with_rows(view.table().clone(), rows),
-    }
+    })
 }
 
 /// Exact counts of every rule in one pass over the sharded table — the scan
-/// behind the explorer's sharded `refresh`. Counts are unit additions in
-/// row order, identical to the monolithic single-pass refresh.
+/// behind the explorer's sharded `refresh`. Infallible wrapper over
+/// [`try_count_rules_sharded`].
 pub fn count_rules_sharded(table: &ShardedTable, rules: &[Rule]) -> Vec<f64> {
-    let mut counts = vec![0.0f64; rules.len()];
-    let n_cols = table.n_columns();
-    let mut codes: Vec<u32> = Vec::with_capacity(n_cols);
+    try_count_rules_sharded(table, rules).expect(SPILL_EXPECT)
+}
+
+/// Fallible [`count_rules_sharded`]. Counts are exact integers (a sum of
+/// `k` unit additions is exactly `k` in f64 for `k < 2^53`), so per-shard
+/// `u64` subtotals reproduce the monolithic unit-accumulation bitwise —
+/// which frees each shard to use the SIMD count kernels over whichever
+/// form it holds.
+pub fn try_count_rules_sharded(
+    table: &ShardedTable,
+    rules: &[Rule],
+) -> Result<Vec<f64>, TableError> {
+    let mut counts = vec![0u64; rules.len()];
+    let mut needed: Vec<usize> = rules
+        .iter()
+        .flat_map(|r| r.instantiated_columns())
+        .collect();
+    needed.sort_unstable();
+    needed.dedup();
     for i in 0..table.n_shards() {
-        let seg = table.segment(i);
-        for local in 0..seg.span().len() {
-            codes.clear();
-            codes.extend((0..n_cols).map(|c| seg.col(c)[local]));
-            for (ri, rule) in rules.iter().enumerate() {
-                if rule.covers_codes(&codes) {
-                    counts[ri] += 1.0;
-                }
+        let span = table.spans()[i].clone();
+        if span.is_empty() {
+            continue;
+        }
+        if needed.is_empty() {
+            // Only trivial rules: every rule covers the whole shard.
+            for c in counts.iter_mut() {
+                *c += span.len() as u64;
             }
+            continue;
+        }
+        let f = fetch_cols(table, i, &needed)?;
+        for (ri, rule) in rules.iter().enumerate() {
+            counts[ri] += count_rule_in_shard(&f, rule, span.len());
         }
     }
-    counts
+    Ok(counts.into_iter().map(|c| c as f64).collect())
+}
+
+/// One rule's covered-row count in one shard. Single-column rules use the
+/// vectorized count kernel directly; wider rules filter survivors.
+fn count_rule_in_shard(f: &ShardCols<'_>, rule: &Rule, n_rows: usize) -> u64 {
+    let cols: Vec<usize> = rule.instantiated_columns().collect();
+    if cols.is_empty() {
+        return n_rows as u64;
+    }
+    if let Some(seg) = f.decoded() {
+        if let [c] = cols[..] {
+            return accel::count_eq_u32(seg.col(c), rule.code(c)) as u64;
+        }
+        let (&first, rest) = cols.split_first().expect("non-empty");
+        let mut hits: Vec<u32> = Vec::new();
+        accel::positions_eq_u32(seg.col(first), rule.code(first), 0, &mut hits);
+        for &c in rest {
+            let codes = seg.col(c);
+            let want = rule.code(c);
+            hits.retain(|&r| codes[r as usize] == want);
+        }
+        hits.len() as u64
+    } else {
+        let Some(preds) = local_predicates(f, rule, &cols) else {
+            return 0; // zero-count shard
+        };
+        if let [(codes, want)] = preds[..] {
+            return count_eq_local(codes, want) as u64;
+        }
+        let (&(first_codes, first_want), rest) = preds.split_first().expect("non-empty");
+        let mut hits: Vec<u32> = Vec::new();
+        positions_eq_local(first_codes, first_want, 0, &mut hits);
+        for &(codes, want) in rest {
+            hits.retain(|&r| codes.at(r as usize) == want);
+        }
+        hits.len() as u64
+    }
 }
 
 /// The (weighted) `Count` of one rule over a sharded view — twin of
-/// [`crate::rule_count`].
+/// [`crate::rule_count`]. Infallible wrapper over
+/// [`try_rule_count_sharded`].
 pub fn rule_count_sharded(view: &ShardedView, rule: &Rule) -> f64 {
-    covered_positions_sharded(view, rule)
+    try_rule_count_sharded(view, rule).expect(SPILL_EXPECT)
+}
+
+/// Fallible [`rule_count_sharded`].
+pub fn try_rule_count_sharded(view: &ShardedView, rule: &Rule) -> Result<f64, TableError> {
+    Ok(try_covered_positions_sharded(view, rule)?
         .into_iter()
         .map(|p| view.weight_at(p as usize))
-        .sum()
+        .sum())
 }
 
 /// Sorts rules in descending weight order — twin of
@@ -166,10 +471,24 @@ pub fn sort_by_weight_desc_sharded(
 }
 
 /// Scores `rules` in the given order against a sharded view — twin of
-/// [`crate::score_list`]: positions are visited in order (shard runs
-/// partition them in order), so every accumulator receives the same
-/// additions in the same order as the monolithic scan.
+/// [`crate::score_list`]. Infallible wrapper over
+/// [`try_score_list_sharded`].
 pub fn score_list_sharded(view: &ShardedView, weight: &dyn WeightFn, rules: &[Rule]) -> ListScore {
+    try_score_list_sharded(view, weight, rules).expect(SPILL_EXPECT)
+}
+
+/// Fallible [`score_list_sharded`]: positions are visited in order (shard
+/// runs partition them in order), so every accumulator receives the same
+/// additions in the same order as the monolithic scan. `MCount` is
+/// first-rule-wins per row, which forces the row-at-a-time sweep; the
+/// pushdown contribution is per-shard predicate translation (raw shards
+/// test packed local codes, and a rule whose value is absent from a
+/// shard's remap is skipped for that shard wholesale).
+pub fn try_score_list_sharded(
+    view: &ShardedView,
+    weight: &dyn WeightFn,
+    rules: &[Rule],
+) -> Result<ListScore, TableError> {
     let st = view.table();
     let header = st.header();
     let weights: Vec<f64> = rules.iter().map(|r| weight.weight(r, header)).collect();
@@ -177,27 +496,70 @@ pub fn score_list_sharded(view: &ShardedView, weight: &dyn WeightFn, rules: &[Ru
     let mut mcounts = vec![0.0f64; rules.len()];
     let mut uncovered = 0.0f64;
 
+    let mut needed: Vec<usize> = rules
+        .iter()
+        .flat_map(|r| r.instantiated_columns())
+        .collect();
+    needed.sort_unstable();
+    needed.dedup();
+
+    let mut fetched: FxHashMap<usize, ShardCols<'_>> = FxHashMap::default();
     let n_cols = st.n_columns();
     let mut codes: Vec<u32> = Vec::with_capacity(n_cols);
     for run in view.shard_runs() {
-        let seg = st.segment(run.shard);
-        for pos in run.positions.clone() {
-            let local = seg.local(view.row_at(pos));
-            codes.clear();
-            codes.extend((0..n_cols).map(|c| seg.col(c)[local]));
-            let w = view.weight_at(pos);
-            let mut assigned = false;
-            for (i, rule) in rules.iter().enumerate() {
-                if rule.covers_codes(&codes) {
-                    counts[i] += w;
-                    if !assigned {
-                        mcounts[i] += w;
-                        assigned = true;
+        if let std::collections::hash_map::Entry::Vacant(e) = fetched.entry(run.shard) {
+            e.insert(fetch_cols(st, run.shard, &needed)?);
+        }
+        let f = &fetched[&run.shard];
+        if let Some(seg) = f.decoded() {
+            for pos in run.positions.clone() {
+                let local = seg.local(view.row_at(pos));
+                codes.clear();
+                codes.extend((0..n_cols).map(|c| seg.col(c)[local]));
+                let w = view.weight_at(pos);
+                let mut assigned = false;
+                for (i, rule) in rules.iter().enumerate() {
+                    if rule.covers_codes(&codes) {
+                        counts[i] += w;
+                        if !assigned {
+                            mcounts[i] += w;
+                            assigned = true;
+                        }
                     }
                 }
+                if !assigned {
+                    uncovered += w;
+                }
             }
-            if !assigned {
-                uncovered += w;
+        } else {
+            // Per-rule local predicates; `None` = rule dead in this shard.
+            let preds: Vec<Option<Vec<(&LocalCodes, u32)>>> = rules
+                .iter()
+                .map(|rule| {
+                    let cols: Vec<usize> = rule.instantiated_columns().collect();
+                    local_predicates(f, rule, &cols)
+                })
+                .collect();
+            let start = st.spans()[run.shard].start;
+            for pos in run.positions.clone() {
+                let local = view.row_at(pos) as usize - start;
+                let w = view.weight_at(pos);
+                let mut assigned = false;
+                for (i, pred) in preds.iter().enumerate() {
+                    let covered = pred
+                        .as_ref()
+                        .is_some_and(|ps| ps.iter().all(|&(codes, want)| codes.at(local) == want));
+                    if covered {
+                        counts[i] += w;
+                        if !assigned {
+                            mcounts[i] += w;
+                            assigned = true;
+                        }
+                    }
+                }
+                if !assigned {
+                    uncovered += w;
+                }
             }
         }
     }
@@ -216,11 +578,28 @@ pub fn score_list_sharded(view: &ShardedView, weight: &dyn WeightFn, rules: &[Ru
             },
         )
         .collect();
-    ListScore {
+    Ok(ListScore {
         rules,
         total,
         uncovered,
-    }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2 over sharded storage
+// ---------------------------------------------------------------------------
+
+/// Runs Algorithm 2 over a sharded view — the per-shard counting kernel.
+/// Infallible wrapper over [`try_find_best_marginal_rule_sharded`].
+pub fn find_best_marginal_rule_sharded(
+    view: &ShardedView,
+    weight: &dyn WeightFn,
+    covered_weight: &[f64],
+    opts: &SearchOptions,
+    scratch: &mut SearchScratch,
+) -> Option<BestMarginal> {
+    try_find_best_marginal_rule_sharded(view, weight, covered_weight, opts, scratch)
+        .expect(SPILL_EXPECT)
 }
 
 /// Runs Algorithm 2 over a sharded view — the per-shard counting kernel.
@@ -231,13 +610,16 @@ pub fn score_list_sharded(view: &ShardedView, weight: &dyn WeightFn, rules: &[Ru
 /// follow the determinism contract in the module docs — so the result is
 /// bit-identical to [`crate::find_best_marginal_rule`] on the equivalent
 /// monolithic view, for any shard count, resident budget, and thread count.
-pub fn find_best_marginal_rule_sharded(
+/// Shards are consumed in whichever cached form they hold; spilled shards
+/// are counted straight off their packed local codes (see the module docs'
+/// pushdown section).
+pub fn try_find_best_marginal_rule_sharded(
     view: &ShardedView,
     weight: &dyn WeightFn,
     covered_weight: &[f64],
     opts: &SearchOptions,
     scratch: &mut SearchScratch,
-) -> Option<BestMarginal> {
+) -> Result<Option<BestMarginal>, TableError> {
     assert_eq!(
         covered_weight.len(),
         view.len(),
@@ -253,7 +635,7 @@ pub fn find_best_marginal_rule_sharded(
         .unwrap_or(free_cols.len())
         .min(free_cols.len());
     if max_size == 0 || view.is_empty() {
-        return None;
+        return Ok(None);
     }
 
     let runs = view.shard_runs();
@@ -272,14 +654,14 @@ pub fn find_best_marginal_rule_sharded(
 
     // ---- Pass 1: per-shard columnar counting. ----
     stats.passes = 1;
-    let col_counts = pass1_counts_sharded(view, &runs, &free_cols, threads);
+    let col_counts = pass1_counts_sharded(view, &runs, &free_cols, threads)?;
     let cands: Vec<Pass1Cands> = free_cols
         .iter()
         .enumerate()
         .map(|(fi, &c)| pass1_candidates(header, &base, c, &col_counts[fi], weight, opts))
         .collect();
     let col_marginals =
-        pass1_marginals_sharded(view, &runs, &free_cols, &cands, covered_weight, threads);
+        pass1_marginals_sharded(view, &runs, &free_cols, &cands, covered_weight, threads)?;
 
     let mut level: Vec<Rule> = Vec::new();
     for (fi, cand) in cands.iter().enumerate() {
@@ -316,7 +698,7 @@ pub fn find_best_marginal_rule_sharded(
         stats.counted += next.len();
 
         build_groups(scratch, header, &base, &next, view.len());
-        count_level_sharded(view, &runs, scratch, &cand_weights, covered_weight, threads);
+        count_level_sharded(view, &runs, scratch, &cand_weights, covered_weight, threads)?;
 
         for (cand, stat) in next.iter().zip(&scratch.cstats) {
             if stat.marginal > best_h {
@@ -327,14 +709,84 @@ pub fn find_best_marginal_rule_sharded(
         current = next;
     }
 
-    pick_winner(&counted, stats)
+    Ok(pick_winner(&counted, stats))
+}
+
+/// One column's pass-1 unit count over one run, as exact `u64` partials.
+/// Raw shards histogram in local code space and scatter through `remap`
+/// (integer addition — associative, exact).
+fn pass1_unit_counts_run(
+    view: &ShardedView,
+    run: &ShardRun,
+    data: &SegmentData,
+    col: usize,
+    card: usize,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; card];
+    match data {
+        SegmentData::Decoded(seg) => {
+            let codes = seg.col(col);
+            for pos in run.positions.clone() {
+                counts[codes[seg.local(view.row_at(pos))] as usize] += 1;
+            }
+        }
+        SegmentData::Raw(raw) => {
+            let rc = raw.col(col);
+            let start = raw.span().start;
+            let codes = rc.codes();
+            let mut lhist = vec![0u64; rc.cardinality()];
+            for pos in run.positions.clone() {
+                let local = view.row_at(pos) as usize - start;
+                lhist[codes.at(local) as usize] += 1;
+            }
+            for (l, &g) in rc.remap().iter().enumerate() {
+                counts[g as usize] += lhist[l];
+            }
+        }
+    }
+    counts
+}
+
+/// One column's weighted pass-1 count accumulation over one run, in row
+/// order. Raw shards use the swap-in/swap-out trick (module docs): local
+/// accumulators borrow and return the global slots' running values, so the
+/// float operation sequence matches the decoded scan exactly.
+fn pass1_count_run(
+    view: &ShardedView,
+    run: &ShardRun,
+    data: &SegmentData,
+    col: usize,
+    counts: &mut [f64],
+) {
+    match data {
+        SegmentData::Decoded(seg) => {
+            let codes = seg.col(col);
+            for pos in run.positions.clone() {
+                counts[codes[seg.local(view.row_at(pos))] as usize] += view.weight_at(pos);
+            }
+        }
+        SegmentData::Raw(raw) => {
+            let rc = raw.col(col);
+            let start = raw.span().start;
+            let codes = rc.codes();
+            let remap = rc.remap();
+            let mut lacc: Vec<f64> = remap.iter().map(|&g| counts[g as usize]).collect();
+            for pos in run.positions.clone() {
+                let local = view.row_at(pos) as usize - start;
+                lacc[codes.at(local) as usize] += view.weight_at(pos);
+            }
+            for (l, &g) in remap.iter().enumerate() {
+                counts[g as usize] = lacc[l];
+            }
+        }
+    }
 }
 
 /// Pass-1 counts per free column.
 ///
 /// Unit-weight views fan out **one task per shard run** — the task fetches
-/// its segment exactly once and counts every free column over it — with
-/// private `u64` partials, merged per column in run order by
+/// its segment data exactly once and counts every free column over it —
+/// with private `u64` partials, merged per column in run order by
 /// [`exec::reduce_pairwise`]: integer addition is associative, so this is
 /// exact and identical to the serial sweep, and at most `threads` segments
 /// are pinned at a time. Weighted views thread one `f64` accumulator per
@@ -345,33 +797,27 @@ fn pass1_counts_sharded(
     runs: &[ShardRun],
     free_cols: &[usize],
     threads: usize,
-) -> Vec<Vec<f64>> {
+) -> Result<Vec<Vec<f64>>, TableError> {
     let st = view.table();
     if view.weights().is_none() && threads > 1 {
-        let per_run: Vec<Vec<Vec<u64>>> = exec::parallel_map(threads, runs.to_vec(), |run| {
-            let seg = st.segment(run.shard);
-            free_cols
-                .iter()
-                .map(|&c| {
-                    let codes = seg.col(c);
-                    let mut counts = vec![0u64; st.cardinality(c)];
-                    for pos in run.positions.clone() {
-                        counts[codes[seg.local(view.row_at(pos))] as usize] += 1;
-                    }
-                    counts
-                })
-                .collect()
-        });
+        let per_run: Vec<Result<Vec<Vec<u64>>, TableError>> =
+            exec::parallel_map(threads, runs.to_vec(), |run| {
+                let data = st.segment_data(run.shard)?;
+                Ok(free_cols
+                    .iter()
+                    .map(|&c| pass1_unit_counts_run(view, &run, &data, c, st.cardinality(c)))
+                    .collect())
+            });
         // Transpose to per-column partial lists (run order preserved).
         let mut col_parts: Vec<Vec<Vec<u64>>> = (0..free_cols.len())
             .map(|_| Vec::with_capacity(runs.len()))
             .collect();
         for run_out in per_run {
-            for (fi, counts) in run_out.into_iter().enumerate() {
+            for (fi, counts) in run_out?.into_iter().enumerate() {
                 col_parts[fi].push(counts);
             }
         }
-        return col_parts
+        return Ok(col_parts
             .into_iter()
             .map(|parts| {
                 let merged = exec::reduce_pairwise(parts, |a, b| {
@@ -381,7 +827,7 @@ fn pass1_counts_sharded(
                 });
                 merged.into_iter().map(|c| c as f64).collect()
             })
-            .collect();
+            .collect());
     }
 
     let mut accs: Vec<(usize, Vec<f64>)> = free_cols
@@ -390,20 +836,19 @@ fn pass1_counts_sharded(
         .map(|(fi, &c)| (fi, vec![0.0f64; st.cardinality(c)]))
         .collect();
     for run in runs {
-        let seg = st.segment(run.shard);
+        let data = st.segment_data(run.shard)?;
         accs = exec::parallel_map(threads, accs, |(fi, mut counts)| {
-            let codes = seg.col(free_cols[fi]);
-            for pos in run.positions.clone() {
-                counts[codes[seg.local(view.row_at(pos))] as usize] += view.weight_at(pos);
-            }
+            pass1_count_run(view, run, &data, free_cols[fi], &mut counts);
             (fi, counts)
         });
     }
-    accs.into_iter().map(|(_, c)| c).collect()
+    Ok(accs.into_iter().map(|(_, c)| c).collect())
 }
 
 /// Pass-1 marginal sweep: one shared `f64` accumulator per column, runs in
 /// order (columns in parallel) — the monolithic operation order exactly.
+/// Raw shards swap the accumulator and the weight table into local code
+/// space for the run (`lw[l] = wtab[remap[l]]` is a pure relabeling).
 fn pass1_marginals_sharded(
     view: &ShardedView,
     runs: &[ShardRun],
@@ -411,7 +856,7 @@ fn pass1_marginals_sharded(
     cands: &[Pass1Cands],
     covered_weight: &[f64],
     threads: usize,
-) -> Vec<Vec<f64>> {
+) -> Result<Vec<Vec<f64>>, TableError> {
     let st = view.table();
     let mut accs: Vec<(usize, Vec<f64>)> = free_cols
         .iter()
@@ -419,19 +864,40 @@ fn pass1_marginals_sharded(
         .map(|(fi, &c)| (fi, vec![0.0f64; st.cardinality(c)]))
         .collect();
     for run in runs {
-        let seg = st.segment(run.shard);
+        let data = st.segment_data(run.shard)?;
         accs = exec::parallel_map(threads, accs, |(fi, mut marginals)| {
-            let codes = seg.col(free_cols[fi]);
             let wtab = &cands[fi].wtab;
-            for pos in run.positions.clone() {
-                let code = codes[seg.local(view.row_at(pos))] as usize;
-                let w = wtab[code];
-                marginals[code] += view.weight_at(pos) * (w - w.min(covered_weight[pos]));
+            match &data {
+                SegmentData::Decoded(seg) => {
+                    let codes = seg.col(free_cols[fi]);
+                    for pos in run.positions.clone() {
+                        let code = codes[seg.local(view.row_at(pos))] as usize;
+                        let w = wtab[code];
+                        marginals[code] += view.weight_at(pos) * (w - w.min(covered_weight[pos]));
+                    }
+                }
+                SegmentData::Raw(raw) => {
+                    let rc = raw.col(free_cols[fi]);
+                    let start = raw.span().start;
+                    let codes = rc.codes();
+                    let remap = rc.remap();
+                    let mut lacc: Vec<f64> = remap.iter().map(|&g| marginals[g as usize]).collect();
+                    let lw: Vec<f64> = remap.iter().map(|&g| wtab[g as usize]).collect();
+                    for pos in run.positions.clone() {
+                        let local = view.row_at(pos) as usize - start;
+                        let code = codes.at(local) as usize;
+                        let w = lw[code];
+                        lacc[code] += view.weight_at(pos) * (w - w.min(covered_weight[pos]));
+                    }
+                    for (l, &g) in remap.iter().enumerate() {
+                        marginals[g as usize] = lacc[l];
+                    }
+                }
             }
             (fi, marginals)
         });
     }
-    accs.into_iter().map(|(_, m)| m).collect()
+    Ok(accs.into_iter().map(|(_, m)| m).collect())
 }
 
 /// One pass-j group's accumulator, threaded through the shard runs.
@@ -450,6 +916,9 @@ enum GroupAcc {
 /// per-candidate stats into `scratch.cstats`. Groups run in parallel; each
 /// group's accumulator sees the runs sequentially in order, so the float
 /// operation order matches the monolithic [`crate::kernel`] `count_level`.
+/// Raw shards premultiply each group column's `remap` by its stride
+/// (`lcell[l] = remap[l] * stride`, integers), so dense cell indices — and
+/// hence the accumulation sequence — are identical to the decoded scan's.
 fn count_level_sharded(
     view: &ShardedView,
     runs: &[ShardRun],
@@ -457,7 +926,7 @@ fn count_level_sharded(
     cand_weights: &[f64],
     covered_weight: &[f64],
     threads: usize,
-) {
+) -> Result<(), TableError> {
     let st = view.table();
     let groups: &Vec<Group> = &scratch.groups;
     let mut accs: Vec<(usize, GroupAcc)> = groups
@@ -484,41 +953,10 @@ fn count_level_sharded(
         .collect();
 
     for run in runs {
-        let seg = st.segment(run.shard);
+        let data = st.segment_data(run.shard)?;
         accs = exec::parallel_map(threads, accs, |(gi, mut acc)| {
             let g = &groups[gi];
-            match &mut acc {
-                GroupAcc::Dense {
-                    counts,
-                    marginals,
-                    wvec,
-                } => {
-                    for pos in run.positions.clone() {
-                        let local = seg.local(view.row_at(pos));
-                        let mut cell = 0usize;
-                        for (&c, &stride) in g.cols.iter().zip(&g.strides) {
-                            cell += seg.col(c)[local] as usize * stride;
-                        }
-                        let w_t = view.weight_at(pos);
-                        let w = wvec[cell];
-                        counts[cell] += w_t;
-                        marginals[cell] += w_t * (w - w.min(covered_weight[pos]));
-                    }
-                }
-                GroupAcc::Sparse { acc } => {
-                    let mut wide: Vec<u32> = Vec::new();
-                    for pos in run.positions.clone() {
-                        let local = seg.local(view.row_at(pos));
-                        if let Some(p) = g.probe(&mut wide, |gc| seg.col(g.cols[gc])[local]) {
-                            let w = cand_weights[g.order[p] as usize];
-                            let w_t = view.weight_at(pos);
-                            let slot = &mut acc[p];
-                            slot.0 += w_t;
-                            slot.1 += w_t * (w - w.min(covered_weight[pos]));
-                        }
-                    }
-                }
-            }
+            count_group_run(view, run, &data, g, &mut acc, cand_weights, covered_weight);
             (gi, acc)
         });
     }
@@ -551,7 +989,106 @@ fn count_level_sharded(
             }
         }
     }
+    Ok(())
 }
+
+/// One group × one run of the pass-j count, over either segment form.
+fn count_group_run(
+    view: &ShardedView,
+    run: &ShardRun,
+    data: &SegmentData,
+    g: &Group,
+    acc: &mut GroupAcc,
+    cand_weights: &[f64],
+    covered_weight: &[f64],
+) {
+    match acc {
+        GroupAcc::Dense {
+            counts,
+            marginals,
+            wvec,
+        } => match data {
+            SegmentData::Decoded(seg) => {
+                for pos in run.positions.clone() {
+                    let local = seg.local(view.row_at(pos));
+                    let mut cell = 0usize;
+                    for (&c, &stride) in g.cols.iter().zip(&g.strides) {
+                        cell += seg.col(c)[local] as usize * stride;
+                    }
+                    let w_t = view.weight_at(pos);
+                    let w = wvec[cell];
+                    counts[cell] += w_t;
+                    marginals[cell] += w_t * (w - w.min(covered_weight[pos]));
+                }
+            }
+            SegmentData::Raw(raw) => {
+                let start = raw.span().start;
+                // Premultiplied per-column cell contributions in local code
+                // space: cell = Σ remap[l] * stride, computed once per
+                // (shard-local code) instead of once per row.
+                let lcells: Vec<Vec<usize>> = g
+                    .cols
+                    .iter()
+                    .zip(&g.strides)
+                    .map(|(&c, &stride)| {
+                        raw.col(c)
+                            .remap()
+                            .iter()
+                            .map(|&gcode| gcode as usize * stride)
+                            .collect()
+                    })
+                    .collect();
+                let lcodes: Vec<&LocalCodes> = g.cols.iter().map(|&c| raw.col(c).codes()).collect();
+                for pos in run.positions.clone() {
+                    let local = view.row_at(pos) as usize - start;
+                    let mut cell = 0usize;
+                    for (lc, codes) in lcells.iter().zip(&lcodes) {
+                        cell += lc[codes.at(local) as usize];
+                    }
+                    let w_t = view.weight_at(pos);
+                    let w = wvec[cell];
+                    counts[cell] += w_t;
+                    marginals[cell] += w_t * (w - w.min(covered_weight[pos]));
+                }
+            }
+        },
+        GroupAcc::Sparse { acc } => {
+            let mut wide: Vec<u32> = Vec::new();
+            match data {
+                SegmentData::Decoded(seg) => {
+                    for pos in run.positions.clone() {
+                        let local = seg.local(view.row_at(pos));
+                        if let Some(p) = g.probe(&mut wide, |gc| seg.col(g.cols[gc])[local]) {
+                            let w = cand_weights[g.order[p] as usize];
+                            let w_t = view.weight_at(pos);
+                            let slot = &mut acc[p];
+                            slot.0 += w_t;
+                            slot.1 += w_t * (w - w.min(covered_weight[pos]));
+                        }
+                    }
+                }
+                SegmentData::Raw(raw) => {
+                    let start = raw.span().start;
+                    let cols_raw: Vec<&RawColumn> = g.cols.iter().map(|&c| raw.col(c)).collect();
+                    for pos in run.positions.clone() {
+                        let local = view.row_at(pos) as usize - start;
+                        if let Some(p) = g.probe(&mut wide, |gc| cols_raw[gc].global_at(local)) {
+                            let w = cand_weights[g.order[p] as usize];
+                            let w_t = view.weight_at(pos);
+                            let slot = &mut acc[p];
+                            slot.0 += w_t;
+                            slot.1 += w_t * (w - w.min(covered_weight[pos]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drill-downs
+// ---------------------------------------------------------------------------
 
 /// Rule drill-down over a sharded view — twin of [`crate::drill_down_with`].
 pub fn drill_down_sharded(brs: &Brs<'_>, view: &ShardedView, base: &Rule, k: usize) -> BrsResult {
@@ -611,8 +1148,7 @@ pub(crate) fn finish_sharded_brs(
 mod tests {
     use super::*;
     use crate::{covered_rows, find_best_marginal_rule, SizeWeight};
-    use sdd_table::{Schema, ShardConfig, Table};
-    use std::sync::Arc;
+    use sdd_table::{Schema, ShardConfig, Table, TableView};
 
     fn t() -> Table {
         let mut rows: Vec<[&str; 3]> = Vec::new();
@@ -625,6 +1161,18 @@ mod tests {
 
     fn sharded(table: &Table, shards: usize) -> Arc<ShardedTable> {
         Arc::new(ShardedTable::from_table(table, &ShardConfig::in_memory(shards)).unwrap())
+    }
+
+    /// A spilling layout with a budget of 1: every scan runs against the
+    /// raw (pushdown) path except the single resident shard.
+    fn spilled(table: &Table, shards: usize) -> Arc<ShardedTable> {
+        Arc::new(
+            ShardedTable::from_table(
+                table,
+                &ShardConfig::spilling(shards, 1, std::env::temp_dir()),
+            )
+            .unwrap(),
+        )
     }
 
     #[test]
@@ -644,6 +1192,33 @@ mod tests {
     }
 
     #[test]
+    fn pushdown_covered_rows_matches_monolithic_on_spilled_storage() {
+        let table = t();
+        for rule in [
+            Rule::trivial(3),
+            Rule::from_pairs(&table, &[("A", "a")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "a"), ("B", "x")]).unwrap(),
+            // "c"/"z" occur only in the last row: every earlier shard takes
+            // the remap-absence skip.
+            Rule::from_pairs(&table, &[("A", "c")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "c"), ("B", "z")]).unwrap(),
+        ] {
+            let expect = covered_rows(&table, &rule);
+            for shards in 1..=6 {
+                let st = spilled(&table, shards);
+                assert_eq!(
+                    try_covered_rows_sharded(&st, &rule).unwrap(),
+                    expect,
+                    "{shards} spilled shards"
+                );
+                if shards > 1 && rule.instantiated_columns().next().is_some() {
+                    assert!(st.loads() > 0, "spilled scan must read spill files");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn covered_positions_on_subset_views() {
         let table = t();
         let st = sharded(&table, 3);
@@ -651,6 +1226,18 @@ mod tests {
         let rule = Rule::from_pairs(&table, &[("A", "a")]).unwrap();
         // Rows 0 (a), 4 (a), 1 (a) are covered → positions 1, 2, 4.
         assert_eq!(covered_positions_sharded(&view, &rule), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn covered_positions_on_subset_views_spilled() {
+        let table = t();
+        let st = spilled(&table, 3);
+        let view = ShardedView::with_rows(st, vec![9, 0, 4, 8, 1]);
+        let rule = Rule::from_pairs(&table, &[("A", "a")]).unwrap();
+        assert_eq!(
+            try_covered_positions_sharded(&view, &rule).unwrap(),
+            vec![1, 2, 4]
+        );
     }
 
     #[test]
@@ -679,6 +1266,53 @@ mod tests {
     }
 
     #[test]
+    fn pushdown_search_matches_monolithic_bitwise_on_spilled_storage() {
+        let table = t();
+        let view = table.view();
+        let cov: Vec<f64> = (0..view.len()).map(|i| (i % 3) as f64 * 0.7).collect();
+        let mut opts = SearchOptions::new(2.0);
+        opts.parallel = false;
+        let mono = find_best_marginal_rule(&view, &SizeWeight, &cov, &opts).unwrap();
+        for shards in 1..=6 {
+            let st = spilled(&table, shards);
+            let sv = ShardedView::all(st);
+            let mut scratch = SearchScratch::new();
+            let got =
+                try_find_best_marginal_rule_sharded(&sv, &SizeWeight, &cov, &opts, &mut scratch)
+                    .unwrap()
+                    .unwrap();
+            assert_eq!(got.rule, mono.rule, "{shards} spilled shards");
+            assert_eq!(got.marginal_value.to_bits(), mono.marginal_value.to_bits());
+            assert_eq!(got.count.to_bits(), mono.count.to_bits());
+            assert_eq!(got.stats, mono.stats);
+        }
+    }
+
+    #[test]
+    fn pushdown_weighted_subset_search_matches_monolithic_bitwise() {
+        let table = t();
+        let rows: Vec<RowId> = vec![0, 2, 3, 5, 6, 7, 9];
+        let weights: Vec<f64> = rows.iter().map(|&r| 0.25 + r as f64 * 0.5).collect();
+        let cov: Vec<f64> = rows.iter().map(|&r| (r % 4) as f64 * 0.3).collect();
+        let mview = TableView::with_rows_and_weights(&table, rows.clone(), weights.clone());
+        let mut opts = SearchOptions::new(4.0);
+        opts.parallel = false;
+        let mono = find_best_marginal_rule(&mview, &SizeWeight, &cov, &opts).unwrap();
+        for shards in [2, 3, 5] {
+            let st = spilled(&table, shards);
+            let sv = ShardedView::with_rows_and_weights(st, rows.clone(), weights.clone());
+            let mut scratch = SearchScratch::new();
+            let got =
+                try_find_best_marginal_rule_sharded(&sv, &SizeWeight, &cov, &opts, &mut scratch)
+                    .unwrap()
+                    .unwrap();
+            assert_eq!(got.rule, mono.rule, "{shards} spilled shards");
+            assert_eq!(got.marginal_value.to_bits(), mono.marginal_value.to_bits());
+            assert_eq!(got.count.to_bits(), mono.count.to_bits());
+        }
+    }
+
+    #[test]
     fn brs_matches_monolithic_bitwise() {
         let table = t();
         let mono = Brs::new(&SizeWeight)
@@ -691,6 +1325,31 @@ mod tests {
                 .with_parallel(false)
                 .run_sharded(&ShardedView::all(st), 3);
             assert_eq!(got.rules_only(), mono.rules_only(), "{shards} shards");
+            assert_eq!(got.total_score.to_bits(), mono.total_score.to_bits());
+            for (a, b) in got.rules.iter().zip(&mono.rules) {
+                assert_eq!(a.count.to_bits(), b.count.to_bits());
+                assert_eq!(a.mcount.to_bits(), b.mcount.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn brs_matches_monolithic_bitwise_on_spilled_storage() {
+        let table = t();
+        let mono = Brs::new(&SizeWeight)
+            .with_max_weight(2.0)
+            .run(&table.view(), 3);
+        for shards in [2, 4, 7] {
+            let st = spilled(&table, shards);
+            let got = Brs::new(&SizeWeight)
+                .with_max_weight(2.0)
+                .with_parallel(false)
+                .run_sharded(&ShardedView::all(st), 3);
+            assert_eq!(
+                got.rules_only(),
+                mono.rules_only(),
+                "{shards} spilled shards"
+            );
             assert_eq!(got.total_score.to_bits(), mono.total_score.to_bits());
             for (a, b) in got.rules.iter().zip(&mono.rules) {
                 assert_eq!(a.count.to_bits(), b.count.to_bits());
@@ -717,15 +1376,47 @@ mod tests {
     #[test]
     fn count_rules_matches_refresh_semantics() {
         let table = t();
-        let st = sharded(&table, 3);
-        let rules = vec![
-            Rule::trivial(3),
-            Rule::from_pairs(&table, &[("A", "a")]).unwrap(),
-            Rule::from_pairs(&table, &[("B", "x")]).unwrap(),
-        ];
-        let counts = count_rules_sharded(&st, &rules);
-        for (rule, &count) in rules.iter().zip(&counts) {
-            assert_eq!(count, crate::rule_count(&table.view(), rule), "{rule:?}");
+        for st in [sharded(&table, 3), spilled(&table, 3)] {
+            let rules = vec![
+                Rule::trivial(3),
+                Rule::from_pairs(&table, &[("A", "a")]).unwrap(),
+                Rule::from_pairs(&table, &[("B", "x")]).unwrap(),
+                Rule::from_pairs(&table, &[("A", "c"), ("B", "z")]).unwrap(),
+            ];
+            let counts = try_count_rules_sharded(&st, &rules).unwrap();
+            for (rule, &count) in rules.iter().zip(&counts) {
+                assert_eq!(count, crate::rule_count(&table.view(), rule), "{rule:?}");
+            }
         }
+    }
+
+    #[test]
+    fn corrupt_spill_surfaces_through_try_variants() {
+        let table = t();
+        let st = spilled(&table, 3);
+        let rule = Rule::from_pairs(&table, &[("A", "a")]).unwrap();
+        let path = st.spill_path(0).unwrap().to_path_buf();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(
+            try_covered_rows_sharded(&st, &rule),
+            Err(TableError::Corrupt(_))
+        ));
+        assert!(try_count_rules_sharded(&st, std::slice::from_ref(&rule)).is_err());
+        let sv = ShardedView::all(st.clone());
+        let mut scratch = SearchScratch::new();
+        let mut opts = SearchOptions::new(2.0);
+        opts.parallel = false;
+        let cov = vec![0.0; sv.len()];
+        assert!(
+            try_find_best_marginal_rule_sharded(&sv, &SizeWeight, &cov, &opts, &mut scratch)
+                .is_err()
+        );
+        // Restore: scans recover (errors are not sticky).
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            try_covered_rows_sharded(&st, &rule).unwrap(),
+            covered_rows(&table, &rule)
+        );
     }
 }

@@ -203,13 +203,32 @@ impl Explorer {
         self.handler.run_prefetch_job(job)
     }
 
+    /// Fallible [`Explorer::run_prefetch`]: a damaged spill file under a
+    /// sharded store surfaces as [`SessionError::Storage`].
+    pub fn try_run_prefetch(&mut self, job: &PrefetchJob) -> Result<f64, SessionError> {
+        self.handler
+            .try_run_prefetch_job(job)
+            .map_err(|e| SessionError::Storage(e.to_string()))
+    }
+
     /// Runs the deferred prefetch job now, if one is pending. Every
     /// handler-touching operation calls this first, so deferred execution
     /// is observably identical to [`PrefetchMode::Inline`] no matter
     /// whether a background worker got to the job in time.
     pub fn drain_pending_prefetch(&mut self) {
-        if let Some(job) = self.pending_prefetch.take() {
-            self.handler.run_prefetch_job(&job);
+        self.try_drain_pending_prefetch()
+            .expect("shard spill file must decode (written by this table)")
+    }
+
+    /// Fallible [`Explorer::drain_pending_prefetch`] — what the server
+    /// engine calls, so a spill failure during a claimed prefetch job turns
+    /// into an error response instead of killing the worker. The job is
+    /// consumed either way; prefetching is best-effort and the failure will
+    /// resurface on the next operation that needs the damaged shard.
+    pub fn try_drain_pending_prefetch(&mut self) -> Result<(), SessionError> {
+        match self.pending_prefetch.take() {
+            Some(job) => self.try_run_prefetch(&job).map(|_| ()),
+            None => Ok(()),
         }
     }
 
@@ -272,13 +291,16 @@ impl Explorer {
         // run before this expansion reads the sample store, or deferred
         // mode would diverge from inline semantics.
         let base = self.node(path)?.info.rule.clone();
-        self.drain_pending_prefetch();
+        self.try_drain_pending_prefetch()?;
         // Feed the learned click model (§4.1): drilling into a non-trivial
         // rule reveals which columns the analyst cares about.
         if !base.is_trivial() {
             self.click_model.record(&base);
         }
-        let sample = self.handler.get_sample(&base);
+        let sample = self
+            .handler
+            .try_get_sample(&base)
+            .map_err(|e| SessionError::Storage(e.to_string()))?;
         self.stats.expansions += 1;
         if sample.mechanism != FetchMechanism::Create {
             self.stats.served_from_memory += 1;
@@ -366,6 +388,14 @@ impl Explorer {
     /// Replaces every displayed estimate with its exact count in **one**
     /// pass over the table (the paper's background refresh, §4.3).
     pub fn refresh_exact_counts(&mut self) {
+        self.try_refresh_exact_counts()
+            .expect("shard spill file must decode (written by this table)")
+    }
+
+    /// Fallible [`Explorer::refresh_exact_counts`]: the sharded one-pass
+    /// count surfaces a damaged spill file as [`SessionError::Storage`]
+    /// (displayed estimates are left untouched on failure).
+    pub fn try_refresh_exact_counts(&mut self) -> Result<(), SessionError> {
         self.stats.refreshes += 1;
         // Collect visible rules.
         let mut rules: Vec<Rule> = Vec::new();
@@ -394,7 +424,8 @@ impl Explorer {
                 }
                 counts
             }
-            TableStore::Sharded(st) => sdd_core::count_rules_sharded(st, &rules),
+            TableStore::Sharded(st) => sdd_core::try_count_rules_sharded(st, &rules)
+                .map_err(|e| SessionError::Storage(e.to_string()))?,
         };
 
         // Write back in the same traversal order.
@@ -411,6 +442,7 @@ impl Explorer {
         }
         let mut idx = 0;
         write_back(&mut self.root, &counts, &mut idx);
+        Ok(())
     }
 
     /// All visible rules with their depths, in display order.

@@ -36,7 +36,7 @@ use crate::alloc_dp::solve_dp;
 use crate::reservoir::Reservoir;
 use rand::{rngs::StdRng, SeedableRng};
 use sdd_core::Rule;
-use sdd_table::{OwnedTableView, RowId, Table, TableStore};
+use sdd_table::{OwnedTableView, RowId, Table, TableError, TableStore};
 use std::sync::Arc;
 
 /// Configuration of a [`SampleHandler`].
@@ -289,7 +289,17 @@ impl SampleHandler {
 
     /// Returns a (weighted) sample of the tuples covered by `rule`, at least
     /// `minSS` tuples when the data allows, trying Find → Combine → Create.
+    /// Infallible wrapper over [`SampleHandler::try_get_sample`].
     pub fn get_sample(&mut self, rule: &Rule) -> SampleView {
+        self.try_get_sample(rule)
+            .expect("shard spill file must decode (written by this table)")
+    }
+
+    /// Fallible [`SampleHandler::get_sample`]: a Create that has to scan a
+    /// sharded store surfaces a damaged spill file as the error instead of
+    /// panicking (Find and Combine never touch the shard tier — stored
+    /// samples are materialized in memory at store time).
+    pub fn try_get_sample(&mut self, rule: &Rule) -> Result<SampleView, TableError> {
         self.clock += 1;
         let min_ss = self.config.min_sample_size;
 
@@ -303,29 +313,29 @@ impl SampleHandler {
             self.samples[idx].last_used = self.clock;
             let s = &self.samples[idx];
             self.stats.finds += 1;
-            return SampleView {
+            return Ok(SampleView {
                 view: Self::stored_view(&self.store, s),
                 mechanism: FetchMechanism::Find,
                 scale: s.scale,
-            };
+            });
         }
 
         // --- Combine ---
         if let Some(sv) = self.try_combine(rule) {
             self.stats.combines += 1;
-            return sv;
+            return Ok(sv);
         }
 
         // --- Create ---
         self.stats.creates += 1;
         let target = min_ss;
-        let stored = self.create_sample(rule, target);
+        let stored = self.create_sample(rule, target)?;
         let s = &self.samples[stored];
-        SampleView {
+        Ok(SampleView {
             view: Self::stored_view(&self.store, s),
             mechanism: FetchMechanism::Create,
             scale: s.scale,
-        }
+        })
     }
 
     fn try_combine(&mut self, rule: &Rule) -> Option<SampleView> {
@@ -407,10 +417,10 @@ impl SampleHandler {
 
     /// Creates (and stores) a reservoir sample for `rule` with the given
     /// target size, scanning the full table once. Returns the store index.
-    fn create_sample(&mut self, rule: &Rule, target: usize) -> usize {
+    fn create_sample(&mut self, rule: &Rule, target: usize) -> Result<usize, TableError> {
         self.stats.full_scans += 1;
-        let idx = self.scan_and_store(&[(rule.clone(), target)]);
-        idx[0]
+        let idx = self.scan_and_store(&[(rule.clone(), target)])?;
+        Ok(idx[0])
     }
 
     /// The Create phase (§4.3: "it creates a sample of size n_r for each
@@ -428,7 +438,7 @@ impl SampleHandler {
     /// stored members, and (b) the returned store indices are valid when
     /// this method returns — the historical per-push interleaving could
     /// evict an earlier batch member and leave stale indices behind.
-    fn scan_and_store(&mut self, requests: &[(Rule, usize)]) -> Vec<usize> {
+    fn scan_and_store(&mut self, requests: &[(Rule, usize)]) -> Result<Vec<usize>, TableError> {
         // Deduplicate same-filter requests, last target size winning — the
         // store holds at most one sample per filter, and the historical
         // per-push replacement gave later requests precedence. `slot[i]`
@@ -470,15 +480,17 @@ impl SampleHandler {
                     TableStore::Whole(t) => {
                         sdd_core::covered_rows_with_threads(t, &rule, scan_threads)
                     }
-                    TableStore::Sharded(st) => sdd_core::covered_rows_sharded(st, &rule),
+                    TableStore::Sharded(st) => sdd_core::try_covered_rows_sharded(st, &rule)?,
                 };
                 for row in covered {
                     res.offer(row, &mut rng);
                 }
                 let scale = res.scale();
                 let (rows, seen) = res.into_parts();
-                (rows, seen, scale)
-            });
+                Ok::<_, TableError>((rows, seen, scale))
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
 
         // Replace any existing sample whose filter is re-requested, then
         // make room for the whole batch against the *pre-existing* store
@@ -493,7 +505,7 @@ impl SampleHandler {
             let exact = seen as usize == rows.len();
             let local = match &self.store {
                 TableStore::Whole(_) => None,
-                TableStore::Sharded(st) => Some(Arc::new(st.gather_rows(&rows))),
+                TableStore::Sharded(st) => Some(Arc::new(st.try_gather_rows(&rows)?)),
             };
             self.samples.push(StoredSample {
                 filter: rule.clone(),
@@ -504,7 +516,7 @@ impl SampleHandler {
                 last_used: self.clock,
             });
         }
-        slot.into_iter().map(|s| base + s).collect()
+        Ok(slot.into_iter().map(|s| base + s).collect())
     }
 
     /// Evicts least-recently-used samples until `incoming` more tuples fit.
@@ -556,8 +568,18 @@ impl SampleHandler {
     /// materializes every planned sample in **one** scan.
     ///
     /// Returns the hit probability the allocator expects for the next
-    /// drill-down.
+    /// drill-down. Infallible wrapper over [`SampleHandler::try_prefetch`].
     pub fn prefetch(&mut self, parent: &Rule, entries: &[PrefetchEntry]) -> f64 {
+        self.try_prefetch(parent, entries)
+            .expect("shard spill file must decode (written by this table)")
+    }
+
+    /// Fallible [`SampleHandler::prefetch`].
+    pub fn try_prefetch(
+        &mut self,
+        parent: &Rule,
+        entries: &[PrefetchEntry],
+    ) -> Result<f64, TableError> {
         self.clock += 1;
         let problem = self.plan(entries);
         let alloc = self.solve_allocation(&problem);
@@ -573,9 +595,9 @@ impl SampleHandler {
         }
         if !requests.is_empty() {
             self.stats.full_scans += 1;
-            self.scan_and_store(&requests);
+            self.scan_and_store(&requests)?;
         }
-        alloc.value
+        Ok(alloc.value)
     }
 
     /// Runs a handed-off [`PrefetchJob`] — the background half of §4.3's
@@ -585,6 +607,11 @@ impl SampleHandler {
     /// analyst's think-time.
     pub fn run_prefetch_job(&mut self, job: &PrefetchJob) -> f64 {
         self.prefetch(&job.parent, &job.entries)
+    }
+
+    /// Fallible [`SampleHandler::run_prefetch_job`].
+    pub fn try_run_prefetch_job(&mut self, job: &PrefetchJob) -> Result<f64, TableError> {
+        self.try_prefetch(&job.parent, &job.entries)
     }
 
     /// Drops every stored sample (used by experiments to reset state).
@@ -670,7 +697,7 @@ mod tests {
         );
         // Seed a big sample of the trivial rule directly in the store.
         let trivial = Rule::trivial(3);
-        h.scan_and_store(&[(trivial.clone(), 4000)]);
+        h.scan_and_store(&[(trivial.clone(), 4000)]).unwrap();
         // Now a Walmart request should combine from the trivial sample:
         // 4000 of 6000 rows → ~666 Walmart rows ≥ minSS 200.
         let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
@@ -688,7 +715,7 @@ mod tests {
         let mut h = handler(&t); // minSS 500
                                  // Seed a small trivial sample (600): Walmart-covered portion ≈ 100
                                  // < minSS → must Create.
-        h.scan_and_store(&[(Rule::trivial(3), 600)]);
+        h.scan_and_store(&[(Rule::trivial(3), 600)]).unwrap();
         let walmart = Rule::from_pairs(&t, &[("Store", "Walmart")]).unwrap();
         let s = h.get_sample(&walmart);
         assert_eq!(s.mechanism, FetchMechanism::Create);
@@ -847,8 +874,8 @@ mod tests {
                     strategy: AllocationStrategy::Dp,
                 },
             );
-            h.scan_and_store(&[(w.clone(), 10)]); // exact, rate 1
-            h.scan_and_store(&[(Rule::trivial(2), 15)]); // rate 1/2
+            h.scan_and_store(&[(w.clone(), 10)]).unwrap(); // exact, rate 1
+            h.scan_and_store(&[(Rule::trivial(2), 15)]).unwrap(); // rate 1/2
             let s = h.get_sample(&target);
             assert_eq!(s.mechanism, FetchMechanism::Combine, "seed {seed}");
             sum += s.view.total_weight();
@@ -887,7 +914,7 @@ mod tests {
             },
         );
         let w = Rule::from_pairs(&t, &[("Store", "w")]).unwrap();
-        h.scan_and_store(&[(w.clone(), 10)]); // exact (w) sample, rate 1
+        h.scan_and_store(&[(w.clone(), 10)]).unwrap(); // exact (w) sample, rate 1
         h.samples.push(StoredSample {
             filter: Rule::trivial(2),
             rows: vec![],
@@ -925,13 +952,13 @@ mod tests {
         );
         let trivial = Rule::trivial(1);
         let ra = Rule::from_pairs(&t, &[("A", "a")]).unwrap();
-        h.scan_and_store(&[(trivial.clone(), 1_000)]); // rate 1/4
-                                                       // Evict the trivial sample by filling the store past capacity …
-        h.scan_and_store(&[(ra.clone(), 1_200)]);
+        h.scan_and_store(&[(trivial.clone(), 1_000)]).unwrap(); // rate 1/4
+                                                                // Evict the trivial sample by filling the store past capacity …
+        h.scan_and_store(&[(ra.clone(), 1_200)]).unwrap();
         assert!(h.samples.iter().all(|s| s.filter != trivial));
         // … then rehydrate it (twice — the second must replace, not stack).
-        h.scan_and_store(&[(trivial.clone(), 1_000)]);
-        h.scan_and_store(&[(trivial.clone(), 1_000)]);
+        h.scan_and_store(&[(trivial.clone(), 1_000)]).unwrap();
+        h.scan_and_store(&[(trivial.clone(), 1_000)]).unwrap();
         assert_eq!(
             h.samples.iter().filter(|s| s.filter == trivial).count(),
             1,
@@ -972,9 +999,9 @@ mod tests {
         let trivial = Rule::trivial(1);
         let ra = Rule::from_pairs(&t, &[("A", "a")]).unwrap();
         let rb = Rule::from_pairs(&t, &[("A", "b")]).unwrap();
-        h.scan_and_store(&[(trivial.clone(), 500)]); // pre-existing LRU victim
+        h.scan_and_store(&[(trivial.clone(), 500)]).unwrap(); // pre-existing LRU victim
         let batch = [(ra.clone(), 600), (rb.clone(), 600)];
-        let indices = h.scan_and_store(&batch);
+        let indices = h.scan_and_store(&batch).unwrap();
         // 500 + 1200 > 1500: the trivial sample must be evicted — and every
         // returned index must still point at its own request's sample.
         assert!(h.stats.evictions > 0);
@@ -1010,7 +1037,7 @@ mod tests {
         let ra = Rule::from_pairs(&t, &[("A", "a")]).unwrap();
         let rb = Rule::from_pairs(&t, &[("A", "b")]).unwrap();
         let batch = [(ra, 600), (rb, 600), (trivial, 600)];
-        let indices = h.scan_and_store(&batch);
+        let indices = h.scan_and_store(&batch).unwrap();
         assert_eq!(h.n_samples(), 3, "a batch must not evict its own members");
         for ((rule, _), &idx) in batch.iter().zip(&indices) {
             assert_eq!(h.samples[idx].filter, *rule);
@@ -1034,7 +1061,9 @@ mod tests {
             },
         );
         let ra = Rule::from_pairs(&t, &[("A", "a")]).unwrap();
-        let indices = h.scan_and_store(&[(ra.clone(), 600), (ra.clone(), 800)]);
+        let indices = h
+            .scan_and_store(&[(ra.clone(), 600), (ra.clone(), 800)])
+            .unwrap();
         assert_eq!(h.n_samples(), 1, "duplicate filters must collapse");
         assert_eq!(indices, vec![0, 0]);
         assert_eq!(h.samples[0].rows.len(), 800);

@@ -178,12 +178,14 @@ impl Engine {
             Request::Render { session } => {
                 self.with_session(session, |ex| Response::Rendered { text: ex.render() })
             }
-            Request::Refresh { session } => self.with_session(session, |ex| {
-                ex.refresh_exact_counts();
-                Response::RuleList {
-                    rules: visible_infos(ex),
-                }
-            }),
+            Request::Refresh { session } => {
+                self.with_session(session, |ex| match ex.try_refresh_exact_counts() {
+                    Ok(()) => Response::RuleList {
+                        rules: visible_infos(ex),
+                    },
+                    Err(e) => Response::error(e),
+                })
+            }
             Request::Stats { session } => self.with_session(session, |ex| {
                 let h = ex.handler_stats();
                 Response::Stats {
@@ -279,7 +281,10 @@ impl Engine {
                 None,
             );
         };
-        ex.drain_pending_prefetch();
+        // A spill failure inside the claimed prefetch job must not kill the
+        // connection worker: prefetching is best-effort, so drop the error —
+        // the operation below resurfaces it if it needs the damaged shard.
+        let _ = ex.try_drain_pending_prefetch();
         let response = f(&mut ex);
         let hint = ex.has_pending_prefetch().then(|| session.to_owned());
         (response, hint)
@@ -291,7 +296,9 @@ impl Engine {
     pub fn run_pending_prefetch(&self, session: &str) {
         if let Some(handle) = self.sessions.get(session) {
             if let Ok(mut ex) = handle.lock() {
-                ex.drain_pending_prefetch();
+                // Best-effort: a failed background prefetch stores nothing;
+                // the next request touching the damaged shard gets the error.
+                let _ = ex.try_drain_pending_prefetch();
             }
         }
     }

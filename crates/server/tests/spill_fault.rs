@@ -1,0 +1,120 @@
+//! Spill-tier fault injection: a corrupted or truncated spill file must
+//! surface as an error *response* on the session that needed it — never as
+//! a panic that takes down the connection worker — and the engine must keep
+//! serving every request that does not touch the damaged shard.
+
+use sdd_server::{Engine, EngineConfig, OpenOptions, Request, Response};
+use sdd_table::{ShardConfig, ShardedTable, TableStore};
+use std::sync::Arc;
+
+fn spilling_engine() -> (Engine, Arc<ShardedTable>) {
+    let table = sdd_datagen::retail(42);
+    let st = Arc::new(
+        ShardedTable::from_table(&table, &ShardConfig::spilling(4, 1, std::env::temp_dir()))
+            .unwrap(),
+    );
+    (
+        Engine::with_store(TableStore::Sharded(st.clone()), EngineConfig::default()),
+        st,
+    )
+}
+
+fn open(engine: &Engine, session: &str) -> Response {
+    engine
+        .handle(&Request::Open {
+            session: session.to_owned(),
+            options: OpenOptions {
+                k: Some(3),
+                max_weight: Some(3.0),
+                weight: Some("size".to_owned()),
+                seed: Some(7),
+                capacity: Some(20_000),
+                min_ss: Some(1_000),
+            },
+        })
+        .0
+}
+
+#[test]
+fn truncated_spill_file_yields_error_response_not_crash() {
+    let (engine, st) = spilling_engine();
+    assert!(matches!(open(&engine, "s"), Response::Opened { .. }));
+
+    // Damage a spilled shard behind the engine's back (shard 0 may be the
+    // resident one, so pick the last — with budget 1 it is spilled out
+    // after construction... unless it was just written; damage a shard
+    // that is definitely not resident by checking the spill path exists).
+    let path = st.spill_path(0).unwrap().to_path_buf();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..16]).unwrap();
+    // Drop any cached copy so the next scan must hit the damaged file.
+    st.evict_all();
+
+    // The expansion needs a Create scan over every shard → error response.
+    let (resp, _) = engine.handle(&Request::Expand {
+        session: "s".to_owned(),
+        path: vec![],
+    });
+    match resp {
+        Response::Error { message } => {
+            assert!(
+                message.contains("storage error"),
+                "expected a storage error, got: {message}"
+            );
+        }
+        other => panic!("expected an error response, got {other:?}"),
+    }
+
+    // The engine (and the session) survive: requests still work.
+    assert!(matches!(engine.handle(&Request::Ping).0, Response::Pong));
+    assert!(matches!(
+        engine
+            .handle(&Request::Rules {
+                session: "s".to_owned()
+            })
+            .0,
+        Response::RuleList { .. }
+    ));
+
+    // Restore the file: the very same session recovers.
+    std::fs::write(&path, &bytes).unwrap();
+    let (resp, _) = engine.handle(&Request::Expand {
+        session: "s".to_owned(),
+        path: vec![],
+    });
+    assert!(
+        matches!(resp, Response::Expanded { .. }),
+        "session must recover once the file is intact: {resp:?}"
+    );
+}
+
+#[test]
+fn refresh_surfaces_spill_errors_as_responses() {
+    let (engine, st) = spilling_engine();
+    assert!(matches!(open(&engine, "s"), Response::Opened { .. }));
+    let (resp, _) = engine.handle(&Request::Expand {
+        session: "s".to_owned(),
+        path: vec![],
+    });
+    assert!(matches!(resp, Response::Expanded { .. }));
+
+    let path = st.spill_path(1).unwrap().to_path_buf();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, b"SDDSHRD2garbage").unwrap();
+    st.evict_all();
+
+    let (resp, _) = engine.handle(&Request::Refresh {
+        session: "s".to_owned(),
+    });
+    match resp {
+        Response::Error { message } => assert!(message.contains("storage error")),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+    assert!(matches!(engine.handle(&Request::Ping).0, Response::Pong));
+
+    std::fs::write(&path, &bytes).unwrap();
+    let (resp, _) = engine.handle(&Request::Refresh {
+        session: "s".to_owned(),
+    });
+    assert!(matches!(resp, Response::RuleList { .. }));
+}

@@ -31,6 +31,13 @@ pub enum TableError {
     /// underlying [`std::io::Error`]; kept as a string so the error stays
     /// `Clone + Eq`).
     Io(String),
+    /// A spill file failed structural validation (bad magic, truncated,
+    /// shape mismatch, out-of-range local code). Distinct from [`Io`]:
+    /// the bytes were readable but are not a valid segment — the file was
+    /// damaged after it was written.
+    ///
+    /// [`Io`]: TableError::Io
+    Corrupt(String),
     /// A streaming shard build received a different number of rows than it
     /// declared up front (the span layout is a function of the total).
     RowCount {
@@ -63,6 +70,7 @@ impl fmt::Display for TableError {
             TableError::ParseNumber(s) => write!(f, "cannot parse {s:?} as a number"),
             TableError::Empty => write!(f, "input is empty"),
             TableError::Io(message) => write!(f, "i/o error: {message}"),
+            TableError::Corrupt(message) => write!(f, "corrupt spill file: {message}"),
             TableError::RowCount { declared, got } => {
                 write!(f, "row count mismatch: declared {declared} rows, got {got}")
             }

@@ -10,12 +10,18 @@
 //!   the monolithic table's), so any scan over a segment performs exactly
 //!   the operations the same rows would produce in the monolithic table;
 //! * **spill form** — an optional on-disk file per shard, written once at
-//!   construction. The spill format is local-dictionary coded: per column a
-//!   `remap` array lists the global codes in first-appearance order within
-//!   the shard, and the rows store local codes at the narrowest byte width
-//!   (1/2/4) that fits the shard-local cardinality. Loading remaps local →
-//!   global, so a spill → load round-trip reproduces the resident segment
-//!   bit-for-bit.
+//!   construction. The spill format (`SDDSHRD2`) is local-dictionary coded:
+//!   per column a `remap` array lists the global codes in first-appearance
+//!   order within the shard, and the rows store local codes at the
+//!   narrowest byte width (1/2/4) that fits the shard-local cardinality; a
+//!   per-column offset table in the header lets readers fetch individual
+//!   columns with positioned range reads. Loading remaps local → global, so
+//!   a spill → load round-trip reproduces the resident segment bit-for-bit.
+//!   The spill coding is also directly scannable **without** decoding: a
+//!   [`RawSegment`] exposes each column's `remap` and packed [`LocalCodes`],
+//!   and `sdd-core`'s pushdown scans translate predicates into local code
+//!   space and run over the packed bytes (see [`SegmentData`],
+//!   [`ShardedTable::segment_data`], [`ShardedTable::read_columns`]).
 //!
 //! Residency is governed by a **resident-shard budget**: at most that many
 //! segments are cached at once (segments are immutable, so eviction can
@@ -159,9 +165,180 @@ impl ShardSegment {
     }
 }
 
+/// One spilled column's packed local codes at their stored byte width —
+/// exactly the bytes on disk, decoded to the matching integer type (the
+/// 1-byte form is the raw file bytes verbatim). Scans over these touch
+/// 1/4th–1/2 the memory a decoded global-code (`u32`) scan would.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalCodes {
+    /// Shard-local cardinality ≤ 256: one byte per row.
+    W1(Vec<u8>),
+    /// Shard-local cardinality ≤ 65 536: two bytes per row.
+    W2(Vec<u16>),
+    /// Anything larger: four bytes per row.
+    W4(Vec<u32>),
+}
+
+impl LocalCodes {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            LocalCodes::W1(v) => v.len(),
+            LocalCodes::W2(v) => v.len(),
+            LocalCodes::W4(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The stored byte width (1, 2, or 4).
+    pub fn width(&self) -> usize {
+        match self {
+            LocalCodes::W1(_) => 1,
+            LocalCodes::W2(_) => 2,
+            LocalCodes::W4(_) => 4,
+        }
+    }
+
+    /// The local code at row `i`, widened to `u32`.
+    #[inline]
+    pub fn at(&self, i: usize) -> u32 {
+        match self {
+            LocalCodes::W1(v) => v[i] as u32,
+            LocalCodes::W2(v) => v[i] as u32,
+            LocalCodes::W4(v) => v[i],
+        }
+    }
+}
+
+/// One spilled column in its on-disk coding: the `remap` array (local →
+/// global codes, in first-appearance order within the shard) plus the rows
+/// as packed [`LocalCodes`]. This is the raw-segment access path the
+/// spill-tier predicate pushdown scans — no global-code materialization.
+///
+/// Loaded columns are validated once (every local code `< remap.len()`),
+/// so `remap[code as usize]` indexing never faults afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawColumn {
+    remap: Vec<u32>,
+    codes: LocalCodes,
+}
+
+impl RawColumn {
+    /// Local → global code map (the shard-local dictionary image), in
+    /// first-appearance order. `remap.len()` is the shard-local
+    /// cardinality.
+    pub fn remap(&self) -> &[u32] {
+        &self.remap
+    }
+
+    /// The rows as packed local codes.
+    pub fn codes(&self) -> &LocalCodes {
+        &self.codes
+    }
+
+    /// Shard-local cardinality (`remap().len()`).
+    pub fn cardinality(&self) -> usize {
+        self.remap.len()
+    }
+
+    /// The local code for global code `g`, or `None` when `g` never occurs
+    /// in this shard — the pushdown zero-count test: a predicate whose
+    /// value is absent from `remap` covers no row of the shard, so the
+    /// whole shard can be skipped without touching its rows.
+    pub fn local_of_global(&self, g: u32) -> Option<u32> {
+        self.remap.iter().position(|&x| x == g).map(|p| p as u32)
+    }
+
+    /// The global code at row `i`.
+    #[inline]
+    pub fn global_at(&self, i: usize) -> u32 {
+        self.remap[self.codes.at(i) as usize]
+    }
+}
+
+/// One shard in spill coding: the global row span plus every column as a
+/// [`RawColumn`]. The raw twin of [`ShardSegment`].
+#[derive(Debug)]
+pub struct RawSegment {
+    span: Range<usize>,
+    cols: Vec<RawColumn>,
+}
+
+impl RawSegment {
+    /// The global row range `[start, end)` this segment holds.
+    pub fn span(&self) -> Range<usize> {
+        self.span.clone()
+    }
+
+    /// Column `c` in spill coding.
+    pub fn col(&self, c: usize) -> &RawColumn {
+        &self.cols[c]
+    }
+
+    /// Maps a global row id inside [`RawSegment::span`] to the local row
+    /// index.
+    #[inline]
+    pub fn local(&self, row: RowId) -> usize {
+        debug_assert!(self.span.contains(&(row as usize)), "row outside span");
+        row as usize - self.span.start
+    }
+}
+
+/// A shard's data in whichever form the residency cache holds — decoded
+/// (global codes, a small [`Table`]) or raw (spill coding). Scans that can
+/// run over either form ask for this via
+/// [`ShardedTable::segment_data`] and never force a decode.
+#[derive(Debug, Clone)]
+pub enum SegmentData {
+    /// The decoded, global-code resident form.
+    Decoded(Arc<ShardSegment>),
+    /// The spill-coded raw form (local codes + remap, no `Table`).
+    Raw(Arc<RawSegment>),
+}
+
+impl SegmentData {
+    /// The global row span.
+    pub fn span(&self) -> Range<usize> {
+        match self {
+            SegmentData::Decoded(s) => s.span(),
+            SegmentData::Raw(r) => r.span(),
+        }
+    }
+}
+
+/// The cached form of one shard. A raw entry is *upgraded* in place to the
+/// decoded form when a caller needs a [`ShardSegment`]; both forms count
+/// equally against the resident budget and pin the same way (the cache's
+/// own `Arc` is the baseline count of 1).
+#[derive(Debug)]
+enum CachedSeg {
+    Decoded(Arc<ShardSegment>),
+    Raw(Arc<RawSegment>),
+}
+
+impl CachedSeg {
+    fn is_pinned(&self) -> bool {
+        match self {
+            CachedSeg::Decoded(a) => Arc::strong_count(a) > 1,
+            CachedSeg::Raw(a) => Arc::strong_count(a) > 1,
+        }
+    }
+
+    fn data(&self) -> SegmentData {
+        match self {
+            CachedSeg::Decoded(a) => SegmentData::Decoded(Arc::clone(a)),
+            CachedSeg::Raw(a) => SegmentData::Raw(Arc::clone(a)),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct CacheEntry {
-    seg: Arc<ShardSegment>,
+    seg: CachedSeg,
     last_used: u64,
 }
 
@@ -197,10 +374,7 @@ impl Cache {
             return;
         }
         while self.resident.len() > budget {
-            let unpinned = self
-                .resident
-                .iter()
-                .filter(|(_, e)| Arc::strong_count(&e.seg) == 1);
+            let unpinned = self.resident.iter().filter(|(_, e)| !e.seg.is_pinned());
             let victim = match policy {
                 Residency::Lru => unpinned.min_by_key(|(_, e)| e.last_used),
                 Residency::Sweep => unpinned.max_by_key(|(_, e)| e.last_used),
@@ -288,10 +462,10 @@ impl ShardedTable {
                 cache.resident.insert(
                     i,
                     CacheEntry {
-                        seg: Arc::new(ShardSegment {
+                        seg: CachedSeg::Decoded(Arc::new(ShardSegment {
                             span: span.clone(),
                             table: segment_table(&header, &measures, span, cols),
-                        }),
+                        })),
                         last_used: cache.clock,
                     },
                 );
@@ -365,35 +539,67 @@ impl ShardedTable {
     /// evicting least-recently-used segments beyond the resident budget.
     /// The returned `Arc` keeps the segment alive regardless of eviction.
     ///
-    /// The cache lock is **not** held across the disk read: a cache hit on
-    /// one shard never waits behind another thread's in-flight load. Two
-    /// threads missing the same shard may both read the file — segments are
-    /// immutable, so the loser's copy is simply dropped (both reads count
-    /// in [`ShardedTable::loads`]).
+    /// Infallible wrapper over [`ShardedTable::try_segment`] for callers
+    /// that treat a damaged spill file as unrecoverable (a file this table
+    /// wrote itself). Server-facing paths use `try_segment` and surface the
+    /// error instead.
     pub fn segment(&self, i: usize) -> Arc<ShardSegment> {
+        self.try_segment(i)
+            .expect("shard spill file must decode (written by this table)")
+    }
+
+    /// The segment for shard `i` in decoded (global-code) form, loading —
+    /// or upgrading a cached raw entry — as needed.
+    ///
+    /// The cache lock is **not** held across the disk read or the
+    /// local→global decode: a cache hit on one shard never waits behind
+    /// another thread's in-flight load. Two threads missing the same shard
+    /// may both read the file — segments are immutable, so the loser's copy
+    /// is simply dropped (both reads count in [`ShardedTable::loads`]).
+    /// Upgrading a cached [`SegmentData::Raw`] entry re-codes in memory and
+    /// does **not** count as a load.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Corrupt`] when the spill file fails validation (bad
+    /// magic, truncation, shape mismatch, out-of-range local code),
+    /// [`TableError::Io`] when reading it fails.
+    pub fn try_segment(&self, i: usize) -> Result<Arc<ShardSegment>, TableError> {
         let span = self.spans[i].clone();
+        let mut raw_hit: Option<Arc<RawSegment>> = None;
         {
             let mut cache = self.cache.lock().expect("shard cache poisoned");
             cache.clock += 1;
             let clock = cache.clock;
+            let mut decoded_hit: Option<Arc<ShardSegment>> = None;
             if let Some(entry) = cache.resident.get_mut(&i) {
                 entry.last_used = clock;
-                let seg = Arc::clone(&entry.seg);
+                match &entry.seg {
+                    CachedSeg::Decoded(a) => decoded_hit = Some(Arc::clone(a)),
+                    CachedSeg::Raw(a) => raw_hit = Some(Arc::clone(a)),
+                }
+            }
+            if let Some(seg) = decoded_hit {
                 // Hits reclaim too: a burst of concurrent pins can grow the
                 // cache past the budget, and the released segments would
                 // otherwise linger as permanent hits (the budget never
                 // re-honored, eviction never firing again). The clone above
                 // pins `i`, so the pass cannot drop the returned segment.
                 cache.evict_over_budget(self.resident_budget, self.residency);
-                return seg;
+                return Ok(seg);
             }
         }
-        // Miss: read + decode outside the lock.
-        let path = self.spill[i]
-            .as_ref()
-            .expect("non-resident shard must have a spill file");
-        let cols = read_segment(path, self.n_columns(), span.len())
-            .expect("shard spill file must decode (written by this table)");
+        // Miss (or raw upgrade): read + decode outside the lock.
+        let cols: Vec<Vec<u32>> = match &raw_hit {
+            Some(raw) => globalize(&raw.cols),
+            None => {
+                let path = self.spill[i]
+                    .as_ref()
+                    .expect("non-resident shard must have a spill file");
+                globalize(&read_raw_segment(path, self.n_columns(), span.len())?)
+            }
+        };
+        let from_disk = raw_hit.is_none();
         let seg = Arc::new(ShardSegment {
             span: span.clone(),
             table: segment_table(&self.header, &self.measures, &span, cols),
@@ -402,18 +608,29 @@ impl ShardedTable {
         let mut cache = self.cache.lock().expect("shard cache poisoned");
         cache.clock += 1;
         let clock = cache.clock;
-        cache.loads += 1;
+        if from_disk {
+            cache.loads += 1;
+        }
         let seg = match cache.resident.get_mut(&i) {
-            // A concurrent loader won the race; keep its copy (ours drops).
             Some(entry) => {
                 entry.last_used = clock;
-                Arc::clone(&entry.seg)
+                match &entry.seg {
+                    // A concurrent loader won the race; keep its copy (ours
+                    // drops).
+                    CachedSeg::Decoded(other) => Arc::clone(other),
+                    // Upgrade the raw entry in place; the packed form drops
+                    // when the last raw pin releases.
+                    CachedSeg::Raw(_) => {
+                        entry.seg = CachedSeg::Decoded(Arc::clone(&seg));
+                        seg
+                    }
+                }
             }
             None => {
                 cache.resident.insert(
                     i,
                     CacheEntry {
-                        seg: Arc::clone(&seg),
+                        seg: CachedSeg::Decoded(Arc::clone(&seg)),
                         last_used: clock,
                     },
                 );
@@ -424,7 +641,102 @@ impl ShardedTable {
         // The caller's `seg` clone pins shard `i` (strong count ≥ 2), so the
         // eviction pass can never drop the segment being returned.
         cache.evict_over_budget(self.resident_budget, self.residency);
-        seg
+        Ok(seg)
+    }
+
+    /// The shard's data in **whichever form the cache holds**, loading the
+    /// raw (spill-coded) form on a miss — never forcing a local→global
+    /// decode. This is the pushdown scan entry point: a miss costs one file
+    /// read into packed codes; a later [`ShardedTable::try_segment`] on the
+    /// same shard upgrades the entry in place.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedTable::try_segment`].
+    pub fn segment_data(&self, i: usize) -> Result<SegmentData, TableError> {
+        if let Some(d) = self.cached_data(i) {
+            return Ok(d);
+        }
+        let span = self.spans[i].clone();
+        let path = self.spill[i]
+            .as_ref()
+            .expect("non-resident shard must have a spill file");
+        let cols = read_raw_segment(path, self.n_columns(), span.len())?;
+        let raw = Arc::new(RawSegment { span, cols });
+
+        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        cache.clock += 1;
+        let clock = cache.clock;
+        cache.loads += 1;
+        let data = match cache.resident.get_mut(&i) {
+            // A concurrent loader won the race; use whatever form it cached.
+            Some(entry) => {
+                entry.last_used = clock;
+                entry.seg.data()
+            }
+            None => {
+                cache.resident.insert(
+                    i,
+                    CacheEntry {
+                        seg: CachedSeg::Raw(Arc::clone(&raw)),
+                        last_used: clock,
+                    },
+                );
+                SegmentData::Raw(raw)
+            }
+        };
+        cache.note_size();
+        cache.evict_over_budget(self.resident_budget, self.residency);
+        Ok(data)
+    }
+
+    /// The shard's cached data in whichever form, or `None` on a miss —
+    /// never touches disk. Lets a scan prefer whatever is already resident
+    /// before deciding how to read.
+    pub fn cached_data(&self, i: usize) -> Option<SegmentData> {
+        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        cache.clock += 1;
+        let clock = cache.clock;
+        let data = {
+            let entry = cache.resident.get_mut(&i)?;
+            entry.last_used = clock;
+            entry.seg.data()
+        };
+        cache.evict_over_budget(self.resident_budget, self.residency);
+        Some(data)
+    }
+
+    /// Range-reads **only** `cols` of shard `i`'s spill file (one `pread`
+    /// per column via the file's offset table) and returns them in request
+    /// order. The result is *transient*: it is never inserted into the
+    /// residency cache, so a covered-rows scan that needs two of fifty
+    /// columns neither decodes the other forty-eight nor disturbs what is
+    /// resident. Counts as a load in [`ShardedTable::loads`].
+    ///
+    /// Callers should prefer [`ShardedTable::cached_data`] first; this is
+    /// the miss path for scans that touch few columns. Panics if the table
+    /// does not spill (fully-resident tables always hit `cached_data`).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedTable::try_segment`].
+    pub fn read_columns(&self, i: usize, cols: &[usize]) -> Result<Vec<RawColumn>, TableError> {
+        let span = self.spans[i].clone();
+        let path = self.spill[i]
+            .as_ref()
+            .expect("read_columns requires a spill file; resident shards always hit cached_data");
+        let out = read_spill_columns(path, cols, self.n_columns(), span.len())?;
+        self.cache.lock().expect("shard cache poisoned").loads += 1;
+        Ok(out)
+    }
+
+    /// Materializes `rows` (global ids, in the given order) into a new
+    /// in-memory [`Table`] that preserves the global dictionaries — see
+    /// [`Table::gather_rows`]. Infallible wrapper over
+    /// [`ShardedTable::try_gather_rows`].
+    pub fn gather_rows(&self, rows: &[RowId]) -> Table {
+        self.try_gather_rows(rows)
+            .expect("shard spill file must decode (written by this table)")
     }
 
     /// Materializes `rows` (global ids, in the given order) into a new
@@ -436,14 +748,20 @@ impl ShardedTable {
     /// reload a tiny-budget cache on nearly every row); the pins are
     /// released when the gather returns. The output is independent of the
     /// fetch strategy — rows are emitted strictly in the given order.
-    pub fn gather_rows(&self, rows: &[RowId]) -> Table {
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedTable::try_segment`].
+    pub fn try_gather_rows(&self, rows: &[RowId]) -> Result<Table, TableError> {
         if rows.is_empty() {
-            return self.header.header_only();
+            return Ok(self.header.header_only());
         }
         let mut segs: FxHashMap<usize, Arc<ShardSegment>> = FxHashMap::default();
         for &row in rows {
             let shard = self.shard_of_row(row);
-            segs.entry(shard).or_insert_with(|| self.segment(shard));
+            if let std::collections::hash_map::Entry::Vacant(slot) = segs.entry(shard) {
+                slot.insert(self.try_segment(shard)?);
+            }
         }
         // Group consecutive rows by shard (gather_multi part order = row
         // order).
@@ -464,7 +782,7 @@ impl ShardedTable {
             .iter()
             .map(|(seg, locals)| (seg.table(), locals.as_slice()))
             .collect();
-        Table::gather_multi(&borrowed)
+        Ok(Table::gather_multi(&borrowed))
     }
 
     /// Number of segments currently resident in the cache.
@@ -512,7 +830,7 @@ impl ShardedTable {
             .expect("shard cache poisoned")
             .resident
             .values()
-            .filter(|e| Arc::strong_count(&e.seg) > 1)
+            .filter(|e| e.seg.is_pinned())
             .count()
     }
 
@@ -539,7 +857,7 @@ impl ShardedTable {
             let pinned = cache
                 .resident
                 .values()
-                .filter(|e| Arc::strong_count(&e.seg) > 1)
+                .filter(|e| e.seg.is_pinned())
                 .count();
             if self.resident_budget == 0 || cache.resident.len() <= self.resident_budget + pinned {
                 return (cache.resident.len(), pinned);
@@ -560,6 +878,23 @@ impl ShardedTable {
     /// The spill file of shard `i`, if this table spills.
     pub fn spill_path(&self, i: usize) -> Option<&std::path::Path> {
         self.spill[i].as_deref()
+    }
+
+    /// Drops every cached segment that can be reloaded from its spill file
+    /// and is not pinned by an in-flight scan. Memory-pressure relief for
+    /// embedders and fault-injection hook for tests; the next access to a
+    /// dropped shard pays one spill read.
+    pub fn evict_all(&self) {
+        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        let mut dropped = 0u64;
+        cache.resident.retain(|&i, e| {
+            let keep = self.spill[i].is_none() || e.seg.is_pinned();
+            if !keep {
+                dropped += 1;
+            }
+            keep
+        });
+        cache.evictions += dropped;
     }
 }
 
@@ -825,10 +1160,10 @@ impl ShardBuilder {
                 cache.resident.insert(
                     i,
                     CacheEntry {
-                        seg: Arc::new(ShardSegment {
+                        seg: CachedSeg::Decoded(Arc::new(ShardSegment {
                             span: span.clone(),
                             table: segment_table(&header, &measures, span, cols),
-                        }),
+                        })),
                         last_used: cache.clock,
                     },
                 );
@@ -891,23 +1226,57 @@ fn segment_table(
 }
 
 // ---------------------------------------------------------------------------
-// Spill encoding: per column a local dictionary (`remap`: global codes in
-// first-appearance order) and the rows as local codes at the narrowest byte
-// width that fits the shard-local cardinality.
+// Spill encoding (v2, `SDDSHRD2`): per column a local dictionary (`remap`:
+// global codes in first-appearance order) and the rows as local codes at the
+// narrowest byte width that fits the shard-local cardinality. The fixed
+// header carries a per-column **offset table** so a reader can `pread`
+// exactly the column blobs it needs:
+//
+// ```text
+// magic[8] = "SDDSHRD2"
+// n_cols: u32 LE
+// n_rows: u32 LE
+// offsets: (n_cols + 1) × u64 LE     absolute file offsets; offsets[0] is
+//                                    the header length, offsets[c]..
+//                                    offsets[c+1] is column c's blob,
+//                                    offsets[n_cols] is the file length
+// column blob c:
+//   remap_len: u32 LE
+//   remap:     remap_len × u32 LE    local → global codes
+//   width:     u8 ∈ {1, 2, 4}
+//   data:      n_rows × width LE     packed local codes
+// ```
+//
+// Encoding is a pure function of a segment's global codes, so two builds of
+// the same rows produce byte-identical spill files (asserted in tests).
 // ---------------------------------------------------------------------------
 
-const SPILL_MAGIC: &[u8; 8] = b"SDDSHRD1";
+const SPILL_MAGIC: &[u8; 8] = b"SDDSHRD2";
+
+/// Byte length of the fixed header (magic + shape + offset table).
+fn header_len(n_cols: usize) -> usize {
+    16 + 8 * (n_cols + 1)
+}
+
+/// Largest possible column blob for `n_rows` rows: 4-byte `remap_len`, a
+/// remap of at most `n_rows` u32s (first-appearance order caps local
+/// cardinality at the row count), the width byte, and 4-byte codes. Used to
+/// reject corrupt offset tables before allocating read buffers from them.
+fn max_blob_len(n_rows: usize) -> u64 {
+    4 + 4 * n_rows as u64 + 1 + 4 * n_rows as u64
+}
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn corrupt(msg: &str) -> TableError {
+    TableError::Corrupt(msg.to_owned())
+}
+
 /// Encodes one shard's global-coded columns into the spill format.
 fn encode_segment(cols: &[Vec<u32>], n_rows: usize) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend_from_slice(SPILL_MAGIC);
-    put_u32(&mut out, cols.len() as u32);
-    put_u32(&mut out, n_rows as u32);
+    let mut blobs: Vec<Vec<u8>> = Vec::with_capacity(cols.len());
     let mut index: FxHashMap<u32, u32> = FxHashMap::default();
     for col in cols {
         debug_assert_eq!(col.len(), n_rows);
@@ -922,9 +1291,10 @@ fn encode_segment(cols: &[Vec<u32>], n_rows: usize) -> Vec<u8> {
                 })
             })
             .collect();
-        put_u32(&mut out, remap.len() as u32);
+        let mut blob = Vec::with_capacity(5 + 4 * remap.len() + locals.len());
+        put_u32(&mut blob, remap.len() as u32);
         for &g in &remap {
-            put_u32(&mut out, g);
+            put_u32(&mut blob, g);
         }
         let width: u8 = if remap.len() <= 0x100 {
             1
@@ -933,10 +1303,25 @@ fn encode_segment(cols: &[Vec<u32>], n_rows: usize) -> Vec<u8> {
         } else {
             4
         };
-        out.push(width);
+        blob.push(width);
         for &l in &locals {
-            out.extend_from_slice(&l.to_le_bytes()[..width as usize]);
+            blob.extend_from_slice(&l.to_le_bytes()[..width as usize]);
         }
+        blobs.push(blob);
+    }
+    let hdr = header_len(cols.len());
+    let mut out = Vec::with_capacity(hdr + blobs.iter().map(Vec::len).sum::<usize>());
+    out.extend_from_slice(SPILL_MAGIC);
+    put_u32(&mut out, cols.len() as u32);
+    put_u32(&mut out, n_rows as u32);
+    let mut off = hdr as u64;
+    out.extend_from_slice(&off.to_le_bytes());
+    for b in &blobs {
+        off += b.len() as u64;
+        out.extend_from_slice(&off.to_le_bytes());
+    }
+    for b in &blobs {
+        out.extend_from_slice(b);
     }
     out
 }
@@ -949,66 +1334,195 @@ fn write_segment(path: &std::path::Path, cols: &[Vec<u32>], n_rows: usize) -> io
     Ok(())
 }
 
-/// Decodes a spill file back into global-coded columns.
-fn decode_segment(
-    bytes: &[u8],
+/// Validates magic + shape and returns the absolute offset table
+/// (`n_cols + 1` entries; `offsets[c]..offsets[c+1]` is column `c`'s blob).
+/// `hdr` must hold at least [`header_len`]`(expect_cols)` bytes.
+fn parse_header(
+    hdr: &[u8],
     expect_cols: usize,
     expect_rows: usize,
-) -> io::Result<Vec<Vec<u32>>> {
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_owned());
+) -> Result<Vec<u64>, TableError> {
+    if hdr.len() < header_len(expect_cols) {
+        return Err(corrupt("truncated spill file"));
+    }
+    if &hdr[..8] != SPILL_MAGIC {
+        return Err(corrupt("bad spill magic"));
+    }
+    let rd_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4 bytes"));
+    let n_cols = rd_u32(&hdr[8..12]) as usize;
+    let n_rows = rd_u32(&hdr[12..16]) as usize;
+    if n_cols != expect_cols || n_rows != expect_rows {
+        return Err(corrupt("spill shape mismatch"));
+    }
+    let offsets: Vec<u64> = hdr[16..16 + 8 * (n_cols + 1)]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    let sane = offsets[0] == header_len(n_cols) as u64
+        && offsets
+            .windows(2)
+            .all(|w| w[0] <= w[1] && w[1] - w[0] <= max_blob_len(n_rows));
+    if !sane {
+        return Err(corrupt("bad spill offset table"));
+    }
+    Ok(offsets)
+}
+
+/// Parses one column blob (remap + width + packed codes), validating that
+/// every local code indexes `remap` — after this, `remap[code as usize]`
+/// never faults, which is what lets the pushdown scans index unchecked.
+fn parse_column_blob(blob: &[u8], n_rows: usize) -> Result<RawColumn, TableError> {
     let mut pos = 0usize;
-    let mut take = |n: usize| -> io::Result<&[u8]> {
-        let s = bytes
+    let mut take = |n: usize| -> Result<&[u8], TableError> {
+        let s = blob
             .get(pos..pos + n)
-            .ok_or_else(|| bad("truncated spill file"))?;
+            .ok_or_else(|| corrupt("truncated spill file"))?;
         pos += n;
         Ok(s)
     };
-    if take(8)? != SPILL_MAGIC {
-        return Err(bad("bad spill magic"));
-    }
     let rd_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4 bytes"));
-    let n_cols = rd_u32(take(4)?) as usize;
-    let n_rows = rd_u32(take(4)?) as usize;
-    if n_cols != expect_cols || n_rows != expect_rows {
-        return Err(bad("spill shape mismatch"));
+    let remap_len = rd_u32(take(4)?) as usize;
+    if remap_len > n_rows {
+        // First-appearance order caps local cardinality at the row count.
+        return Err(corrupt("remap larger than row count"));
     }
-    let mut cols = Vec::with_capacity(n_cols);
-    for _ in 0..n_cols {
-        let remap_len = rd_u32(take(4)?) as usize;
-        let remap_bytes = take(remap_len * 4)?;
-        let remap: Vec<u32> = remap_bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect();
-        let width = take(1)?[0] as usize;
-        if !matches!(width, 1 | 2 | 4) {
-            return Err(bad("bad code width"));
-        }
-        let data = take(n_rows * width)?;
-        let mut col = Vec::with_capacity(n_rows);
-        for chunk in data.chunks_exact(width) {
-            let mut raw = [0u8; 4];
-            raw[..width].copy_from_slice(chunk);
-            let local = u32::from_le_bytes(raw) as usize;
-            let global = *remap
-                .get(local)
-                .ok_or_else(|| bad("local code out of range"))?;
-            col.push(global);
-        }
-        cols.push(col);
+    let remap: Vec<u32> = take(remap_len * 4)?
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    let width = take(1)?[0];
+    if !matches!(width, 1 | 2 | 4) {
+        return Err(corrupt("bad code width"));
     }
-    Ok(cols)
+    let data = take(n_rows * width as usize)?;
+    let trailing = pos != blob.len();
+    let codes = match width {
+        1 => {
+            let v = data.to_vec();
+            if remap_len < 0x100 && v.iter().any(|&c| c as usize >= remap_len) {
+                return Err(corrupt("local code out of range"));
+            }
+            LocalCodes::W1(v)
+        }
+        2 => {
+            let v: Vec<u16> = data
+                .chunks_exact(2)
+                .map(|c| u16::from_le_bytes(c.try_into().expect("2 bytes")))
+                .collect();
+            if remap_len < 0x1_0000 && v.iter().any(|&c| c as usize >= remap_len) {
+                return Err(corrupt("local code out of range"));
+            }
+            LocalCodes::W2(v)
+        }
+        _ => {
+            let v: Vec<u32> = data
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            if v.iter().any(|&c| c as usize >= remap_len) {
+                return Err(corrupt("local code out of range"));
+            }
+            LocalCodes::W4(v)
+        }
+    };
+    if trailing {
+        return Err(corrupt("spill column blob has trailing bytes"));
+    }
+    Ok(RawColumn { remap, codes })
 }
 
-fn read_segment(
+/// Parses a whole spill file into raw (spill-coded) columns.
+fn parse_segment(
+    bytes: &[u8],
+    expect_cols: usize,
+    expect_rows: usize,
+) -> Result<Vec<RawColumn>, TableError> {
+    let offsets = parse_header(bytes, expect_cols, expect_rows)?;
+    if *offsets.last().expect("n_cols + 1 offsets") != bytes.len() as u64 {
+        return Err(corrupt("spill file length mismatch"));
+    }
+    (0..expect_cols)
+        .map(|c| {
+            let blob = &bytes[offsets[c] as usize..offsets[c + 1] as usize];
+            parse_column_blob(blob, expect_rows)
+        })
+        .collect()
+}
+
+fn read_raw_segment(
     path: &std::path::Path,
     expect_cols: usize,
     expect_rows: usize,
-) -> io::Result<Vec<Vec<u32>>> {
+) -> Result<Vec<RawColumn>, TableError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    decode_segment(&bytes, expect_cols, expect_rows)
+    parse_segment(&bytes, expect_cols, expect_rows)
+}
+
+/// Maps a short read to [`TableError::Corrupt`] (the file is shorter than
+/// its offset table claims), anything else to [`TableError::Io`].
+fn map_read_err(e: io::Error) -> TableError {
+    if e.kind() == io::ErrorKind::UnexpectedEof {
+        corrupt("truncated spill file")
+    } else {
+        TableError::from(e)
+    }
+}
+
+/// Reads exactly `buf.len()` bytes at absolute `offset` — `pread` on unix
+/// (positioned, no shared cursor, safe for concurrent readers of one
+/// `File`), seek + read elsewhere.
+fn read_at(f: &std::fs::File, offset: u64, buf: &mut [u8]) -> Result<(), TableError> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        f.read_exact_at(buf, offset).map_err(map_read_err)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom};
+        let mut f = f;
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf).map_err(map_read_err)
+    }
+}
+
+/// Range-reads only `wanted` columns of a spill file: the fixed header and
+/// offset table first, then one positioned read per requested column blob —
+/// a residency miss that touches two columns costs two column reads, not a
+/// whole-file parse.
+fn read_spill_columns(
+    path: &std::path::Path,
+    wanted: &[usize],
+    expect_cols: usize,
+    expect_rows: usize,
+) -> Result<Vec<RawColumn>, TableError> {
+    let f = std::fs::File::open(path)?;
+    let mut hdr = vec![0u8; header_len(expect_cols)];
+    read_at(&f, 0, &mut hdr)?;
+    let offsets = parse_header(&hdr, expect_cols, expect_rows)?;
+    wanted
+        .iter()
+        .map(|&c| {
+            assert!(c < expect_cols, "column {c} out of range");
+            let (start, end) = (offsets[c], offsets[c + 1]);
+            let mut blob = vec![0u8; (end - start) as usize];
+            read_at(&f, start, &mut blob)?;
+            parse_column_blob(&blob, expect_rows)
+        })
+        .collect()
+}
+
+/// Decodes raw spill columns into global-code columns via each column's
+/// `remap` (the loader validated every local code, so indexing is total).
+fn globalize(cols: &[RawColumn]) -> Vec<Vec<u32>> {
+    cols.iter()
+        .map(|col| match &col.codes {
+            LocalCodes::W1(v) => v.iter().map(|&l| col.remap[l as usize]).collect(),
+            LocalCodes::W2(v) => v.iter().map(|&l| col.remap[l as usize]).collect(),
+            LocalCodes::W4(v) => v.iter().map(|&l| col.remap[l as usize]).collect(),
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -1598,6 +2112,106 @@ mod tests {
         let _s2 = st.segment(2);
         assert_eq!(st.resident_count(), 1);
         assert_eq!(st.pinned(), 1);
+    }
+
+    #[test]
+    fn segment_data_serves_raw_form_and_upgrades_in_place() {
+        let table = t(50);
+        let st =
+            ShardedTable::from_table(&table, &ShardConfig::spilling(5, 2, spill_dir())).unwrap();
+        for i in 0..st.n_shards() {
+            let data = st.segment_data(i).unwrap();
+            let raw = match &data {
+                SegmentData::Raw(r) => r,
+                SegmentData::Decoded(_) => panic!("cold miss must load the raw form"),
+            };
+            assert_eq!(raw.span(), st.spans()[i].clone());
+            for c in 0..table.n_columns() {
+                let col = raw.col(c);
+                assert_eq!(col.codes().len(), st.spans()[i].len());
+                for (local, global) in st.spans()[i].clone().enumerate() {
+                    assert_eq!(col.global_at(local), table.code(global as RowId, c));
+                }
+                // Every remapped global code round-trips through the local
+                // translation, and absent codes report None.
+                for (l, &g) in col.remap().iter().enumerate() {
+                    assert_eq!(col.local_of_global(g), Some(l as u32));
+                }
+                let absent = table.cardinality(c) as u32 + 7;
+                assert_eq!(col.local_of_global(absent), None);
+            }
+        }
+        let loads = st.loads();
+        assert!(loads >= st.n_shards() as u64);
+        // Upgrading a still-cached raw entry decodes in memory: no new load.
+        let last = st.n_shards() - 1;
+        let seg = st.segment(last);
+        assert_eq!(st.loads(), loads, "raw upgrade must not re-read the file");
+        assert_eq!(seg.col(0), &table.column(0)[st.spans()[last].clone()]);
+        match st.cached_data(last) {
+            Some(SegmentData::Decoded(_)) => {}
+            other => panic!("entry must be upgraded in place, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_columns_is_transient_and_counts_loads() {
+        let table = t(60);
+        let st =
+            ShardedTable::from_table(&table, &ShardConfig::spilling(4, 1, spill_dir())).unwrap();
+        let loads0 = st.loads();
+        let cols = st.read_columns(2, &[1]).unwrap();
+        assert_eq!(cols.len(), 1);
+        for (local, global) in st.spans()[2].clone().enumerate() {
+            assert_eq!(cols[0].global_at(local), table.code(global as RowId, 1));
+        }
+        assert_eq!(
+            st.loads(),
+            loads0 + 1,
+            "a range read still counts as a load"
+        );
+        assert!(
+            st.cached_data(2).is_none(),
+            "transient reads must not populate the cache"
+        );
+        assert_eq!(st.resident_count(), 0);
+    }
+
+    #[test]
+    fn corrupt_spill_files_error_instead_of_panicking() {
+        let table = t(40);
+        let st =
+            ShardedTable::from_table(&table, &ShardConfig::spilling(4, 1, spill_dir())).unwrap();
+        let path = st.spill_path(1).unwrap().to_path_buf();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncation: the file is shorter than its offset table claims.
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        match st.try_segment(1) {
+            Err(TableError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(st.segment_data(1).is_err());
+        // The pread path hits the same wall one column at a time.
+        let last_col = table.n_columns() - 1;
+        assert!(matches!(
+            st.read_columns(1, &[last_col]),
+            Err(TableError::Corrupt(_))
+        ));
+
+        // Garbled magic.
+        let mut garbled = bytes.clone();
+        garbled[0] ^= 0xFF;
+        std::fs::write(&path, &garbled).unwrap();
+        assert!(matches!(st.try_segment(1), Err(TableError::Corrupt(m)) if m.contains("magic")));
+
+        // Restoring the bytes restores the segment: errors are not sticky.
+        std::fs::write(&path, &bytes).unwrap();
+        let seg = st.try_segment(1).unwrap();
+        assert_eq!(seg.col(0), &table.column(0)[st.spans()[1].clone()]);
+        // Other shards were never affected.
+        let s0 = st.segment(0);
+        assert_eq!(s0.span(), st.spans()[0].clone());
     }
 
     #[test]
