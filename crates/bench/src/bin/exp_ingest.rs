@@ -131,7 +131,10 @@ fn main() {
             std::fs::read(pb).expect("spill readable"),
             "shard {i}: stream vs from_table spill files differ"
         );
-        let (sa, sb) = (streamed.segment(i), mono_sharded.segment(i));
+        let (sa, sb) = (
+            streamed.try_segment(i).unwrap(),
+            mono_sharded.try_segment(i).unwrap(),
+        );
         for c in 0..streamed.n_columns() {
             assert_eq!(sa.col(c), sb.col(c), "shard {i} col {c} differs");
         }

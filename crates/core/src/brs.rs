@@ -139,6 +139,14 @@ impl<'w> Brs<'w> {
     /// `on_rule` is invoked after every greedy pick with the rule and its
     /// marginal gain; return `false` to stop (e.g. when the analyst issues
     /// a new command). `max_k` bounds the loop.
+    ///
+    /// The paper's time-limit variant ("alternatively, we can set a time
+    /// limit ... and display as many rules as we can find within that time
+    /// limit") is a caller-side callback — `|_, _| start.elapsed() < budget`
+    /// — see `examples/interactive_explorer.rs`. Core itself never reads
+    /// the wall clock: results must be a pure function of the input (lint
+    /// rule D002), and at least one rule is always searched because the
+    /// callback runs *after* each pick.
     pub fn run_streaming(
         &self,
         view: &TableView<'_>,
@@ -146,20 +154,6 @@ impl<'w> Brs<'w> {
         mut on_rule: impl FnMut(&Rule, f64) -> bool,
     ) -> BrsResult {
         self.run_inner(view, None, max_k, &mut on_rule)
-    }
-
-    /// Incremental BRS under a wall-clock budget (paper §6.1:
-    /// "alternatively, we can set a time limit ... and display as many
-    /// rules as we can find within that time limit"). At least one search
-    /// is attempted even for a zero budget.
-    pub fn run_for(
-        &self,
-        view: &TableView<'_>,
-        budget: std::time::Duration,
-        max_k: usize,
-    ) -> BrsResult {
-        let start = std::time::Instant::now();
-        self.run_streaming(view, max_k, |_, _| start.elapsed() < budget)
     }
 
     /// Runs the greedy loop with an optional drill-down base rule. The view
@@ -440,12 +434,20 @@ mod tests {
     }
 
     #[test]
-    fn run_for_returns_at_least_one_rule() {
+    fn deadline_callback_returns_at_least_one_rule() {
+        // The wall-clock budget lives with callers now (D002 keeps Instant
+        // out of core): a deadline is just a `run_streaming` callback.
         let table = t();
-        let res = Brs::new(&SizeWeight).run_for(&table.view(), std::time::Duration::ZERO, 10);
-        assert_eq!(res.rules.len(), 1);
-        let generous =
-            Brs::new(&SizeWeight).run_for(&table.view(), std::time::Duration::from_secs(5), 3);
+        let res = Brs::new(&SizeWeight).run_streaming(&table.view(), 10, |_, _| false);
+        assert_eq!(
+            res.rules.len(),
+            1,
+            "an exhausted budget still yields one rule"
+        );
+        let start = std::time::Instant::now();
+        let generous = Brs::new(&SizeWeight).run_streaming(&table.view(), 3, |_, _| {
+            start.elapsed() < std::time::Duration::from_secs(5)
+        });
         assert_eq!(generous.rules.len(), 3);
     }
 

@@ -125,6 +125,9 @@ pub(crate) struct Pass1Cands {
 /// Materializes rules for the supported codes of column `col`, gates them
 /// on `opts.max_weight`, and fills the code → weight table (`0.0` for
 /// unsupported or over-cap codes).
+///
+/// det-order: one sequential code-ascending scan; the `+=` accumulators
+/// are integer generation stats, and each weight slot is written once.
 pub(crate) fn pass1_candidates(
     table: &Table,
     base: &Rule,
@@ -181,6 +184,9 @@ pub(crate) fn level_blocks(level: &[Rule], base: &Rule) -> Vec<(usize, u32)> {
 ///
 /// Pure candidate bookkeeping — no row access — so the columnar, row-sliced,
 /// and sharded kernels share it verbatim.
+///
+/// det-order: single-threaded sweep in level order; the `+=` accumulators
+/// are integer search stats, never float partials.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn generate_level(
     table: &Table,
@@ -341,6 +347,9 @@ impl SearchScratch {
 /// Columnar implementation of Algorithm 2. See the module docs; results are
 /// bit-identical to [`crate::marginal::find_best_marginal_rule_rowwise`] in
 /// both scalar and parallel mode.
+///
+/// det-order: this orchestrator's own `+=` are integer stats; every float
+/// partial merge happens inside the pass helpers via `exec::reduce_pairwise`.
 pub(crate) fn find_best_marginal_rule_columnar(
     view: &TableView<'_>,
     weight: &dyn WeightFn,
@@ -501,6 +510,9 @@ pub(crate) fn find_best_marginal_rule_columnar(
 }
 
 /// `counts[code] += w` over one chunk of one column.
+///
+/// det-order: sequential scan in row order within the chunk; cross-chunk
+/// partials merge in fixed order via `exec::reduce_pairwise` in the caller.
 fn count_column(table: &Table, chunk: &ViewChunk<'_>, col: usize, counts: &mut [f64]) {
     let codes = table.column(col);
     match (chunk.contiguous_rows(), chunk.weights()) {
@@ -901,6 +913,9 @@ fn count_level(
 
 /// Probe-free dense counting of one group: a mixed-radix cell histogram over
 /// the group's columns, then candidate cells read off.
+///
+/// det-order: sequential scan in row order within the chunk; per-group
+/// chunk partials merge positionally via `exec::reduce_pairwise` upstream.
 fn count_group_dense(
     table: &Table,
     chunk: &ViewChunk<'_>,
@@ -954,6 +969,9 @@ fn count_group_dense(
 
 /// Sparse counting of one group via packed-key binary search (groups whose
 /// cell space exceeds [`DENSE_CELL_CAP`]).
+///
+/// det-order: sequential scan in row order within the chunk; per-group
+/// chunk partials merge positionally via `exec::reduce_pairwise` upstream.
 fn count_group_sparse(
     table: &Table,
     chunk: &ViewChunk<'_>,

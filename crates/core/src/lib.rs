@@ -79,7 +79,8 @@ pub use mw_estimate::estimate_mw;
 pub use reduction::{McpInstance, McpWeight};
 pub use rule::{Rule, RuleValue, STAR};
 pub use score::{
-    rule_count, score_list, score_set, sort_by_weight_desc, top_assignment, ListScore, RuleScore,
+    count_rules, rule_count, score_list, score_set, sort_by_weight_desc, top_assignment, ListScore,
+    RuleScore,
 };
 pub use session::{Node, Session, SessionError};
 pub use shard::{

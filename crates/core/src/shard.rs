@@ -361,9 +361,11 @@ pub fn count_rules_sharded(table: &ShardedTable, rules: &[Rule]) -> Vec<f64> {
     try_count_rules_sharded(table, rules).expect(SPILL_EXPECT)
 }
 
-/// Fallible [`count_rules_sharded`]. Counts are exact integers (a sum of
-/// `k` unit additions is exactly `k` in f64 for `k < 2^53`), so per-shard
-/// `u64` subtotals reproduce the monolithic unit-accumulation bitwise —
+/// Fallible [`count_rules_sharded`].
+///
+/// det-order: counts are exact integers (a sum of `k` unit additions is
+/// exactly `k` in f64 for `k < 2^53`), so per-shard `u64` subtotals
+/// reproduce the monolithic unit-accumulation bitwise —
 /// which frees each shard to use the SIMD count kernels over whichever
 /// form it holds.
 pub fn try_count_rules_sharded(
@@ -477,9 +479,11 @@ pub fn score_list_sharded(view: &ShardedView, weight: &dyn WeightFn, rules: &[Ru
     try_score_list_sharded(view, weight, rules).expect(SPILL_EXPECT)
 }
 
-/// Fallible [`score_list_sharded`]: positions are visited in order (shard
-/// runs partition them in order), so every accumulator receives the same
-/// additions in the same order as the monolithic scan. `MCount` is
+/// Fallible [`score_list_sharded`].
+///
+/// det-order: positions are visited in order (shard runs partition them in
+/// order), so every accumulator receives the same additions in the same
+/// order as the monolithic scan. `MCount` is
 /// first-rule-wins per row, which forces the row-at-a-time sweep; the
 /// pushdown contribution is per-shard predicate translation (raw shards
 /// test packed local codes, and a rule whose value is absent from a
@@ -609,7 +613,9 @@ pub fn find_best_marginal_rule_sharded(
 /// ([`crate::kernel`] shares them); only the row scans differ, and those
 /// follow the determinism contract in the module docs — so the result is
 /// bit-identical to [`crate::find_best_marginal_rule`] on the equivalent
-/// monolithic view, for any shard count, resident budget, and thread count.
+/// monolithic view, for any shard count, resident budget, and thread count
+/// (det-order: float merges delegate to the pass helpers below, which
+/// replay the monolithic operation order or reduce pairwise).
 /// Shards are consumed in whichever cached form they hold; spilled shards
 /// are counted straight off their packed local codes (see the module docs'
 /// pushdown section).
@@ -748,7 +754,9 @@ fn pass1_unit_counts_run(
 }
 
 /// One column's weighted pass-1 count accumulation over one run, in row
-/// order. Raw shards use the swap-in/swap-out trick (module docs): local
+/// order (det-order: runs arrive in position order, so the float operation
+/// sequence is the monolithic one). Raw shards use the swap-in/swap-out
+/// trick (module docs): local
 /// accumulators borrow and return the global slots' running values, so the
 /// float operation sequence matches the decoded scan exactly.
 fn pass1_count_run(
@@ -846,7 +854,8 @@ fn pass1_counts_sharded(
 }
 
 /// Pass-1 marginal sweep: one shared `f64` accumulator per column, runs in
-/// order (columns in parallel) — the monolithic operation order exactly.
+/// order (columns in parallel) — det-order: the monolithic operation order
+/// exactly, one run at a time.
 /// Raw shards swap the accumulator and the weight table into local code
 /// space for the run (`lw[l] = wtab[remap[l]]` is a pure relabeling).
 fn pass1_marginals_sharded(

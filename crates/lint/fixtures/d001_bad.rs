@@ -1,0 +1,7 @@
+//! Known-bad fixture for D001: std hash containers in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn build() -> usize {
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    m.len()
+}

@@ -1,0 +1,19 @@
+//! Known-good fixture for D001: fixed-hasher maps in source, std maps only
+//! inside test regions (tests may hash freely).
+use rustc_hash::FxHashMap;
+
+pub fn build() -> usize {
+    let m: FxHashMap<u32, u32> = FxHashMap::default();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch_map_in_test_is_fine() {
+        let m: HashMap<u32, u32> = std::collections::HashMap::new();
+        assert_eq!(m.len(), 0);
+    }
+}

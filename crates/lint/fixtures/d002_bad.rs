@@ -1,0 +1,15 @@
+//! Known-bad fixture for D002: wall-clock and thread-identity reads in a
+//! deterministic crate.
+
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn who_am_i() -> String {
+    format!("{:?}", std::thread::current().id())
+}

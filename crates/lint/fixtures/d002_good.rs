@@ -1,0 +1,27 @@
+//! Known-good fixture for D002: the deterministic crate takes a deadline
+//! callback instead of reading the clock itself; timing stays with the
+//! caller (bench/server). Tests may time themselves.
+
+pub fn run_until(mut keep_going: impl FnMut(usize) -> bool) -> usize {
+    let mut steps = 0;
+    while keep_going(steps) {
+        steps += 1;
+        if steps > 1_000 {
+            break;
+        }
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::run_until;
+
+    #[test]
+    fn caller_owns_the_clock() {
+        let start = std::time::Instant::now();
+        let budget = std::time::Duration::from_millis(5);
+        let steps = run_until(|_| start.elapsed() < budget);
+        assert!(steps <= 1_001);
+    }
+}

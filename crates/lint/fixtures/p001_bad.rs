@@ -1,0 +1,10 @@
+//! Known-bad fixture for P001: panics in spill-I/O code.
+
+pub fn header(bytes: &[u8]) -> u32 {
+    let first = bytes.first().copied().unwrap();
+    if first == 0 {
+        panic!("zero header byte");
+    }
+    let rest = bytes.get(1).copied().expect("one-byte file");
+    u32::from(first) + u32::from(rest)
+}

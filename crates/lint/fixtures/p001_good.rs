@@ -1,0 +1,23 @@
+//! Known-good fixture for P001: failures route through an error type;
+//! tests may unwrap.
+
+pub fn header(bytes: &[u8]) -> Result<u32, String> {
+    let Some(first) = bytes.first().copied() else {
+        return Err("empty spill file".to_owned());
+    };
+    if first == 0 {
+        return Err("zero header byte".to_owned());
+    }
+    Ok(u32::from(first))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::header;
+
+    #[test]
+    fn round_trip() {
+        assert_eq!(header(&[7]).unwrap(), 7);
+        header(&[]).expect_err("empty must fail");
+    }
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture for U001: undocumented unsafe.
+
+pub fn load(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+/// Adds one through a raw pointer (doc says nothing about safety).
+pub unsafe fn raw_add(p: *mut u32) {
+    *p += 1;
+}

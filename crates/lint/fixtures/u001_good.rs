@@ -1,0 +1,18 @@
+//! Known-good fixture for U001: every unsafe region states its discharged
+//! obligations.
+
+pub fn load(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is non-null, aligned, and valid
+    // for reads for the lifetime of this call.
+    unsafe { *p }
+}
+
+/// Adds one through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be non-null, aligned, and valid for reads and writes; no other
+/// reference to the pointee may exist during the call.
+pub unsafe fn raw_add(p: *mut u32) {
+    *p += 1;
+}

@@ -1,0 +1,7 @@
+//! Known-bad fixture for X001: a public sharded entry point with no
+//! monolithic twin and no parity-suite coverage.
+
+/// A sharded scan nobody can cross-check.
+pub fn orphan_scan_sharded(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}

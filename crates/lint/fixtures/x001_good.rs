@@ -1,0 +1,13 @@
+//! Known-good fixture for X001: the sharded entry point has a monolithic
+//! twin in the same crate; the parity suite (supplied separately by the
+//! self-test) calls the sharded name.
+
+/// Monolithic reference scan.
+pub fn paired_scan(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// Sharded twin of [`paired_scan`].
+pub fn paired_scan_sharded(xs: &[f64]) -> f64 {
+    paired_scan(xs)
+}

@@ -1,0 +1,120 @@
+//! The grandfathered-findings baseline.
+//!
+//! A baseline file holds findings that are acknowledged but not yet fixed:
+//! one finding per line as `RULE FILE MESSAGE`, `#` comments and blank
+//! lines ignored. Line *numbers* are deliberately not part of the format —
+//! a baseline must survive unrelated edits shifting code up and down — so
+//! findings match on (rule, file, message).
+//!
+//! The workspace policy (enforced by `tests/workspace_clean.rs` and the CI
+//! lint leg) is an **empty** baseline: new findings are fixed or explicitly
+//! allow-marked at the site, and the baseline exists only as a migration
+//! valve for future rule additions.
+
+use crate::Finding;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// A set of grandfathered findings.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Parses baseline text.
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = BTreeSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let (Some(rule), Some(file)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let message = parts.next().unwrap_or("").to_owned();
+            entries.insert((rule.to_owned(), file.to_owned(), message));
+        }
+        Baseline { entries }
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> std::io::Result<Baseline> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Ok(Baseline::parse(&text)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Serializes `findings` in baseline format (sorted, deduplicated).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: BTreeSet<String> = BTreeSet::new();
+        for f in findings {
+            lines.insert(format!("{} {} {}", f.rule, f.file, f.message));
+        }
+        let mut out = String::from(
+            "# sdd-lint baseline: grandfathered findings, one `RULE FILE MESSAGE` per line.\n\
+             # Matching ignores line numbers so unrelated edits never invalidate an entry.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// True when `f` is grandfathered.
+    pub fn contains(&self, f: &Finding) -> bool {
+        self.entries
+            .contains(&(f.rule.to_owned(), f.file.clone(), f.message.clone()))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no findings are grandfathered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str, msg: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_owned(),
+            line: 7,
+            message: msg.to_owned(),
+        }
+    }
+
+    #[test]
+    fn round_trip_ignores_lines_and_duplicates() {
+        let findings = vec![
+            f("P001", "crates/table/src/shard.rs", "msg one"),
+            f("P001", "crates/table/src/shard.rs", "msg one"),
+            f("D002", "crates/core/src/brs.rs", "msg two"),
+        ];
+        let text = Baseline::render(&findings);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.len(), 2, "duplicates collapse");
+        let mut shifted = f("P001", "crates/table/src/shard.rs", "msg one");
+        shifted.line = 999;
+        assert!(b.contains(&shifted), "line drift must not invalidate");
+        assert!(!b.contains(&f("P001", "crates/table/src/shard.rs", "other")));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let b = Baseline::parse("# header\n\nD001 a.rs uses HashMap\n");
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,516 @@
+//! A comment- and string-aware Rust token scanner.
+//!
+//! This is not a full Rust lexer — it is exactly enough structure for the
+//! rule engine: identifiers, punctuation (with the handful of compound
+//! operators the rules match on, `::` and `+=` foremost), and literals are
+//! emitted as code tokens; comments (line, block, doc) are collected
+//! separately with their line spans so marker and `// SAFETY:` rules can
+//! find them. Everything inside string/char literals and comments is
+//! opaque: a `"unwrap()"` in a string or an `Instant::now` in prose never
+//! reaches a rule.
+//!
+//! Handled syntax that naive scanners get wrong:
+//!
+//! * nested block comments (`/* /* */ */`),
+//! * raw strings with hash guards (`r#".."#`, `br##".."##`),
+//! * byte strings and byte chars (`b"..."`, `b'x'`),
+//! * lifetimes vs. char literals (`'a` vs. `'a'`),
+//! * raw identifiers (`r#type`).
+
+/// What a code token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// A lifetime (`'a`) — kept distinct so it is never mistaken for an
+    /// identifier.
+    Lifetime,
+    /// Punctuation; compound operators the rules care about (`::`, `+=`,
+    /// `->`, `=>`, `..`) come through as one token.
+    Punct,
+    /// String / raw string / byte string literal (content dropped).
+    Str,
+    /// Char / byte char literal (content dropped).
+    Char,
+    /// Numeric literal.
+    Num,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment with its 1-based line span (block comments may span lines).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body with the leading `//`/`///`/`/*` markers stripped.
+    pub text: String,
+    pub line: u32,
+    pub end_line: u32,
+    /// True for `///`, `//!`, `/**`, `/*!` doc comments.
+    pub doc: bool,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `src` into code tokens and comments. Never fails: unterminated
+/// constructs simply run to end of file (the real compiler will reject the
+/// file anyway; the linter stays quiet rather than guessing).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.quote(),
+                'r' if self.raw_string_ahead(1) => {
+                    self.bump(); // `r`
+                    self.raw_string();
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string();
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.bump(); // opening quote
+                    self.char_body();
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string();
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier `r#type`.
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    let name = self.ident_body();
+                    self.push_tok(TokKind::Ident, name, line);
+                }
+                c if is_ident_start(c) => {
+                    let line = self.line;
+                    let name = self.ident_body();
+                    self.push_tok(TokKind::Ident, name, line);
+                }
+                c if c.is_ascii_digit() => self.number(),
+                _ => self.punct(),
+            }
+        }
+        merge_adjacent_comments(&mut self.out.comments);
+        self.out
+    }
+
+    /// True when, starting `ahead` chars past an `r` (or `br`), the input
+    /// continues with zero or more `#` then `"` — i.e. a raw string opener.
+    fn raw_string_ahead(&self, mut ahead: usize) -> bool {
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    fn ident_body(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut doc = false;
+        if matches!(self.peek(0), Some('/') | Some('!')) {
+            doc = true;
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text: text.trim().to_owned(),
+            line,
+            end_line: line,
+            doc,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('*') | Some('!'))
+            // `/**/` is an empty plain comment, not a doc comment.
+            && !(self.peek(0) == Some('*') && self.peek(1) == Some('/'));
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: text.trim().to_owned(),
+            line,
+            end_line: self.line,
+            doc,
+        });
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_tok(TokKind::Str, String::new(), line);
+    }
+
+    /// A raw string whose `r`/`br` prefix is already consumed: counts the
+    /// opening hashes, then scans to `"` followed by that many hashes.
+    fn raw_string(&mut self) {
+        let line = self.line;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if self.peek(ahead) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push_tok(TokKind::Str, String::new(), line);
+    }
+
+    /// A `'`: either a char literal or a lifetime.
+    fn quote(&mut self) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            // `'\n'`, `'\''`, `'\u{..}'` — always a char literal.
+            Some('\\') => self.char_body(),
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char; `'a` (no closing quote after the ident
+                // run) is a lifetime. `'static` has no closing quote.
+                let line = self.line;
+                let mut ahead = 1;
+                while self.peek(ahead).is_some_and(is_ident_continue) {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some('\'') {
+                    self.char_body();
+                } else {
+                    let name = self.ident_body();
+                    self.push_tok(TokKind::Lifetime, name, line);
+                }
+            }
+            // `'('`, `'3'`, ... — a char literal of a non-ident char.
+            Some(_) => self.char_body(),
+            None => {}
+        }
+    }
+
+    /// Consumes a char literal body up to and including the closing quote
+    /// (the opening quote is already consumed).
+    fn char_body(&mut self) {
+        let line = self.line;
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push_tok(TokKind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..n` does not (the `..`
+                // range operator must stay punctuation).
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Num, s, line);
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let a = self.bump().unwrap_or(' ');
+        let b = self.peek(0);
+        // Compound operators the rules match on; everything else is fine as
+        // single chars.
+        let two = |b: char| format!("{a}{b}");
+        let text = match (a, b) {
+            (':', Some(':'))
+            | ('+', Some('='))
+            | ('-', Some('='))
+            | ('*', Some('='))
+            | ('/', Some('='))
+            | ('-', Some('>'))
+            | ('=', Some('>'))
+            | ('.', Some('.')) => {
+                let b = b.unwrap_or(' ');
+                self.bump();
+                if a == '.' && self.peek(0) == Some('=') {
+                    self.bump();
+                    "..=".to_owned()
+                } else {
+                    two(b)
+                }
+            }
+            _ => a.to_string(),
+        };
+        self.push_tok(TokKind::Punct, text, line);
+    }
+}
+
+/// Fuses runs of same-flavor comments on consecutive lines into one
+/// [`Comment`] spanning the whole run. A `///` doc block or a multi-line
+/// `//` explanation reads as a unit, so line-window rules (a `det-order:`
+/// or `SAFETY:` tag "near" an item) see the block, not its first line.
+/// Doc and plain comments never fuse with each other — the doc flag feeds
+/// the `# Safety` check, which must not match prose in a neighboring `//`.
+fn merge_adjacent_comments(comments: &mut Vec<Comment>) {
+    let mut merged: Vec<Comment> = Vec::with_capacity(comments.len());
+    for c in comments.drain(..) {
+        match merged.last_mut() {
+            Some(prev) if prev.doc == c.doc && c.line == prev.end_line + 1 => {
+                prev.end_line = c.end_line;
+                prev.text.push('\n');
+                prev.text.push_str(&c.text);
+            }
+            _ => merged.push(c),
+        }
+    }
+    *comments = merged;
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r#"
+            // calls unwrap() in prose
+            /* Instant::now in a block */
+            let s = "HashMap::new and unwrap()";
+            let c = 'x';
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_owned()));
+        assert!(!ids.contains(&"Instant".to_owned()));
+        assert!(!ids.contains(&"HashMap".to_owned()));
+        assert_eq!(ids, vec!["let", "s", "let", "c"]);
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let src = r####"let x = r#"unwrap() "quoted" more"# ; let y = 1;"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { 'l' ; x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        assert_eq!(
+            lexed
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        let texts: Vec<String> = lex("a += b; c::d; 0..n; e..=f")
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text)
+            .collect();
+        assert!(texts.contains(&"+=".to_owned()));
+        assert!(texts.contains(&"::".to_owned()));
+        assert!(texts.contains(&"..".to_owned()));
+        assert!(texts.contains(&"..=".to_owned()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("0..chunks");
+        assert_eq!(toks.toks[0].text, "0");
+        assert_eq!(toks.toks[1].text, "..");
+        assert_eq!(toks.toks[2].text, "chunks");
+        let toks = lex("1.5f64");
+        assert_eq!(toks.toks[0].text, "1.5f64");
+    }
+
+    #[test]
+    fn comment_lines_and_doc_flags() {
+        let src = "/// doc\n// plain\nfn f() {}\n/* block\nspans */";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(lexed.comments[0].doc);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[1].doc);
+        assert_eq!(lexed.comments[2].line, 4);
+        assert_eq!(lexed.comments[2].end_line, 5);
+    }
+
+    #[test]
+    fn adjacent_same_flavor_comments_merge() {
+        let src = "/// one\n/// two\n/// three\nfn f() {}\n// a\n// b\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2, "doc block + plain block");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert!(lexed.comments[0].text.contains("two"));
+        assert!(!lexed.comments[1].doc);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        assert_eq!(
+            idents(r#"let m = b"SDDSHRD2"; let c = b'\n';"#),
+            vec!["let", "m", "let", "c"]
+        );
+    }
+}

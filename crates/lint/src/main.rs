@@ -1,0 +1,171 @@
+//! The `sdd-lint` command-line front end.
+//!
+//! ```text
+//! sdd-lint [--root DIR] [--rules A,B] [--deny-all] [--baseline FILE]
+//!          [--write-baseline FILE] [--list-rules]
+//! ```
+//!
+//! Output is machine-readable, one finding per line:
+//! `file:line RULE message`. Exit codes: `0` clean (or all findings
+//! grandfathered), `1` new findings, `2` usage/I-O error.
+
+use sdd_lint::baseline::Baseline;
+use sdd_lint::{find_workspace_root, lint_workspace, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: sdd-lint [options]
+  --root DIR            workspace root (default: nearest [workspace] Cargo.toml)
+  --rules A,B           run only these rules (default: all)
+  --deny-all            ignore the baseline; every finding fails the run
+  --baseline FILE       grandfathered findings (default: lint-baseline.txt at root)
+  --write-baseline FILE write current findings as a new baseline and exit 0
+  --list-rules          print the rule catalog and exit
+  -h, --help            this text";
+
+struct Opts {
+    root: Option<PathBuf>,
+    rules: Option<Vec<String>>,
+    deny_all: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Opts, String> {
+    let mut o = Opts {
+        root: None,
+        rules: None,
+        deny_all: false,
+        baseline: None,
+        write_baseline: None,
+        list_rules: false,
+    };
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "--root" => o.root = Some(PathBuf::from(value("--root")?)),
+            "--rules" => {
+                let list: Vec<String> = value("--rules")?
+                    .split(',')
+                    .map(|r| r.trim().to_owned())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                for r in &list {
+                    if !rules::known_rule(r) {
+                        return Err(format!("unknown rule {r} (see --list-rules)"));
+                    }
+                }
+                o.rules = Some(list);
+            }
+            "--deny-all" => o.deny_all = true,
+            "--baseline" => o.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                o.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
+            }
+            "--list-rules" => o.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("sdd-lint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for r in rules::RULES {
+            println!("{}  {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("sdd-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let selected = opts.rules;
+    let enabled = |rule: &str| {
+        selected
+            .as_ref()
+            .is_none_or(|s| s.iter().any(|r| r == rule))
+    };
+
+    let findings = match lint_workspace(&root, &enabled) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("sdd-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = opts.write_baseline {
+        let text = Baseline::render(&findings);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("sdd-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "sdd-lint: wrote {} finding(s) to {}",
+            findings.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.deny_all {
+        Baseline::default()
+    } else {
+        let path = opts
+            .baseline
+            .unwrap_or_else(|| root.join("lint-baseline.txt"));
+        match Baseline::load(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("sdd-lint: read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let mut new = 0usize;
+    let mut grandfathered = 0usize;
+    for f in &findings {
+        if baseline.contains(f) {
+            grandfathered += 1;
+        } else {
+            println!("{f}");
+            new += 1;
+        }
+    }
+    if new == 0 {
+        if grandfathered > 0 {
+            eprintln!("sdd-lint: clean ({grandfathered} grandfathered)");
+        } else {
+            eprintln!("sdd-lint: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sdd-lint: {new} finding(s)");
+        ExitCode::from(1)
+    }
+}

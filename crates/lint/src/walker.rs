@@ -1,0 +1,521 @@
+//! A lightweight item walker over the token stream.
+//!
+//! One pass over a [`Lexed`] file recovers exactly the structure the rules
+//! need — no AST, no type information:
+//!
+//! * **function items**: name, visibility, `unsafe`-ness, signature line,
+//!   and body token range (via brace matching);
+//! * **test regions**: bodies of `#[cfg(test)]` modules/functions and
+//!   `#[test]` functions — rules skip code inside them;
+//! * **unsafe blocks**: `unsafe {` sites (as opposed to `unsafe fn` /
+//!   `unsafe impl` / `unsafe trait` / `unsafe extern`);
+//! * **`use` declarations**: flattened path text, for import-based rules;
+//! * **suppression markers**: `// sdd-lint: allow(RULE, ...) reason`
+//!   comments, plus free-form justification tags like `det-order:`.
+
+use crate::lexer::{lex, Comment, Lexed, Tok, TokKind};
+use std::ops::Range;
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// `pub` with no restriction (`pub(crate)`/`pub(super)` are not pub
+    /// for API-surface rules like X001).
+    pub is_pub: bool,
+    pub is_unsafe: bool,
+    /// Token-index range of the body, `{` .. matching `}` inclusive.
+    /// Empty for bodiless declarations (trait methods, extern fns).
+    pub body: Range<usize>,
+    /// True when the item sits inside a test region or carries `#[test]` /
+    /// `#[cfg(test)]` itself.
+    pub in_test: bool,
+}
+
+/// One `unsafe {` block site.
+#[derive(Debug, Clone)]
+pub struct UnsafeBlock {
+    pub line: u32,
+    /// Token index of the `unsafe` keyword.
+    pub tok: usize,
+    pub in_test: bool,
+}
+
+/// One flattened `use` declaration.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Token texts joined with spaces (`use std :: collections :: HashMap`).
+    pub text: String,
+    /// Line of the `use` keyword.
+    pub line: u32,
+    /// Token index of the `use` keyword (for test-region checks).
+    pub tok: usize,
+}
+
+/// One suppression marker: `sdd-lint: allow(D001) reason` (one or more
+/// comma-separated rules). The marker suppresses findings on its own line
+/// and on the line directly below it.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    pub rules: Vec<String>,
+    pub reason: String,
+    pub line: u32,
+    pub end_line: u32,
+}
+
+/// The parsed model of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    pub lexed: Lexed,
+    pub fns: Vec<FnItem>,
+    pub unsafe_blocks: Vec<UnsafeBlock>,
+    /// Token-index ranges of test code.
+    pub test_regions: Vec<Range<usize>>,
+    /// Flattened `use` declarations (token texts joined, e.g.
+    /// `use std :: collections :: HashMap ;`).
+    pub uses: Vec<UseDecl>,
+    pub markers: Vec<AllowMarker>,
+}
+
+impl FileModel {
+    /// Parses `src` into a file model.
+    pub fn parse(src: &str) -> FileModel {
+        build(lex(src))
+    }
+
+    /// True when token index `i` falls inside test code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&i))
+    }
+
+    /// The tokens.
+    pub fn toks(&self) -> &[Tok] {
+        &self.lexed.toks
+    }
+
+    /// The comments.
+    pub fn comments(&self) -> &[Comment] {
+        &self.lexed.comments
+    }
+
+    /// True when a marker naming `rule` covers `line` (markers cover their
+    /// own line span and the line directly below) with a non-empty reason —
+    /// a bare `allow(...)` with no justification does not suppress.
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.markers.iter().any(|m| {
+            !m.reason.is_empty()
+                && m.rules.iter().any(|r| r == rule)
+                && line >= m.line
+                && line <= m.end_line + 1
+        })
+    }
+
+    /// True when some comment whose span intersects `lines` contains
+    /// `needle` (used for `det-order:` justifications and `SAFETY:` tags).
+    pub fn comment_in_lines(&self, lines: Range<u32>, needle: &str) -> bool {
+        self.comments()
+            .iter()
+            .any(|c| c.end_line >= lines.start && c.line < lines.end && c.text.contains(needle))
+    }
+
+    /// The source line of token `i`, or `0` past the end.
+    pub fn line_of(&self, i: usize) -> u32 {
+        self.toks().get(i).map_or(0, |t| t.line)
+    }
+
+    /// Last line of a token range (for mapping body ranges to line spans).
+    pub fn end_line_of(&self, r: &Range<usize>) -> u32 {
+        if r.is_empty() {
+            return 0;
+        }
+        self.line_of(r.end.saturating_sub(1))
+    }
+}
+
+fn is_kw(t: &Tok, kw: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == kw
+}
+
+fn is_punct(t: &Tok, p: &str) -> bool {
+    t.kind == TokKind::Punct && t.text == p
+}
+
+/// Builds the brace match map: for each `{` token index, the index of its
+/// matching `}`. Lexing already removed braces in strings/comments, so
+/// plain counting is exact.
+fn match_braces(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut map = vec![None; toks.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if is_punct(t, "{") {
+            stack.push(i);
+        } else if is_punct(t, "}") {
+            if let Some(open) = stack.pop() {
+                map[open] = Some(i);
+            }
+        }
+    }
+    map
+}
+
+fn parse_markers(comments: &[Comment]) -> Vec<AllowMarker> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("sdd-lint:") else {
+            continue;
+        };
+        let rest = c.text[at + "sdd-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let reason = rest[close + 1..].trim().to_owned();
+        if !rules.is_empty() {
+            out.push(AllowMarker {
+                rules,
+                reason,
+                line: c.line,
+                end_line: c.end_line,
+            });
+        }
+    }
+    out
+}
+
+fn build(lexed: Lexed) -> FileModel {
+    let toks = &lexed.toks;
+    let braces = match_braces(toks);
+
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut unsafe_blocks: Vec<UnsafeBlock> = Vec::new();
+    let mut test_regions: Vec<Range<usize>> = Vec::new();
+    let mut uses: Vec<UseDecl> = Vec::new();
+
+    // Attributes seen since the last item, flattened to text.
+    let mut pending_attrs: Vec<String> = Vec::new();
+    // `pub` (unrestricted) seen since the last item.
+    let mut pending_pub = false;
+    let mut pending_unsafe = false;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if is_punct(t, "#") {
+            // Attribute: `#[...]` or `#![...]`. Collect bracket-balanced.
+            let mut j = i + 1;
+            if j < toks.len() && is_punct(&toks[j], "!") {
+                j += 1;
+            }
+            if j < toks.len() && is_punct(&toks[j], "[") {
+                let mut depth = 0usize;
+                let mut text = String::new();
+                while j < toks.len() {
+                    let tj = &toks[j];
+                    if is_punct(tj, "[") {
+                        depth += 1;
+                        if depth == 1 {
+                            // The outer delimiters stay out of the text so
+                            // `#[test]` flattens to exactly `test`.
+                            j += 1;
+                            continue;
+                        }
+                    } else if is_punct(tj, "]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    if !text.is_empty() {
+                        text.push(' ');
+                    }
+                    text.push_str(&tj.text);
+                    j += 1;
+                }
+                pending_attrs.push(text);
+                i = j;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+
+        if is_kw(t, "pub") {
+            // `pub(crate)` / `pub(super)` / `pub(in ...)` are restricted.
+            if i + 1 < toks.len() && is_punct(&toks[i + 1], "(") {
+                let mut j = i + 2;
+                let mut depth = 1usize;
+                while j < toks.len() && depth > 0 {
+                    if is_punct(&toks[j], "(") {
+                        depth += 1;
+                    } else if is_punct(&toks[j], ")") {
+                        depth -= 1;
+                    }
+                    j += 1;
+                }
+                i = j;
+            } else {
+                pending_pub = true;
+                i += 1;
+            }
+            continue;
+        }
+
+        if is_kw(t, "unsafe") {
+            match toks.get(i + 1) {
+                Some(next) if is_punct(next, "{") => {
+                    unsafe_blocks.push(UnsafeBlock {
+                        line: t.line,
+                        tok: i,
+                        in_test: false, // filled below once regions are known
+                    });
+                    i += 1;
+                    continue;
+                }
+                // `unsafe fn` — remember for the fn item; `unsafe impl` /
+                // `unsafe trait` / `unsafe extern` carry no obligations for
+                // our rules.
+                Some(next) if is_kw(next, "fn") => {
+                    pending_unsafe = true;
+                    i += 1;
+                    continue;
+                }
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+
+        if is_kw(t, "use") {
+            let line = t.line;
+            let tok = i;
+            let mut text = String::from("use");
+            let mut j = i + 1;
+            while j < toks.len() && !is_punct(&toks[j], ";") {
+                text.push(' ');
+                text.push_str(&toks[j].text);
+                j += 1;
+            }
+            uses.push(UseDecl { text, line, tok });
+            i = j + 1;
+            pending_attrs.clear();
+            pending_pub = false;
+            continue;
+        }
+
+        if is_kw(t, "mod") {
+            // `mod name {` or `mod name;`
+            let attrs = std::mem::take(&mut pending_attrs);
+            pending_pub = false;
+            let mut j = i + 1;
+            while j < toks.len() && !is_punct(&toks[j], "{") && !is_punct(&toks[j], ";") {
+                j += 1;
+            }
+            if j < toks.len() && is_punct(&toks[j], "{") {
+                if attrs_mark_test(&attrs) {
+                    let close = braces[j].unwrap_or(toks.len());
+                    test_regions.push(j..close + 1);
+                }
+                // Descend into the module body normally.
+                i = j + 1;
+            } else {
+                i = j + 1;
+            }
+            continue;
+        }
+
+        if is_kw(t, "fn") {
+            let attrs = std::mem::take(&mut pending_attrs);
+            let is_pub = std::mem::take(&mut pending_pub);
+            let is_unsafe = std::mem::take(&mut pending_unsafe);
+            let line = t.line;
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                // `fn(..)` pointer type, not an item.
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text.clone();
+            // Scan to the body `{` or a bodiless `;`.
+            let mut j = i + 2;
+            let mut body = 0..0;
+            while j < toks.len() {
+                if is_punct(&toks[j], "{") {
+                    let close = braces[j].unwrap_or(toks.len().saturating_sub(1));
+                    body = j..close + 1;
+                    break;
+                }
+                if is_punct(&toks[j], ";") {
+                    break;
+                }
+                j += 1;
+            }
+            let fn_test = attrs_mark_test(&attrs);
+            if fn_test && !body.is_empty() {
+                test_regions.push(body.clone());
+            }
+            fns.push(FnItem {
+                name,
+                line,
+                is_pub,
+                is_unsafe,
+                body,
+                in_test: fn_test, // merged with region info below
+            });
+            // Do NOT jump past the body: nested fns/unsafe blocks inside
+            // it must still be visited.
+            i += 2;
+            continue;
+        }
+
+        // Any other item-ish token consumes pending modifiers so `pub
+        // struct` etc. don't leak onto a later fn.
+        if matches!(t.kind, TokKind::Ident)
+            && matches!(
+                t.text.as_str(),
+                "struct" | "enum" | "trait" | "impl" | "static" | "const" | "type" | "extern"
+            )
+        {
+            pending_attrs.clear();
+            pending_pub = false;
+        }
+        i += 1;
+    }
+
+    // Resolve test membership now that all regions are known.
+    for f in &mut fns {
+        if !f.in_test {
+            let probe = f.body.start;
+            f.in_test = test_regions
+                .iter()
+                .any(|r| r.contains(&probe) && *r != f.body);
+        }
+    }
+    for b in &mut unsafe_blocks {
+        b.in_test = test_regions.iter().any(|r| r.contains(&b.tok));
+    }
+
+    let markers = parse_markers(&lexed.comments);
+    FileModel {
+        fns,
+        unsafe_blocks,
+        test_regions,
+        uses,
+        markers,
+        lexed,
+    }
+}
+
+/// True when an attribute list marks an item as test code: `#[test]`,
+/// `#[cfg(test)]`, or any cfg containing the bare `test` predicate.
+fn attrs_mark_test(attrs: &[String]) -> bool {
+    attrs.iter().any(|a| {
+        a == "test" || (a.starts_with("cfg") && a.contains("test")) || a.contains(":: test")
+        // e.g. `proptest !` excluded; `tokio :: test`
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_fns_and_visibility() {
+        let m =
+            FileModel::parse("pub fn a() {} fn b() {} pub(crate) fn c() {} pub unsafe fn d() {}");
+        let names: Vec<(&str, bool, bool)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.is_pub, f.is_unsafe))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("a", true, false),
+                ("b", false, false),
+                ("c", false, false),
+                ("d", true, true)
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let m = FileModel::parse(
+            "fn prod() { let x = 1; }\n#[cfg(test)]\nmod tests {\n fn helper() {}\n #[test]\n fn t() {}\n}",
+        );
+        assert!(!m.fns[0].in_test);
+        assert!(m.fns[1].in_test, "helper inside cfg(test) mod");
+        assert!(m.fns[2].in_test);
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_test_region() {
+        let m = FileModel::parse("#[test]\nfn t() { boom(); }\nfn prod() {}");
+        assert!(m.fns[0].in_test);
+        assert!(!m.fns[1].in_test);
+    }
+
+    #[test]
+    fn unsafe_blocks_vs_unsafe_fns() {
+        let m = FileModel::parse(
+            "unsafe fn f() { } fn g() { unsafe { h(); } } unsafe impl Send for X {}",
+        );
+        assert_eq!(m.unsafe_blocks.len(), 1);
+        assert!(m.fns[0].is_unsafe);
+        assert!(!m.fns[1].is_unsafe);
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_visited() {
+        let m = FileModel::parse("fn outer() { fn inner() { unsafe { x(); } } }");
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.unsafe_blocks.len(), 1);
+    }
+
+    #[test]
+    fn markers_parse_rules_and_reason() {
+        let m = FileModel::parse(
+            "// sdd-lint: allow(D001, P001) keys sorted before iteration\nlet x = 1;\n// sdd-lint: allow(D002)\nlet y = 2;",
+        );
+        assert_eq!(m.markers.len(), 2);
+        assert_eq!(m.markers[0].rules, vec!["D001", "P001"]);
+        assert!(m.allows("D001", 1));
+        assert!(m.allows("P001", 2), "marker covers the next line");
+        assert!(!m.allows("D001", 3));
+        assert!(
+            !m.allows("D002", 4),
+            "marker without a reason must not suppress"
+        );
+    }
+
+    #[test]
+    fn use_decls_are_flattened() {
+        let m = FileModel::parse(
+            "use std::collections::{HashMap, HashSet};\nuse rustc_hash::FxHashMap;",
+        );
+        assert_eq!(m.uses.len(), 2);
+        assert!(m.uses[0].text.contains("std :: collections"));
+        assert!(m.uses[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn body_ranges_cover_braces() {
+        let m = FileModel::parse("fn f(a: u32) -> u32 { if a > 0 { a } else { 0 } }");
+        let f = &m.fns[0];
+        assert!(m.toks()[f.body.start].text == "{");
+        assert!(m.toks()[f.body.end - 1].text == "}");
+    }
+}

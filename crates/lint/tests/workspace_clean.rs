@@ -1,0 +1,25 @@
+//! The workspace-level gate, as a test: linting the real workspace with
+//! **every** rule enabled and an **empty** baseline must produce zero
+//! findings — the same bar CI's `cargo run -p sdd-lint -- --deny-all` leg
+//! enforces. If this test fails, either fix the finding or allow-mark it
+//! at the site with a reason (see `docs/DETERMINISM.md`); the baseline
+//! file is reserved for grandfathering future rule additions.
+
+use sdd_lint::{find_workspace_root, lint_workspace};
+use std::path::Path;
+
+#[test]
+fn workspace_is_deny_all_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/lint");
+    let findings = lint_workspace(&root, &|_| true).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean under --deny-all; findings:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

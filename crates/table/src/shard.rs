@@ -431,11 +431,12 @@ impl ShardedTable {
         let header = Arc::new(table.header_only());
         let measures: Vec<(String, Vec<f64>)> = table
             .measure_names()
-            .map(|n| {
-                (
-                    n.to_owned(),
-                    table.measure(n).expect("own measure").to_vec(),
-                )
+            .filter_map(|n| {
+                // Listed names always resolve on their own table; the filter
+                // only exists to keep this path panic-free.
+                let m = table.measure(n);
+                debug_assert!(m.is_ok(), "measure {n} listed but missing");
+                Some((n.to_owned(), m.ok()?.to_vec()))
             })
             .collect();
 
@@ -535,17 +536,13 @@ impl ShardedTable {
         self.spans.partition_point(|s| s.end <= r)
     }
 
-    /// The segment for shard `i`, loading it from spill on a cache miss and
-    /// evicting least-recently-used segments beyond the resident budget.
-    /// The returned `Arc` keeps the segment alive regardless of eviction.
-    ///
-    /// Infallible wrapper over [`ShardedTable::try_segment`] for callers
-    /// that treat a damaged spill file as unrecoverable (a file this table
-    /// wrote itself). Server-facing paths use `try_segment` and surface the
-    /// error instead.
-    pub fn segment(&self, i: usize) -> Arc<ShardSegment> {
-        self.try_segment(i)
-            .expect("shard spill file must decode (written by this table)")
+    /// Locks the residency cache, tolerating a poisoned lock: the cache is
+    /// bookkeeping (clock, counters, resident map) mutated in small
+    /// always-consistent steps, so a peer that panicked while holding the
+    /// lock cannot have left it torn — continuing is strictly better than
+    /// cascading the panic into spill-I/O paths that promise not to.
+    fn cache(&self) -> std::sync::MutexGuard<'_, Cache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The segment for shard `i` in decoded (global-code) form, loading —
@@ -568,7 +565,7 @@ impl ShardedTable {
         let span = self.spans[i].clone();
         let mut raw_hit: Option<Arc<RawSegment>> = None;
         {
-            let mut cache = self.cache.lock().expect("shard cache poisoned");
+            let mut cache = self.cache();
             cache.clock += 1;
             let clock = cache.clock;
             let mut decoded_hit: Option<Arc<ShardSegment>> = None;
@@ -593,9 +590,14 @@ impl ShardedTable {
         let cols: Vec<Vec<u32>> = match &raw_hit {
             Some(raw) => globalize(&raw.cols),
             None => {
-                let path = self.spill[i]
-                    .as_ref()
-                    .expect("non-resident shard must have a spill file");
+                let Some(path) = self.spill[i].as_ref() else {
+                    // Unreachable by construction: a shard is either resident
+                    // or spilled. Surface as an error, not a panic.
+                    debug_assert!(false, "non-resident shard {i} has no spill file");
+                    return Err(TableError::Io(format!(
+                        "shard {i} is neither resident nor spilled"
+                    )));
+                };
                 globalize(&read_raw_segment(path, self.n_columns(), span.len())?)
             }
         };
@@ -605,7 +607,7 @@ impl ShardedTable {
             table: segment_table(&self.header, &self.measures, &span, cols),
         });
 
-        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        let mut cache = self.cache();
         cache.clock += 1;
         let clock = cache.clock;
         if from_disk {
@@ -658,13 +660,16 @@ impl ShardedTable {
             return Ok(d);
         }
         let span = self.spans[i].clone();
-        let path = self.spill[i]
-            .as_ref()
-            .expect("non-resident shard must have a spill file");
+        let Some(path) = self.spill[i].as_ref() else {
+            debug_assert!(false, "non-resident shard {i} has no spill file");
+            return Err(TableError::Io(format!(
+                "shard {i} is neither resident nor spilled"
+            )));
+        };
         let cols = read_raw_segment(path, self.n_columns(), span.len())?;
         let raw = Arc::new(RawSegment { span, cols });
 
-        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        let mut cache = self.cache();
         cache.clock += 1;
         let clock = cache.clock;
         cache.loads += 1;
@@ -694,7 +699,7 @@ impl ShardedTable {
     /// never touches disk. Lets a scan prefer whatever is already resident
     /// before deciding how to read.
     pub fn cached_data(&self, i: usize) -> Option<SegmentData> {
-        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        let mut cache = self.cache();
         cache.clock += 1;
         let clock = cache.clock;
         let data = {
@@ -714,29 +719,24 @@ impl ShardedTable {
     /// resident. Counts as a load in [`ShardedTable::loads`].
     ///
     /// Callers should prefer [`ShardedTable::cached_data`] first; this is
-    /// the miss path for scans that touch few columns. Panics if the table
-    /// does not spill (fully-resident tables always hit `cached_data`).
+    /// the miss path for scans that touch few columns.
     ///
     /// # Errors
     ///
-    /// As [`ShardedTable::try_segment`].
+    /// As [`ShardedTable::try_segment`]; additionally [`TableError::Io`]
+    /// when the table does not spill (fully-resident tables always hit
+    /// `cached_data`, so a miss here means the caller skipped it).
     pub fn read_columns(&self, i: usize, cols: &[usize]) -> Result<Vec<RawColumn>, TableError> {
         let span = self.spans[i].clone();
-        let path = self.spill[i]
-            .as_ref()
-            .expect("read_columns requires a spill file; resident shards always hit cached_data");
+        let Some(path) = self.spill[i].as_ref() else {
+            debug_assert!(false, "read_columns on a non-spilling table");
+            return Err(TableError::Io(format!(
+                "shard {i} has no spill file to range-read; use cached_data first"
+            )));
+        };
         let out = read_spill_columns(path, cols, self.n_columns(), span.len())?;
-        self.cache.lock().expect("shard cache poisoned").loads += 1;
+        self.cache().loads += 1;
         Ok(out)
-    }
-
-    /// Materializes `rows` (global ids, in the given order) into a new
-    /// in-memory [`Table`] that preserves the global dictionaries — see
-    /// [`Table::gather_rows`]. Infallible wrapper over
-    /// [`ShardedTable::try_gather_rows`].
-    pub fn gather_rows(&self, rows: &[RowId]) -> Table {
-        self.try_gather_rows(rows)
-            .expect("shard spill file must decode (written by this table)")
     }
 
     /// Materializes `rows` (global ids, in the given order) into a new
@@ -787,21 +787,17 @@ impl ShardedTable {
 
     /// Number of segments currently resident in the cache.
     pub fn resident_count(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("shard cache poisoned")
-            .resident
-            .len()
+        self.cache().resident.len()
     }
 
     /// Cumulative spill-file loads (cache misses) since construction.
     pub fn loads(&self) -> u64 {
-        self.cache.lock().expect("shard cache poisoned").loads
+        self.cache().loads
     }
 
     /// Cumulative evictions since construction.
     pub fn evictions(&self) -> u64 {
-        self.cache.lock().expect("shard cache poisoned").evictions
+        self.cache().evictions
     }
 
     /// Cumulative segments encoded to disk (exactly once per shard for a
@@ -809,15 +805,12 @@ impl ShardedTable {
     /// that truly streams writes each segment once and never rewrites —
     /// `spills() == n_shards()` with `loads() == 0` until the first scan.
     pub fn spills(&self) -> u64 {
-        self.cache.lock().expect("shard cache poisoned").spills
+        self.cache().spills
     }
 
     /// High-water mark of simultaneously resident (decoded) segments.
     pub fn peak_resident(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("shard cache poisoned")
-            .peak_resident
+        self.cache().peak_resident
     }
 
     /// Number of resident segments currently pinned by in-flight scans
@@ -825,9 +818,7 @@ impl ShardedTable {
     /// against the resident budget and are never evicted, so
     /// `resident_count() ≤ resident_budget + pinned()` at all times.
     pub fn pinned(&self) -> usize {
-        self.cache
-            .lock()
-            .expect("shard cache poisoned")
+        self.cache()
             .resident
             .values()
             .filter(|e| e.seg.is_pinned())
@@ -851,7 +842,7 @@ impl ShardedTable {
     /// [`ShardedTable::pinned`] separately instead could race a concurrent
     /// pin release between the two reads.
     pub fn resident_and_pinned(&self) -> (usize, usize) {
-        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        let mut cache = self.cache();
         loop {
             cache.evict_over_budget(self.resident_budget, self.residency);
             let pinned = cache
@@ -885,7 +876,7 @@ impl ShardedTable {
     /// embedders and fault-injection hook for tests; the next access to a
     /// dropped shard pays one spill read.
     pub fn evict_all(&self) {
-        let mut cache = self.cache.lock().expect("shard cache poisoned");
+        let mut cache = self.cache();
         let mut dropped = 0u64;
         cache.resident.retain(|&i, e| {
             let keep = self.spill[i].is_none() || e.seg.is_pinned();
@@ -1155,7 +1146,14 @@ impl ShardBuilder {
             // global dictionaries (built online during the stream), so an
             // early segment sees the same cardinalities as a late one.
             for (i, span) in self.spans.iter().enumerate() {
-                let cols = self.sealed[i].take().expect("sealed in span order");
+                let Some(cols) = self.sealed[i].take() else {
+                    // Unreachable: push_row/finish seal every span in order
+                    // before this loop runs.
+                    debug_assert!(false, "segment {i} was never sealed");
+                    return Err(TableError::Io(format!(
+                        "internal: segment {i} was never sealed"
+                    )));
+                };
                 cache.clock += 1;
                 cache.resident.insert(
                     i,
@@ -1334,6 +1332,19 @@ fn write_segment(path: &std::path::Path, cols: &[Vec<u32>], n_rows: usize) -> io
     Ok(())
 }
 
+/// `u32` from the first 4 bytes of `s`; callers pass slices whose length
+/// is already checked (`chunks_exact`, ranged indexing, `take`), so the
+/// fixed-index form cannot fault where a `try_into().expect(..)` merely
+/// promises not to.
+fn le_u32(s: &[u8]) -> u32 {
+    u32::from_le_bytes([s[0], s[1], s[2], s[3]])
+}
+
+/// `u64` from the first 8 bytes of `s`; same contract as [`le_u32`].
+fn le_u64(s: &[u8]) -> u64 {
+    u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+}
+
 /// Validates magic + shape and returns the absolute offset table
 /// (`n_cols + 1` entries; `offsets[c]..offsets[c+1]` is column `c`'s blob).
 /// `hdr` must hold at least [`header_len`]`(expect_cols)` bytes.
@@ -1348,15 +1359,14 @@ fn parse_header(
     if &hdr[..8] != SPILL_MAGIC {
         return Err(corrupt("bad spill magic"));
     }
-    let rd_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4 bytes"));
-    let n_cols = rd_u32(&hdr[8..12]) as usize;
-    let n_rows = rd_u32(&hdr[12..16]) as usize;
+    let n_cols = le_u32(&hdr[8..12]) as usize;
+    let n_rows = le_u32(&hdr[12..16]) as usize;
     if n_cols != expect_cols || n_rows != expect_rows {
         return Err(corrupt("spill shape mismatch"));
     }
     let offsets: Vec<u64> = hdr[16..16 + 8 * (n_cols + 1)]
         .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .map(le_u64)
         .collect();
     let sane = offsets[0] == header_len(n_cols) as u64
         && offsets
@@ -1380,16 +1390,12 @@ fn parse_column_blob(blob: &[u8], n_rows: usize) -> Result<RawColumn, TableError
         pos += n;
         Ok(s)
     };
-    let rd_u32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4 bytes"));
-    let remap_len = rd_u32(take(4)?) as usize;
+    let remap_len = le_u32(take(4)?) as usize;
     if remap_len > n_rows {
         // First-appearance order caps local cardinality at the row count.
         return Err(corrupt("remap larger than row count"));
     }
-    let remap: Vec<u32> = take(remap_len * 4)?
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-        .collect();
+    let remap: Vec<u32> = take(remap_len * 4)?.chunks_exact(4).map(le_u32).collect();
     let width = take(1)?[0];
     if !matches!(width, 1 | 2 | 4) {
         return Err(corrupt("bad code width"));
@@ -1407,7 +1413,7 @@ fn parse_column_blob(blob: &[u8], n_rows: usize) -> Result<RawColumn, TableError
         2 => {
             let v: Vec<u16> = data
                 .chunks_exact(2)
-                .map(|c| u16::from_le_bytes(c.try_into().expect("2 bytes")))
+                .map(|c| u16::from_le_bytes([c[0], c[1]]))
                 .collect();
             if remap_len < 0x1_0000 && v.iter().any(|&c| c as usize >= remap_len) {
                 return Err(corrupt("local code out of range"));
@@ -1415,10 +1421,7 @@ fn parse_column_blob(blob: &[u8], n_rows: usize) -> Result<RawColumn, TableError
             LocalCodes::W2(v)
         }
         _ => {
-            let v: Vec<u32> = data
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
-                .collect();
+            let v: Vec<u32> = data.chunks_exact(4).map(le_u32).collect();
             if v.iter().any(|&c| c as usize >= remap_len) {
                 return Err(corrupt("local code out of range"));
             }
@@ -1438,7 +1441,8 @@ fn parse_segment(
     expect_rows: usize,
 ) -> Result<Vec<RawColumn>, TableError> {
     let offsets = parse_header(bytes, expect_cols, expect_rows)?;
-    if *offsets.last().expect("n_cols + 1 offsets") != bytes.len() as u64 {
+    // parse_header returns exactly `expect_cols + 1` offsets.
+    if offsets[expect_cols] != bytes.len() as u64 {
         return Err(corrupt("spill file length mismatch"));
     }
     (0..expect_cols)
@@ -1792,7 +1796,7 @@ mod tests {
         for (i, span) in st.spans().iter().enumerate() {
             assert_eq!(span.start, pos);
             pos = span.end;
-            let seg = st.segment(i);
+            let seg = st.try_segment(i).unwrap();
             assert_eq!(seg.span(), span.clone());
             for c in 0..table.n_columns() {
                 assert_eq!(seg.col(c), &table.column(c)[span.clone()]);
@@ -1810,7 +1814,7 @@ mod tests {
         // Cold cache: every first touch loads from disk.
         for pass in 0..2 {
             for i in 0..st.n_shards() {
-                let seg = st.segment(i);
+                let seg = st.try_segment(i).unwrap();
                 for c in 0..table.n_columns() {
                     assert_eq!(
                         seg.col(c),
@@ -1841,7 +1845,7 @@ mod tests {
         let st =
             ShardedTable::from_table(&table, &ShardConfig::spilling(6, 2, spill_dir())).unwrap();
         let rows: Vec<RowId> = vec![39, 0, 17, 17, 5, 31];
-        let mini = st.gather_rows(&rows);
+        let mini = st.try_gather_rows(&rows).unwrap();
         assert_eq!(mini.n_rows(), rows.len());
         for (i, &r) in rows.iter().enumerate() {
             for c in 0..table.n_columns() {
@@ -1978,7 +1982,7 @@ mod tests {
                             "shard {i}: spill files differ"
                         );
                     }
-                    let (sa, sb) = (a.segment(i), b.segment(i));
+                    let (sa, sb) = (a.try_segment(i).unwrap(), b.try_segment(i).unwrap());
                     for c in 0..table.n_columns() {
                         assert_eq!(sa.col(c), sb.col(c), "shard {i} col {c}");
                     }
@@ -2007,7 +2011,7 @@ mod tests {
         assert_eq!(st.peak_resident(), 0, "no segment was decoded in memory");
         // First scan pays the cold loads, one decoded segment at a time.
         for i in 0..st.n_shards() {
-            let seg = st.segment(i);
+            let seg = st.try_segment(i).unwrap();
             assert_eq!(seg.span(), st.spans()[i].clone());
         }
         assert_eq!(st.loads(), 6);
@@ -2058,7 +2062,7 @@ mod tests {
         let st =
             ShardedTable::from_table(&table, &ShardConfig::spilling(4, 1, spill_dir())).unwrap();
         for i in 0..st.n_shards() {
-            let seg = st.segment(i);
+            let seg = st.try_segment(i).unwrap();
             for c in 0..table.n_columns() {
                 assert!(
                     Arc::ptr_eq(st.header().dictionary_arc(c), seg.table().dictionary_arc(c)),
@@ -2076,7 +2080,7 @@ mod tests {
             let st = ShardedTable::from_table(&table, &cfg).unwrap();
             for _pass in 0..4 {
                 for i in 0..st.n_shards() {
-                    let seg = st.segment(i);
+                    let seg = st.try_segment(i).unwrap();
                     assert_eq!(seg.span(), st.spans()[i].clone());
                 }
             }
@@ -2098,8 +2102,8 @@ mod tests {
         let table = t(40);
         let st =
             ShardedTable::from_table(&table, &ShardConfig::spilling(4, 1, spill_dir())).unwrap();
-        let s0 = st.segment(0);
-        let s1 = st.segment(1);
+        let s0 = st.try_segment(0).unwrap();
+        let s1 = st.try_segment(1).unwrap();
         // Both are pinned: the cache must keep both (evicting would lie
         // about memory) and report the overshoot as pins.
         assert_eq!(st.pinned(), 2);
@@ -2109,7 +2113,7 @@ mod tests {
         drop(s0);
         drop(s1);
         // With pins released, the next access shrinks back to the budget.
-        let _s2 = st.segment(2);
+        let _s2 = st.try_segment(2).unwrap();
         assert_eq!(st.resident_count(), 1);
         assert_eq!(st.pinned(), 1);
     }
@@ -2145,7 +2149,7 @@ mod tests {
         assert!(loads >= st.n_shards() as u64);
         // Upgrading a still-cached raw entry decodes in memory: no new load.
         let last = st.n_shards() - 1;
-        let seg = st.segment(last);
+        let seg = st.try_segment(last).unwrap();
         assert_eq!(st.loads(), loads, "raw upgrade must not re-read the file");
         assert_eq!(seg.col(0), &table.column(0)[st.spans()[last].clone()]);
         match st.cached_data(last) {
@@ -2210,7 +2214,7 @@ mod tests {
         let seg = st.try_segment(1).unwrap();
         assert_eq!(seg.col(0), &table.column(0)[st.spans()[1].clone()]);
         // Other shards were never affected.
-        let s0 = st.segment(0);
+        let s0 = st.try_segment(0).unwrap();
         assert_eq!(s0.span(), st.spans()[0].clone());
     }
 

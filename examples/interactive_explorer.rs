@@ -52,13 +52,16 @@ fn main() {
     println!("after exact-count refresh:");
     println!("{}", explorer.render());
 
-    // Incremental BRS (§6.1): stream rules under a time budget.
+    // Incremental BRS (§6.1): stream rules under a time budget. The clock
+    // stays caller-side — core search is deterministic, so the budget is a
+    // plain `run_streaming` stop callback.
     println!("incremental search (250 ms budget, up to 12 rules):");
-    let result = Brs::new(&SizeWeight).with_max_weight(4.0).run_for(
-        &table.view(),
-        Duration::from_millis(250),
-        12,
-    );
+    let budget = Duration::from_millis(250);
+    let start = std::time::Instant::now();
+    let result =
+        Brs::new(&SizeWeight)
+            .with_max_weight(4.0)
+            .run_streaming(&table.view(), 12, |_, _| start.elapsed() < budget);
     for s in &result.rules {
         println!("  {:<55} Count={:.0}", s.rule.display(&table), s.count);
     }

@@ -64,7 +64,7 @@ fn streaming_ingest_with_resident_one_is_memory_bound() {
     // A full sequential scan decodes segments one at a time under the
     // budget and reproduces the reference columns exactly.
     for i in 0..st.n_shards() {
-        let seg = st.segment(i);
+        let seg = st.try_segment(i).unwrap();
         for c in 0..table.n_columns() {
             assert_eq!(
                 seg.col(c),
@@ -107,7 +107,7 @@ fn concurrent_scans_stay_within_resident_plus_pinned() {
                 for i in 0..st.n_shards() {
                     // Hold the pin across the verification scan, as a real
                     // kernel pass does.
-                    let seg = st.segment(i);
+                    let seg = st.try_segment(i).unwrap();
                     for c in 0..table.n_columns() {
                         assert_eq!(
                             seg.col(c),
@@ -256,7 +256,10 @@ fn csv_stream_ingest_matches_materialized_ingest_up_to_served_transcripts() {
                     "shard {i}: spill files differ"
                 );
             }
-            let (sa, sb) = (streamed.segment(i), reference.segment(i));
+            let (sa, sb) = (
+                streamed.try_segment(i).unwrap(),
+                reference.try_segment(i).unwrap(),
+            );
             for c in 0..streamed.n_columns() {
                 assert_eq!(sa.col(c), sb.col(c), "shard {i} col {c}");
             }

@@ -194,7 +194,7 @@ proptest! {
         )
         .unwrap();
         for i in 0..st.n_shards() {
-            let seg = st.segment(i);
+            let seg = st.try_segment(i).unwrap();
             for c in 0..table.n_columns() {
                 prop_assert_eq!(seg.col(c), &table.column(c)[seg.span()]);
             }
@@ -267,7 +267,7 @@ proptest! {
             prop_assert_eq!(st.peak_resident(), 0, "no segment decoded during the build");
         }
         for (i, span) in spans.iter().enumerate() {
-            let seg = st.segment(i);
+            let seg = st.try_segment(i).unwrap();
             prop_assert_eq!(seg.span(), span.clone());
             prop_assert_eq!(seg.table().n_rows(), span.len());
         }
@@ -297,7 +297,7 @@ proptest! {
         }
         let st = b.finish().unwrap();
         for i in 0..st.n_shards() {
-            let seg = st.segment(i);
+            let seg = st.try_segment(i).unwrap();
             for c in 0..reference.n_columns() {
                 prop_assert!(
                     Arc::ptr_eq(st.header().dictionary_arc(c), seg.table().dictionary_arc(c)),

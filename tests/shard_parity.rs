@@ -17,9 +17,12 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use smart_drilldown::core::{
-    drill_down_sharded, drill_down_with, find_best_marginal_rule, find_best_marginal_rule_sharded,
-    star_drill_down_sharded, star_drill_down_with, BitsWeight, Brs, Rule, SearchOptions,
-    SearchScratch, SizeWeight, WeightFn,
+    count_rules, count_rules_sharded, covered_positions, covered_positions_sharded, covered_rows,
+    covered_rows_sharded, drill_down_sharded, drill_down_with, filter_to_rule,
+    filter_to_rule_sharded, find_best_marginal_rule, find_best_marginal_rule_sharded, rule_count,
+    rule_count_sharded, score_list, score_list_sharded, sort_by_weight_desc,
+    sort_by_weight_desc_sharded, star_drill_down_sharded, star_drill_down_with, BitsWeight, Brs,
+    ListScore, Rule, SearchOptions, SearchScratch, SizeWeight, WeightFn,
 };
 use smart_drilldown::datagen::retail;
 use smart_drilldown::explorer::{Explorer, ExplorerConfig, PrefetchMode};
@@ -588,7 +591,7 @@ fn stream_built_tables_are_byte_identical_to_from_table() {
                             "{label}: shard {i} spill files differ"
                         );
                     }
-                    let (sa, sb) = (a.segment(i), b.segment(i));
+                    let (sa, sb) = (a.try_segment(i).unwrap(), b.try_segment(i).unwrap());
                     assert_eq!(sa.span(), sb.span(), "{label}: shard {i} span");
                     for c in 0..table.n_columns() {
                         assert_eq!(sa.col(c), sb.col(c), "{label}: shard {i} col {c}");
@@ -604,6 +607,120 @@ fn stream_built_tables_are_byte_identical_to_from_table() {
                         );
                         assert_eq!(ba, bb, "{label}: shard {i} measure {name:?}");
                     }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coverage + scoring scan parity
+// ---------------------------------------------------------------------------
+
+/// `f64`s compared as bit patterns: parity here means *bitwise* equality,
+/// not approximate equality.
+fn bits(vals: &[f64]) -> Vec<u64> {
+    vals.iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_score_bits_eq(got: &ListScore, want: &ListScore, label: &str) {
+    assert_eq!(got.total.to_bits(), want.total.to_bits(), "{label}: total");
+    assert_eq!(
+        got.uncovered.to_bits(),
+        want.uncovered.to_bits(),
+        "{label}: uncovered"
+    );
+    assert_eq!(got.rules.len(), want.rules.len(), "{label}: rule count");
+    for (g, w) in got.rules.iter().zip(&want.rules) {
+        assert_eq!(g.rule, w.rule, "{label}: rule order");
+        assert_eq!(g.weight.to_bits(), w.weight.to_bits(), "{label}: weight");
+        assert_eq!(g.count.to_bits(), w.count.to_bits(), "{label}: count");
+        assert_eq!(g.mcount.to_bits(), w.mcount.to_bits(), "{label}: mcount");
+    }
+}
+
+/// Every public coverage/scoring scan — `covered_rows_sharded`,
+/// `covered_positions_sharded`, `filter_to_rule_sharded`,
+/// `count_rules_sharded`, `rule_count_sharded`, `score_list_sharded`, and
+/// `sort_by_weight_desc_sharded` — is bit-identical to its monolithic twin
+/// for every shard layout and both construction paths (lint rule X001
+/// requires each `*_sharded` entry point exercised here by name).
+#[test]
+fn coverage_and_scoring_scans_are_bit_identical_across_shard_layouts() {
+    let _env = env_lock();
+    let mut rng = StdRng::seed_from_u64(0x5AAD_0007);
+    for _trial in 0..6 {
+        let table = random_table(&mut rng);
+        // Real rules built off the table's own dictionaries: one size-1,
+        // one size-2 (often sparse or empty), and a second size-1 for
+        // scoring overlap.
+        let val = |c: usize, k: usize| {
+            let card = table.cardinality(c);
+            let (_, v) = table.dictionary(c).iter().nth(k % card).expect("in range");
+            v.to_string()
+        };
+        let (v00, v01, v10) = (val(0, 0), val(0, 1), val(1, 0));
+        let rules = vec![
+            Rule::from_pairs(&table, &[("c0", v00.as_str())]).expect("dict value"),
+            Rule::from_pairs(&table, &[("c0", v01.as_str()), ("c1", v10.as_str())])
+                .expect("dict value"),
+            Rule::from_pairs(&table, &[("c1", v10.as_str())]).expect("dict value"),
+        ];
+        let base = &rules[0];
+
+        let mono_view = table.view();
+        let mono_rows = covered_rows(&table, base);
+        let mono_pos = covered_positions(&mono_view, base);
+        let mono_counts = count_rules(&table, &rules);
+        let mono_one = rule_count(&mono_view, &rules[2]);
+        let mono_sorted = sort_by_weight_desc(&mono_view, &BitsWeight, &rules);
+        let mono_score = score_list(&mono_view, &BitsWeight, &mono_sorted);
+        let mono_filtered = filter_to_rule(&mono_view, base);
+        let mono_filtered_rows: Vec<u32> = mono_filtered.iter().map(|wr| wr.row).collect();
+
+        for shards in SHARD_COUNTS {
+            for cfg in shard_configs(shards) {
+                for (st, how) in builds(&table, &cfg) {
+                    let label = format!("{} [{how}]", cfg_label(&cfg));
+                    let view = ShardedView::all(st.clone());
+
+                    assert_eq!(
+                        covered_rows_sharded(&st, base),
+                        mono_rows,
+                        "{label}: covered_rows"
+                    );
+                    assert_eq!(
+                        covered_positions_sharded(&view, base),
+                        mono_pos,
+                        "{label}: covered_positions"
+                    );
+                    assert_eq!(
+                        bits(&count_rules_sharded(&st, &rules)),
+                        bits(&mono_counts),
+                        "{label}: count_rules"
+                    );
+                    assert_eq!(
+                        rule_count_sharded(&view, &rules[2]).to_bits(),
+                        mono_one.to_bits(),
+                        "{label}: rule_count"
+                    );
+                    assert_eq!(
+                        sort_by_weight_desc_sharded(&st, &BitsWeight, &rules),
+                        mono_sorted,
+                        "{label}: sort_by_weight_desc"
+                    );
+                    assert_score_bits_eq(
+                        &score_list_sharded(&view, &BitsWeight, &mono_sorted),
+                        &mono_score,
+                        &label,
+                    );
+                    let filtered = filter_to_rule_sharded(&view, base);
+                    let filtered_rows: Vec<u32> =
+                        (0..filtered.len()).map(|p| filtered.row_at(p)).collect();
+                    assert_eq!(
+                        filtered_rows, mono_filtered_rows,
+                        "{label}: filter_to_rule row set"
+                    );
                 }
             }
         }
