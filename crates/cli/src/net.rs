@@ -27,6 +27,9 @@ usage: sdd serve [options]
   --spill <dir>        spill directory (default: the system temp dir)
   --residency <p>      eviction policy under the budget: lru (default) or
                        sweep (best for sequential full-table scans)
+  --cache <mib>        shared cross-session result-cache budget in MiB
+                       (default 64; 0 disables — responses are identical
+                       either way; SDD_NO_CACHE=1 also disables)
 ";
 
 /// Usage text for `sdd connect`.
@@ -134,6 +137,12 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
                 }
             }
             "ingest" => ingest = Some(need("path")?),
+            "cache" => {
+                let mib: usize = need("MiB")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --cache")
+                })?;
+                config.engine.cache_bytes = mib << 20;
+            }
             other => {
                 writeln!(output, "error: unknown flag --{other}\n{SERVE_USAGE}")?;
                 return Ok(());
@@ -238,9 +247,15 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
         }
     };
     let server = Server::bind_store(store.clone(), config, addr.as_str())?;
+    // Surface whether the cross-session result cache is live — an
+    // operator throwing the SDD_NO_CACHE kill switch should see it took.
+    let cache_note = match server.engine().cache_capacity() {
+        Some(bytes) => format!(", result cache {} MiB", bytes >> 20),
+        None => ", result cache off".to_owned(),
+    };
     writeln!(
         output,
-        "serving {} rows × {} columns{layout} on {} — connect with `sdd connect {}`",
+        "serving {} rows × {} columns{layout}{cache_note} on {} — connect with `sdd connect {}`",
         store.n_rows(),
         store.n_columns(),
         server.local_addr()?,
@@ -274,8 +289,10 @@ pub fn connect<R: BufRead, W: Write>(
     )?;
 
     // One session per connect invocation. The pid alone collides across
-    // hosts (and across pid reuse — the server keeps leaked sessions of
-    // crashed clients), so mix in a per-process random tag.
+    // hosts, so mix in a per-process random tag. (Abandoned sessions no
+    // longer accumulate server-side — the server reaps a connection's
+    // sessions when it drops — but two live clients must still not
+    // collide on a name.)
     let tag = {
         use std::hash::{BuildHasher, Hasher};
         std::collections::hash_map::RandomState::new()

@@ -34,6 +34,9 @@
 //!   scalar fallback and a kill switch) behind the coverage scans of both
 //!   the resident kernel and the spill-tier pushdown path,
 //! * [`brs`] — Algorithm 1: the greedy BRS optimizer,
+//! * [`cachekey`] — canonical NaN-safe key derivation for shared
+//!   drill-down result caches (floats keyed by bits, normalized bases,
+//!   content-digested views),
 //! * [`drilldown`] — rule and star drill-down (Problem 1 → 2/3 reductions),
 //! * [`shard`] — bit-compatible twins of the hot paths over sharded
 //!   (`sdd_table::ShardedTable`) storage: per-shard counting passes,
@@ -48,6 +51,7 @@
 
 pub mod accel;
 pub mod brs;
+pub mod cachekey;
 pub mod drilldown;
 pub mod exact;
 pub mod exec;
@@ -62,6 +66,7 @@ pub mod shard;
 pub mod weight;
 
 pub use brs::{Brs, BrsResult, ScoredRule};
+pub use cachekey::{canonical_f64_bits, drill_key, view_digest, DrillKey, KeyHasher};
 pub use drilldown::{
     drill_down, drill_down_with, filter_to_rule, star_drill_down, star_drill_down_with,
     DrillDownKind,

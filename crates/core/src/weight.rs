@@ -42,6 +42,18 @@ pub trait WeightFn: Send + Sync {
         let full = Rule::from_codes(vec![0u32; table.n_columns()]);
         self.weight(&full, table)
     }
+
+    /// A stable identity tag for shared result caches
+    /// ([`crate::cachekey`]), or `None` (the default) to mark the weight
+    /// **uncacheable** — results computed with it are never stored or
+    /// served from a cache.
+    ///
+    /// Two weight functions returning the same tag must compute
+    /// bit-identical weights for every `(rule, table)`; include every
+    /// parameter that influences the weight in the tag.
+    fn cache_tag(&self) -> Option<String> {
+        None
+    }
 }
 
 /// `W(r) = Size(r)`: the number of instantiated columns (paper §2.2).
@@ -55,6 +67,10 @@ impl WeightFn for SizeWeight {
 
     fn name(&self) -> &str {
         "Size"
+    }
+
+    fn cache_tag(&self) -> Option<String> {
+        Some("size".to_owned())
     }
 }
 
@@ -79,6 +95,10 @@ impl WeightFn for BitsWeight {
     fn name(&self) -> &str {
         "Bits"
     }
+
+    fn cache_tag(&self) -> Option<String> {
+        Some("bits".to_owned())
+    }
 }
 
 /// `W(r) = max(0, Size(r) − 1)` (paper §5.1.2, Figure 7).
@@ -97,6 +117,10 @@ impl WeightFn for SizeMinusOne {
 
     fn name(&self) -> &str {
         "Size-1"
+    }
+
+    fn cache_tag(&self) -> Option<String> {
+        Some("size-1".to_owned())
     }
 }
 
@@ -226,6 +250,12 @@ impl<W: WeightFn> WeightFn for RequireColumn<W> {
     fn name(&self) -> &str {
         "RequireColumn"
     }
+
+    fn cache_tag(&self) -> Option<String> {
+        self.inner
+            .cache_tag()
+            .map(|t| format!("require({}):{t}", self.column))
+    }
 }
 
 impl<T: WeightFn + ?Sized> WeightFn for &T {
@@ -239,6 +269,10 @@ impl<T: WeightFn + ?Sized> WeightFn for &T {
 
     fn max_weight(&self, table: &Table) -> f64 {
         (**self).max_weight(table)
+    }
+
+    fn cache_tag(&self) -> Option<String> {
+        (**self).cache_tag()
     }
 }
 

@@ -1,11 +1,14 @@
 //! The [`Explorer`]: a sampled, prefetching, CI-annotated session.
 
+use crate::cache::{CachedRules, SharedResultCache};
 use sdd_core::{
-    drill_down_with, star_drill_down_with, Brs, Rule, RuleValue, SessionError, WeightFn,
+    drill_down_with, star_drill_down_with, Brs, DrillKey, Rule, RuleValue, ScoredRule,
+    SessionError, WeightFn,
 };
 use sdd_sampling::{
     count_estimate, FetchMechanism, PrefetchEntry, PrefetchJob, SampleHandler, SampleHandlerConfig,
 };
+use sdd_table::TableView;
 use sdd_table::{Table, TableStore};
 use std::sync::Arc;
 
@@ -42,6 +45,12 @@ pub struct ExplorerConfig {
     pub prefetch: PrefetchMode,
     /// Normal quantile for confidence intervals (1.96 → 95%).
     pub confidence_z: f64,
+    /// An optional shared drill-down result cache (a concurrent server
+    /// injects one cache across all sessions over its table). `None`
+    /// recomputes every expansion. Caching is **transparent**: a hit is
+    /// bit-identical to recomputation and changes no counter or transcript
+    /// byte — see [`crate::ResultCache`].
+    pub cache: Option<SharedResultCache>,
 }
 
 impl Default for ExplorerConfig {
@@ -52,6 +61,7 @@ impl Default for ExplorerConfig {
             handler: SampleHandlerConfig::default(),
             prefetch: PrefetchMode::Inline,
             confidence_z: 1.96,
+            cache: None,
         }
     }
 }
@@ -306,20 +316,12 @@ impl Explorer {
             self.stats.served_from_memory += 1;
         }
 
-        let mut brs = Brs::new(&*self.weight);
-        if let Some(mw) = self.config.max_weight {
-            brs = brs.with_max_weight(mw);
-        }
         let sample_view = sample.view.as_view();
-        let result = match star {
-            None => drill_down_with(&brs, &sample_view, &base, self.config.k),
-            Some(col) => star_drill_down_with(&brs, &sample_view, &base, col, self.config.k),
-        };
+        let result_rules = self.search(&base, star, &sample_view);
 
         let sample_size = sample.view.len();
         let exact_sample = sample.scale <= 1.0 + 1e-9;
-        let children: Vec<Node> = result
-            .rules
+        let children: Vec<Node> = result_rules
             .iter()
             .map(|s| {
                 let covered = (s.count / sample.scale).round() as usize;
@@ -377,6 +379,100 @@ impl Explorer {
 
         self.node_mut(path)?.children = children;
         Ok(infos)
+    }
+
+    /// Runs (or serves from the shared cache) the BRS search for one
+    /// drill-down. Caching is transparent by construction: only this pure
+    /// computation is ever skipped — sampling, counters, the click model,
+    /// and prefetch scheduling all run identically on hit and miss. When
+    /// debug assertions are enabled every hit is re-verified bit-for-bit
+    /// against a fresh computation (the cache-transparency invariant,
+    /// docs/DETERMINISM.md).
+    fn search(&self, base: &Rule, star: Option<usize>, view: &TableView<'_>) -> CachedRules {
+        let mut brs = Brs::new(&*self.weight);
+        if let Some(mw) = self.config.max_weight {
+            brs = brs.with_max_weight(mw);
+        }
+        let run = || -> Vec<ScoredRule> {
+            match star {
+                None => drill_down_with(&brs, view, base, self.config.k).rules,
+                Some(col) => star_drill_down_with(&brs, view, base, col, self.config.k).rules,
+            }
+        };
+        let Some((cache, key)) = self.drill_cache_key(base, star, view) else {
+            return Arc::new(run());
+        };
+        match cache.0.get(&key) {
+            Some(hit) => {
+                debug_assert!(
+                    crate::rules_bit_identical(&hit, &run()),
+                    "cache hit diverged from recomputation for base {base:?}"
+                );
+                hit
+            }
+            None => {
+                let fresh: CachedRules = Arc::new(run());
+                cache.0.insert(key, Arc::clone(&fresh));
+                fresh
+            }
+        }
+    }
+
+    /// The shared-cache key for a drill-down over `view`, or `None` when no
+    /// cache is configured or the weight function has no stable identity
+    /// ([`WeightFn::cache_tag`] returns `None` — uncacheable by contract).
+    fn drill_cache_key(
+        &self,
+        base: &Rule,
+        star: Option<usize>,
+        view: &TableView<'_>,
+    ) -> Option<(SharedResultCache, DrillKey)> {
+        let cache = self.config.cache.clone()?;
+        let weight_tag = self.weight.cache_tag()?;
+        // Process-local table identity: the cache is shared by sessions of
+        // one engine over one store, so the header pointer is a cheap,
+        // collision-free tag within that lifetime.
+        let table_tag = Arc::as_ptr(self.store.header()) as u64;
+        let key = sdd_core::drill_key(
+            table_tag,
+            sdd_core::view_digest(view),
+            base,
+            star,
+            self.config.k,
+            &weight_tag,
+            self.config.max_weight,
+            self.store.n_columns(),
+        );
+        Some((cache, key))
+    }
+
+    /// Speculatively precomputes the rule drill-down for `rule` into the
+    /// shared cache, using a **read-only** peek at the stored samples — no
+    /// counter, clock, or eviction state changes, so a speculation that
+    /// never pays off is invisible to the session. Returns `true` when the
+    /// result is now cached (freshly computed or already present).
+    ///
+    /// A server's background prefetch worker calls this during analyst
+    /// think-time with the transition model's predicted next drill-down;
+    /// if the prediction lands, the expansion's search is a cache hit.
+    pub fn speculate_expand(&self, rule: &Rule) -> bool {
+        let Some(sample) = self.handler.peek_stored(rule) else {
+            return false;
+        };
+        let view = sample.view.as_view();
+        let Some((cache, key)) = self.drill_cache_key(rule, None, &view) else {
+            return false;
+        };
+        if cache.0.contains(&key) {
+            return true;
+        }
+        let mut brs = Brs::new(&*self.weight);
+        if let Some(mw) = self.config.max_weight {
+            brs = brs.with_max_weight(mw);
+        }
+        let fresh = Arc::new(drill_down_with(&brs, &view, rule, self.config.k).rules);
+        cache.0.insert(key, fresh);
+        true
     }
 
     /// Collapses (rolls up) the node at `path`.
@@ -552,6 +648,7 @@ mod tests {
             },
             prefetch: PrefetchMode::Inline,
             confidence_z: 1.96,
+            cache: None,
         }
     }
 

@@ -19,8 +19,10 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod click_model;
 mod explorer;
 
+pub use cache::{rules_bit_identical, CachedRules, ResultCache, SharedResultCache};
 pub use click_model::ClickModel;
 pub use explorer::{DisplayedRule, Explorer, ExplorerConfig, ExplorerStats, PrefetchMode};

@@ -33,8 +33,16 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// Files whose floating-point accumulation loops D003 audits.
 pub const D003_FILES: &[&str] = &["crates/core/src/shard.rs", "crates/core/src/kernel.rs"];
 
-/// Spill-I/O files P001 keeps panic-free.
-pub const P001_FILES: &[&str] = &["crates/table/src/shard.rs"];
+/// Files P001 keeps panic-free: spill I/O, plus the shared result-cache
+/// and prediction paths (a panic there would poison a lock every session
+/// shares — an accelerator must never be able to take the server down).
+pub const P001_FILES: &[&str] = &[
+    "crates/table/src/shard.rs",
+    "crates/core/src/cachekey.rs",
+    "crates/explorer/src/cache.rs",
+    "crates/server/src/cache.rs",
+    "crates/server/src/predict.rs",
+];
 
 /// The cross-file parity suite X001 requires `*_sharded` APIs to appear in.
 pub const PARITY_SUITE: &str = "tests/shard_parity.rs";

@@ -287,6 +287,27 @@ impl SampleHandler {
         self.samples.len()
     }
 
+    /// A **read-only** Find: the stored sample that would serve `rule`
+    /// verbatim, exactly as [`SampleHandler::try_get_sample`]'s Find arm
+    /// would serve it — but without touching the LRU clock, `last_used`,
+    /// or any counter. Background speculation peeks with this so a
+    /// speculative computation can never perturb session-observable state
+    /// (including future eviction order). Returns `None` when no stored
+    /// sample matches the filter at `minSS` (Combine/Create are
+    /// deliberately not attempted: speculation must stay free).
+    pub fn peek_stored(&self, rule: &Rule) -> Option<SampleView> {
+        let min_ss = self.config.min_sample_size;
+        let s = self
+            .samples
+            .iter()
+            .find(|s| s.filter == *rule && (s.rows.len() >= min_ss || s.exact))?;
+        Some(SampleView {
+            view: Self::stored_view(&self.store, s),
+            mechanism: FetchMechanism::Find,
+            scale: s.scale,
+        })
+    }
+
     /// Returns a (weighted) sample of the tuples covered by `rule`, at least
     /// `minSS` tuples when the data allows, trying Find → Combine → Create.
     /// Infallible wrapper over [`SampleHandler::try_get_sample`].

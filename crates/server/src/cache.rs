@@ -1,0 +1,268 @@
+//! The shared, lock-striped drill-down result cache.
+//!
+//! One [`SearchCache`] is shared by every session of an [`crate::Engine`]
+//! (the registry's sessions all explore one immutable store). Keys are the
+//! canonical 128-bit digests of `sdd_core::cachekey` — table identity,
+//! sample-view content, base rule, star column, `k`, weight tag, `mw` —
+//! so two sessions replaying the same drill path under the same options
+//! collide exactly, and any divergence (different seed, different history)
+//! is a safe miss.
+//!
+//! **Transparency**: the cache accelerates the BRS search only; sampling,
+//! counters, and transcripts are byte-identical with the cache on, off, or
+//! disabled mid-flight (`SDD_NO_CACHE=1`, the kill switch mirroring
+//! `SDD_NO_SIMD`). The cache-parity suite (`tests/cache_parity.rs`)
+//! asserts this end to end, and under debug assertions every hit is
+//! re-verified bit-for-bit inside the explorer.
+//!
+//! Like every striped structure here, striping affects contention only —
+//! a key lands on one fixed stripe. Eviction is epoch-style per stripe:
+//! when an insert would push a stripe past its byte budget the stripe is
+//! cleared (cheap, contention-free, and harmless: the cache is an
+//! accelerator, never a source of truth). This file is panic-free (lint
+//! rule P001): lock poisoning is absorbed with `into_inner`, never
+//! unwrapped.
+
+use rustc_hash::FxHashMap;
+use sdd_core::DrillKey;
+use sdd_explorer::{CachedRules, ResultCache};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// True unless the `SDD_NO_CACHE` kill switch is thrown (any value but
+/// `"0"`). Mirrors `SDD_NO_SIMD`: an operator can rule the result cache
+/// out in production without a rebuild, and CI runs the parity suites
+/// under both settings.
+pub fn cache_enabled() -> bool {
+    !std::env::var("SDD_NO_CACHE").is_ok_and(|v| v != "0")
+}
+
+/// A snapshot of the cache's work counters. Counters never influence
+/// results (the parity suites pin that); they exist for observability —
+/// the serve banner, benches, and capacity planning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a fresh search.
+    pub misses: u64,
+    /// Results stored.
+    pub inserts: u64,
+    /// Entries dropped by stripe-epoch eviction.
+    pub evictions: u64,
+    /// Estimated bytes currently held across all stripes.
+    pub bytes: u64,
+}
+
+struct Stripe {
+    map: FxHashMap<DrillKey, CachedRules>,
+    bytes: u64,
+}
+
+/// The lock-striped result cache. See module docs.
+pub struct SearchCache {
+    stripes: Vec<Mutex<Stripe>>,
+    stripe_budget: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Estimated heap footprint of one entry (key + `Arc` + rule codes +
+/// scored fields + map overhead). An estimate is all eviction needs.
+fn entry_bytes(value: &CachedRules) -> u64 {
+    let rules: u64 = value
+        .iter()
+        .map(|s| 4 * s.rule.codes().len() as u64 + 3 * 8 + 16)
+        .sum();
+    16 + 48 + rules
+}
+
+impl SearchCache {
+    /// A cache with `stripes.max(1)` stripes sharing `budget_bytes` evenly.
+    pub fn new(stripes: usize, budget_bytes: usize) -> Self {
+        let stripes = stripes.max(1);
+        Self {
+            stripe_budget: (budget_bytes as u64 / stripes as u64).max(1),
+            stripes: (0..stripes)
+                .map(|_| {
+                    Mutex::new(Stripe {
+                        map: FxHashMap::default(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe(&self, key: &DrillKey) -> &Mutex<Stripe> {
+        // The key is already a uniform 128-bit digest; its low word is as
+        // good a stripe selector as any hash of it.
+        let idx = (key.0[0] as usize) % self.stripes.len();
+        &self.stripes[idx]
+    }
+
+    fn lock(m: &Mutex<Stripe>) -> std::sync::MutexGuard<'_, Stripe> {
+        // A poisoned stripe only means some thread panicked while holding
+        // the lock; the map itself is still a valid cache (worst case a
+        // half-done insert we overwrite). Absorb instead of propagating.
+        m.lock().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    /// Snapshot of the work counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries currently cached (snapshot across stripes).
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| Self::lock(s).map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ResultCache for SearchCache {
+    fn get(&self, key: &DrillKey) -> Option<CachedRules> {
+        let hit = Self::lock(self.stripe(key)).map.get(key).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn contains(&self, key: &DrillKey) -> bool {
+        // A pure peek for speculation probes: no hit/miss accounting.
+        Self::lock(self.stripe(key)).map.contains_key(key)
+    }
+
+    fn insert(&self, key: DrillKey, value: CachedRules) {
+        let size = entry_bytes(&value);
+        let mut stripe = Self::lock(self.stripe(&key));
+        if stripe.map.contains_key(&key) {
+            // Idempotent: concurrent missers computed the same bits.
+            return;
+        }
+        if stripe.bytes + size > self.stripe_budget && !stripe.map.is_empty() {
+            // Epoch eviction: clear the stripe rather than maintain LRU
+            // chains under the lock. The cache is an accelerator — a cold
+            // stripe repopulates from recomputation, bit-identically.
+            self.evictions
+                .fetch_add(stripe.map.len() as u64, Ordering::Relaxed);
+            self.bytes.fetch_sub(stripe.bytes, Ordering::Relaxed);
+            stripe.map.clear();
+            stripe.bytes = 0;
+        }
+        stripe.map.insert(key, value);
+        stripe.bytes += size;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(size, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdd_core::{Rule, ScoredRule};
+    use std::sync::Arc;
+
+    fn key(n: u64) -> DrillKey {
+        DrillKey([n, n.wrapping_mul(0x9E37_79B9_7F4A_7C15)])
+    }
+
+    fn rules(count: f64) -> CachedRules {
+        Arc::new(vec![ScoredRule {
+            rule: Rule::trivial(3),
+            weight: 1.0,
+            count,
+            mcount: count,
+        }])
+    }
+
+    #[test]
+    fn get_insert_roundtrip_with_counters() {
+        let c = SearchCache::new(4, 1 << 20);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), rules(7.0));
+        let hit = c.get(&key(1)).expect("inserted");
+        assert_eq!(hit[0].count.to_bits(), 7.0f64.to_bits());
+        let counters = c.counters();
+        assert_eq!(
+            (counters.hits, counters.misses, counters.inserts),
+            (1, 1, 1)
+        );
+        assert!(counters.bytes > 0);
+    }
+
+    #[test]
+    fn contains_is_a_pure_peek() {
+        let c = SearchCache::new(2, 1 << 20);
+        assert!(!c.contains(&key(9)));
+        c.insert(key(9), rules(1.0));
+        assert!(c.contains(&key(9)));
+        let counters = c.counters();
+        assert_eq!((counters.hits, counters.misses), (0, 0));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let c = SearchCache::new(1, 1 << 20);
+        c.insert(key(3), rules(1.0));
+        let bytes = c.counters().bytes;
+        c.insert(key(3), rules(2.0));
+        assert_eq!(c.counters().inserts, 1);
+        assert_eq!(c.counters().bytes, bytes);
+        // First write wins (both are bit-identical in real use).
+        assert_eq!(c.get(&key(3)).expect("present")[0].count, 1.0);
+    }
+
+    #[test]
+    fn budget_overflow_clears_the_stripe_and_keeps_serving() {
+        let c = SearchCache::new(1, 64); // tiny: every entry overflows
+        c.insert(key(1), rules(1.0));
+        c.insert(key(2), rules(2.0));
+        assert!(c.counters().evictions >= 1, "{:?}", c.counters());
+        // The newest insert survives its own eviction pass.
+        assert!(c.get(&key(2)).is_some());
+        assert!(c.counters().bytes > 0);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let c = Arc::new(SearchCache::new(8, 1 << 20));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        c.insert(key(i % 32), rules((t * 1000 + i) as f64));
+                        let _ = c.get(&key(i % 32));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let counters = c.counters();
+        assert_eq!(counters.hits + counters.misses, 1600);
+        assert!(c.len() <= 32);
+    }
+}

@@ -17,10 +17,15 @@
 //! click model, and counters), so concurrent sessions cannot perturb each
 //! other's results — the property the stress harness pins down.
 
+use crate::cache::{cache_enabled, CacheCounters, SearchCache};
+use crate::predict::{PredictCounters, TransitionModel};
 use crate::protocol::{Request, Response, RuleInfo, StatsInfo};
 use crate::registry::{Registry, RegistryError};
 use sdd_core::{BitsWeight, SizeMinusOne, SizeWeight, WeightFn};
-use sdd_explorer::{DisplayedRule, Explorer, ExplorerConfig, PrefetchMode};
+use sdd_explorer::{
+    DisplayedRule, Explorer, ExplorerConfig, PrefetchMode, ResultCache, SharedResultCache,
+};
+use sdd_sampling::PrefetchJob;
 use sdd_table::{Table, TableStore};
 use std::sync::Arc;
 
@@ -37,6 +42,10 @@ pub struct EngineConfig {
     /// Cap on concurrently registered sessions (backpressure guard on the
     /// open port).
     pub max_sessions: usize,
+    /// Byte budget of the shared cross-session result cache; `0` disables
+    /// it (as does the `SDD_NO_CACHE` environment kill switch). The cache
+    /// is transparent — responses are byte-identical either way.
+    pub cache_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +57,7 @@ impl Default for EngineConfig {
             },
             stripes: 16,
             max_sessions: 10_000,
+            cache_bytes: 64 << 20,
         }
     }
 }
@@ -57,6 +67,12 @@ pub struct Engine {
     store: TableStore,
     sessions: Registry<Explorer>,
     config: EngineConfig,
+    /// Shared cross-session result cache; `None` when disabled by config
+    /// (`cache_bytes == 0`) or the `SDD_NO_CACHE` kill switch.
+    cache: Option<Arc<SearchCache>>,
+    /// Parent→child drill-down frequency model feeding think-time
+    /// speculation. Advisory only: never changes a response byte.
+    transitions: Arc<TransitionModel>,
 }
 
 impl Engine {
@@ -72,9 +88,13 @@ impl Engine {
     /// monolithic table (the sharded stress harness asserts the transcript
     /// equality).
     pub fn with_store(store: TableStore, config: EngineConfig) -> Self {
+        let cache = (config.cache_bytes > 0 && cache_enabled())
+            .then(|| Arc::new(SearchCache::new(config.stripes, config.cache_bytes)));
         Self {
             store,
             sessions: Registry::new(config.stripes),
+            cache,
+            transitions: Arc::new(TransitionModel::new(config.stripes)),
             config,
         }
     }
@@ -109,6 +129,25 @@ impl Engine {
         self.sessions.len()
     }
 
+    /// Shared result-cache counters, `None` when the cache is disabled
+    /// (`cache_bytes == 0` or `SDD_NO_CACHE`). Like
+    /// [`Engine::storage_counters`] these are observability only — the
+    /// cache-parity suites pin that they never influence response bytes,
+    /// which is also why they are not part of the wire `stats` reply.
+    pub fn cache_counters(&self) -> Option<CacheCounters> {
+        self.cache.as_ref().map(|c| c.counters())
+    }
+
+    /// Configured result-cache byte budget, `None` when disabled.
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache.as_ref().map(|_| self.config.cache_bytes)
+    }
+
+    /// Transition-model counters (records/predictions/speculations).
+    pub fn predict_counters(&self) -> PredictCounters {
+        self.transitions.counters()
+    }
+
     /// Handles one raw request line and returns the serialized response
     /// line (no trailing newline) plus, when a deferred prefetch job is now
     /// pending, the session name to hand to the background worker.
@@ -118,6 +157,43 @@ impl Engine {
             Err(e) => (Response::error(e), None),
         };
         (response.to_json().to_string(), hint)
+    }
+
+    /// [`Engine::handle_line`] plus connection-scoped session tracking: a
+    /// successful `open` appends the session name to `opened`, a
+    /// successful `close` removes it, so a transport can reap whatever is
+    /// left when its connection dies without a `close` (client crash,
+    /// abrupt TCP drop — see [`Engine::close_session`]). In-process
+    /// callers that want process-lifetime sessions keep using
+    /// [`Engine::handle_line`].
+    pub fn handle_line_tracked(
+        &self,
+        line: &str,
+        opened: &mut Vec<String>,
+    ) -> (String, Option<String>) {
+        match crate::protocol::parse_request_line(line) {
+            Ok(req) => {
+                let (response, hint) = self.handle(&req);
+                match (&req, &response) {
+                    (Request::Open { session, .. }, Response::Opened { .. }) => {
+                        opened.push(session.clone());
+                    }
+                    (Request::Close { session }, Response::Closed) => {
+                        opened.retain(|s| s != session);
+                    }
+                    _ => {}
+                }
+                (response.to_json().to_string(), hint)
+            }
+            Err(e) => (Response::error(e).to_json().to_string(), None),
+        }
+    }
+
+    /// Removes a session without a protocol exchange — transport-level
+    /// reaping of connection-scoped sessions whose client vanished without
+    /// `close`. Idempotent; a name already closed is a no-op.
+    pub fn close_session(&self, session: &str) {
+        let _ = self.sessions.remove(session);
     }
 
     /// Handles one parsed request. Returns the response and, when a
@@ -144,9 +220,12 @@ impl Engine {
             },
             Request::Expand { session, path } => {
                 self.with_session(session, |ex| match ex.expand(path) {
-                    Ok(children) => Response::Expanded {
-                        rules: child_infos(path, &children, ex.table()),
-                    },
+                    Ok(children) => {
+                        self.record_transition(ex, path);
+                        Response::Expanded {
+                            rules: child_infos(path, &children, ex.table()),
+                        }
+                    }
                     Err(e) => Response::error(e),
                 })
             }
@@ -246,6 +325,15 @@ impl Engine {
         if cfg.handler.min_sample_size == 0 || cfg.handler.capacity < cfg.handler.min_sample_size {
             return Response::error("capacity must hold at least one minimum-size sample");
         }
+        // Every session shares the engine-wide result cache. Key
+        // derivation inside the explorer already folds in everything that
+        // can vary per session (sample content, base rule, k, weight, mw),
+        // so cross-session sharing is sound — and sessions with diverging
+        // sample content simply miss.
+        cfg.cache = self
+            .cache
+            .clone()
+            .map(|c| SharedResultCache(c as Arc<dyn ResultCache>));
         let explorer = Explorer::with_store(self.store.clone(), weight, cfg);
         match self.sessions.insert(session, explorer) {
             Ok(()) => Response::Opened {
@@ -292,14 +380,58 @@ impl Engine {
 
     /// Background-worker tick: claim and run the named session's pending
     /// prefetch job, if it is still unclaimed. Holding the session lock for
-    /// the duration keeps the job atomic with respect to requests.
+    /// the duration keeps the job atomic with respect to requests. After
+    /// the sample prefetch, think-time speculation may precompute the
+    /// predicted next expansion into the shared result cache.
     pub fn run_pending_prefetch(&self, session: &str) {
         if let Some(handle) = self.sessions.get(session) {
             if let Ok(mut ex) = handle.lock() {
+                let Some(job) = ex.take_pending_prefetch() else {
+                    // A request beat us to the job and drained it — the
+                    // exact point inline prefetching would have run it.
+                    return;
+                };
                 // Best-effort: a failed background prefetch stores nothing;
                 // the next request touching the damaged shard gets the error.
-                let _ = ex.try_drain_pending_prefetch();
+                let _ = ex.try_run_prefetch(&job);
+                self.speculate(&ex, &job);
             }
+        }
+    }
+
+    /// Feeds the transition model after a successful `expand`: the analyst,
+    /// looking at the parent's rule list, drilled into the rule at `path`.
+    /// Root expansions have no parent to learn from, and without a shared
+    /// cache there is nothing speculation could warm — skip both.
+    fn record_transition(&self, ex: &Explorer, path: &[usize]) {
+        if self.cache.is_none() || path.is_empty() {
+            return;
+        }
+        let (Ok(parent), Ok(child)) = (ex.rule_at(&path[..path.len() - 1]), ex.rule_at(path))
+        else {
+            return;
+        };
+        self.transitions.record(&parent.rule, &child.rule);
+    }
+
+    /// Think-time speculation: if the transition model confidently predicts
+    /// which displayed child the analyst drills into next, precompute that
+    /// expansion into the shared result cache before the click arrives.
+    /// Runs under the session lock after the sample prefetch and mutates no
+    /// session state (read-only sample peek, shared-cache insert), so a
+    /// wrong guess or a lost race changes nothing observable.
+    fn speculate(&self, ex: &Explorer, job: &PrefetchJob) {
+        if self.cache.is_none() {
+            return;
+        }
+        let Some(predicted) = self.transitions.predict(&job.parent) else {
+            return;
+        };
+        // Only precompute rules actually on this session's display — the
+        // model is shared, so the predicted child may not be among this
+        // session's prefetch candidates.
+        if job.entries.iter().any(|e| e.rule == predicted) && ex.speculate_expand(&predicted) {
+            self.transitions.note_speculation();
         }
     }
 }

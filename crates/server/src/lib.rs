@@ -34,14 +34,18 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod engine;
 pub mod json;
+pub mod predict;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
+pub use cache::{cache_enabled, CacheCounters, SearchCache};
 pub use engine::{Engine, EngineConfig};
 pub use json::Json;
+pub use predict::{PredictCounters, TransitionModel};
 pub use protocol::{OpenOptions, Request, Response, RuleInfo, StatsInfo};
 pub use registry::{Registry, RegistryError};
 pub use server::{Client, Server, ServerConfig, ServerHandle};

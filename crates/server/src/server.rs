@@ -218,6 +218,24 @@ fn serve_connection(
     stream: TcpStream,
     prefetch_tx: &mpsc::Sender<String>,
 ) -> std::io::Result<()> {
+    // Sessions are connection-scoped (PROTOCOL.md): whatever this client
+    // opened and did not close must be reaped when the connection ends —
+    // graceful EOF and abrupt drop alike — or a crashy client leaks
+    // registry entries and their sample memory until the server restarts.
+    let mut opened: Vec<String> = Vec::new();
+    let result = serve_lines(engine, stream, prefetch_tx, &mut opened);
+    for session in &opened {
+        engine.close_session(session);
+    }
+    result
+}
+
+fn serve_lines(
+    engine: &Engine,
+    stream: TcpStream,
+    prefetch_tx: &mpsc::Sender<String>,
+    opened: &mut Vec<String>,
+) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -251,7 +269,7 @@ fn serve_connection(
         if trimmed.is_empty() {
             continue;
         }
-        let (response, prefetch_hint) = engine.handle_line(trimmed);
+        let (response, prefetch_hint) = engine.handle_line_tracked(trimmed, opened);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;

@@ -236,6 +236,7 @@ fn prefetch_script_samples(
             handler: handler_cfg(20_000, 1_000, 55),
             prefetch: mode,
             confidence_z: 1.96,
+            cache: None,
         },
     );
     for path in [vec![], vec![0], vec![1], vec![0]] {
@@ -299,6 +300,7 @@ fn background_prefetch_reduces_request_blocking_scans() {
                 handler: handler_cfg(20_000, 1_000, 31),
                 prefetch: mode,
                 confidence_z: 1.96,
+                cache: None,
             },
         );
         for path in [vec![], vec![0], vec![1], vec![2]] {

@@ -372,6 +372,7 @@ fn explorer_config(seed: u64) -> ExplorerConfig {
         },
         prefetch: PrefetchMode::Inline,
         confidence_z: 1.96,
+        cache: None,
     }
 }
 
