@@ -151,6 +151,7 @@ fn run_leg(
                 ..EngineConfig::default()
             },
             threads: clients + 2,
+            ..ServerConfig::default()
         },
         "127.0.0.1:0",
     )

@@ -17,9 +17,44 @@
 //! `1,2,4,8`), `SDD_SERVE_ROUNDS` (script repetitions per client,
 //! default 5).
 
-use sdd_server::{Client, OpenOptions, Request, Server, ServerConfig};
+use sdd_server::{Client, HttpClient, OpenOptions, Request, Server, ServerConfig};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The per-round drill script shared by both transport legs, as raw
+/// request lines (the HTTP leg sends the same bytes the TCP leg does).
+fn script_lines(client_idx: usize, round: usize) -> Vec<String> {
+    let session = format!("bench-{client_idx}-{round}");
+    let mut reqs = vec![Request::Open {
+        session: session.clone(),
+        options: OpenOptions {
+            k: Some(3),
+            max_weight: Some(3.0),
+            weight: Some("size".to_owned()),
+            seed: Some(42 + client_idx as u64),
+            capacity: Some(20_000),
+            min_ss: Some(1_000),
+        },
+    }];
+    reqs.push(Request::Expand {
+        session: session.clone(),
+        path: vec![],
+    });
+    for child in 0..3 {
+        reqs.push(Request::Expand {
+            session: session.clone(),
+            path: vec![child],
+        });
+    }
+    reqs.push(Request::Rules {
+        session: session.clone(),
+    });
+    reqs.push(Request::Stats {
+        session: session.clone(),
+    });
+    reqs.push(Request::Close { session });
+    reqs.iter().map(|r| r.to_json().to_string()).collect()
+}
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
@@ -72,41 +107,12 @@ fn main() {
                 std::thread::spawn(move || -> Vec<f64> {
                     let mut client = Client::connect(addr).expect("connect");
                     let mut latencies = Vec::new();
-                    let mut call = |req: &Request| {
-                        let t = Instant::now();
-                        client.call(req).expect("request");
-                        latencies.push(t.elapsed().as_secs_f64());
-                    };
                     for round in 0..rounds {
-                        let session = format!("bench-{i}-{round}");
-                        call(&Request::Open {
-                            session: session.clone(),
-                            options: OpenOptions {
-                                k: Some(3),
-                                max_weight: Some(3.0),
-                                weight: Some("size".to_owned()),
-                                seed: Some(42 + i as u64),
-                                capacity: Some(20_000),
-                                min_ss: Some(1_000),
-                            },
-                        });
-                        call(&Request::Expand {
-                            session: session.clone(),
-                            path: vec![],
-                        });
-                        for child in 0..3 {
-                            call(&Request::Expand {
-                                session: session.clone(),
-                                path: vec![child],
-                            });
+                        for line in script_lines(i, round) {
+                            let t = Instant::now();
+                            client.call_line(&line).expect("request");
+                            latencies.push(t.elapsed().as_secs_f64());
                         }
-                        call(&Request::Rules {
-                            session: session.clone(),
-                        });
-                        call(&Request::Stats {
-                            session: session.clone(),
-                        });
-                        call(&Request::Close { session });
                     }
                     latencies
                 })
@@ -125,7 +131,7 @@ fn main() {
         let (p50, p95) = (percentile(&latencies, 0.50), percentile(&latencies, 0.95));
         let throughput = n as f64 / wall_s;
         println!(
-            "  {clients:>2} client(s): {n:>4} requests | mean {:>8.1} µs | \
+            "  tcp  {clients:>2} client(s): {n:>4} requests | mean {:>8.1} µs | \
              p50 {:>8.1} µs | p95 {:>8.1} µs | {throughput:>8.0} req/s",
             mean * 1e6,
             p50 * 1e6,
@@ -140,7 +146,71 @@ fn main() {
             p95 * 1e6,
         ));
     }
-    let entries = entries.trim_end().trim_end_matches(',');
+    let entries = entries.trim_end().trim_end_matches(',').to_owned();
+
+    // HTTP leg: the same drill script over the HTTP/1.1 front-end. Latency
+    // numbers come from the *server's* histogram — the exact counters the
+    // `/metrics` endpoint exports — so the report and a Prometheus scrape
+    // can never disagree. (Percentiles are therefore bucket upper bounds.)
+    let mut http_entries = String::new();
+    for &clients in &sweep {
+        let server = Server::bind(
+            table.clone(),
+            ServerConfig {
+                threads: clients + 2,
+                http_addr: Some("127.0.0.1:0".to_owned()),
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server");
+        let http_addr = server.http_addr().expect("http addr");
+
+        let wall = Instant::now();
+        let handles: Vec<_> = (0..clients)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = HttpClient::connect(http_addr).expect("http connect");
+                    for round in 0..rounds {
+                        for line in script_lines(i, round) {
+                            let (status, _) = client.call_line(None, &line).expect("http request");
+                            assert_eq!(status, 200, "bench script request failed");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("bench http client");
+        }
+        let wall_s = wall.elapsed().as_secs_f64();
+
+        let hist = &server.metrics().http_latency;
+        let n = hist.count();
+        let mean = hist.mean_seconds();
+        let (p50, p95) = (hist.percentile(0.50), hist.percentile(0.95));
+        server.shutdown();
+
+        let throughput = n as f64 / wall_s;
+        println!(
+            "  http {clients:>2} client(s): {n:>4} requests | mean {:>8.1} µs | \
+             p50 {:>8.1} µs | p95 {:>8.1} µs | {throughput:>8.0} req/s",
+            mean * 1e6,
+            p50 * 1e6,
+            p95 * 1e6,
+        );
+        http_entries.push_str(&format!(
+            "    {{ \"clients\": {clients}, \"requests\": {n}, \
+             \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"throughput_rps\": {throughput:.1} }},\n",
+            mean * 1e6,
+            p50 * 1e6,
+            p95 * 1e6,
+        ));
+    }
+    let http_entries = http_entries.trim_end().trim_end_matches(',');
 
     let json = format!(
         concat!(
@@ -151,14 +221,17 @@ fn main() {
             "  \"rounds_per_client\": {rounds},\n",
             "  \"host_parallelism\": {host},\n",
             "  \"simd\": \"{simd}\",\n",
-            "  \"determinism\": \"per-session transcripts are byte-identical to single-threaded replay (tests/server_stress.rs)\",\n",
-            "  \"sweep\": [\n{entries}\n  ]\n",
+            "  \"determinism\": \"per-session transcripts are byte-identical to single-threaded replay (tests/server_stress.rs) and to the HTTP front-end (tests/http_parity.rs)\",\n",
+            "  \"sweep\": [\n{entries}\n  ],\n",
+            "  \"http_latency_source\": \"server-side sdd_request_latency_seconds histogram (same counters /metrics exposes; percentiles are bucket upper bounds)\",\n",
+            "  \"http_sweep\": [\n{http_entries}\n  ]\n",
             "}}\n"
         ),
         rounds = rounds,
         host = host_threads,
         simd = sdd_bench::simd_level(),
         entries = entries,
+        http_entries = http_entries,
     );
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");

@@ -30,6 +30,21 @@ usage: sdd serve [options]
   --cache <mib>        shared cross-session result-cache budget in MiB
                        (default 64; 0 disables — responses are identical
                        either way; SDD_NO_CACHE=1 also disables)
+  --http <port>        also serve the HTTP/1.1 front-end on this port
+                       (same host as --addr): POST /v1/line, GET /metrics,
+                       GET /healthz — see PROTOCOL.md
+  --tokens <file>      bearer-token file (`token tenant [max_sessions]
+                       [cache_mib]` per line); makes HTTP auth mandatory
+                       and enforces per-tenant quotas
+  --max-queue <n>      shed new HTTP connections with 429 + Retry-After
+                       while more than n connections wait for a worker
+                       (default 1024)
+  --idle-timeout <s>   disconnect connections silent for s seconds and
+                       evict sessions idle that long (default 300 when
+                       --http is on, else off; 0 disables)
+  --smoke-scrape       start, drive one HTTP session, scrape and validate
+                       /metrics, then exit (CI self-test; requires --http,
+                       incompatible with --tokens)
 ";
 
 /// Usage text for `sdd connect`.
@@ -78,6 +93,9 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
     let mut spill: Option<String> = None;
     let mut residency: Option<Residency> = None;
     let mut ingest: Option<String> = None;
+    let mut http_port: Option<u16> = None;
+    let mut idle_timeout: Option<u64> = None;
+    let mut smoke_scrape = false;
     let mut config = ServerConfig::default();
     let flags = match parse_flags(args) {
         Ok(f) => f,
@@ -143,6 +161,32 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
                 })?;
                 config.engine.cache_bytes = mib << 20;
             }
+            "http" => {
+                http_port = Some(need("port")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --http")
+                })?)
+            }
+            "tokens" => {
+                let path = need("file")?;
+                match sdd_server::TenantRegistry::load_token_file(std::path::Path::new(&path)) {
+                    Ok(reg) => config.engine.tenants = Arc::new(reg),
+                    Err(e) => {
+                        writeln!(output, "error: {e}")?;
+                        return Ok(());
+                    }
+                }
+            }
+            "max-queue" => {
+                config.max_queue = need("count")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --max-queue")
+                })?
+            }
+            "idle-timeout" => {
+                idle_timeout = Some(need("seconds")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --idle-timeout")
+                })?)
+            }
+            "smoke-scrape" => smoke_scrape = true,
             other => {
                 writeln!(output, "error: unknown flag --{other}\n{SERVE_USAGE}")?;
                 return Ok(());
@@ -158,6 +202,22 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
         writeln!(
             output,
             "error: --ingest conflicts with {flag} (choose one table source)\n{SERVE_USAGE}"
+        )?;
+        return Ok(());
+    }
+    if smoke_scrape && http_port.is_none() {
+        writeln!(
+            output,
+            "error: --smoke-scrape requires --http (it validates the /metrics endpoint)\n{SERVE_USAGE}"
+        )?;
+        return Ok(());
+    }
+    if smoke_scrape && config.engine.tenants.auth_required() {
+        // The smoke client scrapes anonymously; with auth mandatory it
+        // would only ever prove the 401 path.
+        writeln!(
+            output,
+            "error: --smoke-scrape is incompatible with --tokens\n{SERVE_USAGE}"
         )?;
         return Ok(());
     }
@@ -246,6 +306,17 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
             }
         }
     };
+    if let Some(port) = http_port {
+        let host = addr.rsplit_once(':').map_or("127.0.0.1", |(h, _)| h);
+        config.http_addr = Some(format!("{host}:{port}"));
+    }
+    // Idle handling defaults on with the HTTP front-end: its sessions are
+    // not connection-scoped, so without the sweep they would live forever.
+    let idle_secs = idle_timeout.unwrap_or(if http_port.is_some() { 300 } else { 0 });
+    if idle_secs > 0 {
+        config.read_timeout = Some(std::time::Duration::from_secs(idle_secs));
+        config.session_ttl = Some(std::time::Duration::from_secs(idle_secs));
+    }
     let server = Server::bind_store(store.clone(), config, addr.as_str())?;
     // Surface whether the cross-session result cache is live — an
     // operator throwing the SDD_NO_CACHE kill switch should see it took.
@@ -253,16 +324,139 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
         Some(bytes) => format!(", result cache {} MiB", bytes >> 20),
         None => ", result cache off".to_owned(),
     };
+    let http_note = match server.http_addr() {
+        Some(h) if server.engine().tenants().auth_required() => {
+            format!(", http on {h} (bearer auth)")
+        }
+        Some(h) => format!(", http on {h}"),
+        None => String::new(),
+    };
     writeln!(
         output,
-        "serving {} rows × {} columns{layout}{cache_note} on {} — connect with `sdd connect {}`",
+        "serving {} rows × {} columns{layout}{cache_note}{http_note} on {} — connect with `sdd connect {}`",
         store.n_rows(),
         store.n_columns(),
         server.local_addr()?,
         server.local_addr()?
     )?;
     output.flush()?;
+    if smoke_scrape {
+        let handle = server.spawn()?;
+        let result = run_smoke_scrape(&handle, output);
+        handle.shutdown();
+        return result;
+    }
     server.run()
+}
+
+/// Drives one session over the HTTP front-end, scrapes `/metrics`, and
+/// checks the exposition is well-formed Prometheus text with every core
+/// family present. Used by `--smoke-scrape` (the CI self-test).
+fn run_smoke_scrape(
+    handle: &sdd_server::ServerHandle,
+    output: &mut impl Write,
+) -> std::io::Result<()> {
+    let bail = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let http_addr = handle
+        .http_addr()
+        .ok_or_else(|| bail("no HTTP listener".to_owned()))?;
+    let mut client = sdd_server::HttpClient::connect(http_addr)?;
+    let session = "smoke-scrape".to_owned();
+    for req in [
+        Request::Open {
+            session: session.clone(),
+            options: OpenOptions::default(),
+        },
+        Request::Expand {
+            session: session.clone(),
+            path: vec![],
+        },
+        Request::Stats {
+            session: session.clone(),
+        },
+        Request::Close { session },
+    ] {
+        let (status, body) = client.call_line(None, &req.to_json().to_string())?;
+        if status != 200 {
+            return Err(bail(format!("smoke request failed ({status}): {body}")));
+        }
+    }
+    let reply = client.request("GET", "/metrics", None, None)?;
+    if reply.status != 200 {
+        return Err(bail(format!("GET /metrics returned {}", reply.status)));
+    }
+    let (families, samples) = validate_prometheus(&reply.body_str()).map_err(bail)?;
+    writeln!(
+        output,
+        "smoke-scrape ok: {samples} samples across {families} families"
+    )?;
+    Ok(())
+}
+
+/// Checks Prometheus text-format exposition: every sample's family must
+/// carry `# HELP` and `# TYPE` lines, every sample value must parse, and
+/// the core server families must all be present. Returns (families,
+/// samples) on success.
+fn validate_prometheus(text: &str) -> Result<(usize, usize), String> {
+    use std::collections::HashSet;
+    let mut help: HashSet<&str> = HashSet::new();
+    let mut typed: HashSet<&str> = HashSet::new();
+    let mut samples = 0usize;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("HELP"), Some(name), Some(_)) => {
+                    help.insert(name);
+                }
+                (Some("TYPE"), Some(name), Some(kind)) => {
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        return Err(format!("unknown TYPE {kind:?} for {name}"));
+                    }
+                    typed.insert(name);
+                }
+                _ => return Err(format!("malformed comment line {line:?}")),
+            }
+            continue;
+        }
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or(format!("malformed sample {line:?}"))?;
+        let name = &line[..name_end];
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        if !help.contains(family) || !typed.contains(family) {
+            return Err(format!("sample {name} missing # HELP/# TYPE for {family}"));
+        }
+        let value = line
+            .rsplit(' ')
+            .next()
+            .filter(|v| v.parse::<f64>().is_ok())
+            .ok_or(format!("unparsable value in {line:?}"))?;
+        let _ = value;
+        samples += 1;
+    }
+    for family in [
+        "sdd_request_latency_seconds",
+        "sdd_requests_total",
+        "sdd_requests_shed_total",
+        "sdd_auth_failures_total",
+        "sdd_queue_depth",
+        "sdd_sessions",
+        "sdd_http_connections",
+        "sdd_tcp_connections",
+    ] {
+        if !typed.contains(family) {
+            return Err(format!("family {family} missing from /metrics"));
+        }
+    }
+    Ok((typed.len(), samples))
 }
 
 /// Runs the `sdd connect` REPL against `addr`, reading commands from
@@ -429,6 +623,7 @@ mod tests {
         let config = ServerConfig {
             engine: EngineConfig::default(),
             threads: 4,
+            ..ServerConfig::default()
         };
         Server::bind(table, config, "127.0.0.1:0")
             .unwrap()
@@ -485,6 +680,7 @@ mod tests {
             ServerConfig {
                 engine: EngineConfig::default(),
                 threads: 4,
+                ..ServerConfig::default()
             },
             "127.0.0.1:0",
         )
@@ -625,6 +821,7 @@ mod tests {
             ServerConfig {
                 engine: EngineConfig::default(),
                 threads: 4,
+                ..ServerConfig::default()
             },
             "127.0.0.1:0",
         )
@@ -640,6 +837,50 @@ mod tests {
         assert!(sharded.loads() > 0, "the spill tier was never exercised");
         server.shutdown();
         let _ = std::fs::remove_file(&csv_path);
+    }
+
+    #[test]
+    fn smoke_scrape_drives_http_and_validates_metrics() {
+        let mut out = Vec::new();
+        serve(
+            &[
+                "--addr".to_owned(),
+                "127.0.0.1:0".to_owned(),
+                "--http".to_owned(),
+                "0".to_owned(),
+                "--smoke-scrape".to_owned(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("http on 127.0.0.1:"), "{out}");
+        assert!(out.contains("smoke-scrape ok:"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_smoke_scrape_without_http() {
+        let mut out = Vec::new();
+        serve(&["--smoke-scrape".to_owned()], &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("--smoke-scrape requires --http"), "{out}");
+    }
+
+    #[test]
+    fn validate_prometheus_rejects_malformed_expositions() {
+        // A family sampled without HELP/TYPE, an unparsable value, and a
+        // missing core family must each be caught.
+        assert!(validate_prometheus("orphan_total 1\n")
+            .unwrap_err()
+            .contains("missing # HELP/# TYPE"));
+        let bad_value = "# HELP x y\n# TYPE x counter\nx notanumber\n";
+        assert!(validate_prometheus(bad_value)
+            .unwrap_err()
+            .contains("unparsable value"));
+        let incomplete = "# HELP sdd_sessions s\n# TYPE sdd_sessions gauge\nsdd_sessions 0\n";
+        assert!(validate_prometheus(incomplete)
+            .unwrap_err()
+            .contains("missing from /metrics"));
     }
 
     #[test]

@@ -94,6 +94,9 @@ where
 pub struct TaskPool {
     sender: Option<std::sync::mpsc::Sender<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Jobs submitted but not yet claimed by a worker — the queue depth an
+    /// admission controller sheds on.
+    pending: std::sync::Arc<std::sync::atomic::AtomicUsize>,
 }
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -101,11 +104,14 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 impl TaskPool {
     /// Spawns a pool of `threads.max(1)` workers.
     pub fn new(threads: usize) -> Self {
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let (sender, receiver) = std::sync::mpsc::channel::<Job>();
         let receiver = std::sync::Arc::new(Mutex::new(receiver));
+        let pending = std::sync::Arc::new(AtomicUsize::new(0));
         let workers = (0..threads.max(1))
             .map(|_| {
                 let receiver = std::sync::Arc::clone(&receiver);
+                let pending = std::sync::Arc::clone(&pending);
                 std::thread::spawn(move || loop {
                     // Hold the lock only while popping, never while running.
                     let job = match receiver.lock() {
@@ -117,6 +123,7 @@ impl TaskPool {
                         // panic would permanently shrink the pool, and once
                         // the last worker died `submit` would panic too.
                         Ok(job) => {
+                            pending.fetch_sub(1, Ordering::Relaxed);
                             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         }
                         Err(_) => return, // all senders dropped → shut down
@@ -127,6 +134,7 @@ impl TaskPool {
         Self {
             sender: Some(sender),
             workers,
+            pending,
         }
     }
 
@@ -135,8 +143,23 @@ impl TaskPool {
         self.workers.len()
     }
 
+    /// Jobs waiting in the queue, not yet claimed by a worker. A snapshot:
+    /// exact enough for load shedding and metrics, not linearizable.
+    pub fn pending(&self) -> usize {
+        self.pending.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// A shared handle to the pending-jobs gauge, for observers (metrics
+    /// endpoints) that must outlive a borrow of the pool. Read-only by
+    /// convention.
+    pub fn pending_gauge(&self) -> std::sync::Arc<std::sync::atomic::AtomicUsize> {
+        std::sync::Arc::clone(&self.pending)
+    }
+
     /// Enqueues a job; some idle worker will run it.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.pending
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.sender
             .as_ref()
             .expect("pool alive while not dropped")

@@ -35,13 +35,18 @@ pub const D003_FILES: &[&str] = &["crates/core/src/shard.rs", "crates/core/src/k
 
 /// Files P001 keeps panic-free: spill I/O, plus the shared result-cache
 /// and prediction paths (a panic there would poison a lock every session
-/// shares — an accelerator must never be able to take the server down).
+/// shares — an accelerator must never be able to take the server down),
+/// plus the HTTP front-end's parsing, auth, and metrics paths (fed raw
+/// bytes from untrusted clients — a panic is a remote crash).
 pub const P001_FILES: &[&str] = &[
     "crates/table/src/shard.rs",
     "crates/core/src/cachekey.rs",
     "crates/explorer/src/cache.rs",
     "crates/server/src/cache.rs",
     "crates/server/src/predict.rs",
+    "crates/server/src/http.rs",
+    "crates/server/src/auth.rs",
+    "crates/server/src/metrics.rs",
 ];
 
 /// The cross-file parity suite X001 requires `*_sharded` APIs to appear in.

@@ -1,4 +1,5 @@
-//! The shared, lock-striped drill-down result cache.
+//! The shared, lock-striped drill-down result cache with per-tenant byte
+//! quotas.
 //!
 //! One [`SearchCache`] is shared by every session of an [`crate::Engine`]
 //! (the registry's sessions all explore one immutable store). Keys are the
@@ -15,19 +16,28 @@
 //! asserts this end to end, and under debug assertions every hit is
 //! re-verified bit-for-bit inside the explorer.
 //!
+//! **Multi-tenancy**: every entry is charged to the tenant whose session
+//! inserted it ([`TenantCacheView`] carries the tag through the
+//! tenant-blind `ResultCache` trait). Tenants share *hits* freely —
+//! results are deterministic global truths — but a tenant whose footprint
+//! would exceed its byte quota evicts **only its own entries**, so one
+//! tenant's burst can never push another tenant's hot entries out past
+//! its own quota (the eviction-isolation test pins this). The global
+//! stripe budget still backstops total memory: a stripe overflow first
+//! sheds the inserting tenant's entries in that stripe and falls back to
+//! a full stripe epoch only when the other tenants alone still overflow
+//! it (possible only when quotas oversubscribe the budget).
+//!
 //! Like every striped structure here, striping affects contention only —
-//! a key lands on one fixed stripe. Eviction is epoch-style per stripe:
-//! when an insert would push a stripe past its byte budget the stripe is
-//! cleared (cheap, contention-free, and harmless: the cache is an
-//! accelerator, never a source of truth). This file is panic-free (lint
-//! rule P001): lock poisoning is absorbed with `into_inner`, never
-//! unwrapped.
+//! a key lands on one fixed stripe. This file is panic-free (lint rule
+//! P001): lock poisoning is absorbed with `into_inner`, never unwrapped.
 
+use crate::registry::{TenantId, ANONYMOUS_TENANT};
 use rustc_hash::FxHashMap;
 use sdd_core::DrillKey;
 use sdd_explorer::{CachedRules, ResultCache};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// True unless the `SDD_NO_CACHE` kill switch is thrown (any value but
 /// `"0"`). Mirrors `SDD_NO_SIMD`: an operator can rule the result cache
@@ -39,7 +49,7 @@ pub fn cache_enabled() -> bool {
 
 /// A snapshot of the cache's work counters. Counters never influence
 /// results (the parity suites pin that); they exist for observability —
-/// the serve banner, benches, and capacity planning.
+/// the serve banner, `/metrics`, benches, and capacity planning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheCounters {
     /// Lookups served from the cache.
@@ -48,14 +58,20 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Results stored.
     pub inserts: u64,
-    /// Entries dropped by stripe-epoch eviction.
+    /// Entries dropped by eviction (tenant-quota or stripe-budget).
     pub evictions: u64,
     /// Estimated bytes currently held across all stripes.
     pub bytes: u64,
 }
 
+struct Entry {
+    value: CachedRules,
+    tenant: TenantId,
+    bytes: u64,
+}
+
 struct Stripe {
-    map: FxHashMap<DrillKey, CachedRules>,
+    map: FxHashMap<DrillKey, Entry>,
     bytes: u64,
 }
 
@@ -63,6 +79,11 @@ struct Stripe {
 pub struct SearchCache {
     stripes: Vec<Mutex<Stripe>>,
     stripe_budget: u64,
+    /// Per-tenant byte quotas, indexed by [`TenantId`]. A tenant beyond
+    /// the table falls back to the anonymous quota (entry 0).
+    tenant_quotas: Vec<u64>,
+    /// Per-tenant resident bytes, same indexing.
+    tenant_bytes: Vec<AtomicU64>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -81,9 +102,23 @@ fn entry_bytes(value: &CachedRules) -> u64 {
 }
 
 impl SearchCache {
-    /// A cache with `stripes.max(1)` stripes sharing `budget_bytes` evenly.
+    /// A single-tenant cache: `stripes.max(1)` stripes sharing
+    /// `budget_bytes` evenly, with the anonymous tenant entitled to the
+    /// whole budget.
     pub fn new(stripes: usize, budget_bytes: usize) -> Self {
+        Self::with_tenants(stripes, budget_bytes, vec![budget_bytes as u64])
+    }
+
+    /// A multi-tenant cache. `tenant_quotas[t]` is tenant `t`'s byte
+    /// quota (index 0 is the anonymous tenant); an empty table gets one
+    /// anonymous tenant entitled to the whole budget.
+    pub fn with_tenants(stripes: usize, budget_bytes: usize, tenant_quotas: Vec<u64>) -> Self {
         let stripes = stripes.max(1);
+        let tenant_quotas = if tenant_quotas.is_empty() {
+            vec![budget_bytes as u64]
+        } else {
+            tenant_quotas
+        };
         Self {
             stripe_budget: (budget_bytes as u64 / stripes as u64).max(1),
             stripes: (0..stripes)
@@ -94,6 +129,10 @@ impl SearchCache {
                     })
                 })
                 .collect(),
+            tenant_bytes: (0..tenant_quotas.len())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            tenant_quotas,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -116,6 +155,107 @@ impl SearchCache {
         m.lock().unwrap_or_else(|poison| poison.into_inner())
     }
 
+    /// Clamps a tenant id into the quota table (unknown tenants share the
+    /// anonymous slot — they cannot appear in correct use, but a clamp is
+    /// cheaper and safer than a panic in this panic-free file).
+    fn slot(&self, tenant: TenantId) -> usize {
+        let t = tenant as usize;
+        if t < self.tenant_quotas.len() {
+            t
+        } else {
+            ANONYMOUS_TENANT as usize
+        }
+    }
+
+    /// Removes `tenant`'s entries from `stripe`, returning bytes freed.
+    fn shed_tenant_from(&self, stripe: &mut Stripe, tenant: usize) -> u64 {
+        let doomed: Vec<DrillKey> = stripe
+            .map
+            .iter()
+            .filter(|(_, e)| self.slot(e.tenant) == tenant)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut freed = 0u64;
+        for key in &doomed {
+            if let Some(e) = stripe.map.remove(key) {
+                freed += e.bytes;
+            }
+        }
+        if freed > 0 {
+            stripe.bytes -= freed.min(stripe.bytes);
+            self.evictions
+                .fetch_add(doomed.len() as u64, Ordering::Relaxed);
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.tenant_bytes[tenant].fetch_sub(freed, Ordering::Relaxed);
+        }
+        freed
+    }
+
+    /// Tenant-quota eviction: sweeps **only `tenant`'s** entries, one
+    /// stripe at a time (never holding two stripe locks, so no ordering
+    /// hazard with concurrent inserts). Other tenants' entries are
+    /// untouched — the eviction-isolation contract.
+    fn evict_tenant(&self, tenant: usize) {
+        for stripe in &self.stripes {
+            let mut guard = Self::lock(stripe);
+            self.shed_tenant_from(&mut guard, tenant);
+        }
+    }
+
+    /// Stores the result for `key`, charging the bytes to `tenant`. See
+    /// module docs for the two-level (tenant-quota, stripe-budget)
+    /// eviction policy. Idempotent for present keys.
+    pub fn insert_for(&self, tenant: TenantId, key: DrillKey, value: CachedRules) {
+        let tenant = self.slot(tenant);
+        let size = entry_bytes(&value);
+        {
+            let stripe = Self::lock(self.stripe(&key));
+            if stripe.map.contains_key(&key) {
+                // Idempotent: concurrent missers computed the same bits.
+                return;
+            }
+        }
+        // Tenant over quota: shed the tenant's own entries everywhere.
+        // (Outside the target stripe's lock — evict_tenant takes each
+        // stripe lock in turn.)
+        if self.tenant_bytes[tenant].load(Ordering::Relaxed) + size > self.tenant_quotas[tenant] {
+            self.evict_tenant(tenant);
+        }
+        let mut stripe = Self::lock(self.stripe(&key));
+        if stripe.map.contains_key(&key) {
+            return; // raced with an identical insert while unlocked
+        }
+        if stripe.bytes + size > self.stripe_budget && !stripe.map.is_empty() {
+            // Stripe over its global budget: shed the inserting tenant's
+            // entries here first — isolation again — and only if the
+            // *other* tenants alone still overflow the stripe (quotas
+            // oversubscribing the budget) fall back to a full epoch clear.
+            self.shed_tenant_from(&mut stripe, tenant);
+            if stripe.bytes + size > self.stripe_budget && !stripe.map.is_empty() {
+                self.evictions
+                    .fetch_add(stripe.map.len() as u64, Ordering::Relaxed);
+                self.bytes.fetch_sub(stripe.bytes, Ordering::Relaxed);
+                for e in stripe.map.values() {
+                    self.tenant_bytes[self.slot(e.tenant)].fetch_sub(e.bytes, Ordering::Relaxed);
+                }
+                stripe.map.clear();
+                stripe.bytes = 0;
+            }
+        }
+        stripe.map.insert(
+            key,
+            Entry {
+                value,
+                tenant: tenant as TenantId,
+                bytes: size,
+            },
+        );
+        stripe.bytes += size;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(size, Ordering::Relaxed);
+        self.tenant_bytes[tenant].fetch_add(size, Ordering::Relaxed);
+    }
+
     /// Snapshot of the work counters.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
@@ -125,6 +265,22 @@ impl SearchCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Bytes currently charged to `tenant` (for `/metrics` and the quota
+    /// tests).
+    pub fn tenant_bytes(&self, tenant: TenantId) -> u64 {
+        self.tenant_bytes[self.slot(tenant)].load(Ordering::Relaxed)
+    }
+
+    /// `tenant`'s configured byte quota.
+    pub fn tenant_quota(&self, tenant: TenantId) -> u64 {
+        self.tenant_quotas[self.slot(tenant)]
+    }
+
+    /// Number of tenants the quota table was built with.
+    pub fn n_tenants(&self) -> usize {
+        self.tenant_quotas.len()
     }
 
     /// Number of entries currently cached (snapshot across stripes).
@@ -140,7 +296,10 @@ impl SearchCache {
 
 impl ResultCache for SearchCache {
     fn get(&self, key: &DrillKey) -> Option<CachedRules> {
-        let hit = Self::lock(self.stripe(key)).map.get(key).cloned();
+        let hit = Self::lock(self.stripe(key))
+            .map
+            .get(key)
+            .map(|e| Arc::clone(&e.value));
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -154,26 +313,37 @@ impl ResultCache for SearchCache {
     }
 
     fn insert(&self, key: DrillKey, value: CachedRules) {
-        let size = entry_bytes(&value);
-        let mut stripe = Self::lock(self.stripe(&key));
-        if stripe.map.contains_key(&key) {
-            // Idempotent: concurrent missers computed the same bits.
-            return;
-        }
-        if stripe.bytes + size > self.stripe_budget && !stripe.map.is_empty() {
-            // Epoch eviction: clear the stripe rather than maintain LRU
-            // chains under the lock. The cache is an accelerator — a cold
-            // stripe repopulates from recomputation, bit-identically.
-            self.evictions
-                .fetch_add(stripe.map.len() as u64, Ordering::Relaxed);
-            self.bytes.fetch_sub(stripe.bytes, Ordering::Relaxed);
-            stripe.map.clear();
-            stripe.bytes = 0;
-        }
-        stripe.map.insert(key, value);
-        stripe.bytes += size;
-        self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(size, Ordering::Relaxed);
+        self.insert_for(ANONYMOUS_TENANT, key, value);
+    }
+}
+
+/// A tenant-tagged view over the shared [`SearchCache`]: the handle an
+/// authenticated session's explorer gets, so inserts flowing through the
+/// tenant-blind [`ResultCache`] trait are charged to the right quota.
+/// Reads are shared across tenants (hits are deterministic global truths).
+pub struct TenantCacheView {
+    inner: Arc<SearchCache>,
+    tenant: TenantId,
+}
+
+impl TenantCacheView {
+    /// A view of `cache` that charges inserts to `tenant`.
+    pub fn new(inner: Arc<SearchCache>, tenant: TenantId) -> Self {
+        Self { inner, tenant }
+    }
+}
+
+impl ResultCache for TenantCacheView {
+    fn get(&self, key: &DrillKey) -> Option<CachedRules> {
+        self.inner.get(key)
+    }
+
+    fn contains(&self, key: &DrillKey) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn insert(&self, key: DrillKey, value: CachedRules) {
+        self.inner.insert_for(self.tenant, key, value);
     }
 }
 
@@ -264,5 +434,86 @@ mod tests {
         let counters = c.counters();
         assert_eq!(counters.hits + counters.misses, 1600);
         assert!(c.len() <= 32);
+    }
+
+    /// The eviction-isolation contract: tenant 1's burst past its own
+    /// quota evicts only tenant 1's entries; tenant 2's hot entries
+    /// survive untouched, and tenant 1 never settles above its quota.
+    #[test]
+    fn tenant_burst_cannot_evict_another_tenants_entries() {
+        // One stripe so every key contends on the same budget; global
+        // budget far above both quotas so only tenant quotas can trigger.
+        let quota = 600u64;
+        let c = SearchCache::with_tenants(1, 1 << 20, vec![1 << 20, quota, quota]);
+
+        // Tenant 2 populates comfortably inside its quota.
+        let t2_keys: Vec<DrillKey> = (100..104).map(key).collect();
+        for k in &t2_keys {
+            c.insert_for(2, *k, rules(2.0));
+        }
+        let t2_bytes = c.tenant_bytes(2);
+        assert!(t2_bytes > 0 && t2_bytes <= quota);
+
+        // Tenant 1 bursts way past its own quota.
+        for i in 0..200u64 {
+            c.insert_for(1, key(i), rules(1.0));
+        }
+
+        // Tenant 2's entries are all still present and still accounted.
+        for k in &t2_keys {
+            assert!(c.contains(k), "tenant 2 entry evicted by tenant 1's burst");
+        }
+        assert_eq!(c.tenant_bytes(2), t2_bytes);
+        // Tenant 1 was evicted down: it holds at most quota + one entry.
+        assert!(
+            c.tenant_bytes(1) <= quota + 200,
+            "tenant 1 resident {} far above quota {quota}",
+            c.tenant_bytes(1)
+        );
+        assert!(c.counters().evictions > 0);
+    }
+
+    /// Stripe-budget overflow sheds the inserting tenant before touching
+    /// anyone else, and global accounting stays consistent.
+    #[test]
+    fn stripe_overflow_sheds_the_inserting_tenant_first() {
+        // Stripe budget 400; quotas larger than the stripe, so only the
+        // stripe budget can trigger.
+        let c = SearchCache::with_tenants(1, 400, vec![1 << 20, 1 << 20, 1 << 20]);
+        c.insert_for(2, key(1), rules(1.0));
+        let t2_bytes = c.tenant_bytes(2);
+        // Tenant 1 fills the stripe past its budget repeatedly.
+        for i in 10..30u64 {
+            c.insert_for(1, key(i), rules(1.0));
+        }
+        assert!(
+            c.contains(&key(1)),
+            "tenant 2's entry fell to tenant 1's stripe overflow"
+        );
+        assert_eq!(c.tenant_bytes(2), t2_bytes);
+        let counters = c.counters();
+        assert_eq!(
+            counters.bytes,
+            c.tenant_bytes(1) + c.tenant_bytes(2),
+            "global bytes must equal the sum of tenant bytes"
+        );
+    }
+
+    #[test]
+    fn tenant_view_charges_the_right_tenant() {
+        let c = Arc::new(SearchCache::with_tenants(
+            2,
+            1 << 20,
+            vec![1 << 20, 1 << 20],
+        ));
+        let view = TenantCacheView::new(Arc::clone(&c), 1);
+        view.insert(key(5), rules(5.0));
+        assert!(c.tenant_bytes(1) > 0);
+        assert_eq!(c.tenant_bytes(0), 0);
+        // Hits are shared: the untagged cache sees tenant 1's entry.
+        assert!(c.get(&key(5)).is_some());
+        // Unknown tenants clamp to the anonymous slot instead of panicking.
+        c.insert_for(999, key(6), rules(6.0));
+        assert!(c.tenant_bytes(0) > 0);
     }
 }

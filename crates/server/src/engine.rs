@@ -17,10 +17,11 @@
 //! click model, and counters), so concurrent sessions cannot perturb each
 //! other's results — the property the stress harness pins down.
 
-use crate::cache::{cache_enabled, CacheCounters, SearchCache};
+use crate::auth::TenantRegistry;
+use crate::cache::{cache_enabled, CacheCounters, SearchCache, TenantCacheView};
 use crate::predict::{PredictCounters, TransitionModel};
 use crate::protocol::{Request, Response, RuleInfo, StatsInfo};
-use crate::registry::{Registry, RegistryError};
+use crate::registry::{Registry, RegistryError, TenantId, ANONYMOUS_TENANT};
 use sdd_core::{BitsWeight, SizeMinusOne, SizeWeight, WeightFn};
 use sdd_explorer::{
     DisplayedRule, Explorer, ExplorerConfig, PrefetchMode, ResultCache, SharedResultCache,
@@ -46,6 +47,12 @@ pub struct EngineConfig {
     /// it (as does the `SDD_NO_CACHE` environment kill switch). The cache
     /// is transparent — responses are byte-identical either way.
     pub cache_bytes: usize,
+    /// Tenant directory (auth tokens + per-tenant quotas). The default is
+    /// an open registry: one anonymous tenant, no auth, no quotas beyond
+    /// `max_sessions` — exactly the lab behavior every existing caller
+    /// expects. Quotas never change a response byte; they only decide
+    /// whether an `open` is admitted.
+    pub tenants: Arc<TenantRegistry>,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +65,7 @@ impl Default for EngineConfig {
             stripes: 16,
             max_sessions: 10_000,
             cache_bytes: 64 << 20,
+            tenants: Arc::new(TenantRegistry::open()),
         }
     }
 }
@@ -88,8 +96,13 @@ impl Engine {
     /// monolithic table (the sharded stress harness asserts the transcript
     /// equality).
     pub fn with_store(store: TableStore, config: EngineConfig) -> Self {
-        let cache = (config.cache_bytes > 0 && cache_enabled())
-            .then(|| Arc::new(SearchCache::new(config.stripes, config.cache_bytes)));
+        let cache = (config.cache_bytes > 0 && cache_enabled()).then(|| {
+            Arc::new(SearchCache::with_tenants(
+                config.stripes,
+                config.cache_bytes,
+                config.tenants.cache_quotas(config.cache_bytes as u64),
+            ))
+        });
         Self {
             store,
             sessions: Registry::new(config.stripes),
@@ -148,6 +161,17 @@ impl Engine {
         self.transitions.counters()
     }
 
+    /// The tenant directory this engine enforces quotas from.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.config.tenants
+    }
+
+    /// Result-cache bytes currently charged to `tenant` (0 when the cache
+    /// is disabled). Observability only — `/metrics` reads this.
+    pub fn tenant_cache_bytes(&self, tenant: TenantId) -> u64 {
+        self.cache.as_ref().map_or(0, |c| c.tenant_bytes(tenant))
+    }
+
     /// Handles one raw request line and returns the serialized response
     /// line (no trailing newline) plus, when a deferred prefetch job is now
     /// pending, the session name to hand to the background worker.
@@ -171,17 +195,37 @@ impl Engine {
         line: &str,
         opened: &mut Vec<String>,
     ) -> (String, Option<String>) {
+        self.handle_line_as(line, Some(opened), ANONYMOUS_TENANT)
+    }
+
+    /// The fully general entry point: one raw request line, handled on
+    /// behalf of `tenant` (session-quota enforcement at `open`; cache
+    /// inserts charged to the tenant), with optional connection-scoped
+    /// session tracking via `opened` (pass `None` for transports whose
+    /// sessions outlive connections — HTTP — and rely on the idle sweep
+    /// instead). Tenancy decides only whether an `open` is admitted: for
+    /// any admitted request sequence the response bytes are identical for
+    /// every tenant, which is what keeps HTTP transcripts byte-equal to
+    /// line-JSON transcripts.
+    pub fn handle_line_as(
+        &self,
+        line: &str,
+        opened: Option<&mut Vec<String>>,
+        tenant: TenantId,
+    ) -> (String, Option<String>) {
         match crate::protocol::parse_request_line(line) {
             Ok(req) => {
-                let (response, hint) = self.handle(&req);
-                match (&req, &response) {
-                    (Request::Open { session, .. }, Response::Opened { .. }) => {
-                        opened.push(session.clone());
+                let (response, hint) = self.handle_as(&req, tenant);
+                if let Some(opened) = opened {
+                    match (&req, &response) {
+                        (Request::Open { session, .. }, Response::Opened { .. }) => {
+                            opened.push(session.clone());
+                        }
+                        (Request::Close { session }, Response::Closed) => {
+                            opened.retain(|s| s != session);
+                        }
+                        _ => {}
                     }
-                    (Request::Close { session }, Response::Closed) => {
-                        opened.retain(|s| s != session);
-                    }
-                    _ => {}
                 }
                 (response.to_json().to_string(), hint)
             }
@@ -191,14 +235,38 @@ impl Engine {
 
     /// Removes a session without a protocol exchange — transport-level
     /// reaping of connection-scoped sessions whose client vanished without
-    /// `close`. Idempotent; a name already closed is a no-op.
+    /// `close`. Idempotent; a name already closed is a no-op. Releases the
+    /// owning tenant's session quota.
     pub fn close_session(&self, session: &str) {
-        let _ = self.sessions.remove(session);
+        if let Some((_, tenant)) = self.sessions.remove_tagged(session) {
+            self.config.tenants.tenant(tenant).release_session();
+        }
     }
 
-    /// Handles one parsed request. Returns the response and, when a
-    /// deferred prefetch job is pending afterwards, the session to ping.
+    /// Removes every session idle longer than `ttl`, releasing each
+    /// owner's quota, and returns how many were reaped. The server's
+    /// background sweep calls this; HTTP sessions (not connection-scoped)
+    /// rely on it for their whole lifecycle, and a stalled TCP client's
+    /// sessions are also reclaimed here if its read timeout has not fired
+    /// first.
+    pub fn evict_idle_sessions(&self, ttl: std::time::Duration) -> usize {
+        let reaped = self.sessions.sweep_idle(ttl.as_millis() as u64);
+        for (_, tenant) in &reaped {
+            self.config.tenants.tenant(*tenant).release_session();
+        }
+        reaped.len()
+    }
+
+    /// Handles one parsed request as the anonymous tenant. Returns the
+    /// response and, when a deferred prefetch job is pending afterwards,
+    /// the session to ping.
     pub fn handle(&self, req: &Request) -> (Response, Option<String>) {
+        self.handle_as(req, ANONYMOUS_TENANT)
+    }
+
+    /// [`Engine::handle`] on behalf of `tenant` — see
+    /// [`Engine::handle_line_as`] for the tenancy contract.
+    pub fn handle_as(&self, req: &Request, tenant: TenantId) -> (Response, Option<String>) {
         match req {
             Request::Ping => (Response::Pong, None),
             Request::TableInfo => (
@@ -210,9 +278,12 @@ impl Engine {
                 },
                 None,
             ),
-            Request::Open { session, options } => (self.open(session, options), None),
-            Request::Close { session } => match self.sessions.remove(session) {
-                Some(_) => (Response::Closed, None),
+            Request::Open { session, options } => (self.open(session, options, tenant), None),
+            Request::Close { session } => match self.sessions.remove_tagged(session) {
+                Some((_, owner)) => {
+                    self.config.tenants.tenant(owner).release_session();
+                    (Response::Closed, None)
+                }
                 None => (
                     Response::error(RegistryError::NotFound(session.clone())),
                     None,
@@ -285,13 +356,41 @@ impl Engine {
         }
     }
 
-    fn open(&self, session: &str, options: &crate::protocol::OpenOptions) -> Response {
+    fn open(
+        &self,
+        session: &str,
+        options: &crate::protocol::OpenOptions,
+        tenant: TenantId,
+    ) -> Response {
         if session.is_empty() || session.len() > 128 {
             return Response::error("session name must be 1..=128 characters");
         }
         if self.sessions.len() >= self.config.max_sessions {
             return Response::error("session limit reached");
         }
+        let owner = self.config.tenants.tenant(tenant);
+        if !owner.try_claim_session() {
+            return Response::error(format!(
+                "tenant {:?} session quota ({}) reached",
+                owner.name, owner.quota.max_sessions
+            ));
+        }
+        // The slot is claimed; any failure below must hand it back.
+        let response = self.open_claimed(session, options, tenant);
+        if !matches!(response, Response::Opened { .. }) {
+            owner.release_session();
+        }
+        response
+    }
+
+    /// The validation + construction half of `open`, running with the
+    /// tenant's session slot already claimed.
+    fn open_claimed(
+        &self,
+        session: &str,
+        options: &crate::protocol::OpenOptions,
+        tenant: TenantId,
+    ) -> Response {
         let weight: Box<dyn WeightFn> = match options.weight.as_deref() {
             None | Some("size") => Box::new(SizeWeight),
             Some("bits") => Box::new(BitsWeight),
@@ -330,12 +429,13 @@ impl Engine {
         // can vary per session (sample content, base rule, k, weight, mw),
         // so cross-session sharing is sound — and sessions with diverging
         // sample content simply miss.
-        cfg.cache = self
-            .cache
-            .clone()
-            .map(|c| SharedResultCache(c as Arc<dyn ResultCache>));
+        // The view tags inserts with the owning tenant so cache-byte
+        // quotas charge the right account; hits stay tenant-blind.
+        cfg.cache = self.cache.clone().map(|c| {
+            SharedResultCache(Arc::new(TenantCacheView::new(c, tenant)) as Arc<dyn ResultCache>)
+        });
         let explorer = Explorer::with_store(self.store.clone(), weight, cfg);
-        match self.sessions.insert(session, explorer) {
+        match self.sessions.insert_tagged(session, explorer, tenant) {
             Ok(()) => Response::Opened {
                 session: session.to_owned(),
             },

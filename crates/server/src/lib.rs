@@ -34,18 +34,24 @@
 
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod cache;
 pub mod engine;
+pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod predict;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use cache::{cache_enabled, CacheCounters, SearchCache};
+pub use auth::{Tenant, TenantQuota, TenantRegistry};
+pub use cache::{cache_enabled, CacheCounters, SearchCache, TenantCacheView};
 pub use engine::{Engine, EngineConfig};
+pub use http::{HttpClient, HttpReply};
 pub use json::Json;
+pub use metrics::{LatencyHistogram, Metrics, Transport};
 pub use predict::{PredictCounters, TransitionModel};
 pub use protocol::{OpenOptions, Request, Response, RuleInfo, StatsInfo};
-pub use registry::{Registry, RegistryError};
+pub use registry::{Registry, RegistryError, TenantId, ANONYMOUS_TENANT};
 pub use server::{Client, Server, ServerConfig, ServerHandle};

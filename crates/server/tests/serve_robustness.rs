@@ -1,0 +1,153 @@
+//! Serve-path robustness regressions: oversized request lines and
+//! stalled/half-open clients.
+//!
+//! Two bugs this file pins down forever:
+//!
+//! 1. **Oversized request line.** The reader caps a line at 1 MiB, but the
+//!    connection used to *survive* the refusal by discarding the rest of
+//!    the line — letting a hostile client stream unbounded garbage through
+//!    the discard loop forever. Now the refusal is final: one clean
+//!    `Response::Error`, then the connection closes (and its sessions are
+//!    reaped).
+//! 2. **Stalled client pins a pool worker.** A client that connects and
+//!    goes silent (or whose network half-opens) used to park a connection
+//!    worker in `read` forever; enough of them starved the pool. With
+//!    `ServerConfig::read_timeout`, the silent connection is disconnected,
+//!    the worker freed, and connection-scoped sessions reaped.
+
+use sdd_server::{Client, OpenOptions, Request, Response, Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn start_server(config: ServerConfig) -> sdd_server::ServerHandle {
+    let table = Arc::new(sdd_datagen::retail(42));
+    Server::bind(table, config, "127.0.0.1:0")
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server thread")
+}
+
+fn wait_for_sessions(engine: &sdd_server::Engine, expected: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while engine.n_sessions() != expected {
+        assert!(
+            Instant::now() < deadline,
+            "registry stuck at {} sessions (expected {expected})",
+            engine.n_sessions()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn oversized_line_gets_one_error_then_the_connection_closes() {
+    let server = start_server(ServerConfig::default());
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // A multi-MiB "request line": three times the 1 MiB cap, no newline
+    // until the very end.
+    let huge = "x".repeat(3 << 20);
+    writer.write_all(huge.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(
+        reply.contains("\"ok\":false") && reply.contains("exceeds"),
+        "oversized line must be refused: {reply}"
+    );
+    // …and the refusal is final: the server closes, EOF follows.
+    let mut rest = String::new();
+    assert_eq!(
+        reader.read_line(&mut rest).unwrap(),
+        0,
+        "connection must close after an oversized line, got: {rest}"
+    );
+}
+
+#[test]
+fn oversized_line_reaps_the_connections_sessions() {
+    let server = start_server(ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let opened = client
+        .call(&Request::Open {
+            session: "big-then-dead".to_owned(),
+            options: OpenOptions {
+                seed: Some(7),
+                capacity: Some(20_000),
+                min_ss: Some(1_000),
+                ..OpenOptions::default()
+            },
+        })
+        .unwrap();
+    assert!(matches!(opened, Response::Opened { .. }));
+    assert_eq!(server.engine().n_sessions(), 1);
+
+    let mut raw = client; // keep variable names honest below
+    let line = format!("{}\n", "z".repeat(2 << 20));
+    // Push the oversized line through the same connection.
+    let err = raw.call_line(&line[..line.len() - 1]);
+    // Either we read the error response, or the server already hung up.
+    if let Ok(reply) = err {
+        assert!(reply.contains("exceeds"), "{reply}");
+    }
+    wait_for_sessions(server.engine(), 0);
+}
+
+#[test]
+fn stalled_client_is_disconnected_and_its_worker_reclaimed() {
+    // One worker: if the stalled connection kept it, the probe below
+    // could never be served.
+    let server = start_server(ServerConfig {
+        threads: 1,
+        read_timeout: Some(Duration::from_millis(150)),
+        ..ServerConfig::default()
+    });
+
+    let mut stalled = Client::connect(server.addr()).unwrap();
+    let opened = stalled
+        .call(&Request::Open {
+            session: "stall".to_owned(),
+            options: OpenOptions {
+                seed: Some(7),
+                capacity: Some(20_000),
+                min_ss: Some(1_000),
+                ..OpenOptions::default()
+            },
+        })
+        .unwrap();
+    assert!(matches!(opened, Response::Opened { .. }));
+    assert_eq!(server.engine().n_sessions(), 1);
+    // …and now the client goes silent, still holding the lone worker.
+
+    // The read timeout must disconnect it, reap its session, and free
+    // the worker for the next client.
+    wait_for_sessions(server.engine(), 0);
+    let mut probe = Client::connect(server.addr()).unwrap();
+    let info = probe.call(&Request::TableInfo).unwrap();
+    assert!(
+        matches!(info, Response::TableInfo { .. }),
+        "freed worker must serve new connections"
+    );
+}
+
+#[test]
+fn live_clients_survive_the_read_timeout_between_requests() {
+    // The timeout bounds silence, not session length: a client that keeps
+    // talking (slower than the tick, faster than the timeout) is fine.
+    let server = start_server(ServerConfig {
+        read_timeout: Some(Duration::from_millis(400)),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    for _ in 0..4 {
+        std::thread::sleep(Duration::from_millis(120));
+        let info = client.call(&Request::TableInfo).unwrap();
+        assert!(matches!(info, Response::TableInfo { .. }));
+    }
+}

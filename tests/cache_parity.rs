@@ -212,6 +212,7 @@ fn concurrent_same_seed_clients_share_the_cache_transparently() {
         ServerConfig {
             engine: EngineConfig::default(),
             threads: N_CLIENTS + 2,
+            ..ServerConfig::default()
         },
         "127.0.0.1:0",
     )

@@ -204,6 +204,7 @@ fn concurrent_sessions_match_sequential_replay_byte_for_byte() {
         ServerConfig {
             engine: EngineConfig::default(), // PrefetchMode::Deferred
             threads: N_CLIENTS + 2,
+            ..ServerConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -290,6 +291,7 @@ fn sharded_spilling_server_matches_monolithic_sequential_replay() {
         ServerConfig {
             engine: EngineConfig::default(), // PrefetchMode::Deferred
             threads: N_CLIENTS + 2,
+            ..ServerConfig::default()
         },
         "127.0.0.1:0",
     )
@@ -345,6 +347,7 @@ fn concurrent_run_is_stable_across_repeats() {
             ServerConfig {
                 engine: EngineConfig::default(),
                 threads: N_CLIENTS + 2,
+                ..ServerConfig::default()
             },
             "127.0.0.1:0",
         )
