@@ -1,0 +1,379 @@
+//! Emits `BENCH_live.json`: staleness vs throughput for the live serving
+//! mode (append-only ingest with epoch-bumping snapshots). Run with:
+//!
+//! ```sh
+//! cargo run --release -p sdd-bench --bin exp_live
+//! ```
+//!
+//! One live server per leg; a writer client appends fixed-size batches at
+//! the leg's target rate while reader clients replay recorded drill-down
+//! visits (open → expand → expand → rules → close, fresh session per
+//! visit). Two costs rise with the append rate and the bench measures
+//! both:
+//!
+//! * **Staleness** — a drill-down answers at the epoch its operation
+//!   pinned; rows that land while the answer is computed (and in flight)
+//!   are invisible to it. Each visit's `rules` reply carries the root
+//!   count (= rows at the pinned epoch); an immediate `table` probe
+//!   returns the rows visible *now*; the gap is the observed lag in rows.
+//! * **Throughput** — every append bumps the epoch, so result-cache
+//!   entries stop matching (the epoch is part of every key) and each
+//!   session's next operation re-syncs its samples onto the new snapshot;
+//!   reader requests per second fall as the append rate rises.
+//!
+//! The rate-0 leg is the frozen-equivalent baseline: same store, no
+//! appends — its lag must be exactly 0 (asserted), and same-seed visits
+//! within it must produce byte-identical transcripts (asserted, the
+//! bench-scale echo of `tests/live_parity.rs`).
+//!
+//! Environment knobs: `SDD_LIVE_VISITS` (visits per leg, default 96),
+//! `SDD_LIVE_CLIENTS` (reader threads, default 4), `SDD_LIVE_BATCH`
+//! (rows per append, default 256), `SDD_LIVE_SEED_ROWS` (epoch-1 rows,
+//! default 2048).
+
+use sdd_server::{Client, EngineConfig, Json, Request, Response, Server, ServerConfig, TailConfig};
+use sdd_table::{LiveTable, LiveTableConfig, Schema, TableStore};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Appends per second attempted by the writer in each leg. Smoke-scale
+/// legs last tens of milliseconds, so the rates are high enough that the
+/// fastest leg sees dozens of epoch bumps mid-workload.
+const APPEND_RATES: [f64; 4] = [0.0, 32.0, 256.0, 1024.0];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic synthetic workload row `i` (same shape as the
+/// `tests/live_parity.rs` harness).
+fn row(i: usize) -> Vec<String> {
+    let h = splitmix(i as u64);
+    vec![
+        format!("s{}", h % 6),
+        format!("p{}", (h >> 8) % 11),
+        format!("r{}", (h >> 16) % 4),
+    ]
+}
+
+fn batch(lo: usize, hi: usize) -> Vec<Vec<String>> {
+    (lo..hi).map(row).collect()
+}
+
+/// One recorded reader visit (fresh session; the seed cycles over a small
+/// profile pool so same-epoch visits can share the result cache).
+fn visit_lines(session: &str, visit: usize) -> Vec<String> {
+    let seed = 100 + (visit % 8) as u64;
+    vec![
+        format!(
+            r#"{{"op":"open","session":"{session}","seed":"{seed}","k":3,"mw":3.0,"weight":"size","capacity":2000,"min_ss":200}}"#
+        ),
+        format!(r#"{{"op":"expand","session":"{session}","path":[]}}"#),
+        format!(r#"{{"op":"expand","session":"{session}","path":[0]}}"#),
+        format!(r#"{{"op":"rules","session":"{session}"}}"#),
+        format!(r#"{{"op":"close","session":"{session}"}}"#),
+    ]
+}
+
+/// Extracts the root displayed count from a `rules` reply.
+fn root_count(line: &str) -> f64 {
+    let json = Json::parse(line).expect("rules reply parses");
+    match Response::from_json(&json).expect("rules reply deserializes") {
+        Response::RuleList { rules } => rules
+            .iter()
+            .find(|r| r.path.is_empty())
+            .map(|r| r.count)
+            .expect("root rule displayed"),
+        other => panic!("expected a rules reply, got {other:?}"),
+    }
+}
+
+/// Extracts the row count from a `table` reply.
+fn table_rows(line: &str) -> f64 {
+    let json = Json::parse(line).expect("table reply parses");
+    match Response::from_json(&json).expect("table reply deserializes") {
+        Response::TableInfo { rows, .. } => rows as f64,
+        other => panic!("expected a table reply, got {other:?}"),
+    }
+}
+
+struct LegResult {
+    latencies: Vec<f64>,
+    lags: Vec<f64>,
+    wall_s: f64,
+    appends: u64,
+    final_epoch: u64,
+    final_rows: usize,
+    cache: Option<sdd_server::CacheCounters>,
+    /// visit-key → transcript, for the rate-0 parity assertion.
+    transcripts: BTreeMap<String, Vec<String>>,
+}
+
+fn run_leg(
+    rate: f64,
+    visits: usize,
+    clients: usize,
+    batch_rows: usize,
+    seed_rows: usize,
+) -> LegResult {
+    let schema = Schema::new(["Store", "Product", "Region"]).expect("schema");
+    let live = LiveTable::new(schema, vec![], &LiveTableConfig::in_memory(1024)).expect("live");
+    let server = Server::bind_store(
+        TableStore::from(Arc::new(live)),
+        ServerConfig {
+            engine: EngineConfig {
+                tail: Some(TailConfig::default()),
+                ..EngineConfig::default()
+            },
+            threads: clients + 3,
+            ..ServerConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .expect("bind ephemeral port")
+    .spawn()
+    .expect("spawn server");
+    let addr = server.addr();
+
+    // Epoch 1: the pre-grown table every leg starts from.
+    let mut seeder = Client::connect(addr).expect("connect seeder");
+    let resp = seeder
+        .call_line(
+            &Request::Append {
+                rows: batch(0, seed_rows),
+                measures: vec![],
+            }
+            .to_json()
+            .to_string(),
+        )
+        .expect("seed append");
+    assert!(resp.contains(r#""ok":true"#), "seed append failed: {resp}");
+    drop(seeder);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = (rate > 0.0).then(|| {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect writer");
+            let interval = Duration::from_secs_f64(1.0 / rate);
+            let mut appended = 0u64;
+            // The batch window keeps moving, so dictionaries keep growing
+            // the way a real ingest stream grows them.
+            let mut next_row = seed_rows;
+            while !stop.load(Ordering::Relaxed) {
+                let resp = client
+                    .call_line(
+                        &Request::Append {
+                            rows: batch(next_row, next_row + batch_rows),
+                            measures: vec![],
+                        }
+                        .to_json()
+                        .to_string(),
+                    )
+                    .expect("append");
+                assert!(resp.contains(r#""ok":true"#), "append failed: {resp}");
+                appended += 1;
+                next_row += batch_rows;
+                std::thread::sleep(interval);
+            }
+            appended
+        })
+    });
+
+    // Readers: deal visits round-robin; each visit measures per-request
+    // latency and, right after its `rules` reply, probes the table for the
+    // rows visible now — the gap is the observed staleness in rows.
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect reader");
+                let mut latencies = Vec::new();
+                let mut lags = Vec::new();
+                let mut transcripts = BTreeMap::new();
+                for v in (0..visits).filter(|v| v % clients == c) {
+                    let name = format!("visit-{v}");
+                    let mut transcript = Vec::new();
+                    let mut seen_root = None;
+                    for line in visit_lines(&name, v) {
+                        let t = Instant::now();
+                        let reply = client.call_line(&line).expect("request");
+                        latencies.push(t.elapsed().as_secs_f64());
+                        if line.contains(r#""op":"rules""#) {
+                            seen_root = Some(root_count(&reply));
+                        }
+                        transcript.push(reply);
+                    }
+                    let now =
+                        table_rows(&client.call_line(r#"{"op":"table"}"#).expect("table probe"));
+                    lags.push(now - seen_root.expect("visit listed rules"));
+                    transcripts.insert(name, transcript);
+                }
+                (latencies, lags, transcripts)
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut lags = Vec::new();
+    let mut transcripts = BTreeMap::new();
+    for h in handles {
+        let (lat, lag, tr) = h.join().expect("reader thread");
+        latencies.extend(lat);
+        lags.extend(lag);
+        transcripts.extend(tr);
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Relaxed);
+    let appends = writer.map_or(0, |w| w.join().expect("writer thread"));
+    let (final_epoch, final_rows) = server.engine().live_info().expect("live store");
+    let cache = server.engine().cache_counters();
+    server.shutdown();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    lags.sort_by(|a, b| a.total_cmp(b));
+    LegResult {
+        latencies,
+        lags,
+        wall_s,
+        appends,
+        final_epoch,
+        final_rows,
+        cache,
+        transcripts,
+    }
+}
+
+fn leg_json(rate: f64, visits: usize, leg: &LegResult) -> String {
+    let n = leg.latencies.len();
+    let mean = leg.latencies.iter().sum::<f64>() / n as f64;
+    let mean_lag = leg.lags.iter().sum::<f64>() / leg.lags.len() as f64;
+    let cache = match &leg.cache {
+        Some(c) => {
+            let lookups = c.hits + c.misses;
+            let hit_rate = if lookups > 0 {
+                c.hits as f64 / lookups as f64
+            } else {
+                0.0
+            };
+            format!(
+                "{{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {hit_rate:.3} }}",
+                c.hits, c.misses
+            )
+        }
+        None => "null".to_owned(),
+    };
+    format!(
+        "    {{ \"append_rate_per_s\": {rate}, \"appends_done\": {}, \
+         \"final_epoch\": {}, \"final_rows\": {}, \"visits\": {visits}, \
+         \"requests\": {n}, \"mean_us\": {:.1}, \"p95_us\": {:.1}, \
+         \"throughput_rps\": {:.1}, \"mean_lag_rows\": {mean_lag:.2}, \
+         \"p95_lag_rows\": {:.2}, \"max_lag_rows\": {:.0}, \"cache\": {cache} }}",
+        leg.appends,
+        leg.final_epoch,
+        leg.final_rows,
+        mean * 1e6,
+        percentile(&leg.latencies, 0.95) * 1e6,
+        n as f64 / leg.wall_s,
+        percentile(&leg.lags, 0.95),
+        leg.lags.last().copied().unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    let visits = env_usize("SDD_LIVE_VISITS", 96);
+    let clients = env_usize("SDD_LIVE_CLIENTS", 4);
+    let batch_rows = env_usize("SDD_LIVE_BATCH", 256);
+    let seed_rows = env_usize("SDD_LIVE_SEED_ROWS", 2048);
+
+    println!(
+        "live-serving bench: {visits} visits × {} legs, {clients} reader client(s), \
+         seed epoch {seed_rows} rows, host parallelism {}",
+        APPEND_RATES.len(),
+        sdd_bench::host_parallelism()
+    );
+
+    let mut legs = Vec::new();
+    for &rate in &APPEND_RATES {
+        let leg = run_leg(rate, visits, clients, batch_rows, seed_rows);
+        let mean_lag = leg.lags.iter().sum::<f64>() / leg.lags.len() as f64;
+        println!(
+            "  rate {rate:>5.0}/s: {:>6.0} req/s, mean lag {mean_lag:>7.2} rows, \
+             {} appends, final epoch {}",
+            leg.latencies.len() as f64 / leg.wall_s,
+            leg.appends,
+            leg.final_epoch
+        );
+        if rate == 0.0 {
+            // Frozen-equivalent baseline: no appends → zero lag, and
+            // same-seed visits answer byte-identically (the open reply
+            // echoes the session name, so compare from op 1 on).
+            assert!(
+                leg.lags.iter().all(|&l| l == 0.0),
+                "rate-0 leg observed nonzero lag"
+            );
+            let mut by_seed: BTreeMap<u64, &[String]> = BTreeMap::new();
+            for (name, transcript) in &leg.transcripts {
+                let v: usize = name.trim_start_matches("visit-").parse().unwrap();
+                let seed = 100 + (v % 8) as u64;
+                match by_seed.get(&seed) {
+                    None => {
+                        by_seed.insert(seed, &transcript[1..]);
+                    }
+                    Some(prev) => assert_eq!(
+                        *prev,
+                        &transcript[1..],
+                        "same-seed visits diverged in the append-free leg"
+                    ),
+                }
+            }
+            println!(
+                "  bit-parity: {} same-seed visit groups identical in the rate-0 leg",
+                by_seed.len()
+            );
+        }
+        legs.push(leg_json(rate, visits, &leg));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"sdd_server/live_append_staleness_vs_throughput\",\n",
+            "  \"dataset\": \"synthetic live workload (seed epoch {seed_rows} rows, 3 columns)\",\n",
+            "  \"visits_per_leg\": {visits},\n",
+            "  \"reader_clients\": {clients},\n",
+            "{host}\n",
+            "  \"lag_definition\": \"rows visible at probe time minus rows at the answering epoch, per visit\",\n",
+            "  \"parity\": \"rate-0 leg: zero lag and same-seed transcripts byte-identical (asserted at runtime)\",\n",
+            "  \"legs\": [\n{legs}\n  ]\n",
+            "}}\n"
+        ),
+        seed_rows = seed_rows,
+        visits = visits,
+        clients = clients,
+        host = sdd_bench::host_json_fields(),
+        legs = legs.join(",\n"),
+    );
+    std::fs::write("BENCH_live.json", &json).expect("write BENCH_live.json");
+    println!("wrote BENCH_live.json");
+}

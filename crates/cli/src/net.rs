@@ -3,8 +3,8 @@
 
 use crate::command::parse_path;
 use crate::repl::{load, Source};
-use sdd_server::{Client, OpenOptions, Request, Response, Server, ServerConfig};
-use sdd_table::{Residency, ShardConfig, ShardedTable, TableStore};
+use sdd_server::{Client, OpenOptions, Request, Response, Server, ServerConfig, TailConfig};
+use sdd_table::{LiveTable, LiveTableConfig, Residency, ShardConfig, ShardedTable, TableStore};
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
@@ -19,6 +19,12 @@ usage: sdd serve [options]
                        materializing the monolithic table (out-of-core
                        ingest; requires --shards, results identical to
                        --open with the same sharding)
+  --tail <n>           serve a live appendable store: new rows arrive via
+                       the authenticated `append` request and seal into
+                       immutable segments every n rows; the loaded table
+                       becomes epoch 1 and every append bumps the epoch
+                       (conflicts with --shards/--ingest; --resident and
+                       --spill bound the resident sealed segments)
   --threads <n>        connection worker threads (default: cores, min 4)
   --shards <n>         partition the table into n columnar shards
   --resident <m>       keep at most m shards in memory, spilling the rest
@@ -57,6 +63,10 @@ commands once connected:
   show                 render the current display
   rules                list visible rules as JSON
   refresh              replace estimates with exact counts
+  append <v1> <v2> ... [-- <m1> ...]
+                       append one row to a live table (values in schema
+                       order; measures after `--`); requires `sdd serve
+                       --tail` and, under --tokens, the ingest capability
   stats                session + sampling counters
   help (?)             this text
   quit (q)             close the session and exit
@@ -93,6 +103,7 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
     let mut spill: Option<String> = None;
     let mut residency: Option<Residency> = None;
     let mut ingest: Option<String> = None;
+    let mut tail: Option<usize> = None;
     let mut http_port: Option<u16> = None;
     let mut idle_timeout: Option<u64> = None;
     let mut smoke_scrape = false;
@@ -155,6 +166,11 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
                 }
             }
             "ingest" => ingest = Some(need("path")?),
+            "tail" => {
+                tail = Some(need("rows-per-segment")?.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --tail")
+                })?)
+            }
             "cache" => {
                 let mib: usize = need("MiB")?.parse().map_err(|_| {
                     std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad --cache")
@@ -205,6 +221,23 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
         )?;
         return Ok(());
     }
+    if tail.is_some() && ingest.is_some() {
+        // `--ingest` streams into a frozen sharded store; a live store has
+        // its own ingest path (the `append` request) — the two cannot both
+        // own the table.
+        writeln!(
+            output,
+            "error: --tail conflicts with --ingest (a live store ingests via the `append` request)\n{SERVE_USAGE}"
+        )?;
+        return Ok(());
+    }
+    if tail.is_some() && shards.is_some() {
+        writeln!(
+            output,
+            "error: --tail conflicts with --shards (a live table manages its own segment layout)\n{SERVE_USAGE}"
+        )?;
+        return Ok(());
+    }
     if smoke_scrape && http_port.is_none() {
         writeln!(
             output,
@@ -221,8 +254,11 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
         )?;
         return Ok(());
     }
-    if resident > 0 && shards.is_none() {
-        writeln!(output, "error: --resident requires --shards\n{SERVE_USAGE}")?;
+    if resident > 0 && shards.is_none() && tail.is_none() {
+        writeln!(
+            output,
+            "error: --resident requires --shards or --tail\n{SERVE_USAGE}"
+        )?;
         return Ok(());
     }
     if spill.is_some() && resident == 0 {
@@ -268,40 +304,113 @@ pub fn serve(args: &[String], output: &mut impl Write) -> std::io::Result<()> {
             format!(" ({how}{} shards)", sharded.n_shards())
         }
     };
-    let (store, layout) = match (&ingest, shards) {
-        (Some(_), None) => {
-            writeln!(
-                output,
-                "error: --ingest requires --shards (the streaming build's layout)\n{SERVE_USAGE}"
-            )?;
-            return Ok(());
-        }
-        (Some(path), Some(n)) => {
-            // Out-of-core path: the monolithic table never exists.
-            let sharded = match sdd_table::csv::stream_csv_file(path, &[], &shard_config(n)) {
-                Ok(s) => Arc::new(s),
-                Err(e) => {
-                    writeln!(output, "error: cannot ingest {path:?}: {e}")?;
-                    return Ok(());
-                }
-            };
-            let layout = layout_of(&sharded, true);
-            (TableStore::Sharded(sharded), layout)
-        }
-        (None, shards) => {
-            let table = match load(&source) {
-                Ok(t) => t,
+    let (store, layout) = if let Some(seg_rows) = tail {
+        // Live serving mode: the loaded table's rows become epoch 1 of an
+        // appendable store (byte-identical segments to any other append
+        // batching of the same rows); `append` requests grow it from there.
+        let table = match load(&source) {
+            Ok(t) => t,
+            Err(e) => {
+                writeln!(output, "error: {e}")?;
+                return Ok(());
+            }
+        };
+        let measure_names: Vec<String> = table.measure_names().map(str::to_owned).collect();
+        let live_config = LiveTableConfig {
+            rows_per_segment: seg_rows,
+            resident,
+            spill_dir: (resident > 0).then(|| {
+                spill
+                    .clone()
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(std::env::temp_dir)
+            }),
+            residency,
+        };
+        let live = match LiveTable::new(table.schema().clone(), measure_names.clone(), &live_config)
+        {
+            Ok(l) => l,
+            Err(e) => {
+                writeln!(output, "error: {e}")?;
+                return Ok(());
+            }
+        };
+        if table.n_rows() > 0 {
+            let cats: Vec<Vec<&str>> = (0..table.n_rows())
+                .map(|r| {
+                    (0..table.n_columns())
+                        .map(|c| table.value(r as u32, c))
+                        .collect()
+                })
+                .collect();
+            let cols: Vec<&[f64]> = match measure_names
+                .iter()
+                .map(|n| table.measure(n))
+                .collect::<Result<_, _>>()
+            {
+                Ok(cols) => cols,
                 Err(e) => {
                     writeln!(output, "error: {e}")?;
                     return Ok(());
                 }
             };
-            match shards {
-                None => (TableStore::Whole(table), String::new()),
-                Some(n) => {
-                    let sharded = Arc::new(ShardedTable::from_table(&table, &shard_config(n))?);
-                    let layout = layout_of(&sharded, false);
-                    (TableStore::Sharded(sharded), layout)
+            let by_row: Vec<Vec<f64>> = (0..table.n_rows())
+                .map(|r| cols.iter().map(|c| c[r]).collect())
+                .collect();
+            if let Err(e) = live.try_append(&cats, &by_row) {
+                writeln!(output, "error: cannot seal the loaded table: {e}")?;
+                return Ok(());
+            }
+        }
+        config.engine.tail = Some(TailConfig::default());
+        let layout = if resident > 0 {
+            format!(
+                " (live, epoch {}, sealing every {seg_rows} rows, ≤ {resident} segments resident, spilling)",
+                live.epoch()
+            )
+        } else {
+            format!(
+                " (live, epoch {}, sealing every {seg_rows} rows)",
+                live.epoch()
+            )
+        };
+        (TableStore::from(Arc::new(live)), layout)
+    } else {
+        match (&ingest, shards) {
+            (Some(_), None) => {
+                writeln!(
+                output,
+                "error: --ingest requires --shards (the streaming build's layout)\n{SERVE_USAGE}"
+            )?;
+                return Ok(());
+            }
+            (Some(path), Some(n)) => {
+                // Out-of-core path: the monolithic table never exists.
+                let sharded = match sdd_table::csv::stream_csv_file(path, &[], &shard_config(n)) {
+                    Ok(s) => Arc::new(s),
+                    Err(e) => {
+                        writeln!(output, "error: cannot ingest {path:?}: {e}")?;
+                        return Ok(());
+                    }
+                };
+                let layout = layout_of(&sharded, true);
+                (TableStore::Sharded(sharded), layout)
+            }
+            (None, shards) => {
+                let table = match load(&source) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        writeln!(output, "error: {e}")?;
+                        return Ok(());
+                    }
+                };
+                match shards {
+                    None => (TableStore::Whole(table), String::new()),
+                    Some(n) => {
+                        let sharded = Arc::new(ShardedTable::from_table(&table, &shard_config(n))?);
+                        let layout = layout_of(&sharded, false);
+                        (TableStore::Sharded(sharded), layout)
+                    }
                 }
             }
         }
@@ -563,6 +672,29 @@ pub fn connect<R: BufRead, W: Write>(
             "refresh" => Request::Refresh {
                 session: session.clone(),
             },
+            "append" if !rest.is_empty() => {
+                let split = rest.iter().position(|p| *p == "--").unwrap_or(rest.len());
+                let cats: Vec<String> = rest[..split].iter().map(|s| (*s).to_owned()).collect();
+                let measures: Result<Vec<Vec<f64>>, String> = rest[split..]
+                    .iter()
+                    .skip(1)
+                    .map(|m| {
+                        m.parse::<f64>()
+                            .map(|v| vec![v])
+                            .map_err(|_| format!("bad measure value {m:?}"))
+                    })
+                    .collect();
+                match measures {
+                    Ok(measures) => Request::Append {
+                        rows: vec![cats],
+                        measures,
+                    },
+                    Err(e) => {
+                        writeln!(output, "error: {e}")?;
+                        continue;
+                    }
+                }
+            }
             "stats" => Request::Stats {
                 session: session.clone(),
             },
@@ -591,6 +723,9 @@ pub fn connect<R: BufRead, W: Write>(
                 }
             }
             Response::Stats { stats } => writeln!(output, "{stats:?}")?,
+            Response::Appended { epoch, rows } => {
+                writeln!(output, "appended — epoch {epoch}, {rows} rows")?
+            }
             Response::Collapsed => writeln!(output, "collapsed")?,
             Response::Error { message } => writeln!(output, "error: {message}")?,
             other => writeln!(output, "{other:?}")?,
@@ -837,6 +972,94 @@ mod tests {
         assert!(sharded.loads() > 0, "the spill tier was never exercised");
         server.shutdown();
         let _ = std::fs::remove_file(&csv_path);
+    }
+
+    #[test]
+    fn serve_rejects_tail_combined_with_shards_or_ingest() {
+        let mut out = Vec::new();
+        serve(
+            &[
+                "--tail".to_owned(),
+                "512".to_owned(),
+                "--shards".to_owned(),
+                "4".to_owned(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("--tail conflicts with --shards"), "{out}");
+
+        let mut out = Vec::new();
+        serve(
+            &[
+                "--tail".to_owned(),
+                "512".to_owned(),
+                "--ingest".to_owned(),
+                "b.csv".to_owned(),
+            ],
+            &mut out,
+        )
+        .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("--tail conflicts with --ingest"), "{out}");
+    }
+
+    #[test]
+    fn connect_appends_rows_into_a_live_tail_server() {
+        // End-to-end live mode: a server whose table is an appendable live
+        // store must accept `append` from the REPL, bump the epoch, and
+        // serve drill-downs over the grown table.
+        let table = Arc::new(sdd_datagen::retail(42));
+        let measure_names: Vec<String> = table.measure_names().map(str::to_owned).collect();
+        let live = LiveTable::new(
+            table.schema().clone(),
+            measure_names.clone(),
+            &LiveTableConfig::in_memory(1024),
+        )
+        .unwrap();
+        let cats: Vec<Vec<&str>> = (0..table.n_rows())
+            .map(|r| {
+                (0..table.n_columns())
+                    .map(|c| table.value(r as u32, c))
+                    .collect()
+            })
+            .collect();
+        let cols: Vec<&[f64]> = measure_names
+            .iter()
+            .map(|n| table.measure(n).unwrap())
+            .collect();
+        let by_row: Vec<Vec<f64>> = (0..table.n_rows())
+            .map(|r| cols.iter().map(|c| c[r]).collect())
+            .collect();
+        live.try_append(&cats, &by_row).unwrap();
+        let server = Server::bind_store(
+            TableStore::from(Arc::new(live)),
+            ServerConfig {
+                engine: EngineConfig {
+                    tail: Some(sdd_server::TailConfig::default()),
+                    ..EngineConfig::default()
+                },
+                threads: 4,
+                ..ServerConfig::default()
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap()
+        .spawn()
+        .unwrap();
+        let addr = server.addr().to_string();
+        let mut out = Vec::new();
+        let script =
+            "expand\nappend Walmart bread online -- 9.5\nappend Walmart bread -- 9.5\nshow\nquit\n";
+        connect(&addr, Cursor::new(script), &mut out).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("6000 rows × 3 columns"), "{out}");
+        assert!(out.contains("appended — epoch 2, 6001 rows"), "{out}");
+        // The short row is rejected by the table's arity check, not a hang.
+        assert!(out.contains("error:"), "{out}");
+        assert!(out.contains("Walmart"), "{out}");
+        server.shutdown();
     }
 
     #[test]

@@ -199,10 +199,10 @@ fn explore<R: BufRead, W: Write>(
                 writeln!(output, "handler: {:?}", explorer.handler_stats())?;
                 writeln!(output, "explorer: {:?}", explorer.stats)?;
             }
-            Command::Refresh => {
-                explorer.refresh_exact_counts();
-                writeln!(output, "counts refreshed (exact)\n{}", explorer.render())?;
-            }
+            Command::Refresh => match explorer.try_refresh_exact_counts() {
+                Ok(()) => writeln!(output, "counts refreshed (exact)\n{}", explorer.render())?,
+                Err(e) => writeln!(output, "error: {e}")?,
+            },
             Command::Expand(path) => match explorer.expand(&path) {
                 Ok(_) => writeln!(output, "{}", explorer.render())?,
                 Err(e) => writeln!(output, "error: {e}")?,

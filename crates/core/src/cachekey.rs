@@ -180,16 +180,26 @@ pub fn view_digest(view: &TableView<'_>) -> [u64; 2] {
     h.finish()
 }
 
-/// The full key of one drill-down computation: which table (identity tag),
-/// which exact tuples and weights (content digest), which search
-/// configuration, and which operation (rule vs star drill-down).
+/// The full key of one drill-down computation: which table
+/// (`(table_id, epoch)` — a process-unique id the engine assigns at load
+/// plus the table's data epoch), which exact tuples and weights (content
+/// digest), which search configuration, and which operation (rule vs star
+/// drill-down).
+///
+/// The identity pair replaces an earlier raw-`Arc`-pointer tag, which was
+/// ABA-prone (a dropped table's allocation can be reused by the next load)
+/// and silently wrong for live tables, where content changes under a
+/// stable handle. Keying the epoch means an append — which bumps the
+/// epoch — can never be served a stale pre-append result: **no cache hit
+/// crosses an epoch** (the invariant DETERMINISM.md pins).
 ///
 /// `weight_tag` is the weight function's stable identity
 /// ([`crate::WeightFn::cache_tag`]); callers must not derive keys for
 /// weights without one.
 #[allow(clippy::too_many_arguments)]
 pub fn drill_key(
-    table_tag: u64,
+    table_id: u64,
+    epoch: u64,
     view: [u64; 2],
     base: &Rule,
     star_column: Option<usize>,
@@ -202,7 +212,8 @@ pub fn drill_key(
         None => 0xD21_1D01,
         Some(_) => 0xD21_157A2,
     });
-    h.write_u64(table_tag);
+    h.write_u64(table_id);
+    h.write_u64(epoch);
     h.write_u64(view[0]);
     h.write_u64(view[1]);
     h.write_base(Some(base), n_columns);
@@ -328,17 +339,35 @@ mod tests {
     fn drill_key_separates_rule_and_star_domains() {
         let base = Rule::trivial(3);
         let v = [1u64, 2u64];
-        let rule = drill_key(9, v, &base, None, 4, "size", Some(3.0), 3);
-        let star = drill_key(9, v, &base, Some(0), 4, "size", Some(3.0), 3);
+        let rule = drill_key(9, 0, v, &base, None, 4, "size", Some(3.0), 3);
+        let star = drill_key(9, 0, v, &base, Some(0), 4, "size", Some(3.0), 3);
         assert_ne!(rule, star);
-        let star1 = drill_key(9, v, &base, Some(1), 4, "size", Some(3.0), 3);
+        let star1 = drill_key(9, 0, v, &base, Some(1), 4, "size", Some(3.0), 3);
         assert_ne!(star, star1);
-        let other_weight = drill_key(9, v, &base, None, 4, "bits", Some(3.0), 3);
+        let other_weight = drill_key(9, 0, v, &base, None, 4, "bits", Some(3.0), 3);
         assert_ne!(rule, other_weight);
-        let other_k = drill_key(9, v, &base, None, 5, "size", Some(3.0), 3);
+        let other_k = drill_key(9, 0, v, &base, None, 5, "size", Some(3.0), 3);
         assert_ne!(rule, other_k);
-        let default_mw = drill_key(9, v, &base, None, 4, "size", None, 3);
+        let default_mw = drill_key(9, 0, v, &base, None, 4, "size", None, 3);
         assert_ne!(rule, default_mw);
+    }
+
+    #[test]
+    fn drill_key_separates_tables_and_epochs() {
+        let base = Rule::trivial(3);
+        let v = [1u64, 2u64];
+        let a = drill_key(1, 0, v, &base, None, 4, "size", Some(3.0), 3);
+        let other_table = drill_key(2, 0, v, &base, None, 4, "size", Some(3.0), 3);
+        assert_ne!(a, other_table, "distinct table ids must never collide");
+        let next_epoch = drill_key(1, 1, v, &base, None, 4, "size", Some(3.0), 3);
+        assert_ne!(a, next_epoch, "an append (epoch bump) must miss the cache");
+        // (id=1, epoch=2) vs (id=2, epoch=1): the pair is keyed as two
+        // words, not a sum — no cross-field aliasing.
+        let swapped = drill_key(2, 1, v, &base, None, 4, "size", Some(3.0), 3);
+        assert_ne!(
+            drill_key(1, 2, v, &base, None, 4, "size", Some(3.0), 3),
+            swapped
+        );
     }
 
     #[test]

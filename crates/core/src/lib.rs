@@ -93,8 +93,8 @@ pub use shard::{
     filter_to_rule_sharded, find_best_marginal_rule_sharded, rule_count_sharded,
     score_list_sharded, sort_by_weight_desc_sharded, star_drill_down_sharded,
     try_count_rules_sharded, try_covered_positions_sharded, try_covered_rows_sharded,
-    try_filter_to_rule_sharded, try_find_best_marginal_rule_sharded, try_rule_count_sharded,
-    try_score_list_sharded,
+    try_covered_rows_sharded_range, try_filter_to_rule_sharded,
+    try_find_best_marginal_rule_sharded, try_rule_count_sharded, try_score_list_sharded,
 };
 pub use weight::{
     check_monotone_on, BitsWeight, ColumnWeight, RequireColumn, SizeMinusOne, SizeWeight,

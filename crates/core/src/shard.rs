@@ -271,6 +271,53 @@ pub fn try_covered_rows_sharded(
     Ok(out)
 }
 
+/// All row ids in `range` covered by `rule` (ascending): the ranged twin
+/// of [`try_covered_rows_sharded`], scanning only the shards that overlap
+/// the range. This is what incremental sample maintenance uses to offer
+/// exactly one epoch's appended rows (`epoch_rows[e-1]..epoch_rows[e]`)
+/// without rescanning the table. The full-range call returns byte-identical
+/// output to [`try_covered_rows_sharded`] by construction: shards are
+/// visited in index order and per-shard hits are ascending either way.
+pub fn try_covered_rows_sharded_range(
+    table: &ShardedTable,
+    rule: &Rule,
+    range: Range<usize>,
+) -> Result<Vec<RowId>, TableError> {
+    let lo = range.start.min(table.n_rows());
+    let hi = range.end.min(table.n_rows());
+    if lo >= hi {
+        return Ok(Vec::new());
+    }
+    let cols: Vec<usize> = rule.instantiated_columns().collect();
+    if cols.is_empty() {
+        return Ok((lo as RowId..hi as RowId).collect());
+    }
+    let mut out: Vec<RowId> = Vec::new();
+    for i in 0..table.n_shards() {
+        let span = table.spans()[i].clone();
+        if span.is_empty() || span.end <= lo || span.start >= hi {
+            continue;
+        }
+        let f = fetch_cols(table, i, &cols)?;
+        let before = out.len();
+        covered_in_shard(&f, rule, &cols, &span, &mut out);
+        if span.start < lo || span.end > hi {
+            // Boundary shard: keep only the in-range hits.
+            let (lo32, hi32) = (lo as RowId, hi as RowId);
+            let mut w = before;
+            for r in before..out.len() {
+                let v = out[r];
+                if (lo32..hi32).contains(&v) {
+                    out[w] = v;
+                    w += 1;
+                }
+            }
+            out.truncate(w);
+        }
+    }
+    Ok(out)
+}
+
 /// View positions (ascending) whose rows are covered by `rule` — the
 /// sharded twin of [`crate::covered_positions`]. Byte-identical output.
 /// Infallible wrapper over [`try_covered_positions_sharded`].
@@ -1222,6 +1269,43 @@ mod tests {
                 );
                 if shards > 1 && rule.instantiated_columns().next().is_some() {
                     assert!(st.loads() > 0, "spilled scan must read spill files");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covered_rows_range_matches_filtered_full_scan() {
+        let table = t();
+        let n = table.n_rows();
+        for rule in [
+            Rule::trivial(3),
+            Rule::from_pairs(&table, &[("A", "a")]).unwrap(),
+            Rule::from_pairs(&table, &[("A", "c"), ("B", "z")]).unwrap(),
+        ] {
+            let full = covered_rows(&table, &rule);
+            for shards in [1, 3, 5] {
+                for st in [sharded(&table, shards), spilled(&table, shards)] {
+                    // Every (lo, hi) window — boundary and interior alike.
+                    for lo in 0..=n {
+                        for hi in lo..=n {
+                            let want: Vec<RowId> = full
+                                .iter()
+                                .copied()
+                                .filter(|&r| (lo as RowId..hi as RowId).contains(&r))
+                                .collect();
+                            let got = try_covered_rows_sharded_range(&st, &rule, lo..hi).unwrap();
+                            assert_eq!(got, want, "rule {rule:?} range {lo}..{hi}");
+                        }
+                    }
+                    // Out-of-bounds ranges clamp instead of panicking.
+                    assert_eq!(
+                        try_covered_rows_sharded_range(&st, &rule, 0..n + 7).unwrap(),
+                        full
+                    );
+                    assert!(try_covered_rows_sharded_range(&st, &rule, n + 1..n + 5)
+                        .unwrap()
+                        .is_empty());
                 }
             }
         }

@@ -10,7 +10,22 @@ use sdd_sampling::{
 };
 use sdd_table::TableView;
 use sdd_table::{Table, TableStore};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide allocator for default table identities. Never reused, so
+/// two sessions that did not explicitly agree on a [`ExplorerConfig`]
+/// `table_id` can only miss each other's cache entries, never collide.
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a fresh process-unique table id from the same space default
+/// sessions draw from. Callers that share one store across many sessions
+/// (the server engine) allocate one id here and pass it to every session's
+/// [`ExplorerConfig`] so their cache entries interoperate — while staying
+/// disjoint from every id any other store in the process was assigned.
+pub fn allocate_table_id() -> u64 {
+    NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// When the post-expansion §4.3 prefetch pass runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -51,6 +66,13 @@ pub struct ExplorerConfig {
     /// bit-identical to recomputation and changes no counter or transcript
     /// byte — see [`crate::ResultCache`].
     pub cache: Option<SharedResultCache>,
+    /// Stable identity of the table behind this session, used (with the
+    /// pinned epoch) to key the shared result cache. Sessions meant to
+    /// share cache entries over one store must agree on it — the server
+    /// engine assigns one id per loaded store. `None` allocates a fresh
+    /// process-unique id, which is always safe: a private id can only
+    /// cause misses, never a false hit.
+    pub table_id: Option<u64>,
 }
 
 impl Default for ExplorerConfig {
@@ -62,6 +84,7 @@ impl Default for ExplorerConfig {
             prefetch: PrefetchMode::Inline,
             confidence_z: 1.96,
             cache: None,
+            table_id: None,
         }
     }
 }
@@ -113,9 +136,15 @@ pub struct Explorer {
     handler: SampleHandler,
     click_model: crate::ClickModel,
     root: Node,
+    /// Resolved cache identity of the table (config-assigned or allocated).
+    table_id: u64,
     /// The deferred §4.3 prefetch job, if [`PrefetchMode::Deferred`] and an
     /// expansion happened since the last drain.
     pending_prefetch: Option<PrefetchJob>,
+    /// True when an exact-count refresh has been requested but not run yet
+    /// (the server takes refresh off the request path; the background
+    /// worker — or the next operation, whichever comes first — drains it).
+    pending_refresh: bool,
     /// Interaction counters.
     pub stats: ExplorerStats,
 }
@@ -154,6 +183,9 @@ impl Explorer {
             children: Vec::new(),
         };
         let click_model = crate::ClickModel::new(store.n_columns(), 1.0);
+        let table_id = config
+            .table_id
+            .unwrap_or_else(|| NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed));
         Self {
             store,
             weight,
@@ -161,7 +193,9 @@ impl Explorer {
             handler,
             click_model,
             root,
+            table_id,
             pending_prefetch: None,
+            pending_refresh: false,
             stats: ExplorerStats::default(),
         }
     }
@@ -224,22 +258,92 @@ impl Explorer {
     /// Runs the deferred prefetch job now, if one is pending. Every
     /// handler-touching operation calls this first, so deferred execution
     /// is observably identical to [`PrefetchMode::Inline`] no matter
-    /// whether a background worker got to the job in time.
-    pub fn drain_pending_prefetch(&mut self) {
-        self.try_drain_pending_prefetch()
-            .expect("shard spill file must decode (written by this table)")
-    }
-
-    /// Fallible [`Explorer::drain_pending_prefetch`] — what the server
-    /// engine calls, so a spill failure during a claimed prefetch job turns
-    /// into an error response instead of killing the worker. The job is
-    /// consumed either way; prefetching is best-effort and the failure will
-    /// resurface on the next operation that needs the damaged shard.
+    /// whether a background worker got to the job in time. A spill failure
+    /// during the job turns into an error response instead of killing the
+    /// worker; the job is consumed either way — prefetching is best-effort
+    /// and the failure will resurface on the next operation that needs the
+    /// damaged shard.
     pub fn try_drain_pending_prefetch(&mut self) -> Result<(), SessionError> {
         match self.pending_prefetch.take() {
             Some(job) => self.try_run_prefetch(&job).map(|_| ()),
             None => Ok(()),
         }
+    }
+
+    /// Schedules an exact-count refresh without running it: the background
+    /// worker (or the next operation, whichever comes first) drains it via
+    /// [`Explorer::try_drain_pending_refresh`] — off the request path, at
+    /// the epoch the session is pinned to now. Idempotent.
+    pub fn request_refresh(&mut self) {
+        self.pending_refresh = true;
+    }
+
+    /// True if a deferred exact-count refresh is waiting to run.
+    pub fn has_pending_refresh(&self) -> bool {
+        self.pending_refresh
+    }
+
+    /// Runs the deferred exact-count refresh now, if one is pending. Must
+    /// run **before** the session advances to a newer epoch (see
+    /// [`Explorer::try_advance_epoch`]) so the deferred pass counts exactly
+    /// the rows an inline refresh at request time would have counted. On
+    /// failure the request stays pending — the displayed estimates are
+    /// untouched and the next drain retries.
+    pub fn try_drain_pending_refresh(&mut self) -> Result<(), SessionError> {
+        if !self.pending_refresh {
+            return Ok(());
+        }
+        self.try_refresh_exact_counts()?;
+        self.pending_refresh = false;
+        Ok(())
+    }
+
+    /// The session's stable table identity for shared-cache keying.
+    pub fn table_id(&self) -> u64 {
+        self.table_id
+    }
+
+    /// The epoch this session is pinned to (`0` over frozen storage).
+    pub fn pinned_epoch(&self) -> u64 {
+        self.handler.pinned_epoch()
+    }
+
+    /// The operation prologue for live tables: runs deferred work at the
+    /// epoch it was scheduled under, then advances the session — the
+    /// explorer's pinned store and the sample handler together, onto one
+    /// fresh snapshot — to the table's newest epoch, incrementally
+    /// maintaining every stored sample over the appended rows. Returns the
+    /// pinned epoch. Over frozen storage only the deferred work runs.
+    ///
+    /// The ordering is the live-session determinism contract
+    /// (docs/DETERMINISM.md): pending prefetch and refresh always execute
+    /// at the epoch they were created under, never after the pin advanced —
+    /// otherwise a deferred job would scan rows its inline twin could not
+    /// have seen. On a mid-sync storage fault everything stays at the old
+    /// epoch (the handler stages its updates) and the next call retries.
+    pub fn try_advance_epoch(&mut self) -> Result<u64, SessionError> {
+        self.try_drain_pending_prefetch()?;
+        self.try_drain_pending_refresh()?;
+        let Some(live) = self.store.as_live() else {
+            return Ok(0);
+        };
+        if live.latest_epoch() > live.epoch() || self.handler.pinned_epoch() < live.latest_epoch() {
+            let snap = live.live().snapshot();
+            self.handler
+                .try_sync_to_snapshot(&snap)
+                .map_err(|e| SessionError::Storage(e.to_string()))?;
+            if let Some(l) = self.store.as_live_mut() {
+                l.pin(snap);
+            }
+            // The root count is metadata (total rows at the pinned epoch),
+            // not a scan result: a session opened over the frozen twin of
+            // this epoch would display exactly this number.
+            let n = self.store.n_rows() as f64;
+            self.root.info.count = n;
+            self.root.info.ci_lo = n;
+            self.root.info.ci_hi = n;
+        }
+        Ok(self.store.epoch())
     }
 
     /// The rule displayed at `path`.
@@ -297,11 +401,12 @@ impl Explorer {
         path: &[usize],
         star: Option<usize>,
     ) -> Result<Vec<DisplayedRule>, SessionError> {
-        // A deferred prefetch the background worker hasn't claimed yet must
-        // run before this expansion reads the sample store, or deferred
-        // mode would diverge from inline semantics.
+        // Deferred work the background worker hasn't claimed yet must run
+        // before this expansion reads the sample store (or deferred mode
+        // would diverge from inline semantics), and a live session then
+        // advances to the table's newest epoch.
         let base = self.node(path)?.info.rule.clone();
-        self.try_drain_pending_prefetch()?;
+        self.try_advance_epoch()?;
         // Feed the learned click model (§4.1): drilling into a non-trivial
         // rule reveals which columns the analyst cares about.
         if !base.is_trivial() {
@@ -429,12 +534,15 @@ impl Explorer {
     ) -> Option<(SharedResultCache, DrillKey)> {
         let cache = self.config.cache.clone()?;
         let weight_tag = self.weight.cache_tag()?;
-        // Process-local table identity: the cache is shared by sessions of
-        // one engine over one store, so the header pointer is a cheap,
-        // collision-free tag within that lifetime.
-        let table_tag = Arc::as_ptr(self.store.header()) as u64;
+        // Table identity is the engine-assigned `(table_id, epoch)` pair —
+        // never a pointer. A raw `Arc` pointer can alias after a
+        // drop/realloc (ABA), and a live table changes content under one
+        // allocation; the epoch comes from the sampling layer's pin, so
+        // the key names exactly the data the sample view was drawn from
+        // and no hit ever crosses an epoch.
         let key = sdd_core::drill_key(
-            table_tag,
+            self.table_id,
+            self.handler.pinned_epoch(),
             sdd_core::view_digest(view),
             base,
             star,
@@ -482,15 +590,12 @@ impl Explorer {
     }
 
     /// Replaces every displayed estimate with its exact count in **one**
-    /// pass over the table (the paper's background refresh, §4.3).
-    pub fn refresh_exact_counts(&mut self) {
-        self.try_refresh_exact_counts()
-            .expect("shard spill file must decode (written by this table)")
-    }
-
-    /// Fallible [`Explorer::refresh_exact_counts`]: the sharded one-pass
-    /// count surfaces a damaged spill file as [`SessionError::Storage`]
-    /// (displayed estimates are left untouched on failure).
+    /// pass over the table at the pinned epoch (the paper's background
+    /// refresh, §4.3). The sharded one-pass count surfaces a damaged spill
+    /// file as [`SessionError::Storage`]; displayed estimates are left
+    /// untouched on failure. (This is deliberately fallible-only: the old
+    /// infallible wrapper turned refresh-time spill faults into panics on
+    /// the server's request path.)
     pub fn try_refresh_exact_counts(&mut self) -> Result<(), SessionError> {
         self.stats.refreshes += 1;
         // Collect visible rules.
@@ -521,6 +626,8 @@ impl Explorer {
                 counts
             }
             TableStore::Sharded(st) => sdd_core::try_count_rules_sharded(st, &rules)
+                .map_err(|e| SessionError::Storage(e.to_string()))?,
+            TableStore::Live(l) => sdd_core::try_count_rules_sharded(&l.pinned().table, &rules)
                 .map_err(|e| SessionError::Storage(e.to_string()))?,
         };
 
@@ -649,6 +756,7 @@ mod tests {
             prefetch: PrefetchMode::Inline,
             confidence_z: 1.96,
             cache: None,
+            table_id: None,
         }
     }
 
@@ -725,7 +833,7 @@ mod tests {
         let table = Arc::new(retail(42));
         let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(2000));
         ex.expand(&[]).unwrap();
-        ex.refresh_exact_counts();
+        ex.try_refresh_exact_counts().unwrap();
         for (_, info) in ex.visible().iter().skip(1) {
             let truth = sdd_core::rule_count(&table.view(), &info.rule);
             assert_eq!(info.count, truth);
@@ -828,7 +936,7 @@ mod tests {
                 }
             }
         }
-        ex.drain_pending_prefetch();
+        ex.try_drain_pending_prefetch().unwrap();
         (
             ex.render(),
             ex.handler().stored_samples(),
@@ -874,5 +982,151 @@ mod tests {
         let table = Arc::new(retail(42));
         let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(2000));
         assert!(matches!(ex.expand(&[3]), Err(SessionError::InvalidPath(_))));
+    }
+
+    /// A counting in-memory [`ResultCache`] for keying tests.
+    #[derive(Default)]
+    struct TestCache {
+        map: std::sync::Mutex<std::collections::HashMap<DrillKey, CachedRules>>,
+        hits: std::sync::atomic::AtomicUsize,
+        inserts: std::sync::atomic::AtomicUsize,
+    }
+
+    impl crate::cache::ResultCache for TestCache {
+        fn get(&self, key: &DrillKey) -> Option<CachedRules> {
+            let hit = self.map.lock().unwrap().get(key).cloned();
+            if hit.is_some() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            hit
+        }
+        fn contains(&self, key: &DrillKey) -> bool {
+            self.map.lock().unwrap().contains_key(key)
+        }
+        fn insert(&self, key: DrillKey, value: CachedRules) {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.map.lock().unwrap().insert(key, value);
+        }
+    }
+
+    fn shared(cache: &Arc<TestCache>) -> SharedResultCache {
+        SharedResultCache(Arc::clone(cache) as Arc<dyn crate::cache::ResultCache>)
+    }
+
+    /// Satellite regression: two sequentially loaded stores must never
+    /// share cache entries, even when their data is identical and the
+    /// allocator reuses the freed `Arc` (the ABA hazard the old
+    /// `Arc::as_ptr` tag was exposed to). Default table ids are
+    /// process-unique, so the second session's identical drill-down is a
+    /// miss by construction.
+    #[test]
+    fn sequentially_loaded_stores_never_share_cache_entries() {
+        let cache = Arc::new(TestCache::default());
+        for _ in 0..2 {
+            let table = Arc::new(retail(42));
+            let mut cfg = config(2000);
+            cfg.cache = Some(shared(&cache));
+            let mut ex = Explorer::new(table, Box::new(SizeWeight), cfg);
+            ex.expand(&[]).unwrap();
+        }
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 0);
+        assert_eq!(cache.inserts.load(Ordering::Relaxed), 2);
+        assert_eq!(
+            cache.map.lock().unwrap().len(),
+            2,
+            "identical drill-downs over separately loaded stores must key apart"
+        );
+    }
+
+    /// The sharing contract still works when sessions agree on an
+    /// engine-assigned id: the second session's search is a hit (verified
+    /// bit-identical against recomputation by the debug assertion).
+    #[test]
+    fn explicit_table_id_shares_cache_across_sessions() {
+        let table = Arc::new(retail(42));
+        let cache = Arc::new(TestCache::default());
+        for _ in 0..2 {
+            let mut cfg = config(2000);
+            cfg.cache = Some(shared(&cache));
+            cfg.table_id = Some(77);
+            let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), cfg);
+            ex.expand(&[]).unwrap();
+        }
+        assert_eq!(cache.inserts.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 1);
+    }
+
+    fn live_rows(lo: usize, hi: usize) -> Vec<[String; 2]> {
+        (lo..hi)
+            .map(|i| [format!("s{}", i % 4), format!("p{}", i % 7)])
+            .collect()
+    }
+
+    /// Appends bump the session's pinned epoch at the next operation, the
+    /// root count tracks the pinned epoch's row count, and a repeated
+    /// drill-down after an append never hits the cache — the epoch in the
+    /// key changed (the "no cache hit crosses an epoch" invariant).
+    #[test]
+    fn append_bumps_epoch_and_never_serves_stale_cache() {
+        use sdd_table::{LiveTable, LiveTableConfig};
+        let schema = sdd_table::Schema::new(["Store", "Product"]).unwrap();
+        let live =
+            Arc::new(LiveTable::new(schema, vec![], &LiveTableConfig::in_memory(16)).unwrap());
+        live.try_append(&live_rows(0, 64), &[]).unwrap();
+
+        let cache = Arc::new(TestCache::default());
+        let mut cfg = config(10);
+        cfg.handler.capacity = 400;
+        cfg.cache = Some(shared(&cache));
+        let mut ex = Explorer::with_store(
+            TableStore::from(Arc::clone(&live)),
+            Box::new(SizeWeight),
+            cfg,
+        );
+        ex.expand(&[]).unwrap();
+        assert_eq!(ex.pinned_epoch(), 1);
+        assert_eq!(ex.rule_at(&[]).unwrap().count, 64.0);
+
+        live.try_append(&live_rows(64, 128), &[]).unwrap();
+        ex.collapse(&[]).unwrap();
+        ex.expand(&[]).unwrap();
+        assert_eq!(ex.pinned_epoch(), 2);
+        assert_eq!(ex.rule_at(&[]).unwrap().count, 128.0);
+        assert_eq!(
+            cache.hits.load(Ordering::Relaxed),
+            0,
+            "a cache hit crossed an epoch"
+        );
+        assert_eq!(cache.inserts.load(Ordering::Relaxed), 2);
+    }
+
+    /// Deferred refresh (requested, drained by the next operation's
+    /// prologue) is observably identical to running the refresh inline at
+    /// request time.
+    #[test]
+    fn deferred_refresh_is_indistinguishable_from_inline() {
+        let table = Arc::new(retail(42));
+        let run = |deferred: bool| {
+            let mut ex = Explorer::new(table.clone(), Box::new(SizeWeight), config(1000));
+            ex.expand(&[]).unwrap();
+            if deferred {
+                ex.request_refresh();
+                assert!(ex.has_pending_refresh());
+            } else {
+                ex.try_refresh_exact_counts().unwrap();
+            }
+            ex.expand(&[0]).unwrap();
+            assert!(!ex.has_pending_refresh());
+            (
+                ex.render(),
+                ex.handler().stored_samples(),
+                format!("{:?} {:?}", ex.stats, ex.handler_stats()),
+            )
+        };
+        let inline = run(false);
+        let deferred = run(true);
+        assert_eq!(inline.0, deferred.0);
+        assert_eq!(inline.1, deferred.1);
+        assert_eq!(inline.2, deferred.2);
     }
 }

@@ -15,7 +15,12 @@
 //! * **exact-count refresh** ("while we are making the pass in the
 //!   background, we can find the exact counts for currently displayed
 //!   rules ... and update them when our pass is complete") — exposed as
-//!   [`Explorer::refresh_exact_counts`].
+//!   [`Explorer::try_refresh_exact_counts`], schedulable off the request
+//!   path via [`Explorer::request_refresh`],
+//! * **live tables**: a session over an append-only
+//!   [`sdd_table::LiveTable`] advances to the newest epoch at each
+//!   operation prologue ([`Explorer::try_advance_epoch`]), incrementally
+//!   maintaining its stored samples over the appended rows.
 
 #![warn(missing_docs)]
 
@@ -25,4 +30,6 @@ mod explorer;
 
 pub use cache::{rules_bit_identical, CachedRules, ResultCache, SharedResultCache};
 pub use click_model::ClickModel;
-pub use explorer::{DisplayedRule, Explorer, ExplorerConfig, ExplorerStats, PrefetchMode};
+pub use explorer::{
+    allocate_table_id, DisplayedRule, Explorer, ExplorerConfig, ExplorerStats, PrefetchMode,
+};

@@ -37,7 +37,11 @@ pub const D003_FILES: &[&str] = &["crates/core/src/shard.rs", "crates/core/src/k
 /// and prediction paths (a panic there would poison a lock every session
 /// shares — an accelerator must never be able to take the server down),
 /// plus the HTTP front-end's parsing, auth, and metrics paths (fed raw
-/// bytes from untrusted clients — a panic is a remote crash).
+/// bytes from untrusted clients — a panic is a remote crash), plus the
+/// live-table append/maintenance paths (the engine's request dispatch and
+/// the sample handler's reservoir maintenance both run while sessions
+/// hold epoch-pinned state — a panic mid-append or mid-sync can strand a
+/// session between epochs).
 pub const P001_FILES: &[&str] = &[
     "crates/table/src/shard.rs",
     "crates/core/src/cachekey.rs",
@@ -47,6 +51,9 @@ pub const P001_FILES: &[&str] = &[
     "crates/server/src/http.rs",
     "crates/server/src/auth.rs",
     "crates/server/src/metrics.rs",
+    "crates/server/src/engine.rs",
+    "crates/sampling/src/handler.rs",
+    "crates/sampling/src/reservoir.rs",
 ];
 
 /// The cross-file parity suite X001 requires `*_sharded` APIs to appear in.

@@ -21,22 +21,32 @@
 //!
 //! **Parallel, reproducible scans.** The create/prefetch scan runs
 //! task-per-rule on [`sdd_core::exec::parallel_map`]: each requested rule
-//! gets its own reservoir and its own `StdRng`, seeded deterministically
-//! from `(config.seed, rule)` — there is no shared sequential RNG, so the
-//! stored samples are identical on any thread count (and each rule's
-//! columnar [`sdd_core::covered_rows`] scan is itself row-sliced). A batch
-//! is stored atomically: same-filter replacement and LRU eviction happen
-//! *before* any new sample is pushed, so freshly stored batch members are
-//! never evicted by their own batch and the returned store indices stay
-//! valid.
+//! gets its own reservoir, with every draw derived statelessly from the
+//! rule's key and the offer index ([`Reservoir::offer_keyed`], keyed by a
+//! SplitMix64 fold of `(config.seed, rule)`) — there is no shared
+//! sequential RNG, so the stored samples are identical on any thread count
+//! (and each rule's columnar [`sdd_core::covered_rows`] scan is itself
+//! row-sliced). A batch is stored atomically: same-filter replacement and
+//! LRU eviction happen *before* any new sample is pushed, so freshly
+//! stored batch members are never evicted by their own batch and the
+//! returned store indices stay valid.
+//!
+//! **Live tables.** A handler over a [`TableStore::Live`] store is pinned
+//! to one epoch's snapshot; [`SampleHandler::try_sync_to_snapshot`]
+//! advances it, maintaining every stored reservoir **incrementally**: only
+//! the appended row range is scanned
+//! ([`sdd_core::try_covered_rows_sharded_range`]) and offered into the
+//! stored reservoir resumed via [`Reservoir::from_parts`]. Because draws
+//! are keyed by offer index, the maintained sample is bit-identical to a
+//! full re-scan at the new epoch — and to a scan of a frozen table
+//! pre-grown to the same rows (the parity tests pin both).
 
 use crate::alloc::{solve_uniform, Allocation, AllocationProblem, AllocationStrategy};
 use crate::alloc_convex::solve_convex;
 use crate::alloc_dp::solve_dp;
-use crate::reservoir::Reservoir;
-use rand::{rngs::StdRng, SeedableRng};
+use crate::reservoir::{splitmix64, Reservoir};
 use sdd_core::Rule;
-use sdd_table::{OwnedTableView, RowId, Table, TableError, TableStore};
+use sdd_table::{LiveSnapshot, OwnedTableView, RowId, Table, TableError, TableStore};
 use std::sync::Arc;
 
 /// Configuration of a [`SampleHandler`].
@@ -109,11 +119,12 @@ pub struct HandlerStats {
 struct StoredSample {
     filter: Rule,
     rows: Vec<RowId>,
-    /// Sharded stores materialize each sample's rows into a small table in
-    /// the **global** code space at store time (same dictionaries and
-    /// cardinalities as the full table, rows in sample order), so serving
-    /// and combining samples never touches the shard tier. `None` for
-    /// monolithic stores, which serve views over the shared table directly.
+    /// Segmented (sharded or live) stores materialize each sample's rows
+    /// into a small table in the **global** code space at store time (same
+    /// dictionaries and cardinalities as the full table, rows in sample
+    /// order), so serving and combining samples never touches the shard
+    /// tier. `None` for monolithic stores, which serve views over the
+    /// shared table directly.
     local: Option<Arc<Table>>,
     /// `N_s`: covered-population count / sample size.
     scale: f64,
@@ -121,6 +132,11 @@ struct StoredSample {
     /// fewer tuples than the reservoir's capacity) — exact, no `minSS`
     /// requirement applies.
     exact: bool,
+    /// Covered tuples the reservoir has observed (`seen`), and the
+    /// reservoir's capacity (`target`) — the state needed to *resume* the
+    /// reservoir over appended rows ([`Reservoir::from_parts`]).
+    seen: u64,
+    target: usize,
     last_used: u64,
 }
 
@@ -179,20 +195,18 @@ pub struct SampleHandler {
     pub stats: HandlerStats,
 }
 
-/// The per-rule reservoir seed: a SplitMix64 fold of the handler seed and
+/// The per-rule reservoir key: a SplitMix64 fold of the handler seed and
 /// the rule's codes. Stable across platforms and independent of scan
 /// order, so parallel prefetch draws the same sample for a rule no matter
-/// how many rules share the batch or how many threads run it.
+/// how many rules share the batch or how many threads run it. Each draw of
+/// the rule's reservoir then mixes this key with the offer index
+/// ([`Reservoir::offer_keyed`]), making the stored sample a pure function
+/// of `(seed, rule, covered-row stream)` — the determinism the live-table
+/// epoch invariant rests on.
 fn sample_seed(seed: u64, rule: &Rule) -> u64 {
-    fn splitmix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-    let mut h = splitmix(seed);
+    let mut h = splitmix64(seed);
     for &code in rule.codes() {
-        h = splitmix(h ^ (code as u64).wrapping_add(1));
+        h = splitmix64(h ^ (code as u64).wrapping_add(1));
     }
     h
 }
@@ -256,8 +270,8 @@ impl SampleHandler {
             (None, TableStore::Whole(t)) => {
                 OwnedTableView::with_rows_and_weights(t.clone(), s.rows.clone(), weights)
             }
-            (None, TableStore::Sharded(_)) => {
-                unreachable!("sharded stores materialize every stored sample")
+            (None, TableStore::Sharded(_) | TableStore::Live(_)) => {
+                unreachable!("segmented stores materialize every stored sample")
             }
         }
     }
@@ -310,9 +324,12 @@ impl SampleHandler {
 
     /// Returns a (weighted) sample of the tuples covered by `rule`, at least
     /// `minSS` tuples when the data allows, trying Find → Combine → Create.
-    /// Infallible wrapper over [`SampleHandler::try_get_sample`].
+    /// Infallible wrapper over [`SampleHandler::try_get_sample`]: panicking
+    /// on a damaged spill file is this method's documented contract, for
+    /// lab callers without an error path — serve paths use the `try_` twin.
     pub fn get_sample(&mut self, rule: &Rule) -> SampleView {
         self.try_get_sample(rule)
+            // sdd-lint: allow(P001) the infallible wrapper's contract is to panic; serve paths use try_get_sample
             .expect("shard spill file must decode (written by this table)")
     }
 
@@ -393,8 +410,8 @@ impl SampleHandler {
                 (None, TableStore::Whole(t)) => {
                     rows.extend(s.rows.iter().copied().filter(|&r| rule.covers_row(t, r)));
                 }
-                (None, TableStore::Sharded(_)) => {
-                    unreachable!("sharded stores materialize every stored sample")
+                (None, TableStore::Sharded(_) | TableStore::Live(_)) => {
+                    unreachable!("segmented stores materialize every stored sample")
                 }
             }
             // Every qualifying sub-rule sample contributes its rate, even
@@ -416,10 +433,12 @@ impl SampleHandler {
         let weights = vec![scale; rows.len()];
         let view = match &self.store {
             TableStore::Whole(t) => OwnedTableView::with_rows_and_weights(t.clone(), rows, weights),
-            TableStore::Sharded(_) => {
+            TableStore::Sharded(_) | TableStore::Live(_) => {
                 // Gather the pooled tuples (in pool order) into one table
                 // sharing the global code space — the same codes the
-                // monolithic view would scan, in the same order.
+                // monolithic view would scan, in the same order. (Live
+                // stores re-gather every stored sample at each sync, so
+                // all sources share the pinned epoch's dictionaries.)
                 let borrowed: Vec<(&Table, &[RowId])> = parts
                     .iter()
                     .map(|(t, locals)| (&**t, locals.as_slice()))
@@ -492,19 +511,32 @@ impl SampleHandler {
         };
         let drawn: Vec<(Vec<RowId>, u64, f64)> =
             sdd_core::exec::parallel_map(threads, dedup.clone(), |(rule, n)| {
-                let mut rng = StdRng::seed_from_u64(sample_seed(seed, &rule));
+                let key = sample_seed(seed, &rule);
                 let mut res = Reservoir::new(n);
                 // Sharded and monolithic scans emit the identical ascending
                 // covered-row stream, so the reservoir draws the identical
-                // sample either way.
+                // sample either way; a live store scans its pinned epoch's
+                // frozen snapshot, whose stream equals a frozen table grown
+                // to the same rows.
                 let covered = match &store {
                     TableStore::Whole(t) => {
                         sdd_core::covered_rows_with_threads(t, &rule, scan_threads)
                     }
-                    TableStore::Sharded(st) => sdd_core::try_covered_rows_sharded(st, &rule)?,
+                    TableStore::Sharded(_) | TableStore::Live(_) => {
+                        // Unreachable given the arm — both variants expose
+                        // segments — but routed through the error path
+                        // rather than a panic (P001).
+                        let Some(st) = store.as_sharded() else {
+                            debug_assert!(false, "sharded/live store must expose segments");
+                            return Err(TableError::Io(
+                                "store lost its segment view mid-scan".to_owned(),
+                            ));
+                        };
+                        sdd_core::try_covered_rows_sharded(st, &rule)?
+                    }
                 };
                 for row in covered {
-                    res.offer(row, &mut rng);
+                    res.offer_keyed(row, key);
                 }
                 let scale = res.scale();
                 let (rows, seen) = res.into_parts();
@@ -522,11 +554,11 @@ impl SampleHandler {
         self.ensure_room(incoming);
 
         let base = self.samples.len();
-        for ((rule, _), (rows, seen, scale)) in dedup.iter().zip(drawn) {
+        for ((rule, target), (rows, seen, scale)) in dedup.iter().zip(drawn) {
             let exact = seen as usize == rows.len();
-            let local = match &self.store {
-                TableStore::Whole(_) => None,
-                TableStore::Sharded(st) => Some(Arc::new(st.try_gather_rows(&rows)?)),
+            let local = match self.store.as_sharded() {
+                None => None,
+                Some(st) => Some(Arc::new(st.try_gather_rows(&rows)?)),
             };
             self.samples.push(StoredSample {
                 filter: rule.clone(),
@@ -534,6 +566,8 @@ impl SampleHandler {
                 local,
                 scale,
                 exact,
+                seen,
+                target: *target,
                 last_used: self.clock,
             });
         }
@@ -545,13 +579,17 @@ impl SampleHandler {
     /// so only samples predating the batch are ever candidates.
     fn ensure_room(&mut self, incoming: usize) {
         while self.memory_used() + incoming > self.config.capacity && !self.samples.is_empty() {
-            let lru = self
+            // The loop guard keeps `samples` non-empty, so a victim always
+            // exists; `break` instead of panicking if that ever broke (P001).
+            let Some(lru) = self
                 .samples
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(i, _)| i)
-                .expect("non-empty");
+            else {
+                break;
+            };
             self.samples.remove(lru);
             self.stats.evictions += 1;
         }
@@ -592,6 +630,7 @@ impl SampleHandler {
     /// drill-down. Infallible wrapper over [`SampleHandler::try_prefetch`].
     pub fn prefetch(&mut self, parent: &Rule, entries: &[PrefetchEntry]) -> f64 {
         self.try_prefetch(parent, entries)
+            // sdd-lint: allow(P001) the infallible wrapper's contract is to panic; serve paths use try_prefetch
             .expect("shard spill file must decode (written by this table)")
     }
 
@@ -633,6 +672,80 @@ impl SampleHandler {
     /// Fallible [`SampleHandler::run_prefetch_job`].
     pub fn try_run_prefetch_job(&mut self, job: &PrefetchJob) -> Result<f64, TableError> {
         self.try_prefetch(&job.parent, &job.entries)
+    }
+
+    /// The epoch this handler's store is pinned to (`0` for frozen stores).
+    pub fn pinned_epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// Advances a live handler to `snap`'s epoch — §4.3's dynamic
+    /// maintenance extended across **data** changes. Every stored reservoir
+    /// is maintained *incrementally*: only the appended row range
+    /// (`old epoch's rows .. snap's rows`) is scanned
+    /// ([`sdd_core::try_covered_rows_sharded_range`]) and offered into the
+    /// reservoir resumed from its stored `(items, seen, target)`. Draws are
+    /// keyed by offer index ([`Reservoir::offer_keyed`]), so the result is
+    /// bit-identical to discarding the sample and re-scanning the whole
+    /// table at the new epoch. Every sample's materialized local table is
+    /// re-gathered against the new epoch's dictionaries (Combine's pooling
+    /// requires all sources to share dictionary lengths).
+    ///
+    /// No-op for frozen stores and for snapshots at or behind the pinned
+    /// epoch (pins never move backwards). On error (spill fault mid-scan)
+    /// nothing is committed: samples and pin stay at the old epoch, so a
+    /// retry after the fault clears is safe.
+    pub fn try_sync_to_snapshot(&mut self, snap: &LiveSnapshot) -> Result<(), TableError> {
+        let Some(ls) = self.store.as_live() else {
+            return Ok(());
+        };
+        if snap.epoch <= ls.epoch() {
+            return Ok(());
+        }
+        // `epoch_rows` always carries entry 0 (the empty epoch), so a
+        // missing tail can only mean "no rows yet" — exactly what 0 says.
+        let old_rows = ls.pinned().epoch_rows.last().copied().unwrap_or(0);
+        let new_rows = snap.epoch_rows.last().copied().unwrap_or(0);
+        let st = Arc::clone(&snap.table);
+        let seed = self.config.seed;
+
+        // Stage every update, then commit atomically: a fault mid-sync
+        // must not leave some reservoirs advanced past the pinned epoch
+        // (a retry would then offer the same rows twice).
+        let mut updated: Vec<StoredSample> = Vec::with_capacity(self.samples.len());
+        for s in &self.samples {
+            let mut ns = s.clone();
+            if new_rows > old_rows {
+                let covered =
+                    sdd_core::try_covered_rows_sharded_range(&st, &ns.filter, old_rows..new_rows)?;
+                if !covered.is_empty() {
+                    let key = sample_seed(seed, &ns.filter);
+                    let mut res =
+                        Reservoir::from_parts(std::mem::take(&mut ns.rows), ns.seen, ns.target);
+                    for row in covered {
+                        res.offer_keyed(row, key);
+                    }
+                    ns.scale = res.scale();
+                    let (rows, seen) = res.into_parts();
+                    ns.exact = seen as usize == rows.len();
+                    ns.rows = rows;
+                    ns.seen = seen;
+                }
+            }
+            // Re-gather at the new epoch unconditionally — the old local
+            // shares the old header's (shorter) dictionaries.
+            ns.local = Some(Arc::new(st.try_gather_rows(&ns.rows)?));
+            updated.push(ns);
+        }
+        self.samples = updated;
+        // The entry guard already proved the store is live; route the
+        // impossible miss through debug_assert instead of a panic (P001).
+        let Some(ls) = self.store.as_live_mut() else {
+            debug_assert!(false, "live store checked at entry");
+            return Ok(());
+        };
+        ls.pin(snap.clone());
+        Ok(())
     }
 
     /// Drops every stored sample (used by experiments to reset state).
@@ -853,6 +966,8 @@ mod tests {
             local: None,
             scale: 2.0,
             exact: false,
+            seen: 6,
+            target: 3,
             last_used: 0,
         });
         // B: (Store = w) is a sub-rule of the target but this draw caught
@@ -863,6 +978,8 @@ mod tests {
             local: None,
             scale: 4.0,
             exact: false,
+            seen: 8,
+            target: 2,
             last_used: 0,
         });
         let s = h.get_sample(&target);
@@ -942,6 +1059,8 @@ mod tests {
             local: None,
             scale: f64::INFINITY,
             exact: false,
+            seen: 5,
+            target: 0,
             last_used: 0,
         });
         let target = Rule::from_pairs(&t, &[("Store", "w"), ("Product", "c")]).unwrap();
@@ -1105,6 +1224,157 @@ mod tests {
             s.view.row_ids().unwrap().to_vec()
         };
         assert_eq!(draw("1"), draw("7"));
+    }
+
+    /// Rows `lo..hi` of the deterministic stream used by the live tests.
+    fn live_test_rows(lo: usize, hi: usize) -> Vec<[String; 2]> {
+        (lo..hi)
+            .map(|i| [format!("s{}", i % 4), format!("p{}", i % 7)])
+            .collect()
+    }
+
+    fn live_handler(store: TableStore, seed: u64) -> SampleHandler {
+        SampleHandler::with_store(
+            store,
+            SampleHandlerConfig {
+                capacity: 400,
+                min_sample_size: 40,
+                seed,
+                strategy: AllocationStrategy::Dp,
+            },
+        )
+    }
+
+    /// The tentpole parity pin: maintaining stored reservoirs incrementally
+    /// across appends is bit-identical to (a) a full re-create at the final
+    /// epoch and (b) a create against a frozen table pre-grown to the same
+    /// rows — samples, scales, exactness, and materialized locals all agree.
+    #[test]
+    fn incremental_maintenance_matches_full_rebuild_and_frozen_pregrown() {
+        use sdd_table::{LiveTable, LiveTableConfig};
+        let schema = || sdd_table::Schema::new(["Store", "Product"]).unwrap();
+        let total = 600usize;
+        let rules = |t: &Arc<Table>| {
+            vec![
+                Rule::trivial(2),
+                Rule::from_pairs(t, &[("Store", "s1")]).unwrap(),
+                Rule::from_pairs(t, &[("Store", "s2"), ("Product", "p3")]).unwrap(),
+            ]
+        };
+
+        for seed in [7u64, 21] {
+            // Incrementally grown + incrementally maintained handler.
+            let live = Arc::new(
+                LiveTable::new(schema(), vec![], &LiveTableConfig::in_memory(64)).unwrap(),
+            );
+            live.try_append(&live_test_rows(0, 150), &[]).unwrap();
+            let mut inc = live_handler(TableStore::from(Arc::clone(&live)), seed);
+            let header = inc.table().clone();
+            for r in rules(&header) {
+                let _ = inc.try_get_sample(&r).unwrap();
+            }
+            for (lo, hi) in [(150, 151), (151, 400), (400, 400), (400, total)] {
+                let snap = live.try_append(&live_test_rows(lo, hi), &[]).unwrap();
+                inc.try_sync_to_snapshot(&snap).unwrap();
+            }
+            assert_eq!(inc.pinned_epoch(), 5);
+
+            // Full rebuild at the final epoch: a fresh handler, same rules.
+            let mut rebuilt = live_handler(TableStore::from(Arc::clone(&live)), seed);
+            for r in rules(&header) {
+                let _ = rebuilt.try_get_sample(&r).unwrap();
+            }
+
+            // Frozen pre-grown table with the same rows.
+            let frozen = Arc::new(Table::from_rows(schema(), &live_test_rows(0, total)).unwrap());
+            let mut cold = live_handler(TableStore::Whole(Arc::clone(&frozen)), seed);
+            for r in rules(&header) {
+                let _ = cold.try_get_sample(&r).unwrap();
+            }
+
+            let a = inc.stored_samples();
+            let b = rebuilt.stored_samples();
+            let c = cold.stored_samples();
+            assert_eq!(a, b, "incremental vs full rebuild (seed {seed})");
+            assert_eq!(a, c, "incremental vs frozen pre-grown (seed {seed})");
+            // The maintained locals serve the same tuples the frozen store
+            // serves (global codes agree because intern order agrees).
+            for (s, f) in a.iter().zip(&c) {
+                assert_eq!(s.rows, f.rows);
+                assert!(s.scale.to_bits() == f.scale.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sync_is_monotonic_and_frozen_stores_ignore_it() {
+        use sdd_table::{LiveTable, LiveTableConfig};
+        let schema = sdd_table::Schema::new(["Store", "Product"]).unwrap();
+        let live =
+            Arc::new(LiveTable::new(schema, vec![], &LiveTableConfig::in_memory(16)).unwrap());
+        let old = live.try_append(&live_test_rows(0, 100), &[]).unwrap();
+        let mut h = live_handler(TableStore::from(Arc::clone(&live)), 3);
+        let trivial = Rule::trivial(2);
+        let _ = h.try_get_sample(&trivial).unwrap();
+        let newer = live.try_append(&live_test_rows(100, 130), &[]).unwrap();
+        h.try_sync_to_snapshot(&newer).unwrap();
+        let after = h.stored_samples();
+        // Re-syncing to the same or an older snapshot changes nothing.
+        h.try_sync_to_snapshot(&newer).unwrap();
+        h.try_sync_to_snapshot(&old).unwrap();
+        assert_eq!(h.stored_samples(), after);
+        assert_eq!(h.pinned_epoch(), 2);
+
+        // Frozen handlers ignore syncs entirely.
+        let frozen = Arc::new(
+            Table::from_rows(
+                sdd_table::Schema::new(["Store", "Product"]).unwrap(),
+                &live_test_rows(0, 50),
+            )
+            .unwrap(),
+        );
+        let mut fh = live_handler(TableStore::Whole(frozen), 3);
+        let _ = fh.try_get_sample(&trivial).unwrap();
+        let before = fh.stored_samples();
+        fh.try_sync_to_snapshot(&newer).unwrap();
+        assert_eq!(fh.stored_samples(), before);
+        assert_eq!(fh.pinned_epoch(), 0);
+    }
+
+    #[test]
+    fn combine_works_across_epochs_after_sync() {
+        // The re-gather-on-sync invariant: after appends introduce new
+        // dictionary values, pooling stored samples (gather_multi) must not
+        // trip its dictionary-length assertion, and estimates stay sane.
+        use sdd_table::{LiveTable, LiveTableConfig};
+        let schema = sdd_table::Schema::new(["Store", "Product"]).unwrap();
+        let live =
+            Arc::new(LiveTable::new(schema, vec![], &LiveTableConfig::in_memory(32)).unwrap());
+        live.try_append(&live_test_rows(0, 200), &[]).unwrap();
+        let mut h = SampleHandler::with_store(
+            TableStore::from(Arc::clone(&live)),
+            SampleHandlerConfig {
+                capacity: 1_000,
+                min_sample_size: 10,
+                seed: 5,
+                strategy: AllocationStrategy::Dp,
+            },
+        );
+        let header = h.table().clone();
+        let trivial = Rule::trivial(2);
+        h.scan_and_store(&[(trivial.clone(), 160)]).unwrap();
+        // Appended rows use a brand-new Store value, growing the dicts.
+        let extra: Vec<[String; 2]> = (0..40)
+            .map(|i| ["sNEW".to_owned(), format!("p{}", i % 7)])
+            .collect();
+        let snap = live.try_append(&extra, &[]).unwrap();
+        h.try_sync_to_snapshot(&snap).unwrap();
+        let s1 = Rule::from_pairs(&header, &[("Store", "s1")]).unwrap();
+        let s = h.try_get_sample(&s1).unwrap();
+        assert_eq!(s.mechanism, FetchMechanism::Combine);
+        // True count of s1 rows: 50 in the first 200 (i % 4 == 1).
+        let est = s.view.total_weight();
+        assert!((est - 50.0).abs() < 25.0, "estimate {est}");
     }
 
     #[test]

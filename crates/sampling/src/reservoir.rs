@@ -2,8 +2,32 @@
 //!
 //! "We can use reservoir sampling to get a uniformly random sample of given
 //! size in a single pass through the table."
+//!
+//! Two offer flavors exist:
+//!
+//! * [`Reservoir::offer`] draws from a caller-supplied sequential RNG — the
+//!   textbook form.
+//! * [`Reservoir::offer_keyed`] derives each draw from `(key, seen)` with a
+//!   stateless SplitMix64 mix. The reservoir's contents then depend only on
+//!   the key and the offered stream — **not** on how the stream was split
+//!   across calls or sessions. This is what makes the live-table sample
+//!   maintenance incremental-equals-rebuild: continuing a stored reservoir
+//!   over appended rows (via [`Reservoir::from_parts`]) lands in exactly
+//!   the state a from-scratch pass over the grown stream produces, which in
+//!   turn equals a scan of a pre-grown frozen table — bit-identical, with
+//!   no epoch bookkeeping inside the reservoir at all.
 
 use rand::Rng;
+
+/// One round of the SplitMix64 mixing function — the crate's stateless
+/// deterministic mixer (also used for per-rule seeds in the handler).
+#[inline]
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A fixed-capacity uniform reservoir over a stream of items.
 ///
@@ -26,6 +50,22 @@ impl<T> Reservoir<T> {
         }
     }
 
+    /// Reassembles a reservoir from stored state: `items` drawn so far,
+    /// the stream count `seen` they were drawn from, and the original
+    /// `capacity`. Continuing to offer the rest of a stream to the result
+    /// is bit-identical to having offered the whole stream to one fresh
+    /// reservoir (with [`Reservoir::offer_keyed`] and the same key) — the
+    /// incremental half of live-table sample maintenance.
+    pub fn from_parts(items: Vec<T>, seen: u64, capacity: usize) -> Self {
+        debug_assert!(items.len() <= capacity);
+        debug_assert!(items.len() as u64 <= seen);
+        Self {
+            capacity,
+            seen,
+            items,
+        }
+    }
+
     /// Offers one item from the stream.
     pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
         self.seen += 1;
@@ -33,6 +73,24 @@ impl<T> Reservoir<T> {
             self.items.push(item);
         } else if self.capacity > 0 {
             let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Offers one item with the draw derived statelessly from
+    /// `(key, seen)`: Algorithm R with `j = mix(key, t) mod t` at stream
+    /// position `t`. Equally-keyed reservoirs fed the same stream hold the
+    /// same items no matter how the stream is split across calls — see the
+    /// module docs. (The modulo bias is ≤ `t / 2^64` per draw —
+    /// statistically irrelevant, and determinism is exact.)
+    pub fn offer_keyed(&mut self, item: T, key: u64) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else if self.capacity > 0 {
+            let j = splitmix64(key ^ self.seen) % self.seen;
             if (j as usize) < self.capacity {
                 self.items[j as usize] = item;
             }
@@ -135,6 +193,49 @@ mod tests {
         assert_eq!(r.seen(), 10);
         // Drained but saw tuples: the honest ratio is infinite, not 1.0.
         assert_eq!(r.scale(), f64::INFINITY);
+    }
+
+    #[test]
+    fn keyed_offers_are_split_invariant() {
+        // The property live-table maintenance rests on: offering a stream
+        // in any number of installments (resuming via from_parts) lands in
+        // the same state as one continuous pass.
+        let key = 0xABCD_1234_u64;
+        let stream: Vec<u32> = (0..500).collect();
+        let mut whole = Reservoir::new(16);
+        for &i in &stream {
+            whole.offer_keyed(i, key);
+        }
+        for split in [0usize, 1, 17, 250, 499, 500] {
+            let mut a = Reservoir::new(16);
+            for &i in &stream[..split] {
+                a.offer_keyed(i, key);
+            }
+            let (items, seen) = a.into_parts();
+            let mut b = Reservoir::from_parts(items, seen, 16);
+            for &i in &stream[split..] {
+                b.offer_keyed(i, key);
+            }
+            assert_eq!(b.items(), whole.items(), "split at {split}");
+            assert_eq!(b.seen(), whole.seen());
+        }
+    }
+
+    #[test]
+    fn keyed_sampling_is_approximately_uniform() {
+        let mut hits = vec![0u32; 100];
+        for key in 0..2000u64 {
+            let mut r = Reservoir::new(10);
+            for i in 0..100 {
+                r.offer_keyed(i, splitmix64(key));
+            }
+            for &i in r.items() {
+                hits[i as usize] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((120..=280).contains(&h), "item {i} selected {h} times");
+        }
     }
 
     #[test]

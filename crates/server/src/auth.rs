@@ -4,8 +4,8 @@
 //! A token file (one entry per line) maps secrets to tenants:
 //!
 //! ```text
-//! # token      tenant     [max_sessions]  [cache_mib]
-//! s3cr3t-alpha alpha      64              16
+//! # token      tenant     [max_sessions]  [cache_mib]  [ingest]
+//! s3cr3t-alpha alpha      64              16           ingest
 //! s3cr3t-beta  beta
 //! ```
 //!
@@ -36,6 +36,12 @@ pub struct TenantQuota {
     pub max_sessions: usize,
     /// Result-cache bytes this tenant's inserts may occupy.
     pub cache_bytes: u64,
+    /// May this tenant append rows to a live table (`sdd serve --tail`)?
+    /// Appends mutate shared state every session sees, so the capability
+    /// is opt-in per token (the literal field `ingest` in the token file);
+    /// the anonymous tenant of an open registry has it — no token file
+    /// means no auth boundary to enforce.
+    pub ingest: bool,
 }
 
 impl Default for TenantQuota {
@@ -43,6 +49,7 @@ impl Default for TenantQuota {
         Self {
             max_sessions: 256,
             cache_bytes: 16 << 20,
+            ingest: false,
         }
     }
 }
@@ -138,6 +145,7 @@ impl TenantRegistry {
                 TenantQuota {
                     max_sessions: usize::MAX,
                     cache_bytes: u64::MAX,
+                    ingest: true,
                 },
             )],
             by_token: FxHashMap::default(),
@@ -158,7 +166,7 @@ impl TenantRegistry {
             let mut fields = line.split_whitespace();
             let (Some(token), Some(name)) = (fields.next(), fields.next()) else {
                 return Err(format!(
-                    "token file line {}: expected `<token> <tenant> [max_sessions] [cache_mib]`",
+                    "token file line {}: expected `<token> <tenant> [max_sessions] [cache_mib] [ingest]`",
                     lineno + 1
                 ));
             };
@@ -174,9 +182,19 @@ impl TenantRegistry {
                 })?;
                 quota.cache_bytes = mib << 20;
             }
+            match fields.next() {
+                None => {}
+                Some("ingest") => quota.ingest = true,
+                Some(other) => {
+                    return Err(format!(
+                        "token file line {}: expected `ingest` or end of line, got {other:?}",
+                        lineno + 1
+                    ));
+                }
+            }
             if fields.next().is_some() {
                 return Err(format!(
-                    "token file line {}: trailing fields after cache_mib",
+                    "token file line {}: trailing fields after ingest",
                     lineno + 1
                 ));
             }
@@ -268,7 +286,23 @@ tok-beta2 beta 8 4      # second token for the same tenant name
         assert!(TenantRegistry::from_token_file("t a bad-number").is_err());
         assert!(TenantRegistry::from_token_file("t a 1 bad-number").is_err());
         assert!(TenantRegistry::from_token_file("t a 1 2 extra").is_err());
+        assert!(TenantRegistry::from_token_file("t a 1 2 ingest extra").is_err());
         assert!(TenantRegistry::from_token_file("dup a\ndup b").is_err());
+    }
+
+    #[test]
+    fn ingest_capability_is_opt_in_per_token() {
+        let reg =
+            TenantRegistry::from_token_file("tok-w writer 4 2 ingest\ntok-r reader 4 2").unwrap();
+        let writer = reg.authenticate("tok-w").unwrap();
+        let reader = reg.authenticate("tok-r").unwrap();
+        assert!(reg.tenant(writer).quota.ingest);
+        assert!(!reg.tenant(reader).quota.ingest);
+        // With no token file there is no auth boundary: anonymous may ingest.
+        assert!(TenantRegistry::open().tenant(ANONYMOUS_TENANT).quota.ingest);
+        // With a token file, the anonymous tenant (unauthenticated TCP
+        // path) keeps the open-registry quota — auth gating of appends is
+        // the HTTP front-end's job; see the engine's tail config.
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! other's results — the property the stress harness pins down.
 
 use crate::auth::TenantRegistry;
-use crate::cache::{cache_enabled, CacheCounters, SearchCache, TenantCacheView};
+use crate::cache::{cache_enabled, CacheCounters, EvictionMode, SearchCache, TenantCacheView};
 use crate::predict::{PredictCounters, TransitionModel};
 use crate::protocol::{Request, Response, RuleInfo, StatsInfo};
 use crate::registry::{Registry, RegistryError, TenantId, ANONYMOUS_TENANT};
@@ -29,6 +29,27 @@ use sdd_explorer::{
 use sdd_sampling::PrefetchJob;
 use sdd_table::{Table, TableStore};
 use std::sync::Arc;
+
+/// Tail-ingest settings: accepting `append` requests against a live
+/// (appendable) served table. Absent from [`EngineConfig`] by default —
+/// a server that did not opt in (`sdd serve --tail`) rejects every
+/// `append` before touching the store.
+#[derive(Debug, Clone)]
+pub struct TailConfig {
+    /// Largest accepted `append` batch, in rows. One request seals at
+    /// least one segment, so unbounded batches would let a single client
+    /// drive unbounded allocation; the default (10 000) comfortably fits
+    /// the protocol's line-length budget.
+    pub max_batch_rows: usize,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_rows: 10_000,
+        }
+    }
+}
 
 /// Server-wide defaults for new sessions.
 #[derive(Debug, Clone)]
@@ -47,12 +68,22 @@ pub struct EngineConfig {
     /// it (as does the `SDD_NO_CACHE` environment kill switch). The cache
     /// is transparent — responses are byte-identical either way.
     pub cache_bytes: usize,
+    /// Stripe-overflow eviction policy of the result cache. The default
+    /// honours the `SDD_CACHE_EVICT` environment override and otherwise
+    /// keeps the policy the cache-module bench selected (see
+    /// [`EvictionMode`]). Policy never changes a response byte — only the
+    /// hit rate under budget pressure.
+    pub cache_eviction: EvictionMode,
     /// Tenant directory (auth tokens + per-tenant quotas). The default is
     /// an open registry: one anonymous tenant, no auth, no quotas beyond
     /// `max_sessions` — exactly the lab behavior every existing caller
     /// expects. Quotas never change a response byte; they only decide
     /// whether an `open` is admitted.
     pub tenants: Arc<TenantRegistry>,
+    /// Tail-ingest opt-in: `Some` accepts `append` requests (gated on the
+    /// tenant's `ingest` capability and `max_batch_rows`), `None` — the
+    /// default — rejects them all.
+    pub tail: Option<TailConfig>,
 }
 
 impl Default for EngineConfig {
@@ -65,7 +96,9 @@ impl Default for EngineConfig {
             stripes: 16,
             max_sessions: 10_000,
             cache_bytes: 64 << 20,
+            cache_eviction: EvictionMode::from_env(),
             tenants: Arc::new(TenantRegistry::open()),
+            tail: None,
         }
     }
 }
@@ -81,6 +114,11 @@ pub struct Engine {
     /// Parent→child drill-down frequency model feeding think-time
     /// speculation. Advisory only: never changes a response byte.
     transitions: Arc<TransitionModel>,
+    /// The engine-assigned cache identity of the served store. Every
+    /// session gets this id, so sessions share result-cache entries;
+    /// two engines (two loaded stores) always get distinct ids, so their
+    /// entries can never collide even if they share a cache.
+    table_id: u64,
 }
 
 impl Engine {
@@ -97,11 +135,14 @@ impl Engine {
     /// equality).
     pub fn with_store(store: TableStore, config: EngineConfig) -> Self {
         let cache = (config.cache_bytes > 0 && cache_enabled()).then(|| {
-            Arc::new(SearchCache::with_tenants(
-                config.stripes,
-                config.cache_bytes,
-                config.tenants.cache_quotas(config.cache_bytes as u64),
-            ))
+            Arc::new(
+                SearchCache::with_tenants(
+                    config.stripes,
+                    config.cache_bytes,
+                    config.tenants.cache_quotas(config.cache_bytes as u64),
+                )
+                .eviction(config.cache_eviction),
+            )
         });
         Self {
             store,
@@ -109,6 +150,7 @@ impl Engine {
             cache,
             transitions: Arc::new(TransitionModel::new(config.stripes)),
             config,
+            table_id: sdd_explorer::allocate_table_id(),
         }
     }
 
@@ -133,7 +175,19 @@ impl Engine {
             TableStore::Sharded(s) => {
                 Some((s.loads(), s.evictions(), s.spills(), s.peak_resident()))
             }
+            TableStore::Live(l) => Some(l.live().storage_counters()),
             TableStore::Whole(_) => None,
+        }
+    }
+
+    /// Live-table gauges `(epoch, visible_rows)` when the served store is
+    /// appendable, `None` otherwise. Reads the **latest** published state,
+    /// not any session's pin — this is what `/metrics` exports so an
+    /// operator can watch ingest advance.
+    pub fn live_info(&self) -> Option<(u64, usize)> {
+        match &self.store {
+            TableStore::Live(l) => Some((l.live().epoch(), l.live().n_rows())),
+            _ => None,
         }
     }
 
@@ -271,7 +325,12 @@ impl Engine {
             Request::Ping => (Response::Pong, None),
             Request::TableInfo => (
                 Response::TableInfo {
-                    rows: self.store.n_rows(),
+                    // Live stores report the latest published epoch's row
+                    // count, not the engine's load-time pin — `table` is
+                    // how a tail client confirms its appends landed.
+                    rows: self
+                        .live_info()
+                        .map_or_else(|| self.store.n_rows(), |(_, rows)| rows),
                     columns: (0..self.store.n_columns())
                         .map(|c| self.store.schema().column_name(c).to_owned())
                         .collect(),
@@ -329,13 +388,30 @@ impl Engine {
                 self.with_session(session, |ex| Response::Rendered { text: ex.render() })
             }
             Request::Refresh { session } => {
-                self.with_session(session, |ex| match ex.try_refresh_exact_counts() {
-                    Ok(()) => Response::RuleList {
-                        rules: visible_infos(ex),
-                    },
-                    Err(e) => Response::error(e),
+                self.with_session(session, |ex| {
+                    // Serving-mode split: over frozen storage the refresh
+                    // scan runs inline (the classic blocking semantics many
+                    // transcript suites pin). Over a live table it is
+                    // *scheduled* — the background worker or the next
+                    // operation prologue runs it off the request path — and
+                    // the reply shows the current (possibly estimated)
+                    // counts. Either way the scan executes at the epoch the
+                    // session is pinned to right now.
+                    let result = if ex.store().as_live().is_some() {
+                        ex.request_refresh();
+                        Ok(())
+                    } else {
+                        ex.try_refresh_exact_counts()
+                    };
+                    match result {
+                        Ok(()) => Response::RuleList {
+                            rules: visible_infos(ex),
+                        },
+                        Err(e) => Response::error(e),
+                    }
                 })
             }
+            Request::Append { rows, measures } => (self.append(rows, measures, tenant), None),
             Request::Stats { session } => self.with_session(session, |ex| {
                 let h = ex.handler_stats();
                 Response::Stats {
@@ -353,6 +429,55 @@ impl Engine {
                     },
                 }
             }),
+        }
+    }
+
+    /// Handles one `append`: gate (tail opt-in → tenant ingest capability →
+    /// batch cap → live store), then seal the batch through the live
+    /// table's existing segment machinery. The append publishes a new
+    /// epoch; every session picks it up at its next operation prologue and
+    /// no cached result is ever served across the boundary (the epoch is
+    /// part of every cache key).
+    fn append(&self, rows: &[Vec<String>], measures: &[Vec<f64>], tenant: TenantId) -> Response {
+        let Some(tail) = &self.config.tail else {
+            return Response::error("append rejected: tail ingest is not enabled on this server");
+        };
+        let owner = self.config.tenants.tenant(tenant);
+        if !owner.quota.ingest {
+            return Response::error(format!(
+                "tenant {:?} lacks the ingest capability",
+                owner.name
+            ));
+        }
+        if rows.len() > tail.max_batch_rows {
+            return Response::error(format!(
+                "append batch of {} rows exceeds the {}-row cap",
+                rows.len(),
+                tail.max_batch_rows
+            ));
+        }
+        let Some(live) = self.store.as_live() else {
+            return Response::error("append rejected: the served table is frozen");
+        };
+        // The wire carries measure *columns*; the live table wants one
+        // measure vector per *row* — transpose after checking the columns
+        // are rectangular (a ragged batch must not partially apply).
+        if let Some(col) = measures.iter().find(|col| col.len() != rows.len()) {
+            return Response::error(format!(
+                "measure column of {} values does not match the {}-row batch",
+                col.len(),
+                rows.len()
+            ));
+        }
+        let by_row: Vec<Vec<f64>> = (0..rows.len())
+            .map(|r| measures.iter().map(|col| col[r]).collect())
+            .collect();
+        match live.live().try_append(rows, &by_row) {
+            Ok(snap) => Response::Appended {
+                epoch: snap.epoch,
+                rows: snap.table.n_rows(),
+            },
+            Err(e) => Response::error(e),
         }
     }
 
@@ -434,6 +559,10 @@ impl Engine {
         cfg.cache = self.cache.clone().map(|c| {
             SharedResultCache(Arc::new(TenantCacheView::new(c, tenant)) as Arc<dyn ResultCache>)
         });
+        // One id per loaded store: sessions of this engine interoperate in
+        // the cache, sessions of any other engine (even over an identical
+        // table) never collide with them.
+        cfg.table_id = Some(self.table_id);
         let explorer = Explorer::with_store(self.store.clone(), weight, cfg);
         match self.sessions.insert_tagged(session, explorer, tenant) {
             Ok(()) => Response::Opened {
@@ -469,12 +598,23 @@ impl Engine {
                 None,
             );
         };
-        // A spill failure inside the claimed prefetch job must not kill the
-        // connection worker: prefetching is best-effort, so drop the error —
-        // the operation below resurfaces it if it needs the damaged shard.
+        // The operation prologue, in two steps. First, the unclaimed
+        // prefetch job: best-effort, error dropped — the job is consumed
+        // either way and the operation below resurfaces the fault if it
+        // needs the damaged shard (the pre-live behavior, pinned by the
+        // spill-fault suite). Then the epoch advance: a scheduled refresh
+        // drains at the epoch it was created under and the session moves
+        // onto the newest published snapshot; a storage fault *here* is a
+        // real answer-blocking failure (the refresh stays scheduled, the
+        // pin stays put), so it becomes the error response — not a panic,
+        // not a silent stale answer.
         let _ = ex.try_drain_pending_prefetch();
+        if let Err(e) = ex.try_advance_epoch() {
+            return (Response::error(e), None);
+        }
         let response = f(&mut ex);
-        let hint = ex.has_pending_prefetch().then(|| session.to_owned());
+        let hint =
+            (ex.has_pending_prefetch() || ex.has_pending_refresh()).then(|| session.to_owned());
         (response, hint)
     }
 
@@ -486,15 +626,22 @@ impl Engine {
     pub fn run_pending_prefetch(&self, session: &str) {
         if let Some(handle) = self.sessions.get(session) {
             if let Ok(mut ex) = handle.lock() {
-                let Some(job) = ex.take_pending_prefetch() else {
-                    // A request beat us to the job and drained it — the
-                    // exact point inline prefetching would have run it.
-                    return;
-                };
-                // Best-effort: a failed background prefetch stores nothing;
-                // the next request touching the damaged shard gets the error.
-                let _ = ex.try_run_prefetch(&job);
-                self.speculate(&ex, &job);
+                if let Some(job) = ex.take_pending_prefetch() {
+                    // Best-effort: a failed background prefetch stores
+                    // nothing; the next request touching the damaged shard
+                    // gets the error. (When no job remains, a request beat
+                    // us to it and drained it — the exact point inline
+                    // prefetching would have run it.)
+                    let _ = ex.try_run_prefetch(&job);
+                    self.speculate(&ex, &job);
+                }
+                // Scheduled exact-count refresh (live serving mode) also
+                // runs on this worker — at the session's pinned epoch, the
+                // same point the next request prologue would run it, so
+                // worker timing is unobservable in the response bytes; the
+                // epoch advance afterwards keeps think-time sample
+                // maintenance off the request path too.
+                let _ = ex.try_advance_epoch();
             }
         }
     }

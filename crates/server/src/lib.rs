@@ -46,8 +46,8 @@ pub mod registry;
 pub mod server;
 
 pub use auth::{Tenant, TenantQuota, TenantRegistry};
-pub use cache::{cache_enabled, CacheCounters, SearchCache, TenantCacheView};
-pub use engine::{Engine, EngineConfig};
+pub use cache::{cache_enabled, CacheCounters, EvictionMode, SearchCache, TenantCacheView};
+pub use engine::{Engine, EngineConfig, TailConfig};
 pub use http::{HttpClient, HttpReply};
 pub use json::Json;
 pub use metrics::{LatencyHistogram, Metrics, Transport};

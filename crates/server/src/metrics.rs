@@ -26,6 +26,7 @@
 //! | `sdd_tenant_cache_bytes` | gauge | `tenant` |
 //! | `sdd_cache_{hits,misses,inserts,evictions}_total`, `sdd_cache_bytes` | counter/gauge | — |
 //! | `sdd_storage_{loads,evictions,spills}_total`, `sdd_storage_peak_resident` | counter/gauge | — |
+//! | `sdd_live_epoch`, `sdd_live_rows` | gauge | — (live tables only) |
 //!
 //! This file is panic-free outside tests (lint rule P001): a scrape or a
 //! latency record must never be able to take the server down.
@@ -354,6 +355,29 @@ impl Metrics {
             }
         }
 
+        if let Some((epoch, rows)) = engine.live_info() {
+            // Latest *published* state, not any session's pin: the gap
+            // between this gauge and a session's pinned epoch is exactly
+            // the staleness the replay bench measures.
+            for (name, help, value) in [
+                (
+                    "sdd_live_epoch",
+                    "Latest published epoch of the live table (= appends accepted).",
+                    epoch,
+                ),
+                (
+                    "sdd_live_rows",
+                    "Rows visible at the latest published epoch.",
+                    rows as u64,
+                ),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+                );
+            }
+        }
+
         let tenants = engine.tenants();
         let _ = writeln!(
             out,
@@ -446,7 +470,26 @@ mod tests {
         } else {
             assert!(!text.contains("sdd_cache_hits_total"), "{text}");
         }
-        // Monolithic store: no storage family.
+        // Monolithic store: no storage family, no live gauges.
         assert!(!text.contains("sdd_storage_loads_total"), "{text}");
+        assert!(!text.contains("sdd_live_epoch"), "{text}");
+    }
+
+    #[test]
+    fn render_exports_live_gauges_for_an_appendable_store() {
+        use crate::{Engine, EngineConfig};
+        use sdd_table::{LiveTable, LiveTableConfig, Schema, TableStore};
+        use std::sync::Arc;
+        let schema = Schema::new(["Store", "Product"]).unwrap();
+        let live =
+            Arc::new(LiveTable::new(schema, vec![], &LiveTableConfig::in_memory(8)).unwrap());
+        live.try_append(&[vec!["s0".to_owned(), "p0".to_owned()]], &[])
+            .unwrap();
+        let engine = Engine::with_store(TableStore::from(live), EngineConfig::default());
+        let text = Metrics::default().render(&engine, 0);
+        assert!(text.contains("sdd_live_epoch 1"), "{text}");
+        assert!(text.contains("sdd_live_rows 1"), "{text}");
+        // A live table is segmented storage: the storage family renders.
+        assert!(text.contains("sdd_storage_spills_total"), "{text}");
     }
 }

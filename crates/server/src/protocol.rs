@@ -90,6 +90,16 @@ pub enum Request {
         /// Session name.
         session: String,
     },
+    /// Append a batch of rows to a live (appendable) shared table. The
+    /// table-level analogue of `table`: it carries no session — every
+    /// session observes the new epoch at its next operation.
+    Append {
+        /// Rows in schema order, one `Vec<String>` of category values per row.
+        rows: Vec<Vec<String>>,
+        /// Measure columns (one `Vec<f64>` per measure, each `rows.len()`
+        /// long). Empty when the table has no measures.
+        measures: Vec<Vec<f64>>,
+    },
     /// Liveness probe.
     Ping,
     /// Shared-table metadata.
@@ -109,6 +119,7 @@ impl Request {
             Request::Refresh { .. } => "refresh",
             Request::Stats { .. } => "stats",
             Request::Close { .. } => "close",
+            Request::Append { .. } => "append",
             Request::Ping => "ping",
             Request::TableInfo => "table",
         }
@@ -159,6 +170,27 @@ impl Request {
             | Request::Stats { session }
             | Request::Close { session } => {
                 push("session", Json::str(session.clone()));
+            }
+            Request::Append { rows, measures } => {
+                push(
+                    "rows",
+                    Json::Arr(
+                        rows.iter()
+                            .map(|r| Json::Arr(r.iter().map(|c| Json::str(c.clone())).collect()))
+                            .collect(),
+                    ),
+                );
+                if !measures.is_empty() {
+                    push(
+                        "measures",
+                        Json::Arr(
+                            measures
+                                .iter()
+                                .map(|m| Json::Arr(m.iter().map(|&x| Json::num(x)).collect()))
+                                .collect(),
+                        ),
+                    );
+                }
             }
             Request::Ping | Request::TableInfo => {}
         }
@@ -258,6 +290,41 @@ impl Request {
             "close" => Ok(Request::Close {
                 session: session()?,
             }),
+            "append" => {
+                let rows = v
+                    .get("rows")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing array field \"rows\"")?
+                    .iter()
+                    .map(|r| {
+                        r.as_arr()
+                            .ok_or_else(|| "bad row (expected array of strings)".to_owned())?
+                            .iter()
+                            .map(|c| {
+                                c.as_str()
+                                    .map(str::to_owned)
+                                    .ok_or_else(|| "bad category value".to_owned())
+                            })
+                            .collect()
+                    })
+                    .collect::<Result<Vec<Vec<String>>, String>>()?;
+                let measures = match v.get("measures") {
+                    None => Vec::new(),
+                    Some(m) => m
+                        .as_arr()
+                        .ok_or("bad array field \"measures\"")?
+                        .iter()
+                        .map(|col| {
+                            col.as_arr()
+                                .ok_or_else(|| "bad measure column".to_owned())?
+                                .iter()
+                                .map(|x| x.as_f64().ok_or_else(|| "bad measure value".to_owned()))
+                                .collect()
+                        })
+                        .collect::<Result<Vec<Vec<f64>>, String>>()?,
+                };
+                Ok(Request::Append { rows, measures })
+            }
             "ping" => Ok(Request::Ping),
             "table" => Ok(Request::TableInfo),
             other => Err(format!("unknown op {other:?}")),
@@ -457,6 +524,13 @@ pub enum Response {
     },
     /// `close` succeeded.
     Closed,
+    /// `append` succeeded: the batch is sealed and visible.
+    Appended {
+        /// The table epoch after this append (= total appends so far).
+        epoch: u64,
+        /// Total visible rows after this append.
+        rows: usize,
+    },
     /// `ping` reply.
     Pong,
     /// `table` reply.
@@ -485,6 +559,7 @@ impl Response {
             Response::Rendered { .. } => "render",
             Response::Stats { .. } => "stats",
             Response::Closed => "close",
+            Response::Appended { .. } => "append",
             Response::Pong => "pong",
             Response::TableInfo { .. } => "table",
             Response::Error { .. } => "error",
@@ -513,6 +588,10 @@ impl Response {
                     "columns",
                     Json::Arr(columns.iter().map(|c| Json::str(c.clone())).collect()),
                 );
+            }
+            Response::Appended { epoch, rows } => {
+                push("epoch", Json::num(*epoch as f64));
+                push("rows", Json::num(*rows as f64));
             }
             Response::Error { message } => push("error", Json::str(message.clone())),
             Response::Collapsed | Response::Closed | Response::Pong => {}
@@ -558,6 +637,16 @@ impl Response {
                 )?,
             }),
             "close" => Ok(Response::Closed),
+            "append" => Ok(Response::Appended {
+                epoch: v
+                    .get("epoch")
+                    .and_then(Json::as_usize)
+                    .ok_or("missing integer field \"epoch\"")? as u64,
+                rows: v
+                    .get("rows")
+                    .and_then(Json::as_usize)
+                    .ok_or("missing integer field \"rows\"")?,
+            }),
             "pong" => Ok(Response::Pong),
             "table" => Ok(Response::TableInfo {
                 rows: v

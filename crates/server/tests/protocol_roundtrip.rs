@@ -72,6 +72,17 @@ fn every_request_variant_round_trips() {
             session: session.clone(),
         },
         Request::Close { session },
+        Request::Append {
+            rows: vec![
+                vec!["Walmart".to_owned(), "bread".to_owned()],
+                vec!["Target".to_owned(), "milk".to_owned()],
+            ],
+            measures: vec![vec![1.5, 2.5]],
+        },
+        Request::Append {
+            rows: vec![],
+            measures: vec![],
+        },
         Request::Ping,
         Request::TableInfo,
     ];
@@ -128,6 +139,10 @@ fn every_response_variant_round_trips() {
             },
         },
         Response::Closed,
+        Response::Appended {
+            epoch: 3,
+            rows: 192,
+        },
         Response::Pong,
         Response::TableInfo {
             rows: 6000,
@@ -262,6 +277,12 @@ fn malformed_requests_are_rejected_with_reasons() {
         (r#"{"op":"star","session":"s","path":[]}"#, "column"),
         (r#"{"op":"open","session":"s","k":-1}"#, "k"),
         (r#"{"op":"open","session":"s","mw":"big"}"#, "mw"),
+        (r#"{"op":"append"}"#, "rows"),
+        (r#"{"op":"append","rows":[["a"],7]}"#, "bad row"),
+        (
+            r#"{"op":"append","rows":[["a"]],"measures":[["x"]]}"#,
+            "measure",
+        ),
     ] {
         let err = match sdd_server::protocol::parse_request_line(line) {
             Err(e) => e,

@@ -3,8 +3,8 @@
 //! a panic that takes down the connection worker — and the engine must keep
 //! serving every request that does not touch the damaged shard.
 
-use sdd_server::{Engine, EngineConfig, OpenOptions, Request, Response};
-use sdd_table::{ShardConfig, ShardedTable, TableStore};
+use sdd_server::{Engine, EngineConfig, OpenOptions, Request, Response, TailConfig};
+use sdd_table::{LiveTable, LiveTableConfig, Schema, ShardConfig, ShardedTable, TableStore};
 use std::sync::Arc;
 
 fn spilling_engine() -> (Engine, Arc<ShardedTable>) {
@@ -117,4 +117,96 @@ fn refresh_surfaces_spill_errors_as_responses() {
         session: "s".to_owned(),
     });
     assert!(matches!(resp, Response::RuleList { .. }));
+}
+
+#[test]
+fn deferred_refresh_fault_during_append_is_an_error_response() {
+    // The live serving mode: refresh is *scheduled* and drained off the
+    // request path. A spill fault while the deferred scan runs must become
+    // an error response on the session's next operation — never a worker
+    // panic — and the refresh stays scheduled so the session recovers once
+    // the file is intact.
+    let dir = std::env::temp_dir().join(format!("sdd-live-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let schema = Schema::new(["Store", "Product"]).unwrap();
+    let live = Arc::new(
+        LiveTable::new(
+            schema,
+            vec![],
+            &LiveTableConfig::spilling(16, 1, dir.clone()),
+        )
+        .unwrap(),
+    );
+    let engine = Engine::with_store(
+        TableStore::from(live.clone()),
+        EngineConfig {
+            tail: Some(TailConfig::default()),
+            ..EngineConfig::default()
+        },
+    );
+    let batch: Vec<Vec<String>> = (0..64)
+        .map(|i| vec![format!("s{}", i % 4), format!("p{}", i % 7)])
+        .collect();
+    engine.handle(&Request::Append {
+        rows: batch.clone(),
+        measures: vec![],
+    });
+    assert!(matches!(open(&engine, "s"), Response::Opened { .. }));
+    let (resp, _) = engine.handle(&Request::Expand {
+        session: "s".to_owned(),
+        path: vec![],
+    });
+    assert!(matches!(resp, Response::Expanded { .. }), "{resp:?}");
+
+    // Schedule the refresh (live mode answers immediately)...
+    let (resp, hint) = engine.handle(&Request::Refresh {
+        session: "s".to_owned(),
+    });
+    assert!(matches!(resp, Response::RuleList { .. }), "{resp:?}");
+    assert!(
+        hint.is_some(),
+        "live refresh must be deferred to the worker"
+    );
+
+    // ... then an append lands and a sealed segment goes bad before the
+    // deferred scan ran.
+    engine.handle(&Request::Append {
+        rows: batch,
+        measures: vec![],
+    });
+    let snap = live.snapshot();
+    let damaged = (0..snap.table.n_shards())
+        .find_map(|i| snap.table.spill_path(i).map(|p| p.to_path_buf()))
+        .expect("a sealed segment must have spilled");
+    let bytes = std::fs::read(&damaged).unwrap();
+    std::fs::write(&damaged, &bytes[..8]).unwrap();
+    snap.table.evict_all();
+
+    // The worker tick swallows the fault (best-effort, refresh stays
+    // scheduled); the session's next operation surfaces it as a response.
+    engine.run_pending_prefetch("s");
+    let (resp, _) = engine.handle(&Request::Rules {
+        session: "s".to_owned(),
+    });
+    match resp {
+        Response::Error { message } => assert!(
+            message.contains("storage error"),
+            "expected a storage error, got: {message}"
+        ),
+        other => panic!("expected an error response, got {other:?}"),
+    }
+    assert!(matches!(engine.handle(&Request::Ping).0, Response::Pong));
+
+    // Restore: the same session drains the refresh and serves again.
+    std::fs::write(&damaged, &bytes).unwrap();
+    let (resp, _) = engine.handle(&Request::Rules {
+        session: "s".to_owned(),
+    });
+    let Response::RuleList { rules } = resp else {
+        panic!("session must recover once the file is intact: {resp:?}");
+    };
+    assert_eq!(
+        rules[0].count, 128.0,
+        "recovered session is at the new epoch"
+    );
 }

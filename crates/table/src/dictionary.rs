@@ -62,6 +62,17 @@ impl Dictionary {
             + self.values.len() * (2 * std::mem::size_of::<Box<str>>() + std::mem::size_of::<u64>())
     }
 
+    /// Discards every code `>= len`, restoring the dictionary to an earlier
+    /// intern point. Supports the live-table append rollback: a failed
+    /// append must not leak interned values (and thus column cardinality)
+    /// into later snapshots, or a from-scratch rebuild of the same rows
+    /// would diverge from the grown table.
+    pub fn truncate(&mut self, len: usize) {
+        for v in self.values.drain(len.min(self.values.len())..) {
+            self.index.remove(&v);
+        }
+    }
+
     /// Iterates `(code, value)` pairs in code order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
         self.values

@@ -49,8 +49,9 @@ pub use dictionary::Dictionary;
 pub use error::TableError;
 pub use schema::{ColumnDef, Schema};
 pub use shard::{
-    LocalCodes, RawColumn, RawSegment, Residency, SegmentData, ShardBuilder, ShardConfig, ShardRun,
-    ShardSegment, ShardedTable, ShardedView, TableStore,
+    LiveSnapshot, LiveStore, LiveTable, LiveTableConfig, LocalCodes, RawColumn, RawSegment,
+    Residency, SegmentData, ShardBuilder, ShardConfig, ShardRun, ShardSegment, ShardedTable,
+    ShardedView, TableStore,
 };
 pub use table::{Table, TableBuilder};
 pub use view::{chunk_spans, OwnedTableView, RowId, TableView, ViewChunk, WeightedRow};

@@ -369,12 +369,25 @@ impl Cache {
     /// true memory use — instead pinned segments stay in the map and count
     /// against the budget, and the cache only overshoots by the number of
     /// concurrently pinned segments (`resident.len() ≤ budget + pinned`).
-    fn evict_over_budget(&mut self, budget: usize, policy: Residency) {
+    ///
+    /// Only segments with a spill file (`spill[i].is_some()`) are eviction
+    /// candidates: a spill-less resident segment — a live table's unsealed
+    /// tail, or any fully-resident layout — could never be reloaded, so
+    /// evicting it would lose rows, not memory.
+    fn evict_over_budget(
+        &mut self,
+        budget: usize,
+        policy: Residency,
+        spill: &[Option<Arc<SpillFile>>],
+    ) {
         if budget == 0 {
             return;
         }
         while self.resident.len() > budget {
-            let unpinned = self.resident.iter().filter(|(_, e)| !e.seg.is_pinned());
+            let unpinned = self
+                .resident
+                .iter()
+                .filter(|(&k, e)| spill[k].is_some() && !e.seg.is_pinned());
             let victim = match policy {
                 Residency::Lru => unpinned.min_by_key(|(_, e)| e.last_used),
                 Residency::Sweep => unpinned.max_by_key(|(_, e)| e.last_used),
@@ -385,11 +398,50 @@ impl Cache {
                     self.resident.remove(&k);
                     self.evictions += 1;
                 }
-                // Everything over budget is pinned by in-flight scans; the
-                // overshoot is transient and bounded by the pin count.
+                // Everything over budget is pinned by in-flight scans or
+                // not reloadable; the overshoot is bounded by those counts.
                 None => break,
             }
         }
+    }
+}
+
+/// The private spill subdirectory of one table, builder, or live table,
+/// removed (best effort) when the last owner drops. Shared by `Arc` so a
+/// live table's epoch snapshots can outlive each other in any order.
+#[derive(Debug)]
+struct SpillRoot {
+    dir: PathBuf,
+}
+
+impl Drop for SpillRoot {
+    fn drop(&mut self) {
+        // Non-recursive by design: every file inside is owned by a
+        // `SpillFile` holding an `Arc` to this root, so the directory is
+        // empty by the time the last root handle drops.
+        let _ = std::fs::remove_dir(&self.dir);
+    }
+}
+
+/// One spill file, deleted when its last owner drops. Epoch snapshots of a
+/// live table share sealed segments by `Arc`, so a superseded snapshot can
+/// drop while newer ones keep reading the same bytes.
+#[derive(Debug)]
+struct SpillFile {
+    path: PathBuf,
+    /// Keeps the directory alive until every file in it is gone.
+    _root: Arc<SpillRoot>,
+}
+
+impl SpillFile {
+    fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
     }
 }
 
@@ -405,8 +457,8 @@ pub struct ShardedTable {
     header: Arc<Table>,
     measures: Vec<(String, Vec<f64>)>,
     spans: Vec<Range<usize>>,
-    spill: Vec<Option<PathBuf>>,
-    spill_root: Option<PathBuf>,
+    spill: Vec<Option<Arc<SpillFile>>>,
+    spill_root: Option<Arc<SpillRoot>>,
     resident_budget: usize,
     residency: Residency,
     cache: Mutex<Cache>,
@@ -446,16 +498,19 @@ impl ShardedTable {
             .map(make_spill_root)
             .transpose()?;
 
-        let mut spill: Vec<Option<PathBuf>> = vec![None; spans.len()];
+        let mut spill: Vec<Option<Arc<SpillFile>>> = vec![None; spans.len()];
         let mut cache = Cache::default();
         for (i, span) in spans.iter().enumerate() {
             let cols: Vec<Vec<u32>> = (0..table.n_columns())
                 .map(|c| table.column(c)[span.clone()].to_vec())
                 .collect();
             if let Some(root) = &spill_root {
-                let path = root.join(segment_file_name(i));
+                let path = root.dir.join(segment_file_name(i));
                 write_segment(&path, &cols, span.len())?;
-                spill[i] = Some(path);
+                spill[i] = Some(Arc::new(SpillFile {
+                    path,
+                    _root: Arc::clone(root),
+                }));
                 cache.spills += 1;
                 // Cold cache: segments are rebuilt from spill on first use.
             } else {
@@ -582,7 +637,7 @@ impl ShardedTable {
                 // otherwise linger as permanent hits (the budget never
                 // re-honored, eviction never firing again). The clone above
                 // pins `i`, so the pass cannot drop the returned segment.
-                cache.evict_over_budget(self.resident_budget, self.residency);
+                cache.evict_over_budget(self.resident_budget, self.residency, &self.spill);
                 return Ok(seg);
             }
         }
@@ -598,7 +653,11 @@ impl ShardedTable {
                         "shard {i} is neither resident nor spilled"
                     )));
                 };
-                globalize(&read_raw_segment(path, self.n_columns(), span.len())?)
+                globalize(&read_raw_segment(
+                    path.path(),
+                    self.n_columns(),
+                    span.len(),
+                )?)
             }
         };
         let from_disk = raw_hit.is_none();
@@ -642,7 +701,7 @@ impl ShardedTable {
         cache.note_size();
         // The caller's `seg` clone pins shard `i` (strong count ≥ 2), so the
         // eviction pass can never drop the segment being returned.
-        cache.evict_over_budget(self.resident_budget, self.residency);
+        cache.evict_over_budget(self.resident_budget, self.residency, &self.spill);
         Ok(seg)
     }
 
@@ -666,7 +725,7 @@ impl ShardedTable {
                 "shard {i} is neither resident nor spilled"
             )));
         };
-        let cols = read_raw_segment(path, self.n_columns(), span.len())?;
+        let cols = read_raw_segment(path.path(), self.n_columns(), span.len())?;
         let raw = Arc::new(RawSegment { span, cols });
 
         let mut cache = self.cache();
@@ -691,7 +750,7 @@ impl ShardedTable {
             }
         };
         cache.note_size();
-        cache.evict_over_budget(self.resident_budget, self.residency);
+        cache.evict_over_budget(self.resident_budget, self.residency, &self.spill);
         Ok(data)
     }
 
@@ -707,7 +766,7 @@ impl ShardedTable {
             entry.last_used = clock;
             entry.seg.data()
         };
-        cache.evict_over_budget(self.resident_budget, self.residency);
+        cache.evict_over_budget(self.resident_budget, self.residency, &self.spill);
         Some(data)
     }
 
@@ -734,7 +793,7 @@ impl ShardedTable {
                 "shard {i} has no spill file to range-read; use cached_data first"
             )));
         };
-        let out = read_spill_columns(path, cols, self.n_columns(), span.len())?;
+        let out = read_spill_columns(path.path(), cols, self.n_columns(), span.len())?;
         self.cache().loads += 1;
         Ok(out)
     }
@@ -844,11 +903,13 @@ impl ShardedTable {
     pub fn resident_and_pinned(&self) -> (usize, usize) {
         let mut cache = self.cache();
         loop {
-            cache.evict_over_budget(self.resident_budget, self.residency);
+            cache.evict_over_budget(self.resident_budget, self.residency, &self.spill);
+            // Spill-less entries (a live table's resident tail) can never be
+            // evicted, so they count like pins for the budget invariant.
             let pinned = cache
                 .resident
-                .values()
-                .filter(|e| e.seg.is_pinned())
+                .iter()
+                .filter(|(&i, e)| e.seg.is_pinned() || self.spill[i].is_none())
                 .count();
             if self.resident_budget == 0 || cache.resident.len() <= self.resident_budget + pinned {
                 return (cache.resident.len(), pinned);
@@ -868,7 +929,15 @@ impl ShardedTable {
 
     /// The spill file of shard `i`, if this table spills.
     pub fn spill_path(&self, i: usize) -> Option<&std::path::Path> {
-        self.spill[i].as_deref()
+        self.spill[i].as_ref().map(|f| f.path())
+    }
+
+    /// The spill directory this table keeps alive, if any. Spill files are
+    /// reference-counted across tables (live-table snapshots share sealed
+    /// segments); the directory itself is removed when the last holder —
+    /// table or spill file — drops.
+    pub fn spill_dir(&self) -> Option<&std::path::Path> {
+        self.spill_root.as_deref().map(|r| r.dir.as_path())
     }
 
     /// Drops every cached segment that can be reloaded from its spill file
@@ -890,28 +959,23 @@ impl ShardedTable {
 }
 
 /// Creates the unique spill subdirectory for one table or builder.
-fn make_spill_root(dir: &std::path::Path) -> io::Result<PathBuf> {
+fn make_spill_root(dir: &std::path::Path) -> io::Result<Arc<SpillRoot>> {
     let tag = SPILL_TAG.fetch_add(1, Ordering::Relaxed);
     let root = dir.join(format!("sdd-shards-{}-{tag:04}", std::process::id()));
     std::fs::create_dir_all(&root)?;
-    Ok(root)
+    Ok(Arc::new(SpillRoot { dir: root }))
 }
 
 fn segment_file_name(i: usize) -> String {
     format!("shard-{i:05}.seg")
 }
 
-impl Drop for ShardedTable {
-    fn drop(&mut self) {
-        // Best-effort cleanup of this table's private spill subdirectory.
-        if let Some(root) = &self.spill_root {
-            for p in self.spill.iter().flatten() {
-                let _ = std::fs::remove_file(p);
-            }
-            let _ = std::fs::remove_dir(root);
-        }
-    }
-}
+// Spill cleanup is reference-counted, not tied to the table's drop: each
+// spill file deletes itself when its last `Arc` owner releases it, and the
+// `SpillRoot` removes the (by then empty) directory when the last file and
+// root handle are gone. A lone frozen table behaves exactly as before —
+// dropping it deletes its files and directory — while a live table's epoch
+// snapshots can share sealed segments and drop in any order.
 
 // ---------------------------------------------------------------------------
 // Streaming builder
@@ -952,8 +1016,8 @@ pub struct ShardBuilder {
     total_rows: usize,
     resident_budget: usize,
     residency: Residency,
-    spill_root: Option<PathBuf>,
-    spill: Vec<Option<PathBuf>>,
+    spill_root: Option<Arc<SpillRoot>>,
+    spill: Vec<Option<Arc<SpillFile>>>,
     /// Sealed segment columns, kept only for fully-resident builds (a
     /// spilling build drops a segment's codes as soon as they hit disk).
     sealed: Vec<Option<Vec<Vec<u32>>>>,
@@ -1086,9 +1150,12 @@ impl ShardBuilder {
             .collect();
         debug_assert!(cols.iter().all(|c| c.len() == span.len()));
         if let Some(root) = &self.spill_root {
-            let path = root.join(segment_file_name(i));
+            let path = root.dir.join(segment_file_name(i));
             write_segment(&path, &cols, span.len())?;
-            self.spill[i] = Some(path);
+            self.spill[i] = Some(Arc::new(SpillFile {
+                path,
+                _root: Arc::clone(root),
+            }));
             self.spills += 1;
             // `cols` drops here: a spilling build never retains sealed codes.
         } else {
@@ -1193,9 +1260,498 @@ impl Drop for ShardBuilder {
         // failed `write_segment` that never made it into `self.spill`.
         if !self.finished {
             if let Some(root) = &self.spill_root {
-                let _ = std::fs::remove_dir_all(root);
+                let _ = std::fs::remove_dir_all(&root.dir);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live (append-only) tables
+// ---------------------------------------------------------------------------
+
+/// Configuration of a [`LiveTable`].
+#[derive(Debug, Clone)]
+pub struct LiveTableConfig {
+    /// Fixed rows per sealed segment (`C`, clamped to ≥ 1). Appended rows
+    /// buffer in an always-resident tail until it fills, at which point the
+    /// segment is sealed through the same spill encoder the builders use.
+    /// The segment layout of a live table is a pure function of its total
+    /// row count and `C`, so a from-scratch rebuild of the same rows (in
+    /// any append batching) produces byte-identical sealed spill files.
+    pub rows_per_segment: usize,
+    /// Resident-segment budget each snapshot enforces (`0` = unlimited).
+    /// The unsealed tail has no spill file, so it is never evicted and is
+    /// exempt from the budget (like a pinned segment).
+    pub resident: usize,
+    /// Spill directory for sealed segments (`None` = fully resident). As
+    /// with [`ShardConfig`], a non-zero budget requires a spill directory.
+    pub spill_dir: Option<PathBuf>,
+    /// Eviction policy under the resident budget.
+    pub residency: Residency,
+}
+
+impl LiveTableConfig {
+    /// A fully-resident live table sealing every `rows_per_segment` rows.
+    pub fn in_memory(rows_per_segment: usize) -> Self {
+        Self {
+            rows_per_segment,
+            resident: 0,
+            spill_dir: None,
+            residency: Residency::Lru,
+        }
+    }
+
+    /// A spilling live table: sealed segments on disk under `dir`, at most
+    /// `resident` of them decoded at once per snapshot.
+    pub fn spilling(rows_per_segment: usize, resident: usize, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            rows_per_segment,
+            resident: resident.max(1),
+            spill_dir: Some(dir.into()),
+            residency: Residency::Lru,
+        }
+    }
+}
+
+/// One epoch's frozen view of a [`LiveTable`]: an ordinary immutable
+/// [`ShardedTable`] (every sharded scan, parity, and caching path works on
+/// it unchanged) plus the epoch it captures and the visible-row count at
+/// every epoch up to it (what the sampling layer's per-epoch reservoir
+/// folds partition on).
+#[derive(Debug, Clone)]
+pub struct LiveSnapshot {
+    /// The frozen table. Sealed segments are shared (by `Arc`-owned spill
+    /// files) across snapshots; the unsealed tail is copied per snapshot
+    /// and always resident.
+    pub table: Arc<ShardedTable>,
+    /// The epoch this snapshot captures (number of appends so far).
+    pub epoch: u64,
+    /// `epoch_rows[e]` = total visible rows at epoch `e`, for `e ≤ epoch`
+    /// (`epoch_rows[0]` is the construction-time row count, `0`).
+    pub epoch_rows: Arc<Vec<usize>>,
+}
+
+/// A sealed-or-pending segment staged during one append batch; holds the
+/// decoded columns until the whole batch commits so a failed seal can put
+/// them back into the tail.
+enum StagedSeg {
+    Spilled(Arc<SpillFile>, Vec<Vec<u32>>),
+    Resident(Vec<Vec<u32>>),
+}
+
+#[derive(Debug)]
+struct LiveState {
+    /// The master mutable dictionaries; snapshots get frozen clones.
+    dicts: Vec<Dictionary>,
+    /// Full measure columns (cloned into each snapshot).
+    measure_vals: Vec<Vec<f64>>,
+    /// Sealed segments' spill files, in segment order (spilling mode).
+    sealed_spill: Vec<Arc<SpillFile>>,
+    /// Sealed segments' decoded columns, in segment order (resident mode).
+    sealed_cols: Vec<Vec<Vec<u32>>>,
+    /// Unsealed tail columns in global codes (< `rows_per_segment` rows).
+    tail: Vec<Vec<u32>>,
+    /// Visible row count at each epoch (`epoch_rows[e]`, `e` = epoch).
+    epoch_rows: Vec<usize>,
+    /// The current frozen snapshot.
+    current: LiveSnapshot,
+    /// Storage counters folded in from superseded snapshots, so the
+    /// reported totals never move backwards across epochs.
+    base_loads: u64,
+    base_evictions: u64,
+    base_peak: usize,
+    /// Lifetime sealed-segment writes (one per seal, spilling mode).
+    total_spills: u64,
+}
+
+/// An append-only table: rows arrive in batches, each batch bumps a
+/// monotonic **epoch** and publishes a new frozen [`LiveSnapshot`].
+///
+/// * Sealing reuses the streaming builder's spill machinery
+///   ([`write_segment`], same `SDDSHRD2` encoding): every
+///   `rows_per_segment` rows become an immutable sealed segment, written to
+///   disk exactly once; the remainder stays in an always-resident tail.
+/// * Snapshots are plain [`ShardedTable`]s sharing the sealed spill files
+///   by `Arc`, so every existing sharded scan path works on them unchanged
+///   and a superseded snapshot can outlive its successors without
+///   invalidating their files.
+/// * Global codes are interned in first-appearance order (exactly as the
+///   builders do), so a live table grown by any sequence of appends holds
+///   the same codes — and byte-identical sealed spill files — as one grown
+///   by a single append of all rows (the seal-boundary tests pin this).
+/// * A failed append (spill I/O error) rolls the table back to the prior
+///   epoch: dictionaries, tail, and measures are restored, staged files
+///   removed — a retry or a rebuild observes no trace of the failure.
+#[derive(Debug)]
+pub struct LiveTable {
+    schema: Schema,
+    measure_names: Vec<String>,
+    rows_per_segment: usize,
+    resident_budget: usize,
+    residency: Residency,
+    spill_root: Option<Arc<SpillRoot>>,
+    /// Mirrors `state.epoch_rows.len() - 1`; readable without the lock.
+    epoch: AtomicU64,
+    state: Mutex<LiveState>,
+}
+
+impl LiveTable {
+    /// Creates an empty live table at epoch 0.
+    pub fn new(
+        schema: Schema,
+        measures: Vec<String>,
+        config: &LiveTableConfig,
+    ) -> Result<LiveTable, TableError> {
+        if config.resident > 0 && config.spill_dir.is_none() {
+            return Err(TableError::Io(
+                "a resident-shard budget requires a spill directory".to_owned(),
+            ));
+        }
+        for (i, name) in measures.iter().enumerate() {
+            if schema.index_of(name).is_ok() || measures[..i].contains(name) {
+                return Err(TableError::DuplicateColumn(name.clone()));
+            }
+        }
+        let spill_root = config
+            .spill_dir
+            .as_deref()
+            .map(make_spill_root)
+            .transpose()?;
+        let n_cols = schema.n_columns();
+        let live = LiveTable {
+            measure_names: measures.clone(),
+            rows_per_segment: config.rows_per_segment.max(1),
+            resident_budget: config.resident,
+            residency: config.residency,
+            spill_root,
+            epoch: AtomicU64::new(0),
+            state: Mutex::new(LiveState {
+                dicts: vec![Dictionary::new(); n_cols],
+                measure_vals: vec![Vec::new(); measures.len()],
+                sealed_spill: Vec::new(),
+                sealed_cols: Vec::new(),
+                tail: vec![Vec::new(); n_cols],
+                epoch_rows: vec![0],
+                // Placeholder; replaced by the real epoch-0 snapshot below.
+                current: LiveSnapshot {
+                    table: Arc::new(ShardedTable {
+                        header: Arc::new(Table::from_parts(
+                            schema.clone(),
+                            (0..n_cols).map(|_| Arc::new(Dictionary::new())).collect(),
+                            vec![Vec::new(); n_cols],
+                            measures.iter().map(|n| (n.clone(), Vec::new())).collect(),
+                            0,
+                        )),
+                        measures: Vec::new(),
+                        // One empty segment (rows 0..0), not an empty Vec —
+                        // spelled via `once` so clippy sees the intent.
+                        spans: std::iter::once(0..0).collect(),
+                        spill: vec![None],
+                        spill_root: None,
+                        resident_budget: 0,
+                        residency: config.residency,
+                        cache: Mutex::new(Cache::default()),
+                    }),
+                    epoch: 0,
+                    epoch_rows: Arc::new(vec![0]),
+                },
+                base_loads: 0,
+                base_evictions: 0,
+                base_peak: 0,
+                total_spills: 0,
+            }),
+            schema,
+        };
+        {
+            let mut state = live.state();
+            live.rebuild_snapshot(&mut state);
+        }
+        Ok(live)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Fixed rows per sealed segment (`C`).
+    pub fn rows_per_segment(&self) -> usize {
+        self.rows_per_segment
+    }
+
+    /// The current epoch (number of appends so far). Monotonic; readable
+    /// without blocking an in-flight append.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Total rows visible in the current snapshot.
+    pub fn n_rows(&self) -> usize {
+        self.state().current.table.n_rows()
+    }
+
+    /// Sealed segments so far.
+    pub fn segments_sealed(&self) -> usize {
+        let state = self.state();
+        state.sealed_spill.len().max(state.sealed_cols.len())
+    }
+
+    /// The current frozen snapshot (cheap: clones three `Arc`s).
+    pub fn snapshot(&self) -> LiveSnapshot {
+        self.state().current.clone()
+    }
+
+    /// Lifetime storage counters `(loads, evictions, spills, peak_resident)`
+    /// across all epochs: the current snapshot's counters on top of the
+    /// totals folded in from superseded snapshots. Monotonic.
+    pub fn storage_counters(&self) -> (u64, u64, u64, usize) {
+        let state = self.state();
+        let t = &state.current.table;
+        (
+            state.base_loads + t.loads(),
+            state.base_evictions + t.evictions(),
+            state.total_spills,
+            state.base_peak.max(t.peak_resident()),
+        )
+    }
+
+    /// Locks the live state; poisoning tolerated as in
+    /// [`ShardedTable::cache`] (every mutation either commits a consistent
+    /// epoch or rolls back before unwinding).
+    fn state(&self) -> std::sync::MutexGuard<'_, LiveState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends a batch of rows, bumps the epoch, and returns the new
+    /// snapshot. `cats[i]` are row `i`'s categorical values in schema
+    /// order; `measures[i]` its measure values in declaration order (pass
+    /// `&[]` when the table declares no measures). Appending an empty batch
+    /// still bumps the epoch (a deliberate no-op data change).
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::ArityMismatch`] on a malformed row (checked before any
+    /// state changes); [`TableError::Io`] when sealing a segment fails —
+    /// the table rolls back to the previous epoch.
+    pub fn try_append<R, S>(
+        &self,
+        cats: &[R],
+        measures: &[Vec<f64>],
+    ) -> Result<LiveSnapshot, TableError>
+    where
+        R: AsRef<[S]>,
+        S: AsRef<str>,
+    {
+        let n_cols = self.schema.n_columns();
+        for row in cats {
+            if row.as_ref().len() != n_cols {
+                return Err(TableError::ArityMismatch {
+                    expected: n_cols,
+                    got: row.as_ref().len(),
+                });
+            }
+        }
+        if !(self.measure_names.is_empty() && measures.is_empty()) {
+            if measures.len() != cats.len() {
+                return Err(TableError::ArityMismatch {
+                    expected: cats.len(),
+                    got: measures.len(),
+                });
+            }
+            for m in measures {
+                if m.len() != self.measure_names.len() {
+                    return Err(TableError::ArityMismatch {
+                        expected: self.measure_names.len(),
+                        got: m.len(),
+                    });
+                }
+            }
+        }
+
+        let mut state = self.state();
+        // Rollback marks (everything before this point is read-only).
+        let dict_lens: Vec<usize> = state.dicts.iter().map(Dictionary::len).collect();
+        let old_tail_len = state.tail.first().map_or(0, Vec::len);
+        let old_measure_len = state.measure_vals.first().map_or(0, Vec::len);
+
+        // Intern + buffer (infallible after the arity checks above).
+        for (r, row) in cats.iter().enumerate() {
+            for (c, v) in row.as_ref().iter().enumerate() {
+                let code = state.dicts[c].intern(v.as_ref());
+                state.tail[c].push(code);
+            }
+            if let Some(m) = measures.get(r) {
+                for (slot, &v) in state.measure_vals.iter_mut().zip(m) {
+                    slot.push(v);
+                }
+            }
+        }
+
+        // Seal every full segment, staging results until the batch commits.
+        let c = self.rows_per_segment;
+        let mut staged: Vec<StagedSeg> = Vec::new();
+        let seal_result: Result<(), TableError> = (|| {
+            while state.tail.first().map_or(0, Vec::len) >= c {
+                let cols: Vec<Vec<u32>> = state
+                    .tail
+                    .iter_mut()
+                    .map(|col| {
+                        let rest = col.split_off(c);
+                        std::mem::replace(col, rest)
+                    })
+                    .collect();
+                match &self.spill_root {
+                    Some(root) => {
+                        let i = state.sealed_spill.len() + staged.len();
+                        let path = root.dir.join(segment_file_name(i));
+                        if let Err(e) = write_segment(&path, &cols, c) {
+                            // Put the drained rows back before surfacing.
+                            for (col, sealed) in state.tail.iter_mut().zip(cols) {
+                                let rest = std::mem::replace(col, sealed);
+                                col.extend(rest);
+                            }
+                            return Err(e.into());
+                        }
+                        staged.push(StagedSeg::Spilled(
+                            Arc::new(SpillFile {
+                                path,
+                                _root: Arc::clone(root),
+                            }),
+                            cols,
+                        ));
+                    }
+                    None => staged.push(StagedSeg::Resident(cols)),
+                }
+            }
+            Ok(())
+        })();
+
+        if let Err(e) = seal_result {
+            // Roll back: restore the tail (staged segments back in front,
+            // appended rows dropped), measures, and dictionaries. Dropping
+            // the staged `SpillFile`s removes their files.
+            for seg in staged.into_iter().rev() {
+                let cols = match seg {
+                    StagedSeg::Spilled(_, cols) | StagedSeg::Resident(cols) => cols,
+                };
+                for (col, sealed) in state.tail.iter_mut().zip(cols) {
+                    let rest = std::mem::replace(col, sealed);
+                    col.extend(rest);
+                }
+            }
+            for col in state.tail.iter_mut() {
+                col.truncate(old_tail_len);
+            }
+            for m in state.measure_vals.iter_mut() {
+                m.truncate(old_measure_len);
+            }
+            for (d, &len) in state.dicts.iter_mut().zip(&dict_lens) {
+                d.truncate(len);
+            }
+            return Err(e);
+        }
+
+        // Commit: adopt staged segments, bump the epoch, publish a snapshot.
+        for seg in staged {
+            match seg {
+                StagedSeg::Spilled(file, _cols) => {
+                    state.sealed_spill.push(file);
+                    state.total_spills += 1;
+                }
+                StagedSeg::Resident(cols) => state.sealed_cols.push(cols),
+            }
+        }
+        let n_rows = state.current.table.n_rows() + cats.len();
+        state.epoch_rows.push(n_rows);
+        self.rebuild_snapshot(&mut state);
+        Ok(state.current.clone())
+    }
+
+    /// Builds and installs the frozen snapshot for the state's newest epoch,
+    /// folding the superseded snapshot's storage counters into the bases.
+    fn rebuild_snapshot(&self, state: &mut LiveState) {
+        {
+            let old = &state.current.table;
+            state.base_loads += old.loads();
+            state.base_evictions += old.evictions();
+            state.base_peak = state.base_peak.max(old.peak_resident());
+        }
+
+        let n_cols = self.schema.n_columns();
+        let dicts: Vec<Arc<Dictionary>> = state.dicts.iter().cloned().map(Arc::new).collect();
+        let header_measures: Vec<(String, Vec<f64>)> = self
+            .measure_names
+            .iter()
+            .map(|n| (n.clone(), Vec::new()))
+            .collect();
+        let header = Arc::new(Table::from_parts(
+            self.schema.clone(),
+            dicts,
+            vec![Vec::new(); n_cols],
+            header_measures,
+            0,
+        ));
+        let measures: Vec<(String, Vec<f64>)> = self
+            .measure_names
+            .iter()
+            .cloned()
+            .zip(state.measure_vals.iter().cloned())
+            .collect();
+
+        let c = self.rows_per_segment;
+        let sealed_n = state.sealed_spill.len().max(state.sealed_cols.len());
+        let tail_len = state.tail.first().map_or(0, Vec::len);
+        let mut spans: Vec<Range<usize>> = (0..sealed_n).map(|i| i * c..(i + 1) * c).collect();
+        // The tail span exists whenever it holds rows — and for the empty
+        // table, so the snapshot has the canonical single `0..0` span.
+        if tail_len > 0 || sealed_n == 0 {
+            spans.push(sealed_n * c..sealed_n * c + tail_len);
+        }
+        let mut spill: Vec<Option<Arc<SpillFile>>> =
+            state.sealed_spill.iter().cloned().map(Some).collect();
+        spill.resize(spans.len(), None);
+
+        let mut cache = Cache::default();
+        let insert_resident = |cache: &mut Cache, i: usize, cols: Vec<Vec<u32>>| {
+            cache.clock += 1;
+            cache.resident.insert(
+                i,
+                CacheEntry {
+                    seg: CachedSeg::Decoded(Arc::new(ShardSegment {
+                        span: spans[i].clone(),
+                        table: segment_table(&header, &measures, &spans[i], cols),
+                    })),
+                    last_used: cache.clock,
+                },
+            );
+            cache.note_size();
+        };
+        if self.spill_root.is_none() {
+            for (i, cols) in state.sealed_cols.iter().enumerate() {
+                insert_resident(&mut cache, i, cols.clone());
+            }
+        }
+        if tail_len > 0 || sealed_n == 0 {
+            insert_resident(&mut cache, spans.len() - 1, state.tail.clone());
+        }
+
+        let epoch = (state.epoch_rows.len() - 1) as u64;
+        state.current = LiveSnapshot {
+            table: Arc::new(ShardedTable {
+                header,
+                measures,
+                spans,
+                spill,
+                spill_root: self.spill_root.clone(),
+                resident_budget: self.resident_budget,
+                residency: self.residency,
+                cache: Mutex::new(cache),
+            }),
+            epoch,
+            epoch_rows: Arc::new(state.epoch_rows.clone()),
+        };
+        self.epoch.store(epoch, Ordering::Release);
     }
 }
 
@@ -1702,28 +2258,93 @@ impl ShardedView {
 // TableStore
 // ---------------------------------------------------------------------------
 
+/// A [`LiveTable`] handle plus the epoch snapshot this holder is pinned
+/// to. Scans always run against the pinned snapshot — an ordinary frozen
+/// [`ShardedTable`] — so a holder observes one consistent epoch until it
+/// explicitly re-pins; appends land concurrently without disturbing it.
+#[derive(Debug, Clone)]
+pub struct LiveStore {
+    live: Arc<LiveTable>,
+    pinned: LiveSnapshot,
+}
+
+impl LiveStore {
+    /// Pins the table's current snapshot.
+    pub fn new(live: Arc<LiveTable>) -> Self {
+        let pinned = live.snapshot();
+        LiveStore { live, pinned }
+    }
+
+    /// The underlying live table.
+    pub fn live(&self) -> &Arc<LiveTable> {
+        &self.live
+    }
+
+    /// The snapshot this holder currently observes.
+    pub fn pinned(&self) -> &LiveSnapshot {
+        &self.pinned
+    }
+
+    /// The pinned epoch.
+    pub fn epoch(&self) -> u64 {
+        self.pinned.epoch
+    }
+
+    /// The table's newest epoch (may be ahead of [`LiveStore::epoch`]).
+    pub fn latest_epoch(&self) -> u64 {
+        self.live.epoch()
+    }
+
+    /// Re-pins to the table's current snapshot, returning the newly pinned
+    /// epoch. Holders advance only through this method, at points of their
+    /// choosing (the explorer syncs at operation prologues; see the
+    /// determinism notes there).
+    pub fn re_pin(&mut self) -> u64 {
+        self.pinned = self.live.snapshot();
+        self.pinned.epoch
+    }
+
+    /// Pins a specific snapshot — for holders that coordinate several
+    /// pinned views (explorer + sample handler) onto one epoch: take one
+    /// [`LiveTable::snapshot`] and pin it everywhere. The snapshot must
+    /// come from this store's live table; pins never move backwards (an
+    /// older snapshot is ignored).
+    pub fn pin(&mut self, snap: LiveSnapshot) {
+        if snap.epoch >= self.pinned.epoch {
+            self.pinned = snap;
+        }
+    }
+}
+
 /// The storage behind a drill-down session: one monolithic in-memory
-/// [`Table`], or a [`ShardedTable`] whose segments may live on disk.
+/// [`Table`], a [`ShardedTable`] whose segments may live on disk, or a
+/// pinned snapshot of an append-only [`LiveTable`].
 ///
 /// The sampling layer, explorer, and server hold a `TableStore` and
 /// dispatch their full-table scans on it; all *metadata* access (schema,
 /// dictionaries, cardinalities — everything weight functions and display
 /// need) goes through [`TableStore::header`], which for sharded storage is
 /// the always-resident zero-row header table.
+///
+/// Cloning a `TableStore::Live` clones the pin: the copy observes the same
+/// epoch until it re-pins.
 #[derive(Debug, Clone)]
 pub enum TableStore {
     /// A monolithic in-memory table.
     Whole(Arc<Table>),
     /// A sharded table with an optional spill tier.
     Sharded(Arc<ShardedTable>),
+    /// An append-only live table, pinned to one epoch's snapshot.
+    Live(LiveStore),
 }
 
 impl TableStore {
-    /// Total number of rows.
+    /// Total number of rows (at the pinned epoch, for live storage).
     pub fn n_rows(&self) -> usize {
         match self {
             TableStore::Whole(t) => t.n_rows(),
             TableStore::Sharded(s) => s.n_rows(),
+            TableStore::Live(l) => l.pinned.table.n_rows(),
         }
     }
 
@@ -1732,6 +2353,7 @@ impl TableStore {
         match self {
             TableStore::Whole(t) => t.n_columns(),
             TableStore::Sharded(s) => s.n_columns(),
+            TableStore::Live(l) => l.pinned.table.n_columns(),
         }
     }
 
@@ -1740,22 +2362,61 @@ impl TableStore {
         match self {
             TableStore::Whole(t) => t.schema(),
             TableStore::Sharded(s) => s.schema(),
+            TableStore::Live(l) => l.pinned.table.schema(),
         }
     }
 
     /// The metadata table: the table itself for [`TableStore::Whole`], the
-    /// zero-row header for [`TableStore::Sharded`]. Carries schema,
+    /// zero-row header for sharded and live storage. Carries schema,
     /// dictionaries, and measure names — never rows; do not scan it.
     pub fn header(&self) -> &Arc<Table> {
         match self {
             TableStore::Whole(t) => t,
             TableStore::Sharded(s) => s.header(),
+            TableStore::Live(l) => l.pinned.table.header(),
         }
     }
 
-    /// True for sharded storage.
+    /// True for segmented storage (sharded or live) — every sharded scan
+    /// path applies to the live pinned snapshot as well.
     pub fn is_sharded(&self) -> bool {
-        matches!(self, TableStore::Sharded(_))
+        matches!(self, TableStore::Sharded(_) | TableStore::Live(_))
+    }
+
+    /// The pinned epoch: `0` for frozen storage (a frozen table is a live
+    /// table that never appends), the holder's pinned epoch for live.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            TableStore::Whole(_) | TableStore::Sharded(_) => 0,
+            TableStore::Live(l) => l.epoch(),
+        }
+    }
+
+    /// The pinned [`ShardedTable`] view for segmented storage (`None` for
+    /// [`TableStore::Whole`]): the shared table for `Sharded`, the pinned
+    /// snapshot for `Live`. Scans that match on `is_sharded` use this.
+    pub fn as_sharded(&self) -> Option<&Arc<ShardedTable>> {
+        match self {
+            TableStore::Whole(_) => None,
+            TableStore::Sharded(s) => Some(s),
+            TableStore::Live(l) => Some(&l.pinned.table),
+        }
+    }
+
+    /// The live handle, if this store is live.
+    pub fn as_live(&self) -> Option<&LiveStore> {
+        match self {
+            TableStore::Live(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Mutable live handle (for re-pinning), if this store is live.
+    pub fn as_live_mut(&mut self) -> Option<&mut LiveStore> {
+        match self {
+            TableStore::Live(l) => Some(l),
+            _ => None,
+        }
     }
 }
 
@@ -1768,6 +2429,12 @@ impl From<Arc<Table>> for TableStore {
 impl From<Arc<ShardedTable>> for TableStore {
     fn from(s: Arc<ShardedTable>) -> Self {
         TableStore::Sharded(s)
+    }
+}
+
+impl From<Arc<LiveTable>> for TableStore {
+    fn from(l: Arc<LiveTable>) -> Self {
+        TableStore::Live(LiveStore::new(l))
     }
 }
 
@@ -1920,14 +2587,14 @@ mod tests {
     #[test]
     fn spill_files_are_removed_on_drop() {
         let table = t(12);
-        let root;
+        let dir;
         {
             let st = ShardedTable::from_table(&table, &ShardConfig::spilling(3, 1, spill_dir()))
                 .unwrap();
-            root = st.spill_root.clone().unwrap();
-            assert!(root.exists());
+            dir = st.spill_dir().unwrap().to_path_buf();
+            assert!(dir.exists());
         }
-        assert!(!root.exists(), "spill subdirectory must be cleaned up");
+        assert!(!dir.exists(), "spill subdirectory must be cleaned up");
     }
 
     /// Streams `table`'s rows through a [`ShardBuilder`] in row order.
@@ -2231,5 +2898,319 @@ mod tests {
         assert_eq!(sharded.n_columns(), 2);
         assert_eq!(sharded.header().n_rows(), 0, "header carries no rows");
         assert_eq!(sharded.header().cardinality(0), table.cardinality(0));
+    }
+
+    // -----------------------------------------------------------------------
+    // Live (append-only) tables
+    // -----------------------------------------------------------------------
+
+    fn live_rows(n: usize) -> Vec<[String; 2]> {
+        (0..n)
+            .map(|i| [format!("a{}", i % 5), format!("b{}", i % 3)])
+            .collect()
+    }
+
+    /// Materializes every row of a sharded table as strings.
+    fn gather_all(st: &ShardedTable) -> Vec<Vec<String>> {
+        let rows: Vec<RowId> = (0..st.n_rows() as RowId).collect();
+        let t = st.try_gather_rows(&rows).unwrap();
+        (0..t.n_rows() as RowId)
+            .map(|r| {
+                (0..t.n_columns())
+                    .map(|c| t.value(r, c).to_owned())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn live_append_publishes_epochs_and_rows() {
+        let live = LiveTable::new(
+            Schema::new(["A", "B"]).unwrap(),
+            vec![],
+            &LiveTableConfig::in_memory(4),
+        )
+        .unwrap();
+        assert_eq!(live.epoch(), 0);
+        assert_eq!(live.n_rows(), 0);
+        assert_eq!(live.snapshot().table.n_rows(), 0);
+
+        let rows = live_rows(6);
+        let snap1 = live.try_append(&rows[..3], &[]).unwrap();
+        assert_eq!((snap1.epoch, snap1.table.n_rows()), (1, 3));
+        let snap2 = live.try_append(&rows[3..], &[]).unwrap();
+        assert_eq!((snap2.epoch, snap2.table.n_rows()), (2, 6));
+        assert_eq!(&*snap2.epoch_rows, &[0, 3, 6]);
+
+        let expect: Vec<Vec<String>> = rows.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(gather_all(&snap2.table), expect);
+        // The superseded snapshot still observes its own epoch.
+        assert_eq!(gather_all(&snap1.table), expect[..3]);
+        assert_eq!(snap1.table.header().cardinality(0), 3, "a0..a2 at epoch 1");
+        assert_eq!(snap2.table.header().cardinality(0), 5);
+
+        // An empty batch is a deliberate epoch bump.
+        let snap3 = live.try_append::<[String; 2], String>(&[], &[]).unwrap();
+        assert_eq!((snap3.epoch, snap3.table.n_rows()), (3, 6));
+    }
+
+    #[test]
+    fn live_append_carries_measures() {
+        let live = LiveTable::new(
+            Schema::new(["A", "B"]).unwrap(),
+            vec!["m".to_owned()],
+            &LiveTableConfig::in_memory(3),
+        )
+        .unwrap();
+        let rows = live_rows(7);
+        let ms: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64 * 1.5]).collect();
+        live.try_append(&rows[..4], &ms[..4]).unwrap();
+        let snap = live.try_append(&rows[4..], &ms[4..]).unwrap();
+        let all: Vec<RowId> = (0..7).collect();
+        let t = snap.table.try_gather_rows(&all).unwrap();
+        let got = t.measure("m").unwrap();
+        let want: Vec<f64> = (0..7).map(|i| i as f64 * 1.5).collect();
+        assert_eq!(got, &want[..]);
+    }
+
+    #[test]
+    fn live_append_rejects_malformed_rows_without_state_change() {
+        let live = LiveTable::new(
+            Schema::new(["A", "B"]).unwrap(),
+            vec!["m".to_owned()],
+            &LiveTableConfig::in_memory(4),
+        )
+        .unwrap();
+        let bad = vec![vec!["only-one".to_owned()]];
+        assert!(matches!(
+            live.try_append(&bad, &[vec![1.0]]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+        let rows = live_rows(2);
+        // Wrong measure arity.
+        assert!(matches!(
+            live.try_append(&rows, &[vec![1.0]]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            live.try_append(&rows, &[vec![1.0, 2.0], vec![3.0, 4.0]]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+        assert_eq!(live.epoch(), 0);
+        assert_eq!(live.n_rows(), 0);
+    }
+
+    /// Satellite: appends landing exactly on / one before / one after a
+    /// segment boundary produce sealed spill files byte-identical to (a) a
+    /// single append of all rows and (b) — at exact multiples of the
+    /// segment size — `ShardedTable::from_table` of the grown table, whose
+    /// `chunk_spans` layout coincides with the live fixed-size layout.
+    #[test]
+    fn live_seal_boundaries_are_byte_identical_to_rebuild() {
+        let c = 8usize;
+        let k = 3usize;
+        let all = live_rows(k * c); // 24 rows; boundaries at 8 and 16
+        let cfg = LiveTableConfig::spilling(c, 1, spill_dir());
+
+        // Grow with batches landing one-before / exactly-on / one-after
+        // segment boundaries: 7, +1 (=8), +1 (=9), +7 (=16), +8 (=24).
+        let grown = LiveTable::new(Schema::new(["A", "B"]).unwrap(), vec![], &cfg).unwrap();
+        for batch in [&all[..7], &all[7..8], &all[8..9], &all[9..16], &all[16..]] {
+            grown.try_append(batch, &[]).unwrap();
+        }
+        assert_eq!(grown.segments_sealed(), k);
+        assert_eq!(grown.n_rows(), k * c);
+
+        // One-shot rebuild of the same rows.
+        let rebuilt = LiveTable::new(Schema::new(["A", "B"]).unwrap(), vec![], &cfg).unwrap();
+        rebuilt.try_append(&all, &[]).unwrap();
+
+        // From-scratch frozen build: chunk_spans(k*c, k) = k equal spans.
+        let rows_owned: Vec<[String; 2]> = all.clone();
+        let frozen_src = Table::from_rows(Schema::new(["A", "B"]).unwrap(), &rows_owned).unwrap();
+        let frozen =
+            ShardedTable::from_table(&frozen_src, &ShardConfig::spilling(k, 1, spill_dir()))
+                .unwrap();
+
+        let gs = grown.snapshot().table;
+        let rs = rebuilt.snapshot().table;
+        for i in 0..k {
+            let g = std::fs::read(gs.spill_path(i).unwrap()).unwrap();
+            let r = std::fs::read(rs.spill_path(i).unwrap()).unwrap();
+            let f = std::fs::read(frozen.spill_path(i).unwrap()).unwrap();
+            assert_eq!(g, r, "segment {i}: grown vs one-shot rebuild");
+            assert_eq!(g, f, "segment {i}: grown vs frozen from_table");
+        }
+        // And the visible rows agree everywhere.
+        let expect: Vec<Vec<String>> = all.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(gather_all(&gs), expect);
+        assert_eq!(gather_all(&frozen), expect);
+    }
+
+    /// The unsealed tail has no spill file and must never be evicted, even
+    /// under the tightest resident budget.
+    #[test]
+    fn live_tail_survives_eviction_pressure() {
+        let c = 4usize;
+        let live = LiveTable::new(
+            Schema::new(["A", "B"]).unwrap(),
+            vec![],
+            &LiveTableConfig::spilling(c, 1, spill_dir()),
+        )
+        .unwrap();
+        let rows = live_rows(3 * c + 2); // 3 sealed segments + 2-row tail
+        let snap = live.try_append(&rows, &[]).unwrap();
+        let st = &snap.table;
+        assert_eq!(st.n_shards(), 4);
+        assert!(st.spill_path(3).is_none(), "tail has no spill file");
+
+        // Sweep all shards several times under resident budget 1.
+        let expect: Vec<Vec<String>> = rows.iter().map(|r| r.to_vec()).collect();
+        for _ in 0..3 {
+            assert_eq!(&gather_all(st), &expect);
+        }
+        st.evict_all();
+        // The tail is still resident (evict_all skips spill-less shards)…
+        let (resident, _) = st.resident_and_pinned();
+        assert!(resident >= 1, "tail must stay resident");
+        // …and still serves its rows.
+        let tail = st.try_segment(3).unwrap();
+        assert_eq!(tail.span(), 3 * c..3 * c + 2);
+    }
+
+    /// A failed seal (I/O error mid-append) rolls the table back to the
+    /// previous epoch: no rows, no epoch bump, and — critically for
+    /// rebuild parity — no leaked dictionary codes.
+    #[test]
+    fn live_failed_append_rolls_back_cleanly() {
+        let c = 4usize;
+        let live = LiveTable::new(
+            Schema::new(["A", "B"]).unwrap(),
+            vec![],
+            &LiveTableConfig::spilling(c, 1, spill_dir()),
+        )
+        .unwrap();
+        let rows = live_rows(c + 1);
+        live.try_append(&rows[..2], &[]).unwrap();
+
+        // Block the next seal: a directory where the segment file must go.
+        let dir = live.snapshot().table.spill_dir().unwrap().to_path_buf();
+        let blocker = dir.join(segment_file_name(0));
+        std::fs::remove_file(&blocker).ok(); // not yet sealed ⇒ absent
+        std::fs::create_dir(&blocker).unwrap();
+        let err = live.try_append(&rows[2..], &[]);
+        assert!(matches!(err, Err(TableError::Io(_))), "got {err:?}");
+
+        // Rolled back: same epoch, same rows, dictionaries un-grown.
+        assert_eq!(live.epoch(), 1);
+        assert_eq!(live.n_rows(), 2);
+        let snap = live.snapshot();
+        assert_eq!(snap.table.header().cardinality(0), 2);
+
+        // Unblock and retry; the grown table must match a one-shot rebuild.
+        std::fs::remove_dir(&blocker).unwrap();
+        let snap = live.try_append(&rows[2..], &[]).unwrap();
+        assert_eq!((snap.epoch, snap.table.n_rows()), (2, c + 1));
+        let rebuilt = LiveTable::new(
+            Schema::new(["A", "B"]).unwrap(),
+            vec![],
+            &LiveTableConfig::spilling(c, 1, spill_dir()),
+        )
+        .unwrap();
+        let rsnap = rebuilt.try_append(&rows, &[]).unwrap();
+        assert_eq!(
+            std::fs::read(snap.table.spill_path(0).unwrap()).unwrap(),
+            std::fs::read(rsnap.table.spill_path(0).unwrap()).unwrap(),
+            "post-recovery seal must be byte-identical to a rebuild"
+        );
+        let expect: Vec<Vec<String>> = rows.iter().map(|r| r.to_vec()).collect();
+        assert_eq!(gather_all(&snap.table), expect);
+    }
+
+    /// Snapshots share sealed spill files by `Arc`: superseded epochs stay
+    /// scannable, and the directory disappears only when the last holder
+    /// (live table or snapshot) drops.
+    #[test]
+    fn live_snapshots_share_segments_and_cleanup_is_refcounted() {
+        let c = 4usize;
+        let rows = live_rows(2 * c + 1);
+        let dir;
+        let old;
+        {
+            let live = LiveTable::new(
+                Schema::new(["A", "B"]).unwrap(),
+                vec![],
+                &LiveTableConfig::spilling(c, 1, spill_dir()),
+            )
+            .unwrap();
+            old = live.try_append(&rows[..c + 1], &[]).unwrap();
+            let new = live.try_append(&rows[c + 1..], &[]).unwrap();
+            dir = new.table.spill_dir().unwrap().to_path_buf();
+            assert_eq!(
+                old.table.spill_path(0).unwrap(),
+                new.table.spill_path(0).unwrap(),
+                "sealed segment 0 is shared, not re-written"
+            );
+            // Drop `live` and `new`; `old` keeps its files alive.
+        }
+        assert!(dir.exists(), "old snapshot still pins the spill dir");
+        let expect: Vec<Vec<String>> = rows[..c + 1].iter().map(|r| r.to_vec()).collect();
+        assert_eq!(gather_all(&old.table), expect);
+        drop(old);
+        assert!(!dir.exists(), "last holder dropped ⇒ dir removed");
+    }
+
+    #[test]
+    fn live_storage_counters_are_monotonic_across_epochs() {
+        let c = 4usize;
+        let live = LiveTable::new(
+            Schema::new(["A", "B"]).unwrap(),
+            vec![],
+            &LiveTableConfig::spilling(c, 1, spill_dir()),
+        )
+        .unwrap();
+        let rows = live_rows(3 * c);
+        let mut last = (0u64, 0u64, 0u64, 0usize);
+        for batch in rows.chunks(c + 1) {
+            let snap = live.try_append(batch, &[]).unwrap();
+            let _ = gather_all(&snap.table); // force loads/evictions
+            let now = live.storage_counters();
+            assert!(now.0 >= last.0, "loads must not go backwards");
+            assert!(now.1 >= last.1, "evictions must not go backwards");
+            assert!(now.2 >= last.2, "spills must not go backwards");
+            assert!(now.3 >= last.3, "peak must not go backwards");
+            last = now;
+        }
+        assert_eq!(last.2, 3, "one spill per sealed segment");
+    }
+
+    #[test]
+    fn live_store_pins_and_repins_epochs() {
+        let live = Arc::new(
+            LiveTable::new(
+                Schema::new(["A", "B"]).unwrap(),
+                vec![],
+                &LiveTableConfig::in_memory(4),
+            )
+            .unwrap(),
+        );
+        let mut store = TableStore::from(Arc::clone(&live));
+        assert!(store.is_sharded(), "live stores scan via the sharded paths");
+        assert_eq!(store.epoch(), 0);
+        let rows = live_rows(5);
+        live.try_append(&rows, &[]).unwrap();
+        // The pin holds until the holder re-pins.
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.n_rows(), 0);
+        assert_eq!(store.as_live().unwrap().latest_epoch(), 1);
+        let e = store.as_live_mut().unwrap().re_pin();
+        assert_eq!(e, 1);
+        assert_eq!(store.n_rows(), 5);
+        assert_eq!(store.header().cardinality(0), 5);
+        // A clone carries the pin, not the live head.
+        let clone = store.clone();
+        live.try_append(&rows[..1], &[]).unwrap();
+        assert_eq!(clone.epoch(), 1);
+        assert_eq!(store.as_sharded().unwrap().n_rows(), 5);
     }
 }

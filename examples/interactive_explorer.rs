@@ -48,7 +48,7 @@ fn main() {
     );
 
     // The paper's background pass: replace estimates with exact counts.
-    explorer.refresh_exact_counts();
+    explorer.try_refresh_exact_counts().expect("refresh");
     println!("after exact-count refresh:");
     println!("{}", explorer.render());
 

@@ -237,6 +237,7 @@ fn prefetch_script_samples(
             prefetch: mode,
             confidence_z: 1.96,
             cache: None,
+            table_id: None,
         },
     );
     for path in [vec![], vec![0], vec![1], vec![0]] {
@@ -301,6 +302,7 @@ fn background_prefetch_reduces_request_blocking_scans() {
                 prefetch: mode,
                 confidence_z: 1.96,
                 cache: None,
+                table_id: None,
             },
         );
         for path in [vec![], vec![0], vec![1], vec![2]] {

@@ -373,6 +373,7 @@ fn explorer_config(seed: u64) -> ExplorerConfig {
         prefetch: PrefetchMode::Inline,
         confidence_z: 1.96,
         cache: None,
+        table_id: None,
     }
 }
 
@@ -388,7 +389,7 @@ fn drive_explorer(mut ex: Explorer) -> (String, Vec<StoredSampleInfo>, String) {
     ex.expand_star(&[1], star_col).ok();
     transcript.push_str(&ex.render());
     ex.collapse(&[0]).unwrap();
-    ex.refresh_exact_counts();
+    ex.try_refresh_exact_counts().unwrap();
     transcript.push_str(&ex.render());
     let stats = format!("{:?} {:?}", ex.stats, ex.handler_stats());
     (transcript, ex.handler().stored_samples(), stats)
